@@ -1,0 +1,55 @@
+"""E5 — Figure 4: peak analysis memory, SAINTDroid vs CID, on
+real-world apps.
+
+Paper anchors:
+
+* SAINTDroid average ≈329 MB (range 119-898 MB);
+* CID ≈1.3 GB — about four times SAINTDroid's footprint — because it
+  loads the entire app and framework eagerly, while the CLVM loads the
+  reachable slice and releases framework bodies after summarization.
+"""
+
+import pytest
+
+from repro.eval.figures import figure4_series
+
+from .conftest import write_result
+
+
+@pytest.fixture(scope="module")
+def data(corpus_run):
+    return figure4_series(corpus_run)
+
+
+def test_figure4_memory_comparison(benchmark, corpus_run, data):
+    benchmark(figure4_series, corpus_run)
+    saint = data["summary"]["SAINTDroid"]
+    cid = data["summary"]["CID"]
+
+    assert 200.0 <= saint["average_mb"] <= 550.0   # paper: 329 MB
+    assert saint["min_mb"] >= 100.0                # paper: 119 MB
+    assert saint["max_mb"] <= 1500.0               # paper: 898 MB
+    assert 900.0 <= cid["average_mb"] <= 1800.0    # paper: ~1.3 GB
+    ratio = cid["average_mb"] / saint["average_mb"]
+    assert 2.0 <= ratio <= 6.0                     # paper: ~4x
+
+    from repro.eval.export import export_memory_csv
+    from .conftest import RESULTS_DIR
+    RESULTS_DIR.mkdir(exist_ok=True)
+    export_memory_csv(corpus_run, RESULTS_DIR / "figure4_series.csv")
+
+    lines = [
+        "Figure 4: peak analysis memory on real-world apps (modeled MB)",
+        f"  SAINTDroid: avg {saint['average_mb']:.0f} "
+        f"range {saint['min_mb']:.0f}-{saint['max_mb']:.0f}",
+        f"  CID:        avg {cid['average_mb']:.0f} "
+        f"range {cid['min_mb']:.0f}-{cid['max_mb']:.0f}",
+        f"  ratio: {ratio:.1f}x",
+    ]
+    write_result("figure4.txt", "\n".join(lines))
+
+
+def test_figure4_per_app_ordering(benchmark, data):
+    series = benchmark(lambda: data["series"])
+    pairs = zip(series["SAINTDroid"], series["CID"])
+    assert all(saint < cid for saint, cid in pairs)

@@ -1,0 +1,84 @@
+"""E3 — Table III: per-app analysis time on the CIDER-Bench replicas.
+
+Paper anchors asserted:
+
+* SAINTDroid is the fastest tool on every app it shares with the
+  baselines (2.3-11.3 s band in the paper; our cost model lands in the
+  same band);
+* CID fails on AFWall+, NetworkMonitor, and PassAndroid (multidex
+  crashes — the dashes);
+* Lint produces no result for NyaaPantsu (unbuildable);
+* SAINTDroid is up to ~8.3x and on average ~4x faster than the
+  baselines.
+"""
+
+import pytest
+
+from repro.eval.tables import render_table3, table3_times
+from repro.workload.benchsuite import CIDER_BENCH
+
+from .conftest import write_result
+
+LABELS = tuple(spec.label for spec in CIDER_BENCH)
+
+
+@pytest.fixture(scope="module")
+def rows(bench_run):
+    return table3_times(bench_run, apps=LABELS)
+
+
+def test_table3_times(benchmark, bench_run, rows):
+    benchmark(table3_times, bench_run, apps=LABELS)
+
+    by_app = {row["app"]: row for row in rows}
+
+    # CID dashes: the three multidex apps.
+    for label in ("AFWall+", "NetworkMonitor", "PassAndroid"):
+        assert by_app[label]["CID"] is None, label
+    # Lint dash: the unbuildable app.
+    assert by_app["NyaaPantsu"]["Lint"] is None
+
+    for row in rows:
+        saint = row["SAINTDroid"]
+        assert saint is not None
+        assert 2.0 <= saint <= 16.0  # the paper's single-digit band
+        for tool in ("CID", "Lint"):
+            if row[tool] is not None:
+                assert saint < row[tool], (row["app"], tool)
+
+    write_result("table3.txt", render_table3(rows))
+
+
+def test_average_speedup_band(benchmark, rows):
+    def speedups():
+        out = {}
+        for tool in ("CID", "Lint"):
+            ratios = [
+                row[tool] / row["SAINTDroid"]
+                for row in rows
+                if row[tool] is not None
+            ]
+            out[tool] = sum(ratios) / len(ratios)
+        return out
+
+    averages = benchmark(speedups)
+    # Paper: four times faster on average, up to 8.3x.
+    assert 2.5 <= averages["CID"] <= 9.0
+    assert 2.5 <= averages["Lint"] <= 9.0
+
+
+def test_timing_protocol_three_repetitions(benchmark, toolset, bench_apps):
+    """The paper's RQ3 protocol: three repeated measurements, averaged.
+    The modeled time is deterministic; the repetitions exercise wall
+    time stability of our implementation."""
+    saintdroid = toolset.tools[0]
+    app = next(a.apk for a in bench_apps if a.apk.name == "Padland")
+
+    def three_runs():
+        reports = [saintdroid.analyze(app) for _ in range(3)]
+        seconds = [r.metrics.modeled_seconds for r in reports]
+        assert max(seconds) - min(seconds) < 1e-9  # deterministic model
+        return sum(seconds) / 3
+
+    average = benchmark.pedantic(three_runs, rounds=1, iterations=1)
+    assert average > 0

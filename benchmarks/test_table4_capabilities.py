@@ -1,0 +1,41 @@
+"""E6 — Table IV: the capability matrix.
+
+The paper's point: SAINTDroid is the only tool covering all three
+mismatch families.  Capabilities are read from the live tool objects
+and cross-checked against observed behaviour on the benchmark run.
+"""
+
+from repro.eval.tables import render_table4, table4_capabilities
+
+from .conftest import write_result
+
+
+def test_table4_capabilities(benchmark, toolset, bench_run):
+    rows = benchmark(table4_capabilities, toolset.tools)
+    by_tool = {row["tool"]: row for row in rows}
+
+    assert by_tool["SAINTDroid"] == {
+        "tool": "SAINTDroid", "API": True, "APC": True, "PRM": True
+    }
+    assert by_tool["CID"] == {
+        "tool": "CID", "API": True, "APC": False, "PRM": False
+    }
+    assert by_tool["CIDER"] == {
+        "tool": "CIDER", "API": False, "APC": True, "PRM": False
+    }
+    assert by_tool["Lint"] == {
+        "tool": "Lint", "API": True, "APC": False, "PRM": False
+    }
+
+    # Declared capabilities match observed behaviour.
+    accuracies = bench_run.accuracies()
+    for row in rows:
+        for family in ("API", "APC", "PRM"):
+            reported = accuracies[row["tool"]].group(family).reported
+            if not row[family]:
+                assert reported == 0, (row["tool"], family)
+    assert accuracies["SAINTDroid"].group("API").reported > 0
+    assert accuracies["SAINTDroid"].group("APC").reported > 0
+    assert accuracies["SAINTDroid"].group("PRM").reported > 0
+
+    write_result("table4.txt", render_table4(rows))

@@ -1,0 +1,150 @@
+#!/usr/bin/env python3
+"""“Death on update”: what breaks when the device framework changes.
+
+The paper's introduction motivates SAINTDroid with update breakage:
+"23% of Android apps behave differently after a framework update, and
+around 50% of the Android updates have caused instability in
+previously working apps".  This example takes one app through two
+update scenarios:
+
+* a device update from API 22 to API 23 — the app's bundled Apache
+  HTTP client calls break (the real Android 6.0 removal), a Fragment
+  hook starts firing, and the permission model shifts under the app;
+* an app update from v1 to v2 — the developer guards one call and
+  introduces a new unguarded one; the report diff shows exactly the
+  regression.
+
+Run with::
+
+    python examples/death_on_update.py
+"""
+
+from repro import SaintDroid
+from repro.apk import Apk, Component, ComponentKind, DexFile, Manifest
+from repro.core import build_api_database, diff_reports, update_impact
+from repro.core.aum import ApiUsageModeler
+from repro.framework import FrameworkRepository
+from repro.ir import ClassBuilder
+
+PACKAGE = "com.demo.updates"
+
+
+def activity():
+    builder = ClassBuilder(
+        f"{PACKAGE}.MainActivity", super_name="android.app.Activity"
+    )
+    on_create = builder.method("onCreate", "(android.os.Bundle)void")
+    on_create.invoke_super(
+        "android.app.Activity", "onCreate", "(android.os.Bundle)void"
+    )
+    on_create.return_void()
+    builder.finish(on_create)
+    return builder.build()
+
+
+def http_client():
+    builder = ClassBuilder(f"{PACKAGE}.LegacyNet")
+    fetch = builder.method("fetch")
+    fetch.invoke_virtual(
+        "org.apache.http.client.HttpClient", "execute",
+        "(org.apache.http.HttpRequest)org.apache.http.HttpResponse",
+    )
+    fetch.return_void()
+    builder.finish(fetch)
+    return builder.build()
+
+
+def notes_fragment():
+    builder = ClassBuilder(
+        f"{PACKAGE}.NotesFragment", super_name="android.app.Fragment"
+    )
+    builder.empty_method("onAttach", "(android.content.Context)void")
+    return builder.build()
+
+
+def storage_user():
+    builder = ClassBuilder(f"{PACKAGE}.Exporter")
+    export = builder.method("export")
+    export.invoke_virtual(
+        "android.provider.MediaStore$Images$Media", "insertImage",
+        "(android.content.ContentResolver,android.graphics.Bitmap,"
+        "java.lang.String,java.lang.String)java.lang.String",
+    )
+    export.return_void()
+    builder.finish(export)
+    return builder.build()
+
+
+def colors_screen(guarded):
+    builder = ClassBuilder(f"{PACKAGE}.Screen")
+    render = builder.method("render")
+    if guarded:
+        render.guarded_call(
+            23, "android.content.Context", "getColorStateList",
+            "(int)android.content.res.ColorStateList",
+        )
+    else:
+        render.invoke_virtual(
+            "android.content.Context", "getColorStateList",
+            "(int)android.content.res.ColorStateList",
+        )
+    render.return_void()
+    builder.finish(render)
+    return builder.build()
+
+
+def build_app(classes, label):
+    manifest = Manifest(
+        package=PACKAGE,
+        min_sdk=16,
+        target_sdk=22,
+        permissions=("android.permission.WRITE_EXTERNAL_STORAGE",),
+        components=(
+            Component(f"{PACKAGE}.MainActivity", ComponentKind.ACTIVITY),
+        ),
+    )
+    return Apk(
+        manifest=manifest,
+        dex_files=(DexFile("classes.dex", tuple(classes)),),
+        label=label,
+    )
+
+
+def main() -> None:
+    framework = FrameworkRepository()
+    apidb = build_api_database(framework)
+
+    # -- scenario 1: the DEVICE updates under the app -----------------
+    app = build_app(
+        [activity(), http_client(), notes_fragment(), storage_user()],
+        "UpdateDemo",
+    )
+    modeler = ApiUsageModeler(framework, apidb)
+    model = modeler.build(app)
+
+    print("=== device update: API 22 -> 23 (Android 5.1 -> 6.0) ===")
+    print(update_impact(model, apidb, 22, 23).describe())
+    print()
+    print("=== device update: API 23 -> 26 (no boundary crossed) ===")
+    print(update_impact(model, apidb, 23, 26).describe())
+    print()
+
+    # -- scenario 2: the APP updates -----------------------------------
+    detector = SaintDroid(framework, apidb)
+    v1 = build_app([activity(), colors_screen(guarded=False)], "Demo v1")
+    v2 = build_app(
+        [activity(), colors_screen(guarded=True), http_client()],
+        "Demo v2",
+    )
+    diff = diff_reports(detector.analyze(v1), detector.analyze(v2))
+    print("=== app update: v1 -> v2 ===")
+    print(f"verdict: {diff.summary()}"
+          f"{' — REGRESSION' if diff.regressed else ''}")
+    for mismatch in diff.fixed:
+        print(f"  fixed:      {mismatch.describe()}")
+    for mismatch in diff.introduced:
+        print(f"  introduced: {mismatch.describe()}")
+
+
+if __name__ == "__main__":
+    main()

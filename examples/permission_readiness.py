@@ -1,0 +1,162 @@
+#!/usr/bin/env python3
+"""Runtime-permission readiness audit.
+
+Since API level 23, dangerous permissions are granted (and revoked) at
+run time; apps built for the install-time model crash when a user
+revokes a permission mid-flight (the paper's section II-C).  This
+example audits three archetypes:
+
+* **legacy app** — targets API 22, uses ``WRITE_EXTERNAL_STORAGE``:
+  vulnerable to revocation on every device running 23+;
+* **careless modern app** — targets 26, uses the camera, never
+  implements ``onRequestPermissionsResult``: request mismatch;
+* **well-behaved modern app** — targets 26 and implements the runtime
+  protocol: clean.
+
+It also demonstrates the *transitive* permission map: the legacy app
+never calls a permission-enforcing API directly — the enforcement sits
+one call deep inside the framework — yet the audit still finds it.
+
+Run with::
+
+    python examples/permission_readiness.py
+"""
+
+from repro import SaintDroid
+from repro.apk import Apk, Component, ComponentKind, DexFile, Manifest
+from repro.core import build_api_database
+from repro.framework import FrameworkRepository
+from repro.ir import ClassBuilder, MethodRef
+
+
+def activity(package, extra=()):
+    builder = ClassBuilder(
+        f"{package}.MainActivity", super_name="android.app.Activity"
+    )
+    on_create = builder.method("onCreate", "(android.os.Bundle)void")
+    on_create.invoke_super(
+        "android.app.Activity", "onCreate", "(android.os.Bundle)void"
+    )
+    on_create.return_void()
+    builder.finish(on_create)
+    for method in extra:
+        builder.add(method)
+    return builder.build()
+
+
+def make_app(package, label, target, classes, permissions):
+    manifest = Manifest(
+        package=package,
+        min_sdk=16,
+        target_sdk=target,
+        permissions=tuple(permissions),
+        components=(
+            Component(f"{package}.MainActivity", ComponentKind.ACTIVITY),
+        ),
+    )
+    return Apk(
+        manifest=manifest,
+        dex_files=(DexFile("classes.dex", tuple(classes)),),
+        label=label,
+    )
+
+
+def legacy_app():
+    """Targets 22; reaches ACCESS_FINE_LOCATION only *transitively*
+    through Geocoder.getFromLocation."""
+    package = "com.demo.legacy"
+    geo = ClassBuilder(f"{package}.Locator")
+    locate = geo.method("whereAmI")
+    locate.invoke_virtual(
+        "android.location.Geocoder", "getFromLocation",
+        "(double,double,int)java.util.List",
+    )
+    locate.return_void()
+    geo.finish(locate)
+    return make_app(
+        package, "LegacyMaps", 22,
+        [activity(package), geo.build()],
+        ["android.permission.ACCESS_FINE_LOCATION"],
+    )
+
+
+def careless_app():
+    package = "com.demo.careless"
+    cam = ClassBuilder(f"{package}.Capture")
+    shoot = cam.method("shoot")
+    shoot.invoke_virtual(
+        "android.hardware.Camera", "open", "()android.hardware.Camera"
+    )
+    shoot.return_void()
+    cam.finish(shoot)
+    return make_app(
+        package, "CarelessCamera", 26,
+        [activity(package), cam.build()],
+        ["android.permission.CAMERA"],
+    )
+
+
+def careful_app():
+    package = "com.demo.careful"
+    cam = ClassBuilder(f"{package}.Capture")
+    shoot = cam.method("shoot")
+    shoot.invoke_virtual(
+        "android.hardware.Camera", "open", "()android.hardware.Camera"
+    )
+    shoot.return_void()
+    cam.finish(shoot)
+
+    aware = ClassBuilder(
+        f"{package}.PermissionGate", super_name="android.app.Activity"
+    )
+    ask = aware.method("ask")
+    ask.guarded_call(
+        23, "android.app.Activity", "requestPermissions",
+        "(java.lang.String[],int)void",
+    )
+    ask.return_void()
+    aware.finish(ask)
+    aware.empty_method(
+        "onRequestPermissionsResult", "(int,java.lang.String[],int[])void"
+    )
+    return make_app(
+        package, "CarefulCamera", 26,
+        [activity(package), cam.build(), aware.build()],
+        ["android.permission.CAMERA"],
+    )
+
+
+def main() -> None:
+    framework = FrameworkRepository()
+    apidb = build_api_database(framework)
+    detector = SaintDroid(framework, apidb)
+
+    # Show the transitive permission map in action first.
+    geocode = MethodRef(
+        "android.location.Geocoder", "getFromLocation",
+        "(double,double,int)java.util.List",
+    )
+    print("permission map for Geocoder.getFromLocation:")
+    print(f"  direct:     {sorted(apidb.permissions_for(geocode, deep=False)) or '(none)'}")
+    print(f"  transitive: {sorted(apidb.permissions_for(geocode, deep=True))}")
+    print()
+
+    for apk in (legacy_app(), careless_app(), careful_app()):
+        report = detector.analyze(apk)
+        permission_findings = [
+            m for m in report.mismatches if m.kind.is_permission
+        ]
+        print(f"{apk.name} (targetSdk {apk.manifest.target_sdk}):")
+        if not permission_findings:
+            print("  ready for runtime permissions — no findings")
+        for mismatch in permission_findings:
+            print(f"  {mismatch.describe()}")
+        print()
+
+    print("remediation: implement requestPermissions/"
+          "onRequestPermissionsResult and raise targetSdkVersion; "
+          "revocation-prone apps must also handle SecurityException.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,52 @@
+#!/usr/bin/env python3
+"""Scalability sweep: why lazy class loading is the headline feature.
+
+Rebuilds the Android framework model at four sizes and measures
+SAINTDroid (lazy CLVM) and CID (whole-framework loading) on identical
+probe apps.  The closed-world tool pays for the platform; the CLVM
+pays for the app's reachable slice — so the gap *widens* as the
+platform grows, which is the paper's scalability thesis in one table.
+
+Run with::
+
+    python examples/scalability_sweep.py
+"""
+
+from repro.eval.sweep import sweep_framework_scale
+
+
+def main() -> None:
+    sizes = (500, 1000, 2000, 4000)
+    print(f"sweeping framework sizes {sizes} (a few seconds per point)…\n")
+    points = sweep_framework_scale(sizes, probes_per_point=2)
+
+    header = (
+        f"{'framework classes':>18}{'SAINTDroid MB':>15}"
+        f"{'classes loaded':>16}{'CID MB':>9}{'memory ratio':>14}"
+        f"{'time ratio':>12}"
+    )
+    print(header)
+    print("-" * len(header))
+    for point in points:
+        print(
+            f"{point.framework_classes_at_26:>18}"
+            f"{point.saintdroid_memory_mb:>15.0f}"
+            f"{point.saintdroid_classes_loaded:>16}"
+            f"{point.cid_memory_mb:>9.0f}"
+            f"{point.memory_ratio:>13.1f}x"
+            f"{point.time_ratio:>11.1f}x"
+        )
+
+    first, last = points[0], points[-1]
+    print(
+        f"\nframework grew {last.framework_classes_at_26 / first.framework_classes_at_26:.1f}x; "
+        f"SAINTDroid's footprint grew "
+        f"{last.saintdroid_memory_mb / first.saintdroid_memory_mb:.2f}x "
+        f"while CID's grew "
+        f"{last.cid_memory_mb / first.cid_memory_mb:.2f}x."
+    )
+    print("The CLVM's cost tracks the app, not the platform.")
+
+
+if __name__ == "__main__":
+    main()

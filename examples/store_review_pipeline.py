@@ -1,0 +1,106 @@
+#!/usr/bin/env python3
+"""App-store review pipeline: batch compatibility screening.
+
+The scenario the paper's introduction motivates: a marketplace (or a
+third-party reviewer) screens incoming app submissions for
+crash-leading compatibility issues before accepting them.  This
+example:
+
+1. generates a small batch of submissions (a slice of the calibrated
+   real-world corpus, written out as ``.sapk`` files — the same
+   interchange format ``saintdroid analyze`` consumes);
+2. runs SAINTDroid over the batch;
+3. produces a triage report: reject / warn / pass per app, with the
+   device ranges affected and per-kind statistics across the batch.
+
+Run with::
+
+    python examples/store_review_pipeline.py
+"""
+
+from __future__ import annotations
+
+import tempfile
+from pathlib import Path
+
+from repro import SaintDroid, load_apk, save_apk
+from repro.core import build_api_database
+from repro.workload import CorpusConfig, generate_corpus
+
+BATCH_SIZE = 12
+
+
+def generate_submissions(directory: Path) -> list[Path]:
+    """Write a batch of synthetic submissions as .sapk files."""
+    apidb = build_api_database()
+    config = CorpusConfig(count=BATCH_SIZE, seed=424242)
+    paths = []
+    for entry in generate_corpus(config, apidb):
+        path = directory / f"{entry.forged.apk.name}.sapk"
+        save_apk(entry.forged.apk, path)
+        paths.append(path)
+    return paths
+
+
+def triage(report) -> str:
+    """Store policy: crashes on supported devices are rejects;
+    permission hygiene problems are warnings."""
+    kinds = report.by_kind()
+    if kinds.get("API", 0) > 0:
+        return "REJECT"
+    if kinds.get("APC", 0) > 0:
+        return "WARN"
+    if kinds.get("PRM-request", 0) or kinds.get("PRM-revocation", 0):
+        return "WARN"
+    return "PASS"
+
+
+def main() -> None:
+    with tempfile.TemporaryDirectory() as tmp:
+        directory = Path(tmp)
+        print(f"generating {BATCH_SIZE} submissions…")
+        paths = generate_submissions(directory)
+
+        detector = SaintDroid()
+        totals = {"API": 0, "APC": 0, "PRM": 0}
+        verdicts = {"REJECT": 0, "WARN": 0, "PASS": 0}
+
+        print(f"\n{'submission':<16}{'verdict':<9}"
+              f"{'API':>5}{'APC':>5}{'PRM':>5}   worst finding")
+        print("-" * 78)
+        for path in paths:
+            apk = load_apk(path)
+            report = detector.analyze(apk)
+            kinds = report.by_kind()
+            verdict = triage(report)
+            verdicts[verdict] += 1
+            totals["API"] += kinds.get("API", 0)
+            totals["APC"] += kinds.get("APC", 0)
+            totals["PRM"] += (
+                kinds.get("PRM-request", 0)
+                + kinds.get("PRM-revocation", 0)
+            )
+            worst = (
+                report.mismatches[0].describe()[:34] + "…"
+                if report.mismatches
+                else "(clean)"
+            )
+            print(
+                f"{apk.name:<16}{verdict:<9}"
+                f"{kinds.get('API', 0):>5}"
+                f"{kinds.get('APC', 0):>5}"
+                f"{kinds.get('PRM-request', 0) + kinds.get('PRM-revocation', 0):>5}"
+                f"   {worst}"
+            )
+
+        print("-" * 78)
+        print(
+            f"batch: {verdicts['REJECT']} rejected, "
+            f"{verdicts['WARN']} warned, {verdicts['PASS']} passed; "
+            f"{totals['API']} API / {totals['APC']} APC / "
+            f"{totals['PRM']} PRM findings total"
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Setup shim for environments without the ``wheel`` package.
+
+All project metadata lives in ``pyproject.toml``; this file exists so
+``pip install -e . --no-use-pep517`` works offline (no build isolation,
+no bdist_wheel).
+"""
+
+from setuptools import setup
+
+setup()

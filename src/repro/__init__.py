@@ -1,0 +1,73 @@
+"""SAINTDroid reproduction: scalable, automated incompatibility
+detection for Android (Silva et al., DSN 2022).
+
+Public API quick tour::
+
+    from repro import SaintDroid, load_apk
+
+    detector = SaintDroid()
+    report = detector.analyze(load_apk("app.sapk"))
+    for mismatch in report.mismatches:
+        print(mismatch.describe())
+
+Subpackages:
+
+* :mod:`repro.ir` — register-based bytecode IR (dex analogue)
+* :mod:`repro.apk` — app packages: manifest + dex files, JSON format
+* :mod:`repro.framework` — versioned Android framework model (ADF)
+* :mod:`repro.analysis` — CFG/dataflow/guard analyses and the CLVM
+* :mod:`repro.core` — SAINTDroid itself (AUM, ARM, AMD)
+* :mod:`repro.baselines` — CID, CIDER, and Lint reimplementations
+* :mod:`repro.workload` — benchmark replicas and the synthetic corpus
+* :mod:`repro.eval` — scoring, experiment runner, tables and figures
+* :mod:`repro.dynamic` — IR interpreter + dynamic verifier (paper §VI)
+* :mod:`repro.repair` — repair synthesizer (paper §VIII)
+"""
+
+from .apk import Apk, DexFile, Manifest, load_apk, save_apk
+from .core import (
+    AnalysisReport,
+    Mismatch,
+    MismatchKind,
+    SaintDroid,
+    build_api_database,
+    render_report,
+)
+from .baselines import Cid, Cider, Lint
+from .framework import FrameworkRepository
+from .workload import AppForge, build_benchmark_suite, generate_corpus
+from .eval import ToolSet, run_tools
+from .dynamic import DeviceProfile, DynamicVerifier, Interpreter, Verdict
+from .repair import RepairEngine, repair_and_verify
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AnalysisReport",
+    "Apk",
+    "AppForge",
+    "Cid",
+    "Cider",
+    "DeviceProfile",
+    "DexFile",
+    "DynamicVerifier",
+    "FrameworkRepository",
+    "Lint",
+    "Manifest",
+    "Interpreter",
+    "Mismatch",
+    "MismatchKind",
+    "RepairEngine",
+    "SaintDroid",
+    "Verdict",
+    "ToolSet",
+    "__version__",
+    "build_api_database",
+    "build_benchmark_suite",
+    "generate_corpus",
+    "load_apk",
+    "render_report",
+    "repair_and_verify",
+    "run_tools",
+    "save_apk",
+]

@@ -1,0 +1,61 @@
+"""Static-analysis substrate: CFGs, dataflow, guard/interval analysis,
+call graphs, the ICFG, and the lazy class-loading CLVM."""
+
+from .cfg import BasicBlock, ControlFlowGraph, build_cfg, ENTRY, EXIT
+from .intervals import ApiInterval, EMPTY, FULL_RANGE
+from .dataflow import Analysis, BlockStates, solve_forward
+from .guards import (
+    GuardAnalysis,
+    GuardState,
+    RegValue,
+    ValueKind,
+    analyze_guards,
+    guard_at_invocations,
+)
+from .reaching import (
+    StringConstantAnalysis,
+    analyze_string_constants,
+    strings_at_invocations,
+)
+from .hierarchy import HierarchyResolver
+from .callgraph import CallGraph, CallSite
+from .icfg import Icfg, IcfgNode, build_icfg
+from .clvm import (
+    ClassLoaderVM,
+    ExplorationResult,
+    LOADCLASS_SIGNATURES,
+    LoadStats,
+)
+
+__all__ = [
+    "Analysis",
+    "ApiInterval",
+    "BasicBlock",
+    "BlockStates",
+    "CallGraph",
+    "CallSite",
+    "ClassLoaderVM",
+    "ControlFlowGraph",
+    "EMPTY",
+    "ENTRY",
+    "EXIT",
+    "ExplorationResult",
+    "FULL_RANGE",
+    "GuardAnalysis",
+    "GuardState",
+    "HierarchyResolver",
+    "Icfg",
+    "IcfgNode",
+    "LOADCLASS_SIGNATURES",
+    "LoadStats",
+    "RegValue",
+    "StringConstantAnalysis",
+    "ValueKind",
+    "analyze_guards",
+    "analyze_string_constants",
+    "build_cfg",
+    "build_icfg",
+    "guard_at_invocations",
+    "solve_forward",
+    "strings_at_invocations",
+]

@@ -1,0 +1,98 @@
+"""Method-call graph representation.
+
+The graph is produced *incrementally* by the CLVM as classes load
+(paper: "the method-call graph is generated as the analysis
+progresses"), so this module only defines the data structure plus
+queries; construction lives with the explorer that discovers the
+edges.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..ir.method import Method
+from ..ir.types import MethodRef
+
+__all__ = ["CallSite", "CallGraph"]
+
+
+@dataclass(frozen=True, slots=True)
+class CallSite:
+    """One invocation edge: caller, static callee reference, and the
+    resolved target (post virtual-dispatch), if any."""
+
+    caller: MethodRef
+    callee: MethodRef
+    resolved: MethodRef | None
+
+
+@dataclass
+class CallGraph:
+    """Nodes are methods (by reference); edges are call sites."""
+
+    methods: dict[MethodRef, Method] = field(default_factory=dict)
+    edges: dict[MethodRef, list[CallSite]] = field(default_factory=dict)
+    entry_points: list[MethodRef] = field(default_factory=list)
+    _entry_set: set[MethodRef] = field(default_factory=set, repr=False)
+
+    def add_method(self, method: Method) -> None:
+        self.methods.setdefault(method.ref, method)
+
+    def add_edge(self, site: CallSite) -> None:
+        self.edges.setdefault(site.caller, []).append(site)
+
+    def add_entry_point(self, ref: MethodRef) -> None:
+        if ref not in self._entry_set:
+            self._entry_set.add(ref)
+            self.entry_points.append(ref)
+
+    # -- queries -------------------------------------------------------
+
+    def __contains__(self, ref: MethodRef) -> bool:
+        return ref in self.methods
+
+    def __len__(self) -> int:
+        return len(self.methods)
+
+    def method(self, ref: MethodRef) -> Method | None:
+        return self.methods.get(ref)
+
+    def callees(self, ref: MethodRef) -> tuple[CallSite, ...]:
+        return tuple(self.edges.get(ref, ()))
+
+    def callers_of(self, ref: MethodRef) -> tuple[MethodRef, ...]:
+        out = []
+        for caller, sites in self.edges.items():
+            for site in sites:
+                if site.resolved == ref or site.callee == ref:
+                    out.append(caller)
+                    break
+        return tuple(out)
+
+    @property
+    def edge_count(self) -> int:
+        return sum(len(sites) for sites in self.edges.values())
+
+    def reachable_from(
+        self, roots: tuple[MethodRef, ...] | None = None
+    ) -> frozenset[MethodRef]:
+        """Methods reachable from ``roots`` (default: entry points)."""
+        start = list(roots) if roots is not None else list(self.entry_points)
+        seen: set[MethodRef] = set()
+        stack = [ref for ref in start if ref in self.methods]
+        seen.update(stack)
+        while stack:
+            current = stack.pop()
+            for site in self.edges.get(current, ()):
+                target = site.resolved or site.callee
+                if target in self.methods and target not in seen:
+                    seen.add(target)
+                    stack.append(target)
+        return frozenset(seen)
+
+    def app_methods(self) -> tuple[MethodRef, ...]:
+        """Methods whose class is outside the framework namespace."""
+        return tuple(
+            ref for ref in self.methods if not ref.is_framework
+        )

@@ -1,0 +1,181 @@
+"""Intra-procedural control-flow graphs.
+
+Basic blocks are computed with the classic leader algorithm over the
+flat instruction list of a :class:`~repro.ir.method.MethodBody`.  The
+CFG is the unit the dataflow framework and the guard analysis iterate
+over; an artificial ``ENTRY`` block index (-1) and ``EXIT`` (-2) keep
+edge handling uniform.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..ir.instructions import Instruction
+from ..ir.method import Method, MethodBody
+
+__all__ = ["BasicBlock", "ControlFlowGraph", "build_cfg"]
+
+ENTRY = -1
+EXIT = -2
+
+
+@dataclass(frozen=True)
+class BasicBlock:
+    """A maximal straight-line instruction sequence.
+
+    ``start`` and ``end`` delimit the half-open index range
+    ``[start, end)`` into the owning body's instruction list.
+    """
+
+    index: int
+    start: int
+    end: int
+    instructions: tuple[Instruction, ...]
+
+    def __len__(self) -> int:
+        return len(self.instructions)
+
+    @property
+    def last(self) -> Instruction | None:
+        return self.instructions[-1] if self.instructions else None
+
+
+@dataclass
+class ControlFlowGraph:
+    """Blocks plus successor/predecessor edge maps."""
+
+    method: Method
+    blocks: tuple[BasicBlock, ...]
+    successors: dict[int, tuple[int, ...]]
+    predecessors: dict[int, tuple[int, ...]] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self.predecessors:
+            preds: dict[int, list[int]] = {b.index: [] for b in self.blocks}
+            preds[EXIT] = []
+            for source, targets in self.successors.items():
+                for target in targets:
+                    preds.setdefault(target, []).append(source)
+            self.predecessors = {
+                key: tuple(value) for key, value in preds.items()
+            }
+
+    @property
+    def entry_block(self) -> BasicBlock | None:
+        return self.blocks[0] if self.blocks else None
+
+    def block_of(self, instruction_index: int) -> BasicBlock:
+        """The block containing the given instruction index."""
+        for block in self.blocks:
+            if block.start <= instruction_index < block.end:
+                return block
+        raise IndexError(
+            f"instruction index {instruction_index} outside method body"
+        )
+
+    def reverse_postorder(self) -> tuple[int, ...]:
+        """Block indices in reverse postorder from the entry block —
+        the iteration order that makes forward dataflow converge fast."""
+        if not self.blocks:
+            return ()
+        seen: set[int] = set()
+        order: list[int] = []
+
+        # Iterative DFS; bodies can be long, so no recursion.
+        stack: list[tuple[int, int]] = [(self.blocks[0].index, 0)]
+        seen.add(self.blocks[0].index)
+        while stack:
+            node, child = stack[-1]
+            targets = [
+                t for t in self.successors.get(node, ()) if t >= 0
+            ]
+            if child < len(targets):
+                stack[-1] = (node, child + 1)
+                target = targets[child]
+                if target not in seen:
+                    seen.add(target)
+                    stack.append((target, 0))
+            else:
+                order.append(node)
+                stack.pop()
+        order.reverse()
+        return tuple(order)
+
+    @property
+    def edge_count(self) -> int:
+        return sum(len(t) for t in self.successors.values())
+
+
+def _leaders(body: MethodBody) -> list[int]:
+    """Indices starting a basic block."""
+    if not body.instructions:
+        return []
+    leaders = {0}
+    for index, instruction in enumerate(body.instructions):
+        targets = instruction.branch_targets
+        if targets:
+            for label in targets:
+                target = body.resolve(label)
+                if target < len(body.instructions):
+                    leaders.add(target)
+            if index + 1 < len(body.instructions):
+                leaders.add(index + 1)
+        elif not instruction.falls_through:
+            if index + 1 < len(body.instructions):
+                leaders.add(index + 1)
+    return sorted(leaders)
+
+
+def build_cfg(method: Method) -> ControlFlowGraph:
+    """Construct the CFG of ``method`` (empty graph for abstract)."""
+    body = method.body
+    if body is None or not body.instructions:
+        return ControlFlowGraph(
+            method=method, blocks=(), successors={}
+        )
+
+    leaders = _leaders(body)
+    boundaries = leaders + [len(body.instructions)]
+    blocks: list[BasicBlock] = []
+    start_to_block: dict[int, int] = {}
+    for block_index, start in enumerate(leaders):
+        end = boundaries[block_index + 1]
+        start_to_block[start] = block_index
+        blocks.append(
+            BasicBlock(
+                index=block_index,
+                start=start,
+                end=end,
+                instructions=body.instructions[start:end],
+            )
+        )
+
+    successors: dict[int, tuple[int, ...]] = {}
+    for block in blocks:
+        last_index = block.end - 1
+        instruction = body.instructions[last_index]
+        targets: list[int] = []
+        if instruction.falls_through:
+            if block.end < len(body.instructions):
+                targets.append(start_to_block[block.end])
+            else:
+                targets.append(EXIT)
+        for label in instruction.branch_targets:
+            resolved = body.resolve(label)
+            if resolved >= len(body.instructions):
+                targets.append(EXIT)
+            else:
+                targets.append(start_to_block[resolved])
+        if not instruction.falls_through and not instruction.branch_targets:
+            targets.append(EXIT)
+        # Deduplicate while preserving order (e.g. branch to next).
+        unique: list[int] = []
+        for target in targets:
+            if target not in unique:
+                unique.append(target)
+        successors[block.index] = tuple(unique)
+
+    return ControlFlowGraph(
+        method=method, blocks=tuple(blocks), successors=successors
+    )

@@ -1,0 +1,385 @@
+"""CLVM — the Class Loader Virtual Machine (paper Algorithm 1).
+
+SAINTDroid's scalability contribution: instead of loading the whole
+application *and* the whole framework before analysis (the closed-world
+assumption of SOOT-style tools), the CLVM mimics the Android runtime's
+class loading.  A worklist of method references drives exploration;
+resolving a method loads (only) its declaring class, every method of a
+newly loaded class is analyzed once, and the calls found are appended
+to the worklist.  Classes never referenced are never loaded — neither
+from the app nor from the framework — which is what keeps both time
+and peak memory low.
+
+The explorer also implements the paper's late-binding rule: string
+constants reaching ``loadClass`` call sites name classes that are
+pulled into the exploration when they are statically discoverable
+(bundled in any dex file of the APK).
+
+:class:`LoadStats` is the source of the deterministic cost model used
+by the performance experiments (Table III, Figures 3 and 4): work is
+counted in instructions analyzed and memory in instructions loaded.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..apk.package import Apk
+from ..framework.repository import FrameworkRepository
+from ..ir.clazz import Clazz
+from ..ir.instructions import Invoke, InvokeKind, NewInstance
+from ..ir.method import Method
+from ..ir.types import ClassName, MethodRef
+from .callgraph import CallGraph, CallSite
+from .hierarchy import HierarchyResolver
+from .reaching import strings_at_invocations
+
+__all__ = ["LoadStats", "ExplorationResult", "ClassLoaderVM",
+           "LOADCLASS_SIGNATURES"]
+
+#: Reflective load entry points whose string argument names a class.
+LOADCLASS_SIGNATURES = frozenset(
+    (
+        ("dalvik.system.DexClassLoader", "loadClass"),
+        ("java.lang.ClassLoader", "loadClass"),
+    )
+)
+
+#: Cost-model constants (documented in DESIGN.md section 2): a loaded
+#: class costs its code size plus a fixed structural overhead, in
+#: abstract "units" convertible to bytes/seconds by the eval layer.
+CLASS_OVERHEAD_UNITS = 48
+INSTRUCTION_UNITS = 1
+
+#: Default bound on framework-internal call depth followed from an API
+#: entry point.  Deep enough to see enforcement sites and dispatchers
+#: several frames in (CID stops at depth 0), bounded so exploration
+#: does not percolate across the entire platform image.
+DEFAULT_FRAMEWORK_DEPTH = 2
+
+
+#: Fraction of a framework class's code that stays resident after the
+#: incremental analysis has summarized it.  The CLVM releases framework
+#: method bodies once their facts (API presence, permission effects,
+#: call edges) are extracted; only class metadata and summaries remain.
+#: Whole-world tools keep full IR for everything (retention 1.0).
+FRAMEWORK_RETENTION = 0.3
+
+
+@dataclass
+class LoadStats:
+    """What the exploration loaded and analyzed."""
+
+    classes_loaded: int = 0
+    app_classes_loaded: int = 0
+    framework_classes_loaded: int = 0
+    instructions_loaded: int = 0
+    framework_instructions_loaded: int = 0
+    methods_analyzed: int = 0
+    instructions_analyzed: int = 0
+    dynamic_classes_resolved: int = 0
+    dynamic_sites_unresolved: int = 0
+    #: True when loaded code is never released (eager / closed-world
+    #: mode); the lazy CLVM keeps only framework summaries resident.
+    retain_framework_bodies: bool = False
+
+    def record_load(self, clazz: Clazz) -> None:
+        self.classes_loaded += 1
+        if clazz.origin == "framework":
+            self.framework_classes_loaded += 1
+            self.framework_instructions_loaded += clazz.instruction_count
+        else:
+            self.app_classes_loaded += 1
+        self.instructions_loaded += clazz.instruction_count
+
+    @property
+    def memory_units(self) -> int:
+        """Peak memory in cost-model units.
+
+        App code stays resident (the mismatch algorithms revisit it);
+        framework bodies are released after summarization unless the
+        run is eager (``retain_framework_bodies``).
+        """
+        resident = self.instructions_loaded
+        if not self.retain_framework_bodies:
+            released = int(
+                self.framework_instructions_loaded
+                * (1.0 - FRAMEWORK_RETENTION)
+            )
+            resident -= released
+        return (
+            self.classes_loaded * CLASS_OVERHEAD_UNITS
+            + resident * INSTRUCTION_UNITS
+        )
+
+    @property
+    def work_units(self) -> int:
+        """Analysis effort in cost-model units."""
+        return (
+            self.instructions_analyzed
+            + self.classes_loaded * CLASS_OVERHEAD_UNITS // 4
+        )
+
+
+@dataclass
+class ExplorationResult:
+    """Output of one CLVM run."""
+
+    callgraph: CallGraph
+    loaded_classes: dict[ClassName, Clazz]
+    stats: LoadStats
+    #: Classes named at loadClass sites but absent from every dex file
+    #: (late-bound code that is not statically analyzable).
+    unresolved_dynamic_classes: tuple[ClassName, ...] = ()
+
+
+class ClassLoaderVM:
+    """Worklist-driven lazy exploration of app + framework code."""
+
+    def __init__(
+        self,
+        apk: Apk,
+        framework: FrameworkRepository,
+        level: int,
+        *,
+        follow_framework: bool = True,
+        include_secondary_dex: bool = True,
+        max_framework_depth: int | None = DEFAULT_FRAMEWORK_DEPTH,
+    ) -> None:
+        """``follow_framework=False`` restricts exploration to app code
+        (framework callees stay terminal nodes) — how first-level tools
+        such as CID behave.  ``max_framework_depth`` bounds how many
+        framework-to-framework call levels are followed (None = all).
+        """
+        self._apk = apk
+        self._framework = framework
+        self._level = level
+        self._follow_framework = follow_framework
+        self._max_framework_depth = max_framework_depth
+        self.stats = LoadStats()
+        self._loaded: dict[ClassName, Clazz] = {}
+        self.resolver = HierarchyResolver(
+            apk,
+            framework,
+            level,
+            include_secondary_dex=include_secondary_dex,
+            loaded_hook=self._on_class_loaded,
+        )
+        # Reverse subtype index over app classes, for virtual dispatch
+        # into app overrides.  Built from declared super/interface
+        # names only — no class loading required.
+        self._app_subtypes: dict[ClassName, list[ClassName]] = {}
+        for clazz in apk.all_classes:
+            queue: list[ClassName] = list(clazz.supertypes)
+            seen: set[ClassName] = set()
+            while queue:
+                walk = queue.pop()
+                if walk in seen:
+                    continue
+                seen.add(walk)
+                self._app_subtypes.setdefault(walk, []).append(clazz.name)
+                parent = apk.lookup(walk)
+                if parent is not None:
+                    queue.extend(parent.supertypes)
+                    continue
+                spec_history = framework.spec.clazz(walk)
+                if spec_history is not None:
+                    if spec_history.super_name is not None:
+                        queue.append(spec_history.super_name)
+                    queue.extend(spec_history.interfaces)
+
+    # -- load accounting ------------------------------------------------
+
+    def _on_class_loaded(self, clazz: Clazz) -> None:
+        if clazz.name not in self._loaded:
+            self._loaded[clazz.name] = clazz
+            self.stats.record_load(clazz)
+
+    # -- exploration (Algorithm 1) ---------------------------------------
+
+    def explore(self, entry_points: tuple[MethodRef, ...]) -> ExplorationResult:
+        """Run the worklist to exhaustion from ``entry_points``."""
+        callgraph = CallGraph()
+        worklist: list[tuple[MethodRef, int]] = []
+        analyzed_classes: set[ClassName] = set()
+        queued: set[MethodRef] = set()
+        unresolved_dynamic: list[ClassName] = []
+
+        for entry in entry_points:
+            callgraph.add_entry_point(entry)
+            worklist.append((entry, 0))
+            queued.add(entry)
+
+        while worklist:
+            method_ref, depth = worklist.pop()
+            clazz = self.resolver.resolve(method_ref.class_name)
+            if clazz is None:
+                continue
+            if clazz.origin == "framework" and not self._follow_framework:
+                if depth > 0:
+                    continue
+            if clazz.name in analyzed_classes:
+                continue
+            analyzed_classes.add(clazz.name)
+
+            # Loading a class makes its whole hierarchy resolvable —
+            # dispatch and override checks need the ancestors present.
+            self.resolver.supertype_chain(clazz.name)
+
+            for method in clazz.methods:
+                self._analyze_method(
+                    method, depth, callgraph, worklist, queued,
+                    unresolved_dynamic,
+                )
+
+        return ExplorationResult(
+            callgraph=callgraph,
+            loaded_classes=dict(self._loaded),
+            stats=self.stats,
+            unresolved_dynamic_classes=tuple(unresolved_dynamic),
+        )
+
+    def _analyze_method(
+        self,
+        method: Method,
+        depth: int,
+        callgraph: CallGraph,
+        worklist: list[tuple[MethodRef, int]],
+        queued: set[MethodRef],
+        unresolved_dynamic: list[ClassName],
+    ) -> None:
+        callgraph.add_method(method)
+        self.stats.methods_analyzed += 1
+        if method.body is not None:
+            self.stats.instructions_analyzed += len(method.body)
+
+        if method.body is None:
+            return
+
+        in_framework = method.ref.is_framework
+        next_depth = depth + 1 if in_framework else depth
+
+        # Dynamic-load resolution needs the reaching-strings analysis;
+        # only pay for it when the method contains a loadClass site.
+        has_dynamic_site = any(
+            (invoke.method.class_name, invoke.method.name)
+            in LOADCLASS_SIGNATURES
+            for invoke in method.invocations
+        )
+        dynamic_targets: dict[int, frozenset[str]] = {}
+        if has_dynamic_site:
+            for invoke, resolved in strings_at_invocations(method):
+                key = (invoke.method.class_name, invoke.method.name)
+                if key in LOADCLASS_SIGNATURES:
+                    names = resolved.get(0, frozenset())
+                    if names:
+                        for class_name in names:
+                            self._enqueue_class(
+                                class_name, depth, worklist, queued,
+                                unresolved_dynamic,
+                            )
+                        self.stats.dynamic_classes_resolved += len(names)
+                    else:
+                        self.stats.dynamic_sites_unresolved += 1
+
+        for instruction in method.body.instructions:
+            if isinstance(instruction, NewInstance):
+                # Allocation loads the class; enqueue its constructor
+                # so its code participates in the exploration.
+                init = MethodRef(instruction.class_name, "<init>", "()void")
+                self._enqueue(init, depth, worklist, queued)
+            if not isinstance(instruction, Invoke):
+                continue
+            callee = instruction.method
+            resolved = self._resolve_dispatch(instruction)
+            callgraph.add_edge(
+                CallSite(
+                    caller=method.ref, callee=callee, resolved=resolved
+                )
+            )
+            target = resolved or callee
+            if target.is_framework:
+                if not self._follow_framework:
+                    continue
+                if (
+                    self._max_framework_depth is not None
+                    and next_depth > self._max_framework_depth
+                ):
+                    continue
+                self._enqueue(target, next_depth, worklist, queued)
+            else:
+                self._enqueue(target, depth, worklist, queued)
+            # Virtual calls may dispatch into app overrides of the
+            # static receiver type (how framework dispatchers reach
+            # app callbacks).
+            if instruction.kind in (InvokeKind.VIRTUAL, InvokeKind.INTERFACE):
+                for subtype in self._app_subtypes.get(callee.class_name, ()):
+                    override = MethodRef(
+                        subtype, callee.name, callee.descriptor
+                    )
+                    subtype_class = self._apk.lookup(subtype)
+                    if (
+                        subtype_class is not None
+                        and subtype_class.declares(override.signature)
+                    ):
+                        callgraph.add_edge(
+                            CallSite(
+                                caller=method.ref,
+                                callee=callee,
+                                resolved=override,
+                            )
+                        )
+                        self._enqueue(override, depth, worklist, queued)
+
+    def _resolve_dispatch(self, instruction: Invoke) -> MethodRef | None:
+        callee = instruction.method
+        if instruction.kind in (InvokeKind.STATIC, InvokeKind.DIRECT):
+            clazz = self.resolver.resolve(callee.class_name)
+            if clazz is not None and clazz.declares(callee.signature):
+                return callee
+            return None
+        declaring = self.resolver.dispatch(callee)
+        if declaring is None:
+            return None
+        return MethodRef(declaring.name, callee.name, callee.descriptor)
+
+    def _enqueue(
+        self,
+        ref: MethodRef,
+        depth: int,
+        worklist: list[tuple[MethodRef, int]],
+        queued: set[MethodRef],
+    ) -> None:
+        if ref not in queued:
+            queued.add(ref)
+            worklist.append((ref, depth))
+
+    def _enqueue_class(
+        self,
+        class_name: ClassName,
+        depth: int,
+        worklist: list[tuple[MethodRef, int]],
+        queued: set[MethodRef],
+        unresolved_dynamic: list[ClassName],
+    ) -> None:
+        clazz = self._apk.lookup(class_name)
+        if clazz is None:
+            # Late-bound code from outside the APK: not statically
+            # analyzable (paper section III-A caveat).
+            if class_name not in unresolved_dynamic:
+                unresolved_dynamic.append(class_name)
+            return
+        for method in clazz.methods:
+            self._enqueue(method.ref, depth, worklist, queued)
+
+    # -- eager mode (ablation / whole-world baselines) -----------------
+
+    def load_everything(self) -> None:
+        """Closed-world load: every app class and the entire framework
+        image.  Used by the eager ablation and to model whole-framework
+        baselines' memory footprint."""
+        self.stats.retain_framework_bodies = True
+        for clazz in self._apk.all_classes:
+            self._on_class_loaded(clazz)
+        for clazz in self._framework.load_image(self._level).values():
+            self._on_class_loaded(clazz)

@@ -1,0 +1,165 @@
+"""Generic forward dataflow framework over CFGs.
+
+Clients describe an analysis as an :class:`Analysis` subclass — initial
+state, join, and a per-instruction transfer function (optionally
+edge-sensitive at branches) — and :func:`solve_forward` runs the
+standard worklist algorithm to a fixpoint in reverse postorder.
+
+Both the reaching-constants analysis and the SDK_INT guard analysis
+are instances; keeping the engine generic means their transfer
+functions stay small and testable.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import Generic, TypeVar
+
+from ..ir.instructions import Instruction
+from .cfg import ControlFlowGraph, EXIT
+
+__all__ = ["Analysis", "BlockStates", "solve_forward"]
+
+State = TypeVar("State")
+
+#: Safety valve: a single method's fixpoint should converge in far
+#: fewer passes than this; hitting it indicates a broken transfer
+#: function (non-monotone join) and raises instead of spinning.
+MAX_ITERATIONS_PER_BLOCK = 64
+
+
+class Analysis(abc.ABC, Generic[State]):
+    """A forward dataflow problem."""
+
+    @abc.abstractmethod
+    def initial_state(self) -> State:
+        """State at the method entry."""
+
+    @abc.abstractmethod
+    def bottom(self) -> State:
+        """State for not-yet-visited blocks (identity of join)."""
+
+    @abc.abstractmethod
+    def join(self, left: State, right: State) -> State:
+        """Merge states at a control-flow confluence."""
+
+    @abc.abstractmethod
+    def transfer(self, state: State, instruction: Instruction) -> State:
+        """State after executing ``instruction`` (non-branching part)."""
+
+    def transfer_edge(
+        self,
+        state: State,
+        instruction: Instruction,
+        taken: bool,
+    ) -> State:
+        """Refine the post-state along a specific out-edge of a branch.
+
+        ``taken`` is True on the branch-target edge and False on the
+        fall-through edge.  The default adds no refinement.
+        """
+        return state
+
+    @abc.abstractmethod
+    def equal(self, left: State, right: State) -> bool:
+        """Fixpoint test."""
+
+
+@dataclass
+class BlockStates(Generic[State]):
+    """Solution of a dataflow run: per-block entry states plus a
+    convenience evaluator replaying the transfer inside one block."""
+
+    analysis: Analysis[State]
+    cfg: ControlFlowGraph
+    entry_states: dict[int, State]
+
+    def state_before(self, block_index: int, offset: int) -> State:
+        """State immediately before ``block.instructions[offset]``."""
+        block = self.cfg.blocks[block_index]
+        state = self.entry_states[block_index]
+        for instruction in block.instructions[:offset]:
+            state = self.analysis.transfer(state, instruction)
+        return state
+
+    def instruction_states(self, block_index: int):
+        """Yield ``(instruction_offset, state_before, instruction)``
+        for every instruction in the block."""
+        block = self.cfg.blocks[block_index]
+        state = self.entry_states[block_index]
+        for offset, instruction in enumerate(block.instructions):
+            yield offset, state, instruction
+            state = self.analysis.transfer(state, instruction)
+
+
+def solve_forward(
+    analysis: Analysis[State], cfg: ControlFlowGraph
+) -> BlockStates[State]:
+    """Run ``analysis`` to fixpoint over ``cfg``."""
+    if not cfg.blocks:
+        return BlockStates(analysis=analysis, cfg=cfg, entry_states={})
+
+    order = cfg.reverse_postorder()
+    position = {block: rank for rank, block in enumerate(order)}
+    entry_states: dict[int, State] = {
+        block.index: analysis.bottom() for block in cfg.blocks
+    }
+    entry_index = cfg.blocks[0].index
+    entry_states[entry_index] = analysis.initial_state()
+    visits: dict[int, int] = {}
+
+    # Worklist keyed by reverse-postorder rank.
+    pending: set[int] = set(order)
+    while pending:
+        block_index = min(pending, key=lambda b: position.get(b, 1 << 30))
+        pending.discard(block_index)
+        visits[block_index] = visits.get(block_index, 0) + 1
+        if visits[block_index] > MAX_ITERATIONS_PER_BLOCK:
+            raise RuntimeError(
+                f"dataflow did not converge in "
+                f"{cfg.method.ref}: block {block_index}"
+            )
+
+        block = cfg.blocks[block_index]
+        state = entry_states[block_index]
+        for instruction in block.instructions[:-1]:
+            state = analysis.transfer(state, instruction)
+
+        last = block.last
+        if last is None:
+            continue
+        base = analysis.transfer(state, last)
+        successors = cfg.successors.get(block_index, ())
+        has_branch = bool(last.branch_targets)
+        for target in successors:
+            if target == EXIT or target < 0:
+                continue
+            if has_branch:
+                # The branch target is the block starting at the label;
+                # every other successor is the fall-through.
+                target_start = cfg.blocks[target].start
+                label_starts = {
+                    cfg.method.body.resolve(lbl)
+                    for lbl in last.branch_targets
+                }
+                taken = target_start in label_starts
+                fall_through_start = block.end
+                # A conditional branching to the lexically-next block
+                # makes both edges land on the same block: join both
+                # refinements for soundness.
+                if taken and target_start == fall_through_start:
+                    out = analysis.join(
+                        analysis.transfer_edge(base, last, True),
+                        analysis.transfer_edge(base, last, False),
+                    )
+                else:
+                    out = analysis.transfer_edge(base, last, taken)
+            else:
+                out = base
+            merged = analysis.join(entry_states[target], out)
+            if not analysis.equal(merged, entry_states[target]):
+                entry_states[target] = merged
+                pending.add(target)
+
+    return BlockStates(analysis=analysis, cfg=cfg, entry_states=entry_states)

@@ -1,0 +1,145 @@
+"""Class-hierarchy resolution across the app/framework boundary.
+
+The resolver answers hierarchy questions ("what does this app class
+extend, transitively, into the framework?", "which framework callback
+does this app method override?") while *loading lazily*: framework
+ancestors are materialized one class at a time through the repository,
+never as a whole image.  It is shared by the CLVM, the call-graph
+builder, and the callback mismatch detector.
+"""
+
+from __future__ import annotations
+
+from ..apk.package import Apk
+from ..framework.repository import FrameworkRepository
+from ..ir.clazz import Clazz
+from ..ir.types import ClassName, MethodRef
+
+__all__ = ["HierarchyResolver"]
+
+
+class HierarchyResolver:
+    """Resolve classes and hierarchy walks for one (app, device level)."""
+
+    def __init__(
+        self,
+        apk: Apk,
+        framework: FrameworkRepository,
+        level: int,
+        *,
+        include_secondary_dex: bool = True,
+        loaded_hook=None,
+    ) -> None:
+        self._apk = apk
+        self._framework = framework
+        self._level = level
+        self._include_secondary = include_secondary_dex
+        self._cache: dict[ClassName, Clazz | None] = {}
+        #: Optional callback fired the first time a class is resolved;
+        #: the CLVM uses it to account for load costs.
+        self._loaded_hook = loaded_hook
+
+    @property
+    def level(self) -> int:
+        return self._level
+
+    def resolve(self, name: ClassName) -> Clazz | None:
+        """Find ``name`` in the app dex files or the framework image."""
+        if name in self._cache:
+            return self._cache[name]
+        clazz: Clazz | None
+        if self._include_secondary:
+            clazz = self._apk.lookup(name)
+        else:
+            clazz = self._apk.lookup_primary(name)
+        if clazz is None:
+            clazz = self._framework.load_class(name, self._level)
+        self._cache[name] = clazz
+        if clazz is not None and self._loaded_hook is not None:
+            self._loaded_hook(clazz)
+        return clazz
+
+    # -- hierarchy walks ------------------------------------------------
+
+    def supertype_chain(self, name: ClassName) -> tuple[Clazz, ...]:
+        """All resolvable ancestors of ``name``, nearest first.
+
+        The walk follows super classes only (interfaces are handled by
+        :meth:`all_supertypes`); it stops at unresolvable names and
+        guards against cycles in malformed input.
+        """
+        chain: list[Clazz] = []
+        seen: set[ClassName] = {name}
+        current = self.resolve(name)
+        while current is not None and current.super_name is not None:
+            if current.super_name in seen:
+                break
+            seen.add(current.super_name)
+            parent = self.resolve(current.super_name)
+            if parent is None:
+                break
+            chain.append(parent)
+            current = parent
+        return tuple(chain)
+
+    def all_supertypes(self, name: ClassName) -> tuple[Clazz, ...]:
+        """Ancestors including interfaces, breadth-first, deduplicated."""
+        out: list[Clazz] = []
+        seen: set[ClassName] = {name}
+        queue: list[ClassName] = []
+        first = self.resolve(name)
+        if first is not None:
+            queue.extend(first.supertypes)
+        while queue:
+            super_name = queue.pop(0)
+            if super_name in seen:
+                continue
+            seen.add(super_name)
+            clazz = self.resolve(super_name)
+            if clazz is None:
+                continue
+            out.append(clazz)
+            queue.extend(clazz.supertypes)
+        return tuple(out)
+
+    def framework_ancestors(self, name: ClassName) -> tuple[Clazz, ...]:
+        """The subset of :meth:`all_supertypes` owned by the framework."""
+        return tuple(
+            clazz for clazz in self.all_supertypes(name)
+            if clazz.origin == "framework"
+        )
+
+    def extends_framework(self, name: ClassName) -> bool:
+        return bool(self.framework_ancestors(name))
+
+    # -- dispatch -----------------------------------------------------
+
+    def dispatch(self, ref: MethodRef) -> Clazz | None:
+        """The class whose declaration a virtual call to ``ref``
+        resolves against: the receiver class or its nearest ancestor
+        declaring the signature."""
+        clazz = self.resolve(ref.class_name)
+        if clazz is None:
+            return None
+        if clazz.declares(ref.signature):
+            return clazz
+        for ancestor in self.all_supertypes(ref.class_name):
+            if ancestor.declares(ref.signature):
+                return ancestor
+        return None
+
+    def overridden_framework_method(
+        self, app_class: ClassName, signature: str
+    ) -> Clazz | None:
+        """The nearest framework ancestor declaring ``signature``, i.e.
+        the callback an app method with that signature overrides —
+        or ``None`` when the method overrides nothing framework-owned.
+
+        Intervening app-class declarations do not end the search: if
+        ``B extends A extends android.app.Activity`` and both ``A`` and
+        ``B`` override ``onCreate``, both override the framework
+        callback."""
+        for ancestor in self.all_supertypes(app_class):
+            if ancestor.origin == "framework" and ancestor.declares(signature):
+                return ancestor
+        return None

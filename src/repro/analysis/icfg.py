@@ -1,0 +1,131 @@
+"""Inter-procedural control-flow graph (ICFG).
+
+Stitches the per-method CFGs of an exploration together with call and
+return edges.  Nodes are ``(method, block)`` pairs; call edges connect
+a call-site block to the callee's entry block, return edges connect
+callee exit blocks back to the site's fall-through block.
+
+Inter-process communication is *not* stitched: per the paper
+(section III-A), intents are separate invocations, each message
+handler being its own entry point — so exported components simply
+contribute additional roots rather than edges.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..ir.instructions import Invoke
+from ..ir.method import Method
+from ..ir.types import MethodRef
+from .callgraph import CallGraph
+from .cfg import ControlFlowGraph, build_cfg
+
+__all__ = ["IcfgNode", "Icfg", "build_icfg"]
+
+
+@dataclass(frozen=True, slots=True)
+class IcfgNode:
+    method: MethodRef
+    block: int
+
+
+@dataclass
+class Icfg:
+    """Node/edge view over an explored call graph."""
+
+    cfgs: dict[MethodRef, ControlFlowGraph]
+    edges: dict[IcfgNode, tuple[IcfgNode, ...]]
+    roots: tuple[IcfgNode, ...]
+
+    @property
+    def node_count(self) -> int:
+        return sum(len(cfg.blocks) for cfg in self.cfgs.values())
+
+    @property
+    def edge_count(self) -> int:
+        return sum(len(targets) for targets in self.edges.values())
+
+    def successors(self, node: IcfgNode) -> tuple[IcfgNode, ...]:
+        return self.edges.get(node, ())
+
+    def reachable_nodes(self) -> frozenset[IcfgNode]:
+        seen: set[IcfgNode] = set(self.roots)
+        stack = list(self.roots)
+        while stack:
+            node = stack.pop()
+            for successor in self.edges.get(node, ()):
+                if successor not in seen:
+                    seen.add(successor)
+                    stack.append(successor)
+        return frozenset(seen)
+
+
+def build_icfg(callgraph: CallGraph) -> Icfg:
+    """Construct the ICFG for every method in an explored call graph."""
+    cfgs: dict[MethodRef, ControlFlowGraph] = {}
+    for ref, method in callgraph.methods.items():
+        cfgs[ref] = build_cfg(method)
+
+    edges: dict[IcfgNode, list[IcfgNode]] = {}
+
+    def add_edge(source: IcfgNode, target: IcfgNode) -> None:
+        edges.setdefault(source, []).append(target)
+
+    # Intra-procedural edges.
+    for ref, cfg in cfgs.items():
+        for block_index, targets in cfg.successors.items():
+            for target in targets:
+                if target >= 0:
+                    add_edge(
+                        IcfgNode(ref, block_index), IcfgNode(ref, target)
+                    )
+
+    # Call and return edges: resolve each invoke instruction to its
+    # block, then wire to the callee entry and from callee exits.
+    for ref, cfg in cfgs.items():
+        sites = {
+            (site.callee, site.resolved)
+            for site in callgraph.callees(ref)
+        }
+        if not sites:
+            continue
+        resolved_by_callee: dict[MethodRef, list[MethodRef]] = {}
+        for callee, resolved in sites:
+            if resolved is not None and resolved in cfgs:
+                resolved_by_callee.setdefault(callee, []).append(resolved)
+        for block in cfg.blocks:
+            for instruction in block.instructions:
+                if not isinstance(instruction, Invoke):
+                    continue
+                for target_ref in resolved_by_callee.get(
+                    instruction.method, ()
+                ):
+                    target_cfg = cfgs[target_ref]
+                    if not target_cfg.blocks:
+                        continue
+                    entry = target_cfg.entry_block
+                    add_edge(
+                        IcfgNode(ref, block.index),
+                        IcfgNode(target_ref, entry.index),
+                    )
+                    # Return edges from callee blocks that exit.
+                    for callee_block, callee_targets in (
+                        target_cfg.successors.items()
+                    ):
+                        if any(t < 0 for t in callee_targets):
+                            add_edge(
+                                IcfgNode(target_ref, callee_block),
+                                IcfgNode(ref, block.index),
+                            )
+
+    roots = tuple(
+        IcfgNode(entry, cfgs[entry].entry_block.index)
+        for entry in callgraph.entry_points
+        if entry in cfgs and cfgs[entry].blocks
+    )
+    return Icfg(
+        cfgs=cfgs,
+        edges={key: tuple(value) for key, value in edges.items()},
+        roots=roots,
+    )

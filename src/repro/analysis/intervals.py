@@ -1,0 +1,133 @@
+"""API-level interval domain.
+
+The abstract values of the guard analysis: closed integer intervals
+over device API levels, with a distinguished empty interval for
+unreachable configurations.  ``refine`` implements the effect of a
+``SDK_INT <op> c`` comparison along the taken/fall-through edge, the
+operation at the heart of Algorithm 2's ``GET_GUARD``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..apk.manifest import MAX_API_LEVEL, MIN_API_LEVEL
+from ..ir.instructions import CmpOp
+
+__all__ = ["ApiInterval", "FULL_RANGE", "EMPTY"]
+
+
+@dataclass(frozen=True, slots=True)
+class ApiInterval:
+    """Closed interval ``[lo, hi]``; ``lo > hi`` encodes the empty set."""
+
+    lo: int
+    hi: int
+
+    # -- constructors -------------------------------------------------
+
+    @staticmethod
+    def full() -> "ApiInterval":
+        return FULL_RANGE
+
+    @staticmethod
+    def of(lo: int, hi: int) -> "ApiInterval":
+        return ApiInterval(lo, hi)
+
+    @staticmethod
+    def at_least(level: int) -> "ApiInterval":
+        return ApiInterval(level, MAX_API_LEVEL)
+
+    @staticmethod
+    def at_most(level: int) -> "ApiInterval":
+        return ApiInterval(MIN_API_LEVEL, level)
+
+    @staticmethod
+    def single(level: int) -> "ApiInterval":
+        return ApiInterval(level, level)
+
+    @staticmethod
+    def empty() -> "ApiInterval":
+        return EMPTY
+
+    # -- predicates ----------------------------------------------------
+
+    @property
+    def is_empty(self) -> bool:
+        return self.lo > self.hi
+
+    def __contains__(self, level: int) -> bool:
+        return self.lo <= level <= self.hi
+
+    def __iter__(self):
+        return iter(range(self.lo, self.hi + 1))
+
+    def __len__(self) -> int:
+        return 0 if self.is_empty else self.hi - self.lo + 1
+
+    def covers(self, other: "ApiInterval") -> bool:
+        if other.is_empty:
+            return True
+        return self.lo <= other.lo and other.hi <= self.hi
+
+    def overlaps(self, other: "ApiInterval") -> bool:
+        return not self.meet(other).is_empty
+
+    # -- lattice operations ---------------------------------------------
+
+    def meet(self, other: "ApiInterval") -> "ApiInterval":
+        """Intersection."""
+        lo = max(self.lo, other.lo)
+        hi = min(self.hi, other.hi)
+        return EMPTY if lo > hi else ApiInterval(lo, hi)
+
+    def join(self, other: "ApiInterval") -> "ApiInterval":
+        """Convex hull (the sound over-approximation of union)."""
+        if self.is_empty:
+            return other
+        if other.is_empty:
+            return self
+        return ApiInterval(min(self.lo, other.lo), max(self.hi, other.hi))
+
+    # -- guard refinement -------------------------------------------------
+
+    def refine(self, op: CmpOp, constant: int) -> "ApiInterval":
+        """Constrain by ``SDK_INT <op> constant``.
+
+        ``NE`` punches a hole an interval cannot represent, so it
+        over-approximates to ``self`` unless the constant sits at an
+        endpoint (then the endpoint is shaved off) — a sound choice.
+        """
+        if self.is_empty:
+            return self
+        if op is CmpOp.LT:
+            return self.meet(ApiInterval.at_most(constant - 1))
+        if op is CmpOp.LE:
+            return self.meet(ApiInterval.at_most(constant))
+        if op is CmpOp.GT:
+            return self.meet(ApiInterval.at_least(constant + 1))
+        if op is CmpOp.GE:
+            return self.meet(ApiInterval.at_least(constant))
+        if op is CmpOp.EQ:
+            return self.meet(ApiInterval.single(constant))
+        if op is CmpOp.NE:
+            if constant == self.lo == self.hi:
+                return EMPTY
+            if constant == self.lo:
+                return ApiInterval(self.lo + 1, self.hi)
+            if constant == self.hi:
+                return ApiInterval(self.lo, self.hi - 1)
+            return self
+        raise ValueError(f"unknown comparison {op!r}")
+
+    def __str__(self) -> str:  # pragma: no cover - repr convenience
+        if self.is_empty:
+            return "[]"
+        return f"[{self.lo}, {self.hi}]"
+
+
+#: The full modeled device-level range.
+FULL_RANGE = ApiInterval(MIN_API_LEVEL, MAX_API_LEVEL)
+
+#: The canonical empty interval.
+EMPTY = ApiInterval(MAX_API_LEVEL + 1, MIN_API_LEVEL - 1)

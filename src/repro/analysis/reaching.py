@@ -1,0 +1,147 @@
+"""Reaching string-constant analysis.
+
+Tracks, per register, the set of string constants that may reach each
+program point.  Two detector features consume it:
+
+* resolving class names flowing into ``DexClassLoader.loadClass`` and
+  ``ClassLoader.loadClass`` — the statically-discoverable late-binding
+  targets the AUM pulls into the analysis (paper section III-A);
+* rediscovering permission strings at framework enforcement sites when
+  ARM mines framework *images* instead of trusting the spec.
+
+A register not present in the state is *unresolved*: some non-constant
+value may flow there.  Call sites whose operand is unresolved are
+reported as such, mirroring the paper's caveat that late-bound code
+"may not always be statically analyzable".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..ir.instructions import (
+    BinOp,
+    ConstInt,
+    ConstNull,
+    ConstString,
+    FieldGet,
+    Instruction,
+    Invoke,
+    Move,
+    MoveResult,
+    NewInstance,
+    SdkIntLoad,
+)
+from ..ir.method import Method
+from .cfg import build_cfg
+from .dataflow import Analysis, BlockStates, solve_forward
+
+__all__ = [
+    "StringState",
+    "StringConstantAnalysis",
+    "analyze_string_constants",
+    "strings_at_invocations",
+]
+
+#: State: register → frozenset of strings possibly held; missing
+#: register = unresolved.
+StringState = tuple[tuple[int, frozenset[str]], ...]
+
+
+def _lookup(state: StringState, register: int) -> frozenset[str] | None:
+    for number, values in state:
+        if number == register:
+            return values
+    return None
+
+
+def _store(
+    state: StringState, register: int, values: frozenset[str] | None
+) -> StringState:
+    table = dict(state)
+    if values is None:
+        table.pop(register, None)
+    else:
+        table[register] = values
+    return tuple(sorted(table.items()))
+
+
+class StringConstantAnalysis(Analysis[StringState | None]):
+    """Forward may-analysis over string-held registers."""
+
+    def initial_state(self) -> StringState:
+        return ()
+
+    def bottom(self) -> None:
+        return None
+
+    def join(
+        self, left: StringState | None, right: StringState | None
+    ) -> StringState | None:
+        if left is None:
+            return right
+        if right is None:
+            return left
+        left_table = dict(left)
+        right_table = dict(right)
+        merged: dict[int, frozenset[str]] = {}
+        for register in left_table.keys() & right_table.keys():
+            merged[register] = left_table[register] | right_table[register]
+        return tuple(sorted(merged.items()))
+
+    def equal(
+        self, left: StringState | None, right: StringState | None
+    ) -> bool:
+        return left == right
+
+    def transfer(
+        self, state: StringState | None, instruction: Instruction
+    ) -> StringState | None:
+        if state is None:
+            return None
+        if isinstance(instruction, ConstString):
+            return _store(
+                state, instruction.dest, frozenset((instruction.value,))
+            )
+        if isinstance(instruction, Move):
+            return _store(
+                state, instruction.dest, _lookup(state, instruction.src)
+            )
+        if isinstance(
+            instruction,
+            (ConstInt, ConstNull, SdkIntLoad, MoveResult,
+             NewInstance, FieldGet),
+        ):
+            return _store(state, instruction.dest, None)
+        if isinstance(instruction, BinOp):
+            return _store(state, instruction.dest, None)
+        return state
+
+
+def analyze_string_constants(
+    method: Method,
+) -> BlockStates[StringState | None]:
+    cfg = build_cfg(method)
+    return solve_forward(StringConstantAnalysis(), cfg)
+
+
+def strings_at_invocations(method: Method):
+    """Yield ``(invoke, arg_index → possible strings)`` per call site.
+
+    The mapping covers only arguments that *are* resolved string
+    constants; unresolved arguments are absent.
+    """
+    states = analyze_string_constants(method)
+    for block in states.cfg.blocks:
+        if states.entry_states.get(block.index) is None:
+            continue
+        for _, state, instruction in states.instruction_states(block.index):
+            if state is None:
+                break
+            if isinstance(instruction, Invoke):
+                resolved: dict[int, frozenset[str]] = {}
+                for position, register in enumerate(instruction.args):
+                    values = _lookup(state, register)
+                    if values:
+                        resolved[position] = values
+                yield instruction, resolved

@@ -1,0 +1,176 @@
+"""Version-predicate summaries for guard helper methods.
+
+Real apps rarely inline every ``Build.VERSION.SDK_INT`` comparison;
+they wrap them in helpers::
+
+    static boolean isAtLeastM() { return Build.VERSION.SDK_INT >= 23; }
+    ...
+    if (VersionUtils.isAtLeastM()) { context.getColorStateList(...); }
+
+A context-sensitive analysis must understand that branching on the
+helper's return value *is* an SDK guard.  This module computes, for a
+candidate helper method, the exact set of device levels at which it
+returns true — by abstractly executing its body once per level (the
+body must be self-contained: no calls, no heap, only SDK_INT,
+constants, moves, arithmetic, and branches).  The guard analysis then
+treats ``if (helper())`` edges as interval refinements.
+
+Tools without inter-procedural reasoning (Lint's NewApi, CID's
+backward intra-method slicing) do not see through helpers — one more
+mechanism behind the paper's false-alarm gap.
+"""
+
+from __future__ import annotations
+
+from ..apk.manifest import MAX_API_LEVEL, MIN_API_LEVEL
+from ..ir.instructions import (
+    BinOp,
+    ConstInt,
+    Goto,
+    IfCmp,
+    IfCmpZero,
+    Move,
+    Nop,
+    Return,
+    ReturnVoid,
+    SdkIntLoad,
+    FieldGet,
+)
+from ..ir.method import Method
+from ..ir.types import SDK_INT_FIELD
+
+__all__ = ["summarize_version_helper", "collect_version_helpers"]
+
+#: Helpers are tiny by nature; anything longer is not summarized.
+MAX_HELPER_INSTRUCTIONS = 24
+#: Step budget per concrete evaluation (helpers must be loop-free in
+#: effect; the budget catches accidental loops).
+MAX_EVAL_STEPS = 200
+
+_SUPPORTED = (
+    ConstInt, SdkIntLoad, FieldGet, Move, BinOp, IfCmp, IfCmpZero,
+    Goto, Return, ReturnVoid, Nop,
+)
+
+
+def _evaluate(method: Method, sdk_level: int) -> int | None:
+    """Concretely run a candidate helper at ``sdk_level``.
+
+    Returns the integer it returns (booleans as 0/1), or ``None`` when
+    the body uses anything outside the supported fragment.
+    """
+    body = method.body
+    registers: dict[int, int] = {}
+    pc = 0
+    steps = 0
+    while 0 <= pc < len(body.instructions):
+        steps += 1
+        if steps > MAX_EVAL_STEPS:
+            return None
+        instruction = body.instructions[pc]
+        if not isinstance(instruction, _SUPPORTED):
+            return None
+        if isinstance(instruction, ConstInt):
+            registers[instruction.dest] = instruction.value
+        elif isinstance(instruction, SdkIntLoad):
+            registers[instruction.dest] = sdk_level
+        elif isinstance(instruction, FieldGet):
+            if instruction.fieldref != SDK_INT_FIELD:
+                return None
+            registers[instruction.dest] = sdk_level
+        elif isinstance(instruction, Move):
+            if instruction.src not in registers:
+                return None
+            registers[instruction.dest] = registers[instruction.src]
+        elif isinstance(instruction, BinOp):
+            lhs = registers.get(instruction.lhs)
+            rhs = registers.get(instruction.rhs)
+            if lhs is None or rhs is None:
+                return None
+            if instruction.op == "+":
+                registers[instruction.dest] = lhs + rhs
+            elif instruction.op == "-":
+                registers[instruction.dest] = lhs - rhs
+            elif instruction.op == "*":
+                registers[instruction.dest] = lhs * rhs
+            else:
+                return None
+        elif isinstance(instruction, IfCmp):
+            lhs = registers.get(instruction.lhs)
+            rhs = registers.get(instruction.rhs)
+            if lhs is None or rhs is None:
+                return None
+            if instruction.op.evaluate(lhs, rhs):
+                pc = body.resolve(instruction.target)
+                continue
+        elif isinstance(instruction, IfCmpZero):
+            lhs = registers.get(instruction.lhs)
+            if lhs is None:
+                return None
+            if instruction.op.evaluate(lhs, 0):
+                pc = body.resolve(instruction.target)
+                continue
+        elif isinstance(instruction, Goto):
+            pc = body.resolve(instruction.target)
+            continue
+        elif isinstance(instruction, Return):
+            return registers.get(instruction.src)
+        elif isinstance(instruction, ReturnVoid):
+            return None
+        pc += 1
+    return None
+
+
+def summarize_version_helper(method: Method) -> frozenset[int] | None:
+    """The device levels at which ``method`` returns non-zero.
+
+    ``None`` when the method is not a summarizable version predicate:
+    it must return a value, be short, reference ``SDK_INT``, and use
+    only the self-contained instruction fragment.
+    """
+    body = method.body
+    if body is None or not body.instructions:
+        return None
+    if len(body.instructions) > MAX_HELPER_INSTRUCTIONS:
+        return None
+    reads_sdk = any(
+        isinstance(i, SdkIntLoad)
+        or (isinstance(i, FieldGet) and i.fieldref == SDK_INT_FIELD)
+        for i in body.instructions
+    )
+    if not reads_sdk:
+        return None
+    if not any(isinstance(i, Return) for i in body.instructions):
+        return None
+
+    true_levels: set[int] = set()
+    for level in range(MIN_API_LEVEL, MAX_API_LEVEL + 1):
+        value = _evaluate(method, level)
+        if value is None:
+            return None
+        if value != 0:
+            true_levels.add(level)
+    if not true_levels or len(true_levels) == (
+        MAX_API_LEVEL - MIN_API_LEVEL + 1
+    ):
+        return None  # constant predicates carry no guard information
+    return frozenset(true_levels)
+
+
+def collect_version_helpers(methods) -> dict[str, frozenset[int]]:
+    """Summarize every candidate in ``methods``.
+
+    Returns a map from ``class.name(descriptor)``-style call key —
+    ``(class_name, name, descriptor)`` tuples — to true-level sets.
+    """
+    summaries: dict[tuple, frozenset[int]] = {}
+    for method in methods:
+        if method.ref.return_type not in ("boolean", "int"):
+            continue
+        levels = summarize_version_helper(method)
+        if levels is not None:
+            summaries[
+                (method.ref.class_name, method.ref.name,
+                 method.ref.descriptor)
+            ] = levels
+    return summaries

@@ -1,0 +1,39 @@
+"""Application package substrate (APK analogue)."""
+
+from .manifest import (
+    Component,
+    ComponentKind,
+    Manifest,
+    MAX_API_LEVEL,
+    MIN_API_LEVEL,
+    RUNTIME_PERMISSIONS_LEVEL,
+)
+from .dexfile import DexFile
+from .package import Apk
+from .serialization import (
+    SerializationError,
+    apk_from_dict,
+    apk_to_dict,
+    dumps,
+    load_apk,
+    loads,
+    save_apk,
+)
+
+__all__ = [
+    "Apk",
+    "Component",
+    "ComponentKind",
+    "DexFile",
+    "MAX_API_LEVEL",
+    "MIN_API_LEVEL",
+    "Manifest",
+    "RUNTIME_PERMISSIONS_LEVEL",
+    "SerializationError",
+    "apk_from_dict",
+    "apk_to_dict",
+    "dumps",
+    "load_apk",
+    "loads",
+    "save_apk",
+]

@@ -1,0 +1,66 @@
+"""Dex file model: a named collection of classes.
+
+An APK carries a primary ``classes.dex`` loaded at install time plus
+optional secondary dex files that are only bound at run time (late
+binding, paper section III-A).  SAINTDroid conservatively analyzes
+both; tools that only consider install-time code miss the secondary
+files.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..ir.clazz import Clazz
+from ..ir.types import ClassName
+from ..ir.validate import validate_class
+
+__all__ = ["DexFile"]
+
+
+@dataclass(frozen=True)
+class DexFile:
+    """A single dex file: a name and its class definitions."""
+
+    name: str
+    classes: tuple[Clazz, ...] = ()
+    #: True for dex files loaded only through DexClassLoader at runtime.
+    secondary: bool = False
+
+    _by_name: dict[ClassName, Clazz] = field(
+        default_factory=dict, init=False, repr=False, compare=False
+    )
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("dex file requires a name")
+        table: dict[ClassName, Clazz] = {}
+        for clazz in self.classes:
+            if clazz.name in table:
+                raise ValueError(
+                    f"{self.name}: duplicate class {clazz.name}"
+                )
+            validate_class(clazz)
+            table[clazz.name] = clazz
+        object.__setattr__(self, "_by_name", table)
+
+    def __len__(self) -> int:
+        return len(self.classes)
+
+    def __contains__(self, class_name: ClassName) -> bool:
+        return class_name in self._by_name
+
+    def lookup(self, class_name: ClassName) -> Clazz | None:
+        return self._by_name.get(class_name)
+
+    @property
+    def class_names(self) -> tuple[ClassName, ...]:
+        return tuple(c.name for c in self.classes)
+
+    @property
+    def method_count(self) -> int:
+        return sum(c.method_count for c in self.classes)
+
+    @property
+    def instruction_count(self) -> int:
+        return sum(c.instruction_count for c in self.classes)

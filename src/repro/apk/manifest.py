@@ -1,0 +1,115 @@
+"""Android manifest model.
+
+Carries exactly the attributes SAINTDroid's detectors read: the SDK
+version triple (``minSdkVersion`` / ``targetSdkVersion`` /
+``maxSdkVersion``), requested permissions, and declared components
+(the analysis entry points).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from ..ir.types import ClassName
+
+__all__ = ["ComponentKind", "Component", "Manifest"]
+
+#: Lowest API level modeled by the framework repository (paper: "API
+#: levels 2 through 28/29").
+MIN_API_LEVEL = 2
+#: Highest API level modeled (paper section VII: SAINTDroid supports up
+#: to API level 29).
+MAX_API_LEVEL = 29
+
+#: API level that introduced the runtime permission system.
+RUNTIME_PERMISSIONS_LEVEL = 23
+
+
+class ComponentKind(enum.Enum):
+    """The four Android component kinds plus application subclasses."""
+
+    ACTIVITY = "activity"
+    SERVICE = "service"
+    RECEIVER = "receiver"
+    PROVIDER = "provider"
+    APPLICATION = "application"
+
+
+@dataclass(frozen=True, slots=True)
+class Component:
+    """A declared component: the class implementing it and its kind.
+
+    ``exported`` components are reachable through inter-process
+    communication (intents); each one is a separate analysis entry
+    point, per paper section III-A.
+    """
+
+    class_name: ClassName
+    kind: ComponentKind
+    exported: bool = False
+    intent_actions: tuple[str, ...] = ()
+
+
+@dataclass(frozen=True)
+class Manifest:
+    """The subset of AndroidManifest.xml the analyses consume."""
+
+    package: str
+    min_sdk: int
+    target_sdk: int
+    max_sdk: int | None = None
+    permissions: tuple[str, ...] = ()
+    components: tuple[Component, ...] = ()
+    version_code: int = 1
+    #: Whether the app's source tree builds with current toolchains;
+    #: Lint requires a successful build (paper section IV-A excludes 8
+    #: of 27 benchmark apps on this ground).
+    buildable: bool = True
+
+    def __post_init__(self) -> None:
+        if not self.package:
+            raise ValueError("manifest requires a package name")
+        if not MIN_API_LEVEL <= self.min_sdk <= MAX_API_LEVEL:
+            raise ValueError(
+                f"minSdkVersion {self.min_sdk} outside "
+                f"[{MIN_API_LEVEL}, {MAX_API_LEVEL}]"
+            )
+        if self.target_sdk < self.min_sdk:
+            raise ValueError(
+                f"targetSdkVersion {self.target_sdk} below "
+                f"minSdkVersion {self.min_sdk}"
+            )
+        if self.max_sdk is not None and self.max_sdk < self.target_sdk:
+            raise ValueError(
+                f"maxSdkVersion {self.max_sdk} below "
+                f"targetSdkVersion {self.target_sdk}"
+            )
+
+    @property
+    def effective_max_sdk(self) -> int:
+        """The highest device level the app claims to support.
+
+        When ``maxSdkVersion`` is absent (the common case) the app is
+        presumed installable on every released level, so the supported
+        range extends to the newest modeled level.
+        """
+        return self.max_sdk if self.max_sdk is not None else MAX_API_LEVEL
+
+    @property
+    def supported_range(self) -> tuple[int, int]:
+        """``[minSdk, effective maxSdk]`` — the device levels Algorithm
+        2 iterates over."""
+        return (self.min_sdk, self.effective_max_sdk)
+
+    @property
+    def uses_runtime_permissions_model(self) -> bool:
+        """True when the app targets the post-23 permission system."""
+        return self.target_sdk >= RUNTIME_PERMISSIONS_LEVEL
+
+    def requests(self, permission: str) -> bool:
+        return permission in self.permissions
+
+    def entry_components(self) -> tuple[Component, ...]:
+        """Components in declaration order; analysis entry points."""
+        return self.components

@@ -1,0 +1,345 @@
+"""JSON (de)serialization of application packages.
+
+``.sapk`` ("synthetic APK") files are the interchange format of this
+reproduction, standing in for real APKs.  The format is a stable,
+human-inspectable JSON document; every construct round-trips exactly
+(property-tested in ``tests/apk/test_serialization.py``).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any
+
+from ..ir.clazz import Clazz
+from ..ir.instructions import (
+    BinOp,
+    CmpOp,
+    ConstInt,
+    ConstNull,
+    ConstString,
+    FieldGet,
+    FieldPut,
+    Goto,
+    IfCmp,
+    IfCmpZero,
+    Instruction,
+    Invoke,
+    InvokeKind,
+    Move,
+    MoveResult,
+    NewInstance,
+    Nop,
+    Return,
+    ReturnVoid,
+    SdkIntLoad,
+    Throw,
+)
+from ..ir.method import Method, MethodBody, MethodFlags
+from ..ir.types import FieldRef, MethodRef
+from .dexfile import DexFile
+from .manifest import Component, ComponentKind, Manifest
+from .package import Apk
+
+__all__ = [
+    "FORMAT_VERSION",
+    "SerializationError",
+    "apk_to_dict",
+    "apk_from_dict",
+    "dumps",
+    "loads",
+    "save_apk",
+    "load_apk",
+]
+
+FORMAT_VERSION = 1
+
+
+class SerializationError(ValueError):
+    """Raised when a document cannot be decoded into an APK."""
+
+
+# ---------------------------------------------------------------------------
+# instruction codec
+# ---------------------------------------------------------------------------
+
+def _method_ref_to_list(ref: MethodRef) -> list[str]:
+    return [ref.class_name, ref.name, ref.descriptor]
+
+
+def _method_ref_from_list(data: list[str]) -> MethodRef:
+    return MethodRef(data[0], data[1], data[2])
+
+
+def _field_ref_to_list(ref: FieldRef) -> list[str]:
+    return [ref.class_name, ref.name, ref.type_name]
+
+
+def _field_ref_from_list(data: list[str]) -> FieldRef:
+    return FieldRef(data[0], data[1], data[2])
+
+
+def _instr_to_list(instr: Instruction) -> list[Any]:
+    """Encode one instruction as ``[opcode, operands…]``."""
+    if isinstance(instr, ConstInt):
+        return ["ci", instr.dest, instr.value]
+    if isinstance(instr, ConstString):
+        return ["cs", instr.dest, instr.value]
+    if isinstance(instr, ConstNull):
+        return ["cn", instr.dest]
+    if isinstance(instr, SdkIntLoad):
+        return ["sdk", instr.dest]
+    if isinstance(instr, Move):
+        return ["mv", instr.dest, instr.src]
+    if isinstance(instr, BinOp):
+        return ["bin", instr.dest, instr.op, instr.lhs, instr.rhs]
+    if isinstance(instr, IfCmp):
+        return ["if", instr.op.value, instr.lhs, instr.rhs, instr.target]
+    if isinstance(instr, IfCmpZero):
+        return ["ifz", instr.op.value, instr.lhs, instr.target]
+    if isinstance(instr, Goto):
+        return ["go", instr.target]
+    if isinstance(instr, Invoke):
+        return [
+            "inv",
+            instr.kind.value,
+            _method_ref_to_list(instr.method),
+            list(instr.args),
+        ]
+    if isinstance(instr, MoveResult):
+        return ["mr", instr.dest]
+    if isinstance(instr, NewInstance):
+        return ["new", instr.dest, instr.class_name]
+    if isinstance(instr, FieldGet):
+        return ["fg", instr.dest, _field_ref_to_list(instr.fieldref)]
+    if isinstance(instr, FieldPut):
+        return ["fp", instr.src, _field_ref_to_list(instr.fieldref)]
+    if isinstance(instr, ReturnVoid):
+        return ["rv"]
+    if isinstance(instr, Return):
+        return ["ret", instr.src]
+    if isinstance(instr, Throw):
+        return ["thr", instr.src]
+    if isinstance(instr, Nop):
+        return ["nop"]
+    raise SerializationError(f"unknown instruction type {type(instr)!r}")
+
+
+def _instr_from_list(data: list[Any]) -> Instruction:
+    try:
+        op = data[0]
+        if op == "ci":
+            return ConstInt(data[1], data[2])
+        if op == "cs":
+            return ConstString(data[1], data[2])
+        if op == "cn":
+            return ConstNull(data[1])
+        if op == "sdk":
+            return SdkIntLoad(data[1])
+        if op == "mv":
+            return Move(data[1], data[2])
+        if op == "bin":
+            return BinOp(data[1], data[2], data[3], data[4])
+        if op == "if":
+            return IfCmp(CmpOp(data[1]), data[2], data[3], data[4])
+        if op == "ifz":
+            return IfCmpZero(CmpOp(data[1]), data[2], data[3])
+        if op == "go":
+            return Goto(data[1])
+        if op == "inv":
+            return Invoke(
+                InvokeKind(data[1]),
+                _method_ref_from_list(data[2]),
+                tuple(data[3]),
+            )
+        if op == "mr":
+            return MoveResult(data[1])
+        if op == "new":
+            return NewInstance(data[1], data[2])
+        if op == "fg":
+            return FieldGet(data[1], _field_ref_from_list(data[2]))
+        if op == "fp":
+            return FieldPut(data[1], _field_ref_from_list(data[2]))
+        if op == "rv":
+            return ReturnVoid()
+        if op == "ret":
+            return Return(data[1])
+        if op == "thr":
+            return Throw(data[1])
+        if op == "nop":
+            return Nop()
+    except (IndexError, TypeError, ValueError) as exc:
+        raise SerializationError(f"malformed instruction {data!r}") from exc
+    raise SerializationError(f"unknown opcode {op!r}")
+
+
+# ---------------------------------------------------------------------------
+# method / class codec
+# ---------------------------------------------------------------------------
+
+def _method_to_dict(method: Method) -> dict[str, Any]:
+    doc: dict[str, Any] = {
+        "name": method.name,
+        "descriptor": method.descriptor,
+    }
+    if method.flags is not MethodFlags.NONE:
+        doc["flags"] = method.flags.value
+    if method.body is None:
+        doc["body"] = None
+    else:
+        doc["code"] = [_instr_to_list(i) for i in method.body.instructions]
+        if method.body.labels:
+            doc["labels"] = dict(method.body.labels)
+    return doc
+
+
+def _method_from_dict(class_name: str, doc: dict[str, Any]) -> Method:
+    ref = MethodRef(class_name, doc["name"], doc["descriptor"])
+    flags = MethodFlags(doc.get("flags", 0))
+    if doc.get("body", "present") is None:
+        return Method(ref=ref, flags=flags, body=None)
+    code = tuple(_instr_from_list(i) for i in doc.get("code", []))
+    labels = dict(doc.get("labels", {}))
+    return Method(ref=ref, flags=flags, body=MethodBody(code, labels))
+
+
+def _class_to_dict(clazz: Clazz) -> dict[str, Any]:
+    doc: dict[str, Any] = {
+        "name": clazz.name,
+        "super": clazz.super_name,
+        "methods": [_method_to_dict(m) for m in clazz.methods],
+    }
+    if clazz.interfaces:
+        doc["interfaces"] = list(clazz.interfaces)
+    if clazz.is_abstract:
+        doc["abstract"] = True
+    if clazz.origin != "app":
+        doc["origin"] = clazz.origin
+    return doc
+
+
+def _class_from_dict(doc: dict[str, Any]) -> Clazz:
+    return Clazz(
+        name=doc["name"],
+        super_name=doc.get("super"),
+        interfaces=tuple(doc.get("interfaces", ())),
+        methods=tuple(
+            _method_from_dict(doc["name"], m) for m in doc["methods"]
+        ),
+        is_abstract=bool(doc.get("abstract", False)),
+        origin=doc.get("origin", "app"),
+    )
+
+
+# ---------------------------------------------------------------------------
+# manifest / package codec
+# ---------------------------------------------------------------------------
+
+def _manifest_to_dict(manifest: Manifest) -> dict[str, Any]:
+    doc: dict[str, Any] = {
+        "package": manifest.package,
+        "minSdkVersion": manifest.min_sdk,
+        "targetSdkVersion": manifest.target_sdk,
+        "versionCode": manifest.version_code,
+        "buildable": manifest.buildable,
+        "permissions": list(manifest.permissions),
+        "components": [
+            {
+                "class": c.class_name,
+                "kind": c.kind.value,
+                "exported": c.exported,
+                "actions": list(c.intent_actions),
+            }
+            for c in manifest.components
+        ],
+    }
+    if manifest.max_sdk is not None:
+        doc["maxSdkVersion"] = manifest.max_sdk
+    return doc
+
+
+def _manifest_from_dict(doc: dict[str, Any]) -> Manifest:
+    return Manifest(
+        package=doc["package"],
+        min_sdk=doc["minSdkVersion"],
+        target_sdk=doc["targetSdkVersion"],
+        max_sdk=doc.get("maxSdkVersion"),
+        permissions=tuple(doc.get("permissions", ())),
+        components=tuple(
+            Component(
+                class_name=c["class"],
+                kind=ComponentKind(c["kind"]),
+                exported=bool(c.get("exported", False)),
+                intent_actions=tuple(c.get("actions", ())),
+            )
+            for c in doc.get("components", ())
+        ),
+        version_code=doc.get("versionCode", 1),
+        buildable=bool(doc.get("buildable", True)),
+    )
+
+
+def apk_to_dict(apk: Apk) -> dict[str, Any]:
+    """Encode a package as a JSON-compatible dictionary."""
+    return {
+        "format": FORMAT_VERSION,
+        "label": apk.label,
+        "manifest": _manifest_to_dict(apk.manifest),
+        "dexFiles": [
+            {
+                "name": dex.name,
+                "secondary": dex.secondary,
+                "classes": [_class_to_dict(c) for c in dex.classes],
+            }
+            for dex in apk.dex_files
+        ],
+    }
+
+
+def apk_from_dict(doc: dict[str, Any]) -> Apk:
+    """Decode a dictionary produced by :func:`apk_to_dict`."""
+    version = doc.get("format")
+    if version != FORMAT_VERSION:
+        raise SerializationError(
+            f"unsupported .sapk format version {version!r}"
+        )
+    try:
+        manifest = _manifest_from_dict(doc["manifest"])
+        dex_files = tuple(
+            DexFile(
+                name=d["name"],
+                classes=tuple(_class_from_dict(c) for c in d["classes"]),
+                secondary=bool(d.get("secondary", False)),
+            )
+            for d in doc["dexFiles"]
+        )
+    except (KeyError, TypeError) as exc:
+        raise SerializationError(f"malformed .sapk document: {exc}") from exc
+    return Apk(
+        manifest=manifest, dex_files=dex_files, label=doc.get("label", "")
+    )
+
+
+# ---------------------------------------------------------------------------
+# string / file entry points
+# ---------------------------------------------------------------------------
+
+def dumps(apk: Apk, *, indent: int | None = None) -> str:
+    return json.dumps(apk_to_dict(apk), indent=indent, sort_keys=False)
+
+
+def loads(text: str) -> Apk:
+    try:
+        doc = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise SerializationError(f"invalid JSON: {exc}") from exc
+    return apk_from_dict(doc)
+
+
+def save_apk(apk: Apk, path: str | Path, *, indent: int | None = None) -> None:
+    Path(path).write_text(dumps(apk, indent=indent))
+
+
+def load_apk(path: str | Path) -> Apk:
+    return loads(Path(path).read_text())

@@ -1,0 +1,26 @@
+"""Baseline detector reimplementations: CID, CIDER, and Lint."""
+
+from .base import (
+    CompatibilityDetector,
+    FirstLevelUsage,
+    TIMEOUT_MODELED_SECONDS,
+    eager_app_units,
+    first_level_usages,
+    framework_image_units,
+)
+from .cid import Cid
+from .cider import Cider, MODELED_CLASSES
+from .lint import Lint
+
+__all__ = [
+    "Cid",
+    "Cider",
+    "CompatibilityDetector",
+    "FirstLevelUsage",
+    "Lint",
+    "MODELED_CLASSES",
+    "TIMEOUT_MODELED_SECONDS",
+    "eager_app_units",
+    "first_level_usages",
+    "framework_image_units",
+]

@@ -1,0 +1,198 @@
+"""Common interface and shared machinery for baseline detectors.
+
+The baselines (CID, CIDER, Lint) are reimplemented *with the
+restrictions the paper describes*, on top of the same substrate
+SAINTDroid uses.  Their accuracy and performance differences relative
+to SAINTDroid therefore emerge from the modeled restrictions — which
+classes they look at, whether guards cross method boundaries, whether
+they resolve inherited APIs, what they load eagerly — not from
+hard-coded outcomes.
+"""
+
+from __future__ import annotations
+
+import abc
+import time
+from typing import Callable
+
+from ..apk.package import Apk
+from ..core.apidb import ApiDatabase
+from ..core.detector import AnalysisReport
+from ..core.metrics import AnalysisMetrics
+from ..framework.repository import FrameworkRepository
+from ..ir.clazz import Clazz
+from ..ir.instructions import Invoke
+from ..ir.types import ClassName, MethodRef
+from ..analysis.clvm import CLASS_OVERHEAD_UNITS
+from ..analysis.guards import guard_at_invocations
+from ..analysis.intervals import ApiInterval
+
+__all__ = [
+    "TIMEOUT_MODELED_SECONDS",
+    "CompatibilityDetector",
+    "FirstLevelUsage",
+    "first_level_usages",
+    "eager_app_units",
+    "framework_image_units",
+]
+
+#: Analysis budget used in the paper's Table III (dashes beyond 600 s).
+TIMEOUT_MODELED_SECONDS = 600.0
+
+
+class CompatibilityDetector(abc.ABC):
+    """The interface every tool (SAINTDroid included) satisfies."""
+
+    #: Display name used in tables.
+    name: str = "detector"
+    #: Which mismatch families the tool can detect (Table IV row).
+    capabilities: frozenset[str] = frozenset()
+    #: True when the tool needs buildable source (Lint).
+    requires_source: bool = False
+
+    @abc.abstractmethod
+    def analyze(self, apk: Apk) -> AnalysisReport:
+        """Analyze one app and report mismatches + metrics."""
+
+    # -- shared helpers ------------------------------------------------
+
+    def _timed(
+        self, apk: Apk, body: Callable[[], tuple[list, AnalysisMetrics]]
+    ) -> AnalysisReport:
+        """Run ``body``, enforce the modeled-time budget, and package
+        the report."""
+        started = time.perf_counter()
+        mismatches, metrics = body()
+        metrics.wall_time_s = time.perf_counter() - started
+        if metrics.modeled_seconds > TIMEOUT_MODELED_SECONDS:
+            metrics.failed = True
+            metrics.failure_reason = (
+                f"exceeded {TIMEOUT_MODELED_SECONDS:.0f}s analysis budget"
+            )
+            mismatches = []
+        return AnalysisReport(
+            app=apk.name,
+            tool=self.name,
+            mismatches=mismatches,
+            metrics=metrics,
+        )
+
+
+class FirstLevelUsage:
+    """An app→framework call found by scanning app code directly."""
+
+    __slots__ = ("caller", "api", "interval")
+
+    def __init__(
+        self, caller: MethodRef, api: MethodRef, interval: ApiInterval
+    ) -> None:
+        self.caller = caller
+        self.api = api
+        self.interval = interval
+
+
+def first_level_usages(
+    apk: Apk,
+    apidb: ApiDatabase,
+    *,
+    respect_intra_method_guards: bool,
+    resolve_inherited: bool,
+    include_secondary_dex: bool,
+    class_filter: Callable[[Clazz], bool] | None = None,
+) -> list[FirstLevelUsage]:
+    """Extract API call sites the way first-level tools do.
+
+    * ``respect_intra_method_guards`` — apply the guard analysis within
+      each method in isolation (entry interval = the app's full range);
+      no guard information crosses method boundaries.
+    * ``resolve_inherited`` — when False, an invoke whose static
+      receiver is an *app* class is never treated as an API call, even
+      if the method is inherited from a framework ancestor; this is the
+      first-level blindness that makes CID/Lint miss inheritance cases.
+    * ``class_filter`` — restrict which app classes are scanned (Lint
+      only sees the app's own source packages).
+    """
+    lo, hi = apk.manifest.supported_range
+    app_interval = ApiInterval.of(lo, hi)
+    usages: list[FirstLevelUsage] = []
+
+    for dex in apk.dex_files:
+        if dex.secondary and not include_secondary_dex:
+            continue
+        for clazz in dex.classes:
+            if class_filter is not None and not class_filter(clazz):
+                continue
+            for method in clazz.methods:
+                if method.body is None:
+                    continue
+                if respect_intra_method_guards:
+                    sites = guard_at_invocations(method, app_interval)
+                else:
+                    sites = (
+                        (invoke, app_interval)
+                        for invoke in method.invocations
+                    )
+                for invoke, interval in sites:
+                    api = _resolve_api_target(
+                        apk, apidb, invoke, resolve_inherited
+                    )
+                    if api is not None:
+                        usages.append(
+                            FirstLevelUsage(method.ref, api, interval)
+                        )
+    return usages
+
+
+def _resolve_api_target(
+    apk: Apk,
+    apidb: ApiDatabase,
+    invoke: Invoke,
+    resolve_inherited: bool,
+) -> MethodRef | None:
+    callee = invoke.method
+    if callee.class_name in apidb:
+        return callee
+    if not resolve_inherited:
+        return None
+    # Walk the app-side super chain to the first framework ancestor and
+    # resolve the signature there.
+    seen: set[ClassName] = set()
+    current: ClassName | None = callee.class_name
+    while current is not None and current not in seen:
+        seen.add(current)
+        app_class = apk.lookup(current)
+        if app_class is not None:
+            current = app_class.super_name
+            continue
+        if current in apidb:
+            resolved = apidb.resolve(current, callee.signature)
+            if resolved is not None:
+                return resolved.ref
+        return None
+    return None
+
+
+# ---------------------------------------------------------------------------
+# cost-model helpers (see repro.core.metrics for unit→seconds/MB)
+# ---------------------------------------------------------------------------
+
+def eager_app_units(apk: Apk, *, include_secondary: bool = True) -> int:
+    """Memory units for loading the whole app up front."""
+    total = 0
+    classes = 0
+    for dex in apk.dex_files:
+        if dex.secondary and not include_secondary:
+            continue
+        total += dex.instruction_count
+        classes += len(dex.classes)
+    return total + classes * CLASS_OVERHEAD_UNITS
+
+
+def framework_image_units(
+    framework: FrameworkRepository, level: int
+) -> int:
+    """Memory units for loading a complete framework image."""
+    return (
+        framework.image_instruction_count(level)
+        + framework.image_class_count(level) * CLASS_OVERHEAD_UNITS
+    )

@@ -1,0 +1,399 @@
+"""Command-line interface: ``saintdroid`` / ``python -m repro``.
+
+Subcommands
+===========
+
+``analyze``    run a detector on a ``.sapk`` package
+``gen-bench``  materialize the benchmark replicas as ``.sapk`` files
+``table``      regenerate a paper table (1, 2, 3, or 4)
+``rq2``        regenerate the RQ2 real-world summary
+``figure``     regenerate a paper figure (1, 3, or 4)
+``apidb``      query the API lifecycle database
+``verify``     dynamically verify static findings (paper §VI)
+``repair``     synthesize a repaired package (paper §VIII)
+``update-impact``  what breaks when the device framework is updated
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from .apk.serialization import SerializationError, load_apk, save_apk
+from .baselines import Cid, Cider, Lint
+from .core import SaintDroid, build_api_database, render_report
+from .eval import (
+    ToolSet,
+    ascii_scatter,
+    figure1_regions,
+    figure3_series,
+    figure4_series,
+    render_rq2,
+    render_table1,
+    render_table2,
+    render_table3,
+    render_table4,
+    rq2_summary,
+    run_tools,
+    table2_accuracy,
+    table3_times,
+    table4_capabilities,
+)
+from .framework.repository import FrameworkRepository
+from .workload import (
+    CIDER_BENCH,
+    CorpusConfig,
+    build_benchmark_suite,
+    generate_corpus,
+)
+
+__all__ = ["main", "build_parser"]
+
+_TOOL_NAMES = ("SAINTDroid", "CID", "CIDER", "Lint")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="saintdroid",
+        description=(
+            "SAINTDroid reproduction: scalable, automated "
+            "incompatibility detection for Android (DSN 2022)"
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    analyze = sub.add_parser("analyze", help="analyze a .sapk package")
+    analyze.add_argument("apk", type=Path, help="path to a .sapk file")
+    analyze.add_argument(
+        "--tool", choices=_TOOL_NAMES, default="SAINTDroid"
+    )
+    analyze.add_argument("--verbose", action="store_true")
+    analyze.add_argument(
+        "--eager",
+        action="store_true",
+        help="disable lazy (CLVM) loading (SAINTDroid only)",
+    )
+    analyze.add_argument(
+        "--fix-anonymous",
+        action="store_true",
+        help="propagate guards into anonymous inner classes "
+        "(SAINTDroid only; removes the paper's documented blind spot)",
+    )
+    analyze.add_argument(
+        "--json", action="store_true", help="emit JSON instead of text"
+    )
+    analyze.add_argument(
+        "--devices",
+        nargs=2,
+        type=int,
+        metavar=("FROM", "TO"),
+        help="restrict detection to this device API-level range "
+             "(SAINTDroid only; the paper's framework-version-set input)",
+    )
+
+    gen = sub.add_parser(
+        "gen-bench",
+        help="write the benchmark replicas as .sapk + ground-truth JSON",
+    )
+    gen.add_argument("outdir", type=Path)
+    gen.add_argument("--scale", type=float, default=1.0)
+
+    table = sub.add_parser("table", help="regenerate a paper table")
+    table.add_argument("number", type=int, choices=(1, 2, 3, 4))
+    table.add_argument("--scale", type=float, default=1.0)
+
+    rq2 = sub.add_parser("rq2", help="regenerate the RQ2 summary")
+    rq2.add_argument("--count", type=int, default=300)
+    rq2.add_argument("--seed", type=int, default=1234567)
+
+    figure = sub.add_parser("figure", help="regenerate a paper figure")
+    figure.add_argument("number", type=int, choices=(1, 3, 4))
+    figure.add_argument("--count", type=int, default=150)
+    figure.add_argument(
+        "--app-level", type=int, default=23,
+        help="app target level for figure 1",
+    )
+
+    apidb = sub.add_parser("apidb", help="query the API database")
+    apidb.add_argument("class_name")
+    apidb.add_argument("signature", nargs="?")
+
+    verify = sub.add_parser(
+        "verify",
+        help="run SAINTDroid, then dynamically verify each finding",
+    )
+    verify.add_argument("apk", type=Path)
+
+    repair = sub.add_parser(
+        "repair", help="synthesize a repaired package"
+    )
+    repair.add_argument("apk", type=Path)
+    repair.add_argument("output", type=Path)
+    repair.add_argument(
+        "--check", action="store_true",
+        help="re-analyze the repaired package and report residuals",
+    )
+
+    impact = sub.add_parser(
+        "update-impact",
+        help="classify what changes for an app when the device "
+             "framework is updated ('death on update', paper §I)",
+    )
+    impact.add_argument("apk", type=Path)
+    impact.add_argument("--from", dest="old_level", type=int, required=True)
+    impact.add_argument("--to", dest="new_level", type=int, required=True)
+
+    return parser
+
+
+def _make_tool(args: argparse.Namespace):
+    framework = FrameworkRepository()
+    apidb = build_api_database(framework)
+    if args.tool == "SAINTDroid":
+        return SaintDroid(
+            framework,
+            apidb,
+            lazy_loading=not args.eager,
+            propagate_guards_into_anonymous=args.fix_anonymous,
+        )
+    if args.tool == "CID":
+        return Cid(framework, apidb)
+    if args.tool == "CIDER":
+        return Cider(framework, apidb)
+    return Lint(framework, apidb)
+
+
+def _cmd_analyze(args: argparse.Namespace) -> int:
+    apk = load_apk(args.apk)
+    tool = _make_tool(args)
+    if args.devices and args.tool == "SAINTDroid":
+        from .analysis.intervals import ApiInterval
+        report = tool.analyze(
+            apk, ApiInterval.of(args.devices[0], args.devices[1])
+        )
+    else:
+        report = tool.analyze(apk)
+    if args.json:
+        payload = {
+            "app": report.app,
+            "tool": report.tool,
+            "failed": bool(report.metrics and report.metrics.failed),
+            "mismatches": [
+                {
+                    "kind": m.kind.value,
+                    "location": str(m.location) if m.location else None,
+                    "subject": str(m.subject) if m.subject else None,
+                    "permission": m.permission,
+                    "missingLevels": [
+                        m.missing_levels.lo, m.missing_levels.hi
+                    ],
+                    "message": m.message,
+                }
+                for m in report.mismatches
+            ],
+        }
+        print(json.dumps(payload, indent=2))
+    else:
+        print(render_report(report, verbose=args.verbose))
+    return 0
+
+
+def _cmd_gen_bench(args: argparse.Namespace) -> int:
+    args.outdir.mkdir(parents=True, exist_ok=True)
+    apidb = build_api_database()
+    for forged in build_benchmark_suite(apidb, scale=args.scale):
+        stem = forged.apk.name.replace(" ", "_").replace("+", "plus")
+        save_apk(forged.apk, args.outdir / f"{stem}.sapk")
+        (args.outdir / f"{stem}.truth.json").write_text(
+            json.dumps(forged.truth.to_dict(), indent=2)
+        )
+        print(f"wrote {stem}.sapk ({forged.apk.instruction_count} instr)")
+    return 0
+
+
+def _cmd_table(args: argparse.Namespace) -> int:
+    if args.number == 1:
+        print(render_table1())
+        return 0
+    toolset = ToolSet.default()
+    if args.number == 4:
+        print(render_table4(table4_capabilities(toolset.tools)))
+        return 0
+    apps = build_benchmark_suite(toolset.apidb, scale=args.scale)
+    run = run_tools(apps, toolset)
+    if args.number == 2:
+        print(render_table2(table2_accuracy(run)))
+    else:
+        labels = tuple(spec.label for spec in CIDER_BENCH)
+        print(render_table3(table3_times(run, apps=labels)))
+    return 0
+
+
+def _cmd_rq2(args: argparse.Namespace) -> int:
+    toolset = ToolSet.default(include=("SAINTDroid",))
+    config = CorpusConfig(count=args.count, seed=args.seed)
+    corpus = list(generate_corpus(config, toolset.apidb))
+    run = run_tools([entry.forged for entry in corpus], toolset)
+    modern = {entry.forged.apk.name: entry.modern_target for entry in corpus}
+    results = [
+        (result.reports["SAINTDroid"], result.truth, modern[result.app])
+        for result in run.results
+    ]
+    print(render_rq2(rq2_summary(results)))
+    return 0
+
+
+def _cmd_figure(args: argparse.Namespace) -> int:
+    if args.number == 1:
+        regions = figure1_regions(args.app_level)
+        print(f"Figure 1: mismatch regions for app level {args.app_level}")
+        for device, region in regions.items():
+            print(f"  device API {device:>2}: {region}")
+        return 0
+    toolset = ToolSet.default(include=("SAINTDroid", "CID", "Lint"))
+    config = CorpusConfig(count=args.count)
+    corpus = [e.forged for e in generate_corpus(config, toolset.apidb)]
+    run = run_tools(corpus, toolset)
+    if args.number == 3:
+        data = figure3_series(run)
+        print("Figure 3: SAINTDroid analysis time vs app size")
+        print(ascii_scatter(data["scatter"]))
+        for summary in data["summaries"]:
+            print(
+                f"  {summary.tool}: avg {summary.average:.1f}s "
+                f"range {summary.minimum:.1f}-{summary.maximum:.1f} "
+                f"({summary.failed} failed)"
+            )
+    else:
+        data = figure4_series(run)
+        print("Figure 4: peak analysis memory (modeled MB)")
+        for tool, summary in data["summary"].items():
+            print(
+                f"  {tool}: avg {summary['average_mb']:.0f} MB "
+                f"range {summary['min_mb']:.0f}-{summary['max_mb']:.0f}"
+            )
+    return 0
+
+
+def _cmd_apidb(args: argparse.Namespace) -> int:
+    apidb = build_api_database()
+    entry = apidb.clazz(args.class_name)
+    if entry is None:
+        print(f"unknown framework class: {args.class_name}")
+        return 1
+    if args.signature is None:
+        lo, hi = min(entry.levels), max(entry.levels)
+        print(f"{entry.name}: levels {lo}..{hi}, "
+              f"{len(entry.methods)} methods, super {entry.super_name}")
+        for method in sorted(entry.methods.values(),
+                             key=lambda m: m.signature):
+            intro, last = method.lifetime
+            marker = " [callback]" if method.callback else ""
+            print(f"  {method.signature}: {intro}..{last}{marker}")
+        return 0
+    resolved = apidb.resolve(args.class_name, args.signature)
+    if resolved is None:
+        print(f"no declaration of {args.signature} on "
+              f"{args.class_name} or its ancestors")
+        return 1
+    intro, last = resolved.lifetime
+    permissions = apidb.permissions_for(resolved.ref)
+    print(f"{resolved.ref}")
+    print(f"  levels:      {intro}..{last}")
+    print(f"  callback:    {resolved.callback}")
+    print(f"  permissions: {', '.join(sorted(permissions)) or '(none)'}")
+    return 0
+
+
+def _cmd_verify(args: argparse.Namespace) -> int:
+    from .dynamic import DynamicVerifier
+
+    apk = load_apk(args.apk)
+    framework = FrameworkRepository()
+    apidb = build_api_database(framework)
+    detector = SaintDroid(framework, apidb)
+    report = detector.analyze(apk)
+    verifier = DynamicVerifier(apk, apidb)
+    result = verifier.verify_all(report)
+    print(f"{apk.name}: {len(report.mismatches)} static finding(s)")
+    for item in result.verified:
+        print(f"  [{item.verdict.value:<11}] "
+              f"{item.mismatch.describe()}")
+        if item.evidence is not None:
+            print(f"                evidence: {item.evidence}")
+    print(
+        f"confirmed {len(result.confirmed)}, "
+        f"refuted {len(result.refuted)}, "
+        f"static-only {len(result.static_only)}"
+    )
+    return 0
+
+
+def _cmd_repair(args: argparse.Namespace) -> int:
+    from .repair import RepairEngine
+
+    apk = load_apk(args.apk)
+    framework = FrameworkRepository()
+    apidb = build_api_database(framework)
+    detector = SaintDroid(framework, apidb)
+    report = detector.analyze(apk)
+    engine = RepairEngine(apidb)
+    result = engine.repair(apk, report.mismatches)
+    save_apk(result.repaired, args.output, indent=2)
+    print(f"{apk.name}: {len(report.mismatches)} finding(s), "
+          f"{len(result.code_changes)} repaired, "
+          f"{len(result.advisories)} advisory")
+    for action in result.actions:
+        print(f"  [{action.kind.value}] {action.description}")
+    print(f"wrote {args.output}")
+    if args.check:
+        residual = detector.analyze(result.repaired).mismatches
+        print(f"re-analysis: {len(residual)} residual finding(s)")
+        for mismatch in residual:
+            print(f"  {mismatch.describe()}")
+    return 0
+
+
+def _cmd_update_impact(args: argparse.Namespace) -> int:
+    from .core import update_impact
+    from .core.aum import ApiUsageModeler
+
+    apk = load_apk(args.apk)
+    framework = FrameworkRepository()
+    apidb = build_api_database(framework)
+    modeler = ApiUsageModeler(framework, apidb)
+    model = modeler.build(apk)
+    impact = update_impact(model, apidb, args.old_level, args.new_level)
+    print(impact.describe())
+    return 0 if impact.is_stable else 2
+
+
+_COMMANDS = {
+    "analyze": _cmd_analyze,
+    "gen-bench": _cmd_gen_bench,
+    "table": _cmd_table,
+    "rq2": _cmd_rq2,
+    "figure": _cmd_figure,
+    "apidb": _cmd_apidb,
+    "verify": _cmd_verify,
+    "repair": _cmd_repair,
+    "update-impact": _cmd_update_impact,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        return _COMMANDS[args.command](args)
+    except FileNotFoundError as exc:
+        print(f"error: no such file: {exc.filename}", file=sys.stderr)
+        return 1
+    except SerializationError as exc:
+        print(f"error: not a valid .sapk package: {exc}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

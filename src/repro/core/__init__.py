@@ -1,0 +1,57 @@
+"""SAINTDroid core: AUM, ARM, AMD, and the detector facade."""
+
+from .mismatch import Mismatch, MismatchKind
+from .apidb import ApiClassEntry, ApiDatabase, ApiEntry
+from .arm import build_api_database, close_permissions, mine_images, mine_spec
+from .aum import (
+    ApiUsage,
+    ApiUsageModeler,
+    AumModel,
+    OverrideRecord,
+    PermissionUse,
+)
+from .amd import (
+    AndroidMismatchDetector,
+    RUNTIME_PERMISSION_CALLBACK_SIGNATURE,
+)
+from .evolution import (
+    CallTransition,
+    HookTransition,
+    ReportDiff,
+    UpdateImpactReport,
+    diff_reports,
+    update_impact,
+)
+from .metrics import AnalysisMetrics
+from .detector import AnalysisReport, SaintDroid
+from .report import render_report, render_summary_line
+
+__all__ = [
+    "AnalysisMetrics",
+    "AnalysisReport",
+    "AndroidMismatchDetector",
+    "ApiClassEntry",
+    "ApiDatabase",
+    "ApiEntry",
+    "ApiUsage",
+    "ApiUsageModeler",
+    "AumModel",
+    "CallTransition",
+    "HookTransition",
+    "Mismatch",
+    "MismatchKind",
+    "OverrideRecord",
+    "PermissionUse",
+    "RUNTIME_PERMISSION_CALLBACK_SIGNATURE",
+    "ReportDiff",
+    "UpdateImpactReport",
+    "SaintDroid",
+    "build_api_database",
+    "close_permissions",
+    "mine_images",
+    "diff_reports",
+    "mine_spec",
+    "render_report",
+    "update_impact",
+    "render_summary_line",
+]

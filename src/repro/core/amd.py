@@ -1,0 +1,245 @@
+"""AMD — the Android Mismatch Detector (paper section III-C).
+
+Consumes the AUM model and the ARM database and emits mismatches:
+
+* **Algorithm 2 (invocation)** — every API usage is checked against
+  the database at each device level of its guard-refined interval; a
+  level at which the method is not callable is a mismatch.  Because
+  the AUM intervals already encode path-sensitive, inter-procedural
+  guard information, a call correctly wrapped in
+  ``if (SDK_INT >= α)`` — even when the guard sits in a caller —
+  produces no report.
+* **Algorithm 3 (callback)** — every app override of a framework
+  *callback* is checked for existence across the app's entire
+  supported range; levels at which the callback does not exist mean
+  the hook is silently never invoked there.
+* **Algorithm 4 (permission)** — apps targeting ≥23 that use dangerous
+  permissions without implementing ``onRequestPermissionsResult`` get
+  a *request* mismatch per permission; apps targeting ≤22 whose
+  dangerous permissions can be revoked on ≥23 devices get a
+  *revocation* mismatch per requested permission.
+"""
+
+from __future__ import annotations
+
+from ..apk.manifest import MAX_API_LEVEL, RUNTIME_PERMISSIONS_LEVEL
+from ..framework.permissions import is_dangerous
+from ..analysis.intervals import ApiInterval
+from .apidb import ApiDatabase
+from .aum import AumModel
+from .mismatch import Mismatch, MismatchKind
+
+__all__ = ["AndroidMismatchDetector",
+           "RUNTIME_PERMISSION_CALLBACK_SIGNATURE"]
+
+#: The runtime-permission result hook apps must override (Algorithm 4).
+RUNTIME_PERMISSION_CALLBACK_SIGNATURE = (
+    "onRequestPermissionsResult(int,java.lang.String[],int[])void"
+)
+
+#: Device levels on which the runtime permission system is active.
+_RUNTIME_PERMISSION_RANGE = ApiInterval.of(
+    RUNTIME_PERMISSIONS_LEVEL, MAX_API_LEVEL
+)
+
+
+class AndroidMismatchDetector:
+    """Turns an :class:`AumModel` into a list of mismatches."""
+
+    def __init__(self, apidb: ApiDatabase) -> None:
+        self._apidb = apidb
+
+    def detect(
+        self,
+        model: AumModel,
+        device_levels: ApiInterval | None = None,
+    ) -> list[Mismatch]:
+        """Detect mismatches, optionally restricted to a device-level
+        range.
+
+        The paper's interface takes "an app APK along with a set of
+        Android framework versions"; ``device_levels`` is that set
+        (as an interval).  ``None`` checks the app's entire declared
+        range.  A vendor shipping only API 24+ devices, for example,
+        passes ``ApiInterval.of(24, 29)`` and stops seeing findings
+        that can only bite on older devices.
+        """
+        scope = self._scope(model, device_levels)
+        if scope.is_empty:
+            return []
+        mismatches: list[Mismatch] = []
+        mismatches.extend(self._invocation_mismatches(model, scope))
+        mismatches.extend(self._callback_mismatches(model, scope))
+        mismatches.extend(self._permission_mismatches(model, scope))
+        return mismatches
+
+    @staticmethod
+    def _scope(
+        model: AumModel, device_levels: ApiInterval | None
+    ) -> ApiInterval:
+        if device_levels is None:
+            return model.app_interval
+        return model.app_interval.meet(device_levels)
+
+    # -- Algorithm 2: invocation mismatches --------------------------------
+
+    def _invocation_mismatches(
+        self, model: AumModel, scope: ApiInterval
+    ) -> list[Mismatch]:
+        app = model.apk.name
+        app_interval = scope
+        out: list[Mismatch] = []
+        for usage in model.usages:
+            resolved = self._apidb.resolve(
+                usage.api.class_name, usage.api.signature
+            )
+            if resolved is None:
+                # Not a known API (third-party namespace or synthetic);
+                # nothing to judge against.
+                continue
+            check_interval = usage.interval.meet(app_interval)
+            if check_interval.is_empty:
+                continue
+            missing = self._apidb.missing_levels(
+                usage.api.class_name, usage.api.signature, check_interval
+            )
+            if missing.is_empty:
+                continue
+            out.append(
+                Mismatch(
+                    kind=MismatchKind.API_INVOCATION,
+                    app=app,
+                    location=usage.caller,
+                    subject=resolved.ref,
+                    missing_levels=missing,
+                    message=(
+                        f"{usage.api.class_name}.{usage.api.name} is not "
+                        f"callable on device levels {missing} but the call "
+                        f"executes under {check_interval}"
+                    ),
+                )
+            )
+        return out
+
+    # -- Algorithm 3: callback mismatches ------------------------------------
+
+    def _callback_mismatches(
+        self, model: AumModel, scope: ApiInterval
+    ) -> list[Mismatch]:
+        app = model.apk.name
+        app_interval = scope
+        out: list[Mismatch] = []
+        for record in model.overrides:
+            if record.signature == RUNTIME_PERMISSION_CALLBACK_SIGNATURE:
+                # Implementing the runtime-permission protocol is the
+                # *recommended* pattern; Android Studio generates it for
+                # any minSdk.  Flagging it would bury real findings.
+                continue
+            entry = self._apidb.callback_entry(
+                record.framework_class, record.signature
+            )
+            if entry is None:
+                continue  # overrides a plain method, not a hook
+            missing = self._apidb.missing_levels(
+                record.framework_class, record.signature, app_interval
+            )
+            if missing.is_empty:
+                continue
+            out.append(
+                Mismatch(
+                    kind=MismatchKind.API_CALLBACK,
+                    app=app,
+                    location=record.method,
+                    subject=entry.ref,
+                    missing_levels=missing,
+                    message=(
+                        f"{record.app_class} overrides callback "
+                        f"{entry.signature} which does not exist on device "
+                        f"levels {missing}; the hook is never invoked there"
+                    ),
+                )
+            )
+        return out
+
+    # -- Algorithm 4: permission mismatches ------------------------------------
+
+    def _implements_runtime_permissions(self, model: AumModel) -> bool:
+        return any(
+            record.signature == RUNTIME_PERMISSION_CALLBACK_SIGNATURE
+            for record in model.overrides
+        )
+
+    def _permission_mismatches(
+        self, model: AumModel, scope: ApiInterval
+    ) -> list[Mismatch]:
+        manifest = model.apk.manifest
+        app = model.apk.name
+        runtime_scope = scope.meet(_RUNTIME_PERMISSION_RANGE)
+        if runtime_scope.is_empty:
+            return []  # no runtime-permission device in scope
+        out: list[Mismatch] = []
+
+        requested_dangerous = frozenset(
+            p for p in manifest.permissions if is_dangerous(p)
+        )
+
+        if manifest.uses_runtime_permissions_model:
+            # Request mismatches: app targets the runtime model but
+            # never implements the result callback.
+            if self._implements_runtime_permissions(model):
+                return out
+            seen: set[str] = set()
+            for use in model.permission_uses:
+                live = use.interval.meet(runtime_scope)
+                if live.is_empty:
+                    continue
+                for permission in sorted(use.permissions):
+                    if permission in seen:
+                        continue
+                    seen.add(permission)
+                    out.append(
+                        Mismatch(
+                            kind=MismatchKind.PERMISSION_REQUEST,
+                            app=app,
+                            location=use.caller,
+                            subject=use.api,
+                            missing_levels=live,
+                            permission=permission,
+                            message=(
+                                f"uses {permission} (via {use.api}) but "
+                                f"never implements the runtime permission "
+                                f"request protocol"
+                            ),
+                        )
+                    )
+            return out
+
+        # Revocation mismatches: install-time model, but on ≥23 devices
+        # the user can revoke any granted dangerous permission.
+        seen = set()
+        for use in model.permission_uses:
+            live = use.interval.meet(runtime_scope)
+            if live.is_empty:
+                continue
+            for permission in sorted(use.permissions):
+                if permission not in requested_dangerous:
+                    continue  # never granted, nothing to revoke
+                if permission in seen:
+                    continue
+                seen.add(permission)
+                out.append(
+                    Mismatch(
+                        kind=MismatchKind.PERMISSION_REVOCATION,
+                        app=app,
+                        location=use.caller,
+                        subject=use.api,
+                        missing_levels=live,
+                        permission=permission,
+                        message=(
+                            f"targets API {manifest.target_sdk} but uses "
+                            f"{permission} (via {use.api}), revocable on "
+                            f"devices {live}"
+                        ),
+                    )
+                )
+        return out

@@ -1,0 +1,222 @@
+"""The API database — ARM's primary artifact.
+
+Stores, for every framework class, the set of API levels at which each
+method exists, whether it is a callback, the class hierarchy links,
+and the permission map.  The database answers the three queries the
+AMD algorithms issue:
+
+* ``apidb.CONTAINS(block, lvl)`` → :meth:`exists` (inheritance-aware);
+* callback lookup for Algorithm 3 → :meth:`callback_entry`;
+* permission lookup for Algorithm 4 → :meth:`permissions_for`.
+
+The database is built once per framework (paper section III-B) and
+reused across every app analysis.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..apk.manifest import MAX_API_LEVEL, MIN_API_LEVEL
+from ..framework.permissions import PermissionMap
+from ..ir.types import ClassName, MethodRef
+from ..analysis.intervals import ApiInterval
+
+__all__ = ["ApiEntry", "ApiClassEntry", "ApiDatabase"]
+
+
+@dataclass(frozen=True)
+class ApiEntry:
+    """One framework method's database record."""
+
+    class_name: ClassName
+    name: str
+    descriptor: str
+    levels: frozenset[int]
+    callback: bool = False
+
+    @property
+    def signature(self) -> str:
+        return f"{self.name}{self.descriptor}"
+
+    @property
+    def ref(self) -> MethodRef:
+        return MethodRef(self.class_name, self.name, self.descriptor)
+
+    def exists_at(self, level: int) -> bool:
+        return level in self.levels
+
+    @property
+    def lifetime(self) -> tuple[int, int]:
+        return (min(self.levels), max(self.levels))
+
+    def missing_within(self, interval: ApiInterval) -> ApiInterval:
+        """The hull of levels in ``interval`` where the method is
+        absent (empty when fully covered)."""
+        missing = [
+            level for level in interval if level not in self.levels
+        ]
+        if not missing:
+            return ApiInterval.empty()
+        return ApiInterval.of(min(missing), max(missing))
+
+
+@dataclass
+class ApiClassEntry:
+    """One framework class's database record."""
+
+    name: ClassName
+    super_name: ClassName | None
+    levels: frozenset[int]
+    methods: dict[str, ApiEntry] = field(default_factory=dict)
+
+    def exists_at(self, level: int) -> bool:
+        return level in self.levels
+
+
+class ApiDatabase:
+    """Queryable view over every modeled framework level."""
+
+    def __init__(
+        self,
+        classes: dict[ClassName, ApiClassEntry],
+        permission_map: PermissionMap,
+    ) -> None:
+        self._classes = classes
+        self._permission_map = permission_map
+
+    # -- introspection ---------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._classes)
+
+    def __contains__(self, name: ClassName) -> bool:
+        return name in self._classes
+
+    @property
+    def class_names(self) -> tuple[ClassName, ...]:
+        return tuple(self._classes)
+
+    @property
+    def permission_map(self) -> PermissionMap:
+        return self._permission_map
+
+    def clazz(self, name: ClassName) -> ApiClassEntry | None:
+        return self._classes.get(name)
+
+    @property
+    def method_count(self) -> int:
+        return sum(len(entry.methods) for entry in self._classes.values())
+
+    # -- hierarchy ---------------------------------------------------------
+
+    def ancestors(self, name: ClassName) -> tuple[ClassName, ...]:
+        """Super-class chain of ``name``, nearest first (level-agnostic)."""
+        chain: list[ClassName] = []
+        seen = {name}
+        entry = self._classes.get(name)
+        while entry is not None and entry.super_name is not None:
+            if entry.super_name in seen:
+                break
+            seen.add(entry.super_name)
+            chain.append(entry.super_name)
+            entry = self._classes.get(entry.super_name)
+        return tuple(chain)
+
+    # -- method resolution --------------------------------------------------
+
+    def resolve(
+        self, name: ClassName, signature: str
+    ) -> ApiEntry | None:
+        """Find the nearest declaration of ``signature`` on ``name`` or
+        its ancestors (level-agnostic)."""
+        entry = self._classes.get(name)
+        seen: set[ClassName] = set()
+        while entry is not None and entry.name not in seen:
+            seen.add(entry.name)
+            found = entry.methods.get(signature)
+            if found is not None:
+                return found
+            if entry.super_name is None:
+                return None
+            entry = self._classes.get(entry.super_name)
+        return None
+
+    def exists(self, name: ClassName, signature: str, level: int) -> bool:
+        """Algorithm 2's ``apidb.CONTAINS``: is the method callable on
+        ``name`` at ``level``?  Inheritance-aware and sensitive to the
+        declaring class's own lifetime."""
+        entry = self._classes.get(name)
+        seen: set[ClassName] = set()
+        while entry is not None and entry.name not in seen:
+            seen.add(entry.name)
+            if entry.exists_at(level):
+                found = entry.methods.get(signature)
+                if found is not None and found.exists_at(level):
+                    return True
+            if entry.super_name is None:
+                return False
+            entry = self._classes.get(entry.super_name)
+        return False
+
+    def missing_levels(
+        self, name: ClassName, signature: str, interval: ApiInterval
+    ) -> ApiInterval:
+        """Hull of levels within ``interval`` at which the method is
+        not callable (empty = fully supported)."""
+        missing = [
+            level
+            for level in interval
+            if not self.exists(name, signature, level)
+        ]
+        if not missing:
+            return ApiInterval.empty()
+        return ApiInterval.of(min(missing), max(missing))
+
+    # -- callbacks -----------------------------------------------------------
+
+    def callback_entry(
+        self, name: ClassName, signature: str
+    ) -> ApiEntry | None:
+        """The callback declaration ``signature`` resolves to on
+        ``name``/ancestors, or None when it is not a callback."""
+        found = self.resolve(name, signature)
+        if found is not None and found.callback:
+            return found
+        return None
+
+    def callbacks_of(self, name: ClassName) -> tuple[ApiEntry, ...]:
+        """All callbacks declared by ``name`` and its ancestors."""
+        out: list[ApiEntry] = []
+        for class_name in (name, *self.ancestors(name)):
+            entry = self._classes.get(class_name)
+            if entry is None:
+                continue
+            out.extend(
+                method for method in entry.methods.values()
+                if method.callback
+            )
+        return tuple(out)
+
+    # -- permissions ------------------------------------------------------------
+
+    def permissions_for(
+        self, ref: MethodRef, *, deep: bool = True
+    ) -> frozenset[str]:
+        """Permissions required to execute ``ref`` (resolved against
+        the hierarchy first, so inherited APIs map correctly)."""
+        resolved = self.resolve(ref.class_name, ref.name + ref.descriptor)
+        target = resolved.ref if resolved is not None else ref
+        return self._permission_map.permissions_for(target, deep=deep)
+
+    # -- summaries ----------------------------------------------------------------
+
+    def api_count_at(self, level: int) -> int:
+        if not MIN_API_LEVEL <= level <= MAX_API_LEVEL:
+            raise ValueError(f"level {level} outside modeled range")
+        return sum(
+            1
+            for entry in self._classes.values()
+            for method in entry.methods.values()
+            if method.exists_at(level)
+        )

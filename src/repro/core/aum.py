@@ -1,0 +1,367 @@
+"""AUM — the API Usage Modeler (paper section III-A).
+
+Couples the CLVM exploration with the guard analysis to produce the
+artifacts the mismatch detector consumes:
+
+* **API usages** — every app→framework invocation together with the
+  guard-refined interval of device levels under which it can execute.
+  Guard intervals propagate *inter-procedurally*: a callee analyzed
+  from a guarded call site inherits the site's interval as its entry
+  context (memoized per ``(method, interval)``), which is exactly the
+  context-sensitivity that separates SAINTDroid from CID and Lint.
+* **Override records** — app methods overriding framework-declared
+  signatures (callback candidates for Algorithm 3).
+* **Permission uses** — API usages annotated with the dangerous
+  permissions the transitive permission map assigns them.
+
+Documented blind spot (paper section VI): methods of anonymous inner
+classes (``Foo$1``) are analyzed, but guard context does not propagate
+into them — a guard wrapping the *registration* of an anonymous
+listener does not protect the listener body in SAINTDroid's view.
+That asymmetry is the source of SAINTDroid's residual false alarms.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..apk.package import Apk
+from ..framework.repository import FrameworkRepository
+from ..ir.method import Method, MethodFlags
+from ..ir.types import ClassName, MethodRef, is_anonymous_class
+from ..analysis.callgraph import CallGraph
+from ..analysis.clvm import ClassLoaderVM, LoadStats
+from ..analysis.guards import guard_at_allocations, guard_at_invocations
+from ..analysis.summaries import collect_version_helpers
+from ..analysis.intervals import ApiInterval
+from .apidb import ApiDatabase
+
+__all__ = ["ApiUsage", "OverrideRecord", "PermissionUse", "AumModel",
+           "ApiUsageModeler"]
+
+#: Cap on distinct guard contexts analyzed per method before widening
+#: to the app's full interval (prevents pathological blow-up).
+MAX_CONTEXTS_PER_METHOD = 8
+
+
+@dataclass(frozen=True)
+class ApiUsage:
+    """One app→framework call with its executable device-level range."""
+
+    caller: MethodRef
+    api: MethodRef
+    interval: ApiInterval
+
+
+@dataclass(frozen=True)
+class OverrideRecord:
+    """An app method overriding a framework-declared signature."""
+
+    app_class: ClassName
+    method: MethodRef
+    framework_class: ClassName
+
+    @property
+    def signature(self) -> str:
+        return f"{self.method.name}{self.method.descriptor}"
+
+
+@dataclass(frozen=True)
+class PermissionUse:
+    """An API usage that requires dangerous permissions."""
+
+    caller: MethodRef
+    api: MethodRef
+    permissions: frozenset[str]
+    interval: ApiInterval
+
+
+@dataclass
+class AumModel:
+    """Everything AUM extracts from one app."""
+
+    apk: Apk
+    usages: list[ApiUsage] = field(default_factory=list)
+    overrides: list[OverrideRecord] = field(default_factory=list)
+    permission_uses: list[PermissionUse] = field(default_factory=list)
+    callgraph: CallGraph | None = None
+    stats: LoadStats = field(default_factory=LoadStats)
+    unresolved_dynamic_classes: tuple[ClassName, ...] = ()
+    #: Summaries of the app's version-check helper methods:
+    #: (class, name, descriptor) -> device levels returning true.
+    version_helpers: dict[tuple, frozenset[int]] = field(
+        default_factory=dict
+    )
+
+    @property
+    def app_interval(self) -> ApiInterval:
+        lo, hi = self.apk.manifest.supported_range
+        return ApiInterval.of(lo, hi)
+
+
+class ApiUsageModeler:
+    """Builds the :class:`AumModel` for one app."""
+
+    def __init__(
+        self,
+        framework: FrameworkRepository,
+        apidb: ApiDatabase,
+        *,
+        propagate_guards_into_anonymous: bool = False,
+        analyze_secondary_dex: bool = True,
+    ) -> None:
+        """``propagate_guards_into_anonymous=True`` removes the
+        documented anonymous-inner-class blind spot — the ablation knob
+        for benchmark E8."""
+        self._framework = framework
+        self._apidb = apidb
+        self._into_anonymous = propagate_guards_into_anonymous
+        self._secondary = analyze_secondary_dex
+
+    # -- entry points ---------------------------------------------------
+
+    def entry_points(self, apk: Apk) -> tuple[MethodRef, ...]:
+        """Analysis roots: every concrete method of every primary-dex
+        class.  Secondary (late-bound) dex classes join the exploration
+        only through resolved ``loadClass`` sites or virtual dispatch,
+        mirroring how the runtime reaches them."""
+        roots: list[MethodRef] = []
+        for dex in apk.dex_files:
+            if dex.secondary:
+                continue
+            for clazz in dex.classes:
+                for method in clazz.methods:
+                    if method.has_code:
+                        roots.append(method.ref)
+        return tuple(roots)
+
+    # -- main ------------------------------------------------------------
+
+    def build(self, apk: Apk) -> AumModel:
+        model = AumModel(apk=apk)
+        # Resolve against the newest framework level the app can run
+        # on: dispatch through app subclasses must see APIs introduced
+        # after the target level too (the database, not the loaded
+        # image, decides per-level existence).
+        level = apk.manifest.effective_max_sdk
+        vm = ClassLoaderVM(
+            apk,
+            self._framework,
+            level,
+            follow_framework=True,
+            include_secondary_dex=self._secondary,
+        )
+        exploration = vm.explore(self.entry_points(apk))
+        model.callgraph = exploration.callgraph
+        model.stats = exploration.stats
+        model.unresolved_dynamic_classes = (
+            exploration.unresolved_dynamic_classes
+        )
+
+        # Summarize the app's version-check helpers once; branches on
+        # their results then refine intervals like inline SDK checks.
+        model.version_helpers = collect_version_helpers(
+            method
+            for ref in exploration.callgraph.app_methods()
+            if (method := exploration.callgraph.method(ref)) is not None
+            and method.has_code
+        )
+
+        self._propagate_guards(model)
+        self._collect_overrides(model)
+        self._annotate_permissions(model)
+        return model
+
+    # -- guard propagation --------------------------------------------------
+
+    def _guard_roots(self, model: AumModel) -> tuple[MethodRef, ...]:
+        """Methods analyzed under the *unrefined* app interval: those
+        with no resolved app-internal caller (components, callbacks,
+        reflective targets, dead code)."""
+        callgraph = model.callgraph
+        called: set[MethodRef] = set()
+        for caller, sites in callgraph.edges.items():
+            if caller.is_framework:
+                continue
+            for site in sites:
+                target = site.resolved or site.callee
+                if not target.is_framework:
+                    called.add(target)
+        return tuple(
+            ref
+            for ref in callgraph.app_methods()
+            if ref not in called
+        )
+
+    def _anonymous_entry_intervals(
+        self, model: AumModel
+    ) -> dict[ClassName, ApiInterval]:
+        """Guard interval at the allocation sites of each anonymous
+        class, joined over all sites.  Only consulted in the ablation
+        mode that removes the anonymous-class blind spot."""
+        intervals: dict[ClassName, ApiInterval] = {}
+        app_interval = model.app_interval
+        for ref in model.callgraph.app_methods():
+            method = model.callgraph.method(ref)
+            if method is None or method.body is None:
+                continue
+            for allocation, interval in guard_at_allocations(
+                method, app_interval, model.version_helpers
+            ):
+                if not is_anonymous_class(allocation.class_name):
+                    continue
+                joined = interval
+                if allocation.class_name in intervals:
+                    joined = intervals[allocation.class_name].join(interval)
+                intervals[allocation.class_name] = joined
+        return intervals
+
+    def _propagate_guards(self, model: AumModel) -> None:
+        callgraph = model.callgraph
+        app_interval = model.app_interval
+        anonymous_intervals: dict[ClassName, ApiInterval] = (
+            self._anonymous_entry_intervals(model)
+            if self._into_anonymous
+            else {}
+        )
+        contexts_seen: set[tuple[MethodRef, ApiInterval]] = set()
+        context_counts: dict[MethodRef, int] = {}
+        usage_keys: set[tuple[MethodRef, MethodRef]] = set()
+        usage_intervals: dict[tuple[MethodRef, MethodRef], ApiInterval] = {}
+
+        # Pre-index resolved targets per (caller, static callee ref).
+        resolution: dict[tuple[MethodRef, MethodRef], list[MethodRef]] = {}
+        for caller, sites in callgraph.edges.items():
+            for site in sites:
+                key = (caller, site.callee)
+                target = site.resolved or site.callee
+                resolution.setdefault(key, [])
+                if target not in resolution[key]:
+                    resolution[key].append(target)
+
+        def root_interval(root: MethodRef) -> ApiInterval:
+            if is_anonymous_class(root.class_name):
+                return anonymous_intervals.get(
+                    root.class_name, app_interval
+                )
+            return app_interval
+
+        stack: list[tuple[MethodRef, ApiInterval]] = [
+            (root, root_interval(root))
+            for root in self._guard_roots(model)
+        ]
+        while stack:
+            ref, interval = stack.pop()
+            if ref.is_framework:
+                continue
+            count = context_counts.get(ref, 0)
+            if count >= MAX_CONTEXTS_PER_METHOD:
+                interval = app_interval
+            if (ref, interval) in contexts_seen:
+                continue
+            contexts_seen.add((ref, interval))
+            context_counts[ref] = count + 1
+
+            method = callgraph.method(ref)
+            if method is None or method.body is None:
+                continue
+
+            for invoke, refined in guard_at_invocations(
+                method, interval, model.version_helpers
+            ):
+                targets = resolution.get(
+                    (ref, invoke.method), [invoke.method]
+                )
+                for target in targets:
+                    if target.is_framework:
+                        key = (ref, target)
+                        merged = refined
+                        if key in usage_intervals:
+                            merged = usage_intervals[key].join(refined)
+                        usage_intervals[key] = merged
+                        usage_keys.add(key)
+                    else:
+                        callee_interval = refined
+                        if (
+                            not self._into_anonymous
+                            and is_anonymous_class(target.class_name)
+                        ):
+                            # Blind spot: guard context is dropped at
+                            # the boundary of anonymous inner classes.
+                            callee_interval = app_interval
+                        stack.append((target, callee_interval))
+
+        for (caller, api), interval in sorted(
+            usage_intervals.items(),
+            key=lambda item: (str(item[0][0]), str(item[0][1])),
+        ):
+            model.usages.append(
+                ApiUsage(caller=caller, api=api, interval=interval)
+            )
+
+    # -- overrides -----------------------------------------------------------
+
+    def _collect_overrides(self, model: AumModel) -> None:
+        apk = model.apk
+        for clazz in apk.all_classes:
+            if is_anonymous_class(clazz.name):
+                # Documented limitation: dynamically-generated classes
+                # for anonymous declarations are invisible.
+                continue
+            framework_root = self._nearest_framework_ancestor(apk, clazz.name)
+            if framework_root is None:
+                continue
+            for method in clazz.methods:
+                if method.name == "<init>":
+                    continue
+                if method.flags & MethodFlags.STATIC:
+                    continue
+                declared = self._apidb.resolve(
+                    framework_root, method.signature
+                )
+                if declared is not None:
+                    model.overrides.append(
+                        OverrideRecord(
+                            app_class=clazz.name,
+                            method=method.ref,
+                            framework_class=declared.class_name,
+                        )
+                    )
+
+    def _nearest_framework_ancestor(
+        self, apk: Apk, name: ClassName
+    ) -> ClassName | None:
+        """First framework class on the super chain, crossing app-level
+        intermediate classes, level-agnostic (uses database hierarchy)."""
+        seen: set[ClassName] = set()
+        current: ClassName | None = name
+        while current is not None and current not in seen:
+            seen.add(current)
+            app_class = apk.lookup(current)
+            if app_class is not None:
+                current = app_class.super_name
+                continue
+            if current in self._apidb:
+                return current
+            return None
+        return None
+
+    # -- permissions ------------------------------------------------------------
+
+    def _annotate_permissions(self, model: AumModel) -> None:
+        from ..framework.permissions import is_dangerous
+
+        for usage in model.usages:
+            permissions = self._apidb.permissions_for(usage.api, deep=True)
+            dangerous = frozenset(
+                p for p in permissions if is_dangerous(p)
+            )
+            if dangerous:
+                model.permission_uses.append(
+                    PermissionUse(
+                        caller=usage.caller,
+                        api=usage.api,
+                        permissions=dangerous,
+                        interval=usage.interval,
+                    )
+                )

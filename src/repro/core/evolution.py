@@ -1,0 +1,277 @@
+"""“Death on update” analysis (paper section I).
+
+The paper motivates SAINTDroid with framework-update breakage: "23% of
+Android apps behave differently after a framework update, and around
+50% of the Android updates have caused instability in previously
+working apps".  This module answers the concrete question behind that
+statistic for one app: *what changes when the device under this app is
+updated from framework level A to level B?*
+
+:func:`update_impact` classifies every API usage and callback override
+of the app against the two levels:
+
+* **breaking calls** — APIs the app can invoke at the old level that no
+  longer exist at the new one (the crash-on-update case);
+* **healed calls** — calls that were broken before the update and work
+  after it;
+* **silenced hooks** — overridden callbacks the old framework invoked
+  but the new one does not (silent behaviour change);
+* **activated hooks** — overridden callbacks that only start firing
+  after the update (the Simple Solitaire ``onAttach(Context)`` case);
+* **permission model shift** — whether the update crosses the API-23
+  boundary, changing the permission system under an install-time app.
+
+:func:`diff_reports` supports the app-update direction instead: which
+mismatches are new, fixed, or carried over between two *versions of the
+app* analyzed with the same detector.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..apk.manifest import RUNTIME_PERMISSIONS_LEVEL
+from .apidb import ApiDatabase
+from .aum import AumModel
+from .detector import AnalysisReport
+from .mismatch import Mismatch
+from ..ir.types import MethodRef
+
+__all__ = [
+    "CallTransition",
+    "HookTransition",
+    "UpdateImpactReport",
+    "update_impact",
+    "ReportDiff",
+    "diff_reports",
+]
+
+
+@dataclass(frozen=True)
+class CallTransition:
+    """One API usage whose availability changes across the update."""
+
+    caller: MethodRef
+    api: MethodRef
+    exists_before: bool
+    exists_after: bool
+
+    @property
+    def breaking(self) -> bool:
+        return self.exists_before and not self.exists_after
+
+    @property
+    def healed(self) -> bool:
+        return not self.exists_before and self.exists_after
+
+
+@dataclass(frozen=True)
+class HookTransition:
+    """One overridden callback whose liveness changes."""
+
+    app_class: str
+    signature: str
+    framework_class: str
+    fires_before: bool
+    fires_after: bool
+
+    @property
+    def silenced(self) -> bool:
+        return self.fires_before and not self.fires_after
+
+    @property
+    def activated(self) -> bool:
+        return not self.fires_before and self.fires_after
+
+
+@dataclass
+class UpdateImpactReport:
+    """Everything that changes for one app across one device update."""
+
+    app: str
+    old_level: int
+    new_level: int
+    breaking_calls: list[CallTransition] = field(default_factory=list)
+    healed_calls: list[CallTransition] = field(default_factory=list)
+    silenced_hooks: list[HookTransition] = field(default_factory=list)
+    activated_hooks: list[HookTransition] = field(default_factory=list)
+    permission_model_shift: bool = False
+
+    @property
+    def behaviour_changes(self) -> int:
+        """Count of distinct update-induced behaviour changes."""
+        return (
+            len(self.breaking_calls)
+            + len(self.healed_calls)
+            + len(self.silenced_hooks)
+            + len(self.activated_hooks)
+            + (1 if self.permission_model_shift else 0)
+        )
+
+    @property
+    def is_stable(self) -> bool:
+        return self.behaviour_changes == 0
+
+    def describe(self) -> str:
+        lines = [
+            f"update impact for {self.app}: API {self.old_level} -> "
+            f"{self.new_level} "
+            f"({'stable' if self.is_stable else 'behaviour changes'})"
+        ]
+        for transition in self.breaking_calls:
+            lines.append(
+                f"  BREAKS  {transition.caller} -> {transition.api} "
+                f"(removed by the update)"
+            )
+        for transition in self.healed_calls:
+            lines.append(
+                f"  heals   {transition.caller} -> {transition.api} "
+                f"(introduced by the update)"
+            )
+        for hook in self.silenced_hooks:
+            lines.append(
+                f"  SILENCES {hook.app_class}.{hook.signature} "
+                f"(no longer invoked)"
+            )
+        for hook in self.activated_hooks:
+            lines.append(
+                f"  activates {hook.app_class}.{hook.signature} "
+                f"(starts firing after the update)"
+            )
+        if self.permission_model_shift:
+            lines.append(
+                "  SHIFTS permission model: install-time grants become "
+                "runtime-revocable (API 23 boundary crossed)"
+            )
+        return "\n".join(lines)
+
+
+def update_impact(
+    model: AumModel,
+    apidb: ApiDatabase,
+    old_level: int,
+    new_level: int,
+) -> UpdateImpactReport:
+    """Classify an app's framework surface across a device update.
+
+    ``model`` is the AUM artifact from a prior analysis (it carries all
+    usages and overrides); levels need not be adjacent or increasing.
+    """
+    report = UpdateImpactReport(
+        app=model.apk.name, old_level=old_level, new_level=new_level
+    )
+
+    seen_calls: set[tuple[MethodRef, MethodRef]] = set()
+    for usage in model.usages:
+        key = (usage.caller, usage.api)
+        if key in seen_calls:
+            continue
+        seen_calls.add(key)
+        # Only calls that can actually execute at the given levels
+        # matter; guard-excluded levels cannot break.
+        before_reachable = old_level in usage.interval
+        after_reachable = new_level in usage.interval
+        exists_before = apidb.exists(
+            usage.api.class_name, usage.api.signature, old_level
+        )
+        exists_after = apidb.exists(
+            usage.api.class_name, usage.api.signature, new_level
+        )
+        transition = CallTransition(
+            caller=usage.caller,
+            api=usage.api,
+            exists_before=exists_before,
+            exists_after=exists_after,
+        )
+        if transition.breaking and after_reachable:
+            report.breaking_calls.append(transition)
+        elif transition.healed and before_reachable:
+            report.healed_calls.append(transition)
+
+    seen_hooks: set[tuple[str, str]] = set()
+    for record in model.overrides:
+        key = (record.app_class, record.signature)
+        if key in seen_hooks:
+            continue
+        seen_hooks.add(key)
+        entry = apidb.callback_entry(
+            record.framework_class, record.signature
+        )
+        if entry is None:
+            continue
+        fires_before = apidb.exists(
+            record.framework_class, record.signature, old_level
+        )
+        fires_after = apidb.exists(
+            record.framework_class, record.signature, new_level
+        )
+        hook = HookTransition(
+            app_class=record.app_class,
+            signature=record.signature,
+            framework_class=record.framework_class,
+            fires_before=fires_before,
+            fires_after=fires_after,
+        )
+        if hook.silenced:
+            report.silenced_hooks.append(hook)
+        elif hook.activated:
+            report.activated_hooks.append(hook)
+
+    crosses_23 = (
+        old_level < RUNTIME_PERMISSIONS_LEVEL <= new_level
+        or new_level < RUNTIME_PERMISSIONS_LEVEL <= old_level
+    )
+    uses_dangerous = bool(model.permission_uses)
+    report.permission_model_shift = crosses_23 and uses_dangerous
+    return report
+
+
+# ---------------------------------------------------------------------------
+# app-update direction: diff two analysis reports
+# ---------------------------------------------------------------------------
+
+@dataclass
+class ReportDiff:
+    """Mismatch-level diff between two versions of an app."""
+
+    introduced: list[Mismatch] = field(default_factory=list)
+    fixed: list[Mismatch] = field(default_factory=list)
+    carried: list[Mismatch] = field(default_factory=list)
+
+    @property
+    def regressed(self) -> bool:
+        return bool(self.introduced)
+
+    def summary(self) -> str:
+        return (
+            f"{len(self.introduced)} introduced, {len(self.fixed)} fixed, "
+            f"{len(self.carried)} carried over"
+        )
+
+
+def diff_reports(
+    old: AnalysisReport, new: AnalysisReport
+) -> ReportDiff:
+    """Which mismatches a new app version introduces/fixes/carries.
+
+    Keys ignore the app label so two differently-labeled versions of
+    the same package compare cleanly.
+    """
+
+    def unlabeled(keys_source: AnalysisReport) -> dict:
+        return {
+            (m.key[0],) + m.key[2:]: m for m in keys_source.mismatches
+        }
+
+    old_keys = unlabeled(old)
+    new_keys = unlabeled(new)
+    diff = ReportDiff()
+    for key, mismatch in new_keys.items():
+        if key in old_keys:
+            diff.carried.append(mismatch)
+        else:
+            diff.introduced.append(mismatch)
+    for key, mismatch in old_keys.items():
+        if key not in new_keys:
+            diff.fixed.append(mismatch)
+    return diff

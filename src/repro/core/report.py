@@ -1,0 +1,64 @@
+"""Plain-text rendering of analysis reports."""
+
+from __future__ import annotations
+
+from .detector import AnalysisReport
+from .mismatch import MismatchKind
+
+__all__ = ["render_report", "render_summary_line"]
+
+_KIND_ORDER = (
+    MismatchKind.API_INVOCATION,
+    MismatchKind.API_CALLBACK,
+    MismatchKind.PERMISSION_REQUEST,
+    MismatchKind.PERMISSION_REVOCATION,
+)
+
+
+def render_summary_line(report: AnalysisReport) -> str:
+    """One line: app, per-kind counts, and timing."""
+    counts = report.by_kind()
+    parts = [
+        f"{kind.value}={counts.get(kind.value, 0)}" for kind in _KIND_ORDER
+    ]
+    timing = ""
+    if report.metrics is not None:
+        timing = (
+            f"  ({report.metrics.wall_time_s:.2f}s wall, "
+            f"{report.metrics.modeled_seconds:.1f}s modeled)"
+        )
+    return f"{report.app}: {'  '.join(parts)}{timing}"
+
+
+def render_report(report: AnalysisReport, *, verbose: bool = False) -> str:
+    """Full report: summary, then one line per mismatch grouped by kind."""
+    lines = [
+        f"== {report.tool} analysis of {report.app} ==",
+        render_summary_line(report),
+    ]
+    for kind in _KIND_ORDER:
+        group = [m for m in report.mismatches if m.kind is kind]
+        if not group:
+            continue
+        lines.append("")
+        lines.append(f"-- {kind.value} ({len(group)}) --")
+        for mismatch in group:
+            lines.append("  " + mismatch.describe())
+            if verbose and mismatch.message:
+                lines.append(f"      {mismatch.message}")
+    if report.metrics is not None and verbose:
+        stats = report.metrics.stats
+        lines.extend(
+            [
+                "",
+                "-- metrics --",
+                f"  classes loaded: {stats.classes_loaded} "
+                f"(app {stats.app_classes_loaded}, "
+                f"framework {stats.framework_classes_loaded})",
+                f"  methods analyzed: {stats.methods_analyzed}",
+                f"  modeled time: {report.metrics.modeled_seconds:.1f} s",
+                f"  modeled memory: "
+                f"{report.metrics.modeled_memory_mb:.0f} MB",
+            ]
+        )
+    return "\n".join(lines)

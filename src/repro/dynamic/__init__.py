@@ -1,0 +1,29 @@
+"""Dynamic analysis: a concrete IR interpreter with crash observation
+and the dynamic verifier for static findings (the paper's section VI
+future-work proposal, implemented)."""
+
+from .device import DeviceProfile
+from .interpreter import (
+    Crash,
+    CrashKind,
+    ExecutionBudgetExceeded,
+    Interpreter,
+)
+from .verifier import (
+    DynamicVerifier,
+    VerificationResult,
+    Verdict,
+    VerifiedMismatch,
+)
+
+__all__ = [
+    "Crash",
+    "CrashKind",
+    "DeviceProfile",
+    "DynamicVerifier",
+    "ExecutionBudgetExceeded",
+    "Interpreter",
+    "VerificationResult",
+    "Verdict",
+    "VerifiedMismatch",
+]

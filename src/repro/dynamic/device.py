@@ -1,0 +1,60 @@
+"""Device model for dynamic execution.
+
+A :class:`DeviceProfile` fixes the run-time environment the paper's
+static analysis reasons about: the installed API level and the state
+of the (post-23) runtime permission system.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..apk.manifest import MAX_API_LEVEL, MIN_API_LEVEL, \
+    RUNTIME_PERMISSIONS_LEVEL
+
+__all__ = ["DeviceProfile"]
+
+
+@dataclass(frozen=True)
+class DeviceProfile:
+    """One concrete device configuration.
+
+    ``granted_permissions`` models the runtime permission state on
+    API ≥ 23 devices.  Below 23 the install-time model applies: every
+    manifest permission is granted and cannot be revoked, so the set
+    is ignored there.
+    """
+
+    api_level: int
+    granted_permissions: frozenset[str] = field(default_factory=frozenset)
+
+    def __post_init__(self) -> None:
+        if not MIN_API_LEVEL <= self.api_level <= MAX_API_LEVEL:
+            raise ValueError(
+                f"device API level {self.api_level} outside "
+                f"[{MIN_API_LEVEL}, {MAX_API_LEVEL}]"
+            )
+
+    @property
+    def runtime_permissions_active(self) -> bool:
+        return self.api_level >= RUNTIME_PERMISSIONS_LEVEL
+
+    def permits(self, permission: str) -> bool:
+        """Whether executing code holding ``permission`` succeeds."""
+        if not self.runtime_permissions_active:
+            return True  # install-time grants, nothing revocable
+        return permission in self.granted_permissions
+
+    def granting(self, *permissions: str) -> "DeviceProfile":
+        """A copy with additional permissions granted."""
+        return DeviceProfile(
+            api_level=self.api_level,
+            granted_permissions=self.granted_permissions
+            | frozenset(permissions),
+        )
+
+    def __str__(self) -> str:  # pragma: no cover - repr convenience
+        return (
+            f"Device(API {self.api_level}, "
+            f"{len(self.granted_permissions)} grants)"
+        )

@@ -1,0 +1,391 @@
+"""Concrete IR interpreter with crash observation.
+
+Executes app code on a :class:`~repro.dynamic.device.DeviceProfile`
+and records the crashes the static mismatches predict:
+
+* invoking a framework method that does not exist at the device's API
+  level → :data:`CrashKind.MISSING_METHOD` (the runtime's
+  ``NoSuchMethodError``);
+* invoking an API whose (transitive) dangerous permissions the device
+  has not granted, on a runtime-permission device →
+  :data:`CrashKind.PERMISSION_DENIED` (``SecurityException``).
+
+Unlike the static analysis, execution evaluates ``SDK_INT`` guards
+*concretely* — a properly guarded call simply never runs on the
+vulnerable levels — which is what makes the interpreter a verifier for
+static findings (paper section VI's proposed dynamic complement).
+
+Framework methods are not executed; they are effect-summarized (the
+two crash checks plus *callback trampolining*: passing an app object
+to a framework API executes the callbacks that object overrides, the
+way ``Handler.post(runnable)`` eventually runs ``run()``).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from ..apk.package import Apk
+from ..core.apidb import ApiDatabase
+from ..framework.permissions import is_dangerous
+from ..ir.clazz import Clazz
+from ..ir.instructions import (
+    BinOp,
+    ConstInt,
+    ConstNull,
+    ConstString,
+    FieldGet,
+    FieldPut,
+    Goto,
+    IfCmp,
+    IfCmpZero,
+    Invoke,
+    Move,
+    MoveResult,
+    NewInstance,
+    Nop,
+    Return,
+    ReturnVoid,
+    SdkIntLoad,
+    Throw,
+)
+from ..ir.method import Method
+from ..ir.types import ClassName, MethodRef, SDK_INT_FIELD, \
+    is_framework_class
+from .device import DeviceProfile
+
+__all__ = ["CrashKind", "Crash", "ExecutionBudgetExceeded", "Interpreter"]
+
+
+class CrashKind(enum.Enum):
+    MISSING_METHOD = "missing-method"
+    PERMISSION_DENIED = "permission-denied"
+    APP_THROW = "app-throw"
+
+
+@dataclass(frozen=True)
+class Crash:
+    """One observed runtime failure."""
+
+    kind: CrashKind
+    api: MethodRef | None
+    location: MethodRef
+    api_level: int
+    permission: str | None = None
+
+    def __str__(self) -> str:  # pragma: no cover - repr convenience
+        detail = self.permission or (str(self.api) if self.api else "")
+        return (
+            f"{self.kind.value} in {self.location} on API "
+            f"{self.api_level}: {detail}"
+        )
+
+
+class ExecutionBudgetExceeded(RuntimeError):
+    """The step or depth budget ran out (loops / deep recursion)."""
+
+
+class _SimulatedCrash(Exception):
+    """Internal unwinding signal carrying the crash record."""
+
+    def __init__(self, crash: Crash) -> None:
+        super().__init__(str(crash))
+        self.crash = crash
+
+
+@dataclass(frozen=True)
+class _AppObject:
+    """A runtime instance of an app class."""
+
+    class_name: ClassName
+
+
+_OPAQUE = object()  # values of unknown provenance
+
+
+@dataclass
+class _Frame:
+    registers: dict[int, object] = field(default_factory=dict)
+    last_result: object = _OPAQUE
+
+
+class Interpreter:
+    """Executes one app's code against one device profile."""
+
+    def __init__(
+        self,
+        apk: Apk,
+        apidb: ApiDatabase,
+        device: DeviceProfile,
+        *,
+        max_steps: int = 200_000,
+        max_depth: int = 48,
+    ) -> None:
+        self._apk = apk
+        self._apidb = apidb
+        self._device = device
+        self._max_steps = max_steps
+        self._max_depth = max_depth
+        self._steps = 0
+
+    # -- public ----------------------------------------------------------
+
+    def run(self, entry: MethodRef) -> Crash | None:
+        """Execute ``entry``; return the first crash or None."""
+        method = self._find_app_method(entry)
+        if method is None or method.body is None:
+            return None
+        self._steps = 0
+        try:
+            self._execute(method, depth=0)
+        except _SimulatedCrash as crash:
+            return crash.crash
+        return None
+
+    # -- resolution --------------------------------------------------------
+
+    def _find_app_method(self, ref: MethodRef) -> Method | None:
+        clazz = self._apk.lookup(ref.class_name)
+        seen: set[ClassName] = set()
+        while clazz is not None and clazz.name not in seen:
+            seen.add(clazz.name)
+            found = clazz.method(ref.signature)
+            if found is not None:
+                return found
+            if clazz.super_name is None:
+                return None
+            clazz = self._apk.lookup(clazz.super_name)
+        return None
+
+    def _app_receiver_framework_root(self, name: ClassName) -> ClassName | None:
+        """First framework class up an app class's super chain."""
+        current: ClassName | None = name
+        seen: set[ClassName] = set()
+        while current is not None and current not in seen:
+            seen.add(current)
+            clazz = self._apk.lookup(current)
+            if clazz is None:
+                return current if current in self._apidb else None
+            current = clazz.super_name
+        return None
+
+    # -- the crash checks -----------------------------------------------------
+
+    def _check_framework_call(
+        self, callee: MethodRef, location: MethodRef
+    ) -> None:
+        entry = self._apidb.resolve(callee.class_name, callee.signature)
+        if entry is None:
+            return  # unknown namespace: no-op, like a stubbed library
+        if not self._apidb.exists(
+            callee.class_name, callee.signature, self._device.api_level
+        ):
+            raise _SimulatedCrash(
+                Crash(
+                    kind=CrashKind.MISSING_METHOD,
+                    api=entry.ref,
+                    location=location,
+                    api_level=self._device.api_level,
+                )
+            )
+        for permission in sorted(
+            self._apidb.permissions_for(entry.ref, deep=True)
+        ):
+            if not is_dangerous(permission):
+                continue
+            if not self._device.permits(permission):
+                raise _SimulatedCrash(
+                    Crash(
+                        kind=CrashKind.PERMISSION_DENIED,
+                        api=entry.ref,
+                        location=location,
+                        api_level=self._device.api_level,
+                        permission=permission,
+                    )
+                )
+
+    # -- trampolining -------------------------------------------------------
+
+    def _callback_overrides(self, clazz: Clazz) -> list[Method]:
+        """Methods of ``clazz`` overriding framework callbacks."""
+        out = []
+        for method in clazz.methods:
+            if not method.has_code:
+                continue
+            root = None
+            for super_name in clazz.supertypes:
+                root = super_name if is_framework_class(super_name) else (
+                    self._app_receiver_framework_root(super_name)
+                )
+                if root is not None:
+                    entry = self._apidb.callback_entry(
+                        root, method.signature
+                    )
+                    if entry is not None:
+                        out.append(method)
+                        break
+        return out
+
+    def _trampoline(self, target: _AppObject, depth: int) -> None:
+        """The framework received an app object: its callback
+        overrides will run (Handler.post → run(), listeners, …)."""
+        clazz = self._apk.lookup(target.class_name)
+        if clazz is None:
+            return
+        for method in self._callback_overrides(clazz):
+            self._execute(method, depth + 1)
+
+    # -- the machine ----------------------------------------------------------
+
+    def _budget(self, depth: int) -> None:
+        self._steps += 1
+        if self._steps > self._max_steps:
+            raise ExecutionBudgetExceeded(
+                f"step budget exceeded in {self._apk.name}"
+            )
+        if depth > self._max_depth:
+            raise ExecutionBudgetExceeded(
+                f"call depth exceeded in {self._apk.name}"
+            )
+
+    def _execute(self, method: Method, depth: int) -> object:
+        """Run ``method``; returns its return value (``_OPAQUE`` when
+        unknown, ``None`` for void)."""
+        if method.body is None or not method.body.instructions:
+            return None
+        frame = _Frame()
+        body = method.body
+        pc = 0
+        while 0 <= pc < len(body.instructions):
+            self._budget(depth)
+            instruction = body.instructions[pc]
+
+            if isinstance(instruction, ConstInt):
+                frame.registers[instruction.dest] = instruction.value
+            elif isinstance(instruction, ConstString):
+                frame.registers[instruction.dest] = instruction.value
+            elif isinstance(instruction, ConstNull):
+                frame.registers[instruction.dest] = None
+            elif isinstance(instruction, SdkIntLoad):
+                frame.registers[instruction.dest] = self._device.api_level
+            elif isinstance(instruction, FieldGet):
+                if instruction.fieldref == SDK_INT_FIELD:
+                    frame.registers[instruction.dest] = (
+                        self._device.api_level
+                    )
+                else:
+                    frame.registers[instruction.dest] = _OPAQUE
+            elif isinstance(instruction, FieldPut):
+                pass
+            elif isinstance(instruction, Move):
+                frame.registers[instruction.dest] = frame.registers.get(
+                    instruction.src, _OPAQUE
+                )
+            elif isinstance(instruction, BinOp):
+                lhs = frame.registers.get(instruction.lhs, _OPAQUE)
+                rhs = frame.registers.get(instruction.rhs, _OPAQUE)
+                frame.registers[instruction.dest] = self._binop(
+                    instruction.op, lhs, rhs
+                )
+            elif isinstance(instruction, MoveResult):
+                frame.registers[instruction.dest] = frame.last_result
+            elif isinstance(instruction, NewInstance):
+                if self._apk.lookup(instruction.class_name) is not None:
+                    frame.registers[instruction.dest] = _AppObject(
+                        instruction.class_name
+                    )
+                else:
+                    frame.registers[instruction.dest] = _OPAQUE
+            elif isinstance(instruction, IfCmp):
+                lhs = frame.registers.get(instruction.lhs, _OPAQUE)
+                rhs = frame.registers.get(instruction.rhs, _OPAQUE)
+                if self._compare(instruction.op, lhs, rhs):
+                    pc = body.resolve(instruction.target)
+                    continue
+            elif isinstance(instruction, IfCmpZero):
+                lhs = frame.registers.get(instruction.lhs, _OPAQUE)
+                if self._compare(instruction.op, lhs, 0):
+                    pc = body.resolve(instruction.target)
+                    continue
+            elif isinstance(instruction, Goto):
+                pc = body.resolve(instruction.target)
+                continue
+            elif isinstance(instruction, Invoke):
+                self._invoke(instruction, method.ref, frame, depth)
+            elif isinstance(instruction, ReturnVoid):
+                return None
+            elif isinstance(instruction, Return):
+                return frame.registers.get(instruction.src, _OPAQUE)
+            elif isinstance(instruction, Throw):
+                raise _SimulatedCrash(
+                    Crash(
+                        kind=CrashKind.APP_THROW,
+                        api=None,
+                        location=method.ref,
+                        api_level=self._device.api_level,
+                    )
+                )
+            elif isinstance(instruction, Nop):
+                pass
+            pc += 1
+        return None
+
+    def _invoke(
+        self,
+        instruction: Invoke,
+        location: MethodRef,
+        frame: _Frame,
+        depth: int,
+    ) -> None:
+        callee = instruction.method
+        target_class = callee.class_name
+        app_method = self._find_app_method(callee)
+
+        if app_method is not None:
+            result = self._execute(app_method, depth + 1)
+            # Concrete results (e.g. a version-check helper's boolean)
+            # flow back so guards behave like the real runtime.
+            frame.last_result = _OPAQUE if result is None else result
+            return
+
+        # Not defined by app code: resolve against the framework —
+        # either directly or through an app class's framework ancestry.
+        if not is_framework_class(target_class):
+            root = self._app_receiver_framework_root(target_class)
+            if root is None:
+                frame.last_result = _OPAQUE
+                return
+            callee = MethodRef(root, callee.name, callee.descriptor)
+
+        self._check_framework_call(callee, location)
+
+        # Callback trampolining for app objects handed to the ADF.
+        for register in instruction.args:
+            value = frame.registers.get(register, _OPAQUE)
+            if isinstance(value, _AppObject):
+                self._trampoline(value, depth)
+        frame.last_result = _OPAQUE
+
+    # -- value helpers ------------------------------------------------------------
+
+    @staticmethod
+    def _binop(op: str, lhs: object, rhs: object) -> object:
+        if isinstance(lhs, int) and isinstance(rhs, int):
+            if op == "+":
+                return lhs + rhs
+            if op == "-":
+                return lhs - rhs
+            if op == "*":
+                return lhs * rhs
+            if op == "/":
+                return lhs // rhs if rhs else 0
+        return _OPAQUE
+
+    @staticmethod
+    def _compare(op, lhs: object, rhs: object) -> bool:
+        if isinstance(lhs, int) and isinstance(rhs, int):
+            return op.evaluate(lhs, rhs)
+        # Unknown operands: deterministic fall-through (a dynamic run
+        # picks one path; the harness varies device levels, not data).
+        return False

@@ -1,0 +1,201 @@
+"""Dynamic verification of static findings (paper section VI).
+
+The paper proposes complementing the conservative static analysis with
+dynamic analysis "to automatically verify incompatibilities …, further
+alleviating the burden of manual analysis".  This module implements
+that proposal:
+
+for every static mismatch, the verifier executes the app — every
+non-anonymous concrete method, the way a test harness or UI monkey
+drives an app — on device profiles drawn from the mismatch's missing
+levels, and checks whether the predicted crash is actually observable.
+
+* **API mismatches** are confirmed by a ``MISSING_METHOD`` crash on
+  the same API at a missing level.  Static false alarms whose guards
+  live outside the analyzed scope (the anonymous-inner-class blind
+  spot) are *refuted* here: concrete execution respects the guard, so
+  the listener never runs on the vulnerable levels.
+* **Permission mismatches** are confirmed by a ``PERMISSION_DENIED``
+  crash on a runtime-permission device that has not granted (request
+  mismatch) or has revoked (revocation mismatch) the permission.
+* **Callback mismatches** have no crash to observe — the failure mode
+  is a hook that is silently never invoked — so they are classified
+  ``STATIC_ONLY`` rather than confirmed or refuted.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from ..apk.package import Apk
+from ..core.apidb import ApiDatabase
+from ..core.detector import AnalysisReport
+from ..core.mismatch import Mismatch, MismatchKind
+from ..ir.types import MethodRef, is_anonymous_class
+from .device import DeviceProfile
+from .interpreter import Crash, CrashKind, ExecutionBudgetExceeded, \
+    Interpreter
+
+__all__ = ["Verdict", "VerifiedMismatch", "VerificationResult",
+           "DynamicVerifier"]
+
+
+class Verdict(enum.Enum):
+    CONFIRMED = "confirmed"
+    REFUTED = "refuted"
+    STATIC_ONLY = "static-only"
+
+
+@dataclass(frozen=True)
+class VerifiedMismatch:
+    mismatch: Mismatch
+    verdict: Verdict
+    evidence: Crash | None = None
+
+
+@dataclass
+class VerificationResult:
+    app: str
+    verified: list[VerifiedMismatch] = field(default_factory=list)
+
+    @property
+    def confirmed(self) -> tuple[VerifiedMismatch, ...]:
+        return tuple(
+            v for v in self.verified if v.verdict is Verdict.CONFIRMED
+        )
+
+    @property
+    def refuted(self) -> tuple[VerifiedMismatch, ...]:
+        return tuple(
+            v for v in self.verified if v.verdict is Verdict.REFUTED
+        )
+
+    @property
+    def static_only(self) -> tuple[VerifiedMismatch, ...]:
+        return tuple(
+            v for v in self.verified if v.verdict is Verdict.STATIC_ONLY
+        )
+
+    def surviving_mismatches(self) -> list[Mismatch]:
+        """Static findings minus the dynamically refuted ones."""
+        return [
+            v.mismatch
+            for v in self.verified
+            if v.verdict is not Verdict.REFUTED
+        ]
+
+
+class DynamicVerifier:
+    """Drives the interpreter to verify one app's static report."""
+
+    def __init__(
+        self,
+        apk: Apk,
+        apidb: ApiDatabase,
+        *,
+        max_levels_per_mismatch: int = 3,
+    ) -> None:
+        self._apk = apk
+        self._apidb = apidb
+        self._max_levels = max_levels_per_mismatch
+        self._crash_cache: dict[tuple, tuple[Crash, ...]] = {}
+
+    # -- harness ----------------------------------------------------------
+
+    def entry_points(self) -> tuple[MethodRef, ...]:
+        """Everything a harness can drive directly: concrete methods of
+        non-anonymous app classes (anonymous instances only run when
+        reached through real control flow — that asymmetry is what
+        refutes the static blind-spot false alarms)."""
+        out = []
+        for clazz in self._apk.all_classes:
+            if is_anonymous_class(clazz.name):
+                continue
+            for method in clazz.methods:
+                if method.has_code and method.name != "<init>":
+                    out.append(method.ref)
+        return tuple(out)
+
+    def observed_crashes(self, device: DeviceProfile) -> tuple[Crash, ...]:
+        """All crashes any entry point produces on ``device``."""
+        key = (device.api_level, device.granted_permissions)
+        if key in self._crash_cache:
+            return self._crash_cache[key]
+        crashes: list[Crash] = []
+        interpreter = Interpreter(self._apk, self._apidb, device)
+        for entry in self.entry_points():
+            try:
+                crash = interpreter.run(entry)
+            except ExecutionBudgetExceeded:
+                continue
+            if crash is not None:
+                crashes.append(crash)
+        result = tuple(crashes)
+        self._crash_cache[key] = result
+        return result
+
+    # -- per-mismatch verification --------------------------------------------
+
+    def _probe_levels(self, mismatch: Mismatch) -> list[int]:
+        """Representative device levels within the missing range."""
+        missing = mismatch.missing_levels
+        lo, hi = self._apk.manifest.supported_range
+        levels = [
+            level for level in missing if lo <= level <= hi
+        ]
+        if len(levels) <= self._max_levels:
+            return levels
+        return sorted({levels[0], levels[len(levels) // 2], levels[-1]})
+
+    def verify(self, mismatch: Mismatch) -> VerifiedMismatch:
+        if mismatch.kind is MismatchKind.API_CALLBACK:
+            return VerifiedMismatch(mismatch, Verdict.STATIC_ONLY)
+
+        if mismatch.kind is MismatchKind.API_INVOCATION:
+            for level in self._probe_levels(mismatch):
+                # Grant everything: permission crashes must not mask
+                # the missing-method probe.
+                device = DeviceProfile(
+                    api_level=level,
+                    granted_permissions=frozenset(
+                        self._all_dangerous_permissions()
+                    ),
+                )
+                for crash in self.observed_crashes(device):
+                    if (
+                        crash.kind is CrashKind.MISSING_METHOD
+                        and crash.api == mismatch.subject
+                        and crash.location == mismatch.location
+                    ):
+                        return VerifiedMismatch(
+                            mismatch, Verdict.CONFIRMED, crash
+                        )
+            return VerifiedMismatch(mismatch, Verdict.REFUTED)
+
+        # Permission mismatches: runtime-permission device where the
+        # permission is not granted (never requested, or revoked).
+        for level in self._probe_levels(mismatch):
+            if level < 23:
+                continue
+            device = DeviceProfile(api_level=level)
+            for crash in self.observed_crashes(device):
+                if (
+                    crash.kind is CrashKind.PERMISSION_DENIED
+                    and crash.permission == mismatch.permission
+                ):
+                    return VerifiedMismatch(
+                        mismatch, Verdict.CONFIRMED, crash
+                    )
+        return VerifiedMismatch(mismatch, Verdict.REFUTED)
+
+    def verify_all(self, report: AnalysisReport) -> VerificationResult:
+        result = VerificationResult(app=report.app)
+        for mismatch in report.mismatches:
+            result.verified.append(self.verify(mismatch))
+        return result
+
+    @staticmethod
+    def _all_dangerous_permissions() -> frozenset[str]:
+        from ..framework.permissions import DANGEROUS_PERMISSIONS
+        return frozenset(DANGEROUS_PERMISSIONS)

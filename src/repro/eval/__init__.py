@@ -1,0 +1,70 @@
+"""Evaluation layer: scoring, experiment runner, table and figure
+renderers for every experiment in the paper."""
+
+from .accuracy import (
+    ConfusionCounts,
+    KIND_GROUPS,
+    ToolAccuracy,
+    score_app,
+    score_apps,
+)
+from .runner import AppResult, RunResults, ToolSet, run_tools
+from .tables import (
+    render_rq2,
+    render_table1,
+    render_table2,
+    render_table3,
+    render_table4,
+    rq2_summary,
+    table1_taxonomy,
+    table2_accuracy,
+    table3_times,
+    table4_capabilities,
+)
+from .sweep import SweepPoint, sweep_framework_scale
+from .export import (
+    export_accuracy_csv,
+    export_memory_csv,
+    export_run_json,
+    export_timing_csv,
+)
+from .figures import (
+    TimingSummary,
+    ascii_scatter,
+    figure1_regions,
+    figure3_series,
+    figure4_series,
+)
+
+__all__ = [
+    "AppResult",
+    "ConfusionCounts",
+    "KIND_GROUPS",
+    "RunResults",
+    "TimingSummary",
+    "ToolAccuracy",
+    "ToolSet",
+    "ascii_scatter",
+    "export_accuracy_csv",
+    "export_memory_csv",
+    "export_run_json",
+    "export_timing_csv",
+    "figure1_regions",
+    "figure3_series",
+    "figure4_series",
+    "render_rq2",
+    "render_table1",
+    "render_table2",
+    "render_table3",
+    "render_table4",
+    "SweepPoint",
+    "sweep_framework_scale",
+    "rq2_summary",
+    "run_tools",
+    "score_app",
+    "score_apps",
+    "table1_taxonomy",
+    "table2_accuracy",
+    "table3_times",
+    "table4_capabilities",
+]

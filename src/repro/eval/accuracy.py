@@ -1,0 +1,131 @@
+"""Accuracy scoring: tool reports versus seeded ground truth.
+
+Scoring is set arithmetic on stable mismatch keys (see
+:attr:`repro.core.mismatch.Mismatch.key` and
+:class:`repro.workload.groundtruth.SeededIssue`).  A failed analysis
+(timeout, crash, unbuildable app) contributes every seeded issue of
+that app as a false negative — the tool genuinely did not find them —
+and no false positives.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..core.detector import AnalysisReport
+from ..workload.groundtruth import GroundTruth
+
+__all__ = ["ConfusionCounts", "ToolAccuracy", "score_app", "score_apps",
+           "KIND_GROUPS"]
+
+#: Kind groupings used in reports: per-kind plus the paper's pooled
+#: API+APC headline and an everything pool.
+KIND_GROUPS: dict[str, tuple[str, ...]] = {
+    "API": ("API",),
+    "APC": ("APC",),
+    "PRM": ("PRM-request", "PRM-revocation"),
+    "API+APC": ("API", "APC"),
+    "ALL": ("API", "APC", "PRM-request", "PRM-revocation"),
+}
+
+
+@dataclass
+class ConfusionCounts:
+    """True/false positive and false negative tallies."""
+
+    tp: int = 0
+    fp: int = 0
+    fn: int = 0
+
+    def add(self, other: "ConfusionCounts") -> None:
+        self.tp += other.tp
+        self.fp += other.fp
+        self.fn += other.fn
+
+    @property
+    def reported(self) -> int:
+        return self.tp + self.fp
+
+    @property
+    def actual(self) -> int:
+        return self.tp + self.fn
+
+    @property
+    def precision(self) -> float:
+        if self.tp + self.fp == 0:
+            return 0.0
+        return self.tp / (self.tp + self.fp)
+
+    @property
+    def recall(self) -> float:
+        if self.tp + self.fn == 0:
+            return 0.0
+        return self.tp / (self.tp + self.fn)
+
+    @property
+    def f1(self) -> float:
+        p, r = self.precision, self.recall
+        if p + r == 0:
+            return 0.0
+        return 2 * p * r / (p + r)
+
+    def __str__(self) -> str:  # pragma: no cover - repr convenience
+        return (
+            f"TP={self.tp} FP={self.fp} FN={self.fn} "
+            f"P={self.precision:.2f} R={self.recall:.2f} F1={self.f1:.2f}"
+        )
+
+
+def _kind_of_key(key: tuple) -> str:
+    return key[0]
+
+
+def score_app(
+    report: AnalysisReport,
+    truth: GroundTruth,
+    kinds: tuple[str, ...],
+) -> ConfusionCounts:
+    """Score one tool's report on one app, restricted to ``kinds``."""
+    truth_keys = {
+        key for key in truth.issue_keys if _kind_of_key(key) in kinds
+    }
+    failed = report.metrics is not None and report.metrics.failed
+    if failed:
+        return ConfusionCounts(tp=0, fp=0, fn=len(truth_keys))
+    reported = {
+        key for key in report.keys if _kind_of_key(key) in kinds
+    }
+    tp = len(reported & truth_keys)
+    return ConfusionCounts(
+        tp=tp,
+        fp=len(reported - truth_keys),
+        fn=len(truth_keys - reported),
+    )
+
+
+@dataclass
+class ToolAccuracy:
+    """Aggregated accuracy of one tool over a set of apps."""
+
+    tool: str
+    by_group: dict[str, ConfusionCounts] = field(default_factory=dict)
+    failed_apps: list[str] = field(default_factory=list)
+
+    def group(self, name: str) -> ConfusionCounts:
+        return self.by_group.setdefault(name, ConfusionCounts())
+
+
+def score_apps(
+    tool: str,
+    pairs: list[tuple[AnalysisReport, GroundTruth]],
+    groups: dict[str, tuple[str, ...]] | None = None,
+) -> ToolAccuracy:
+    """Aggregate one tool across many (report, truth) pairs."""
+    groups = groups or KIND_GROUPS
+    accuracy = ToolAccuracy(tool=tool)
+    for report, truth in pairs:
+        if report.metrics is not None and report.metrics.failed:
+            accuracy.failed_apps.append(report.app)
+        for name, kinds in groups.items():
+            accuracy.group(name).add(score_app(report, truth, kinds))
+    return accuracy

@@ -1,0 +1,121 @@
+"""Machine-readable exports of experiment results.
+
+The text renderers in :mod:`repro.eval.tables` target terminals; this
+module writes the same data as CSV/JSON so results can be plotted or
+post-processed with any external tool (the paper's figures are scatter
+and bar charts — the series exported here regenerate them exactly).
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+
+from .accuracy import KIND_GROUPS
+from .runner import RunResults
+
+__all__ = [
+    "export_accuracy_csv",
+    "export_timing_csv",
+    "export_memory_csv",
+    "export_run_json",
+]
+
+
+def export_accuracy_csv(run: RunResults, path: str | Path) -> None:
+    """Per-tool, per-group confusion counts and derived metrics."""
+    with open(path, "w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(
+            ["tool", "group", "tp", "fp", "fn",
+             "precision", "recall", "f1"]
+        )
+        for tool in run.tools:
+            accuracy = run.accuracy(tool)
+            for group in KIND_GROUPS:
+                counts = accuracy.group(group)
+                writer.writerow(
+                    [
+                        tool, group, counts.tp, counts.fp, counts.fn,
+                        f"{counts.precision:.4f}",
+                        f"{counts.recall:.4f}",
+                        f"{counts.f1:.4f}",
+                    ]
+                )
+
+
+def export_timing_csv(run: RunResults, path: str | Path) -> None:
+    """Per-app, per-tool modeled seconds (Figure 3 raw series)."""
+    with open(path, "w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(["app", "kloc", "tool", "seconds", "failed"])
+        for result in run.results:
+            for tool, report in result.reports.items():
+                if report.metrics is None:
+                    continue
+                writer.writerow(
+                    [
+                        result.app,
+                        f"{result.kloc:.2f}",
+                        tool,
+                        ""
+                        if report.metrics.failed
+                        else f"{report.metrics.modeled_seconds:.3f}",
+                        int(report.metrics.failed),
+                    ]
+                )
+
+
+def export_memory_csv(run: RunResults, path: str | Path) -> None:
+    """Per-app, per-tool modeled MB (Figure 4 raw series)."""
+    with open(path, "w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(["app", "kloc", "tool", "memory_mb"])
+        for result in run.results:
+            for tool, report in result.reports.items():
+                if report.metrics is None or report.metrics.failed:
+                    continue
+                writer.writerow(
+                    [
+                        result.app,
+                        f"{result.kloc:.2f}",
+                        tool,
+                        f"{report.metrics.modeled_memory_mb:.1f}",
+                    ]
+                )
+
+
+def export_run_json(run: RunResults, path: str | Path) -> None:
+    """Full structured dump: per-app findings and metrics per tool."""
+    payload = []
+    for result in run.results:
+        entry = {
+            "app": result.app,
+            "kloc": result.kloc,
+            "truthIssues": len(result.truth.issues),
+            "tools": {},
+        }
+        for tool, report in result.reports.items():
+            metrics = report.metrics
+            entry["tools"][tool] = {
+                "failed": bool(metrics and metrics.failed),
+                "failureReason": metrics.failure_reason if metrics else "",
+                "findings": report.by_kind(),
+                "modeledSeconds": (
+                    None
+                    if metrics is None or metrics.failed
+                    else round(metrics.modeled_seconds, 3)
+                ),
+                "modeledMemoryMb": (
+                    None
+                    if metrics is None or metrics.failed
+                    else round(metrics.modeled_memory_mb, 1)
+                ),
+                "wallSeconds": (
+                    None if metrics is None
+                    else round(metrics.wall_time_s, 4)
+                ),
+            }
+        payload.append(entry)
+    Path(path).write_text(json.dumps(payload, indent=2))

@@ -1,0 +1,120 @@
+"""Experiment runner: drive every tool over a set of workloads.
+
+Shares a single framework repository and API database across all tools
+— exactly as the paper's protocol does ("the API database is
+constructed once for a given framework … upon which the compatibility
+analysis of all apps relies") — so the per-app measurements contain no
+database-construction noise.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Iterable
+
+from ..baselines.cid import Cid
+from ..baselines.cider import Cider
+from ..baselines.lint import Lint
+from ..core.apidb import ApiDatabase
+from ..core.arm import build_api_database
+from ..core.detector import AnalysisReport, SaintDroid
+from ..framework.repository import FrameworkRepository
+from ..workload.appgen import ForgedApp
+from ..workload.groundtruth import GroundTruth
+from .accuracy import KIND_GROUPS, ToolAccuracy, score_apps
+
+__all__ = ["ToolSet", "AppResult", "RunResults", "run_tools"]
+
+
+@dataclass
+class ToolSet:
+    """The four detectors sharing one framework + database."""
+
+    framework: FrameworkRepository
+    apidb: ApiDatabase
+    tools: list
+
+    @staticmethod
+    def default(
+        framework: FrameworkRepository | None = None,
+        apidb: ApiDatabase | None = None,
+        *,
+        include: tuple[str, ...] = ("SAINTDroid", "CID", "CIDER", "Lint"),
+    ) -> "ToolSet":
+        framework = framework or FrameworkRepository()
+        apidb = apidb or build_api_database(framework)
+        catalog: dict[str, Callable[[], object]] = {
+            "SAINTDroid": lambda: SaintDroid(framework, apidb),
+            "CID": lambda: Cid(framework, apidb),
+            "CIDER": lambda: Cider(framework, apidb),
+            "Lint": lambda: Lint(framework, apidb),
+        }
+        tools = [catalog[name]() for name in include]
+        return ToolSet(framework=framework, apidb=apidb, tools=tools)
+
+
+@dataclass
+class AppResult:
+    """All tools' reports for one app."""
+
+    app: str
+    truth: GroundTruth
+    reports: dict[str, AnalysisReport] = field(default_factory=dict)
+    kloc: float = 0.0
+
+    def report(self, tool: str) -> AnalysisReport:
+        return self.reports[tool]
+
+
+@dataclass
+class RunResults:
+    """Results of one experiment run."""
+
+    results: list[AppResult] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.results)
+
+    @property
+    def tools(self) -> tuple[str, ...]:
+        if not self.results:
+            return ()
+        return tuple(self.results[0].reports)
+
+    def accuracy(
+        self,
+        tool: str,
+        groups: dict[str, tuple[str, ...]] | None = None,
+    ) -> ToolAccuracy:
+        pairs = [
+            (result.reports[tool], result.truth)
+            for result in self.results
+            if tool in result.reports
+        ]
+        return score_apps(tool, pairs, groups or KIND_GROUPS)
+
+    def accuracies(self) -> dict[str, ToolAccuracy]:
+        return {tool: self.accuracy(tool) for tool in self.tools}
+
+
+def run_tools(
+    apps: Iterable[ForgedApp],
+    toolset: ToolSet | None = None,
+    *,
+    progress: Callable[[str], None] | None = None,
+) -> RunResults:
+    """Analyze every app with every tool."""
+    toolset = toolset or ToolSet.default()
+    out = RunResults()
+    for forged in apps:
+        result = AppResult(
+            app=forged.apk.name,
+            truth=forged.truth,
+            kloc=forged.apk.dex_kloc,
+        )
+        for tool in toolset.tools:
+            result.reports[tool.name] = tool.analyze(forged.apk)
+        out.results.append(result)
+        if progress is not None:
+            progress(forged.apk.name)
+    return out

@@ -1,0 +1,338 @@
+"""Renderers for the paper's tables.
+
+Each ``table*`` function returns structured data; each ``render_*``
+turns it into the aligned text the benchmark harness prints.  Nothing
+here fabricates numbers — every cell is computed from detector runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..core.mismatch import MismatchKind
+from ..framework.permissions import DANGEROUS_PERMISSIONS
+from ..workload.groundtruth import GroundTruth
+from .accuracy import ConfusionCounts, score_app
+from .runner import RunResults
+
+__all__ = [
+    "table1_taxonomy",
+    "render_table1",
+    "table2_accuracy",
+    "render_table2",
+    "table3_times",
+    "render_table3",
+    "table4_capabilities",
+    "render_table4",
+    "rq2_summary",
+    "render_rq2",
+]
+
+
+# ---------------------------------------------------------------------------
+# Table I — mismatch taxonomy
+# ---------------------------------------------------------------------------
+
+def table1_taxonomy() -> list[dict]:
+    """The mismatch taxonomy as data (paper Table I)."""
+    return [
+        {
+            "mismatch": "API invocation (App → API)",
+            "abbr": MismatchKind.API_INVOCATION.value,
+            "app_level": ">= alpha",
+            "device_level": "< alpha",
+            "results_in": "app invokes method introduced/updated in alpha",
+        },
+        {
+            "mismatch": "API callback (API → App)",
+            "abbr": MismatchKind.API_CALLBACK.value,
+            "app_level": ">= alpha",
+            "device_level": "< alpha",
+            "results_in": "app overrides a callback introduced/updated "
+                          "in alpha",
+        },
+        {
+            "mismatch": "Permission-induced",
+            "abbr": "PRM",
+            "app_level": ">= 23 or <= 22",
+            "device_level": ">= 23",
+            "results_in": "app misuses runtime permission checking "
+                          f"({len(DANGEROUS_PERMISSIONS)} dangerous "
+                          f"permissions)",
+        },
+    ]
+
+
+def render_table1() -> str:
+    rows = table1_taxonomy()
+    lines = ["Table I: API- and permission-induced compatibility issues"]
+    header = f"{'Mismatch':<28}{'Abbr':<6}{'App level':<16}{'Device':<10}Results in"
+    lines.append(header)
+    lines.append("-" * len(header))
+    for row in rows:
+        lines.append(
+            f"{row['mismatch']:<28}{row['abbr']:<6}"
+            f"{row['app_level']:<16}{row['device_level']:<10}"
+            f"{row['results_in']}"
+        )
+    return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------------
+# Table II — accuracy on the benchmark suites
+# ---------------------------------------------------------------------------
+
+@dataclass
+class Table2:
+    """Structured Table II: per-app per-tool counts plus totals."""
+
+    tools: tuple[str, ...]
+    rows: list[dict] = field(default_factory=list)
+    totals: dict[str, dict[str, ConfusionCounts]] = field(
+        default_factory=dict
+    )
+
+
+def table2_accuracy(run: RunResults) -> Table2:
+    tools = run.tools
+    table = Table2(tools=tools)
+    for result in run.results:
+        row = {"app": result.app, "truth": {
+            "API": len(result.truth.issues_of_kind("API")),
+            "APC": len(result.truth.issues_of_kind("APC")),
+        }}
+        for tool in tools:
+            report = result.reports[tool]
+            failed = report.metrics is not None and report.metrics.failed
+            row[tool] = {
+                "failed": failed,
+                "API": score_app(report, result.truth, ("API",)),
+                "APC": score_app(report, result.truth, ("APC",)),
+            }
+        table.rows.append(row)
+    for tool in tools:
+        accuracy = run.accuracy(tool)
+        table.totals[tool] = dict(accuracy.by_group)
+    return table
+
+
+def render_table2(table: Table2) -> str:
+    lines = [
+        "Table II: detected compatibility issues "
+        "(TP/FP per kind; '-' = no result)"
+    ]
+    header = f"{'App':<18}{'truth':<12}" + "".join(
+        f"{tool:<24}" for tool in table.tools
+    )
+    lines.append(header)
+    lines.append(
+        f"{'':<18}{'API/APC':<12}"
+        + "".join(f"{'API tp/fp  APC tp/fp':<24}" for _ in table.tools)
+    )
+    lines.append("-" * len(header))
+    for row in table.rows:
+        cells = []
+        for tool in table.tools:
+            cell = row[tool]
+            if cell["failed"]:
+                cells.append(f"{'-':<24}")
+                continue
+            api, apc = cell["API"], cell["APC"]
+            cells.append(
+                f"{api.tp}/{api.fp:<6}{apc.tp}/{apc.fp:<14}"
+            )
+        truth = row["truth"]
+        lines.append(
+            f"{row['app']:<18}{truth['API']}/{truth['APC']:<10}"
+            + "".join(cells)
+        )
+    lines.append("-" * len(header))
+    for group in ("API", "APC", "API+APC"):
+        for metric in ("precision", "recall", "f1"):
+            cells = []
+            for tool in table.tools:
+                counts = table.totals[tool][group]
+                cells.append(f"{getattr(counts, metric):<24.2f}")
+            lines.append(
+                f"{group + ' ' + metric:<30}" + "".join(cells)
+            )
+    return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------------
+# Table III — analysis times
+# ---------------------------------------------------------------------------
+
+def table3_times(
+    run: RunResults,
+    tools: tuple[str, ...] = ("SAINTDroid", "CID", "Lint"),
+    apps: tuple[str, ...] | None = None,
+) -> list[dict]:
+    """Per-app modeled analysis seconds; ``None`` = failed/timeout."""
+    rows = []
+    for result in run.results:
+        if apps is not None and result.app not in apps:
+            continue
+        row = {"app": result.app, "kloc": result.kloc}
+        for tool in tools:
+            report = result.reports.get(tool)
+            if report is None or report.metrics is None:
+                row[tool] = None
+                continue
+            row[tool] = (
+                None
+                if report.metrics.failed
+                else report.metrics.modeled_seconds
+            )
+        rows.append(row)
+    return rows
+
+
+def render_table3(rows: list[dict], tools=("SAINTDroid", "CID", "Lint")) -> str:
+    lines = ["Table III: analysis time in seconds ('-' = fails/timeout)"]
+    header = f"{'App':<18}{'KLOC':>7}  " + "".join(
+        f"{tool:>12}" for tool in tools
+    )
+    lines.append(header)
+    lines.append("-" * len(header))
+    for row in rows:
+        cells = "".join(
+            f"{row[tool]:>12.1f}" if row[tool] is not None else f"{'-':>12}"
+            for tool in tools
+        )
+        lines.append(f"{row['app']:<18}{row['kloc']:>7.1f}  {cells}")
+    return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------------
+# Table IV — capability matrix
+# ---------------------------------------------------------------------------
+
+def table4_capabilities(tools) -> list[dict]:
+    """Capability matrix from live tool objects (paper Table IV)."""
+    rows = []
+    for tool in tools:
+        rows.append(
+            {
+                "tool": tool.name,
+                "API": "API" in tool.capabilities,
+                "APC": "APC" in tool.capabilities,
+                "PRM": "PRM" in tool.capabilities,
+            }
+        )
+    return rows
+
+
+def render_table4(rows: list[dict]) -> str:
+    lines = ["Table IV: detection capabilities"]
+    header = f"{'Tool':<14}{'API':<6}{'APC':<6}{'PRM':<6}"
+    lines.append(header)
+    lines.append("-" * len(header))
+    for row in rows:
+        lines.append(
+            f"{row['tool']:<14}"
+            f"{'yes' if row['API'] else 'no':<6}"
+            f"{'yes' if row['APC'] else 'no':<6}"
+            f"{'yes' if row['PRM'] else 'no':<6}"
+        )
+    return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------------
+# RQ2 — real-world summary
+# ---------------------------------------------------------------------------
+
+def rq2_summary(
+    results: list[tuple],
+    *,
+    sample_size: int = 60,
+) -> dict:
+    """Population statistics over corpus results.
+
+    ``results`` is a list of ``(report, truth, modern_target)`` tuples
+    for SAINTDroid runs.  Returns totals, prevalence percentages, and
+    sampled precision per kind (the paper samples 60 flagged apps).
+    """
+    total_apps = len(results)
+    api_total = apc_total = 0
+    api_apps = apc_apps = 0
+    modern_apps = legacy_apps = 0
+    request_apps = revocation_apps = 0
+    sampled: list[tuple] = []
+
+    for report, truth, modern in results:
+        kinds = report.by_kind()
+        api_count = kinds.get("API", 0)
+        apc_count = kinds.get("APC", 0)
+        api_total += api_count
+        apc_total += apc_count
+        api_apps += 1 if api_count else 0
+        apc_apps += 1 if apc_count else 0
+        if modern:
+            modern_apps += 1
+            if kinds.get("PRM-request", 0):
+                request_apps += 1
+        else:
+            legacy_apps += 1
+            if kinds.get("PRM-revocation", 0):
+                revocation_apps += 1
+        if api_count or apc_count or kinds.get("PRM-request") or (
+            kinds.get("PRM-revocation")
+        ):
+            if len(sampled) < sample_size:
+                sampled.append((report, truth))
+
+    def _sampled_precision(kinds: tuple[str, ...]) -> float:
+        counts = ConfusionCounts()
+        for report, truth in sampled:
+            counts.add(score_app(report, truth, kinds))
+        return counts.precision if counts.reported else 1.0
+
+    def _pct(numerator: int, denominator: int) -> float:
+        return 100.0 * numerator / denominator if denominator else 0.0
+
+    return {
+        "total_apps": total_apps,
+        "api_total": api_total,
+        "api_apps_pct": _pct(api_apps, total_apps),
+        "apc_total": apc_total,
+        "apc_apps_pct": _pct(apc_apps, total_apps),
+        "modern_apps": modern_apps,
+        "legacy_apps": legacy_apps,
+        "request_apps": request_apps,
+        "request_pct": _pct(request_apps, modern_apps),
+        "revocation_apps": revocation_apps,
+        "revocation_pct": _pct(revocation_apps, legacy_apps),
+        "permission_apps": request_apps + revocation_apps,
+        "sampled_apps": len(sampled),
+        "sampled_precision_api": _sampled_precision(("API",)),
+        "sampled_precision_apc": _sampled_precision(("APC",)),
+        "sampled_precision_prm": _sampled_precision(
+            ("PRM-request", "PRM-revocation")
+        ),
+    }
+
+
+def render_rq2(summary: dict) -> str:
+    return "\n".join(
+        [
+            "RQ2: real-world applicability (SAINTDroid)",
+            f"  apps analyzed:                {summary['total_apps']}",
+            f"  API invocation mismatches:    {summary['api_total']} "
+            f"({summary['api_apps_pct']:.2f}% of apps with >= 1)",
+            f"  API callback mismatches:      {summary['apc_total']} "
+            f"({summary['apc_apps_pct']:.2f}% of apps with >= 1)",
+            f"  apps targeting >= 23:         {summary['modern_apps']} "
+            f"({summary['request_apps']} with request mismatch, "
+            f"{summary['request_pct']:.2f}%)",
+            f"  apps targeting <= 22:         {summary['legacy_apps']} "
+            f"({summary['revocation_apps']} with revocation mismatch, "
+            f"{summary['revocation_pct']:.2f}%)",
+            f"  apps with any PRM issue:      "
+            f"{summary['permission_apps']}",
+            f"  sampled precision (n={summary['sampled_apps']}): "
+            f"API {summary['sampled_precision_api']:.0%}, "
+            f"APC {summary['sampled_precision_apc']:.0%}, "
+            f"PRM {summary['sampled_precision_prm']:.0%}",
+        ]
+    )

@@ -1,0 +1,46 @@
+"""Android framework (ADF) substrate: revision histories, generated
+framework images, the versioned repository, and the permission model."""
+
+from .spec import ClassHistory, FrameworkSpec, MethodHistory
+from .catalog import (
+    DEFAULT_BULK_CLASSES,
+    DEFAULT_SEED,
+    build_spec,
+    bulk_histories,
+    curated_histories,
+    default_spec,
+)
+from .generator import (
+    DISPATCH_PREFIX,
+    ENFORCEMENT_METHOD,
+    materialize_class,
+    materialize_image,
+)
+from .repository import FrameworkRepository
+from .permissions import (
+    DANGEROUS_PERMISSIONS,
+    PERMISSION_GROUPS,
+    PermissionMap,
+    is_dangerous,
+)
+
+__all__ = [
+    "ClassHistory",
+    "DANGEROUS_PERMISSIONS",
+    "DEFAULT_BULK_CLASSES",
+    "DEFAULT_SEED",
+    "DISPATCH_PREFIX",
+    "ENFORCEMENT_METHOD",
+    "FrameworkRepository",
+    "FrameworkSpec",
+    "MethodHistory",
+    "PERMISSION_GROUPS",
+    "PermissionMap",
+    "build_spec",
+    "bulk_histories",
+    "curated_histories",
+    "default_spec",
+    "is_dangerous",
+    "materialize_class",
+    "materialize_image",
+]

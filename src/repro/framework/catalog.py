@@ -1,0 +1,770 @@
+"""The framework catalog: curated real API facts plus procedural bulk.
+
+The curated portion encodes documented Android facts that the paper's
+examples and benchmarks rely on (e.g. ``Context.getColorStateList``
+introduced at level 23, ``Fragment.onAttach(Context)`` at 23,
+``View.drawableHotspotChanged`` at 21, the removal of the bundled
+Apache HTTP client at 23, the runtime permission protocol at 23).
+
+The procedural portion scales the framework to thousands of classes so
+that *whole-framework* loading — what CID and similar tools do — is
+measurably expensive, while SAINTDroid's lazy CLVM touches only the
+reachable slice.  Bulk generation is fully deterministic for a given
+seed.
+"""
+
+from __future__ import annotations
+
+import random
+from functools import lru_cache
+
+from ..ir.types import MethodRef
+from .permissions import DANGEROUS_PERMISSIONS
+from .spec import ClassHistory, FrameworkSpec, MethodHistory
+
+__all__ = [
+    "curated_histories",
+    "bulk_histories",
+    "build_spec",
+    "default_spec",
+    "DEFAULT_BULK_CLASSES",
+    "DEFAULT_SEED",
+]
+
+DEFAULT_BULK_CLASSES = 2000
+DEFAULT_SEED = 0xDF2022
+
+
+def _m(
+    name: str,
+    descriptor: str = "()void",
+    introduced: int = 2,
+    removed: int | None = None,
+    callback: bool = False,
+    permissions: tuple[str, ...] = (),
+    calls: tuple[tuple[str, str, str], ...] = (),
+) -> MethodHistory:
+    """Shorthand history constructor; ``calls`` as (class, name, desc)."""
+    return MethodHistory(
+        name=name,
+        descriptor=descriptor,
+        introduced=introduced,
+        removed=removed,
+        callback=callback,
+        permissions=permissions,
+        calls=tuple(MethodRef(c, n, d) for c, n, d in calls),
+    )
+
+
+def curated_histories() -> tuple[ClassHistory, ...]:
+    """Hand-written histories encoding documented Android API facts."""
+    ctx = "android.content.Context"
+    act = "android.app.Activity"
+    view = "android.view.View"
+    return (
+        # -- java.lang core ------------------------------------------
+        ClassHistory(
+            "java.lang.Object",
+            super_name=None,
+            methods=(
+                _m("<init>"),
+                _m("equals", "(java.lang.Object)boolean"),
+                _m("hashCode", "()int"),
+                _m("toString", "()java.lang.String"),
+            ),
+        ),
+        ClassHistory(
+            "java.lang.String",
+            methods=(
+                _m("length", "()int"),
+                _m("isEmpty", "()boolean", introduced=9),
+                _m("charAt", "(int)char"),
+                _m("concat", "(java.lang.String)java.lang.String"),
+            ),
+        ),
+        ClassHistory("java.lang.Class", methods=(_m("getName", "()java.lang.String"),)),
+        ClassHistory(
+            "java.lang.ClassLoader",
+            methods=(_m("loadClass", "(java.lang.String)java.lang.Class"),),
+        ),
+        ClassHistory("java.lang.Exception"),
+        ClassHistory(
+            "java.lang.RuntimeException", super_name="java.lang.Exception"
+        ),
+        ClassHistory(
+            "java.lang.SecurityException",
+            super_name="java.lang.RuntimeException",
+        ),
+        ClassHistory(
+            "java.lang.NoSuchMethodError", super_name="java.lang.Exception"
+        ),
+        # -- dalvik late binding ---------------------------------------
+        ClassHistory(
+            "dalvik.system.DexClassLoader",
+            super_name="java.lang.ClassLoader",
+            methods=(
+                _m("<init>", "(java.lang.String,java.lang.String,java.lang.String,java.lang.ClassLoader)void"),
+                _m("loadClass", "(java.lang.String)java.lang.Class"),
+            ),
+        ),
+        # -- Build.VERSION ---------------------------------------------
+        ClassHistory("android.os.Build$VERSION"),
+        # -- Context hierarchy -----------------------------------------
+        ClassHistory(
+            ctx,
+            methods=(
+                _m("getSystemService", "(java.lang.String)java.lang.Object"),
+                _m("getColorStateList", "(int)android.content.res.ColorStateList", introduced=23),
+                _m("getDrawable", "(int)android.graphics.drawable.Drawable", introduced=21),
+                _m("getExternalFilesDir", "(java.lang.String)java.io.File", introduced=8),
+                _m("checkSelfPermission", "(java.lang.String)int", introduced=23),
+                _m("enforceCallingOrSelfPermission", "(java.lang.String,java.lang.String)void"),
+                _m("startActivity", "(android.content.Intent)void"),
+                _m("getContentResolver", "()android.content.ContentResolver"),
+                _m("getResources", "()android.content.res.Resources"),
+                _m("getPackageManager", "()android.content.pm.PackageManager"),
+            ),
+        ),
+        ClassHistory("android.content.ContextWrapper", super_name=ctx),
+        ClassHistory(
+            act,
+            super_name="android.content.ContextWrapper",
+            methods=(
+                _m("onCreate", "(android.os.Bundle)void", callback=True),
+                _m("onStart", callback=True),
+                _m("onResume", callback=True),
+                _m("onPause", callback=True),
+                _m("onStop", callback=True),
+                _m("onDestroy", callback=True),
+                _m("onAttachedToWindow", callback=True),
+                _m("onBackPressed", introduced=5, callback=True),
+                _m("onMultiWindowModeChanged", "(boolean)void", introduced=24, callback=True),
+                _m("onPictureInPictureModeChanged", "(boolean)void", introduced=24, callback=True),
+                _m("onTopResumedActivityChanged", "(boolean)void", introduced=29, callback=True),
+                _m("getFragmentManager", "()android.app.FragmentManager", introduced=11),
+                _m("requestPermissions", "(java.lang.String[],int)void", introduced=23),
+                _m(
+                    "onRequestPermissionsResult",
+                    "(int,java.lang.String[],int[])void",
+                    introduced=23,
+                    callback=True,
+                ),
+                _m("findViewById", "(int)android.view.View"),
+                _m("setContentView", "(int)void"),
+                _m("runOnUiThread", "(java.lang.Runnable)void"),
+                _m("isInMultiWindowMode", "()boolean", introduced=24),
+                _m("recreate", introduced=11),
+            ),
+        ),
+        ClassHistory(
+            "android.app.FragmentManager",
+            introduced=11,
+            methods=(
+                _m("beginTransaction", "()android.app.FragmentTransaction", introduced=11),
+                _m("executePendingTransactions", "()boolean", introduced=11),
+            ),
+        ),
+        ClassHistory(
+            "android.app.FragmentTransaction",
+            introduced=11,
+            methods=(_m("commit", "()int", introduced=11),),
+        ),
+        ClassHistory(
+            "android.app.Fragment",
+            introduced=11,
+            methods=(
+                _m("onAttach", "(android.app.Activity)void", introduced=11, callback=True),
+                _m("onAttach", "(android.content.Context)void", introduced=23, callback=True),
+                _m("onCreate", "(android.os.Bundle)void", introduced=11, callback=True),
+                _m("onCreateView",
+                   "(android.view.LayoutInflater,android.view.ViewGroup,android.os.Bundle)android.view.View",
+                   introduced=11, callback=True),
+                _m("onDestroy", introduced=11, callback=True),
+                _m("getContext", "()android.content.Context", introduced=23),
+            ),
+        ),
+        ClassHistory(
+            "android.app.Service",
+            super_name="android.content.ContextWrapper",
+            methods=(
+                _m("onCreate", callback=True),
+                _m("onStartCommand", "(android.content.Intent,int,int)int", introduced=5, callback=True),
+                _m("onBind", "(android.content.Intent)android.os.IBinder", callback=True),
+                _m("onDestroy", callback=True),
+                _m("onTaskRemoved", "(android.content.Intent)void", introduced=14, callback=True),
+                _m("stopSelf"),
+            ),
+        ),
+        ClassHistory(
+            "android.app.Application",
+            super_name="android.content.ContextWrapper",
+            methods=(
+                _m("onCreate", callback=True),
+                _m("onTrimMemory", "(int)void", introduced=14, callback=True),
+            ),
+        ),
+        # -- views -----------------------------------------------------
+        ClassHistory(
+            view,
+            methods=(
+                _m("onDraw", "(android.graphics.Canvas)void", callback=True),
+                _m("onMeasure", "(int,int)void", callback=True),
+                _m("onHoverEvent", "(android.view.MotionEvent)boolean", introduced=14, callback=True),
+                _m("onApplyWindowInsets",
+                   "(android.view.WindowInsets)android.view.WindowInsets",
+                   introduced=20, callback=True),
+                _m("drawableHotspotChanged", "(float,float)void", introduced=21, callback=True),
+                _m("onVisibilityAggregated", "(boolean)void", introduced=26, callback=True),
+                _m("setBackgroundDrawable", "(android.graphics.drawable.Drawable)void"),
+                _m("setBackground", "(android.graphics.drawable.Drawable)void", introduced=16),
+                _m("setElevation", "(float)void", introduced=21),
+                _m("setAutofillHints", "(java.lang.String[])void", introduced=26),
+                _m("requestPointerCapture", introduced=26),
+                _m("performClick", "()boolean"),
+                _m("setOnClickListener", "(android.view.View$OnClickListener)void"),
+                _m("invalidate"),
+            ),
+        ),
+        ClassHistory(
+            "android.view.View$OnClickListener",
+            methods=(_m("onClick", "(android.view.View)void", callback=True),),
+        ),
+        ClassHistory("android.view.ViewGroup", super_name=view),
+        ClassHistory("android.view.MotionEvent"),
+        ClassHistory("android.view.WindowInsets", introduced=20),
+        ClassHistory("android.view.LayoutInflater"),
+        ClassHistory(
+            "android.view.Window",
+            methods=(
+                _m("setStatusBarColor", "(int)void", introduced=21),
+                _m("setNavigationBarColor", "(int)void", introduced=21),
+            ),
+        ),
+        ClassHistory(
+            "android.widget.TextView",
+            super_name=view,
+            methods=(
+                _m("setTextColor", "(int)void"),
+                _m("setTextAppearance", "(int)void", introduced=23),
+                _m("setLetterSpacing", "(float)void", introduced=21),
+                _m("setText", "(java.lang.CharSequence)void"),
+            ),
+        ),
+        ClassHistory(
+            "android.widget.LinearLayout",
+            super_name="android.view.ViewGroup",
+        ),
+        ClassHistory(
+            "android.widget.Toast",
+            methods=(
+                _m("makeText",
+                   "(android.content.Context,java.lang.CharSequence,int)android.widget.Toast"),
+                _m("show"),
+            ),
+        ),
+        ClassHistory(
+            "android.webkit.WebView",
+            super_name="android.view.ViewGroup",
+            methods=(
+                _m("loadUrl", "(java.lang.String)void"),
+                _m("evaluateJavascript",
+                   "(java.lang.String,android.webkit.ValueCallback)void",
+                   introduced=19),
+                _m("setRendererPriorityPolicy", "(int,boolean)void", introduced=26),
+                _m("getWebViewRenderProcess",
+                   "()android.webkit.WebViewRenderProcess", introduced=29),
+            ),
+        ),
+        ClassHistory("android.webkit.ValueCallback", introduced=7),
+        ClassHistory("android.webkit.WebViewRenderProcess", introduced=29),
+        ClassHistory(
+            "android.webkit.WebViewClient",
+            methods=(
+                _m("onPageFinished",
+                   "(android.webkit.WebView,java.lang.String)void",
+                   callback=True),
+                _m("onRenderProcessGone",
+                   "(android.webkit.WebView,android.webkit.RenderProcessGoneDetail)boolean",
+                   introduced=26, callback=True),
+                _m("onReceivedHttpError",
+                   "(android.webkit.WebView,android.webkit.WebResourceRequest,android.webkit.WebResourceResponse)void",
+                   introduced=23, callback=True),
+            ),
+        ),
+        ClassHistory("android.webkit.RenderProcessGoneDetail", introduced=26),
+        ClassHistory("android.webkit.WebResourceRequest", introduced=21),
+        ClassHistory("android.webkit.WebResourceResponse", introduced=11),
+        # -- misc app services -----------------------------------------
+        ClassHistory(
+            "android.app.Notification$Builder",
+            introduced=11,
+            methods=(
+                _m("<init>", "(android.content.Context)void", introduced=11),
+                _m("<init>", "(android.content.Context,java.lang.String)void", introduced=26),
+                _m("setChannelId", "(java.lang.String)android.app.Notification$Builder", introduced=26),
+                _m("getNotification", "()android.app.Notification", introduced=11, removed=16),
+                _m("build", "()android.app.Notification", introduced=16),
+            ),
+        ),
+        ClassHistory("android.app.Notification"),
+        ClassHistory(
+            "android.app.NotificationChannel",
+            introduced=26,
+            methods=(
+                _m("<init>", "(java.lang.String,java.lang.CharSequence,int)void", introduced=26),
+            ),
+        ),
+        ClassHistory(
+            "android.app.NotificationManager",
+            methods=(
+                _m("notify", "(int,android.app.Notification)void"),
+                _m("createNotificationChannel",
+                   "(android.app.NotificationChannel)void", introduced=26),
+            ),
+        ),
+        ClassHistory(
+            "android.app.AlarmManager",
+            methods=(
+                _m("set", "(int,long,android.app.PendingIntent)void"),
+                _m("setExact", "(int,long,android.app.PendingIntent)void", introduced=19),
+                _m("setExactAndAllowWhileIdle",
+                   "(int,long,android.app.PendingIntent)void", introduced=23),
+            ),
+        ),
+        ClassHistory("android.app.PendingIntent"),
+        ClassHistory(
+            "android.app.job.JobScheduler",
+            introduced=21,
+            methods=(_m("schedule", "(android.app.job.JobInfo)int", introduced=21),),
+        ),
+        ClassHistory("android.app.job.JobInfo", introduced=21),
+        # -- permission-guarded APIs -----------------------------------
+        ClassHistory(
+            "android.hardware.Camera",
+            methods=(
+                _m("open", "()android.hardware.Camera",
+                   permissions=("android.permission.CAMERA",)),
+                _m("open", "(int)android.hardware.Camera", introduced=9,
+                   permissions=("android.permission.CAMERA",)),
+                _m("release"),
+            ),
+        ),
+        ClassHistory(
+            "android.hardware.camera2.CameraManager",
+            introduced=21,
+            methods=(
+                _m("openCamera",
+                   "(java.lang.String,android.hardware.camera2.CameraDevice$StateCallback,android.os.Handler)void",
+                   introduced=21,
+                   permissions=("android.permission.CAMERA",)),
+            ),
+        ),
+        ClassHistory(
+            "android.hardware.camera2.CameraDevice$StateCallback",
+            introduced=21,
+            methods=(
+                _m("onOpened", "(android.hardware.camera2.CameraDevice)void",
+                   introduced=21, callback=True),
+                _m("onDisconnected", "(android.hardware.camera2.CameraDevice)void",
+                   introduced=21, callback=True),
+            ),
+        ),
+        ClassHistory("android.hardware.camera2.CameraDevice", introduced=21),
+        ClassHistory(
+            "android.location.LocationManager",
+            methods=(
+                _m("getLastKnownLocation",
+                   "(java.lang.String)android.location.Location",
+                   permissions=("android.permission.ACCESS_FINE_LOCATION",)),
+                _m("requestLocationUpdates",
+                   "(java.lang.String,long,float,android.location.LocationListener)void",
+                   permissions=("android.permission.ACCESS_FINE_LOCATION",)),
+            ),
+        ),
+        ClassHistory("android.location.Location"),
+        ClassHistory(
+            "android.location.LocationListener",
+            methods=(
+                _m("onLocationChanged", "(android.location.Location)void", callback=True),
+            ),
+        ),
+        ClassHistory(
+            "android.location.Geocoder",
+            introduced=2,
+            methods=(
+                # Deep permission chain: the geocoder consults the last
+                # known location internally, so its *transitive*
+                # permission set includes ACCESS_FINE_LOCATION even
+                # though it enforces nothing directly.
+                _m("getFromLocation", "(double,double,int)java.util.List",
+                   calls=(("android.location.LocationManager",
+                           "getLastKnownLocation",
+                           "(java.lang.String)android.location.Location"),)),
+            ),
+        ),
+        ClassHistory(
+            "android.telephony.TelephonyManager",
+            methods=(
+                _m("getDeviceId", "()java.lang.String",
+                   permissions=("android.permission.READ_PHONE_STATE",)),
+                _m("getLine1Number", "()java.lang.String",
+                   permissions=("android.permission.READ_PHONE_STATE",
+                                "android.permission.READ_PHONE_NUMBERS")),
+            ),
+        ),
+        ClassHistory(
+            "android.telephony.SmsManager",
+            introduced=4,
+            methods=(
+                _m("sendTextMessage",
+                   "(java.lang.String,java.lang.String,java.lang.String,android.app.PendingIntent,android.app.PendingIntent)void",
+                   introduced=4,
+                   permissions=("android.permission.SEND_SMS",)),
+            ),
+        ),
+        ClassHistory(
+            "android.media.MediaRecorder",
+            methods=(
+                _m("setAudioSource", "(int)void",
+                   permissions=("android.permission.RECORD_AUDIO",)),
+                _m("start"),
+                _m("stop"),
+            ),
+        ),
+        ClassHistory(
+            "android.provider.MediaStore$Images$Media",
+            methods=(
+                _m("insertImage",
+                   "(android.content.ContentResolver,android.graphics.Bitmap,java.lang.String,java.lang.String)java.lang.String",
+                   permissions=("android.permission.WRITE_EXTERNAL_STORAGE",)),
+            ),
+        ),
+        ClassHistory(
+            "android.content.ContentResolver",
+            methods=(
+                _m("query",
+                   "(android.net.Uri,java.lang.String[],java.lang.String,java.lang.String[],java.lang.String)android.database.Cursor"),
+                _m("insert",
+                   "(android.net.Uri,android.content.ContentValues)android.net.Uri"),
+            ),
+        ),
+        ClassHistory(
+            "android.provider.ContactsContract",
+            methods=(
+                # Deep chain: reading contacts goes through the resolver
+                # but enforces READ_CONTACTS at this entry point.
+                _m("queryContacts",
+                   "(android.content.ContentResolver)android.database.Cursor",
+                   permissions=("android.permission.READ_CONTACTS",),
+                   calls=(("android.content.ContentResolver", "query",
+                           "(android.net.Uri,java.lang.String[],java.lang.String,java.lang.String[],java.lang.String)android.database.Cursor"),)),
+            ),
+        ),
+        ClassHistory(
+            "android.os.Environment",
+            methods=(
+                _m("getExternalStorageDirectory", "()java.io.File"),
+                _m("getExternalStorageState", "()java.lang.String"),
+                _m("isExternalStorageManager", "()boolean", introduced=29),
+            ),
+        ),
+        ClassHistory("java.io.File", methods=(_m("exists", "()boolean"), _m("mkdirs", "()boolean"))),
+        # -- removed API family (real: Apache HTTP removed at 23) ------
+        ClassHistory(
+            "org.apache.http.client.HttpClient",
+            introduced=2,
+            removed=23,
+            methods=(
+                _m("execute",
+                   "(org.apache.http.HttpRequest)org.apache.http.HttpResponse",
+                   removed=23),
+            ),
+        ),
+        ClassHistory(
+            "org.apache.http.impl.client.DefaultHttpClient",
+            super_name="org.apache.http.client.HttpClient",
+            introduced=2,
+            removed=23,
+            methods=(_m("<init>", removed=23),),
+        ),
+        ClassHistory("org.apache.http.HttpRequest", introduced=2, removed=23),
+        ClassHistory("org.apache.http.HttpResponse", introduced=2, removed=23),
+        # -- assorted platform plumbing --------------------------------
+        ClassHistory(
+            "android.content.Intent",
+            methods=(
+                _m("<init>", "(java.lang.String)void"),
+                _m("setAction", "(java.lang.String)android.content.Intent"),
+                _m("putExtra", "(java.lang.String,java.lang.String)android.content.Intent"),
+            ),
+        ),
+        ClassHistory("android.content.ContentValues"),
+        ClassHistory("android.net.Uri"),
+        ClassHistory("android.database.Cursor"),
+        ClassHistory("android.content.res.Resources"),
+        ClassHistory("android.content.res.ColorStateList"),
+        ClassHistory("android.graphics.drawable.Drawable"),
+        ClassHistory("android.graphics.Canvas"),
+        ClassHistory("android.graphics.Bitmap"),
+        ClassHistory("android.os.Bundle"),
+        ClassHistory("android.os.IBinder"),
+        ClassHistory("android.os.Handler", methods=(_m("post", "(java.lang.Runnable)boolean"),)),
+        ClassHistory("java.lang.Runnable", methods=(_m("run", callback=True),)),
+        ClassHistory(
+            "android.content.pm.PackageManager",
+            methods=(
+                _m("checkPermission", "(java.lang.String,java.lang.String)int"),
+                _m("hasSystemFeature", "(java.lang.String)boolean", introduced=5),
+            ),
+        ),
+        ClassHistory(
+            "android.content.SharedPreferences$Editor",
+            methods=(
+                _m("commit", "()boolean"),
+                _m("apply", introduced=9),
+            ),
+        ),
+        ClassHistory(
+            "android.os.AsyncTask",
+            introduced=3,
+            methods=(
+                _m("execute", "(java.lang.Object[])android.os.AsyncTask", introduced=3),
+                _m("onPreExecute", introduced=3, callback=True),
+                _m("onPostExecute", "(java.lang.Object)void", introduced=3, callback=True),
+                _m("doInBackground", "(java.lang.Object[])java.lang.Object", introduced=3, callback=True),
+            ),
+        ),
+        ClassHistory(
+            "android.preference.PreferenceActivity",
+            super_name=act,
+            methods=(
+                _m("addPreferencesFromResource", "(int)void"),
+                _m("onBuildHeaders", "(java.util.List)void", introduced=11, callback=True),
+            ),
+        ),
+        ClassHistory("java.util.List"),
+    )
+
+
+# ---------------------------------------------------------------------------
+# procedural bulk
+# ---------------------------------------------------------------------------
+
+_BULK_PACKAGES: tuple[tuple[str, float], ...] = (
+    ("android.widget", 0.16),
+    ("android.view.internal", 0.10),
+    ("android.media", 0.08),
+    ("android.graphics", 0.10),
+    ("android.net.wifi", 0.05),
+    ("android.database.sqlite", 0.05),
+    ("android.os.storage", 0.04),
+    ("android.text.style", 0.05),
+    ("android.util", 0.05),
+    ("android.animation", 0.04),
+    ("android.transition", 0.03),
+    ("android.print", 0.02),
+    ("android.nfc", 0.02),
+    ("android.bluetooth", 0.04),
+    ("android.accounts", 0.02),
+    ("android.security.keystore", 0.03),
+    ("java.util.concurrent", 0.06),
+    ("java.io.internal", 0.03),
+    ("java.nio.channels", 0.03),
+)
+
+_NOUNS = (
+    "Layout", "Adapter", "Manager", "Session", "Request", "Response",
+    "Channel", "Buffer", "Cache", "Codec", "Track", "Surface", "Matrix",
+    "Shader", "Paint", "Span", "Animator", "Transition", "Printer",
+    "Tag", "Socket", "Account", "Key", "Store", "Queue", "Pool",
+    "Loader", "Parser", "Cursor", "Helper", "Monitor", "Router",
+)
+
+_VERBS = (
+    "attach", "detach", "refresh", "update", "compute", "resolve",
+    "bind", "unbind", "flush", "reset", "configure", "measure",
+    "layout", "draw", "scan", "connect", "disconnect", "open",
+    "close", "query", "insert", "remove", "apply", "commit",
+)
+
+#: Introduction-level weights: the bulk of the platform predates the
+#: levels apps commonly guard against, with steady additions after.
+_LEVEL_WEIGHTS = {
+    2: 30, 3: 2, 4: 2, 5: 3, 7: 2, 8: 3, 9: 3, 11: 6, 14: 5, 16: 5,
+    17: 2, 18: 2, 19: 4, 21: 8, 22: 2, 23: 8, 24: 4, 25: 1, 26: 6,
+    27: 1, 28: 4, 29: 3,
+}
+
+
+def _weighted_level(rng: random.Random) -> int:
+    levels = list(_LEVEL_WEIGHTS)
+    weights = list(_LEVEL_WEIGHTS.values())
+    return rng.choices(levels, weights=weights, k=1)[0]
+
+
+def bulk_histories(
+    count: int = DEFAULT_BULK_CLASSES, seed: int = DEFAULT_SEED
+) -> tuple[ClassHistory, ...]:
+    """Procedurally generate ``count`` framework class histories.
+
+    Generation runs in two passes: the first pass fixes every class and
+    method skeleton; the second wires call edges between existing
+    methods (including cross-class chains ending at permission
+    enforcement sites), guaranteeing the spec validates.
+    """
+    rng = random.Random(seed)
+
+    # Pass 1: skeletons.
+    skeletons: list[dict] = []
+    package_names = [p for p, _ in _BULK_PACKAGES]
+    package_weights = [w for _, w in _BULK_PACKAGES]
+    per_package_base: dict[str, str | None] = {}
+    for index in range(count):
+        package = rng.choices(package_names, weights=package_weights, k=1)[0]
+        noun = rng.choice(_NOUNS)
+        class_name = f"{package}.{noun}{index}"
+        introduced = _weighted_level(rng)
+        removed = None
+        if rng.random() < 0.03 and introduced <= 24:
+            removed = rng.randint(introduced + 2, 29)
+
+        # Some classes extend a per-package base class (first generated
+        # member of the package at level 2 becomes the base).
+        super_name = "java.lang.Object"
+        base = per_package_base.get(package)
+        if base is None and introduced == 2:
+            per_package_base[package] = class_name
+        elif base is not None and rng.random() < 0.25 and removed is None:
+            super_name = base
+
+        method_count = rng.randint(4, 14)
+        methods: list[dict] = []
+        seen_signatures: set[str] = set()
+        for m_index in range(method_count):
+            verb = rng.choice(_VERBS)
+            m_name = f"{verb}{noun}" if m_index % 3 else verb
+            descriptor = rng.choice(
+                ("()void", "(int)void", "(int,int)void",
+                 "(java.lang.String)void", "()int", "()boolean")
+            )
+            if f"{m_name}{descriptor}" in seen_signatures:
+                m_name = f"{m_name}{m_index}"
+            seen_signatures.add(f"{m_name}{descriptor}")
+            m_introduced = max(introduced, _weighted_level(rng))
+            m_removed = None
+            if removed is not None:
+                m_removed = removed
+                m_introduced = min(m_introduced, removed - 1)
+            elif rng.random() < 0.02 and m_introduced <= 25:
+                m_removed = rng.randint(m_introduced + 1, 29)
+            is_callback = rng.random() < 0.10
+            if is_callback:
+                m_name = "on" + m_name[0].upper() + m_name[1:]
+                if f"{m_name}{descriptor}" in seen_signatures:
+                    m_name = f"{m_name}{m_index}"
+                seen_signatures.add(f"{m_name}{descriptor}")
+            permissions: tuple[str, ...] = ()
+            if not is_callback and rng.random() < 0.03:
+                permissions = (rng.choice(DANGEROUS_PERMISSIONS),)
+            methods.append(
+                dict(
+                    name=m_name,
+                    descriptor=descriptor,
+                    introduced=m_introduced,
+                    removed=m_removed,
+                    callback=is_callback,
+                    permissions=permissions,
+                    calls=[],
+                )
+            )
+        skeletons.append(
+            dict(
+                name=class_name,
+                super_name=super_name,
+                introduced=introduced,
+                removed=removed,
+                methods=methods,
+            )
+        )
+
+    # Pass 2: call edges.  Real framework call graphs are *local*: a
+    # widget calls other widgets and a handful of core utilities, not
+    # arbitrary classes across the platform.  Each non-callback method
+    # gets 0-2 callees drawn from a small neighborhood window of
+    # classes, with a small probability of reaching a (nearby)
+    # permission-enforcing method so deep permission chains exist
+    # without turning the whole framework into one connected component
+    # — lazy loading must have something to be lazy about.
+    methods_by_class: list[list[tuple[str, dict]]] = [
+        [(skeleton["name"], method) for method in skeleton["methods"]]
+        for skeleton in skeletons
+    ]
+    enforcing_by_class: list[list[tuple[str, dict]]] = [
+        [(cls, m) for cls, m in bucket if m["permissions"]]
+        for bucket in methods_by_class
+    ]
+    neighborhood = 5  # classes on either side considered "nearby"
+    for class_index, skeleton in enumerate(skeletons):
+        lo = max(0, class_index - neighborhood)
+        hi = min(len(skeletons), class_index + neighborhood + 1)
+        nearby = [
+            item
+            for bucket in methods_by_class[lo:hi]
+            for item in bucket
+        ]
+        nearby_enforcing = [
+            item
+            for bucket in enforcing_by_class[lo:hi]
+            for item in bucket
+        ]
+        for method in skeleton["methods"]:
+            if method["callback"]:
+                continue
+            for _ in range(rng.randint(0, 2)):
+                if nearby_enforcing and rng.random() < 0.10:
+                    target_cls, target = rng.choice(nearby_enforcing)
+                else:
+                    target_cls, target = rng.choice(nearby)
+                if target_cls == skeleton["name"] and target is method:
+                    continue
+                method["calls"].append(
+                    MethodRef(target_cls, target["name"], target["descriptor"])
+                )
+
+    histories = tuple(
+        ClassHistory(
+            name=skeleton["name"],
+            super_name=skeleton["super_name"],
+            introduced=skeleton["introduced"],
+            removed=skeleton["removed"],
+            methods=tuple(
+                MethodHistory(
+                    name=m["name"],
+                    descriptor=m["descriptor"],
+                    introduced=m["introduced"],
+                    removed=m["removed"],
+                    callback=m["callback"],
+                    permissions=m["permissions"],
+                    calls=tuple(m["calls"]),
+                )
+                for m in skeleton["methods"]
+            ),
+        )
+        for skeleton in skeletons
+    )
+    return histories
+
+
+def build_spec(
+    bulk_classes: int = DEFAULT_BULK_CLASSES, seed: int = DEFAULT_SEED
+) -> FrameworkSpec:
+    """Assemble and validate the full framework spec."""
+    spec = FrameworkSpec(curated_histories() + bulk_histories(bulk_classes, seed))
+    spec.validate()
+    return spec
+
+
+@lru_cache(maxsize=4)
+def default_spec() -> FrameworkSpec:
+    """The shared default framework spec (cached; it is immutable)."""
+    return build_spec()

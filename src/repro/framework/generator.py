@@ -1,0 +1,143 @@
+"""Materialize concrete framework classes from the declarative spec.
+
+For a given API level the generator produces real IR classes with real
+method bodies.  Three body shapes matter to the analyses:
+
+* **regular methods** carry deterministic padding, the call edges the
+  spec declares (filtered to callees alive at the level), and — when
+  the spec assigns permissions — the canonical enforcement idiom
+  ``const-string vP, "<permission>"`` followed by an invoke of
+  ``Context.enforceCallingOrSelfPermission``.  ARM's image miner
+  rediscovers permission requirements from that idiom via reaching
+  definitions, not from the spec;
+* **callbacks** have empty (bare-return) bodies: they are default
+  hooks apps override.  Every class also gets a synthetic
+  ``_dispatch…`` method invoking each of its callbacks, so callbacks
+  are discoverable purely from framework code — the property that lets
+  SAINTDroid avoid CIDER's hand-built callback models;
+* **removed/not-yet-introduced methods** simply do not exist in the
+  image for that level.
+"""
+
+from __future__ import annotations
+
+from ..ir.builder import ClassBuilder, MethodBuilder
+from ..ir.instructions import InvokeKind
+from ..ir.method import Method, MethodFlags
+from ..ir.types import ClassName, MethodRef
+from .spec import ClassHistory, FrameworkSpec, MethodHistory
+
+__all__ = [
+    "ENFORCEMENT_METHOD",
+    "DISPATCH_PREFIX",
+    "materialize_class",
+    "materialize_image",
+]
+
+#: The framework-internal permission enforcement sink.
+ENFORCEMENT_METHOD = MethodRef(
+    "android.content.Context",
+    "enforceCallingOrSelfPermission",
+    "(java.lang.String,java.lang.String)void",
+)
+
+#: Prefix of synthetic framework dispatcher methods (not public API).
+DISPATCH_PREFIX = "_dispatch$"
+
+
+def _padding_amount(ref: MethodRef) -> int:
+    """Deterministic per-method padding size (4..11 instructions)."""
+    return 4 + (hash((ref.class_name, ref.name, ref.descriptor)) & 7)
+
+
+def _emit_regular_body(
+    builder: MethodBuilder,
+    history: MethodHistory,
+    spec: FrameworkSpec,
+    level: int,
+) -> None:
+    """Body of a non-callback framework method at ``level``."""
+    for i in range(_padding_amount(builder.ref)):
+        builder.const_int(dest=i % 4, value=i)
+    for permission in history.permissions:
+        builder.const_string(8, permission)
+        builder.const_string(9, f"{builder.ref.name} requires {permission}")
+        builder.invoke_ref(InvokeKind.VIRTUAL, ENFORCEMENT_METHOD, args=(8, 9))
+    for callee in history.calls:
+        target = spec.find_method(
+            callee.class_name, callee.name + callee.descriptor
+        )
+        if target is not None and target.exists_at(level):
+            builder.invoke_ref(InvokeKind.VIRTUAL, callee, args=())
+    if builder.ref.return_type != "void":
+        builder.const_int(10, 0)
+        builder.return_value(10)
+    else:
+        builder.return_void()
+
+
+def _dispatch_method(
+    class_name: ClassName, callbacks: list[MethodHistory], index: int
+) -> Method:
+    """Synthetic dispatcher invoking the class's callbacks virtually."""
+    ref = MethodRef(class_name, f"{DISPATCH_PREFIX}{index}", "()void")
+    builder = MethodBuilder(ref, flags=MethodFlags.SYNTHETIC)
+    for callback in callbacks:
+        builder.invoke_virtual(
+            class_name, callback.name, callback.descriptor, args=()
+        )
+    builder.return_void()
+    return builder.build()
+
+
+def materialize_class(
+    spec: FrameworkSpec, name: ClassName, level: int
+):
+    """Build the IR class for ``name`` at ``level``.
+
+    Returns ``None`` when the class does not exist at that level.
+    """
+    history = spec.clazz(name)
+    if history is None or not history.exists_at(level):
+        return None
+    return _materialize(history, spec, level)
+
+
+def _materialize(
+    history: ClassHistory, spec: FrameworkSpec, level: int
+):
+    builder = ClassBuilder(
+        name=history.name,
+        super_name=history.super_name,
+        interfaces=history.interfaces,
+        origin="framework",
+    )
+    callbacks: list[MethodHistory] = []
+    for method_history in history.methods_at(level):
+        ref = MethodRef(
+            history.name, method_history.name, method_history.descriptor
+        )
+        method_builder = MethodBuilder(ref)
+        if method_history.callback:
+            callbacks.append(method_history)
+            method_builder.return_void()
+        else:
+            _emit_regular_body(method_builder, method_history, spec, level)
+        builder.add(method_builder.build())
+    if callbacks:
+        builder.add(_dispatch_method(history.name, callbacks, 0))
+    return builder.build()
+
+
+def materialize_image(spec: FrameworkSpec, level: int):
+    """Eagerly build every class alive at ``level``.
+
+    This is what whole-framework tools (CID) effectively do before any
+    per-app analysis; its cost is the scalability foil of the paper.
+    """
+    image = {}
+    for name in spec.class_names_at(level):
+        clazz = materialize_class(spec, name, level)
+        if clazz is not None:
+            image[name] = clazz
+    return image

@@ -1,0 +1,87 @@
+"""Versioned framework repository: lazy, cached class provider.
+
+The repository is the single source of framework code for every
+analysis.  Lazy lookups (:meth:`load_class`) back SAINTDroid's CLVM;
+eager image loads (:meth:`load_image`) back the whole-framework
+baselines.  Both are cached so repeated benchmark runs measure
+analysis behaviour, not regeneration cost — the *accounting* of what
+was loaded happens in each tool's metrics, not here.
+"""
+
+from __future__ import annotations
+
+from ..apk.manifest import MAX_API_LEVEL, MIN_API_LEVEL
+from ..ir.clazz import Clazz
+from ..ir.types import ClassName, is_framework_class
+from .catalog import default_spec
+from .generator import materialize_class, materialize_image
+from .spec import FrameworkSpec
+
+__all__ = ["FrameworkRepository"]
+
+
+class FrameworkRepository:
+    """Serves framework classes for any API level in [2, 29]."""
+
+    def __init__(self, spec: FrameworkSpec | None = None) -> None:
+        self._spec = spec if spec is not None else default_spec()
+        self._class_cache: dict[tuple[int, ClassName], Clazz | None] = {}
+        self._image_cache: dict[int, dict[ClassName, Clazz]] = {}
+
+    @property
+    def spec(self) -> FrameworkSpec:
+        return self._spec
+
+    @property
+    def levels(self) -> range:
+        return range(MIN_API_LEVEL, MAX_API_LEVEL + 1)
+
+    def _check_level(self, level: int) -> None:
+        if level not in self.levels:
+            raise ValueError(
+                f"API level {level} outside modeled range "
+                f"[{MIN_API_LEVEL}, {MAX_API_LEVEL}]"
+            )
+
+    # -- lazy access (CLVM path) --------------------------------------
+
+    def load_class(self, name: ClassName, level: int) -> Clazz | None:
+        """Materialize one class at ``level`` (None when absent)."""
+        self._check_level(level)
+        key = (level, name)
+        if key not in self._class_cache:
+            self._class_cache[key] = materialize_class(
+                self._spec, name, level
+            )
+        return self._class_cache[key]
+
+    def owns(self, name: ClassName) -> bool:
+        """Whether ``name`` is in the framework namespace (regardless of
+        whether any level defines it)."""
+        return is_framework_class(name)
+
+    def defines(self, name: ClassName) -> bool:
+        """Whether the spec has a history for ``name`` at any level."""
+        return name in self._spec
+
+    # -- eager access (whole-framework tools) --------------------------
+
+    def class_names(self, level: int) -> tuple[ClassName, ...]:
+        self._check_level(level)
+        return self._spec.class_names_at(level)
+
+    def load_image(self, level: int) -> dict[ClassName, Clazz]:
+        """The complete framework image at ``level`` (cached)."""
+        self._check_level(level)
+        if level not in self._image_cache:
+            self._image_cache[level] = materialize_image(self._spec, level)
+        return self._image_cache[level]
+
+    def image_class_count(self, level: int) -> int:
+        return len(self.class_names(level))
+
+    def image_instruction_count(self, level: int) -> int:
+        """Total code size of the image — the memory-model cost a
+        whole-framework tool pays up front."""
+        image = self.load_image(level)
+        return sum(clazz.instruction_count for clazz in image.values())

@@ -1,0 +1,97 @@
+"""Class definitions for the IR.
+
+A :class:`Clazz` mirrors a dex ``class_def``: a name, a super class,
+implemented interfaces, and methods keyed by signature.  Hierarchy
+walks (override detection, virtual dispatch) are provided by resolvers
+that can look up classes lazily, so ``Clazz`` itself never needs the
+whole world in memory — the property the CLVM depends on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .method import Method
+from .types import ClassName, is_anonymous_class, is_framework_class
+
+__all__ = ["Clazz", "JAVA_LANG_OBJECT"]
+
+JAVA_LANG_OBJECT: ClassName = "java.lang.Object"
+
+
+@dataclass(frozen=True)
+class Clazz:
+    """A single class: identity, hierarchy links, and methods."""
+
+    name: ClassName
+    super_name: ClassName | None = JAVA_LANG_OBJECT
+    interfaces: tuple[ClassName, ...] = ()
+    methods: tuple[Method, ...] = ()
+    is_abstract: bool = False
+    #: Free-form provenance tag: "app", "framework", "library", …
+    origin: str = "app"
+
+    _by_signature: dict[str, Method] = field(
+        default_factory=dict, init=False, repr=False, compare=False
+    )
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("class requires a name")
+        if self.super_name == self.name:
+            raise ValueError(f"{self.name}: class cannot be its own super")
+        table: dict[str, Method] = {}
+        for method in self.methods:
+            if method.class_name != self.name:
+                raise ValueError(
+                    f"method {method.ref} declared inside class {self.name}"
+                )
+            if method.signature in table:
+                raise ValueError(
+                    f"{self.name}: duplicate method {method.signature}"
+                )
+            table[method.signature] = method
+        object.__setattr__(self, "_by_signature", table)
+
+    # -- lookup -----------------------------------------------------
+
+    def method(self, signature: str) -> Method | None:
+        """Find a declared method by ``name(descriptor)`` signature."""
+        return self._by_signature.get(signature)
+
+    def declares(self, signature: str) -> bool:
+        return signature in self._by_signature
+
+    # -- classification ---------------------------------------------
+
+    @property
+    def is_framework(self) -> bool:
+        return is_framework_class(self.name)
+
+    @property
+    def is_anonymous(self) -> bool:
+        return is_anonymous_class(self.name)
+
+    @property
+    def method_count(self) -> int:
+        return len(self.methods)
+
+    @property
+    def instruction_count(self) -> int:
+        """Total instructions across method bodies (the memory-model
+        unit: a loaded class costs its code size)."""
+        return sum(
+            len(m.body) for m in self.methods if m.body is not None
+        )
+
+    @property
+    def supertypes(self) -> tuple[ClassName, ...]:
+        """Direct supertypes: super class (if any) then interfaces."""
+        out: list[ClassName] = []
+        if self.super_name is not None:
+            out.append(self.super_name)
+        out.extend(self.interfaces)
+        return tuple(out)
+
+    def __str__(self) -> str:  # pragma: no cover - repr convenience
+        return self.name

@@ -1,0 +1,108 @@
+"""Structural validation for IR classes and methods.
+
+The workload generators and the APK deserializer both funnel their
+output through :func:`validate_class`; any malformed construct fails
+fast with a :class:`ValidationError` naming the offending item rather
+than surfacing later as a confusing analysis result.
+"""
+
+from __future__ import annotations
+
+from .clazz import Clazz
+from .instructions import (
+    BinOp,
+    ConstInt,
+    ConstNull,
+    ConstString,
+    FieldGet,
+    FieldPut,
+    IfCmp,
+    IfCmpZero,
+    Invoke,
+    Move,
+    MoveResult,
+    NewInstance,
+    Return,
+    SdkIntLoad,
+    Throw,
+)
+from .method import Method
+
+__all__ = ["ValidationError", "validate_method", "validate_class"]
+
+#: Upper bound on register numbers; dex uses 16-bit registers, we use a
+#: small frame to catch generator bugs early.
+MAX_REGISTER = 255
+
+
+class ValidationError(ValueError):
+    """Raised when an IR construct is structurally invalid."""
+
+
+def _registers_of(instr) -> tuple[int, ...]:
+    """All register operands an instruction reads or writes."""
+    if isinstance(instr, (ConstInt, ConstString, ConstNull, SdkIntLoad)):
+        return (instr.dest,)
+    if isinstance(instr, Move):
+        return (instr.dest, instr.src)
+    if isinstance(instr, BinOp):
+        return (instr.dest, instr.lhs, instr.rhs)
+    if isinstance(instr, IfCmp):
+        return (instr.lhs, instr.rhs)
+    if isinstance(instr, IfCmpZero):
+        return (instr.lhs,)
+    if isinstance(instr, Invoke):
+        return instr.args
+    if isinstance(instr, (MoveResult, NewInstance, FieldGet)):
+        return (instr.dest,)
+    if isinstance(instr, (FieldPut,)):
+        return (instr.src,)
+    if isinstance(instr, (Return, Throw)):
+        return (instr.src,)
+    return ()
+
+
+def validate_method(method: Method) -> None:
+    """Check a single method; raise :class:`ValidationError` on defects."""
+    if method.body is None:
+        return
+    body = method.body
+    if len(body) and not body.terminates:
+        raise ValidationError(f"{method.ref}: body falls off the end")
+    for index, instr in enumerate(body.instructions):
+        for reg in _registers_of(instr):
+            if not 0 <= reg <= MAX_REGISTER:
+                raise ValidationError(
+                    f"{method.ref}@{index}: register v{reg} out of range"
+                )
+        for target in instr.branch_targets:
+            if target not in body.labels:
+                raise ValidationError(
+                    f"{method.ref}@{index}: dangling label {target!r}"
+                )
+        if isinstance(instr, Invoke) and len(instr.args) > 16:
+            raise ValidationError(
+                f"{method.ref}@{index}: too many invoke arguments"
+            )
+    # Labels must land on instruction boundaries (allowing the
+    # one-past-the-end position used by trailing guard labels only when
+    # the builder appended the implicit return, i.e. never after seal).
+    for label, target in body.labels.items():
+        if target > len(body):
+            raise ValidationError(
+                f"{method.ref}: label {label!r} beyond body end"
+            )
+
+
+def validate_class(clazz: Clazz) -> None:
+    """Check a class and all of its methods."""
+    if clazz.super_name is not None and not clazz.super_name:
+        raise ValidationError(f"{clazz.name}: empty super class name")
+    seen: set[str] = set()
+    for method in clazz.methods:
+        if method.signature in seen:
+            raise ValidationError(
+                f"{clazz.name}: duplicate method {method.signature}"
+            )
+        seen.add(method.signature)
+        validate_method(method)

@@ -1,0 +1,23 @@
+"""Repair synthesis: guard insertion, permission-protocol synthesis,
+manifest fixes, and advisories (the paper's section VIII proposal,
+implemented)."""
+
+from .rewriter import GuardSpec, find_invoke_indices, wrap_invoke_in_guard
+from .engine import (
+    RepairAction,
+    RepairActionKind,
+    RepairEngine,
+    RepairResult,
+    repair_and_verify,
+)
+
+__all__ = [
+    "GuardSpec",
+    "RepairAction",
+    "RepairActionKind",
+    "RepairEngine",
+    "RepairResult",
+    "find_invoke_indices",
+    "repair_and_verify",
+    "wrap_invoke_in_guard",
+]

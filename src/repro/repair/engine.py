@@ -1,0 +1,314 @@
+"""The repair synthesizer (paper section VIII future work).
+
+Given an app and its static findings, the engine synthesizes a
+repaired package:
+
+* **API invocation mismatches** — every matching call site in the
+  reported method is wrapped in the appropriate ``SDK_INT`` guard
+  (``>= introduced`` for backward issues, ``<= last`` for forward
+  issues, both for windowed APIs);
+* **permission request mismatches** — a runtime-permission support
+  activity (guarded ``requestPermissions`` + the
+  ``onRequestPermissionsResult`` hook) is synthesized into the app;
+* **permission revocation mismatches** — the manifest's
+  ``targetSdkVersion`` is raised into the runtime-permission era and
+  the protocol is synthesized (the paper's suggested fix for AdAway);
+* **callback mismatches** — no code transformation can make an older
+  framework call a newer hook, so the engine emits an *advisory*
+  (raise ``minSdkVersion`` to the callback's introduction level, or
+  backport the behaviour), mirroring the paper's per-app guidance.
+
+``repair`` returns the transformed package plus an action log; the
+repaired app is expected to re-analyze clean of every repairable
+mismatch (asserted by the test suite and by ``repair_and_verify``).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass, field
+
+from ..apk.dexfile import DexFile
+from ..apk.manifest import RUNTIME_PERMISSIONS_LEVEL
+from ..apk.package import Apk
+from ..core.apidb import ApiDatabase
+from ..core.mismatch import Mismatch, MismatchKind
+from ..ir.builder import ClassBuilder
+from ..ir.clazz import Clazz
+from ..ir.method import Method
+from ..ir.types import MethodRef
+from .rewriter import GuardSpec, find_invoke_indices, wrap_invoke_in_guard
+
+__all__ = ["RepairActionKind", "RepairAction", "RepairResult",
+           "RepairEngine", "repair_and_verify"]
+
+import enum
+
+
+class RepairActionKind(enum.Enum):
+    GUARD_INSERTED = "guard-inserted"
+    PROTOCOL_SYNTHESIZED = "protocol-synthesized"
+    TARGET_SDK_RAISED = "target-sdk-raised"
+    ADVISORY = "advisory"
+
+
+@dataclass(frozen=True)
+class RepairAction:
+    kind: RepairActionKind
+    mismatch: Mismatch
+    description: str
+
+
+@dataclass
+class RepairResult:
+    original: Apk
+    repaired: Apk
+    actions: list[RepairAction] = field(default_factory=list)
+
+    @property
+    def code_changes(self) -> tuple[RepairAction, ...]:
+        return tuple(
+            a for a in self.actions
+            if a.kind is not RepairActionKind.ADVISORY
+        )
+
+    @property
+    def advisories(self) -> tuple[RepairAction, ...]:
+        return tuple(
+            a for a in self.actions
+            if a.kind is RepairActionKind.ADVISORY
+        )
+
+
+class RepairEngine:
+    """Synthesizes repairs for one app's mismatches."""
+
+    def __init__(self, apidb: ApiDatabase) -> None:
+        self._apidb = apidb
+
+    # -- public ----------------------------------------------------------
+
+    def repair(self, apk: Apk, mismatches: list[Mismatch]) -> RepairResult:
+        result = RepairResult(original=apk, repaired=apk)
+        methods_patch: dict[MethodRef, Method] = {}
+        needs_protocol = False
+        raise_target = False
+
+        for mismatch in mismatches:
+            if mismatch.kind is MismatchKind.API_INVOCATION:
+                self._plan_guard(apk, mismatch, methods_patch, result)
+            elif mismatch.kind is MismatchKind.API_CALLBACK:
+                intro = self._introduction_level(mismatch)
+                result.actions.append(
+                    RepairAction(
+                        kind=RepairActionKind.ADVISORY,
+                        mismatch=mismatch,
+                        description=(
+                            f"raise minSdkVersion to {intro} (or backport "
+                            f"{mismatch.subject.signature}): the hook is "
+                            f"never invoked on levels {mismatch.missing_levels}"
+                        ),
+                    )
+                )
+            elif mismatch.kind is MismatchKind.PERMISSION_REQUEST:
+                needs_protocol = True
+                result.actions.append(
+                    RepairAction(
+                        kind=RepairActionKind.PROTOCOL_SYNTHESIZED,
+                        mismatch=mismatch,
+                        description=(
+                            f"synthesize the runtime request protocol for "
+                            f"{mismatch.permission}"
+                        ),
+                    )
+                )
+            elif mismatch.kind is MismatchKind.PERMISSION_REVOCATION:
+                needs_protocol = True
+                raise_target = True
+                result.actions.append(
+                    RepairAction(
+                        kind=RepairActionKind.TARGET_SDK_RAISED,
+                        mismatch=mismatch,
+                        description=(
+                            f"raise targetSdkVersion to "
+                            f"{RUNTIME_PERMISSIONS_LEVEL}+ and handle "
+                            f"{mismatch.permission} through the runtime "
+                            f"protocol"
+                        ),
+                    )
+                )
+
+        repaired = self._apply_method_patches(apk, methods_patch)
+        if raise_target:
+            repaired = self._raise_target_sdk(repaired)
+        if needs_protocol:
+            repaired = self._add_protocol_class(repaired)
+        result.repaired = repaired
+        return result
+
+    # -- API invocation repair ---------------------------------------------
+
+    def _introduction_level(self, mismatch: Mismatch) -> int:
+        entry = self._apidb.resolve(
+            mismatch.subject.class_name, mismatch.subject.signature
+        )
+        if entry is None:
+            return mismatch.missing_levels.hi + 1
+        return entry.lifetime[0]
+
+    def _plan_guard(
+        self,
+        apk: Apk,
+        mismatch: Mismatch,
+        patches: dict[MethodRef, Method],
+        result: RepairResult,
+    ) -> None:
+        location = mismatch.location
+        clazz = apk.lookup(location.class_name)
+        if clazz is None:
+            result.actions.append(
+                RepairAction(
+                    kind=RepairActionKind.ADVISORY,
+                    mismatch=mismatch,
+                    description=(
+                        f"cannot patch {location}: the code is outside "
+                        f"the package (late-bound externally)"
+                    ),
+                )
+            )
+            return
+        method = patches.get(location) or clazz.method(location.signature)
+        if method is None or method.body is None:
+            return
+
+        entry = self._apidb.resolve(
+            mismatch.subject.class_name, mismatch.subject.signature
+        )
+        lo, hi = apk.manifest.supported_range
+        spec_min = None
+        spec_max = None
+        if entry is not None:
+            introduced, last = entry.lifetime
+            if introduced > lo:
+                spec_min = introduced
+            if last < hi:
+                spec_max = last
+        if spec_min is None and spec_max is None:
+            spec_min = mismatch.missing_levels.hi + 1
+        spec = GuardSpec(min_level=spec_min, max_level=spec_max)
+
+        indices = find_invoke_indices(
+            method, mismatch.subject.name, mismatch.subject.descriptor
+        )
+        # Wrap back-to-front so earlier indices stay valid.
+        for index in reversed(indices):
+            method = wrap_invoke_in_guard(method, index, spec)
+        patches[location] = method
+        result.actions.append(
+            RepairAction(
+                kind=RepairActionKind.GUARD_INSERTED,
+                mismatch=mismatch,
+                description=(
+                    f"wrapped {len(indices)} call(s) to "
+                    f"{mismatch.subject.signature} in {location} with "
+                    f"'if ({spec.describe()})'"
+                ),
+            )
+        )
+
+    # -- package transformations ------------------------------------------------
+
+    @staticmethod
+    def _apply_method_patches(
+        apk: Apk, patches: dict[MethodRef, Method]
+    ) -> Apk:
+        if not patches:
+            return apk
+        by_class: dict[str, dict[str, Method]] = {}
+        for ref, method in patches.items():
+            by_class.setdefault(ref.class_name, {})[ref.signature] = method
+
+        new_dex_files = []
+        for dex in apk.dex_files:
+            new_classes = []
+            for clazz in dex.classes:
+                replacements = by_class.get(clazz.name)
+                if not replacements:
+                    new_classes.append(clazz)
+                    continue
+                new_methods = tuple(
+                    replacements.get(method.signature, method)
+                    for method in clazz.methods
+                )
+                new_classes.append(
+                    dataclasses.replace(clazz, methods=new_methods)
+                )
+            new_dex_files.append(
+                DexFile(dex.name, tuple(new_classes), secondary=dex.secondary)
+            )
+        return Apk(
+            manifest=apk.manifest,
+            dex_files=tuple(new_dex_files),
+            label=apk.label,
+        )
+
+    @staticmethod
+    def _raise_target_sdk(apk: Apk) -> Apk:
+        manifest = apk.manifest
+        if manifest.target_sdk >= RUNTIME_PERMISSIONS_LEVEL:
+            return apk
+        new_manifest = dataclasses.replace(
+            manifest, target_sdk=RUNTIME_PERMISSIONS_LEVEL
+        )
+        return Apk(
+            manifest=new_manifest,
+            dex_files=apk.dex_files,
+            label=apk.label,
+        )
+
+    @staticmethod
+    def _add_protocol_class(apk: Apk) -> Apk:
+        class_name = f"{apk.manifest.package}.RepairPermissionSupport"
+        if apk.lookup(class_name) is not None:
+            return apk
+        builder = ClassBuilder(
+            class_name, super_name="android.app.Activity"
+        )
+        ask = builder.method("requestDangerousPermissions")
+        ask.guarded_call(
+            RUNTIME_PERMISSIONS_LEVEL,
+            "android.app.Activity",
+            "requestPermissions",
+            "(java.lang.String[],int)void",
+        )
+        ask.return_void()
+        builder.finish(ask)
+        builder.empty_method(
+            "onRequestPermissionsResult",
+            "(int,java.lang.String[],int[])void",
+        )
+        support = builder.build()
+
+        primary = apk.dex_files[0]
+        new_primary = DexFile(
+            primary.name, primary.classes + (support,), secondary=False
+        )
+        return Apk(
+            manifest=apk.manifest,
+            dex_files=(new_primary,) + apk.dex_files[1:],
+            label=apk.label,
+        )
+
+
+def repair_and_verify(detector, apk: Apk) -> tuple[RepairResult, list]:
+    """Detect, repair, re-analyze.
+
+    Returns the repair result and the residual mismatches of the
+    repaired app (expected: only unrepairable advisories' subjects —
+    callback mismatches — remain).
+    """
+    report = detector.analyze(apk)
+    engine = RepairEngine(detector.apidb)
+    result = engine.repair(apk, report.mismatches)
+    residual = detector.analyze(result.repaired).mismatches
+    return result, residual

@@ -1,0 +1,129 @@
+"""IR rewriting: wrap call sites in ``SDK_INT`` guards.
+
+The core transformation of the repair synthesizer: given a method and
+the index of an invoke instruction, produce a new method whose invoke
+only executes when the device level satisfies a bound — exactly the
+defensive idiom the paper's Listing 1 comments out.
+
+Inserting instructions shifts indices, so every label is remapped; a
+label that pointed *at* the call site is redirected to the start of
+the inserted guard (otherwise a jump could still bypass it).  Rewritten
+methods are re-validated before being returned.
+"""
+
+from __future__ import annotations
+
+from ..ir.instructions import (
+    CmpOp,
+    ConstInt,
+    IfCmp,
+    Instruction,
+    Invoke,
+    SdkIntLoad,
+)
+from ..ir.method import Method, MethodBody
+from ..ir.validate import validate_method
+
+__all__ = ["GuardSpec", "wrap_invoke_in_guard", "find_invoke_indices"]
+
+#: Scratch registers for the inserted guard; chosen at the top of the
+#: frame so they cannot clobber live generator/app registers.
+GUARD_SDK_REG = 250
+GUARD_CONST_REG = 251
+
+
+class GuardSpec:
+    """What bound to enforce: ``min_level`` → execute only on
+    ``SDK_INT >= min_level``; ``max_level`` → only on
+    ``SDK_INT <= max_level``.  Both may be set (a window)."""
+
+    def __init__(
+        self, min_level: int | None = None, max_level: int | None = None
+    ) -> None:
+        if min_level is None and max_level is None:
+            raise ValueError("a guard needs at least one bound")
+        self.min_level = min_level
+        self.max_level = max_level
+
+    def comparisons(self) -> list[tuple[CmpOp, int]]:
+        """Branch-away comparisons, i.e. skip the call when true."""
+        out: list[tuple[CmpOp, int]] = []
+        if self.min_level is not None:
+            out.append((CmpOp.LT, self.min_level))
+        if self.max_level is not None:
+            out.append((CmpOp.GT, self.max_level))
+        return out
+
+    def describe(self) -> str:
+        parts = []
+        if self.min_level is not None:
+            parts.append(f"SDK_INT >= {self.min_level}")
+        if self.max_level is not None:
+            parts.append(f"SDK_INT <= {self.max_level}")
+        return " and ".join(parts)
+
+
+def find_invoke_indices(method: Method, name: str, descriptor: str):
+    """Indices of invoke instructions matching ``name(descriptor)``."""
+    if method.body is None:
+        return []
+    return [
+        index
+        for index, instruction in enumerate(method.body.instructions)
+        if isinstance(instruction, Invoke)
+        and instruction.method.name == name
+        and instruction.method.descriptor == descriptor
+    ]
+
+
+def _fresh_label(labels: dict[str, int], hint: str) -> str:
+    counter = 0
+    while f"{hint}{counter}" in labels:
+        counter += 1
+    return f"{hint}{counter}"
+
+
+def wrap_invoke_in_guard(
+    method: Method, invoke_index: int, spec: GuardSpec
+) -> Method:
+    """Return a copy of ``method`` with the invoke at ``invoke_index``
+    protected by ``spec``."""
+    body = method.body
+    if body is None:
+        raise ValueError(f"{method.ref}: cannot rewrite a bodyless method")
+    instruction = body.instructions[invoke_index]
+    if not isinstance(instruction, Invoke):
+        raise ValueError(
+            f"{method.ref}@{invoke_index}: not an invoke instruction"
+        )
+
+    new_labels = dict(body.labels)
+    skip_label = _fresh_label(new_labels, "repair_skip_")
+
+    guard: list[Instruction] = []
+    for op, constant in spec.comparisons():
+        guard.append(SdkIntLoad(GUARD_SDK_REG))
+        guard.append(ConstInt(GUARD_CONST_REG, constant))
+        guard.append(IfCmp(op, GUARD_SDK_REG, GUARD_CONST_REG, skip_label))
+    inserted = len(guard)
+
+    instructions = list(body.instructions)
+    instructions[invoke_index:invoke_index] = guard
+
+    # Remap existing labels: anything at or beyond the insertion point
+    # shifts; a label aimed exactly at the call site must now aim at
+    # the guard so jumps cannot bypass it.
+    for label_name, target in body.labels.items():
+        if target >= invoke_index:
+            new_labels[label_name] = target + inserted
+        if target == invoke_index:
+            new_labels[label_name] = invoke_index
+    new_labels[skip_label] = invoke_index + inserted + 1
+
+    rewritten = Method(
+        ref=method.ref,
+        flags=method.flags,
+        body=MethodBody(tuple(instructions), new_labels),
+    )
+    validate_method(rewritten)
+    return rewritten

@@ -1,0 +1,39 @@
+"""Workloads: the app forge, benchmark-suite replicas, the calibrated
+real-world corpus, and ground-truth records."""
+
+from .groundtruth import GroundTruth, SeededIssue, SeededTrap, Trait
+from .appgen import ApiPicker, AppForge, ForgedApp
+from .benchsuite import (
+    BENCHMARK_SPECS,
+    BenchmarkSpec,
+    CIDER_BENCH,
+    CID_BENCH,
+    build_benchmark_app,
+    build_benchmark_suite,
+)
+from .corpus import (
+    CorpusApp,
+    CorpusConfig,
+    PAPER_CORPUS_SIZE,
+    generate_corpus,
+)
+
+__all__ = [
+    "ApiPicker",
+    "AppForge",
+    "BENCHMARK_SPECS",
+    "BenchmarkSpec",
+    "CIDER_BENCH",
+    "CID_BENCH",
+    "CorpusApp",
+    "CorpusConfig",
+    "ForgedApp",
+    "GroundTruth",
+    "PAPER_CORPUS_SIZE",
+    "SeededIssue",
+    "SeededTrap",
+    "Trait",
+    "build_benchmark_app",
+    "build_benchmark_suite",
+    "generate_corpus",
+]

@@ -1,0 +1,200 @@
+"""Ground-truth records for seeded workloads.
+
+Every synthetic app carries a :class:`GroundTruth`: the set of *true*
+compatibility issues planted in it (identified by the same stable keys
+detectors emit) plus the set of *traps* — code patterns that are not
+issues but are expected to draw false alarms from tools with specific
+weaknesses.  Traits on each record name the mechanism, so evaluation
+output can explain *why* a tool missed or over-reported.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any
+
+from ..ir.types import MethodRef
+
+__all__ = [
+    "Trait",
+    "SeededIssue",
+    "SeededTrap",
+    "GroundTruth",
+    "key_to_json",
+    "key_from_json",
+]
+
+
+class Trait(enum.Enum):
+    """Mechanism tags for seeded issues and traps."""
+
+    #: Unguarded call to a newer API, framework receiver, app package.
+    DIRECT = "direct"
+    #: API reached through an app subclass receiver (inheritance).
+    INHERITED = "inherited"
+    #: Issue lives in bundled third-party library namespace.
+    LIBRARY = "library"
+    #: Issue lives in a secondary (late-bound) dex file.
+    SECONDARY_DEX = "secondary-dex"
+    #: Issue lives in externally loaded code absent from the APK.
+    EXTERNAL_DYNAMIC = "external-dynamic"
+    #: Call to an API removed in a later level (forward compatibility).
+    FORWARD_REMOVED = "forward-removed"
+    #: Callback on one of CIDER's four modeled classes.
+    CALLBACK_MODELED = "callback-modeled"
+    #: Callback on any other framework class.
+    CALLBACK_UNMODELED = "callback-unmodeled"
+    #: Callback override declared inside an anonymous inner class.
+    CALLBACK_ANONYMOUS = "callback-anonymous"
+    #: Runtime-permission request protocol not implemented.
+    PERMISSION_REQUEST = "permission-request"
+    #: Install-time permissions revocable on ≥23 devices.
+    PERMISSION_REVOCATION = "permission-revocation"
+    #: Permission requirement only visible transitively (deep in ADF).
+    PERMISSION_DEEP = "permission-deep"
+    # -- trap mechanisms ------------------------------------------------
+    #: Guard in the caller protects an API call in a callee.
+    TRAP_CALLER_GUARD = "trap-caller-guard"
+    #: The SDK check lives in a boolean helper method
+    #: (``VersionUtils.isAtLeastM()``); only summary-aware analyses
+    #: see through it.
+    TRAP_HELPER_GUARD = "trap-helper-guard"
+    #: Guarded allocation of an anonymous class whose method calls the
+    #: new API (safe by construction; invisible to SAINTDroid).
+    TRAP_ANONYMOUS_GUARD = "trap-anonymous-guard"
+    #: Correctly guarded direct call (baseline sanity pattern).
+    TRAP_GUARDED_DIRECT = "trap-guarded-direct"
+
+
+@dataclass(frozen=True)
+class SeededIssue:
+    """A true compatibility issue planted in an app.
+
+    ``key`` matches :attr:`repro.core.mismatch.Mismatch.key` exactly,
+    so scoring is set arithmetic on keys.
+    """
+
+    key: tuple
+    kind: str
+    trait: Trait
+    description: str = ""
+
+
+@dataclass(frozen=True)
+class SeededTrap:
+    """A non-issue pattern expected to trigger false alarms.
+
+    ``fp_keys`` lists the mismatch keys a confused tool would emit;
+    anything a tool reports outside the true-issue set counts as a
+    false positive regardless, but recording the expected keys lets
+    tests assert the *mechanism*, not just the count.
+    """
+
+    fp_keys: tuple[tuple, ...]
+    trait: Trait
+    description: str = ""
+
+
+@dataclass
+class GroundTruth:
+    """All seeded facts for one app."""
+
+    app: str
+    issues: list[SeededIssue] = field(default_factory=list)
+    traps: list[SeededTrap] = field(default_factory=list)
+
+    @property
+    def issue_keys(self) -> frozenset:
+        return frozenset(issue.key for issue in self.issues)
+
+    def issues_of_kind(self, kind: str) -> tuple[SeededIssue, ...]:
+        return tuple(i for i in self.issues if i.kind == kind)
+
+    def issues_with_trait(self, trait: Trait) -> tuple[SeededIssue, ...]:
+        return tuple(i for i in self.issues if i.trait is trait)
+
+    def traps_with_trait(self, trait: Trait) -> tuple[SeededTrap, ...]:
+        return tuple(t for t in self.traps if t.trait is trait)
+
+    def merge(self, other: "GroundTruth") -> None:
+        if other.app != self.app:
+            raise ValueError(
+                f"cannot merge ground truth of {other.app} into {self.app}"
+            )
+        self.issues.extend(other.issues)
+        self.traps.extend(other.traps)
+
+    # -- JSON round-trip (used by the CLI's gen-bench output) ----------
+
+    def to_dict(self) -> dict:
+        return {
+            "app": self.app,
+            "issues": [
+                {
+                    "key": key_to_json(issue.key),
+                    "kind": issue.kind,
+                    "trait": issue.trait.value,
+                    "description": issue.description,
+                }
+                for issue in self.issues
+            ],
+            "traps": [
+                {
+                    "fpKeys": [key_to_json(k) for k in trap.fp_keys],
+                    "trait": trap.trait.value,
+                    "description": trap.description,
+                }
+                for trap in self.traps
+            ],
+        }
+
+    @staticmethod
+    def from_dict(doc: dict) -> "GroundTruth":
+        truth = GroundTruth(app=doc["app"])
+        for issue in doc.get("issues", ()):
+            truth.issues.append(
+                SeededIssue(
+                    key=key_from_json(issue["key"]),
+                    kind=issue["kind"],
+                    trait=Trait(issue["trait"]),
+                    description=issue.get("description", ""),
+                )
+            )
+        for trap in doc.get("traps", ()):
+            truth.traps.append(
+                SeededTrap(
+                    fp_keys=tuple(
+                        key_from_json(k) for k in trap.get("fpKeys", ())
+                    ),
+                    trait=Trait(trap["trait"]),
+                    description=trap.get("description", ""),
+                )
+            )
+        return truth
+
+
+def key_to_json(key: tuple) -> list[Any]:
+    """Encode a mismatch key as JSON-safe data."""
+    out: list[Any] = []
+    for part in key:
+        if isinstance(part, MethodRef):
+            out.append({"m": [part.class_name, part.name, part.descriptor]})
+        elif isinstance(part, tuple):
+            out.append({"t": list(part)})
+        else:
+            out.append(part)
+    return out
+
+
+def key_from_json(data: list[Any]) -> tuple:
+    """Decode :func:`key_to_json` output."""
+    out: list[Any] = []
+    for part in data:
+        if isinstance(part, dict) and "m" in part:
+            out.append(MethodRef(*part["m"]))
+        elif isinstance(part, dict) and "t" in part:
+            out.append(tuple(part["t"]))
+        else:
+            out.append(part)
+    return tuple(out)

@@ -1,0 +1,75 @@
+"""Tests for the call-graph data structure."""
+
+from repro.analysis.callgraph import CallGraph, CallSite
+from repro.ir.builder import MethodBuilder
+from repro.ir.types import MethodRef
+
+
+def method(name):
+    return MethodBuilder(MethodRef("com.app.C", name)).build()
+
+
+def site(caller, callee, resolved=None):
+    return CallSite(
+        caller=MethodRef("com.app.C", caller),
+        callee=MethodRef("com.app.C", callee),
+        resolved=MethodRef("com.app.C", resolved) if resolved else None,
+    )
+
+
+class TestCallGraph:
+    def build_chain(self):
+        graph = CallGraph()
+        for name in ("a", "b", "c", "d"):
+            graph.add_method(method(name))
+        graph.add_edge(site("a", "b", "b"))
+        graph.add_edge(site("b", "c", "c"))
+        graph.add_entry_point(MethodRef("com.app.C", "a"))
+        return graph
+
+    def test_membership(self):
+        graph = self.build_chain()
+        assert MethodRef("com.app.C", "a") in graph
+        assert MethodRef("com.app.C", "zz") not in graph
+        assert len(graph) == 4
+
+    def test_callees(self):
+        graph = self.build_chain()
+        sites = graph.callees(MethodRef("com.app.C", "a"))
+        assert len(sites) == 1
+        assert sites[0].callee.name == "b"
+
+    def test_callers_of(self):
+        graph = self.build_chain()
+        callers = graph.callers_of(MethodRef("com.app.C", "b"))
+        assert callers == (MethodRef("com.app.C", "a"),)
+
+    def test_reachability(self):
+        graph = self.build_chain()
+        reachable = graph.reachable_from()
+        names = {ref.name for ref in reachable}
+        assert names == {"a", "b", "c"}  # d is disconnected
+
+    def test_reachability_custom_roots(self):
+        graph = self.build_chain()
+        reachable = graph.reachable_from((MethodRef("com.app.C", "b"),))
+        assert {ref.name for ref in reachable} == {"b", "c"}
+
+    def test_entry_points_deduplicated(self):
+        graph = CallGraph()
+        ref = MethodRef("com.app.C", "a")
+        graph.add_entry_point(ref)
+        graph.add_entry_point(ref)
+        assert graph.entry_points == [ref]
+
+    def test_app_methods_excludes_framework(self):
+        graph = CallGraph()
+        graph.add_method(method("a"))
+        graph.add_method(
+            MethodBuilder(MethodRef("android.view.View", "invalidate")).build()
+        )
+        assert [r.name for r in graph.app_methods()] == ["a"]
+
+    def test_edge_count(self):
+        graph = self.build_chain()
+        assert graph.edge_count == 2

@@ -1,0 +1,120 @@
+"""Tests for control-flow graph construction."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.cfg import EXIT, build_cfg
+from repro.ir.builder import MethodBuilder
+from repro.ir.instructions import CmpOp
+from repro.ir.types import MethodRef
+
+
+def mb(name="m"):
+    return MethodBuilder(MethodRef("com.app.Foo", name))
+
+
+class TestStraightLine:
+    def test_single_block(self):
+        cfg = build_cfg(mb().const_int(0, 1).const_int(1, 2).build())
+        assert len(cfg.blocks) == 1
+        assert cfg.successors[0] == (EXIT,)
+
+    def test_empty_method(self):
+        from repro.ir.method import Method
+        cfg = build_cfg(Method(ref=MethodRef("C", "m"), body=None))
+        assert cfg.blocks == ()
+
+
+class TestBranches:
+    def guarded(self):
+        b = mb()
+        b.sdk_int(0)
+        b.const_int(1, 23)
+        b.if_cmp(CmpOp.LT, 0, 1, "skip")
+        b.invoke_virtual("android.widget.Toast", "show")
+        b.label("skip")
+        b.return_void()
+        return b.build()
+
+    def test_diamond_blocks(self):
+        cfg = build_cfg(self.guarded())
+        # header (3 instr), call block, merged return block
+        assert len(cfg.blocks) == 3
+        header = cfg.blocks[0]
+        assert set(cfg.successors[header.index]) == {1, 2}
+
+    def test_predecessors_computed(self):
+        cfg = build_cfg(self.guarded())
+        # return block reached from header (branch) and call block.
+        assert set(cfg.predecessors[2]) == {0, 1}
+
+    def test_block_of(self):
+        cfg = build_cfg(self.guarded())
+        assert cfg.block_of(0).index == 0
+        assert cfg.block_of(3).index == 1
+
+    def test_loop_edges(self):
+        b = mb()
+        b.label("top")
+        b.const_int(0, 1)
+        b.if_cmpz(CmpOp.GT, 0, "top")
+        b.return_void()
+        cfg = build_cfg(b.build())
+        # the branch block loops back to the top block
+        flat = {t for targets in cfg.successors.values() for t in targets}
+        assert 0 in flat
+
+    def test_goto_only_edge(self):
+        b = mb()
+        b.goto("end")
+        b.label("end")
+        b.return_void()
+        cfg = build_cfg(b.build())
+        assert cfg.successors[0] == (1,)
+
+    def test_reverse_postorder_starts_at_entry(self):
+        cfg = build_cfg(self.guarded())
+        order = cfg.reverse_postorder()
+        assert order[0] == 0
+        assert set(order) == {0, 1, 2}
+
+
+class TestStructuralInvariants:
+    @settings(max_examples=30, deadline=None)
+    @given(st.lists(st.integers(0, 3), min_size=1, max_size=12),
+           st.integers(2, 29))
+    def test_every_instruction_in_exactly_one_block(self, shape, level):
+        """Random mixes of guards/calls partition into disjoint blocks."""
+        b = mb()
+        for step, choice in enumerate(shape):
+            if choice == 0:
+                b.const_int(step % 8, step)
+            elif choice == 1:
+                b.invoke_virtual("android.widget.Toast", "show")
+            elif choice == 2:
+                b.guarded_call(level, "android.widget.Toast", "show")
+            else:
+                b.sdk_int(step % 8)
+        b.return_void()
+        method = b.build()
+        cfg = build_cfg(method)
+        covered = []
+        for block in cfg.blocks:
+            covered.extend(range(block.start, block.end))
+        assert sorted(covered) == list(range(len(method.body)))
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.lists(st.integers(0, 2), min_size=1, max_size=10))
+    def test_every_block_has_successors_entry(self, shape):
+        b = mb()
+        for step, choice in enumerate(shape):
+            if choice == 0:
+                b.const_int(0, step)
+            else:
+                b.guarded_call(20 + choice, "android.widget.Toast", "show")
+        b.return_void()
+        cfg = build_cfg(b.build())
+        for block in cfg.blocks:
+            assert block.index in cfg.successors
+            for target in cfg.successors[block.index]:
+                assert target == EXIT or 0 <= target < len(cfg.blocks)

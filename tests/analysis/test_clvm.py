@@ -1,0 +1,231 @@
+"""Tests for the CLVM — lazy, worklist-driven class loading."""
+
+from repro.analysis.clvm import ClassLoaderVM
+from repro.ir.builder import ClassBuilder
+from repro.ir.types import MethodRef
+
+from tests.conftest import activity_class, make_apk
+
+
+def caller_class(name, target_class, target_method="run",
+                 descriptor="()void"):
+    builder = ClassBuilder(name)
+    method = builder.method("go")
+    method.invoke_virtual(target_class, target_method, descriptor)
+    method.return_void()
+    builder.finish(method)
+    return builder.build()
+
+
+def entry_refs(apk):
+    return tuple(
+        method.ref
+        for dex in apk.dex_files
+        if not dex.secondary
+        for clazz in dex.classes
+        for method in clazz.methods
+    )
+
+
+class TestLazyLoading:
+    def test_loads_only_reachable_framework(self, framework):
+        apk = make_apk(
+            [activity_class(),
+             caller_class("com.test.app.T", "android.widget.Toast", "show")]
+        )
+        vm = ClassLoaderVM(apk, framework, 23)
+        result = vm.explore(entry_refs(apk))
+        loaded = set(result.loaded_classes)
+        assert "android.widget.Toast" in loaded
+        # A random unrelated framework class must not be loaded.
+        assert "android.webkit.WebViewClient" not in loaded
+        total = framework.image_class_count(23)
+        assert result.stats.framework_classes_loaded < total / 2
+
+    def test_stats_count_loads_once(self, framework):
+        apk = make_apk(
+            [activity_class(),
+             caller_class("com.test.app.A", "android.widget.Toast", "show"),
+             caller_class("com.test.app.B", "android.widget.Toast", "show")]
+        )
+        vm = ClassLoaderVM(apk, framework, 23)
+        result = vm.explore(entry_refs(apk))
+        names = list(result.loaded_classes)
+        assert len(names) == len(set(names))
+        assert result.stats.classes_loaded == len(names)
+
+    def test_callgraph_contains_entry_points(self, framework):
+        apk = make_apk([activity_class()])
+        vm = ClassLoaderVM(apk, framework, 23)
+        result = vm.explore(entry_refs(apk))
+        ref = MethodRef(
+            "com.test.app.MainActivity", "onCreate",
+            "(android.os.Bundle)void",
+        )
+        assert ref in result.callgraph.methods
+        assert ref in result.callgraph.entry_points
+
+    def test_follow_framework_off_keeps_framework_terminal(self, framework):
+        apk = make_apk(
+            [activity_class(),
+             caller_class("com.test.app.T", "android.widget.Toast", "show")]
+        )
+        vm = ClassLoaderVM(apk, framework, 23, follow_framework=False)
+        result = vm.explore(entry_refs(apk))
+        framework_methods = [
+            ref for ref in result.callgraph.methods if ref.is_framework
+        ]
+        assert framework_methods == []
+
+    def test_framework_depth_cap(self, framework):
+        apk = make_apk(
+            [activity_class(),
+             caller_class(
+                 "com.test.app.T", "android.location.Geocoder",
+                 "getFromLocation", "(double,double,int)java.util.List",
+             )]
+        )
+        shallow = ClassLoaderVM(apk, framework, 23, max_framework_depth=0)
+        deep = ClassLoaderVM(apk, framework, 23, max_framework_depth=4)
+        shallow_result = shallow.explore(entry_refs(apk))
+        deep_result = deep.explore(entry_refs(apk))
+        assert (
+            deep_result.stats.framework_classes_loaded
+            >= shallow_result.stats.framework_classes_loaded
+        )
+        # depth 0 still loads the Geocoder itself (first level)
+        assert "android.location.Geocoder" in shallow_result.loaded_classes
+
+
+class TestLateBinding:
+    def plugin_apk(self, plugin_name="com.test.app.Plugin"):
+        plugin = caller_class(plugin_name, "android.widget.Toast", "show")
+        loader = ClassBuilder("com.test.app.Loader")
+        method = loader.method("load")
+        method.const_string(0, plugin_name)
+        method.invoke_virtual(
+            "dalvik.system.DexClassLoader", "loadClass",
+            "(java.lang.String)java.lang.Class", args=(0,),
+        )
+        method.return_void()
+        loader.finish(method)
+        return make_apk(
+            [activity_class(), loader.build()], secondary_classes=[plugin]
+        )
+
+    def test_secondary_dex_reached_via_load_class(self, framework):
+        apk = self.plugin_apk()
+        vm = ClassLoaderVM(apk, framework, 23)
+        result = vm.explore(entry_refs(apk))
+        assert "com.test.app.Plugin" in result.loaded_classes
+        assert result.stats.dynamic_classes_resolved == 1
+        assert MethodRef("com.test.app.Plugin", "go", "()void") in (
+            result.callgraph.methods
+        )
+
+    def test_external_class_reported_unresolved(self, framework):
+        loader = ClassBuilder("com.test.app.Loader")
+        method = loader.method("load")
+        method.const_string(0, "com.external.Gone")
+        method.invoke_virtual(
+            "dalvik.system.DexClassLoader", "loadClass",
+            "(java.lang.String)java.lang.Class", args=(0,),
+        )
+        method.return_void()
+        loader.finish(method)
+        apk = make_apk([activity_class(), loader.build()])
+        vm = ClassLoaderVM(apk, framework, 23)
+        result = vm.explore(entry_refs(apk))
+        assert result.unresolved_dynamic_classes == ("com.external.Gone",)
+
+    def test_unresolvable_string_counted(self, framework):
+        loader = ClassBuilder("com.test.app.Loader")
+        method = loader.method("load")
+        method.move_result(0)  # unknown value
+        method.invoke_virtual(
+            "dalvik.system.DexClassLoader", "loadClass",
+            "(java.lang.String)java.lang.Class", args=(0,),
+        )
+        method.return_void()
+        loader.finish(method)
+        apk = make_apk([activity_class(), loader.build()])
+        vm = ClassLoaderVM(apk, framework, 23)
+        result = vm.explore(entry_refs(apk))
+        assert result.stats.dynamic_sites_unresolved == 1
+
+
+class TestVirtualDispatch:
+    def test_dispatch_into_app_override(self, framework):
+        listener = ClassBuilder(
+            "com.test.app.Listener", interfaces=("java.lang.Runnable",)
+        )
+        listener.empty_method("run")
+        poster = ClassBuilder("com.test.app.Poster")
+        method = poster.method("post")
+        method.new_instance(0, "com.test.app.Listener")
+        method.invoke_virtual(
+            "java.lang.Runnable", "run", "()void", args=(0,),
+        )
+        method.return_void()
+        poster.finish(method)
+        apk = make_apk([activity_class(), listener.build(), poster.build()])
+        vm = ClassLoaderVM(apk, framework, 23)
+        result = vm.explore(entry_refs(apk))
+        override = MethodRef("com.test.app.Listener", "run", "()void")
+        resolved = {
+            site.resolved
+            for sites in result.callgraph.edges.values()
+            for site in sites
+        }
+        assert override in resolved
+
+
+class TestEagerMode:
+    def test_load_everything_loads_whole_image(self, framework, simple_apk):
+        vm = ClassLoaderVM(simple_apk, framework, 23)
+        vm.load_everything()
+        assert vm.stats.framework_classes_loaded == (
+            framework.image_class_count(23)
+        )
+        assert vm.stats.retain_framework_bodies
+
+    def test_eager_memory_exceeds_lazy(self, framework, simple_apk):
+        lazy = ClassLoaderVM(simple_apk, framework, 23)
+        lazy.explore(entry_refs(simple_apk))
+        eager = ClassLoaderVM(simple_apk, framework, 23)
+        eager.load_everything()
+        assert eager.stats.memory_units > lazy.stats.memory_units
+
+
+class TestCycles:
+    def test_mutually_recursive_app_methods(self, framework):
+        a = ClassBuilder("com.test.app.A")
+        method_a = a.method("ping")
+        method_a.invoke_virtual("com.test.app.B", "pong")
+        method_a.return_void()
+        a.finish(method_a)
+        b = ClassBuilder("com.test.app.B")
+        method_b = b.method("pong")
+        method_b.invoke_virtual("com.test.app.A", "ping")
+        method_b.return_void()
+        b.finish(method_b)
+        apk = make_apk([activity_class(), a.build(), b.build()])
+        vm = ClassLoaderVM(apk, framework, 23)
+        result = vm.explore(entry_refs(apk))  # must terminate
+        assert MethodRef("com.test.app.A", "ping", "()void") in (
+            result.callgraph.methods
+        )
+        assert MethodRef("com.test.app.B", "pong", "()void") in (
+            result.callgraph.methods
+        )
+
+    def test_self_recursive_method(self, framework):
+        builder = ClassBuilder("com.test.app.R")
+        method = builder.method("again")
+        method.invoke_virtual("com.test.app.R", "again")
+        method.return_void()
+        builder.finish(method)
+        apk = make_apk([activity_class(), builder.build()])
+        vm = ClassLoaderVM(apk, framework, 23)
+        result = vm.explore(entry_refs(apk))
+        assert result.stats.methods_analyzed > 0

@@ -1,0 +1,108 @@
+"""Tests for the generic dataflow engine using a tiny counting
+analysis (distinct from the shipped clients, to test the engine
+itself)."""
+
+import pytest
+
+from repro.analysis.cfg import build_cfg
+from repro.analysis.dataflow import Analysis, solve_forward
+from repro.ir.builder import MethodBuilder
+from repro.ir.instructions import CmpOp, ConstInt, Instruction
+from repro.ir.types import MethodRef
+
+
+class ConstCounting(Analysis):
+    """Counts the maximum number of ConstInt instructions seen on any
+    path (a simple monotone analysis over max-join)."""
+
+    def initial_state(self):
+        return 0
+
+    def bottom(self):
+        return None
+
+    def join(self, left, right):
+        if left is None:
+            return right
+        if right is None:
+            return left
+        return max(left, right)
+
+    def transfer(self, state, instruction: Instruction):
+        if state is None:
+            return None
+        if isinstance(instruction, ConstInt):
+            return state + 1
+        return state
+
+    def equal(self, left, right):
+        return left == right
+
+
+def mb():
+    return MethodBuilder(MethodRef("com.app.C", "m"))
+
+
+class TestEngine:
+    def test_straight_line(self):
+        method = mb().const_int(0, 1).const_int(1, 2).build()
+        cfg = build_cfg(method)
+        states = solve_forward(ConstCounting(), cfg)
+        assert states.entry_states[0] == 0
+        # state before the implicit return == after both consts
+        assert states.state_before(0, 2) == 2
+
+    def test_diamond_max_join(self):
+        b = mb()
+        b.sdk_int(0)
+        b.if_cmpz(CmpOp.GT, 0, "right")
+        b.const_int(1, 1)
+        b.const_int(2, 2)
+        b.goto("merge")
+        b.label("right")
+        b.const_int(3, 3)
+        b.label("merge")
+        b.return_void()
+        cfg = build_cfg(b.build())
+        states = solve_forward(ConstCounting(), cfg)
+        merge_block = cfg.block_of(b.build().body.resolve("merge"))
+        assert states.entry_states[merge_block.index] == 2  # max(2, 1)
+
+    def test_loop_converges(self):
+        b = mb()
+        b.label("top")
+        b.sdk_int(0)
+        b.if_cmpz(CmpOp.GT, 0, "top")
+        b.return_void()
+        cfg = build_cfg(b.build())
+        # Monotone bounded analysis: must converge without error.
+        states = solve_forward(ConstCounting(), cfg)
+        assert all(s is not None for s in states.entry_states.values())
+
+    def test_non_convergent_analysis_detected(self):
+        class Diverging(ConstCounting):
+            def transfer(self, state, instruction):
+                return None if state is None else state + 1  # unbounded
+
+        b = mb()
+        b.label("top")
+        b.const_int(0, 1)
+        b.sdk_int(1)
+        b.if_cmpz(CmpOp.GT, 1, "top")
+        b.return_void()
+        cfg = build_cfg(b.build())
+        with pytest.raises(RuntimeError, match="did not converge"):
+            solve_forward(Diverging(), cfg)
+
+    def test_instruction_states_iterator(self):
+        method = mb().const_int(0, 1).const_int(1, 2).build()
+        cfg = build_cfg(method)
+        states = solve_forward(ConstCounting(), cfg)
+        seen = list(states.instruction_states(0))
+        assert [s for _, s, _ in seen] == [0, 1, 2]
+
+    def test_empty_method(self):
+        from repro.ir.method import Method
+        cfg = build_cfg(Method(ref=MethodRef("C", "m"), body=None))
+        states = solve_forward(ConstCounting(), cfg)
+        assert states.entry_states == {}

@@ -1,0 +1,169 @@
+"""Tests for the SDK_INT guard analysis — the precision backbone."""
+
+from repro.analysis.guards import guard_at_allocations, guard_at_invocations
+from repro.analysis.intervals import ApiInterval
+from repro.ir.builder import MethodBuilder
+from repro.ir.instructions import CmpOp
+from repro.ir.types import MethodRef, SDK_INT_FIELD
+
+
+APP = ApiInterval.of(14, 29)
+
+
+def mb():
+    return MethodBuilder(MethodRef("com.app.Foo", "m"))
+
+
+def single_call_interval(method, entry=APP):
+    pairs = list(guard_at_invocations(method, entry))
+    assert len(pairs) == 1, pairs
+    return pairs[0][1]
+
+
+class TestBasicGuards:
+    def test_unguarded_call_gets_entry_interval(self):
+        method = mb().invoke_virtual("android.widget.Toast", "show").build()
+        assert single_call_interval(method) == APP
+
+    def test_ge_guard(self):
+        method = mb().guarded_call(
+            23, "android.widget.Toast", "show"
+        ).build()
+        assert single_call_interval(method) == ApiInterval.of(23, 29)
+
+    def test_le_guard(self):
+        method = mb().guarded_call_max(
+            22, "android.widget.Toast", "show"
+        ).build()
+        assert single_call_interval(method) == ApiInterval.of(14, 22)
+
+    def test_else_branch_gets_complement(self):
+        b = mb()
+        b.sdk_int(0)
+        b.const_int(1, 23)
+        b.if_cmp(CmpOp.GE, 0, 1, "modern")
+        b.invoke_virtual("legacy.Api", "old")
+        b.return_void()
+        b.label("modern")
+        b.invoke_virtual("modern.Api", "new")
+        b.return_void()
+        intervals = {
+            invoke.method.class_name: interval
+            for invoke, interval in guard_at_invocations(b.build(), APP)
+        }
+        assert intervals["legacy.Api"] == ApiInterval.of(14, 22)
+        assert intervals["modern.Api"] == ApiInterval.of(23, 29)
+
+    def test_swapped_operands(self):
+        b = mb()
+        b.const_int(0, 23)
+        b.sdk_int(1)
+        # if 23 > SDK_INT goto skip  ==  skip when SDK_INT < 23
+        b.if_cmp(CmpOp.GT, 0, 1, "skip")
+        b.invoke_virtual("android.widget.Toast", "show")
+        b.label("skip")
+        b.return_void()
+        assert single_call_interval(b.build()) == ApiInterval.of(23, 29)
+
+    def test_eq_guard(self):
+        b = mb()
+        b.sdk_int(0)
+        b.const_int(1, 21)
+        b.if_cmp(CmpOp.NE, 0, 1, "skip")
+        b.invoke_virtual("android.widget.Toast", "show")
+        b.label("skip")
+        b.return_void()
+        assert single_call_interval(b.build()) == ApiInterval.single(21)
+
+
+class TestDataFlowTracking:
+    def test_guard_through_move(self):
+        b = mb()
+        b.sdk_int(0)
+        b.move(2, 0)  # SDK_INT flows through a copy
+        b.const_int(1, 23)
+        b.if_cmp(CmpOp.LT, 2, 1, "skip")
+        b.invoke_virtual("android.widget.Toast", "show")
+        b.label("skip")
+        b.return_void()
+        assert single_call_interval(b.build()) == ApiInterval.of(23, 29)
+
+    def test_sdk_via_field_get(self):
+        b = mb()
+        b.field_get(0, SDK_INT_FIELD)
+        b.const_int(1, 26)
+        b.if_cmp(CmpOp.LT, 0, 1, "skip")
+        b.invoke_virtual("android.widget.Toast", "show")
+        b.label("skip")
+        b.return_void()
+        assert single_call_interval(b.build()) == ApiInterval.of(26, 29)
+
+    def test_clobbered_register_loses_guard(self):
+        b = mb()
+        b.sdk_int(0)
+        b.const_int(0, 5)  # overwrites SDK_INT with a constant
+        b.const_int(1, 23)
+        b.if_cmp(CmpOp.LT, 0, 1, "skip")
+        b.invoke_virtual("android.widget.Toast", "show")
+        b.label("skip")
+        b.return_void()
+        # 5 < 23 is constant-true... but we model unknown branch both
+        # ways; the interval must not be refined by a non-SDK compare.
+        assert single_call_interval(b.build()) == APP
+
+    def test_nested_guards_intersect(self):
+        b = mb()
+        b.sdk_int(0)
+        b.const_int(1, 21)
+        b.if_cmp(CmpOp.LT, 0, 1, "skip")
+        b.sdk_int(2)
+        b.const_int(3, 26)
+        b.if_cmp(CmpOp.GT, 2, 3, "skip")
+        b.invoke_virtual("android.widget.Toast", "show")
+        b.label("skip")
+        b.return_void()
+        assert single_call_interval(b.build()) == ApiInterval.of(21, 26)
+
+
+class TestUnreachability:
+    def test_contradictory_guard_suppresses_call(self):
+        b = mb()
+        b.sdk_int(0)
+        b.const_int(1, 35)  # no modeled device satisfies >= 35
+        b.if_cmp(CmpOp.LT, 0, 1, "skip")
+        b.invoke_virtual("android.widget.Toast", "show")
+        b.label("skip")
+        b.return_void()
+        pairs = list(guard_at_invocations(b.build(), APP))
+        assert pairs == []  # dead branch never yields a call
+
+    def test_merge_joins_intervals(self):
+        b = mb()
+        b.sdk_int(0)
+        b.const_int(1, 23)
+        b.if_cmp(CmpOp.LT, 0, 1, "low")
+        b.const_int(2, 1)
+        b.goto("merge")
+        b.label("low")
+        b.const_int(2, 2)
+        b.label("merge")
+        b.invoke_virtual("android.widget.Toast", "show")
+        b.return_void()
+        # Both arms flow into the call: join restores the full range.
+        assert single_call_interval(b.build()) == APP
+
+
+class TestAllocations:
+    def test_guarded_allocation_interval(self):
+        b = mb()
+        b.sdk_int(0)
+        b.const_int(1, 24)
+        b.if_cmp(CmpOp.LT, 0, 1, "skip")
+        b.new_instance(2, "com.app.Foo$1")
+        b.label("skip")
+        b.return_void()
+        pairs = list(guard_at_allocations(b.build(), APP))
+        assert len(pairs) == 1
+        allocation, interval = pairs[0]
+        assert allocation.class_name == "com.app.Foo$1"
+        assert interval == ApiInterval.of(24, 29)

@@ -1,0 +1,138 @@
+"""Tests for cross-boundary hierarchy resolution."""
+
+from repro.analysis.hierarchy import HierarchyResolver
+from repro.ir.builder import ClassBuilder
+from repro.ir.types import MethodRef
+
+from tests.conftest import activity_class, make_apk
+
+
+def subclass_of(super_name, name="com.test.app.Custom", methods=()):
+    builder = ClassBuilder(name, super_name=super_name)
+    for method_name, descriptor in methods:
+        builder.empty_method(method_name, descriptor)
+    return builder.build()
+
+
+class TestResolution:
+    def test_app_class_resolution(self, framework):
+        apk = make_apk([activity_class()])
+        resolver = HierarchyResolver(apk, framework, 23)
+        clazz = resolver.resolve("com.test.app.MainActivity")
+        assert clazz is not None and clazz.origin == "app"
+
+    def test_framework_class_resolution(self, framework):
+        apk = make_apk([activity_class()])
+        resolver = HierarchyResolver(apk, framework, 23)
+        clazz = resolver.resolve("android.view.View")
+        assert clazz is not None and clazz.origin == "framework"
+
+    def test_unknown_is_none(self, framework):
+        apk = make_apk([activity_class()])
+        resolver = HierarchyResolver(apk, framework, 23)
+        assert resolver.resolve("no.where.Nothing") is None
+
+    def test_secondary_dex_exclusion(self, framework):
+        plugin = subclass_of("java.lang.Object", "com.test.app.Plugin")
+        apk = make_apk([activity_class()], secondary_classes=[plugin])
+        include = HierarchyResolver(apk, framework, 23)
+        exclude = HierarchyResolver(
+            apk, framework, 23, include_secondary_dex=False
+        )
+        assert include.resolve("com.test.app.Plugin") is not None
+        assert exclude.resolve("com.test.app.Plugin") is None
+
+    def test_loaded_hook_fires_once_per_class(self, framework):
+        apk = make_apk([activity_class()])
+        loaded = []
+        resolver = HierarchyResolver(
+            apk, framework, 23, loaded_hook=lambda c: loaded.append(c.name)
+        )
+        resolver.resolve("android.view.View")
+        resolver.resolve("android.view.View")
+        assert loaded.count("android.view.View") == 1
+
+
+class TestHierarchyWalks:
+    def test_supertype_chain_crosses_boundary(self, framework):
+        apk = make_apk([activity_class()])
+        resolver = HierarchyResolver(apk, framework, 23)
+        chain = [
+            c.name for c in resolver.supertype_chain("com.test.app.MainActivity")
+        ]
+        assert chain[0] == "android.app.Activity"
+        assert "android.content.Context" in chain
+        assert chain[-1] == "java.lang.Object"
+
+    def test_framework_ancestors(self, framework):
+        apk = make_apk([activity_class()])
+        resolver = HierarchyResolver(apk, framework, 23)
+        ancestors = resolver.framework_ancestors("com.test.app.MainActivity")
+        assert all(c.origin == "framework" for c in ancestors)
+        assert resolver.extends_framework("com.test.app.MainActivity")
+
+    def test_dispatch_finds_inherited_declaration(self, framework):
+        custom = subclass_of("android.widget.TextView")
+        apk = make_apk([activity_class(), custom])
+        resolver = HierarchyResolver(apk, framework, 23)
+        declaring = resolver.dispatch(
+            MethodRef("com.test.app.Custom", "setTextAppearance", "(int)void")
+        )
+        assert declaring is not None
+        assert declaring.name == "android.widget.TextView"
+
+    def test_dispatch_finds_deep_inherited_declaration(self, framework):
+        custom = subclass_of("android.widget.TextView")
+        apk = make_apk([activity_class(), custom])
+        resolver = HierarchyResolver(apk, framework, 23)
+        declaring = resolver.dispatch(
+            MethodRef("com.test.app.Custom", "performClick", "()boolean")
+        )
+        assert declaring is not None
+        assert declaring.name == "android.view.View"
+
+    def test_dispatch_unknown_method_none(self, framework):
+        apk = make_apk([activity_class()])
+        resolver = HierarchyResolver(apk, framework, 23)
+        assert resolver.dispatch(
+            MethodRef("com.test.app.MainActivity", "noSuchThing")
+        ) is None
+
+    def test_override_detection(self, framework):
+        hook = subclass_of(
+            "android.view.View",
+            methods=(("drawableHotspotChanged", "(float,float)void"),),
+        )
+        apk = make_apk([activity_class(), hook])
+        resolver = HierarchyResolver(apk, framework, 23)
+        declaring = resolver.overridden_framework_method(
+            "com.test.app.Custom", "drawableHotspotChanged(float,float)void"
+        )
+        assert declaring is not None
+        assert declaring.name == "android.view.View"
+
+    def test_override_through_app_intermediate(self, framework):
+        base = subclass_of(
+            "android.app.Activity",
+            name="com.test.app.BaseActivity",
+            methods=(("onResume", "()void"),),
+        )
+        child = subclass_of(
+            "com.test.app.BaseActivity",
+            name="com.test.app.ChildActivity",
+            methods=(("onResume", "()void"),),
+        )
+        apk = make_apk([activity_class(), base, child])
+        resolver = HierarchyResolver(apk, framework, 23)
+        declaring = resolver.overridden_framework_method(
+            "com.test.app.ChildActivity", "onResume()void"
+        )
+        assert declaring is not None
+        assert declaring.name == "android.app.Activity"
+
+    def test_non_override_is_none(self, framework):
+        apk = make_apk([activity_class()])
+        resolver = HierarchyResolver(apk, framework, 23)
+        assert resolver.overridden_framework_method(
+            "com.test.app.MainActivity", "myOwnHelper()void"
+        ) is None

@@ -1,0 +1,76 @@
+"""Tests for ICFG construction."""
+
+from repro.analysis.callgraph import CallGraph, CallSite
+from repro.analysis.icfg import IcfgNode, build_icfg
+from repro.ir.builder import MethodBuilder
+from repro.ir.instructions import CmpOp
+from repro.ir.types import MethodRef
+
+
+def build_graph():
+    """main() calls helper() (guarded); helper calls a framework API."""
+    main_ref = MethodRef("com.app.C", "main")
+    helper_ref = MethodRef("com.app.C", "helper")
+
+    main_builder = MethodBuilder(main_ref)
+    main_builder.sdk_int(0)
+    main_builder.const_int(1, 23)
+    main_builder.if_cmp(CmpOp.LT, 0, 1, "skip")
+    main_builder.invoke_virtual("com.app.C", "helper")
+    main_builder.label("skip")
+    main_builder.return_void()
+
+    helper_builder = MethodBuilder(helper_ref)
+    helper_builder.invoke_virtual("android.widget.Toast", "show")
+    helper_builder.return_void()
+
+    graph = CallGraph()
+    graph.add_method(main_builder.build())
+    graph.add_method(helper_builder.build())
+    graph.add_edge(
+        CallSite(caller=main_ref, callee=helper_ref, resolved=helper_ref)
+    )
+    graph.add_entry_point(main_ref)
+    return graph, main_ref, helper_ref
+
+
+class TestIcfg:
+    def test_roots(self):
+        graph, main_ref, _ = build_graph()
+        icfg = build_icfg(graph)
+        assert icfg.roots == (IcfgNode(main_ref, 0),)
+
+    def test_call_edge_reaches_callee_entry(self):
+        graph, main_ref, helper_ref = build_graph()
+        icfg = build_icfg(graph)
+        callee_entries = {
+            target
+            for targets in icfg.edges.values()
+            for target in targets
+            if target.method == helper_ref
+        }
+        assert IcfgNode(helper_ref, 0) in callee_entries
+
+    def test_return_edge_back_to_call_site(self):
+        graph, main_ref, helper_ref = build_graph()
+        icfg = build_icfg(graph)
+        helper_exit_targets = icfg.successors(IcfgNode(helper_ref, 0))
+        assert any(t.method == main_ref for t in helper_exit_targets)
+
+    def test_everything_reachable_from_roots(self):
+        graph, main_ref, helper_ref = build_graph()
+        icfg = build_icfg(graph)
+        reachable = icfg.reachable_nodes()
+        methods = {node.method for node in reachable}
+        assert methods == {main_ref, helper_ref}
+
+    def test_counts(self):
+        graph, *_ = build_graph()
+        icfg = build_icfg(graph)
+        assert icfg.node_count >= 3
+        assert icfg.edge_count >= 3
+
+    def test_empty_graph(self):
+        icfg = build_icfg(CallGraph())
+        assert icfg.roots == ()
+        assert icfg.node_count == 0

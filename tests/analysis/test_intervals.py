@@ -1,0 +1,111 @@
+"""Tests for the API-level interval domain, including soundness
+properties of guard refinement."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.analysis.intervals import ApiInterval, EMPTY, FULL_RANGE
+from repro.ir.instructions import CmpOp
+
+levels = st.integers(2, 29)
+ops = st.sampled_from(list(CmpOp))
+
+
+def intervals():
+    return st.builds(
+        lambda a, b: ApiInterval.of(min(a, b), max(a, b)), levels, levels
+    )
+
+
+class TestBasics:
+    def test_full_range(self):
+        assert 2 in FULL_RANGE
+        assert 29 in FULL_RANGE
+        assert len(FULL_RANGE) == 28
+
+    def test_empty(self):
+        assert EMPTY.is_empty
+        assert len(EMPTY) == 0
+        assert 23 not in EMPTY
+
+    def test_constructors(self):
+        assert ApiInterval.at_least(23) == ApiInterval.of(23, 29)
+        assert ApiInterval.at_most(22) == ApiInterval.of(2, 22)
+        assert ApiInterval.single(23) == ApiInterval.of(23, 23)
+
+    def test_iteration(self):
+        assert list(ApiInterval.of(21, 23)) == [21, 22, 23]
+
+    def test_covers(self):
+        assert ApiInterval.of(2, 29).covers(ApiInterval.of(5, 10))
+        assert not ApiInterval.of(5, 10).covers(ApiInterval.of(2, 29))
+        assert ApiInterval.of(5, 10).covers(EMPTY)
+
+
+class TestLattice:
+    @given(intervals(), intervals())
+    def test_meet_is_intersection(self, a, b):
+        meet = a.meet(b)
+        for level in range(2, 30):
+            assert (level in meet) == (level in a and level in b)
+
+    @given(intervals(), intervals())
+    def test_join_over_approximates_union(self, a, b):
+        join = a.join(b)
+        for level in range(2, 30):
+            if level in a or level in b:
+                assert level in join
+
+    @given(intervals())
+    def test_meet_with_empty(self, a):
+        assert a.meet(EMPTY).is_empty
+
+    @given(intervals())
+    def test_join_with_empty_is_identity(self, a):
+        assert a.join(EMPTY) == a
+        assert EMPTY.join(a) == a
+
+    @given(intervals(), intervals())
+    def test_meet_commutes(self, a, b):
+        assert a.meet(b) == b.meet(a)
+
+    @given(intervals(), intervals())
+    def test_join_commutes(self, a, b):
+        assert a.join(b) == b.join(a)
+
+
+class TestRefinement:
+    @given(intervals(), ops, levels)
+    def test_refine_is_sound(self, interval, op, constant):
+        """Every level satisfying ``SDK_INT <op> constant`` that was in
+        the interval must survive refinement (no false unreachability)."""
+        refined = interval.refine(op, constant)
+        for level in interval:
+            if op.evaluate(level, constant):
+                assert level in refined
+
+    @given(intervals(), ops, levels)
+    def test_refine_shrinks(self, interval, op, constant):
+        refined = interval.refine(op, constant)
+        assert interval.covers(refined)
+
+    def test_refine_examples(self):
+        full = FULL_RANGE
+        assert full.refine(CmpOp.GE, 23) == ApiInterval.of(23, 29)
+        assert full.refine(CmpOp.LT, 23) == ApiInterval.of(2, 22)
+        assert full.refine(CmpOp.GT, 23) == ApiInterval.of(24, 29)
+        assert full.refine(CmpOp.LE, 23) == ApiInterval.of(2, 23)
+        assert full.refine(CmpOp.EQ, 23) == ApiInterval.single(23)
+
+    def test_refine_ne_shaves_endpoint(self):
+        assert ApiInterval.of(23, 29).refine(CmpOp.NE, 23) == (
+            ApiInterval.of(24, 29)
+        )
+        assert ApiInterval.single(23).refine(CmpOp.NE, 23).is_empty
+        # A hole in the middle cannot be represented: sound no-op.
+        assert ApiInterval.of(2, 29).refine(CmpOp.NE, 15) == (
+            ApiInterval.of(2, 29)
+        )
+
+    def test_contradictory_guard_is_empty(self):
+        assert ApiInterval.of(2, 22).refine(CmpOp.GE, 23).is_empty

@@ -1,0 +1,95 @@
+"""Tests for the reaching string-constants analysis."""
+
+from repro.analysis.reaching import strings_at_invocations
+from repro.ir.builder import MethodBuilder
+from repro.ir.instructions import CmpOp
+from repro.ir.types import MethodRef
+
+
+def mb():
+    return MethodBuilder(MethodRef("com.app.Foo", "m"))
+
+
+def load_class_strings(method):
+    for invoke, resolved in strings_at_invocations(method):
+        if invoke.method.name == "loadClass":
+            return resolved
+    return None
+
+
+class TestStringTracking:
+    def test_direct_constant(self):
+        b = mb()
+        b.const_string(0, "com.app.Plugin")
+        b.invoke_virtual(
+            "dalvik.system.DexClassLoader", "loadClass",
+            "(java.lang.String)java.lang.Class", args=(0,),
+        )
+        b.return_void()
+        resolved = load_class_strings(b.build())
+        assert resolved == {0: frozenset({"com.app.Plugin"})}
+
+    def test_constant_through_move(self):
+        b = mb()
+        b.const_string(0, "com.app.Plugin")
+        b.move(3, 0)
+        b.invoke_virtual(
+            "dalvik.system.DexClassLoader", "loadClass",
+            "(java.lang.String)java.lang.Class", args=(3,),
+        )
+        b.return_void()
+        assert load_class_strings(b.build())[0] == frozenset(
+            {"com.app.Plugin"}
+        )
+
+    def test_branch_union(self):
+        b = mb()
+        b.sdk_int(4)
+        b.const_int(5, 23)
+        b.const_string(0, "com.app.New")
+        b.if_cmp(CmpOp.GE, 4, 5, "pick")
+        b.const_string(0, "com.app.Old")
+        b.label("pick")
+        b.invoke_virtual(
+            "java.lang.ClassLoader", "loadClass",
+            "(java.lang.String)java.lang.Class", args=(0,),
+        )
+        b.return_void()
+        assert load_class_strings(b.build())[0] == frozenset(
+            {"com.app.New", "com.app.Old"}
+        )
+
+    def test_clobbered_by_non_string(self):
+        b = mb()
+        b.const_string(0, "com.app.Plugin")
+        b.const_int(0, 7)
+        b.invoke_virtual(
+            "java.lang.ClassLoader", "loadClass",
+            "(java.lang.String)java.lang.Class", args=(0,),
+        )
+        b.return_void()
+        assert load_class_strings(b.build()) == {}
+
+    def test_unresolved_argument_absent(self):
+        b = mb()
+        b.move_result(0)  # value of unknown provenance
+        b.invoke_virtual(
+            "java.lang.ClassLoader", "loadClass",
+            "(java.lang.String)java.lang.Class", args=(0,),
+        )
+        b.return_void()
+        assert load_class_strings(b.build()) == {}
+
+    def test_multiple_args_partially_resolved(self):
+        b = mb()
+        b.const_string(0, "android.permission.CAMERA")
+        b.move_result(1)
+        b.invoke_virtual(
+            "android.content.Context", "enforceCallingOrSelfPermission",
+            "(java.lang.String,java.lang.String)void", args=(0, 1),
+        )
+        b.return_void()
+        pairs = list(strings_at_invocations(b.build()))
+        assert len(pairs) == 1
+        _, resolved = pairs[0]
+        assert resolved == {0: frozenset({"android.permission.CAMERA"})}

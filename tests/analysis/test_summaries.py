@@ -1,0 +1,188 @@
+"""Tests for version-predicate helper summarization."""
+
+import pytest
+
+from repro.analysis.guards import guard_at_invocations
+from repro.analysis.intervals import ApiInterval
+from repro.analysis.summaries import (
+    collect_version_helpers,
+    summarize_version_helper,
+)
+from repro.ir.builder import MethodBuilder
+from repro.ir.instructions import CmpOp
+from repro.ir.types import MethodRef
+
+
+def at_least_helper(level, name="isAtLeast"):
+    builder = MethodBuilder(
+        MethodRef("com.app.VersionUtils", name, "()boolean")
+    )
+    builder.sdk_int(0)
+    builder.const_int(1, level)
+    builder.if_cmp(CmpOp.LT, 0, 1, "no")
+    builder.const_int(2, 1)
+    builder.return_value(2)
+    builder.label("no")
+    builder.const_int(2, 0)
+    builder.return_value(2)
+    return builder.build()
+
+
+class TestSummarizeVersionHelper:
+    def test_at_least_pattern(self):
+        levels = summarize_version_helper(at_least_helper(23))
+        assert levels == frozenset(range(23, 30))
+
+    def test_at_most_pattern(self):
+        builder = MethodBuilder(
+            MethodRef("com.app.V", "isLegacy", "()boolean")
+        )
+        builder.sdk_int(0)
+        builder.const_int(1, 22)
+        builder.if_cmp(CmpOp.GT, 0, 1, "no")
+        builder.const_int(2, 1)
+        builder.return_value(2)
+        builder.label("no")
+        builder.const_int(2, 0)
+        builder.return_value(2)
+        levels = summarize_version_helper(builder.build())
+        assert levels == frozenset(range(2, 23))
+
+    def test_window_pattern(self):
+        builder = MethodBuilder(
+            MethodRef("com.app.V", "isLollipopish", "()boolean")
+        )
+        builder.sdk_int(0)
+        builder.const_int(1, 21)
+        builder.if_cmp(CmpOp.LT, 0, 1, "no")
+        builder.const_int(1, 23)
+        builder.if_cmp(CmpOp.GE, 0, 1, "no")
+        builder.const_int(2, 1)
+        builder.return_value(2)
+        builder.label("no")
+        builder.const_int(2, 0)
+        builder.return_value(2)
+        levels = summarize_version_helper(builder.build())
+        assert levels == frozenset({21, 22})
+
+    def test_constant_predicate_rejected(self):
+        builder = MethodBuilder(
+            MethodRef("com.app.V", "always", "()boolean")
+        )
+        builder.sdk_int(0)  # reads SDK but ignores it
+        builder.const_int(2, 1)
+        builder.return_value(2)
+        assert summarize_version_helper(builder.build()) is None
+
+    def test_method_without_sdk_read_rejected(self):
+        builder = MethodBuilder(
+            MethodRef("com.app.V", "flagged", "()boolean")
+        )
+        builder.const_int(2, 1)
+        builder.return_value(2)
+        assert summarize_version_helper(builder.build()) is None
+
+    def test_method_with_calls_rejected(self):
+        builder = MethodBuilder(
+            MethodRef("com.app.V", "impure", "()boolean")
+        )
+        builder.sdk_int(0)
+        builder.invoke_virtual("android.widget.Toast", "show")
+        builder.const_int(2, 1)
+        builder.return_value(2)
+        assert summarize_version_helper(builder.build()) is None
+
+    def test_void_method_rejected(self):
+        builder = MethodBuilder(MethodRef("com.app.V", "noop"))
+        builder.sdk_int(0)
+        builder.return_void()
+        assert summarize_version_helper(builder.build()) is None
+
+
+class TestCollectVersionHelpers:
+    def test_collects_only_predicates(self):
+        helper = at_least_helper(24)
+        plain = MethodBuilder(
+            MethodRef("com.app.VersionUtils", "other", "()boolean")
+        )
+        plain.const_int(0, 1)
+        plain.return_value(0)
+        summaries = collect_version_helpers([helper, plain.build()])
+        assert list(summaries) == [
+            ("com.app.VersionUtils", "isAtLeast", "()boolean")
+        ]
+        assert summaries[
+            ("com.app.VersionUtils", "isAtLeast", "()boolean")
+        ] == frozenset(range(24, 30))
+
+
+class TestGuardAnalysisWithPredicates:
+    def caller(self):
+        builder = MethodBuilder(MethodRef("com.app.C", "render"))
+        builder.invoke_virtual(
+            "com.app.VersionUtils", "isAtLeast", "()boolean"
+        )
+        builder.move_result(0)
+        builder.if_cmpz(CmpOp.EQ, 0, "skip")
+        builder.invoke_virtual("android.widget.Toast", "show")
+        builder.label("skip")
+        builder.return_void()
+        return builder.build()
+
+    def summaries(self, level=23):
+        return {
+            ("com.app.VersionUtils", "isAtLeast", "()boolean"):
+                frozenset(range(level, 30)),
+        }
+
+    def interval_of_show(self, method, summaries):
+        app = ApiInterval.of(14, 29)
+        for invoke, interval in guard_at_invocations(
+            method, app, summaries
+        ):
+            if invoke.method.name == "show":
+                return interval
+        return None
+
+    def test_branch_on_helper_refines(self):
+        interval = self.interval_of_show(self.caller(), self.summaries())
+        assert interval == ApiInterval.of(23, 29)
+
+    def test_without_summaries_no_refinement(self):
+        interval = self.interval_of_show(self.caller(), None)
+        assert interval == ApiInterval.of(14, 29)
+
+    def test_negated_branch(self):
+        builder = MethodBuilder(MethodRef("com.app.C", "legacyPath"))
+        builder.invoke_virtual(
+            "com.app.VersionUtils", "isAtLeast", "()boolean"
+        )
+        builder.move_result(0)
+        builder.if_cmpz(CmpOp.NE, 0, "modern")
+        builder.invoke_virtual("legacy.Api", "old")
+        builder.return_void()
+        builder.label("modern")
+        builder.invoke_virtual("android.widget.Toast", "show")
+        builder.return_void()
+        intervals = {
+            invoke.method.class_name: interval
+            for invoke, interval in guard_at_invocations(
+                builder.build(), ApiInterval.of(14, 29), self.summaries()
+            )
+        }
+        assert intervals["legacy.Api"] == ApiInterval.of(14, 22)
+        assert intervals["android.widget.Toast"] == ApiInterval.of(23, 29)
+
+    def test_intervening_instruction_discards_pending(self):
+        builder = MethodBuilder(MethodRef("com.app.C", "clobbered"))
+        builder.invoke_virtual(
+            "com.app.VersionUtils", "isAtLeast", "()boolean"
+        )
+        builder.const_int(5, 0)  # not the move-result
+        builder.move_result(0)
+        builder.if_cmpz(CmpOp.EQ, 0, "skip")
+        builder.invoke_virtual("android.widget.Toast", "show")
+        builder.label("skip")
+        builder.return_void()
+        interval = self.interval_of_show(builder.build(), self.summaries())
+        assert interval == ApiInterval.of(14, 29)  # sound: no refinement

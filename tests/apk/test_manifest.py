@@ -1,0 +1,71 @@
+"""Unit tests for the manifest model."""
+
+import pytest
+
+from repro.apk.manifest import (
+    Component,
+    ComponentKind,
+    Manifest,
+    MAX_API_LEVEL,
+    RUNTIME_PERMISSIONS_LEVEL,
+)
+
+
+def manifest(**kwargs):
+    defaults = dict(package="com.app", min_sdk=14, target_sdk=26)
+    defaults.update(kwargs)
+    return Manifest(**defaults)
+
+
+class TestValidation:
+    def test_requires_package(self):
+        with pytest.raises(ValueError):
+            manifest(package="")
+
+    def test_min_sdk_bounds(self):
+        with pytest.raises(ValueError):
+            manifest(min_sdk=1)
+        with pytest.raises(ValueError):
+            manifest(min_sdk=MAX_API_LEVEL + 1, target_sdk=MAX_API_LEVEL + 1)
+
+    def test_target_below_min_rejected(self):
+        with pytest.raises(ValueError):
+            manifest(min_sdk=23, target_sdk=21)
+
+    def test_max_below_target_rejected(self):
+        with pytest.raises(ValueError):
+            manifest(target_sdk=26, max_sdk=24)
+
+    def test_valid_triple(self):
+        m = manifest(min_sdk=21, target_sdk=26, max_sdk=28)
+        assert m.supported_range == (21, 28)
+
+
+class TestSemantics:
+    def test_effective_max_defaults_to_newest(self):
+        assert manifest().effective_max_sdk == MAX_API_LEVEL
+
+    def test_effective_max_honors_declared(self):
+        assert manifest(max_sdk=27).effective_max_sdk == 27
+
+    def test_runtime_permission_model_threshold(self):
+        assert manifest(target_sdk=23).uses_runtime_permissions_model
+        assert manifest(target_sdk=29).uses_runtime_permissions_model
+        assert not manifest(
+            min_sdk=14, target_sdk=22
+        ).uses_runtime_permissions_model
+        assert RUNTIME_PERMISSIONS_LEVEL == 23
+
+    def test_requests(self):
+        m = manifest(permissions=("android.permission.CAMERA",))
+        assert m.requests("android.permission.CAMERA")
+        assert not m.requests("android.permission.RECORD_AUDIO")
+
+    def test_entry_components_preserve_order(self):
+        components = (
+            Component("com.app.Main", ComponentKind.ACTIVITY),
+            Component("com.app.Sync", ComponentKind.SERVICE, exported=True),
+        )
+        m = manifest(components=components)
+        assert m.entry_components() == components
+        assert m.entry_components()[1].exported

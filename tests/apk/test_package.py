@@ -1,0 +1,100 @@
+"""Unit tests for dex files and application packages."""
+
+import pytest
+
+from repro.apk.dexfile import DexFile
+from repro.apk.manifest import Manifest
+from repro.apk.package import Apk
+from repro.ir.builder import ClassBuilder
+
+from tests.conftest import activity_class, make_apk
+
+
+def simple_class(name):
+    builder = ClassBuilder(name)
+    builder.empty_method("run")
+    return builder.build()
+
+
+class TestDexFile:
+    def test_lookup(self):
+        clazz = simple_class("com.app.A")
+        dex = DexFile("classes.dex", (clazz,))
+        assert dex.lookup("com.app.A") is clazz
+        assert dex.lookup("com.app.B") is None
+        assert "com.app.A" in dex
+        assert len(dex) == 1
+
+    def test_duplicate_classes_rejected(self):
+        clazz = simple_class("com.app.A")
+        with pytest.raises(ValueError):
+            DexFile("classes.dex", (clazz, clazz))
+
+    def test_requires_name(self):
+        with pytest.raises(ValueError):
+            DexFile("", ())
+
+    def test_counts(self):
+        dex = DexFile(
+            "classes.dex",
+            (simple_class("com.app.A"), simple_class("com.app.B")),
+        )
+        assert dex.method_count == 2
+        assert dex.instruction_count == 2  # one bare return each
+
+
+class TestApk:
+    def test_lookup_spans_dex_files(self):
+        primary = simple_class("com.test.app.A")
+        plugin = simple_class("com.test.app.Plugin")
+        apk = make_apk([activity_class(), primary],
+                       secondary_classes=[plugin])
+        assert apk.lookup("com.test.app.A") is primary
+        assert apk.lookup("com.test.app.Plugin") is plugin
+        assert apk.lookup_primary("com.test.app.Plugin") is None
+        assert "com.test.app.Plugin" in apk
+
+    def test_requires_primary_dex_first(self):
+        manifest = Manifest(package="com.app", min_sdk=14, target_sdk=26)
+        dex = DexFile("classes2.dex", (), secondary=True)
+        with pytest.raises(ValueError):
+            Apk(manifest=manifest, dex_files=(dex,))
+
+    def test_requires_at_least_one_dex(self):
+        manifest = Manifest(package="com.app", min_sdk=14, target_sdk=26)
+        with pytest.raises(ValueError):
+            Apk(manifest=manifest, dex_files=())
+
+    def test_duplicate_class_across_dex_rejected(self):
+        manifest = Manifest(package="com.app", min_sdk=14, target_sdk=26)
+        clazz = simple_class("com.app.A")
+        with pytest.raises(ValueError):
+            Apk(
+                manifest=manifest,
+                dex_files=(
+                    DexFile("classes.dex", (clazz,)),
+                    DexFile("classes2.dex", (clazz,), secondary=True),
+                ),
+            )
+
+    def test_name_prefers_label(self):
+        apk = make_apk([activity_class()], label="Nice Name")
+        assert apk.name == "Nice Name"
+
+    def test_name_falls_back_to_package(self):
+        apk = make_apk([activity_class()], label="")
+        assert apk.name == "com.test.app"
+
+    def test_secondary_dex_files_property(self):
+        apk = make_apk(
+            [activity_class()],
+            secondary_classes=[simple_class("com.test.app.P")],
+        )
+        assert len(apk.secondary_dex_files) == 1
+        assert apk.secondary_dex_files[0].secondary
+
+    def test_dex_kloc(self):
+        apk = make_apk([activity_class()])
+        assert apk.dex_kloc == pytest.approx(
+            apk.instruction_count / 1000.0
+        )

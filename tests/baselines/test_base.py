@@ -1,0 +1,152 @@
+"""Tests for shared baseline machinery."""
+
+import pytest
+
+from repro.baselines.base import (
+    TIMEOUT_MODELED_SECONDS,
+    eager_app_units,
+    first_level_usages,
+    framework_image_units,
+)
+from repro.ir.builder import ClassBuilder
+
+from tests.conftest import activity_class, make_apk
+
+GCSL_DESC = "(int)android.content.res.ColorStateList"
+
+
+def direct_caller(name="com.test.app.S"):
+    builder = ClassBuilder(name)
+    method = builder.method("render")
+    method.invoke_virtual(
+        "android.content.Context", "getColorStateList", GCSL_DESC
+    )
+    method.return_void()
+    builder.finish(method)
+    return builder.build()
+
+
+def inherited_caller():
+    builder = ClassBuilder(
+        "com.test.app.Custom", super_name="android.widget.TextView"
+    )
+    method = builder.method("refresh")
+    method.invoke_virtual(
+        "com.test.app.Custom", "setTextAppearance", "(int)void"
+    )
+    method.return_void()
+    builder.finish(method)
+    return builder.build()
+
+
+class TestFirstLevelUsages:
+    def test_finds_direct_framework_calls(self, apidb):
+        apk = make_apk([activity_class(), direct_caller()])
+        usages = first_level_usages(
+            apk, apidb,
+            respect_intra_method_guards=True,
+            resolve_inherited=False,
+            include_secondary_dex=False,
+        )
+        names = {u.api.name for u in usages}
+        assert "getColorStateList" in names
+
+    def test_inherited_resolution_flag(self, apidb):
+        apk = make_apk([activity_class(), inherited_caller()])
+        without = first_level_usages(
+            apk, apidb,
+            respect_intra_method_guards=True,
+            resolve_inherited=False,
+            include_secondary_dex=False,
+        )
+        with_resolution = first_level_usages(
+            apk, apidb,
+            respect_intra_method_guards=True,
+            resolve_inherited=True,
+            include_secondary_dex=False,
+        )
+        assert not any(u.api.name == "setTextAppearance" for u in without)
+        resolved = [
+            u for u in with_resolution if u.api.name == "setTextAppearance"
+        ]
+        assert resolved
+        assert resolved[0].api.class_name == "android.widget.TextView"
+
+    def test_guard_flag(self, apidb):
+        builder = ClassBuilder("com.test.app.Safe")
+        method = builder.method("render")
+        method.guarded_call(
+            23, "android.content.Context", "getColorStateList", GCSL_DESC
+        )
+        method.return_void()
+        builder.finish(method)
+        apk = make_apk([activity_class(), builder.build()], min_sdk=21)
+        guarded = first_level_usages(
+            apk, apidb,
+            respect_intra_method_guards=True,
+            resolve_inherited=False,
+            include_secondary_dex=False,
+        )
+        unguarded = first_level_usages(
+            apk, apidb,
+            respect_intra_method_guards=False,
+            resolve_inherited=False,
+            include_secondary_dex=False,
+        )
+        target = lambda us: [
+            u for u in us if u.api.name == "getColorStateList"
+        ]
+        assert target(guarded)[0].interval.lo == 23
+        assert target(unguarded)[0].interval.lo == 21
+
+    def test_class_filter(self, apidb):
+        apk = make_apk(
+            [activity_class(), direct_caller("com.thirdparty.lib.W")]
+        )
+        usages = first_level_usages(
+            apk, apidb,
+            respect_intra_method_guards=True,
+            resolve_inherited=False,
+            include_secondary_dex=False,
+            class_filter=lambda c: c.name.startswith("com.test.app."),
+        )
+        assert not any(u.api.name == "getColorStateList" for u in usages)
+
+    def test_secondary_dex_flag(self, apidb):
+        plugin = direct_caller("com.test.app.Plugin")
+        apk = make_apk([activity_class()], secondary_classes=[plugin])
+        excluded = first_level_usages(
+            apk, apidb,
+            respect_intra_method_guards=True,
+            resolve_inherited=False,
+            include_secondary_dex=False,
+        )
+        included = first_level_usages(
+            apk, apidb,
+            respect_intra_method_guards=True,
+            resolve_inherited=False,
+            include_secondary_dex=True,
+        )
+        has_target = lambda us: any(
+            u.api.name == "getColorStateList" for u in us
+        )
+        assert not has_target(excluded)
+        assert has_target(included)
+
+
+class TestCostHelpers:
+    def test_eager_app_units_positive(self, simple_apk):
+        assert eager_app_units(simple_apk) > 0
+
+    def test_eager_app_units_secondary_flag(self):
+        plugin = direct_caller("com.test.app.Plugin")
+        apk = make_apk([activity_class()], secondary_classes=[plugin])
+        assert eager_app_units(apk, include_secondary=True) > (
+            eager_app_units(apk, include_secondary=False)
+        )
+
+    def test_framework_image_units(self, framework):
+        assert framework_image_units(framework, 23) > 100_000
+
+    def test_timeout_budget_matches_paper(self):
+        assert TIMEOUT_MODELED_SECONDS == 600.0

@@ -1,0 +1,144 @@
+"""Tests for the CID baseline: its capabilities and its modeled
+restrictions (the mechanisms behind Table II/III deltas)."""
+
+import pytest
+
+from repro.baselines.cid import Cid
+from repro.core.mismatch import MismatchKind
+from repro.ir.builder import ClassBuilder
+from repro.ir.instructions import CmpOp
+
+from tests.conftest import activity_class, make_apk
+
+GCSL_DESC = "(int)android.content.res.ColorStateList"
+
+
+@pytest.fixture(scope="module")
+def cid(framework, apidb):
+    return Cid(framework, apidb)
+
+
+def unguarded_screen():
+    builder = ClassBuilder("com.test.app.Screen")
+    method = builder.method("render")
+    method.invoke_virtual(
+        "android.content.Context", "getColorStateList", GCSL_DESC
+    )
+    method.return_void()
+    builder.finish(method)
+    return builder.build()
+
+
+class TestDetection:
+    def test_detects_direct_unguarded_call(self, cid):
+        apk = make_apk([activity_class(), unguarded_screen()],
+                       min_sdk=21, target_sdk=28)
+        report = cid.analyze(apk)
+        assert report.by_kind().get("API", 0) == 1
+
+    def test_respects_intra_method_guard(self, cid):
+        builder = ClassBuilder("com.test.app.Safe")
+        method = builder.method("render")
+        method.guarded_call(
+            23, "android.content.Context", "getColorStateList", GCSL_DESC
+        )
+        method.return_void()
+        builder.finish(method)
+        apk = make_apk([activity_class(), builder.build()],
+                       min_sdk=21, target_sdk=28)
+        assert cid.analyze(apk).mismatches == []
+
+    def test_detects_issue_in_library_namespace(self, cid):
+        builder = ClassBuilder("com.thirdparty.lib.Widget")
+        method = builder.method("decorate")
+        method.invoke_virtual(
+            "android.content.Context", "getColorStateList", GCSL_DESC
+        )
+        method.return_void()
+        builder.finish(method)
+        apk = make_apk([activity_class(), builder.build()],
+                       min_sdk=21, target_sdk=28)
+        assert cid.analyze(apk).by_kind().get("API", 0) == 1
+
+
+class TestRestrictions:
+    def test_caller_guard_false_positive(self, cid):
+        helper = ClassBuilder("com.test.app.Helper")
+        apply_method = helper.method("applyFeature")
+        apply_method.invoke_virtual(
+            "android.content.Context", "getColorStateList", GCSL_DESC
+        )
+        apply_method.return_void()
+        helper.finish(apply_method)
+        coordinator = ClassBuilder("com.test.app.Coordinator")
+        update = coordinator.method("update")
+        update.sdk_int(0)
+        update.const_int(1, 23)
+        update.if_cmp(CmpOp.LT, 0, 1, "skip")
+        update.invoke_virtual("com.test.app.Helper", "applyFeature")
+        update.label("skip")
+        update.return_void()
+        coordinator.finish(update)
+        apk = make_apk(
+            [activity_class(), helper.build(), coordinator.build()],
+            min_sdk=21, target_sdk=28,
+        )
+        # Context-insensitive: the guarded chain is still reported.
+        assert cid.analyze(apk).by_kind().get("API", 0) == 1
+
+    def test_misses_inherited_api(self, cid):
+        builder = ClassBuilder(
+            "com.test.app.Custom", super_name="android.widget.TextView"
+        )
+        method = builder.method("refresh")
+        method.invoke_virtual(
+            "com.test.app.Custom", "setTextAppearance", "(int)void"
+        )
+        method.return_void()
+        builder.finish(method)
+        apk = make_apk([activity_class(), builder.build()],
+                       min_sdk=19, target_sdk=26)
+        assert cid.analyze(apk).mismatches == []
+
+    def test_no_callback_detection(self, cid):
+        builder = ClassBuilder(
+            "com.test.app.Hook", super_name="android.app.Fragment"
+        )
+        builder.empty_method("onAttach", "(android.content.Context)void")
+        apk = make_apk([activity_class(), builder.build()],
+                       min_sdk=15, target_sdk=26)
+        assert cid.analyze(apk).mismatches == []
+        assert "APC" not in cid.capabilities
+
+    def test_no_permission_detection(self, cid):
+        builder = ClassBuilder("com.test.app.Cam")
+        method = builder.method("shoot")
+        method.invoke_virtual(
+            "android.hardware.Camera", "open", "()android.hardware.Camera"
+        )
+        method.return_void()
+        builder.finish(method)
+        apk = make_apk([activity_class(), builder.build()],
+                       min_sdk=21, target_sdk=26,
+                       permissions=("android.permission.CAMERA",))
+        assert cid.analyze(apk).mismatches == []
+
+    def test_crashes_on_multidex(self, cid):
+        plugin = ClassBuilder("com.test.app.Plugin")
+        plugin.empty_method("boot")
+        apk = make_apk(
+            [activity_class(), unguarded_screen()],
+            secondary_classes=[plugin.build()],
+            min_sdk=21, target_sdk=28,
+        )
+        report = cid.analyze(apk)
+        assert report.metrics.failed
+        assert "multidex" in report.metrics.failure_reason
+        assert report.mismatches == []
+
+    def test_whole_world_cost(self, cid, framework, simple_apk):
+        report = cid.analyze(simple_apk)
+        from repro.baselines.base import framework_image_units
+        assert report.metrics.memory_units > framework_image_units(
+            framework, simple_apk.manifest.target_sdk
+        )

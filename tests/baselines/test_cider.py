@@ -1,0 +1,124 @@
+"""Tests for the CIDER baseline: PI-graph class restriction."""
+
+import pytest
+
+from repro.baselines.cider import Cider, MODELED_CLASSES
+from repro.ir.builder import ClassBuilder
+
+from tests.conftest import activity_class, make_apk
+
+
+@pytest.fixture(scope="module")
+def cider(framework, apidb):
+    return Cider(framework, apidb)
+
+
+def override_class(super_name, method, descriptor,
+                   name="com.test.app.Hook"):
+    builder = ClassBuilder(name, super_name=super_name)
+    builder.empty_method(method, descriptor)
+    return builder.build()
+
+
+class TestModeledClasses:
+    def test_the_four_classes(self):
+        assert MODELED_CLASSES == {
+            "android.app.Activity",
+            "android.app.Fragment",
+            "android.app.Service",
+            "android.webkit.WebView",
+        }
+
+    def test_detects_activity_callback(self, cider):
+        hook = override_class(
+            "android.app.Activity", "onMultiWindowModeChanged",
+            "(boolean)void",
+        )
+        apk = make_apk([activity_class(), hook], min_sdk=19, target_sdk=26)
+        report = cider.analyze(apk)
+        assert report.by_kind().get("APC", 0) == 1
+
+    def test_detects_fragment_callback(self, cider):
+        hook = override_class(
+            "android.app.Fragment", "onAttach",
+            "(android.content.Context)void",
+        )
+        apk = make_apk([activity_class(), hook], min_sdk=15, target_sdk=26)
+        assert cider.analyze(apk).by_kind().get("APC", 0) == 1
+
+    def test_detects_through_app_intermediate(self, cider):
+        base = override_class(
+            "android.app.Activity", "onResume", "()void",
+            name="com.test.app.Base",
+        )
+        child = override_class(
+            "com.test.app.Base", "onMultiWindowModeChanged",
+            "(boolean)void", name="com.test.app.Child",
+        )
+        apk = make_apk([activity_class(), base, child],
+                       min_sdk=19, target_sdk=26)
+        assert cider.analyze(apk).by_kind().get("APC", 0) == 1
+
+
+class TestRestrictions:
+    def test_misses_unmodeled_class_callback(self, cider):
+        hook = override_class(
+            "android.view.View", "drawableHotspotChanged",
+            "(float,float)void",
+        )
+        apk = make_apk([activity_class(), hook], min_sdk=15, target_sdk=26)
+        assert cider.analyze(apk).mismatches == []
+
+    def test_misses_callback_inherited_from_unmodeled_ancestor(self, cider):
+        # WebView is modeled, but the hotspot hook belongs to View,
+        # which the PI-graphs do not cover.
+        hook = override_class(
+            "android.webkit.WebView", "drawableHotspotChanged",
+            "(float,float)void",
+        )
+        apk = make_apk([activity_class(), hook], min_sdk=15, target_sdk=26)
+        assert cider.analyze(apk).mismatches == []
+
+    def test_skips_anonymous_classes(self, cider):
+        hook = override_class(
+            "android.app.Fragment", "onAttach",
+            "(android.content.Context)void", name="com.test.app.Host$1",
+        )
+        host = ClassBuilder("com.test.app.Host")
+        attach = host.method("attach")
+        attach.new_instance(0, "com.test.app.Host$1")
+        attach.return_void()
+        host.finish(attach)
+        apk = make_apk([activity_class(), hook, host.build()],
+                       min_sdk=15, target_sdk=26)
+        assert cider.analyze(apk).mismatches == []
+
+    def test_no_invocation_detection(self, cider):
+        screen = ClassBuilder("com.test.app.Screen")
+        method = screen.method("render")
+        method.invoke_virtual(
+            "android.content.Context", "getColorStateList",
+            "(int)android.content.res.ColorStateList",
+        )
+        method.return_void()
+        screen.finish(method)
+        apk = make_apk([activity_class(), screen.build()],
+                       min_sdk=21, target_sdk=28)
+        assert cider.analyze(apk).mismatches == []
+        assert "API" not in cider.capabilities
+
+    def test_skips_permission_hook(self, cider):
+        hook = override_class(
+            "android.app.Activity", "onRequestPermissionsResult",
+            "(int,java.lang.String[],int[])void",
+        )
+        apk = make_apk([activity_class(), hook], min_sdk=19, target_sdk=26)
+        assert cider.analyze(apk).mismatches == []
+
+    def test_supported_range_not_flagged(self, cider):
+        hook = override_class(
+            "android.app.Fragment", "onAttach",
+            "(android.content.Context)void",
+        )
+        apk = make_apk([activity_class(), hook], min_sdk=23, target_sdk=26)
+        assert cider.analyze(apk).mismatches == []

@@ -1,0 +1,109 @@
+"""Tests for the Lint baseline: source scope and build requirement."""
+
+import pytest
+
+from repro.baselines.lint import Lint
+from repro.ir.builder import ClassBuilder
+from repro.ir.instructions import CmpOp
+
+from tests.conftest import activity_class, make_apk
+
+GCSL_DESC = "(int)android.content.res.ColorStateList"
+
+
+@pytest.fixture(scope="module")
+def lint(framework, apidb):
+    return Lint(framework, apidb)
+
+
+def unguarded(name):
+    builder = ClassBuilder(name)
+    method = builder.method("render")
+    method.invoke_virtual(
+        "android.content.Context", "getColorStateList", GCSL_DESC
+    )
+    method.return_void()
+    builder.finish(method)
+    return builder.build()
+
+
+class TestDetection:
+    def test_detects_direct_in_source_scope(self, lint):
+        apk = make_apk([activity_class(), unguarded("com.test.app.Screen")],
+                       min_sdk=21, target_sdk=28)
+        assert lint.analyze(apk).by_kind().get("API", 0) == 1
+
+    def test_respects_same_method_guard(self, lint):
+        builder = ClassBuilder("com.test.app.Safe")
+        method = builder.method("render")
+        method.guarded_call(
+            23, "android.content.Context", "getColorStateList", GCSL_DESC
+        )
+        method.return_void()
+        builder.finish(method)
+        apk = make_apk([activity_class(), builder.build()],
+                       min_sdk=21, target_sdk=28)
+        assert lint.analyze(apk).mismatches == []
+
+
+class TestRestrictions:
+    def test_misses_bundled_library(self, lint):
+        apk = make_apk(
+            [activity_class(), unguarded("com.thirdparty.lib.Widget")],
+            min_sdk=21, target_sdk=28,
+        )
+        assert lint.analyze(apk).mismatches == []
+
+    def test_misses_inherited_api(self, lint):
+        builder = ClassBuilder(
+            "com.test.app.Custom", super_name="android.widget.TextView"
+        )
+        method = builder.method("refresh")
+        method.invoke_virtual(
+            "com.test.app.Custom", "setTextAppearance", "(int)void"
+        )
+        method.return_void()
+        builder.finish(method)
+        apk = make_apk([activity_class(), builder.build()],
+                       min_sdk=19, target_sdk=26)
+        assert lint.analyze(apk).mismatches == []
+
+    def test_caller_guard_false_positive(self, lint):
+        helper = ClassBuilder("com.test.app.Helper")
+        apply_method = helper.method("applyFeature")
+        apply_method.invoke_virtual(
+            "android.content.Context", "getColorStateList", GCSL_DESC
+        )
+        apply_method.return_void()
+        helper.finish(apply_method)
+        coordinator = ClassBuilder("com.test.app.Coordinator")
+        update = coordinator.method("update")
+        update.sdk_int(0)
+        update.const_int(1, 23)
+        update.if_cmp(CmpOp.LT, 0, 1, "skip")
+        update.invoke_virtual("com.test.app.Helper", "applyFeature")
+        update.label("skip")
+        update.return_void()
+        coordinator.finish(update)
+        apk = make_apk(
+            [activity_class(), helper.build(), coordinator.build()],
+            min_sdk=21, target_sdk=28,
+        )
+        assert lint.analyze(apk).by_kind().get("API", 0) == 1
+
+    def test_requires_buildable_source(self, lint):
+        apk = make_apk([activity_class(), unguarded("com.test.app.Screen")],
+                       min_sdk=21, target_sdk=28, buildable=False)
+        report = lint.analyze(apk)
+        assert report.metrics.failed
+        assert "build" in report.metrics.failure_reason
+        assert report.mismatches == []
+
+    def test_build_cost_dominates_small_apps(self, lint, simple_apk):
+        report = lint.analyze(simple_apk)
+        from repro.baselines.lint import BUILD_BASE_UNITS
+        assert report.metrics.work_units >= BUILD_BASE_UNITS
+
+    def test_capabilities(self, lint):
+        assert lint.capabilities == {"API"}
+        assert lint.requires_source

@@ -1,0 +1,283 @@
+"""Tests for the Android Mismatch Detector (Algorithms 2, 3, 4)."""
+
+import pytest
+
+from repro.core import SaintDroid
+from repro.core.mismatch import MismatchKind
+from repro.ir.builder import ClassBuilder
+
+from tests.conftest import activity_class, make_apk
+
+GCSL_DESC = "(int)android.content.res.ColorStateList"
+
+
+@pytest.fixture(scope="module")
+def detector(framework, apidb):
+    return SaintDroid(framework, apidb)
+
+
+def kinds(report):
+    return report.by_kind()
+
+
+def screen_class(guard_level=None):
+    builder = ClassBuilder("com.test.app.Screen")
+    method = builder.method("render")
+    if guard_level is None:
+        method.invoke_virtual(
+            "android.content.Context", "getColorStateList", GCSL_DESC
+        )
+    else:
+        method.guarded_call(
+            guard_level, "android.content.Context",
+            "getColorStateList", GCSL_DESC,
+        )
+    method.return_void()
+    builder.finish(method)
+    return builder.build()
+
+
+class TestAlgorithm2Invocation:
+    def test_unguarded_newer_api_flagged(self, detector):
+        apk = make_apk([activity_class(), screen_class()],
+                       min_sdk=21, target_sdk=28)
+        report = detector.analyze(apk)
+        api = [m for m in report.mismatches
+               if m.kind is MismatchKind.API_INVOCATION]
+        assert len(api) == 1
+        assert api[0].missing_levels.lo == 21
+        assert api[0].missing_levels.hi == 22
+
+    def test_guarded_call_not_flagged(self, detector):
+        apk = make_apk([activity_class(), screen_class(guard_level=23)],
+                       min_sdk=21, target_sdk=28)
+        report = detector.analyze(apk)
+        assert kinds(report).get("API", 0) == 0
+
+    def test_min_sdk_above_introduction_not_flagged(self, detector):
+        apk = make_apk([activity_class(), screen_class()],
+                       min_sdk=23, target_sdk=28)
+        report = detector.analyze(apk)
+        assert kinds(report).get("API", 0) == 0
+
+    def test_forward_removed_api_flagged(self, detector):
+        builder = ClassBuilder("com.test.app.Net")
+        method = builder.method("fetch")
+        method.invoke_virtual(
+            "org.apache.http.client.HttpClient", "execute",
+            "(org.apache.http.HttpRequest)org.apache.http.HttpResponse",
+        )
+        method.return_void()
+        builder.finish(method)
+        apk = make_apk([activity_class(), builder.build()],
+                       min_sdk=14, target_sdk=22)
+        report = detector.analyze(apk)
+        api = [m for m in report.mismatches
+               if m.kind is MismatchKind.API_INVOCATION]
+        assert len(api) == 1
+        assert api[0].missing_levels.lo == 23
+
+    def test_forward_removal_guarded_not_flagged(self, detector):
+        builder = ClassBuilder("com.test.app.Net")
+        method = builder.method("fetch")
+        method.guarded_call_max(
+            22, "org.apache.http.client.HttpClient", "execute",
+            "(org.apache.http.HttpRequest)org.apache.http.HttpResponse",
+        )
+        method.return_void()
+        builder.finish(method)
+        apk = make_apk([activity_class(), builder.build()],
+                       min_sdk=14, target_sdk=22)
+        report = detector.analyze(apk)
+        assert kinds(report).get("API", 0) == 0
+
+    def test_max_sdk_restricts_range(self, detector):
+        apk = make_apk([activity_class(), screen_class()],
+                       min_sdk=23, target_sdk=26, max_sdk=26)
+        report = detector.analyze(apk)
+        assert kinds(report).get("API", 0) == 0
+
+    def test_inherited_api_resolved(self, detector):
+        builder = ClassBuilder(
+            "com.test.app.Custom", super_name="android.widget.TextView"
+        )
+        method = builder.method("refresh")
+        method.invoke_virtual(
+            "com.test.app.Custom", "setTextAppearance", "(int)void"
+        )
+        method.return_void()
+        builder.finish(method)
+        apk = make_apk([activity_class(), builder.build()],
+                       min_sdk=19, target_sdk=26)
+        report = detector.analyze(apk)
+        api = [m for m in report.mismatches
+               if m.kind is MismatchKind.API_INVOCATION]
+        assert len(api) == 1
+        assert api[0].subject.class_name == "android.widget.TextView"
+        assert api[0].missing_levels.hi == 22
+
+
+class TestAlgorithm3Callback:
+    def fragment_hook(self):
+        builder = ClassBuilder(
+            "com.test.app.NotesFragment", super_name="android.app.Fragment"
+        )
+        builder.empty_method("onAttach", "(android.content.Context)void")
+        return builder.build()
+
+    def test_newer_callback_flagged(self, detector):
+        apk = make_apk([activity_class(), self.fragment_hook()],
+                       min_sdk=15, target_sdk=26)
+        report = detector.analyze(apk)
+        apc = [m for m in report.mismatches
+               if m.kind is MismatchKind.API_CALLBACK]
+        assert len(apc) == 1
+        assert apc[0].missing_levels == apc[0].missing_levels.of(15, 22)
+
+    def test_supported_callback_not_flagged(self, detector):
+        apk = make_apk([activity_class(), self.fragment_hook()],
+                       min_sdk=23, target_sdk=26)
+        report = detector.analyze(apk)
+        assert kinds(report).get("APC", 0) == 0
+
+    def test_plain_override_not_flagged(self, detector):
+        builder = ClassBuilder(
+            "com.test.app.Custom", super_name="android.widget.TextView"
+        )
+        builder.empty_method("setTextAppearance", "(int)void")
+        apk = make_apk([activity_class(), builder.build()],
+                       min_sdk=19, target_sdk=26)
+        report = detector.analyze(apk)
+        assert kinds(report).get("APC", 0) == 0
+
+    def test_permission_hook_not_flagged(self, detector):
+        builder = ClassBuilder(
+            "com.test.app.Aware", super_name="android.app.Activity"
+        )
+        builder.empty_method(
+            "onRequestPermissionsResult", "(int,java.lang.String[],int[])void"
+        )
+        apk = make_apk([activity_class(), builder.build()],
+                       min_sdk=19, target_sdk=26)
+        report = detector.analyze(apk)
+        assert kinds(report).get("APC", 0) == 0
+
+
+def camera_user(guard_level=None):
+    builder = ClassBuilder("com.test.app.Cam")
+    method = builder.method("shoot")
+    if guard_level is None:
+        method.invoke_virtual(
+            "android.hardware.Camera", "open", "()android.hardware.Camera"
+        )
+    else:
+        method.guarded_call_max(
+            guard_level, "android.hardware.Camera", "open",
+            "()android.hardware.Camera",
+        )
+    method.return_void()
+    builder.finish(method)
+    return builder.build()
+
+
+def permission_aware_activity():
+    builder = ClassBuilder(
+        "com.test.app.Aware", super_name="android.app.Activity"
+    )
+    builder.empty_method(
+        "onRequestPermissionsResult", "(int,java.lang.String[],int[])void"
+    )
+    return builder.build()
+
+
+class TestAlgorithm4Permissions:
+    def test_request_mismatch(self, detector):
+        apk = make_apk(
+            [activity_class(), camera_user()],
+            min_sdk=21, target_sdk=26,
+            permissions=("android.permission.CAMERA",),
+        )
+        report = detector.analyze(apk)
+        prm = [m for m in report.mismatches
+               if m.kind is MismatchKind.PERMISSION_REQUEST]
+        assert len(prm) == 1
+        assert prm[0].permission == "android.permission.CAMERA"
+
+    def test_unrequested_dangerous_use_also_flagged(self, detector):
+        # The paper's Listing 3: using a dangerous permission the
+        # manifest never requested crashes just the same.
+        apk = make_apk(
+            [activity_class(), camera_user()], min_sdk=21, target_sdk=26
+        )
+        report = detector.analyze(apk)
+        assert kinds(report).get("PRM-request", 0) == 1
+
+    def test_protocol_implementation_suppresses_request(self, detector):
+        apk = make_apk(
+            [activity_class(), camera_user(), permission_aware_activity()],
+            min_sdk=21, target_sdk=26,
+            permissions=("android.permission.CAMERA",),
+        )
+        report = detector.analyze(apk)
+        assert kinds(report).get("PRM-request", 0) == 0
+
+    def test_revocation_mismatch(self, detector):
+        apk = make_apk(
+            [activity_class(), camera_user()],
+            min_sdk=14, target_sdk=22,
+            permissions=("android.permission.CAMERA",),
+        )
+        report = detector.analyze(apk)
+        prm = [m for m in report.mismatches
+               if m.kind is MismatchKind.PERMISSION_REVOCATION]
+        assert len(prm) == 1
+        assert prm[0].missing_levels.lo == 23
+
+    def test_revocation_needs_manifest_request(self, detector):
+        apk = make_apk(
+            [activity_class(), camera_user()], min_sdk=14, target_sdk=22
+        )
+        report = detector.analyze(apk)
+        assert kinds(report).get("PRM-revocation", 0) == 0
+
+    def test_max_sdk_below_23_suppresses_revocation(self, detector):
+        apk = make_apk(
+            [activity_class(), camera_user()],
+            min_sdk=14, target_sdk=22, max_sdk=22,
+            permissions=("android.permission.CAMERA",),
+        )
+        report = detector.analyze(apk)
+        assert kinds(report).get("PRM-revocation", 0) == 0
+
+    def test_guarded_permission_use_suppressed(self, detector):
+        # Camera use restricted to pre-23 devices cannot trip the
+        # runtime permission system.
+        apk = make_apk(
+            [activity_class(), camera_user(guard_level=22)],
+            min_sdk=14, target_sdk=26,
+            permissions=("android.permission.CAMERA",),
+        )
+        report = detector.analyze(apk)
+        assert kinds(report).get("PRM-request", 0) == 0
+
+    def test_transitive_permission_use_detected(self, detector):
+        builder = ClassBuilder("com.test.app.Geo")
+        method = builder.method("locate")
+        method.invoke_virtual(
+            "android.location.Geocoder", "getFromLocation",
+            "(double,double,int)java.util.List",
+        )
+        method.return_void()
+        builder.finish(method)
+        apk = make_apk(
+            [activity_class(), builder.build()],
+            min_sdk=21, target_sdk=26,
+            permissions=("android.permission.ACCESS_FINE_LOCATION",),
+        )
+        report = detector.analyze(apk)
+        prm = [m for m in report.mismatches
+               if m.kind is MismatchKind.PERMISSION_REQUEST]
+        assert any(
+            m.permission == "android.permission.ACCESS_FINE_LOCATION"
+            for m in prm
+        )

@@ -1,0 +1,129 @@
+"""Tests for the API database."""
+
+from repro.analysis.intervals import ApiInterval
+from repro.ir.types import MethodRef
+
+
+GCSL = "getColorStateList(int)android.content.res.ColorStateList"
+
+
+class TestExistence:
+    def test_direct_declaration(self, apidb):
+        assert apidb.exists("android.content.Context", GCSL, 23)
+        assert not apidb.exists("android.content.Context", GCSL, 22)
+
+    def test_inherited_declaration(self, apidb):
+        assert apidb.exists("android.app.Activity", GCSL, 23)
+        assert not apidb.exists("android.app.Activity", GCSL, 22)
+
+    def test_unknown_class(self, apidb):
+        assert not apidb.exists("no.such.Class", "m()void", 23)
+
+    def test_class_lifetime_gates_inherited_methods(self, apidb):
+        # HttpClient removed at 23: even "always-present" methods die
+        # with their class.
+        signature = (
+            "execute(org.apache.http.HttpRequest)org.apache.http.HttpResponse"
+        )
+        owner = "org.apache.http.impl.client.DefaultHttpClient"
+        assert apidb.exists(owner, signature, 22)
+        assert not apidb.exists(owner, signature, 23)
+
+
+class TestMissingLevels:
+    def test_hull_of_missing(self, apidb):
+        missing = apidb.missing_levels(
+            "android.content.Context", GCSL, ApiInterval.of(21, 29)
+        )
+        assert missing == ApiInterval.of(21, 22)
+
+    def test_fully_supported_is_empty(self, apidb):
+        missing = apidb.missing_levels(
+            "android.content.Context", GCSL, ApiInterval.of(23, 29)
+        )
+        assert missing.is_empty
+
+    def test_forward_removal(self, apidb):
+        signature = (
+            "execute(org.apache.http.HttpRequest)org.apache.http.HttpResponse"
+        )
+        missing = apidb.missing_levels(
+            "org.apache.http.client.HttpClient",
+            signature,
+            ApiInterval.of(14, 29),
+        )
+        assert missing == ApiInterval.of(23, 29)
+
+
+class TestCallbacks:
+    def test_callback_entry(self, apidb):
+        entry = apidb.callback_entry(
+            "android.app.Fragment", "onAttach(android.content.Context)void"
+        )
+        assert entry is not None and entry.callback
+        assert entry.lifetime[0] == 23
+
+    def test_non_callback_is_none(self, apidb):
+        assert apidb.callback_entry(
+            "android.content.Context",
+            "getSystemService(java.lang.String)java.lang.Object",
+        ) is None
+
+    def test_callback_inherited_from_ancestor(self, apidb):
+        # WebView extends ViewGroup extends View.
+        entry = apidb.callback_entry(
+            "android.webkit.WebView",
+            "drawableHotspotChanged(float,float)void",
+        )
+        assert entry is not None
+        assert entry.class_name == "android.view.View"
+
+    def test_callbacks_of_includes_ancestors(self, apidb):
+        names = {e.signature for e in apidb.callbacks_of("android.webkit.WebView")}
+        assert "drawableHotspotChanged(float,float)void" in names
+
+
+class TestPermissions:
+    def test_direct_permission(self, apidb):
+        ref = MethodRef(
+            "android.hardware.Camera", "open", "()android.hardware.Camera"
+        )
+        assert "android.permission.CAMERA" in apidb.permissions_for(ref)
+
+    def test_transitive_permission(self, apidb):
+        ref = MethodRef(
+            "android.location.Geocoder",
+            "getFromLocation",
+            "(double,double,int)java.util.List",
+        )
+        deep = apidb.permissions_for(ref, deep=True)
+        shallow = apidb.permissions_for(ref, deep=False)
+        assert "android.permission.ACCESS_FINE_LOCATION" in deep
+        assert "android.permission.ACCESS_FINE_LOCATION" not in shallow
+
+    def test_inherited_resolution_for_permissions(self, apidb):
+        # Calling through a subclass ref still maps to the declaration.
+        ref = MethodRef(
+            "android.hardware.Camera", "open", "(int)android.hardware.Camera"
+        )
+        assert apidb.permissions_for(ref)
+
+
+class TestIntrospection:
+    def test_hierarchy(self, apidb):
+        ancestors = apidb.ancestors("android.app.Activity")
+        assert ancestors[0] == "android.content.ContextWrapper"
+        assert "android.content.Context" in ancestors
+
+    def test_api_count_grows_with_level(self, apidb):
+        assert apidb.api_count_at(29) > apidb.api_count_at(5)
+
+    def test_resolve_walks_chain(self, apidb):
+        entry = apidb.resolve("android.app.Activity", GCSL)
+        assert entry is not None
+        assert entry.class_name == "android.content.Context"
+
+    def test_contains_and_len(self, apidb):
+        assert "android.app.Activity" in apidb
+        assert len(apidb) > 1000
+        assert apidb.method_count > 10_000

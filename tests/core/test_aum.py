@@ -1,0 +1,252 @@
+"""Tests for the API Usage Modeler, especially interprocedural guard
+propagation and the anonymous-class blind spot."""
+
+import pytest
+
+from repro.analysis.intervals import ApiInterval
+from repro.core.aum import ApiUsageModeler
+from repro.ir.builder import ClassBuilder
+from repro.ir.instructions import CmpOp
+from repro.ir.types import MethodRef
+
+from tests.conftest import activity_class, make_apk
+
+GCSL_DESC = "(int)android.content.res.ColorStateList"
+
+
+@pytest.fixture()
+def modeler(framework, apidb):
+    return ApiUsageModeler(framework, apidb)
+
+
+def usage_interval(model, api_name):
+    found = [u for u in model.usages if u.api.name == api_name]
+    assert found, [str(u.api) for u in model.usages]
+    interval = found[0].interval
+    for extra in found[1:]:
+        interval = interval.join(extra.interval)
+    return interval
+
+
+class TestDirectUsages:
+    def test_unguarded_call_has_app_interval(self, modeler):
+        builder = ClassBuilder("com.test.app.S")
+        method = builder.method("render")
+        method.invoke_virtual(
+            "android.content.Context", "getColorStateList", GCSL_DESC
+        )
+        method.return_void()
+        builder.finish(method)
+        apk = make_apk([activity_class(), builder.build()],
+                       min_sdk=21, target_sdk=28)
+        model = modeler.build(apk)
+        assert usage_interval(model, "getColorStateList") == (
+            ApiInterval.of(21, 29)
+        )
+
+    def test_guarded_call_is_refined(self, modeler):
+        builder = ClassBuilder("com.test.app.S")
+        method = builder.method("render")
+        method.guarded_call(
+            23, "android.content.Context", "getColorStateList", GCSL_DESC
+        )
+        method.return_void()
+        builder.finish(method)
+        apk = make_apk([activity_class(), builder.build()],
+                       min_sdk=21, target_sdk=28)
+        model = modeler.build(apk)
+        assert usage_interval(model, "getColorStateList") == (
+            ApiInterval.of(23, 29)
+        )
+
+
+class TestInterproceduralPropagation:
+    def caller_guard_apk(self):
+        helper = ClassBuilder("com.test.app.Helper")
+        apply_method = helper.method("applyFeature")
+        apply_method.invoke_virtual(
+            "android.content.Context", "getColorStateList", GCSL_DESC
+        )
+        apply_method.return_void()
+        helper.finish(apply_method)
+
+        coordinator = ClassBuilder("com.test.app.Coordinator")
+        update = coordinator.method("update")
+        update.sdk_int(0)
+        update.const_int(1, 23)
+        update.if_cmp(CmpOp.LT, 0, 1, "skip")
+        update.invoke_virtual("com.test.app.Helper", "applyFeature")
+        update.label("skip")
+        update.return_void()
+        coordinator.finish(update)
+        return make_apk(
+            [activity_class(), helper.build(), coordinator.build()],
+            min_sdk=21, target_sdk=28,
+        )
+
+    def test_guard_in_caller_protects_callee(self, modeler):
+        model = modeler.build(self.caller_guard_apk())
+        assert usage_interval(model, "getColorStateList") == (
+            ApiInterval.of(23, 29)
+        )
+
+    def test_uncalled_method_uses_app_interval(self, modeler):
+        builder = ClassBuilder("com.test.app.Dead")
+        method = builder.method("never")
+        method.invoke_virtual(
+            "android.content.Context", "getColorStateList", GCSL_DESC
+        )
+        method.return_void()
+        builder.finish(method)
+        apk = make_apk([activity_class(), builder.build()],
+                       min_sdk=21, target_sdk=28)
+        model = modeler.build(apk)
+        assert usage_interval(model, "getColorStateList") == (
+            ApiInterval.of(21, 29)
+        )
+
+
+class TestAnonymousBlindSpot:
+    def anonymous_apk(self):
+        listener = ClassBuilder(
+            "com.test.app.Panel$1", interfaces=("java.lang.Runnable",)
+        )
+        run = listener.method("run")
+        run.invoke_virtual(
+            "android.content.Context", "getColorStateList", GCSL_DESC
+        )
+        run.return_void()
+        listener.finish(run)
+
+        panel = ClassBuilder("com.test.app.Panel")
+        setup = panel.method("setup")
+        setup.sdk_int(0)
+        setup.const_int(1, 23)
+        setup.if_cmp(CmpOp.LT, 0, 1, "skip")
+        setup.new_instance(2, "com.test.app.Panel$1")
+        setup.invoke_virtual(
+            "android.os.Handler", "post", "(java.lang.Runnable)boolean",
+            args=(2,),
+        )
+        setup.label("skip")
+        setup.return_void()
+        panel.finish(setup)
+        return make_apk(
+            [activity_class(), listener.build(), panel.build()],
+            min_sdk=21, target_sdk=28,
+        )
+
+    def test_default_mode_drops_guard(self, framework, apidb):
+        modeler = ApiUsageModeler(framework, apidb)
+        model = modeler.build(self.anonymous_apk())
+        assert usage_interval(model, "getColorStateList") == (
+            ApiInterval.of(21, 29)  # guard lost: the documented FP source
+        )
+
+    def test_ablation_mode_keeps_guard(self, framework, apidb):
+        modeler = ApiUsageModeler(
+            framework, apidb, propagate_guards_into_anonymous=True
+        )
+        model = modeler.build(self.anonymous_apk())
+        assert usage_interval(model, "getColorStateList") == (
+            ApiInterval.of(23, 29)
+        )
+
+
+class TestOverrides:
+    def test_framework_override_recorded(self, modeler):
+        hook = ClassBuilder("com.test.app.Hook", super_name="android.view.View")
+        hook.empty_method("drawableHotspotChanged", "(float,float)void")
+        apk = make_apk([activity_class(), hook.build()])
+        model = modeler.build(apk)
+        records = [
+            r for r in model.overrides
+            if r.signature == "drawableHotspotChanged(float,float)void"
+        ]
+        assert len(records) == 1
+        assert records[0].framework_class == "android.view.View"
+
+    def test_anonymous_overrides_skipped(self, modeler):
+        hook = ClassBuilder(
+            "com.test.app.Hook$1", super_name="android.view.View"
+        )
+        hook.empty_method("drawableHotspotChanged", "(float,float)void")
+        host = ClassBuilder("com.test.app.Hook")
+        attach = host.method("attach")
+        attach.new_instance(0, "com.test.app.Hook$1")
+        attach.return_void()
+        host.finish(attach)
+        apk = make_apk([activity_class(), hook.build(), host.build()])
+        model = modeler.build(apk)
+        assert not any(
+            r.app_class == "com.test.app.Hook$1" for r in model.overrides
+        )
+
+    def test_own_methods_not_recorded(self, modeler, simple_apk):
+        model = modeler.build(simple_apk)
+        assert all(
+            r.signature != "myOwnHelper()void" for r in model.overrides
+        )
+
+
+class TestPermissionUses:
+    def test_dangerous_api_annotated(self, modeler):
+        builder = ClassBuilder("com.test.app.Cam")
+        method = builder.method("shoot")
+        method.invoke_virtual(
+            "android.hardware.Camera", "open", "()android.hardware.Camera"
+        )
+        method.return_void()
+        builder.finish(method)
+        apk = make_apk([activity_class(), builder.build()])
+        model = modeler.build(apk)
+        uses = [u for u in model.permission_uses if u.api.name == "open"]
+        assert uses
+        assert "android.permission.CAMERA" in uses[0].permissions
+
+    def test_safe_api_not_annotated(self, modeler, simple_apk):
+        model = modeler.build(simple_apk)
+        assert model.permission_uses == []
+
+
+class TestContextWidening:
+    def test_many_guard_contexts_widen_to_app_interval(
+        self, framework, apidb
+    ):
+        """A callee invoked under more distinct guard intervals than
+        MAX_CONTEXTS_PER_METHOD falls back to the app interval — a
+        sound (conservative) cap on context explosion."""
+        from repro.core.aum import MAX_CONTEXTS_PER_METHOD
+
+        helper = ClassBuilder("com.test.app.Helper")
+        apply_method = helper.method("applyFeature")
+        apply_method.invoke_virtual(
+            "android.content.Context", "getColorStateList", GCSL_DESC
+        )
+        apply_method.return_void()
+        helper.finish(apply_method)
+
+        callers = []
+        for index in range(MAX_CONTEXTS_PER_METHOD + 3):
+            caller = ClassBuilder(f"com.test.app.Caller{index}")
+            update = caller.method("update")
+            update.sdk_int(0)
+            update.const_int(1, 16 + index)  # a distinct guard each
+            update.if_cmp(CmpOp.LT, 0, 1, "skip")
+            update.invoke_virtual("com.test.app.Helper", "applyFeature")
+            update.label("skip")
+            update.return_void()
+            caller.finish(update)
+            callers.append(caller.build())
+
+        apk = make_apk(
+            [activity_class(), helper.build(), *callers],
+            min_sdk=14, target_sdk=28,
+        )
+        modeler = ApiUsageModeler(framework, apidb)
+        model = modeler.build(apk)
+        # Widening keeps the analysis sound: the joined interval must
+        # cover every caller's guard range.
+        interval = usage_interval(model, "getColorStateList")
+        assert interval.lo <= 16
+        assert interval.hi == 29

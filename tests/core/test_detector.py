@@ -1,0 +1,167 @@
+"""Tests for the SaintDroid facade, including the paper's listings as
+end-to-end cases and the eager-loading ablation."""
+
+import pytest
+
+from repro.core import SaintDroid
+from repro.core.mismatch import MismatchKind
+from repro.ir.builder import ClassBuilder
+
+from tests.conftest import activity_class, make_apk
+
+
+@pytest.fixture(scope="module")
+def detector(framework, apidb):
+    return SaintDroid(framework, apidb)
+
+
+def listing1_apk():
+    """Paper Listing 1: target 28, minSdk 21, unguarded
+    getColorStateList (API 23) in onCreate."""
+    builder = ClassBuilder(
+        "com.test.app.MainActivity", super_name="android.app.Activity"
+    )
+    method = builder.method("onCreate", "(android.os.Bundle)void")
+    method.invoke_super(
+        "android.app.Activity", "onCreate", "(android.os.Bundle)void"
+    )
+    method.invoke_virtual(
+        "com.test.app.MainActivity", "getColorStateList",
+        "(int)android.content.res.ColorStateList",
+    )
+    method.return_void()
+    builder.finish(method)
+    return make_apk([builder.build()], min_sdk=21, target_sdk=28)
+
+
+class TestPaperListings:
+    def test_listing1_invocation_mismatch(self, detector):
+        report = detector.analyze(listing1_apk())
+        api = [m for m in report.mismatches
+               if m.kind is MismatchKind.API_INVOCATION]
+        assert len(api) == 1
+        assert api[0].subject.name == "getColorStateList"
+        assert (api[0].missing_levels.lo, api[0].missing_levels.hi) == (21, 22)
+
+    def test_listing2_callback_mismatch(self, detector):
+        # Simple Solitaire: Fragment.onAttach(Context) @23, minSdk < 23.
+        builder = ClassBuilder(
+            "com.test.app.GameFragment", super_name="android.app.Fragment"
+        )
+        builder.empty_method("onAttach", "(android.content.Context)void")
+        apk = make_apk([activity_class(), builder.build()],
+                       min_sdk=14, target_sdk=23)
+        report = detector.analyze(apk)
+        apc = [m for m in report.mismatches
+               if m.kind is MismatchKind.API_CALLBACK]
+        assert len(apc) == 1
+        assert apc[0].subject.name == "onAttach"
+
+    def test_listing3_permission_mismatch(self, detector):
+        builder = ClassBuilder(
+            "com.test.app.CaptureActivity", super_name="android.app.Activity"
+        )
+        method = builder.method("onCreate", "(android.os.Bundle)void")
+        method.invoke_virtual(
+            "android.hardware.Camera", "open", "()android.hardware.Camera"
+        )
+        method.return_void()
+        builder.finish(method)
+        apk = make_apk([activity_class(), builder.build()],
+                       min_sdk=21, target_sdk=26)
+        report = detector.analyze(apk)
+        assert report.by_kind().get("PRM-request", 0) == 1
+
+
+class TestReportContents:
+    def test_report_identity(self, detector, simple_apk):
+        report = detector.analyze(simple_apk)
+        assert report.app == simple_apk.name
+        assert report.tool == "SAINTDroid"
+        assert report.metrics is not None
+        assert report.metrics.wall_time_s > 0
+        assert report.model is not None
+
+    def test_clean_app_has_no_mismatches(self, detector, simple_apk):
+        report = detector.analyze(simple_apk)
+        assert report.mismatches == []
+
+    def test_keys_are_set_of_mismatch_keys(self, detector):
+        report = detector.analyze(listing1_apk())
+        assert len(report.keys) == len(report.mismatches)
+
+    def test_capabilities_cover_all_kinds(self, detector):
+        assert detector.capabilities == {"API", "APC", "PRM"}
+        assert not detector.requires_source
+
+
+class TestEagerAblation:
+    def test_same_findings_more_memory(self, framework, apidb):
+        lazy = SaintDroid(framework, apidb)
+        eager = SaintDroid(framework, apidb, lazy_loading=False)
+        apk = listing1_apk()
+        lazy_report = lazy.analyze(apk)
+        eager_report = eager.analyze(apk)
+        assert lazy_report.keys == eager_report.keys
+        assert (
+            eager_report.metrics.memory_units
+            > lazy_report.metrics.memory_units
+        )
+        assert (
+            eager_report.metrics.stats.framework_classes_loaded
+            == framework.image_class_count(29)
+        )
+
+
+class TestDeviceLevelScoping:
+    """The paper's 'set of Android framework versions' input."""
+
+    def test_scoping_above_introduction_clears_finding(
+        self, framework, apidb
+    ):
+        from repro.analysis.intervals import ApiInterval
+        detector = SaintDroid(framework, apidb)
+        apk = listing1_apk()  # unguarded API-23 call, minSdk 21
+        full = detector.analyze(apk)
+        assert full.by_kind().get("API", 0) == 1
+        scoped = detector.analyze(apk, ApiInterval.of(23, 29))
+        assert scoped.by_kind().get("API", 0) == 0
+
+    def test_scoping_to_vulnerable_levels_keeps_finding(
+        self, framework, apidb
+    ):
+        from repro.analysis.intervals import ApiInterval
+        detector = SaintDroid(framework, apidb)
+        scoped = detector.analyze(listing1_apk(), ApiInterval.of(21, 22))
+        api = [m for m in scoped.mismatches
+               if m.kind is MismatchKind.API_INVOCATION]
+        assert len(api) == 1
+        assert (api[0].missing_levels.lo, api[0].missing_levels.hi) == (21, 22)
+
+    def test_pre_23_scope_suppresses_permission_findings(
+        self, framework, apidb
+    ):
+        from repro.analysis.intervals import ApiInterval
+        from repro.ir.builder import ClassBuilder
+        detector = SaintDroid(framework, apidb)
+        cam = ClassBuilder("com.test.app.Cam")
+        shoot = cam.method("shoot")
+        shoot.invoke_virtual(
+            "android.hardware.Camera", "open", "()android.hardware.Camera"
+        )
+        shoot.return_void()
+        cam.finish(shoot)
+        apk = make_apk([activity_class(), cam.build()],
+                       min_sdk=16, target_sdk=26,
+                       permissions=("android.permission.CAMERA",))
+        full = detector.analyze(apk)
+        assert full.by_kind().get("PRM-request", 0) == 1
+        scoped = detector.analyze(apk, ApiInterval.of(16, 22))
+        assert scoped.by_kind().get("PRM-request", 0) == 0
+
+    def test_disjoint_scope_returns_nothing(self, framework, apidb):
+        from repro.analysis.intervals import ApiInterval
+        detector = SaintDroid(framework, apidb)
+        apk = listing1_apk()
+        scoped = detector.analyze(apk, ApiInterval.of(2, 10))
+        assert scoped.mismatches == []

@@ -1,0 +1,152 @@
+"""Tests for the 'death on update' analysis."""
+
+import pytest
+
+from repro.core import SaintDroid
+from repro.core.aum import ApiUsageModeler
+from repro.core.evolution import diff_reports, update_impact
+from repro.ir.builder import ClassBuilder
+
+from tests.conftest import activity_class, make_apk
+
+GCSL_DESC = "(int)android.content.res.ColorStateList"
+HTTP_DESC = "(org.apache.http.HttpRequest)org.apache.http.HttpResponse"
+
+
+@pytest.fixture(scope="module")
+def modeler(framework, apidb):
+    return ApiUsageModeler(framework, apidb)
+
+
+def apache_user():
+    builder = ClassBuilder("com.test.app.Net")
+    method = builder.method("fetch")
+    method.invoke_virtual(
+        "org.apache.http.client.HttpClient", "execute", HTTP_DESC
+    )
+    method.return_void()
+    builder.finish(method)
+    return builder.build()
+
+
+def colors_user(guard_level=None):
+    builder = ClassBuilder("com.test.app.Screen")
+    method = builder.method("render")
+    if guard_level is None:
+        method.invoke_virtual(
+            "android.content.Context", "getColorStateList", GCSL_DESC
+        )
+    else:
+        method.guarded_call(
+            guard_level, "android.content.Context",
+            "getColorStateList", GCSL_DESC,
+        )
+    method.return_void()
+    builder.finish(method)
+    return builder.build()
+
+
+class TestUpdateImpact:
+    def test_removed_api_breaks_on_update(self, modeler, apidb):
+        apk = make_apk([activity_class(), apache_user()],
+                       min_sdk=14, target_sdk=22)
+        model = modeler.build(apk)
+        impact = update_impact(model, apidb, 22, 23)
+        assert len(impact.breaking_calls) == 1
+        assert impact.breaking_calls[0].api.name == "execute"
+        assert not impact.is_stable
+        assert "BREAKS" in impact.describe()
+
+    def test_introduced_api_heals_on_update(self, modeler, apidb):
+        apk = make_apk([activity_class(), colors_user()],
+                       min_sdk=21, target_sdk=28)
+        model = modeler.build(apk)
+        impact = update_impact(model, apidb, 22, 23)
+        assert len(impact.healed_calls) == 1
+        assert impact.healed_calls[0].api.name == "getColorStateList"
+
+    def test_guarded_call_does_not_break(self, modeler, apidb):
+        # The call only runs on >= 23 anyway; updating 22 -> 23 cannot
+        # "heal" something that never executed, nor break anything.
+        apk = make_apk([activity_class(), colors_user(guard_level=23)],
+                       min_sdk=21, target_sdk=28)
+        model = modeler.build(apk)
+        impact = update_impact(model, apidb, 20, 22)
+        assert impact.breaking_calls == []
+        assert impact.healed_calls == []
+
+    def test_activated_hook(self, modeler, apidb):
+        hook = ClassBuilder(
+            "com.test.app.NotesFragment", super_name="android.app.Fragment"
+        )
+        hook.empty_method("onAttach", "(android.content.Context)void")
+        apk = make_apk([activity_class(), hook.build()],
+                       min_sdk=15, target_sdk=26)
+        model = modeler.build(apk)
+        impact = update_impact(model, apidb, 22, 23)
+        assert any(
+            h.signature == "onAttach(android.content.Context)void"
+            for h in impact.activated_hooks
+        )
+        reverse = update_impact(model, apidb, 23, 22)
+        assert any(
+            h.signature == "onAttach(android.content.Context)void"
+            for h in reverse.silenced_hooks
+        )
+
+    def test_permission_model_shift(self, modeler, apidb):
+        cam = ClassBuilder("com.test.app.Cam")
+        shoot = cam.method("shoot")
+        shoot.invoke_virtual(
+            "android.hardware.Camera", "open", "()android.hardware.Camera"
+        )
+        shoot.return_void()
+        cam.finish(shoot)
+        apk = make_apk([activity_class(), cam.build()],
+                       min_sdk=16, target_sdk=22,
+                       permissions=("android.permission.CAMERA",))
+        model = modeler.build(apk)
+        assert update_impact(model, apidb, 22, 24).permission_model_shift
+        assert not update_impact(model, apidb, 23, 26).permission_model_shift
+        assert not update_impact(model, apidb, 20, 22).permission_model_shift
+
+    def test_stable_app(self, modeler, apidb, simple_apk):
+        model = modeler.build(simple_apk)
+        impact = update_impact(model, apidb, 21, 26)
+        assert impact.is_stable
+        assert "stable" in impact.describe()
+
+
+class TestReportDiff:
+    @pytest.fixture(scope="class")
+    def detector(self, framework, apidb):
+        return SaintDroid(framework, apidb)
+
+    def test_fixed_and_introduced(self, detector):
+        v1 = make_apk([activity_class(), colors_user()],
+                      min_sdk=21, target_sdk=28, label="App v1")
+        v2 = make_apk(
+            [activity_class(), colors_user(guard_level=23), apache_user()],
+            min_sdk=21, target_sdk=28, label="App v2",
+        )
+        diff = diff_reports(detector.analyze(v1), detector.analyze(v2))
+        assert len(diff.fixed) == 1          # the guard fixed the call
+        assert len(diff.introduced) == 1     # the apache usage is new
+        assert diff.regressed
+        assert "1 introduced, 1 fixed" in diff.summary()
+
+    def test_carried_over(self, detector):
+        apk = make_apk([activity_class(), colors_user()],
+                       min_sdk=21, target_sdk=28)
+        diff = diff_reports(detector.analyze(apk), detector.analyze(apk))
+        assert diff.introduced == [] and diff.fixed == []
+        assert len(diff.carried) == 1
+
+    def test_labels_do_not_matter(self, detector):
+        a = make_apk([activity_class(), colors_user()],
+                     min_sdk=21, target_sdk=28, label="Alpha")
+        b = make_apk([activity_class(), colors_user()],
+                     min_sdk=21, target_sdk=28, label="Beta")
+        diff = diff_reports(detector.analyze(a), detector.analyze(b))
+        assert len(diff.carried) == 1
+        assert not diff.regressed

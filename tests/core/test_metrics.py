@@ -1,0 +1,81 @@
+"""Tests for metrics and the cost model."""
+
+from repro.analysis.clvm import (
+    CLASS_OVERHEAD_UNITS,
+    FRAMEWORK_RETENTION,
+    LoadStats,
+)
+from repro.core.metrics import (
+    AnalysisMetrics,
+    BASE_MEMORY_MB,
+    BASE_SECONDS,
+    MB_PER_MEMORY_UNIT,
+    SECONDS_PER_WORK_UNIT,
+)
+
+
+class TestLoadStats:
+    def test_record_load_splits_by_origin(self, framework):
+        stats = LoadStats()
+        app_class = framework.load_class("android.widget.Toast", 23)
+        stats.record_load(app_class)
+        assert stats.framework_classes_loaded == 1
+        assert stats.instructions_loaded == app_class.instruction_count
+        assert (
+            stats.framework_instructions_loaded
+            == app_class.instruction_count
+        )
+
+    def test_memory_units_release_framework_bodies(self):
+        stats = LoadStats(
+            classes_loaded=2,
+            instructions_loaded=1000,
+            framework_instructions_loaded=600,
+        )
+        expected_released = int(600 * (1 - FRAMEWORK_RETENTION))
+        assert stats.memory_units == (
+            2 * CLASS_OVERHEAD_UNITS + 1000 - expected_released
+        )
+
+    def test_memory_units_eager_retains_everything(self):
+        stats = LoadStats(
+            classes_loaded=2,
+            instructions_loaded=1000,
+            framework_instructions_loaded=600,
+            retain_framework_bodies=True,
+        )
+        assert stats.memory_units == 2 * CLASS_OVERHEAD_UNITS + 1000
+
+    def test_work_units_include_load_overhead(self):
+        stats = LoadStats(classes_loaded=4, instructions_analyzed=100)
+        assert stats.work_units == 100 + 4 * CLASS_OVERHEAD_UNITS // 4
+
+
+class TestAnalysisMetrics:
+    def test_modeled_seconds(self):
+        metrics = AnalysisMetrics(tool="T", app="A", extra_work_units=10_000)
+        assert metrics.modeled_seconds == (
+            BASE_SECONDS + 10_000 * SECONDS_PER_WORK_UNIT
+        )
+
+    def test_modeled_memory(self):
+        metrics = AnalysisMetrics(
+            tool="T", app="A", extra_memory_units=20_000
+        )
+        assert metrics.modeled_memory_mb == (
+            BASE_MEMORY_MB + 20_000 * MB_PER_MEMORY_UNIT
+        )
+
+    def test_stats_and_extras_combine(self):
+        stats = LoadStats(classes_loaded=4, instructions_analyzed=100)
+        metrics = AnalysisMetrics(
+            tool="T", app="A", stats=stats, extra_work_units=50
+        )
+        assert metrics.work_units == stats.work_units + 50
+
+    def test_failure_fields(self):
+        metrics = AnalysisMetrics(tool="T", app="A")
+        assert not metrics.failed
+        metrics.failed = True
+        metrics.failure_reason = "timeout"
+        assert metrics.failure_reason == "timeout"

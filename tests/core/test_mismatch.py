@@ -1,0 +1,120 @@
+"""Tests for the mismatch model."""
+
+import pytest
+
+from repro.analysis.intervals import ApiInterval
+from repro.core.mismatch import Mismatch, MismatchKind
+from repro.ir.types import MethodRef
+
+
+def api_mismatch(app="App", caller="com.app.C", api="android.x.A"):
+    return Mismatch(
+        kind=MismatchKind.API_INVOCATION,
+        app=app,
+        location=MethodRef(caller, "m"),
+        subject=MethodRef(api, "f", "(int)void"),
+        missing_levels=ApiInterval.of(14, 22),
+    )
+
+
+class TestValidation:
+    def test_permission_kind_requires_permission(self):
+        with pytest.raises(ValueError):
+            Mismatch(
+                kind=MismatchKind.PERMISSION_REQUEST,
+                app="App",
+                location=MethodRef("com.app.C", "m"),
+                subject=MethodRef("android.x.A", "f"),
+                missing_levels=ApiInterval.of(23, 29),
+            )
+
+    def test_api_kind_requires_subject(self):
+        with pytest.raises(ValueError):
+            Mismatch(
+                kind=MismatchKind.API_INVOCATION,
+                app="App",
+                location=MethodRef("com.app.C", "m"),
+                subject=None,
+                missing_levels=ApiInterval.of(14, 22),
+            )
+
+
+class TestKeys:
+    def test_key_stable_across_levels_and_messages(self):
+        a = api_mismatch()
+        b = Mismatch(
+            kind=MismatchKind.API_INVOCATION,
+            app="App",
+            location=MethodRef("com.app.C", "m"),
+            subject=MethodRef("android.x.A", "f", "(int)void"),
+            missing_levels=ApiInterval.of(14, 18),
+            message="different",
+        )
+        assert a.key == b.key
+
+    def test_key_distinguishes_locations(self):
+        assert api_mismatch(caller="com.app.C").key != (
+            api_mismatch(caller="com.app.D").key
+        )
+
+    def test_key_distinguishes_apps(self):
+        assert api_mismatch(app="A").key != api_mismatch(app="B").key
+
+    def test_callback_key_uses_class_and_signature(self):
+        mismatch = Mismatch(
+            kind=MismatchKind.API_CALLBACK,
+            app="App",
+            location=MethodRef("com.app.Hook", "onAttach",
+                               "(android.content.Context)void"),
+            subject=MethodRef("android.app.Fragment", "onAttach",
+                              "(android.content.Context)void"),
+            missing_levels=ApiInterval.of(15, 22),
+        )
+        assert mismatch.key == (
+            "APC", "App", "com.app.Hook",
+            "onAttach(android.content.Context)void",
+        )
+
+    def test_permission_key_ignores_location(self):
+        a = Mismatch(
+            kind=MismatchKind.PERMISSION_REQUEST,
+            app="App",
+            location=MethodRef("com.app.C", "m"),
+            subject=MethodRef("android.x.A", "f"),
+            missing_levels=ApiInterval.of(23, 29),
+            permission="android.permission.CAMERA",
+        )
+        b = Mismatch(
+            kind=MismatchKind.PERMISSION_REQUEST,
+            app="App",
+            location=MethodRef("com.app.Other", "n"),
+            subject=MethodRef("android.y.B", "g"),
+            missing_levels=ApiInterval.of(23, 29),
+            permission="android.permission.CAMERA",
+        )
+        assert a.key == b.key
+
+
+class TestPresentation:
+    def test_kind_classification(self):
+        assert MismatchKind.PERMISSION_REQUEST.is_permission
+        assert MismatchKind.PERMISSION_REVOCATION.is_permission
+        assert not MismatchKind.API_INVOCATION.is_permission
+
+    def test_describe_mentions_parts(self):
+        text = api_mismatch().describe()
+        assert "com.app.C" in text
+        assert "android.x.A" in text
+        assert "[14, 22]" in text
+
+    def test_describe_permission(self):
+        mismatch = Mismatch(
+            kind=MismatchKind.PERMISSION_REVOCATION,
+            app="App",
+            location=MethodRef("com.app.C", "m"),
+            subject=MethodRef("android.x.A", "f"),
+            missing_levels=ApiInterval.of(23, 29),
+            permission="android.permission.CAMERA",
+        )
+        assert "CAMERA" in mismatch.describe()
+        assert "revocable" in mismatch.describe()

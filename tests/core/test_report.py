@@ -1,0 +1,57 @@
+"""Tests for report rendering."""
+
+import pytest
+
+from repro.core import SaintDroid
+from repro.core.report import render_report, render_summary_line
+from repro.ir.builder import ClassBuilder
+
+from tests.conftest import activity_class, make_apk
+
+
+@pytest.fixture(scope="module")
+def mixed_report(framework, apidb):
+    screen = ClassBuilder("com.test.app.Screen")
+    method = screen.method("render")
+    method.invoke_virtual(
+        "android.content.Context", "getColorStateList",
+        "(int)android.content.res.ColorStateList",
+    )
+    method.return_void()
+    screen.finish(method)
+    cam = ClassBuilder("com.test.app.Cam")
+    shoot = cam.method("shoot")
+    shoot.invoke_virtual(
+        "android.hardware.Camera", "open", "()android.hardware.Camera"
+    )
+    shoot.return_void()
+    cam.finish(shoot)
+    apk = make_apk(
+        [activity_class(), screen.build(), cam.build()],
+        min_sdk=21, target_sdk=26,
+        permissions=("android.permission.CAMERA",),
+    )
+    return SaintDroid(framework, apidb).analyze(apk)
+
+
+class TestRendering:
+    def test_summary_line_counts(self, mixed_report):
+        line = render_summary_line(mixed_report)
+        assert "API=1" in line
+        assert "PRM-request=1" in line
+        assert "APC=0" in line
+
+    def test_full_report_sections(self, mixed_report):
+        text = render_report(mixed_report)
+        assert "SAINTDroid analysis" in text
+        assert "-- API (1) --" in text
+        assert "-- PRM-request (1) --" in text
+        assert "getColorStateList" in text
+
+    def test_verbose_includes_metrics(self, mixed_report):
+        text = render_report(mixed_report, verbose=True)
+        assert "classes loaded" in text
+        assert "modeled memory" in text
+
+    def test_non_verbose_omits_metrics(self, mixed_report):
+        assert "classes loaded" not in render_report(mixed_report)

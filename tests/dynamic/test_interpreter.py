@@ -1,0 +1,338 @@
+"""Tests for the concrete IR interpreter."""
+
+import pytest
+
+from repro.dynamic.device import DeviceProfile
+from repro.dynamic.interpreter import (
+    Crash,
+    CrashKind,
+    ExecutionBudgetExceeded,
+    Interpreter,
+)
+from repro.framework.permissions import DANGEROUS_PERMISSIONS
+from repro.ir.builder import ClassBuilder
+from repro.ir.instructions import CmpOp
+from repro.ir.types import MethodRef
+
+from tests.conftest import activity_class, make_apk
+
+GCSL_DESC = "(int)android.content.res.ColorStateList"
+ALL_GRANTS = frozenset(DANGEROUS_PERMISSIONS)
+
+
+def run_entry(apk, apidb, level, entry, granted=ALL_GRANTS):
+    device = DeviceProfile(api_level=level, granted_permissions=granted)
+    return Interpreter(apk, apidb, device).run(entry)
+
+
+class TestDeviceProfile:
+    def test_level_bounds(self):
+        with pytest.raises(ValueError):
+            DeviceProfile(api_level=1)
+
+    def test_install_time_model_grants_everything(self):
+        device = DeviceProfile(api_level=22)
+        assert device.permits("android.permission.CAMERA")
+
+    def test_runtime_model_requires_grant(self):
+        device = DeviceProfile(api_level=23)
+        assert not device.permits("android.permission.CAMERA")
+        assert device.granting("android.permission.CAMERA").permits(
+            "android.permission.CAMERA"
+        )
+
+
+class TestMissingMethodCrashes:
+    def unguarded_apk(self):
+        builder = ClassBuilder("com.test.app.Screen")
+        method = builder.method("render")
+        method.invoke_virtual(
+            "android.content.Context", "getColorStateList", GCSL_DESC
+        )
+        method.return_void()
+        builder.finish(method)
+        return make_apk([activity_class(), builder.build()],
+                        min_sdk=21, target_sdk=28)
+
+    def test_crashes_below_introduction(self, apidb):
+        apk = self.unguarded_apk()
+        entry = MethodRef("com.test.app.Screen", "render", "()void")
+        crash = run_entry(apk, apidb, 21, entry)
+        assert crash is not None
+        assert crash.kind is CrashKind.MISSING_METHOD
+        assert crash.api.name == "getColorStateList"
+        assert crash.api_level == 21
+
+    def test_survives_at_introduction(self, apidb):
+        apk = self.unguarded_apk()
+        entry = MethodRef("com.test.app.Screen", "render", "()void")
+        assert run_entry(apk, apidb, 23, entry) is None
+
+    def test_guard_prevents_crash(self, apidb):
+        builder = ClassBuilder("com.test.app.Safe")
+        method = builder.method("render")
+        method.guarded_call(
+            23, "android.content.Context", "getColorStateList", GCSL_DESC
+        )
+        method.return_void()
+        builder.finish(method)
+        apk = make_apk([activity_class(), builder.build()], min_sdk=21)
+        entry = MethodRef("com.test.app.Safe", "render", "()void")
+        assert run_entry(apk, apidb, 21, entry) is None
+        assert run_entry(apk, apidb, 23, entry) is None
+
+    def test_crash_through_call_chain(self, apidb):
+        helper = ClassBuilder("com.test.app.Helper")
+        inner = helper.method("inner")
+        inner.invoke_virtual(
+            "android.content.Context", "getColorStateList", GCSL_DESC
+        )
+        inner.return_void()
+        helper.finish(inner)
+        outer = ClassBuilder("com.test.app.Outer")
+        method = outer.method("go")
+        method.invoke_virtual("com.test.app.Helper", "inner")
+        method.return_void()
+        outer.finish(method)
+        apk = make_apk([activity_class(), helper.build(), outer.build()],
+                       min_sdk=21)
+        crash = run_entry(
+            apk, apidb, 21, MethodRef("com.test.app.Outer", "go", "()void")
+        )
+        assert crash is not None
+        assert crash.location.class_name == "com.test.app.Helper"
+
+    def test_inherited_api_crash(self, apidb):
+        builder = ClassBuilder(
+            "com.test.app.Custom", super_name="android.widget.TextView"
+        )
+        method = builder.method("refresh")
+        method.invoke_virtual(
+            "com.test.app.Custom", "setTextAppearance", "(int)void"
+        )
+        method.return_void()
+        builder.finish(method)
+        apk = make_apk([activity_class(), builder.build()], min_sdk=19)
+        crash = run_entry(
+            apk, apidb, 19,
+            MethodRef("com.test.app.Custom", "refresh", "()void"),
+        )
+        assert crash is not None
+        assert crash.api.class_name == "android.widget.TextView"
+
+
+class TestPermissionCrashes:
+    def camera_apk(self):
+        builder = ClassBuilder("com.test.app.Cam")
+        method = builder.method("shoot")
+        method.invoke_virtual(
+            "android.hardware.Camera", "open", "()android.hardware.Camera"
+        )
+        method.return_void()
+        builder.finish(method)
+        return make_apk([activity_class(), builder.build()],
+                        min_sdk=19, target_sdk=26,
+                        permissions=("android.permission.CAMERA",))
+
+    def test_denied_on_runtime_device(self, apidb):
+        apk = self.camera_apk()
+        entry = MethodRef("com.test.app.Cam", "shoot", "()void")
+        crash = run_entry(apk, apidb, 24, entry, granted=frozenset())
+        assert crash is not None
+        assert crash.kind is CrashKind.PERMISSION_DENIED
+        assert crash.permission == "android.permission.CAMERA"
+
+    def test_granted_runs_clean(self, apidb):
+        apk = self.camera_apk()
+        entry = MethodRef("com.test.app.Cam", "shoot", "()void")
+        assert run_entry(apk, apidb, 24, entry) is None
+
+    def test_install_time_device_never_denies(self, apidb):
+        apk = self.camera_apk()
+        entry = MethodRef("com.test.app.Cam", "shoot", "()void")
+        assert run_entry(apk, apidb, 22, entry, granted=frozenset()) is None
+
+
+class TestTrampolining:
+    def anonymous_apk(self):
+        listener = ClassBuilder(
+            "com.test.app.Panel$1", interfaces=("java.lang.Runnable",)
+        )
+        run = listener.method("run")
+        run.invoke_virtual(
+            "android.content.Context", "getColorStateList", GCSL_DESC
+        )
+        run.return_void()
+        listener.finish(run)
+        panel = ClassBuilder("com.test.app.Panel")
+        setup = panel.method("setup")
+        setup.sdk_int(0)
+        setup.const_int(1, 23)
+        setup.if_cmp(CmpOp.LT, 0, 1, "skip")
+        setup.new_instance(2, "com.test.app.Panel$1")
+        setup.invoke_virtual(
+            "android.os.Handler", "post", "(java.lang.Runnable)boolean",
+            args=(2,),
+        )
+        setup.label("skip")
+        setup.return_void()
+        panel.finish(setup)
+        return make_apk([activity_class(), listener.build(), panel.build()],
+                        min_sdk=19)
+
+    def test_guarded_registration_never_crashes(self, apidb):
+        apk = self.anonymous_apk()
+        entry = MethodRef("com.test.app.Panel", "setup", "()void")
+        # Below 23 the listener is never posted; at/above 23 the API
+        # exists.  No level crashes: the static FP is dynamically
+        # refutable.
+        for level in (19, 21, 22, 23, 26):
+            assert run_entry(apk, apidb, level, entry) is None, level
+
+    def test_unguarded_registration_crashes_via_trampoline(self, apidb):
+        listener = ClassBuilder(
+            "com.test.app.Bad$1", interfaces=("java.lang.Runnable",)
+        )
+        run = listener.method("run")
+        run.invoke_virtual(
+            "android.content.Context", "getColorStateList", GCSL_DESC
+        )
+        run.return_void()
+        listener.finish(run)
+        bad = ClassBuilder("com.test.app.Bad")
+        setup = bad.method("setup")
+        setup.new_instance(0, "com.test.app.Bad$1")
+        setup.invoke_virtual(
+            "android.os.Handler", "post", "(java.lang.Runnable)boolean",
+            args=(0,),
+        )
+        setup.return_void()
+        bad.finish(setup)
+        apk = make_apk([activity_class(), listener.build(), bad.build()],
+                       min_sdk=19)
+        crash = run_entry(
+            apk, apidb, 19,
+            MethodRef("com.test.app.Bad", "setup", "()void"),
+        )
+        assert crash is not None
+        assert crash.location.class_name == "com.test.app.Bad$1"
+
+
+class TestBudgets:
+    def test_infinite_loop_hits_budget(self, apidb):
+        builder = ClassBuilder("com.test.app.Spin")
+        method = builder.method("forever")
+        method.label("top")
+        method.const_int(0, 1)
+        method.goto("top")
+        builder.finish(method)
+        apk = make_apk([activity_class(), builder.build()])
+        device = DeviceProfile(api_level=23)
+        interpreter = Interpreter(
+            apk, apidb, device, max_steps=1000
+        )
+        with pytest.raises(ExecutionBudgetExceeded):
+            interpreter.run(
+                MethodRef("com.test.app.Spin", "forever", "()void")
+            )
+
+    def test_recursion_hits_budget(self, apidb):
+        builder = ClassBuilder("com.test.app.Rec")
+        method = builder.method("loop")
+        method.invoke_virtual("com.test.app.Rec", "loop")
+        method.return_void()
+        builder.finish(method)
+        apk = make_apk([activity_class(), builder.build()])
+        device = DeviceProfile(api_level=23)
+        interpreter = Interpreter(apk, apidb, device, max_depth=10)
+        with pytest.raises(ExecutionBudgetExceeded):
+            interpreter.run(
+                MethodRef("com.test.app.Rec", "loop", "()void")
+            )
+
+    def test_app_throw_is_a_crash(self, apidb):
+        builder = ClassBuilder("com.test.app.Thrower")
+        method = builder.method("boom")
+        method.new_instance(0, "java.lang.RuntimeException")
+        method.throw(0)
+        builder.finish(method)
+        apk = make_apk([activity_class(), builder.build()])
+        crash = run_entry(
+            apk, apidb, 23,
+            MethodRef("com.test.app.Thrower", "boom", "()void"),
+        )
+        assert crash is not None
+        assert crash.kind is CrashKind.APP_THROW
+
+
+class TestHelperGuards:
+    def helper_apk(self):
+        utils = ClassBuilder("com.test.app.VersionUtils")
+        helper = utils.method("isAtLeastM", "()boolean")
+        helper.sdk_int(0)
+        helper.const_int(1, 23)
+        helper.if_cmp(CmpOp.LT, 0, 1, "no")
+        helper.const_int(2, 1)
+        helper.return_value(2)
+        helper.label("no")
+        helper.const_int(2, 0)
+        helper.return_value(2)
+        utils.finish(helper)
+
+        gate = ClassBuilder("com.test.app.Gate")
+        method = gate.method("applyFeature")
+        method.invoke_virtual(
+            "com.test.app.VersionUtils", "isAtLeastM", "()boolean"
+        )
+        method.move_result(0)
+        method.if_cmpz(CmpOp.EQ, 0, "skip")
+        method.invoke_virtual(
+            "android.content.Context", "getColorStateList", GCSL_DESC
+        )
+        method.label("skip")
+        method.return_void()
+        gate.finish(method)
+        return make_apk([activity_class(), utils.build(), gate.build()],
+                        min_sdk=19)
+
+    def test_helper_guard_respected_at_runtime(self, apidb):
+        apk = self.helper_apk()
+        entry = MethodRef("com.test.app.Gate", "applyFeature", "()void")
+        # Below 23 the helper returns false and the call never runs;
+        # at 23+ the API exists.  No crash at any level.
+        for level in (19, 21, 22, 23, 26, 29):
+            assert run_entry(apk, apidb, level, entry) is None, level
+
+    def test_inverted_helper_crashes_where_expected(self, apidb):
+        utils = ClassBuilder("com.test.app.BadUtils")
+        helper = utils.method("isLegacy", "()boolean")
+        helper.sdk_int(0)
+        helper.const_int(1, 23)
+        helper.if_cmp(CmpOp.GE, 0, 1, "no")
+        helper.const_int(2, 1)
+        helper.return_value(2)
+        helper.label("no")
+        helper.const_int(2, 0)
+        helper.return_value(2)
+        utils.finish(helper)
+
+        gate = ClassBuilder("com.test.app.BadGate")
+        method = gate.method("applyFeature")
+        method.invoke_virtual(
+            "com.test.app.BadUtils", "isLegacy", "()boolean"
+        )
+        method.move_result(0)
+        method.if_cmpz(CmpOp.EQ, 0, "skip")
+        # Developer inverted the check: calls the new API on LEGACY.
+        method.invoke_virtual(
+            "android.content.Context", "getColorStateList", GCSL_DESC
+        )
+        method.label("skip")
+        method.return_void()
+        gate.finish(method)
+        apk = make_apk([activity_class(), utils.build(), gate.build()],
+                       min_sdk=19)
+        entry = MethodRef("com.test.app.BadGate", "applyFeature", "()void")
+        crash = run_entry(apk, apidb, 20, entry)
+        assert crash is not None  # legacy device takes the broken path
+        assert run_entry(apk, apidb, 24, entry) is None

@@ -1,0 +1,122 @@
+"""Tests for accuracy scoring."""
+
+import pytest
+
+from repro.analysis.intervals import ApiInterval
+from repro.core.detector import AnalysisReport
+from repro.core.metrics import AnalysisMetrics
+from repro.core.mismatch import Mismatch, MismatchKind
+from repro.eval.accuracy import (
+    ConfusionCounts,
+    KIND_GROUPS,
+    score_app,
+    score_apps,
+)
+from repro.ir.types import MethodRef
+from repro.workload.groundtruth import GroundTruth, SeededIssue, Trait
+
+
+def mismatch(caller="com.app.C", api="android.x.A"):
+    return Mismatch(
+        kind=MismatchKind.API_INVOCATION,
+        app="App",
+        location=MethodRef(caller, "m"),
+        subject=MethodRef(api, "f", "()void"),
+        missing_levels=ApiInterval.of(14, 22),
+    )
+
+
+def truth_with(*keys):
+    truth = GroundTruth(app="App")
+    for key in keys:
+        truth.issues.append(
+            SeededIssue(key=key, kind=key[0], trait=Trait.DIRECT)
+        )
+    return truth
+
+
+def report_with(*mismatches, failed=False):
+    metrics = AnalysisMetrics(tool="T", app="App")
+    metrics.failed = failed
+    return AnalysisReport(
+        app="App", tool="T", mismatches=list(mismatches), metrics=metrics
+    )
+
+
+class TestConfusionCounts:
+    def test_metrics(self):
+        counts = ConfusionCounts(tp=8, fp=2, fn=2)
+        assert counts.precision == 0.8
+        assert counts.recall == 0.8
+        assert counts.f1 == pytest.approx(0.8)
+
+    def test_zero_division(self):
+        empty = ConfusionCounts()
+        assert empty.precision == 0.0
+        assert empty.recall == 0.0
+        assert empty.f1 == 0.0
+
+    def test_add(self):
+        a = ConfusionCounts(1, 2, 3)
+        a.add(ConfusionCounts(4, 5, 6))
+        assert (a.tp, a.fp, a.fn) == (5, 7, 9)
+
+
+class TestScoreApp:
+    def test_true_positive(self):
+        m = mismatch()
+        truth = truth_with(m.key)
+        counts = score_app(report_with(m), truth, ("API",))
+        assert (counts.tp, counts.fp, counts.fn) == (1, 0, 0)
+
+    def test_false_positive(self):
+        counts = score_app(
+            report_with(mismatch()), truth_with(), ("API",)
+        )
+        assert (counts.tp, counts.fp, counts.fn) == (0, 1, 0)
+
+    def test_false_negative(self):
+        counts = score_app(
+            report_with(), truth_with(mismatch().key), ("API",)
+        )
+        assert (counts.tp, counts.fp, counts.fn) == (0, 0, 1)
+
+    def test_kind_filter(self):
+        apc_key = ("APC", "App", "com.app.Hook", "onFoo()void")
+        truth = truth_with(mismatch().key, apc_key)
+        counts = score_app(report_with(mismatch()), truth, ("API",))
+        assert (counts.tp, counts.fn) == (1, 0)  # APC key out of scope
+
+    def test_failed_run_counts_truth_as_fn(self):
+        m = mismatch()
+        counts = score_app(
+            report_with(m, failed=True), truth_with(m.key), ("API",)
+        )
+        assert (counts.tp, counts.fp, counts.fn) == (0, 0, 1)
+
+
+class TestScoreApps:
+    def test_aggregation_and_groups(self):
+        m1, m2 = mismatch("com.app.A"), mismatch("com.app.B")
+        pairs = [
+            (report_with(m1), truth_with(m1.key)),
+            (report_with(m2), truth_with()),  # an FP
+        ]
+        accuracy = score_apps("T", pairs)
+        assert accuracy.group("API").tp == 1
+        assert accuracy.group("API").fp == 1
+        assert accuracy.group("ALL").tp == 1
+        assert accuracy.failed_apps == []
+
+    def test_failed_apps_recorded(self):
+        pairs = [(report_with(failed=True), truth_with())]
+        accuracy = score_apps("T", pairs)
+        assert accuracy.failed_apps == ["App"]
+
+    def test_kind_groups_cover_all_kinds(self):
+        flattened = {
+            kind for kinds in KIND_GROUPS.values() for kind in kinds
+        }
+        assert flattened == {
+            "API", "APC", "PRM-request", "PRM-revocation"
+        }

@@ -1,0 +1,117 @@
+"""Tests for the framework catalog: curated real facts and bulk
+generation determinism."""
+
+from repro.framework.catalog import (
+    build_spec,
+    bulk_histories,
+    curated_histories,
+    default_spec,
+)
+
+
+class TestCuratedFacts:
+    """Documented Android API facts the benchmarks rely on."""
+
+    def test_get_color_state_list_introduced_at_23(self, spec):
+        signature = (
+            "getColorStateList(int)android.content.res.ColorStateList"
+        )
+        assert not spec.method_exists("android.content.Context", signature, 22)
+        assert spec.method_exists("android.content.Context", signature, 23)
+
+    def test_activity_inherits_context_api(self, spec):
+        signature = (
+            "getColorStateList(int)android.content.res.ColorStateList"
+        )
+        assert spec.method_exists("android.app.Activity", signature, 23)
+
+    def test_get_fragment_manager_introduced_at_11(self, spec):
+        signature = "getFragmentManager()android.app.FragmentManager"
+        assert not spec.method_exists("android.app.Activity", signature, 10)
+        assert spec.method_exists("android.app.Activity", signature, 11)
+
+    def test_fragment_on_attach_context_at_23(self, spec):
+        signature = "onAttach(android.content.Context)void"
+        assert not spec.method_exists("android.app.Fragment", signature, 22)
+        assert spec.method_exists("android.app.Fragment", signature, 23)
+
+    def test_drawable_hotspot_changed_at_21(self, spec):
+        signature = "drawableHotspotChanged(float,float)void"
+        assert not spec.method_exists("android.view.View", signature, 20)
+        assert spec.method_exists("android.view.View", signature, 21)
+
+    def test_apache_http_removed_at_23(self, spec):
+        signature = (
+            "execute(org.apache.http.HttpRequest)org.apache.http.HttpResponse"
+        )
+        owner = "org.apache.http.client.HttpClient"
+        assert spec.method_exists(owner, signature, 22)
+        assert not spec.method_exists(owner, signature, 23)
+
+    def test_runtime_permission_protocol_at_23(self, spec):
+        request = "requestPermissions(java.lang.String[],int)void"
+        result = "onRequestPermissionsResult(int,java.lang.String[],int[])void"
+        assert not spec.method_exists("android.app.Activity", request, 22)
+        assert spec.method_exists("android.app.Activity", request, 23)
+        assert spec.method_exists("android.app.Activity", result, 23)
+
+    def test_notification_builder_get_notification_removed_at_16(self, spec):
+        signature = "getNotification()android.app.Notification"
+        owner = "android.app.Notification$Builder"
+        assert spec.method_exists(owner, signature, 15)
+        assert not spec.method_exists(owner, signature, 16)
+
+    def test_camera_requires_camera_permission(self, spec):
+        history = spec.find_method(
+            "android.hardware.Camera", "open()android.hardware.Camera"
+        )
+        assert "android.permission.CAMERA" in history.permissions
+
+    def test_geocoder_calls_location_manager(self, spec):
+        history = spec.find_method(
+            "android.location.Geocoder",
+            "getFromLocation(double,double,int)java.util.List",
+        )
+        assert not history.permissions  # enforcement is deeper
+        assert any(
+            callee.class_name == "android.location.LocationManager"
+            for callee in history.calls
+        )
+
+    def test_curated_histories_have_unique_names(self):
+        names = [h.name for h in curated_histories()]
+        assert len(names) == len(set(names))
+
+
+class TestBulkGeneration:
+    def test_deterministic_for_seed(self):
+        first = bulk_histories(count=40, seed=7)
+        second = bulk_histories(count=40, seed=7)
+        assert [h.name for h in first] == [h.name for h in second]
+        assert first == second
+
+    def test_different_seeds_differ(self):
+        a = bulk_histories(count=40, seed=1)
+        b = bulk_histories(count=40, seed=2)
+        assert [h.name for h in a] != [h.name for h in b]
+
+    def test_count_respected(self):
+        assert len(bulk_histories(count=25, seed=0)) == 25
+
+    def test_some_callbacks_and_permissions_exist(self):
+        histories = bulk_histories(count=300, seed=3)
+        callbacks = sum(
+            1 for h in histories for m in h.methods if m.callback
+        )
+        enforcing = sum(
+            1 for h in histories for m in h.methods if m.permissions
+        )
+        assert callbacks > 0
+        assert enforcing > 0
+
+    def test_small_spec_validates(self):
+        spec = build_spec(bulk_classes=50, seed=11)
+        assert len(spec) > 50  # curated + bulk
+
+    def test_default_spec_is_cached(self):
+        assert default_spec() is default_spec()

@@ -1,0 +1,76 @@
+"""Tests for the permission model."""
+
+from repro.framework.permissions import (
+    DANGEROUS_PERMISSIONS,
+    PERMISSION_GROUPS,
+    PermissionMap,
+    is_dangerous,
+)
+from repro.ir.types import MethodRef
+
+
+class TestDangerousPermissions:
+    def test_paper_count_of_26(self):
+        assert len(DANGEROUS_PERMISSIONS) == 26
+
+    def test_no_duplicates(self):
+        assert len(set(DANGEROUS_PERMISSIONS)) == len(DANGEROUS_PERMISSIONS)
+
+    def test_nine_groups(self):
+        assert len(PERMISSION_GROUPS) == 9
+
+    def test_classification(self):
+        assert is_dangerous("android.permission.CAMERA")
+        assert is_dangerous("android.permission.WRITE_EXTERNAL_STORAGE")
+        assert not is_dangerous("android.permission.INTERNET")
+        assert not is_dangerous("android.permission.VIBRATE")
+
+    def test_groups_cover_flat_list(self):
+        flattened = {
+            p for group in PERMISSION_GROUPS.values() for p in group
+        }
+        assert flattened == set(DANGEROUS_PERMISSIONS)
+
+
+class TestPermissionMap:
+    def test_deep_vs_direct(self):
+        api = MethodRef("android.x.A", "m")
+        pmap = PermissionMap(
+            direct={},
+            transitive={api: frozenset({"android.permission.CAMERA"})},
+        )
+        assert pmap.permissions_for(api, deep=True)
+        assert not pmap.permissions_for(api, deep=False)
+
+    def test_dangerous_filter(self):
+        api = MethodRef("android.x.A", "m")
+        pmap = PermissionMap(
+            direct={},
+            transitive={
+                api: frozenset(
+                    {
+                        "android.permission.CAMERA",
+                        "android.permission.INTERNET",
+                    }
+                )
+            },
+        )
+        assert pmap.dangerous_permissions_for(api) == frozenset(
+            {"android.permission.CAMERA"}
+        )
+
+    def test_add_direct_merges(self):
+        api = MethodRef("android.x.A", "m")
+        pmap = PermissionMap()
+        pmap.add_direct(api, frozenset({"a"}))
+        pmap.add_direct(api, frozenset({"b"}))
+        assert pmap.direct[api] == frozenset({"a", "b"})
+
+    def test_add_direct_ignores_empty(self):
+        pmap = PermissionMap()
+        pmap.add_direct(MethodRef("android.x.A", "m"), frozenset())
+        assert not pmap.direct
+
+    def test_unmapped_method_is_empty(self):
+        pmap = PermissionMap()
+        assert pmap.permissions_for(MethodRef("android.x.A", "m")) == frozenset()

@@ -1,0 +1,50 @@
+"""Tests for the versioned framework repository."""
+
+import pytest
+
+from repro.framework.repository import FrameworkRepository
+
+
+class TestFrameworkRepository:
+    def test_lazy_class_lookup(self, framework):
+        clazz = framework.load_class("android.app.Activity", 23)
+        assert clazz is not None
+        assert clazz.name == "android.app.Activity"
+
+    def test_lookup_is_cached(self, framework):
+        first = framework.load_class("android.view.View", 21)
+        second = framework.load_class("android.view.View", 21)
+        assert first is second
+
+    def test_absent_class_is_none_and_cached(self, framework):
+        assert framework.load_class("android.app.Fragment", 10) is None
+        assert framework.load_class("android.app.Fragment", 10) is None
+
+    def test_level_bounds_enforced(self, framework):
+        with pytest.raises(ValueError):
+            framework.load_class("android.app.Activity", 1)
+        with pytest.raises(ValueError):
+            framework.load_class("android.app.Activity", 30)
+        with pytest.raises(ValueError):
+            framework.load_image(0)
+
+    def test_owns_vs_defines(self, framework):
+        assert framework.owns("android.future.Unknown")
+        assert not framework.defines("android.future.Unknown")
+        assert framework.defines("android.app.Activity")
+        assert not framework.owns("com.example.app.Main")
+
+    def test_image_has_every_alive_class(self, framework):
+        image = framework.load_image(23)
+        assert set(image) == set(framework.class_names(23))
+
+    def test_image_grows_with_level_mostly(self, framework):
+        # Platform growth dominates removals across the modeled range.
+        assert framework.image_class_count(29) > framework.image_class_count(5)
+
+    def test_image_instruction_count_positive(self, framework):
+        assert framework.image_instruction_count(23) > 10_000
+
+    def test_default_spec_used_when_none_given(self):
+        repo = FrameworkRepository()
+        assert repo.defines("android.app.Activity")

@@ -1,0 +1,158 @@
+"""End-to-end reproductions of the concrete findings reported in the
+paper's RQ2 discussion (section V-B)."""
+
+import pytest
+
+from repro.core import SaintDroid
+from repro.core.mismatch import MismatchKind
+from repro.ir.builder import ClassBuilder
+
+from tests.conftest import activity_class, make_apk
+
+
+@pytest.fixture(scope="module")
+def detector(framework, apidb):
+    return SaintDroid(framework, apidb)
+
+
+class TestOfflineCalendar:
+    """Offline Calendar: getFragmentManager() (API 11) invoked from
+    PreferencesActivity.onCreate with minSdkVersion 8."""
+
+    def test_invocation_mismatch_on_levels_8_to_10(self, detector):
+        builder = ClassBuilder(
+            "org.sufficientlysecure.localcalendar.PreferencesActivity",
+            super_name="android.preference.PreferenceActivity",
+        )
+        method = builder.method("onCreate", "(android.os.Bundle)void")
+        method.invoke_virtual(
+            "org.sufficientlysecure.localcalendar.PreferencesActivity",
+            "getFragmentManager", "()android.app.FragmentManager",
+        )
+        method.return_void()
+        builder.finish(method)
+        apk = make_apk(
+            [builder.build()],
+            package="org.sufficientlysecure.localcalendar",
+            label="Offline Calendar",
+            min_sdk=8, target_sdk=21,
+        )
+        report = detector.analyze(apk)
+        api = [m for m in report.mismatches
+               if m.kind is MismatchKind.API_INVOCATION]
+        assert len(api) == 1
+        assert api[0].subject.name == "getFragmentManager"
+        assert (api[0].missing_levels.lo, api[0].missing_levels.hi) == (8, 10)
+
+    def test_fix_by_raising_min_sdk(self, detector):
+        builder = ClassBuilder(
+            "org.sufficientlysecure.localcalendar.PreferencesActivity",
+            super_name="android.preference.PreferenceActivity",
+        )
+        method = builder.method("onCreate", "(android.os.Bundle)void")
+        method.invoke_virtual(
+            "org.sufficientlysecure.localcalendar.PreferencesActivity",
+            "getFragmentManager", "()android.app.FragmentManager",
+        )
+        method.return_void()
+        builder.finish(method)
+        apk = make_apk(
+            [builder.build()],
+            package="org.sufficientlysecure.localcalendar",
+            min_sdk=11, target_sdk=21,
+        )
+        assert detector.analyze(apk).by_kind().get("API", 0) == 0
+
+
+class TestFosdemApp:
+    """FOSDEM companion: ForegroundLinearLayout overrides
+    View.drawableHotspotChanged (API 21) with minSdkVersion 15."""
+
+    def layout_class(self):
+        builder = ClassBuilder(
+            "be.digitalia.fosdem.widgets.ForegroundLinearLayout",
+            super_name="android.widget.LinearLayout",
+        )
+        builder.empty_method("drawableHotspotChanged", "(float,float)void")
+        return builder.build()
+
+    def test_callback_mismatch_on_15_to_20(self, detector):
+        apk = make_apk(
+            [activity_class("be.digitalia.fosdem"), self.layout_class()],
+            package="be.digitalia.fosdem",
+            label="FOSDEM",
+            min_sdk=15, target_sdk=25,
+        )
+        report = detector.analyze(apk)
+        apc = [m for m in report.mismatches
+               if m.kind is MismatchKind.API_CALLBACK]
+        assert len(apc) == 1
+        assert apc[0].subject.class_name == "android.view.View"
+        assert (apc[0].missing_levels.lo, apc[0].missing_levels.hi) == (15, 20)
+
+    def test_fix_by_raising_min_sdk(self, detector):
+        apk = make_apk(
+            [activity_class("be.digitalia.fosdem"), self.layout_class()],
+            package="be.digitalia.fosdem",
+            min_sdk=21, target_sdk=25,
+        )
+        assert detector.analyze(apk).by_kind().get("APC", 0) == 0
+
+
+class TestKolabNotes:
+    """Kolab Notes: targets API 26, uses WRITE_EXTERNAL_STORAGE (via
+    MediaStore insertImage) without the runtime request protocol."""
+
+    def test_permission_request_mismatch(self, detector):
+        builder = ClassBuilder("org.kore.kolabnotes.android.Exporter")
+        method = builder.method("saveToSdCard")
+        method.invoke_virtual(
+            "android.provider.MediaStore$Images$Media", "insertImage",
+            "(android.content.ContentResolver,android.graphics.Bitmap,"
+            "java.lang.String,java.lang.String)java.lang.String",
+        )
+        method.return_void()
+        builder.finish(method)
+        apk = make_apk(
+            [activity_class("org.kore.kolabnotes.android"),
+             builder.build()],
+            package="org.kore.kolabnotes.android",
+            label="Kolab Notes",
+            min_sdk=16, target_sdk=26,
+            permissions=("android.permission.WRITE_EXTERNAL_STORAGE",),
+        )
+        report = detector.analyze(apk)
+        prm = [m for m in report.mismatches
+               if m.kind is MismatchKind.PERMISSION_REQUEST]
+        assert len(prm) == 1
+        assert prm[0].permission == (
+            "android.permission.WRITE_EXTERNAL_STORAGE"
+        )
+
+
+class TestAdAway:
+    """AdAway: targets API 22, uses WRITE_EXTERNAL_STORAGE — revocable
+    when installed on API 23+ devices."""
+
+    def test_permission_revocation_mismatch(self, detector):
+        builder = ClassBuilder("org.adaway.Exporter")
+        method = builder.method("exportHosts")
+        method.invoke_virtual(
+            "android.provider.MediaStore$Images$Media", "insertImage",
+            "(android.content.ContentResolver,android.graphics.Bitmap,"
+            "java.lang.String,java.lang.String)java.lang.String",
+        )
+        method.return_void()
+        builder.finish(method)
+        apk = make_apk(
+            [activity_class("org.adaway"), builder.build()],
+            package="org.adaway",
+            label="AdAway",
+            min_sdk=16, target_sdk=22,
+            permissions=("android.permission.WRITE_EXTERNAL_STORAGE",),
+        )
+        report = detector.analyze(apk)
+        prm = [m for m in report.mismatches
+               if m.kind is MismatchKind.PERMISSION_REVOCATION]
+        assert len(prm) == 1
+        assert prm[0].missing_levels.lo == 23

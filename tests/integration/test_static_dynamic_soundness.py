@@ -1,0 +1,135 @@
+"""Cross-layer soundness: the static guard analysis must
+over-approximate concrete execution.
+
+For randomly generated guarded methods, whenever the interpreter
+actually reaches a call at device level L, the static analysis must
+have included L in that call's executable interval.  (The converse
+need not hold — static analysis is conservative — but an execution
+outside the static interval would be a soundness bug in the guard
+analysis or the interpreter.)
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.guards import guard_at_invocations
+from repro.analysis.intervals import ApiInterval
+from repro.dynamic.device import DeviceProfile
+from repro.dynamic.interpreter import CrashKind, Interpreter
+from repro.ir.builder import ClassBuilder, MethodBuilder
+from repro.ir.instructions import CmpOp
+from repro.ir.types import MethodRef
+
+from tests.conftest import activity_class, make_apk
+
+#: A probe API known to exist at exactly [23, 29]; a MISSING_METHOD
+#: crash below 23 is the tell-tale that the call executed.
+PROBE_CLASS = "android.content.Context"
+PROBE_NAME = "getColorStateList"
+PROBE_DESC = "(int)android.content.res.ColorStateList"
+
+guard_ops = st.sampled_from(
+    [CmpOp.LT, CmpOp.LE, CmpOp.GT, CmpOp.GE, CmpOp.EQ, CmpOp.NE]
+)
+
+
+def random_guarded_method(steps):
+    """Build a method with a random chain of SDK_INT branches around
+    the probe call; returns (method, probe_present)."""
+    builder = MethodBuilder(MethodRef("com.test.app.Rand", "run"))
+    end = "end"
+    for index, (op, constant) in enumerate(steps):
+        builder.sdk_int(index % 4)
+        builder.const_int(4 + index % 4, constant)
+        builder.if_cmp(op, index % 4, 4 + index % 4, end)
+    builder.invoke_virtual(PROBE_CLASS, PROBE_NAME, PROBE_DESC)
+    builder.label(end)
+    builder.return_void()
+    return builder.build()
+
+
+class TestStaticOverApproximatesDynamic:
+    @settings(max_examples=40, deadline=None)
+    @given(
+        steps=st.lists(
+            st.tuples(guard_ops, st.integers(2, 29)),
+            min_size=0,
+            max_size=3,
+        ),
+        min_sdk=st.integers(5, 21),
+    )
+    def test_execution_implies_static_reachability(
+        self, apidb, steps, min_sdk
+    ):
+        method = random_guarded_method(steps)
+        builder = ClassBuilder("com.test.app.Rand")
+        builder.add(method)
+        apk = make_apk(
+            [activity_class(), builder.build()], min_sdk=min_sdk
+        )
+
+        # Static view of the probe call.
+        app_interval = ApiInterval.of(min_sdk, 29)
+        static = [
+            interval
+            for invoke, interval in guard_at_invocations(
+                method, app_interval
+            )
+            if invoke.method.name == PROBE_NAME
+        ]
+        static_interval = static[0] if static else ApiInterval.empty()
+
+        entry = MethodRef("com.test.app.Rand", "run", "()void")
+        for level in range(min_sdk, 23):
+            device = DeviceProfile(api_level=level)
+            crash = Interpreter(apk, apidb, device).run(entry)
+            executed = (
+                crash is not None
+                and crash.kind is CrashKind.MISSING_METHOD
+                and crash.api.name == PROBE_NAME
+            )
+            if executed:
+                assert level in static_interval, (
+                    f"executed at {level} but static interval is "
+                    f"{static_interval} (guards: {steps})"
+                )
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        guard_level=st.integers(3, 29),
+        taken=st.sampled_from([CmpOp.GE, CmpOp.GT, CmpOp.LE, CmpOp.LT]),
+    )
+    def test_single_guard_exactness(self, apidb, guard_level, taken):
+        """With a single clean guard, static and dynamic agree exactly
+        (no over-approximation is *needed*)."""
+        builder = MethodBuilder(MethodRef("com.test.app.One", "run"))
+        builder.sdk_int(0)
+        builder.const_int(1, guard_level)
+        builder.if_cmp(taken.negate(), 0, 1, "skip")
+        builder.invoke_virtual(PROBE_CLASS, PROBE_NAME, PROBE_DESC)
+        builder.label("skip")
+        builder.return_void()
+        method = builder.build()
+        clazz = ClassBuilder("com.test.app.One")
+        clazz.add(method)
+        apk = make_apk([activity_class(), clazz.build()], min_sdk=5)
+
+        static = [
+            interval
+            for invoke, interval in guard_at_invocations(
+                method, ApiInterval.of(5, 29)
+            )
+            if invoke.method.name == PROBE_NAME
+        ]
+        static_interval = static[0] if static else ApiInterval.empty()
+
+        entry = MethodRef("com.test.app.One", "run", "()void")
+        for level in range(5, 23):  # probe missing below 23
+            crash = Interpreter(
+                apk, apidb, DeviceProfile(api_level=level)
+            ).run(entry)
+            executed = crash is not None
+            assert executed == (level in static_interval), (
+                level, static_interval, taken, guard_level,
+            )

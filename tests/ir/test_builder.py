@@ -1,0 +1,124 @@
+"""Unit tests for the fluent IR builders."""
+
+import pytest
+
+from repro.ir.builder import ClassBuilder, MethodBuilder
+from repro.ir.instructions import (
+    CmpOp,
+    ConstInt,
+    IfCmp,
+    Invoke,
+    ReturnVoid,
+    SdkIntLoad,
+)
+from repro.ir.types import MethodRef
+from repro.ir.validate import validate_method
+
+
+def builder(name="run", descriptor="()void"):
+    return MethodBuilder(MethodRef("com.app.Foo", name, descriptor))
+
+
+class TestMethodBuilder:
+    def test_appends_implicit_return(self):
+        method = builder().const_int(0, 1).build()
+        assert isinstance(method.body.instructions[-1], ReturnVoid)
+
+    def test_no_double_return(self):
+        method = builder().return_void().build()
+        returns = [
+            i for i in method.body.instructions if isinstance(i, ReturnVoid)
+        ]
+        assert len(returns) == 1
+
+    def test_labels_resolve(self):
+        b = builder()
+        b.if_cmpz(CmpOp.EQ, 0, "end")
+        b.const_int(0, 1)
+        b.label("end")
+        b.return_void()
+        method = b.build()
+        assert method.body.resolve("end") == 2
+
+    def test_duplicate_label_rejected(self):
+        b = builder().label("x")
+        with pytest.raises(ValueError):
+            b.label("x")
+
+    def test_dangling_label_rejected_at_build(self):
+        b = builder().goto("nowhere")
+        with pytest.raises(KeyError):
+            b.build()
+
+    def test_fresh_labels_unique(self):
+        b = builder()
+        first = b.fresh_label("L")
+        b.label(first)
+        second = b.fresh_label("L")
+        assert first != second
+
+    def test_guarded_call_shape(self):
+        method = builder().guarded_call(
+            23, "android.content.Context", "getColorStateList",
+            "(int)android.content.res.ColorStateList",
+        ).build()
+        instructions = method.body.instructions
+        assert isinstance(instructions[0], SdkIntLoad)
+        assert isinstance(instructions[1], ConstInt)
+        assert instructions[1].value == 23
+        assert isinstance(instructions[2], IfCmp)
+        assert instructions[2].op is CmpOp.LT
+        assert isinstance(instructions[3], Invoke)
+        validate_method(method)
+
+    def test_guarded_call_max_shape(self):
+        method = builder().guarded_call_max(
+            22, "org.apache.http.client.HttpClient", "execute",
+            "(org.apache.http.HttpRequest)org.apache.http.HttpResponse",
+        ).build()
+        branch = method.body.instructions[2]
+        assert isinstance(branch, IfCmp)
+        assert branch.op is CmpOp.GT
+        validate_method(method)
+
+    def test_invoke_helpers_set_kind(self):
+        method = (
+            builder()
+            .invoke_virtual("C", "v")
+            .invoke_static("C", "s")
+            .invoke_direct("C", "d")
+            .invoke_super("C", "p")
+            .build()
+        )
+        kinds = [
+            i.kind.value
+            for i in method.body.instructions
+            if isinstance(i, Invoke)
+        ]
+        assert kinds == [
+            "invoke-virtual", "invoke-static", "invoke-direct",
+            "invoke-super",
+        ]
+
+
+class TestClassBuilder:
+    def test_builds_class_with_methods(self):
+        cb = ClassBuilder("com.app.Foo", super_name="com.app.Base")
+        cb.empty_method("a")
+        cb.empty_method("b", "(int)void")
+        clazz = cb.build()
+        assert clazz.method_count == 2
+        assert clazz.super_name == "com.app.Base"
+
+    def test_rejects_foreign_method(self):
+        cb = ClassBuilder("com.app.Foo")
+        foreign = MethodBuilder(MethodRef("com.app.Bar", "m")).build()
+        with pytest.raises(ValueError):
+            cb.add(foreign)
+
+    def test_method_returns_builder_for_own_class(self):
+        cb = ClassBuilder("com.app.Foo")
+        mb = cb.method("go", "(int)void")
+        assert mb.ref.class_name == "com.app.Foo"
+        cb.finish(mb)
+        assert cb.build().declares("go(int)void")

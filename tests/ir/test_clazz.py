@@ -1,0 +1,84 @@
+"""Unit tests for class definitions."""
+
+import pytest
+
+from repro.ir.builder import ClassBuilder
+from repro.ir.clazz import Clazz, JAVA_LANG_OBJECT
+from repro.ir.instructions import ReturnVoid
+from repro.ir.method import Method, MethodBody
+from repro.ir.types import MethodRef
+
+
+def method_of(class_name, name, descriptor="()void"):
+    return Method(
+        ref=MethodRef(class_name, name, descriptor),
+        body=MethodBody((ReturnVoid(),), {}),
+    )
+
+
+class TestClazz:
+    def test_defaults(self):
+        clazz = Clazz(name="com.app.Foo")
+        assert clazz.super_name == JAVA_LANG_OBJECT
+        assert clazz.origin == "app"
+        assert clazz.method_count == 0
+
+    def test_method_lookup_by_signature(self):
+        clazz = Clazz(
+            name="com.app.Foo",
+            methods=(method_of("com.app.Foo", "bar", "(int)void"),),
+        )
+        assert clazz.method("bar(int)void") is not None
+        assert clazz.method("bar()void") is None
+        assert clazz.declares("bar(int)void")
+
+    def test_duplicate_methods_rejected(self):
+        with pytest.raises(ValueError):
+            Clazz(
+                name="com.app.Foo",
+                methods=(
+                    method_of("com.app.Foo", "bar"),
+                    method_of("com.app.Foo", "bar"),
+                ),
+            )
+
+    def test_foreign_methods_rejected(self):
+        with pytest.raises(ValueError):
+            Clazz(
+                name="com.app.Foo",
+                methods=(method_of("com.app.Other", "bar"),),
+            )
+
+    def test_self_super_rejected(self):
+        with pytest.raises(ValueError):
+            Clazz(name="com.app.Foo", super_name="com.app.Foo")
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ValueError):
+            Clazz(name="")
+
+    def test_anonymous_classification(self):
+        assert Clazz(name="com.app.Foo$1").is_anonymous
+        assert not Clazz(name="com.app.Foo").is_anonymous
+
+    def test_framework_classification(self):
+        assert Clazz(name="android.view.View").is_framework
+        assert not Clazz(name="com.app.View").is_framework
+
+    def test_instruction_count_sums_bodies(self):
+        builder = ClassBuilder("com.app.Foo")
+        method = builder.method("a")
+        method.const_int(0, 1).const_int(1, 2).return_void()
+        builder.finish(method)
+        builder.empty_method("b")
+        clazz = builder.build()
+        # a: 2 consts + return; b: bare return.
+        assert clazz.instruction_count == 4
+
+    def test_supertypes_include_interfaces(self):
+        clazz = Clazz(
+            name="com.app.Foo",
+            super_name="com.app.Base",
+            interfaces=("java.lang.Runnable",),
+        )
+        assert clazz.supertypes == ("com.app.Base", "java.lang.Runnable")

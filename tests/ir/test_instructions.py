@@ -1,0 +1,98 @@
+"""Unit tests for the instruction set."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.ir.instructions import (
+    CmpOp,
+    ConstInt,
+    Goto,
+    IfCmp,
+    IfCmpZero,
+    Invoke,
+    InvokeKind,
+    Nop,
+    Return,
+    ReturnVoid,
+    SdkIntLoad,
+    Throw,
+)
+from repro.ir.types import MethodRef
+
+
+class TestCmpOp:
+    @given(st.integers(-50, 50), st.integers(-50, 50),
+           st.sampled_from(list(CmpOp)))
+    def test_negation_is_logical_complement(self, a, b, op):
+        assert op.evaluate(a, b) != op.negate().evaluate(a, b)
+
+    @given(st.integers(-50, 50), st.integers(-50, 50),
+           st.sampled_from(list(CmpOp)))
+    def test_swap_exchanges_operands(self, a, b, op):
+        assert op.evaluate(a, b) == op.swap().evaluate(b, a)
+
+    def test_negate_is_involution(self):
+        for op in CmpOp:
+            assert op.negate().negate() is op
+
+    def test_swap_is_involution(self):
+        for op in CmpOp:
+            assert op.swap().swap() is op
+
+    def test_evaluate_examples(self):
+        assert CmpOp.LT.evaluate(1, 2)
+        assert not CmpOp.LT.evaluate(2, 2)
+        assert CmpOp.GE.evaluate(2, 2)
+        assert CmpOp.NE.evaluate(1, 2)
+
+
+class TestBranchStructure:
+    def test_if_cmp_targets(self):
+        instr = IfCmp(CmpOp.LT, 0, 1, "skip")
+        assert instr.branch_targets == ("skip",)
+        assert instr.falls_through
+
+    def test_if_cmp_zero_targets(self):
+        instr = IfCmpZero(CmpOp.EQ, 0, "zero")
+        assert instr.branch_targets == ("zero",)
+        assert instr.falls_through
+
+    def test_goto_does_not_fall_through(self):
+        instr = Goto("loop")
+        assert instr.branch_targets == ("loop",)
+        assert not instr.falls_through
+
+    @pytest.mark.parametrize(
+        "instr", [ReturnVoid(), Return(0), Throw(0)]
+    )
+    def test_terminators_do_not_fall_through(self, instr):
+        assert not instr.falls_through
+        assert instr.branch_targets == ()
+
+    @pytest.mark.parametrize(
+        "instr",
+        [ConstInt(0, 1), SdkIntLoad(0), Nop(),
+         Invoke(InvokeKind.VIRTUAL, MethodRef("C", "m"), ())],
+    )
+    def test_straightline_instructions_fall_through(self, instr):
+        assert instr.falls_through
+        assert instr.branch_targets == ()
+
+
+class TestInvoke:
+    def test_carries_method_and_args(self):
+        ref = MethodRef("android.widget.Toast", "show")
+        instr = Invoke(InvokeKind.VIRTUAL, ref, (1, 2))
+        assert instr.method == ref
+        assert instr.args == (1, 2)
+
+    def test_kinds(self):
+        assert InvokeKind.STATIC.value == "invoke-static"
+        assert len(InvokeKind) == 5
+
+    def test_instructions_are_hashable_values(self):
+        a = ConstInt(0, 5)
+        b = ConstInt(0, 5)
+        assert a == b
+        assert hash(a) == hash(b)

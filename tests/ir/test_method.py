@@ -1,0 +1,117 @@
+"""Unit tests for methods and method bodies."""
+
+import pytest
+
+from repro.ir.instructions import (
+    ConstInt,
+    Goto,
+    IfCmp,
+    CmpOp,
+    Invoke,
+    InvokeKind,
+    Nop,
+    ReturnVoid,
+)
+from repro.ir.method import Method, MethodBody, MethodFlags
+from repro.ir.types import MethodRef
+
+
+def body(*instructions, labels=None):
+    return MethodBody(tuple(instructions), dict(labels or {}))
+
+
+class TestMethodBody:
+    def test_label_resolution(self):
+        b = body(Nop(), ReturnVoid(), labels={"end": 1})
+        assert b.resolve("end") == 1
+
+    def test_undefined_label_raises(self):
+        b = body(ReturnVoid())
+        with pytest.raises(KeyError):
+            b.resolve("nowhere")
+
+    def test_label_outside_body_rejected(self):
+        with pytest.raises(ValueError):
+            body(ReturnVoid(), labels={"far": 5})
+
+    def test_successors_fall_through(self):
+        b = body(Nop(), ReturnVoid())
+        assert b.successors(0) == (1,)
+
+    def test_successors_terminator(self):
+        b = body(Nop(), ReturnVoid())
+        assert b.successors(1) == ()
+
+    def test_successors_branch_and_fall_through(self):
+        b = body(
+            IfCmp(CmpOp.LT, 0, 1, "end"),
+            Nop(),
+            ReturnVoid(),
+            labels={"end": 2},
+        )
+        assert set(b.successors(0)) == {1, 2}
+
+    def test_successors_goto(self):
+        b = body(Goto("top"), ReturnVoid(), labels={"top": 1})
+        assert b.successors(0) == (1,)
+
+    def test_invocations_in_order(self):
+        first = Invoke(InvokeKind.VIRTUAL, MethodRef("C", "a"), ())
+        second = Invoke(InvokeKind.STATIC, MethodRef("C", "b"), ())
+        b = body(first, Nop(), second, ReturnVoid())
+        assert b.invocations == (first, second)
+
+    def test_terminates(self):
+        assert body(ReturnVoid()).terminates
+        assert body(Goto("x"), labels={"x": 0}).terminates
+        assert not body(Nop()).terminates
+        assert not MethodBody((), {}).terminates
+
+
+class TestMethod:
+    def test_carries_identity(self):
+        ref = MethodRef("com.app.Foo", "bar", "(int)void")
+        method = Method(ref=ref, body=body(ReturnVoid()))
+        assert method.class_name == "com.app.Foo"
+        assert method.name == "bar"
+        assert method.descriptor == "(int)void"
+        assert method.signature == "bar(int)void"
+
+    def test_abstract_methods_cannot_carry_code(self):
+        ref = MethodRef("com.app.Foo", "bar")
+        with pytest.raises(ValueError):
+            Method(
+                ref=ref,
+                flags=MethodFlags.ABSTRACT,
+                body=body(ReturnVoid()),
+            )
+
+    def test_abstract_method_without_body(self):
+        method = Method(
+            ref=MethodRef("com.app.Foo", "bar"),
+            flags=MethodFlags.ABSTRACT,
+            body=None,
+        )
+        assert method.is_abstract
+        assert not method.has_code
+        assert method.invocations == ()
+
+    def test_static_flag(self):
+        method = Method(
+            ref=MethodRef("C", "m"),
+            flags=MethodFlags.STATIC,
+            body=body(ReturnVoid()),
+        )
+        assert method.is_static
+
+    def test_flags_combine(self):
+        flags = MethodFlags.STATIC | MethodFlags.SYNTHETIC
+        assert flags & MethodFlags.STATIC
+        assert flags & MethodFlags.SYNTHETIC
+        assert not flags & MethodFlags.ABSTRACT
+
+    def test_has_code(self):
+        with_code = Method(
+            ref=MethodRef("C", "m"), body=body(ConstInt(0, 1), ReturnVoid())
+        )
+        assert with_code.has_code

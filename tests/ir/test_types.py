@@ -1,0 +1,120 @@
+"""Unit tests for repro.ir.types."""
+
+import pytest
+
+from repro.ir.types import (
+    FieldRef,
+    MethodRef,
+    SDK_INT_FIELD,
+    is_anonymous_class,
+    is_framework_class,
+    outer_class,
+    package_of,
+    simple_name,
+)
+
+
+class TestMethodRef:
+    def test_basic_fields(self):
+        ref = MethodRef("com.app.Foo", "bar", "(int)void")
+        assert ref.class_name == "com.app.Foo"
+        assert ref.name == "bar"
+        assert ref.descriptor == "(int)void"
+
+    def test_signature_combines_name_and_descriptor(self):
+        ref = MethodRef("com.app.Foo", "bar", "(int)void")
+        assert ref.signature == "bar(int)void"
+
+    def test_equality_distinguishes_overloads(self):
+        a = MethodRef("com.app.Foo", "bar", "(int)void")
+        b = MethodRef("com.app.Foo", "bar", "(long)void")
+        assert a != b
+        assert len({a, b}) == 2
+
+    def test_requires_class_name(self):
+        with pytest.raises(ValueError):
+            MethodRef("", "bar")
+
+    def test_requires_method_name(self):
+        with pytest.raises(ValueError):
+            MethodRef("com.app.Foo", "")
+
+    def test_descriptor_must_be_parenthesized(self):
+        with pytest.raises(ValueError):
+            MethodRef("com.app.Foo", "bar", "int)void")
+
+    def test_arity(self):
+        assert MethodRef("C", "m", "()void").arity == 0
+        assert MethodRef("C", "m", "(int)void").arity == 1
+        assert MethodRef("C", "m", "(int,long,java.lang.String)void").arity == 3
+
+    def test_return_type(self):
+        assert MethodRef("C", "m", "()void").return_type == "void"
+        assert MethodRef("C", "m", "(int)boolean").return_type == "boolean"
+
+    def test_is_framework(self):
+        assert MethodRef("android.app.Activity", "onCreate").is_framework
+        assert not MethodRef("com.app.Main", "onCreate").is_framework
+
+    def test_hashable(self):
+        assert hash(MethodRef("C", "m")) == hash(MethodRef("C", "m"))
+
+
+class TestFieldRef:
+    def test_fields(self):
+        ref = FieldRef("com.app.Foo", "count", "int")
+        assert ref.class_name == "com.app.Foo"
+        assert ref.name == "count"
+        assert ref.type_name == "int"
+
+    def test_requires_names(self):
+        with pytest.raises(ValueError):
+            FieldRef("", "count")
+        with pytest.raises(ValueError):
+            FieldRef("com.app.Foo", "")
+
+    def test_sdk_int_field_constant(self):
+        assert SDK_INT_FIELD.class_name == "android.os.Build$VERSION"
+        assert SDK_INT_FIELD.name == "SDK_INT"
+        assert SDK_INT_FIELD.is_framework
+
+
+class TestNameHelpers:
+    @pytest.mark.parametrize(
+        "name,expected",
+        [
+            ("com.app.Foo$1", True),
+            ("com.app.Foo$12", True),
+            ("com.app.Foo", False),
+            ("com.app.Foo$Inner", False),
+            ("com.app.Foo$Inner$3", True),
+        ],
+    )
+    def test_anonymous_detection(self, name, expected):
+        assert is_anonymous_class(name) is expected
+
+    def test_outer_class(self):
+        assert outer_class("com.app.Foo$1") == "com.app.Foo"
+        assert outer_class("com.app.Foo") == "com.app.Foo"
+
+    def test_package_of(self):
+        assert package_of("com.app.Foo") == "com.app"
+        assert package_of("Foo") == ""
+
+    def test_simple_name(self):
+        assert simple_name("com.app.Foo") == "Foo"
+        assert simple_name("Foo") == "Foo"
+
+    @pytest.mark.parametrize(
+        "name,expected",
+        [
+            ("android.app.Activity", True),
+            ("java.lang.Object", True),
+            ("dalvik.system.DexClassLoader", True),
+            ("org.apache.http.client.HttpClient", True),
+            ("com.example.app.Main", False),
+            ("androidx.core.app.ActivityCompat", False),
+        ],
+    )
+    def test_framework_namespace(self, name, expected):
+        assert is_framework_class(name) is expected

@@ -1,0 +1,65 @@
+"""Unit tests for IR validation."""
+
+import pytest
+
+from repro.ir.builder import ClassBuilder, MethodBuilder
+from repro.ir.clazz import Clazz
+from repro.ir.instructions import ConstInt, Nop, ReturnVoid
+from repro.ir.method import Method, MethodBody
+from repro.ir.types import MethodRef
+from repro.ir.validate import (
+    MAX_REGISTER,
+    ValidationError,
+    validate_class,
+    validate_method,
+)
+
+
+def raw_method(*instructions, labels=None):
+    return Method(
+        ref=MethodRef("com.app.Foo", "m"),
+        body=MethodBody(tuple(instructions), dict(labels or {})),
+    )
+
+
+class TestValidateMethod:
+    def test_accepts_builder_output(self):
+        method = (
+            MethodBuilder(MethodRef("com.app.Foo", "m"))
+            .const_int(0, 1)
+            .guarded_call(23, "android.content.Context", "getDrawable",
+                          "(int)android.graphics.drawable.Drawable")
+            .build()
+        )
+        validate_method(method)  # does not raise
+
+    def test_rejects_fall_off_end(self):
+        with pytest.raises(ValidationError, match="falls off"):
+            validate_method(raw_method(Nop()))
+
+    def test_rejects_register_out_of_range(self):
+        with pytest.raises(ValidationError, match="out of range"):
+            validate_method(
+                raw_method(ConstInt(MAX_REGISTER + 1, 0), ReturnVoid())
+            )
+
+    def test_rejects_negative_register(self):
+        with pytest.raises(ValidationError, match="out of range"):
+            validate_method(raw_method(ConstInt(-1, 0), ReturnVoid()))
+
+    def test_accepts_bodyless_method(self):
+        method = Method(ref=MethodRef("com.app.Foo", "m"), body=None)
+        validate_method(method)  # abstract/native: nothing to check
+
+
+class TestValidateClass:
+    def test_accepts_well_formed_class(self):
+        builder = ClassBuilder("com.app.Foo")
+        builder.empty_method("a")
+        validate_class(builder.build())
+
+    def test_rejects_bad_method_inside_class(self):
+        bad = raw_method(Nop())
+        clazz = Clazz(name="com.app.Foo", methods=(bad,))
+        with pytest.raises(ValidationError):
+            validate_class(clazz)

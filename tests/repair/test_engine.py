@@ -1,0 +1,198 @@
+"""Tests for the repair engine: detect → repair → re-analyze clean."""
+
+import pytest
+
+from repro.core import SaintDroid
+from repro.core.mismatch import MismatchKind
+from repro.dynamic.verifier import DynamicVerifier, Verdict
+from repro.repair.engine import (
+    RepairActionKind,
+    RepairEngine,
+    repair_and_verify,
+)
+from repro.workload.appgen import AppForge
+
+
+@pytest.fixture(scope="module")
+def detector(framework, apidb):
+    return SaintDroid(framework, apidb)
+
+
+@pytest.fixture(scope="module")
+def engine(apidb):
+    return RepairEngine(apidb)
+
+
+def forge(apidb, picker, **kwargs):
+    defaults = dict(min_sdk=19, target_sdk=26, seed=21)
+    defaults.update(kwargs)
+    return AppForge(
+        "com.repair.app", "RepairApp",
+        apidb=apidb, picker=picker, **defaults,
+    )
+
+
+class TestApiRepair:
+    def test_direct_issue_guarded(self, detector, engine, apidb, picker):
+        f = forge(apidb, picker)
+        f.add_direct_issue()
+        result, residual = repair_and_verify(detector, f.build().apk)
+        assert residual == []
+        kinds = [a.kind for a in result.actions]
+        assert kinds == [RepairActionKind.GUARD_INSERTED]
+
+    def test_inherited_issue_guarded(self, detector, engine, apidb, picker):
+        f = forge(apidb, picker)
+        f.add_inherited_issue()
+        _, residual = repair_and_verify(detector, f.build().apk)
+        assert residual == []
+
+    def test_forward_removed_gets_max_guard(
+        self, detector, engine, apidb, picker
+    ):
+        f = forge(apidb, picker, min_sdk=14, target_sdk=22)
+        f.add_forward_removed_issue()
+        result, residual = repair_and_verify(detector, f.build().apk)
+        assert residual == []
+        assert "SDK_INT <=" in result.actions[0].description
+
+    def test_repaired_app_survives_dynamic_execution(
+        self, detector, engine, apidb, picker
+    ):
+        f = forge(apidb, picker)
+        f.add_direct_issue()
+        apk = f.build().apk
+        result, _ = repair_and_verify(detector, apk)
+        verifier = DynamicVerifier(result.repaired, apidb)
+        from repro.dynamic.device import DeviceProfile
+        from repro.framework.permissions import DANGEROUS_PERMISSIONS
+        for level in (19, 21, 25, 29):
+            device = DeviceProfile(
+                api_level=level,
+                granted_permissions=frozenset(DANGEROUS_PERMISSIONS),
+            )
+            crashes = verifier.observed_crashes(device)
+            assert crashes == (), (level, crashes)
+
+    def test_external_code_gets_advisory(self, detector, apidb, picker):
+        f = forge(apidb, picker)
+        f.add_external_dynamic_issue()
+        apk = f.build().apk
+        report = detector.analyze(apk)
+        # The external issue is a FN for the detector; force the
+        # engine to face it by repairing the seeded mismatch directly.
+        from repro.core.mismatch import Mismatch
+        from repro.analysis.intervals import ApiInterval
+        from repro.ir.types import MethodRef
+        issue = f.truth.issues[0]
+        synthetic = Mismatch(
+            kind=MismatchKind.API_INVOCATION,
+            app=apk.name,
+            location=issue.key[2],
+            subject=MethodRef(*issue.key[3]),
+            missing_levels=ApiInterval.of(19, 22),
+        )
+        engine = RepairEngine(apidb)
+        result = engine.repair(apk, report.mismatches + [synthetic])
+        assert any(
+            a.kind is RepairActionKind.ADVISORY
+            and "outside the package" in a.description
+            for a in result.actions
+        )
+
+
+class TestCallbackRepair:
+    def test_callback_gets_advisory_only(self, detector, apidb, picker):
+        f = forge(apidb, picker)
+        issue = f.add_callback_issue(modeled=False)
+        result, residual = repair_and_verify(detector, f.build().apk)
+        assert [m.kind for m in residual] == [MismatchKind.API_CALLBACK]
+        advisories = result.advisories
+        assert len(advisories) == 1
+        assert "minSdkVersion" in advisories[0].description
+
+
+class TestPermissionRepair:
+    def test_request_mismatch_repaired_by_protocol(
+        self, detector, apidb, picker
+    ):
+        f = forge(apidb, picker)
+        f.add_permission_request_issue()
+        result, residual = repair_and_verify(detector, f.build().apk)
+        assert residual == []
+        assert any(
+            a.kind is RepairActionKind.PROTOCOL_SYNTHESIZED
+            for a in result.actions
+        )
+        assert result.repaired.lookup(
+            "com.repair.app.RepairPermissionSupport"
+        ) is not None
+
+    def test_revocation_repaired_by_target_raise(
+        self, detector, apidb, picker
+    ):
+        f = forge(apidb, picker, min_sdk=16, target_sdk=22)
+        f.add_permission_revocation_issue()
+        result, residual = repair_and_verify(detector, f.build().apk)
+        assert residual == []
+        assert result.repaired.manifest.target_sdk >= 23
+        assert any(
+            a.kind is RepairActionKind.TARGET_SDK_RAISED
+            for a in result.actions
+        )
+
+    def test_protocol_added_once(self, detector, apidb, picker):
+        f = forge(apidb, picker)
+        f.add_permission_request_issue()
+        f.add_permission_request_issue()
+        result, residual = repair_and_verify(detector, f.build().apk)
+        assert residual == []
+        support_classes = [
+            c for c in result.repaired.all_classes
+            if c.name.endswith("RepairPermissionSupport")
+        ]
+        assert len(support_classes) == 1
+
+
+class TestMixedRepair:
+    def test_full_pipeline(self, detector, apidb, picker):
+        f = forge(apidb, picker, seed=77)
+        f.add_direct_issue()
+        f.add_inherited_issue()
+        f.add_permission_request_issue()
+        f.add_callback_issue(modeled=True)
+        f.add_filler(kloc=0.5)
+        result, residual = repair_and_verify(detector, f.build().apk)
+        # Only the (unrepairable) callback issue remains.
+        assert [m.kind for m in residual] == [MismatchKind.API_CALLBACK]
+        assert len(result.code_changes) == 3
+
+    def test_original_apk_untouched(self, detector, apidb, picker):
+        f = forge(apidb, picker)
+        f.add_direct_issue()
+        apk = f.build().apk
+        before = apk.instruction_count
+        repair_and_verify(detector, apk)
+        assert apk.instruction_count == before
+
+    def test_clean_app_no_actions(self, detector, engine, apidb, picker):
+        f = forge(apidb, picker)
+        f.add_filler(kloc=0.3)
+        apk = f.build().apk
+        result = engine.repair(apk, [])
+        assert result.actions == []
+        assert result.repaired is apk
+
+
+class TestIdempotence:
+    def test_repairing_repaired_app_is_noop(self, detector, apidb, picker):
+        f = forge(apidb, picker, seed=99)
+        f.add_direct_issue()
+        f.add_permission_request_issue()
+        apk = f.build().apk
+        engine = RepairEngine(apidb)
+        first = engine.repair(apk, detector.analyze(apk).mismatches)
+        second_report = detector.analyze(first.repaired)
+        second = engine.repair(first.repaired, second_report.mismatches)
+        assert second.actions == []
+        assert second.repaired is first.repaired

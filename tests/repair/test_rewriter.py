@@ -1,0 +1,135 @@
+"""Tests for the guard-insertion rewriter."""
+
+import pytest
+
+from repro.analysis.guards import guard_at_invocations
+from repro.analysis.intervals import ApiInterval
+from repro.ir.builder import MethodBuilder
+from repro.ir.instructions import CmpOp
+from repro.ir.types import MethodRef
+from repro.repair.rewriter import (
+    GuardSpec,
+    find_invoke_indices,
+    wrap_invoke_in_guard,
+)
+
+GCSL_DESC = "(int)android.content.res.ColorStateList"
+APP = ApiInterval.of(19, 29)
+
+
+def simple_method():
+    builder = MethodBuilder(MethodRef("com.app.C", "render"))
+    builder.const_int(0, 7)
+    builder.invoke_virtual(
+        "android.content.Context", "getColorStateList", GCSL_DESC
+    )
+    builder.const_int(1, 8)
+    builder.return_void()
+    return builder.build()
+
+
+def call_interval(method):
+    pairs = [
+        (invoke, interval)
+        for invoke, interval in guard_at_invocations(method, APP)
+        if invoke.method.name == "getColorStateList"
+    ]
+    return pairs[0][1] if pairs else None
+
+
+class TestGuardSpec:
+    def test_requires_a_bound(self):
+        with pytest.raises(ValueError):
+            GuardSpec()
+
+    def test_describe(self):
+        assert GuardSpec(min_level=23).describe() == "SDK_INT >= 23"
+        assert GuardSpec(max_level=22).describe() == "SDK_INT <= 22"
+        assert "and" in GuardSpec(min_level=11, max_level=22).describe()
+
+
+class TestFindInvokeIndices:
+    def test_finds_matching_calls(self):
+        method = simple_method()
+        indices = find_invoke_indices(
+            method, "getColorStateList", GCSL_DESC
+        )
+        assert indices == [1]
+
+    def test_no_match(self):
+        assert find_invoke_indices(simple_method(), "nope", "()void") == []
+
+
+class TestWrapInvoke:
+    def test_min_guard_changes_static_interval(self):
+        method = simple_method()
+        assert call_interval(method) == APP
+        repaired = wrap_invoke_in_guard(method, 1, GuardSpec(min_level=23))
+        assert call_interval(repaired) == ApiInterval.of(23, 29)
+
+    def test_max_guard(self):
+        method = simple_method()
+        repaired = wrap_invoke_in_guard(method, 1, GuardSpec(max_level=22))
+        assert call_interval(repaired) == ApiInterval.of(19, 22)
+
+    def test_window_guard(self):
+        method = simple_method()
+        repaired = wrap_invoke_in_guard(
+            method, 1, GuardSpec(min_level=21, max_level=26)
+        )
+        assert call_interval(repaired) == ApiInterval.of(21, 26)
+
+    def test_surrounding_code_preserved(self):
+        method = simple_method()
+        repaired = wrap_invoke_in_guard(method, 1, GuardSpec(min_level=23))
+        # Original 4 instructions + 3 guard instructions.
+        assert len(repaired.body) == len(method.body) + 3
+        assert repaired.ref == method.ref
+
+    def test_existing_labels_remap(self):
+        builder = MethodBuilder(MethodRef("com.app.C", "busy"))
+        builder.sdk_int(0)
+        builder.if_cmpz(CmpOp.GT, 0, "tail")
+        builder.invoke_virtual(
+            "android.content.Context", "getColorStateList", GCSL_DESC
+        )
+        builder.label("tail")
+        builder.const_int(1, 1)
+        builder.return_void()
+        method = builder.build()
+        repaired = wrap_invoke_in_guard(method, 2, GuardSpec(min_level=23))
+        # The branch must still reach the const after the call region.
+        target = repaired.body.resolve("tail")
+        from repro.ir.instructions import ConstInt
+        assert isinstance(repaired.body.instructions[target], ConstInt)
+        assert repaired.body.instructions[target].value == 1
+
+    def test_label_at_call_site_redirected_to_guard(self):
+        builder = MethodBuilder(MethodRef("com.app.C", "jumpy"))
+        builder.goto("call")
+        builder.label("call")
+        builder.invoke_virtual(
+            "android.content.Context", "getColorStateList", GCSL_DESC
+        )
+        builder.return_void()
+        method = builder.build()
+        repaired = wrap_invoke_in_guard(method, 1, GuardSpec(min_level=23))
+        # The jump lands on the guard, not past it.
+        from repro.ir.instructions import SdkIntLoad
+        target = repaired.body.resolve("call")
+        assert isinstance(repaired.body.instructions[target], SdkIntLoad)
+        assert call_interval(repaired) == ApiInterval.of(23, 29)
+
+    def test_rejects_non_invoke_index(self):
+        with pytest.raises(ValueError):
+            wrap_invoke_in_guard(simple_method(), 0, GuardSpec(min_level=23))
+
+    def test_rejects_bodyless_method(self):
+        from repro.ir.method import Method, MethodFlags
+        method = Method(
+            ref=MethodRef("com.app.C", "abs"),
+            flags=MethodFlags.ABSTRACT,
+            body=None,
+        )
+        with pytest.raises(ValueError):
+            wrap_invoke_in_guard(method, 0, GuardSpec(min_level=23))

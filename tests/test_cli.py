@@ -1,0 +1,181 @@
+"""Tests for the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.apk.serialization import save_apk
+from repro.cli import build_parser, main
+from repro.ir.builder import ClassBuilder
+
+from tests.conftest import activity_class, make_apk
+
+
+@pytest.fixture()
+def listing1_path(tmp_path):
+    builder = ClassBuilder("com.test.app.Screen")
+    method = builder.method("render")
+    method.invoke_virtual(
+        "android.content.Context", "getColorStateList",
+        "(int)android.content.res.ColorStateList",
+    )
+    method.return_void()
+    builder.finish(method)
+    apk = make_apk([activity_class(), builder.build()],
+                   min_sdk=21, target_sdk=28)
+    path = tmp_path / "app.sapk"
+    save_apk(apk, path)
+    return path
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_analyze_defaults(self):
+        args = build_parser().parse_args(["analyze", "x.sapk"])
+        assert args.tool == "SAINTDroid"
+        assert not args.eager
+
+
+class TestCommands:
+    def test_analyze_text(self, listing1_path, capsys):
+        assert main(["analyze", str(listing1_path)]) == 0
+        out = capsys.readouterr().out
+        assert "getColorStateList" in out
+        assert "API=1" in out
+
+    def test_analyze_json(self, listing1_path, capsys):
+        assert main(["analyze", str(listing1_path), "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["tool"] == "SAINTDroid"
+        assert payload["mismatches"][0]["kind"] == "API"
+        assert payload["mismatches"][0]["missingLevels"] == [21, 22]
+
+    def test_analyze_with_baseline(self, listing1_path, capsys):
+        assert main(["analyze", str(listing1_path), "--tool", "Lint"]) == 0
+        assert "Lint analysis" in capsys.readouterr().out
+
+    def test_table1(self, capsys):
+        assert main(["table", "1"]) == 0
+        assert "Table I" in capsys.readouterr().out
+
+    def test_table4(self, capsys):
+        assert main(["table", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "SAINTDroid" in out and "CIDER" in out
+
+    def test_figure1(self, capsys):
+        assert main(["figure", "1", "--app-level", "23"]) == 0
+        assert "compatible" in capsys.readouterr().out
+
+    def test_apidb_query(self, capsys):
+        assert main([
+            "apidb", "android.app.Activity",
+            "getColorStateList(int)android.content.res.ColorStateList",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "23..29" in out
+
+    def test_apidb_class_listing(self, capsys):
+        assert main(["apidb", "android.app.Fragment"]) == 0
+        out = capsys.readouterr().out
+        assert "onAttach(android.content.Context)void" in out
+        assert "[callback]" in out
+
+    def test_apidb_unknown_class(self, capsys):
+        assert main(["apidb", "no.such.Class"]) == 1
+
+    def test_gen_bench_writes_files(self, tmp_path, capsys):
+        assert main(["gen-bench", str(tmp_path), "--scale", "0.01"]) == 0
+        sapks = list(tmp_path.glob("*.sapk"))
+        truths = list(tmp_path.glob("*.truth.json"))
+        assert len(sapks) == 19
+        assert len(truths) == 19
+        doc = json.loads(truths[0].read_text())
+        assert "issues" in doc
+
+
+class TestVerifyAndRepairCommands:
+    @pytest.fixture()
+    def buggy_path(self, tmp_path, apidb, picker):
+        from repro.workload.appgen import AppForge
+        forge = AppForge(
+            "com.cli.buggy", "CliBuggy", min_sdk=19, target_sdk=26,
+            seed=8, apidb=apidb, picker=picker,
+        )
+        forge.add_direct_issue()
+        forge.add_anonymous_guard_trap()
+        path = tmp_path / "buggy.sapk"
+        save_apk(forge.build().apk, path)
+        return path
+
+    def test_verify_command(self, buggy_path, capsys):
+        assert main(["verify", str(buggy_path)]) == 0
+        out = capsys.readouterr().out
+        assert "confirmed" in out
+        assert "refuted" in out
+
+    def test_repair_command(self, buggy_path, tmp_path, capsys):
+        output = tmp_path / "fixed.sapk"
+        assert main([
+            "repair", str(buggy_path), str(output), "--check"
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "guard-inserted" in out
+        assert output.exists()
+        assert "re-analysis" in out
+
+
+class TestUpdateImpactCommand:
+    def test_breaking_update_exit_code(self, tmp_path, capsys):
+        from repro.ir import ClassBuilder
+        builder = ClassBuilder("com.cli.net.Net")
+        method = builder.method("fetch")
+        method.invoke_virtual(
+            "org.apache.http.client.HttpClient", "execute",
+            "(org.apache.http.HttpRequest)org.apache.http.HttpResponse",
+        )
+        method.return_void()
+        builder.finish(method)
+        apk = make_apk([activity_class("com.cli.net"), builder.build()],
+                       package="com.cli.net", min_sdk=14, target_sdk=22)
+        path = tmp_path / "net.sapk"
+        save_apk(apk, path)
+        code = main([
+            "update-impact", str(path), "--from", "22", "--to", "23",
+        ])
+        out = capsys.readouterr().out
+        assert code == 2  # behaviour changes
+        assert "BREAKS" in out
+
+    def test_stable_update_exit_code(self, simple_apk, tmp_path, capsys):
+        path = tmp_path / "stable.sapk"
+        save_apk(simple_apk, path)
+        code = main([
+            "update-impact", str(path), "--from", "21", "--to", "26",
+        ])
+        assert code == 0
+        assert "stable" in capsys.readouterr().out
+
+
+class TestDeviceScopeOption:
+    def test_devices_flag_scopes_findings(self, listing1_path, capsys):
+        assert main([
+            "analyze", str(listing1_path), "--devices", "23", "29",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "API=0" in out
+
+
+class TestCliErrorHandling:
+    def test_missing_file(self, capsys):
+        assert main(["analyze", "/no/such/file.sapk"]) == 1
+        assert "no such file" in capsys.readouterr().err
+
+    def test_invalid_package(self, tmp_path, capsys):
+        bad = tmp_path / "bad.sapk"
+        bad.write_text("{not json")
+        assert main(["analyze", str(bad)]) == 1
+        assert "not a valid .sapk" in capsys.readouterr().err

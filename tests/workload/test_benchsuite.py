@@ -1,0 +1,99 @@
+"""Tests for the benchmark-suite replicas: composition anchors from
+the paper and determinism."""
+
+import pytest
+
+from repro.workload.benchsuite import (
+    BENCHMARK_SPECS,
+    CIDER_BENCH,
+    CID_BENCH,
+    build_benchmark_app,
+    build_benchmark_suite,
+)
+from repro.workload.groundtruth import Trait
+
+
+@pytest.fixture(scope="module")
+def suite(apidb):
+    # Small filler scale: composition (not size) is under test here.
+    return build_benchmark_suite(apidb, scale=0.02)
+
+
+class TestComposition:
+    def test_nineteen_apps(self, suite):
+        assert len(suite) == 19
+        assert len(CIDER_BENCH) == 12
+        assert len(CID_BENCH) == 7
+
+    def test_unique_labels_and_packages(self):
+        labels = [s.label for s in BENCHMARK_SPECS]
+        packages = [s.package for s in BENCHMARK_SPECS]
+        assert len(set(labels)) == len(labels)
+        assert len(set(packages)) == len(packages)
+
+    def test_apc_totals_match_paper(self, suite):
+        """42 callback issues in total, 2 of them anonymous (the two
+        SAINTDroid misses reported in the paper)."""
+        apc = [
+            issue
+            for forged in suite
+            for issue in forged.truth.issues_of_kind("APC")
+        ]
+        assert len(apc) == 42
+        anonymous = [
+            i for i in apc if i.trait is Trait.CALLBACK_ANONYMOUS
+        ]
+        assert len(anonymous) == 2
+
+    def test_external_dynamic_issue_count(self, suite):
+        external = [
+            issue
+            for forged in suite
+            for issue in forged.truth.issues_with_trait(
+                Trait.EXTERNAL_DYNAMIC
+            )
+        ]
+        assert len(external) == 4
+
+    def test_cid_dash_apps_carry_secondary_dex(self, suite):
+        by_name = {forged.apk.name: forged for forged in suite}
+        for label in ("AFWall+", "NetworkMonitor", "PassAndroid"):
+            assert by_name[label].apk.secondary_dex_files, label
+        assert not by_name["Padland"].apk.secondary_dex_files
+
+    def test_nyaapantsu_is_unbuildable(self, suite):
+        by_name = {forged.apk.name: forged for forged in suite}
+        assert not by_name["NyaaPantsu"].apk.manifest.buildable
+        others = [f for f in suite if f.apk.name != "NyaaPantsu"]
+        assert all(f.apk.manifest.buildable for f in others)
+
+    def test_sdk_ranges_plausible(self):
+        for spec in BENCHMARK_SPECS:
+            assert 10 <= spec.min_sdk <= 21
+            assert 22 <= spec.target_sdk <= 27
+
+    def test_truth_apps_match_apk_labels(self, suite):
+        for forged in suite:
+            assert forged.truth.app == forged.apk.name
+
+
+class TestDeterminism:
+    def test_same_scale_same_apps(self, apidb):
+        spec = BENCHMARK_SPECS[0]
+        a = build_benchmark_app(spec, apidb, scale=0.02)
+        b = build_benchmark_app(spec, apidb, scale=0.02)
+        assert a.apk == b.apk
+        assert a.truth.issue_keys == b.truth.issue_keys
+
+    def test_scale_changes_size_not_truth(self, apidb):
+        spec = BENCHMARK_SPECS[0]
+        small = build_benchmark_app(spec, apidb, scale=0.02)
+        large = build_benchmark_app(spec, apidb, scale=0.05)
+        assert large.apk.instruction_count > small.apk.instruction_count
+        assert large.truth.issue_keys == small.truth.issue_keys
+
+    def test_suite_filter(self, apidb):
+        cid_only = build_benchmark_suite(
+            apidb, scale=0.02, suites=("CID-Bench",)
+        )
+        assert len(cid_only) == 7

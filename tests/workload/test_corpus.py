@@ -1,0 +1,96 @@
+"""Tests for the calibrated corpus generator."""
+
+import itertools
+
+import pytest
+
+from repro.workload.corpus import CorpusConfig, generate_corpus
+from repro.workload.groundtruth import Trait
+
+
+@pytest.fixture(scope="module")
+def sample(apidb):
+    config = CorpusConfig(count=120, seed=7)
+    return list(generate_corpus(config, apidb))
+
+
+class TestGeneration:
+    def test_count(self, sample):
+        assert len(sample) == 120
+
+    def test_deterministic(self, apidb):
+        config = CorpusConfig(count=10, seed=3)
+        first = [a.forged.apk for a in generate_corpus(config, apidb)]
+        second = [a.forged.apk for a in generate_corpus(config, apidb)]
+        assert first == second
+
+    def test_lazy_generator(self, apidb):
+        config = CorpusConfig(count=10_000, seed=3)
+        head = list(
+            itertools.islice(generate_corpus(config, apidb), 3)
+        )
+        assert len(head) == 3  # did not build 10k apps
+
+    def test_unique_names(self, sample):
+        names = [a.forged.apk.name for a in sample]
+        assert len(set(names)) == len(names)
+
+
+class TestCalibration:
+    """Rates must track the paper's RQ2 statistics (binomial noise at
+    n=120 allows generous tolerances)."""
+
+    def test_modern_target_split(self, sample):
+        modern = sum(1 for a in sample if a.modern_target)
+        assert 0.35 <= modern / len(sample) <= 0.67
+        for app in sample:
+            target = app.forged.apk.manifest.target_sdk
+            assert (target >= 23) == app.modern_target
+
+    def test_api_flagged_fraction(self, sample):
+        flagged = sum(
+            1 for a in sample if a.forged.truth.issues_of_kind("API")
+        )
+        assert 0.26 <= flagged / len(sample) <= 0.58
+
+    def test_apc_flagged_fraction(self, sample):
+        flagged = sum(
+            1 for a in sample if a.forged.truth.issues_of_kind("APC")
+        )
+        assert 0.08 <= flagged / len(sample) <= 0.34
+
+    def test_api_sites_heavy_tail(self, sample):
+        counts = [
+            len(a.forged.truth.issues_of_kind("API"))
+            for a in sample
+            if a.forged.truth.issues_of_kind("API")
+        ]
+        assert max(counts) > 30  # outdated-library pile-ups exist
+
+    def test_prm_rates(self, sample):
+        modern = [a for a in sample if a.modern_target]
+        legacy = [a for a in sample if not a.modern_target]
+        request = sum(
+            1 for a in modern
+            if a.forged.truth.issues_of_kind("PRM-request")
+        )
+        revocation = sum(
+            1 for a in legacy
+            if a.forged.truth.issues_of_kind("PRM-revocation")
+        )
+        assert 0.02 <= request / max(1, len(modern)) <= 0.30
+        assert 0.45 <= revocation / max(1, len(legacy)) <= 0.90
+
+    def test_traps_accompany_flagged_apps(self, sample):
+        flagged = [
+            a for a in sample if a.forged.truth.issues_of_kind("API")
+        ]
+        with_traps = [
+            a for a in flagged
+            if a.forged.truth.traps_with_trait(Trait.TRAP_ANONYMOUS_GUARD)
+        ]
+        assert len(with_traps) >= len(flagged) // 2
+
+    def test_sizes_bounded(self, sample):
+        for app in sample:
+            assert app.forged.apk.dex_kloc <= 90.0

@@ -1,0 +1,99 @@
+"""Tests for ground-truth records and key serialization."""
+
+import pytest
+
+from repro.ir.types import MethodRef
+from repro.workload.groundtruth import (
+    GroundTruth,
+    SeededIssue,
+    SeededTrap,
+    Trait,
+    key_from_json,
+    key_to_json,
+)
+
+
+def api_key():
+    return (
+        "API", "App",
+        MethodRef("com.app.C", "m"),
+        ("android.x.A", "f", "(int)void"),
+    )
+
+
+class TestKeys:
+    def test_json_round_trip_api_key(self):
+        key = api_key()
+        assert key_from_json(key_to_json(key)) == key
+
+    def test_json_round_trip_apc_key(self):
+        key = ("APC", "App", "com.app.Hook", "onAttach()void")
+        assert key_from_json(key_to_json(key)) == key
+
+    def test_json_round_trip_prm_key(self):
+        key = ("PRM-request", "App", "android.permission.CAMERA")
+        assert key_from_json(key_to_json(key)) == key
+
+    def test_encoded_form_is_json_safe(self):
+        import json
+        json.dumps(key_to_json(api_key()))  # must not raise
+
+
+class TestGroundTruth:
+    def build(self):
+        truth = GroundTruth(app="App")
+        truth.issues.append(
+            SeededIssue(key=api_key(), kind="API", trait=Trait.DIRECT)
+        )
+        truth.issues.append(
+            SeededIssue(
+                key=("APC", "App", "com.app.Hook", "onFoo()void"),
+                kind="APC",
+                trait=Trait.CALLBACK_UNMODELED,
+            )
+        )
+        truth.traps.append(
+            SeededTrap(
+                fp_keys=(api_key(),), trait=Trait.TRAP_ANONYMOUS_GUARD
+            )
+        )
+        return truth
+
+    def test_issue_keys(self):
+        truth = self.build()
+        assert len(truth.issue_keys) == 2
+
+    def test_kind_and_trait_queries(self):
+        truth = self.build()
+        assert len(truth.issues_of_kind("API")) == 1
+        assert len(truth.issues_with_trait(Trait.CALLBACK_UNMODELED)) == 1
+        assert len(truth.traps_with_trait(Trait.TRAP_ANONYMOUS_GUARD)) == 1
+
+    def test_merge_same_app(self):
+        truth = self.build()
+        other = GroundTruth(app="App")
+        other.issues.append(
+            SeededIssue(
+                key=("PRM-request", "App", "p"),
+                kind="PRM-request",
+                trait=Trait.PERMISSION_REQUEST,
+            )
+        )
+        truth.merge(other)
+        assert len(truth.issues) == 3
+
+    def test_merge_different_app_rejected(self):
+        with pytest.raises(ValueError):
+            self.build().merge(GroundTruth(app="Other"))
+
+    def test_dict_round_trip(self):
+        truth = self.build()
+        restored = GroundTruth.from_dict(truth.to_dict())
+        assert restored.app == truth.app
+        assert restored.issue_keys == truth.issue_keys
+        assert [t.fp_keys for t in restored.traps] == [
+            t.fp_keys for t in truth.traps
+        ]
+        assert [i.trait for i in restored.issues] == [
+            i.trait for i in truth.issues
+        ]

@@ -1,0 +1,124 @@
+"""Tests for the ApiPicker's selection guarantees."""
+
+import random
+
+import pytest
+
+from repro.apk.manifest import MAX_API_LEVEL
+from repro.framework.permissions import is_dangerous
+from repro.workload.appgen import ApiPicker
+
+
+@pytest.fixture()
+def rng():
+    return random.Random(1)
+
+
+class TestSafeApi:
+    def test_full_lifetime_and_no_permissions(self, picker, apidb, rng):
+        for _ in range(20):
+            entry = picker.safe_api(rng)
+            assert entry.lifetime == (2, MAX_API_LEVEL)
+            assert not entry.callback
+            dangerous = {
+                p for p in apidb.permissions_for(entry.ref)
+                if is_dangerous(p)
+            }
+            assert not dangerous
+
+
+class TestNewApi:
+    def test_introduction_window(self, picker, rng):
+        for _ in range(20):
+            entry = picker.new_api(rng, 21, 26)
+            assert 21 <= entry.lifetime[0] <= 26
+            assert entry.lifetime[1] == MAX_API_LEVEL
+            assert not entry.callback
+
+    def test_empty_window_raises(self, picker, rng):
+        with pytest.raises(LookupError):
+            picker.new_api(rng, 30, 40)
+
+    def test_deterministic_under_seed(self, picker):
+        a = picker.new_api(random.Random(9), 21, 26)
+        b = picker.new_api(random.Random(9), 21, 26)
+        assert a.ref == b.ref
+
+
+class TestRemovedApi:
+    def test_alive_then_removed(self, picker, rng):
+        for _ in range(10):
+            entry = picker.removed_api(rng, 14)
+            introduced, last = entry.lifetime
+            assert introduced <= 14 <= last
+            assert last < MAX_API_LEVEL
+
+
+class TestSubclassableNewApi:
+    def test_class_predates_method(self, picker, apidb, rng):
+        for _ in range(15):
+            entry = picker.subclassable_new_api(rng, 19, 20, 28)
+            class_entry = apidb.clazz(entry.class_name)
+            assert min(class_entry.levels) <= 19
+            assert 20 <= entry.lifetime[0] <= 28
+
+
+class TestNewCallback:
+    def test_modeled_filter(self, picker, rng):
+        modeled_classes = {
+            "android.app.Activity", "android.app.Fragment",
+            "android.app.Service", "android.webkit.WebView",
+        }
+        for _ in range(10):
+            entry = picker.new_callback(rng, 14, 29, modeled=True)
+            assert entry.callback
+            assert entry.class_name in modeled_classes
+
+    def test_unmodeled_filter(self, picker, rng):
+        modeled_classes = {
+            "android.app.Activity", "android.app.Fragment",
+            "android.app.Service", "android.webkit.WebView",
+        }
+        for _ in range(10):
+            entry = picker.new_callback(rng, 14, 29, modeled=False)
+            assert entry.callback
+            assert entry.class_name not in modeled_classes
+
+    def test_never_the_permission_hook(self, picker, rng):
+        for _ in range(30):
+            entry = picker.new_callback(rng, 20, 29)
+            assert entry.name != "onRequestPermissionsResult"
+
+
+class TestPermissionApi:
+    def test_bounded_dangerous_set(self, picker, apidb, rng):
+        for _ in range(10):
+            entry, permissions = picker.permission_api(rng)
+            assert 1 <= len(permissions) <= 2
+            assert all(is_dangerous(p) for p in permissions)
+            assert entry.lifetime == (2, MAX_API_LEVEL)
+
+    def test_deep_has_no_direct_enforcement(self, picker, apidb, rng):
+        for _ in range(10):
+            entry, permissions = picker.permission_api(rng, deep=True)
+            direct = {
+                p
+                for p in apidb.permission_map.permissions_for(
+                    entry.ref, deep=False
+                )
+                if is_dangerous(p)
+            }
+            assert not direct
+            assert permissions
+
+    def test_shallow_enforces_directly(self, picker, apidb, rng):
+        for _ in range(10):
+            entry, _ = picker.permission_api(rng, deep=False)
+            direct = {
+                p
+                for p in apidb.permission_map.permissions_for(
+                    entry.ref, deep=False
+                )
+                if is_dangerous(p)
+            }
+            assert direct
