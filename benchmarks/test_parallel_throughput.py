@@ -1,0 +1,150 @@
+"""E7 — corpus throughput: cross-app caching + the parallel engine.
+
+Three ways to analyze the same corpus:
+
+* **cold**   — a fresh framework repository + API database per app:
+  no cross-app reuse at all (the pre-batch-engine behavior of running
+  the CLI once per app);
+* **warm**   — one shared tool set, serial (``jobs=1``): every app
+  after the first hits the framework class cache and the database
+  memo tables;
+* **parallel** — the process-pool engine (``jobs=4``): workers build
+  the substrate once each (inheriting the parent's warm pages under
+  the fork start method) and split the corpus.
+
+All three must produce fingerprint-identical results; the wall-clock
+and cache-hit numbers land in ``results/BENCH_parallel.json``.
+
+Environment knobs: ``REPRO_PARALLEL_CORPUS`` (apps, default 16),
+``REPRO_PARALLEL_JOBS`` (default 4).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+
+import pytest
+
+from repro.core.arm import mine_spec
+from repro.eval.runner import ToolSet, analyze_app, run_tools
+from repro.framework import FrameworkRepository, default_spec
+from repro.workload.corpus import CorpusConfig, generate_corpus
+
+from .conftest import RESULTS_DIR
+
+CORPUS_SIZE = int(os.environ.get("REPRO_PARALLEL_CORPUS", "16"))
+JOBS = int(os.environ.get("REPRO_PARALLEL_JOBS", "4"))
+
+#: Mid-size apps keep the bench fast while leaving the per-app
+#: analysis large enough that caching, not noise, dominates.
+BENCH_CORPUS = CorpusConfig(
+    count=CORPUS_SIZE, kloc_median=4.0, kloc_max=20.0, seed=24680
+)
+
+
+@pytest.fixture(scope="module")
+def throughput() -> dict:
+    spec = default_spec()
+    shared_framework = FrameworkRepository(spec)
+    shared_db = mine_spec(spec)
+    apps = [
+        member.forged
+        for member in generate_corpus(BENCH_CORPUS, shared_db)
+    ]
+
+    # Cold: fresh substrate per app, nothing amortized.
+    start = time.perf_counter()
+    cold_results = []
+    for forged in apps:
+        framework = FrameworkRepository(spec)
+        toolset = ToolSet.default(framework, mine_spec(spec))
+        cold_results.append(analyze_app(toolset, forged))
+    cold_s = time.perf_counter() - start
+    cold_fingerprint = [r.fingerprint() for r in cold_results]
+
+    # Warm: one shared tool set, serial.
+    toolset = ToolSet.default(shared_framework, shared_db)
+    shared_db.reset_cache_counters()
+    start = time.perf_counter()
+    warm = run_tools(apps, toolset)
+    warm_s = time.perf_counter() - start
+
+    # Parallel: the pool engine over the same corpus.
+    start = time.perf_counter()
+    parallel = run_tools(apps, toolset, jobs=JOBS)
+    parallel_s = time.perf_counter() - start
+
+    return {
+        "apps": apps,
+        "cold_fingerprint": cold_fingerprint,
+        "warm": warm,
+        "parallel": parallel,
+        "cold_s": cold_s,
+        "warm_s": warm_s,
+        "parallel_s": parallel_s,
+    }
+
+
+def test_all_schedules_agree(throughput):
+    assert (
+        throughput["warm"].fingerprint()
+        == throughput["parallel"].fingerprint()
+    )
+    assert (
+        throughput["cold_fingerprint"]
+        == [r.fingerprint() for r in throughput["warm"].results]
+    )
+
+
+def test_caches_are_hit_from_second_app_onward(throughput):
+    warm_stats = throughput["warm"].cache_stats
+    assert warm_stats["framework"]["class_hits"] > 0
+    assert warm_stats["apidb"]["levels_hits"] > 0
+    parallel_stats = throughput["parallel"].cache_stats
+    assert parallel_stats["workers"] >= 1
+    assert parallel_stats["framework"]["class_hits"] > 0
+    assert parallel_stats["apidb"]["hit_rate"] > 0.5
+
+
+def test_throughput_and_report(throughput):
+    cold_s = throughput["cold_s"]
+    warm_s = throughput["warm_s"]
+    parallel_s = throughput["parallel_s"]
+    cpus = os.cpu_count() or 1
+
+    amortized_speedup = cold_s / warm_s
+    parallel_speedup = cold_s / parallel_s
+    pool_speedup = warm_s / parallel_s
+
+    payload = {
+        "corpus_apps": CORPUS_SIZE,
+        "jobs": JOBS,
+        "cpu_count": cpus,
+        "serial_cold_s": round(cold_s, 3),
+        "serial_warm_s": round(warm_s, 3),
+        "parallel_s": round(parallel_s, 3),
+        "amortized_speedup_warm_vs_cold": round(amortized_speedup, 2),
+        "parallel_speedup_vs_cold": round(parallel_speedup, 2),
+        "parallel_speedup_vs_warm": round(pool_speedup, 2),
+        "warm_cache": throughput["warm"].cache_stats,
+        "parallel_cache": throughput["parallel"].cache_stats,
+    }
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / "BENCH_parallel.json").write_text(
+        json.dumps(payload, indent=2) + "\n"
+    )
+    print()
+    print(json.dumps(payload, indent=2))
+
+    # Cross-app caching must at least double corpus throughput over
+    # the no-reuse baseline.
+    assert amortized_speedup >= 2.0
+    if cpus >= JOBS:
+        # With real cores behind the pool the engine must also at
+        # least double over cold and beat the warm serial loop; on
+        # fewer cores the pool merely time-slices one CPU, so only
+        # correctness (fingerprint equality above) is asserted.
+        assert parallel_speedup >= 2.0
+        assert pool_speedup >= 1.5

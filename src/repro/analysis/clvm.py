@@ -79,18 +79,36 @@ class LoadStats:
     instructions_analyzed: int = 0
     dynamic_classes_resolved: int = 0
     dynamic_sites_unresolved: int = 0
+    #: Framework classes served warm from the shared repository cache
+    #: (materialized by an earlier analysis over the same repository).
+    #: Purely observational: the cost model charges every load the
+    #: same, so corpus results do not depend on analysis order.
+    framework_classes_reused: int = 0
+    framework_instructions_reused: int = 0
     #: True when loaded code is never released (eager / closed-world
     #: mode); the lazy CLVM keeps only framework summaries resident.
     retain_framework_bodies: bool = False
 
-    def record_load(self, clazz: Clazz) -> None:
+    def record_load(self, clazz: Clazz, warm: bool = False) -> None:
         self.classes_loaded += 1
         if clazz.origin == "framework":
             self.framework_classes_loaded += 1
             self.framework_instructions_loaded += clazz.instruction_count
+            if warm:
+                self.framework_classes_reused += 1
+                self.framework_instructions_reused += (
+                    clazz.instruction_count
+                )
         else:
             self.app_classes_loaded += 1
         self.instructions_loaded += clazz.instruction_count
+
+    @property
+    def framework_reuse_rate(self) -> float:
+        """Fraction of framework loads that were warm (cache reuse)."""
+        if not self.framework_classes_loaded:
+            return 0.0
+        return self.framework_classes_reused / self.framework_classes_loaded
 
     @property
     def memory_units(self) -> int:
@@ -190,10 +208,10 @@ class ClassLoaderVM:
 
     # -- load accounting ------------------------------------------------
 
-    def _on_class_loaded(self, clazz: Clazz) -> None:
+    def _on_class_loaded(self, clazz: Clazz, warm: bool = False) -> None:
         if clazz.name not in self._loaded:
             self._loaded[clazz.name] = clazz
-            self.stats.record_load(clazz)
+            self.stats.record_load(clazz, warm)
 
     # -- exploration (Algorithm 1) ---------------------------------------
 
@@ -381,5 +399,8 @@ class ClassLoaderVM:
         self.stats.retain_framework_bodies = True
         for clazz in self._apk.all_classes:
             self._on_class_loaded(clazz)
-        for clazz in self._framework.load_image(self._level).values():
-            self._on_class_loaded(clazz)
+        hits_before = self._framework.cache_stats.image_hits
+        image = self._framework.load_image(self._level)
+        warm = self._framework.cache_stats.image_hits > hits_before
+        for clazz in image.values():
+            self._on_class_loaded(clazz, warm)

@@ -35,8 +35,10 @@ class HierarchyResolver:
         self._level = level
         self._include_secondary = include_secondary_dex
         self._cache: dict[ClassName, Clazz | None] = {}
-        #: Optional callback fired the first time a class is resolved;
-        #: the CLVM uses it to account for load costs.
+        #: Optional ``hook(clazz, warm)`` fired the first time a class
+        #: is resolved; the CLVM uses it to account for load costs.
+        #: ``warm`` is True when a framework class came from the shared
+        #: repository cache rather than being materialized afresh.
         self._loaded_hook = loaded_hook
 
     @property
@@ -48,15 +50,18 @@ class HierarchyResolver:
         if name in self._cache:
             return self._cache[name]
         clazz: Clazz | None
+        warm = False
         if self._include_secondary:
             clazz = self._apk.lookup(name)
         else:
             clazz = self._apk.lookup_primary(name)
         if clazz is None:
-            clazz = self._framework.load_class(name, self._level)
+            clazz, warm = self._framework.load_class_cached(
+                name, self._level
+            )
         self._cache[name] = clazz
         if clazz is not None and self._loaded_hook is not None:
-            self._loaded_hook(clazz)
+            self._loaded_hook(clazz, warm)
         return clazz
 
     # -- hierarchy walks ------------------------------------------------

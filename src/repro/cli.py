@@ -8,7 +8,12 @@ Subcommands
 ``table``      regenerate a paper table (1, 2, 3, or 4)
 ``rq2``        regenerate the RQ2 real-world summary
 ``figure``     regenerate a paper figure (1, 3, or 4)
+``sweep``      measure SAINTDroid vs CID across framework sizes
 ``apidb``      query the API lifecycle database
+
+Corpus-scale commands (``table``, ``rq2``, ``figure``, ``sweep``)
+accept ``--jobs N`` to fan analysis out over a process pool; results
+are identical to a serial run.
 ``verify``     dynamically verify static findings (paper §VI)
 ``repair``     synthesize a repaired package (paper §VIII)
 ``update-impact``  what breaks when the device framework is updated
@@ -100,13 +105,20 @@ def build_parser() -> argparse.ArgumentParser:
     gen.add_argument("outdir", type=Path)
     gen.add_argument("--scale", type=float, default=1.0)
 
+    jobs_help = (
+        "worker processes for corpus analysis (1 = serial; each "
+        "worker builds the shared framework + API database once)"
+    )
+
     table = sub.add_parser("table", help="regenerate a paper table")
     table.add_argument("number", type=int, choices=(1, 2, 3, 4))
     table.add_argument("--scale", type=float, default=1.0)
+    table.add_argument("--jobs", type=int, default=1, help=jobs_help)
 
     rq2 = sub.add_parser("rq2", help="regenerate the RQ2 summary")
     rq2.add_argument("--count", type=int, default=300)
     rq2.add_argument("--seed", type=int, default=1234567)
+    rq2.add_argument("--jobs", type=int, default=1, help=jobs_help)
 
     figure = sub.add_parser("figure", help="regenerate a paper figure")
     figure.add_argument("number", type=int, choices=(1, 3, 4))
@@ -114,6 +126,22 @@ def build_parser() -> argparse.ArgumentParser:
     figure.add_argument(
         "--app-level", type=int, default=23,
         help="app target level for figure 1",
+    )
+    figure.add_argument("--jobs", type=int, default=1, help=jobs_help)
+
+    sweep = sub.add_parser(
+        "sweep",
+        help="measure SAINTDroid vs CID across framework sizes",
+    )
+    sweep.add_argument(
+        "--bulk-sizes", type=int, nargs="+",
+        default=(500, 1000, 2000, 4000),
+    )
+    sweep.add_argument("--probes", type=int, default=3)
+    sweep.add_argument("--seed", type=int, default=11)
+    sweep.add_argument(
+        "--jobs", type=int, default=1,
+        help="run sweep points concurrently (they are independent)",
     )
 
     apidb = sub.add_parser("apidb", help="query the API database")
@@ -222,7 +250,7 @@ def _cmd_table(args: argparse.Namespace) -> int:
         print(render_table4(table4_capabilities(toolset.tools)))
         return 0
     apps = build_benchmark_suite(toolset.apidb, scale=args.scale)
-    run = run_tools(apps, toolset)
+    run = run_tools(apps, toolset, jobs=args.jobs)
     if args.number == 2:
         print(render_table2(table2_accuracy(run)))
     else:
@@ -235,11 +263,14 @@ def _cmd_rq2(args: argparse.Namespace) -> int:
     toolset = ToolSet.default(include=("SAINTDroid",))
     config = CorpusConfig(count=args.count, seed=args.seed)
     corpus = list(generate_corpus(config, toolset.apidb))
-    run = run_tools([entry.forged for entry in corpus], toolset)
+    run = run_tools(
+        [entry.forged for entry in corpus], toolset, jobs=args.jobs
+    )
     modern = {entry.forged.apk.name: entry.modern_target for entry in corpus}
     results = [
         (result.reports["SAINTDroid"], result.truth, modern[result.app])
         for result in run.results
+        if "SAINTDroid" in result.reports
     ]
     print(render_rq2(rq2_summary(results)))
     return 0
@@ -255,7 +286,7 @@ def _cmd_figure(args: argparse.Namespace) -> int:
     toolset = ToolSet.default(include=("SAINTDroid", "CID", "Lint"))
     config = CorpusConfig(count=args.count)
     corpus = [e.forged for e in generate_corpus(config, toolset.apidb)]
-    run = run_tools(corpus, toolset)
+    run = run_tools(corpus, toolset, jobs=args.jobs)
     if args.number == 3:
         data = figure3_series(run)
         print("Figure 3: SAINTDroid analysis time vs app size")
@@ -274,6 +305,33 @@ def _cmd_figure(args: argparse.Namespace) -> int:
                 f"  {tool}: avg {summary['average_mb']:.0f} MB "
                 f"range {summary['min_mb']:.0f}-{summary['max_mb']:.0f}"
             )
+    return 0
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    from .eval.sweep import sweep_framework_scale
+
+    points = sweep_framework_scale(
+        tuple(args.bulk_sizes),
+        probes_per_point=args.probes,
+        seed=args.seed,
+        jobs=args.jobs,
+    )
+    header = (
+        f"{'bulk':>6}{'classes@26':>12}{'SAINT s':>10}{'SAINT MB':>10}"
+        f"{'CID s':>10}{'CID MB':>10}{'mem ratio':>11}"
+    )
+    print("Framework-scale sweep (SAINTDroid vs CID)")
+    print(header)
+    print("-" * len(header))
+    for point in points:
+        print(
+            f"{point.bulk_classes:>6}{point.framework_classes_at_26:>12}"
+            f"{point.saintdroid_seconds:>10.1f}"
+            f"{point.saintdroid_memory_mb:>10.0f}"
+            f"{point.cid_seconds:>10.1f}{point.cid_memory_mb:>10.0f}"
+            f"{point.memory_ratio:>11.1f}"
+        )
     return 0
 
 
@@ -376,6 +434,7 @@ _COMMANDS = {
     "table": _cmd_table,
     "rq2": _cmd_rq2,
     "figure": _cmd_figure,
+    "sweep": _cmd_sweep,
     "apidb": _cmd_apidb,
     "verify": _cmd_verify,
     "repair": _cmd_repair,

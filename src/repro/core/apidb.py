@@ -22,7 +22,7 @@ from ..framework.permissions import PermissionMap
 from ..ir.types import ClassName, MethodRef
 from ..analysis.intervals import ApiInterval
 
-__all__ = ["ApiEntry", "ApiClassEntry", "ApiDatabase"]
+__all__ = ["ApiEntry", "ApiClassEntry", "ApiDatabase", "DbCacheCounters"]
 
 
 @dataclass(frozen=True)
@@ -74,8 +74,64 @@ class ApiClassEntry:
         return level in self.levels
 
 
+@dataclass
+class DbCacheCounters:
+    """Hit/miss accounting for the database's memoized lookups.
+
+    ``resolve`` covers :meth:`ApiDatabase.resolve` (and everything
+    built on it: callbacks, permission resolution); ``levels`` covers
+    the per-signature callable-level sets behind :meth:`exists` /
+    :meth:`missing_levels`; ``permissions`` covers
+    :meth:`permissions_for`.
+    """
+
+    resolve_hits: int = 0
+    resolve_misses: int = 0
+    levels_hits: int = 0
+    levels_misses: int = 0
+    permission_hits: int = 0
+    permission_misses: int = 0
+
+    @property
+    def hits(self) -> int:
+        return self.resolve_hits + self.levels_hits + self.permission_hits
+
+    @property
+    def misses(self) -> int:
+        return (
+            self.resolve_misses
+            + self.levels_misses
+            + self.permission_misses
+        )
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def as_dict(self) -> dict:
+        return {
+            "resolve_hits": self.resolve_hits,
+            "resolve_misses": self.resolve_misses,
+            "levels_hits": self.levels_hits,
+            "levels_misses": self.levels_misses,
+            "permission_hits": self.permission_hits,
+            "permission_misses": self.permission_misses,
+            "hit_rate": self.hit_rate,
+        }
+
+
 class ApiDatabase:
-    """Queryable view over every modeled framework level."""
+    """Queryable view over every modeled framework level.
+
+    The database is immutable after construction (``classes`` and the
+    permission map are never modified), so the hierarchy-walking
+    queries — :meth:`resolve`, :meth:`exists`, :meth:`missing_levels`,
+    :meth:`permissions_for` — are memoized: each (class, signature)
+    pair is resolved against the hierarchy once and every later query
+    is a dict lookup.  :attr:`cache_counters` exposes the hit/miss
+    accounting so corpus-scale harnesses can report amortization.
+    """
 
     def __init__(
         self,
@@ -84,6 +140,30 @@ class ApiDatabase:
     ) -> None:
         self._classes = classes
         self._permission_map = permission_map
+        self._resolve_cache: dict[
+            tuple[ClassName, str], ApiEntry | None
+        ] = {}
+        self._levels_cache: dict[
+            tuple[ClassName, str], frozenset[int]
+        ] = {}
+        self._permission_cache: dict[
+            tuple[MethodRef, bool], frozenset[str]
+        ] = {}
+        self.cache_counters = DbCacheCounters()
+        # Per-level API counts, computed once: api_count_at used to
+        # rescan every method of every class on every call.
+        self._level_counts: dict[int, int] = {
+            level: 0
+            for level in range(MIN_API_LEVEL, MAX_API_LEVEL + 1)
+        }
+        for entry in classes.values():
+            for method in entry.methods.values():
+                for level in method.levels:
+                    if level in self._level_counts:
+                        self._level_counts[level] += 1
+
+    def reset_cache_counters(self) -> None:
+        self.cache_counters = DbCacheCounters()
 
     # -- introspection ---------------------------------------------------
 
@@ -129,45 +209,75 @@ class ApiDatabase:
         self, name: ClassName, signature: str
     ) -> ApiEntry | None:
         """Find the nearest declaration of ``signature`` on ``name`` or
-        its ancestors (level-agnostic)."""
+        its ancestors (level-agnostic).  Memoized."""
+        key = (name, signature)
+        counters = self.cache_counters
+        try:
+            found = self._resolve_cache[key]
+            counters.resolve_hits += 1
+            return found
+        except KeyError:
+            counters.resolve_misses += 1
+        found = None
+        entry = self._classes.get(name)
+        seen: set[ClassName] = set()
+        while entry is not None and entry.name not in seen:
+            seen.add(entry.name)
+            declared = entry.methods.get(signature)
+            if declared is not None:
+                found = declared
+                break
+            if entry.super_name is None:
+                break
+            entry = self._classes.get(entry.super_name)
+        self._resolve_cache[key] = found
+        return found
+
+    def _callable_levels(
+        self, name: ClassName, signature: str
+    ) -> frozenset[int]:
+        """Every level at which ``signature`` is callable on ``name``:
+        the union, over the super chain, of levels where a declaring
+        class and its declaration are both alive.  Memoized — this is
+        the single hierarchy walk behind :meth:`exists` and
+        :meth:`missing_levels`."""
+        key = (name, signature)
+        counters = self.cache_counters
+        try:
+            levels = self._levels_cache[key]
+            counters.levels_hits += 1
+            return levels
+        except KeyError:
+            counters.levels_misses += 1
+        callable_levels: set[int] = set()
         entry = self._classes.get(name)
         seen: set[ClassName] = set()
         while entry is not None and entry.name not in seen:
             seen.add(entry.name)
             found = entry.methods.get(signature)
             if found is not None:
-                return found
+                callable_levels |= entry.levels & found.levels
             if entry.super_name is None:
-                return None
+                break
             entry = self._classes.get(entry.super_name)
-        return None
+        levels = frozenset(callable_levels)
+        self._levels_cache[key] = levels
+        return levels
 
     def exists(self, name: ClassName, signature: str, level: int) -> bool:
         """Algorithm 2's ``apidb.CONTAINS``: is the method callable on
         ``name`` at ``level``?  Inheritance-aware and sensitive to the
         declaring class's own lifetime."""
-        entry = self._classes.get(name)
-        seen: set[ClassName] = set()
-        while entry is not None and entry.name not in seen:
-            seen.add(entry.name)
-            if entry.exists_at(level):
-                found = entry.methods.get(signature)
-                if found is not None and found.exists_at(level):
-                    return True
-            if entry.super_name is None:
-                return False
-            entry = self._classes.get(entry.super_name)
-        return False
+        return level in self._callable_levels(name, signature)
 
     def missing_levels(
         self, name: ClassName, signature: str, interval: ApiInterval
     ) -> ApiInterval:
         """Hull of levels within ``interval`` at which the method is
         not callable (empty = fully supported)."""
+        callable_levels = self._callable_levels(name, signature)
         missing = [
-            level
-            for level in interval
-            if not self.exists(name, signature, level)
+            level for level in interval if level not in callable_levels
         ]
         if not missing:
             return ApiInterval.empty()
@@ -204,19 +314,28 @@ class ApiDatabase:
         self, ref: MethodRef, *, deep: bool = True
     ) -> frozenset[str]:
         """Permissions required to execute ``ref`` (resolved against
-        the hierarchy first, so inherited APIs map correctly)."""
+        the hierarchy first, so inherited APIs map correctly).
+        Memoized — called once per API usage per app otherwise."""
+        key = (ref, deep)
+        counters = self.cache_counters
+        try:
+            permissions = self._permission_cache[key]
+            counters.permission_hits += 1
+            return permissions
+        except KeyError:
+            counters.permission_misses += 1
         resolved = self.resolve(ref.class_name, ref.name + ref.descriptor)
         target = resolved.ref if resolved is not None else ref
-        return self._permission_map.permissions_for(target, deep=deep)
+        permissions = self._permission_map.permissions_for(
+            target, deep=deep
+        )
+        self._permission_cache[key] = permissions
+        return permissions
 
     # -- summaries ----------------------------------------------------------------
 
     def api_count_at(self, level: int) -> int:
+        """How many API methods exist at ``level`` (precomputed)."""
         if not MIN_API_LEVEL <= level <= MAX_API_LEVEL:
             raise ValueError(f"level {level} outside modeled range")
-        return sum(
-            1
-            for entry in self._classes.values()
-            for method in entry.methods.values()
-            if method.exists_at(level)
-        )
+        return self._level_counts[level]

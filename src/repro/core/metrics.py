@@ -75,3 +75,27 @@ class AnalysisMetrics:
     def modeled_memory_mb(self) -> float:
         """Paper-scale peak memory from the cost model."""
         return BASE_MEMORY_MB + self.memory_units * MB_PER_MEMORY_UNIT
+
+    # -- cache accounting (cold vs warm loads) -------------------------
+    #
+    # Warm counters are observational: they say how much framework
+    # materialization this run *skipped* because an earlier analysis
+    # over the same repository already paid for it.  The cost model
+    # above deliberately ignores them — modeled seconds/MB must not
+    # depend on where an app lands in a corpus run (or which worker
+    # analyzes it), or parallel results would diverge from serial.
+
+    @property
+    def framework_classes_reused(self) -> int:
+        """Framework classes served warm from the shared cache."""
+        return self.stats.framework_classes_reused
+
+    @property
+    def framework_instructions_reused(self) -> int:
+        return self.stats.framework_instructions_reused
+
+    @property
+    def warm_load_fraction(self) -> float:
+        """Fraction of framework class loads that were warm; 0.0 on a
+        cold (first-app) run, approaching 1.0 deep into a corpus."""
+        return self.stats.framework_reuse_rate

@@ -8,7 +8,15 @@ from .accuracy import (
     score_app,
     score_apps,
 )
-from .runner import AppResult, RunResults, ToolSet, run_tools
+from .runner import (
+    AppResult,
+    AppTimeoutError,
+    RunResults,
+    ToolSet,
+    analyze_app,
+    run_tools,
+)
+from .parallel import ParallelConfig, run_tools_parallel
 from .tables import (
     render_rq2,
     render_table1,
@@ -38,7 +46,11 @@ from .figures import (
 
 __all__ = [
     "AppResult",
+    "AppTimeoutError",
     "ConfusionCounts",
+    "ParallelConfig",
+    "analyze_app",
+    "run_tools_parallel",
     "KIND_GROUPS",
     "RunResults",
     "TimingSummary",

@@ -1,0 +1,227 @@
+"""Parallel corpus-analysis engine.
+
+Large-scale studies vet thousands of apps; analyzing them strictly
+serially throws away both hardware parallelism and the fact that every
+per-app analysis shares the same immutable substrate (framework spec,
+API database).  This module schedules a corpus over a process pool:
+
+* **worker bootstrap** — each worker constructs the framework
+  repository + API database *once* (from the pickled spec) in its
+  initializer; every app the worker analyzes afterwards hits the
+  worker-local framework class cache and database memo tables;
+* **chunked scheduling** — apps ship to workers in contiguous chunks
+  to amortize pickling overhead while keeping the pool busy;
+* **failure isolation** — a crashing or timed-out app yields an
+  :class:`~repro.eval.runner.AppResult` with ``error`` set, never a
+  dead run; a broken worker poisons only its own chunk;
+* **deterministic ordering** — results are reassembled in corpus
+  order, and per-app computation is the exact
+  :func:`~repro.eval.runner.analyze_app` the serial loop uses, so a
+  parallel run's :meth:`RunResults.fingerprint` is identical to a
+  serial run's.
+
+The engine is reached through ``run_tools(apps, jobs=N)`` or the
+``--jobs`` CLI flag; it has no public surface beyond
+:class:`ParallelConfig` and :func:`run_tools_parallel`.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from dataclasses import dataclass
+from typing import Callable, Iterable
+
+from ..core.arm import build_api_database
+from ..framework.repository import FrameworkCacheStats, FrameworkRepository
+from ..framework.spec import FrameworkSpec
+from ..workload.appgen import ForgedApp
+from .runner import (
+    AppResult,
+    DEFAULT_TOOLS,
+    RunResults,
+    ToolSet,
+    analyze_app,
+)
+
+__all__ = ["ParallelConfig", "run_tools_parallel"]
+
+
+@dataclass(frozen=True)
+class ParallelConfig:
+    """Knobs for one parallel run."""
+
+    #: Worker process count.
+    jobs: int = 2
+    #: Apps per pool task; ``None`` picks a size that gives each
+    #: worker several chunks (load balancing) without making tasks so
+    #: small that pickling dominates.
+    chunk_size: int | None = None
+    #: Per-app wall-clock budget (enforced inside workers).
+    timeout_s: float | None = None
+    #: Tool names each worker instantiates.
+    include: tuple[str, ...] = DEFAULT_TOOLS
+
+    def resolved_chunk_size(self, corpus_size: int) -> int:
+        if self.chunk_size is not None:
+            return max(1, self.chunk_size)
+        per_worker = corpus_size / max(1, self.jobs)
+        return max(1, min(16, round(per_worker / 4) or 1))
+
+
+# -- worker side -----------------------------------------------------------
+
+#: One tool set per worker process, built by the pool initializer and
+#: reused for every chunk the worker receives — this is where the
+#: cross-app framework/database caches live.
+_WORKER_TOOLSET: ToolSet | None = None
+
+
+def _init_worker(spec: FrameworkSpec, include: tuple[str, ...]) -> None:
+    global _WORKER_TOOLSET
+    framework = FrameworkRepository(spec)
+    apidb = build_api_database(framework)
+    # Under the fork start method the worker inherits the parent's
+    # database object (same spec identity, so the module-level cache
+    # hits) along with whatever cache counters the parent already
+    # accumulated — a warm start we gladly keep, but the accounting
+    # must cover only this worker's activity.
+    apidb.reset_cache_counters()
+    framework.cache_stats = FrameworkCacheStats()
+    _WORKER_TOOLSET = ToolSet.default(framework, apidb, include=include)
+
+
+def _analyze_chunk(
+    chunk: list[tuple[int, ForgedApp]],
+    timeout_s: float | None,
+) -> tuple[int, list[tuple[int, AppResult]], dict]:
+    """Analyze one chunk in this worker; returns results tagged with
+    their corpus indices plus the worker's cumulative cache stats."""
+    toolset = _WORKER_TOOLSET
+    if toolset is None:  # pragma: no cover — initializer always ran
+        raise RuntimeError("worker initialized without a tool set")
+    out = [
+        (index, analyze_app(toolset, forged, timeout_s=timeout_s))
+        for index, forged in chunk
+    ]
+    return os.getpid(), out, toolset.cache_stats()
+
+
+# -- parent side -----------------------------------------------------------
+
+def _pool_context():
+    """Prefer fork (cheap worker startup, parent pages shared); fall
+    back to the platform default where fork is unavailable."""
+    try:
+        return multiprocessing.get_context("fork")
+    except ValueError:  # pragma: no cover — non-POSIX platforms
+        return multiprocessing.get_context()
+
+
+def _failure_results(
+    chunk: list[tuple[int, ForgedApp]], exc: BaseException
+) -> list[tuple[int, AppResult]]:
+    """Synthesize failure records when a whole worker task died (e.g.
+    the worker process was killed): the run continues, the chunk's
+    apps are recorded as failed."""
+    error = f"worker failed: {type(exc).__name__}: {exc}"
+    return [
+        (
+            index,
+            AppResult(
+                app=forged.apk.name,
+                truth=forged.truth,
+                kloc=forged.apk.dex_kloc,
+                error=error,
+            ),
+        )
+        for index, forged in chunk
+    ]
+
+
+def _merge_cache_stats(snapshots: dict[int, dict]) -> dict:
+    """Sum per-worker cumulative snapshots into one corpus view."""
+    merged = {
+        "workers": len(snapshots),
+        "framework": {
+            "class_hits": 0,
+            "class_misses": 0,
+            "image_hits": 0,
+            "image_misses": 0,
+        },
+        "apidb": {
+            "resolve_hits": 0,
+            "resolve_misses": 0,
+            "levels_hits": 0,
+            "levels_misses": 0,
+            "permission_hits": 0,
+            "permission_misses": 0,
+        },
+    }
+    for snapshot in snapshots.values():
+        for section in ("framework", "apidb"):
+            for key in merged[section]:
+                merged[section][key] += snapshot[section].get(key, 0)
+    fw = merged["framework"]
+    class_total = fw["class_hits"] + fw["class_misses"]
+    fw["hit_rate"] = fw["class_hits"] / class_total if class_total else 0.0
+    db = merged["apidb"]
+    hits = db["resolve_hits"] + db["levels_hits"] + db["permission_hits"]
+    misses = (
+        db["resolve_misses"] + db["levels_misses"] + db["permission_misses"]
+    )
+    db["hit_rate"] = hits / (hits + misses) if hits + misses else 0.0
+    return merged
+
+
+def run_tools_parallel(
+    apps: Iterable[ForgedApp],
+    spec: FrameworkSpec,
+    config: ParallelConfig,
+    *,
+    progress: Callable[[str], None] | None = None,
+) -> RunResults:
+    """Analyze ``apps`` over a pool of ``config.jobs`` workers.
+
+    Results are returned in corpus order whatever order workers finish
+    in; every app yields exactly one :class:`AppResult`, failed or not.
+    """
+    indexed = list(enumerate(apps))
+    out = RunResults()
+    if not indexed:
+        return out
+    chunk_size = config.resolved_chunk_size(len(indexed))
+    chunks = [
+        indexed[start:start + chunk_size]
+        for start in range(0, len(indexed), chunk_size)
+    ]
+
+    by_index: dict[int, AppResult] = {}
+    worker_stats: dict[int, dict] = {}
+    with ProcessPoolExecutor(
+        max_workers=config.jobs,
+        mp_context=_pool_context(),
+        initializer=_init_worker,
+        initargs=(spec, config.include),
+    ) as pool:
+        futures = {
+            pool.submit(_analyze_chunk, chunk, config.timeout_s): chunk
+            for chunk in chunks
+        }
+        for future in as_completed(futures):
+            chunk = futures[future]
+            try:
+                pid, results, snapshot = future.result()
+            except Exception as exc:  # noqa: BLE001 — isolate the chunk
+                results = _failure_results(chunk, exc)
+            else:
+                worker_stats[pid] = snapshot
+            for index, result in results:
+                by_index[index] = result
+                if progress is not None:
+                    progress(result.app)
+
+    out.results = [by_index[index] for index, _ in indexed]
+    out.cache_stats = _merge_cache_stats(worker_stats)
+    return out

@@ -5,10 +5,19 @@ Shares a single framework repository and API database across all tools
 constructed once for a given framework … upon which the compatibility
 analysis of all apps relies") — so the per-app measurements contain no
 database-construction noise.
+
+Corpus-scale runs fan out over a process pool (``jobs > 1``); the
+scheduling, worker bootstrap, and result-ordering machinery lives in
+:mod:`repro.eval.parallel`.  Both paths funnel every app through
+:func:`analyze_app`, so a parallel run produces results identical to a
+serial one (verified by :meth:`RunResults.fingerprint` equality in the
+test suite).
 """
 
 from __future__ import annotations
 
+import signal
+from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Callable, Iterable
 
@@ -23,7 +32,20 @@ from ..workload.appgen import ForgedApp
 from ..workload.groundtruth import GroundTruth
 from .accuracy import KIND_GROUPS, ToolAccuracy, score_apps
 
-__all__ = ["ToolSet", "AppResult", "RunResults", "run_tools"]
+__all__ = [
+    "ToolSet",
+    "AppResult",
+    "RunResults",
+    "AppTimeoutError",
+    "analyze_app",
+    "run_tools",
+]
+
+DEFAULT_TOOLS = ("SAINTDroid", "CID", "CIDER", "Lint")
+
+
+class AppTimeoutError(Exception):
+    """One app exceeded the per-app wall-clock budget."""
 
 
 @dataclass
@@ -39,7 +61,7 @@ class ToolSet:
         framework: FrameworkRepository | None = None,
         apidb: ApiDatabase | None = None,
         *,
-        include: tuple[str, ...] = ("SAINTDroid", "CID", "CIDER", "Lint"),
+        include: tuple[str, ...] = DEFAULT_TOOLS,
     ) -> "ToolSet":
         framework = framework or FrameworkRepository()
         apidb = apidb or build_api_database(framework)
@@ -52,6 +74,17 @@ class ToolSet:
         tools = [catalog[name]() for name in include]
         return ToolSet(framework=framework, apidb=apidb, tools=tools)
 
+    @property
+    def tool_names(self) -> tuple[str, ...]:
+        return tuple(tool.name for tool in self.tools)
+
+    def cache_stats(self) -> dict:
+        """Framework + database cache accounting for this tool set."""
+        return {
+            "framework": self.framework.cache_stats.as_dict(),
+            "apidb": self.apidb.cache_counters.as_dict(),
+        }
+
 
 @dataclass
 class AppResult:
@@ -61,9 +94,39 @@ class AppResult:
     truth: GroundTruth
     reports: dict[str, AnalysisReport] = field(default_factory=dict)
     kloc: float = 0.0
+    #: Non-empty when the app's analysis crashed or timed out; the
+    #: reports dict is empty in that case and downstream consumers
+    #: (tables, figures, accuracy) skip the app for the failed tools.
+    error: str = ""
+
+    @property
+    def ok(self) -> bool:
+        return not self.error
 
     def report(self, tool: str) -> AnalysisReport:
         return self.reports[tool]
+
+    def fingerprint(self) -> dict:
+        """Deterministic content of this result: everything except
+        wall-clock noise and warm-cache accounting (both legitimately
+        vary between runs and between serial/parallel schedules)."""
+        reports = {}
+        for tool in sorted(self.reports):
+            report = self.reports[tool]
+            metrics = report.metrics
+            reports[tool] = {
+                "mismatches": [m.describe() for m in report.mismatches],
+                "failed": bool(metrics and metrics.failed),
+                "work_units": metrics.work_units if metrics else 0,
+                "memory_units": metrics.memory_units if metrics else 0,
+            }
+        return {
+            "app": self.app,
+            "kloc": self.kloc,
+            "error": self.error,
+            "truth": sorted(str(issue.key) for issue in self.truth.issues),
+            "reports": reports,
+        }
 
 
 @dataclass
@@ -71,15 +134,28 @@ class RunResults:
     """Results of one experiment run."""
 
     results: list[AppResult] = field(default_factory=list)
+    #: Cache accounting gathered at the end of the run (aggregated
+    #: over workers for parallel runs).  Excluded from fingerprints.
+    cache_stats: dict = field(default_factory=dict)
 
     def __len__(self) -> int:
         return len(self.results)
 
     @property
     def tools(self) -> tuple[str, ...]:
-        if not self.results:
-            return ()
-        return tuple(self.results[0].reports)
+        for result in self.results:
+            if result.reports:
+                return tuple(result.reports)
+        return ()
+
+    @property
+    def failed_apps(self) -> tuple[str, ...]:
+        return tuple(r.app for r in self.results if not r.ok)
+
+    def fingerprint(self) -> dict:
+        """Deterministic run content; identical for serial and
+        parallel runs over the same apps and tools."""
+        return {"results": [r.fingerprint() for r in self.results]}
 
     def accuracy(
         self,
@@ -97,24 +173,99 @@ class RunResults:
         return {tool: self.accuracy(tool) for tool in self.tools}
 
 
+@contextmanager
+def _app_deadline(timeout_s: float | None):
+    """Raise :class:`AppTimeoutError` after ``timeout_s`` wall seconds.
+
+    Uses ``SIGALRM`` where available (one app per process at a time, in
+    both the serial loop and pool workers, so the timer is never
+    shared); elsewhere the deadline is not enforced.
+    """
+    if timeout_s is None or not hasattr(signal, "SIGALRM"):
+        yield
+        return
+
+    def _expired(signum, frame):
+        raise AppTimeoutError(
+            f"app analysis exceeded {timeout_s:.0f}s wall-clock budget"
+        )
+
+    previous = signal.signal(signal.SIGALRM, _expired)
+    signal.setitimer(signal.ITIMER_REAL, timeout_s)
+    try:
+        yield
+    finally:
+        signal.setitimer(signal.ITIMER_REAL, 0.0)
+        signal.signal(signal.SIGALRM, previous)
+
+
+def analyze_app(
+    toolset: ToolSet,
+    forged: ForgedApp,
+    *,
+    timeout_s: float | None = None,
+) -> AppResult:
+    """Analyze one app with every tool; never raises.
+
+    A crash or timeout yields an :class:`AppResult` with ``error`` set
+    and no reports — one bad app cannot take down a corpus run.  Used
+    verbatim by the serial loop and by pool workers so both schedules
+    compute identical results.  Per-app AUM models are dropped from
+    the reports: the eval layer never reads them and they dominate
+    inter-process transfer cost.
+    """
+    result = AppResult(
+        app=forged.apk.name,
+        truth=forged.truth,
+        kloc=forged.apk.dex_kloc,
+    )
+    try:
+        with _app_deadline(timeout_s):
+            for tool in toolset.tools:
+                report = tool.analyze(forged.apk)
+                report.model = None
+                result.reports[tool.name] = report
+    except Exception as exc:  # noqa: BLE001 — recorded, not swallowed
+        result.reports.clear()
+        result.error = f"{type(exc).__name__}: {exc}"
+    return result
+
+
 def run_tools(
     apps: Iterable[ForgedApp],
     toolset: ToolSet | None = None,
     *,
+    jobs: int = 1,
+    chunk_size: int | None = None,
+    timeout_s: float | None = None,
     progress: Callable[[str], None] | None = None,
 ) -> RunResults:
-    """Analyze every app with every tool."""
+    """Analyze every app with every tool.
+
+    ``jobs > 1`` fans the corpus out over a process pool whose workers
+    each construct the shared framework repository + API database once
+    (see :mod:`repro.eval.parallel`); results come back in corpus
+    order regardless of completion order.
+    """
     toolset = toolset or ToolSet.default()
+    if jobs > 1:
+        from .parallel import ParallelConfig, run_tools_parallel
+
+        config = ParallelConfig(
+            jobs=jobs,
+            chunk_size=chunk_size,
+            timeout_s=timeout_s,
+            include=toolset.tool_names,
+        )
+        return run_tools_parallel(
+            apps, toolset.framework.spec, config, progress=progress
+        )
     out = RunResults()
     for forged in apps:
-        result = AppResult(
-            app=forged.apk.name,
-            truth=forged.truth,
-            kloc=forged.apk.dex_kloc,
+        out.results.append(
+            analyze_app(toolset, forged, timeout_s=timeout_s)
         )
-        for tool in toolset.tools:
-            result.reports[tool.name] = tool.analyze(forged.apk)
-        out.results.append(result)
         if progress is not None:
             progress(forged.apk.name)
+    out.cache_stats = toolset.cache_stats()
     return out

@@ -63,45 +63,68 @@ def _probe_app(apidb, picker, seed: int):
     return forge.build().apk
 
 
+def _sweep_point(
+    bulk: int, probes_per_point: int, seed: int
+) -> SweepPoint:
+    """One self-contained sweep measurement (module-level so parallel
+    sweeps can ship it to pool workers)."""
+    spec = build_spec(bulk_classes=bulk, seed=seed)
+    framework = FrameworkRepository(spec)
+    apidb = mine_spec(spec)
+    picker = ApiPicker(apidb)
+    saintdroid = SaintDroid(framework, apidb)
+    cid = Cid(framework, apidb)
+
+    saint_seconds = saint_memory = saint_loaded = 0.0
+    cid_seconds = cid_memory = 0.0
+    for probe_index in range(probes_per_point):
+        apk = _probe_app(apidb, picker, seed=seed + probe_index)
+        saint_report = saintdroid.analyze(apk)
+        cid_report = cid.analyze(apk)
+        saint_seconds += saint_report.metrics.modeled_seconds
+        saint_memory += saint_report.metrics.modeled_memory_mb
+        saint_loaded += saint_report.metrics.stats.classes_loaded
+        cid_seconds += cid_report.metrics.modeled_seconds
+        cid_memory += cid_report.metrics.modeled_memory_mb
+
+    return SweepPoint(
+        bulk_classes=bulk,
+        framework_classes_at_26=framework.image_class_count(26),
+        saintdroid_seconds=saint_seconds / probes_per_point,
+        saintdroid_memory_mb=saint_memory / probes_per_point,
+        saintdroid_classes_loaded=int(saint_loaded / probes_per_point),
+        cid_seconds=cid_seconds / probes_per_point,
+        cid_memory_mb=cid_memory / probes_per_point,
+    )
+
+
 def sweep_framework_scale(
     bulk_sizes: tuple[int, ...] = (500, 1000, 2000, 4000),
     *,
     probes_per_point: int = 3,
     seed: int = 11,
+    jobs: int = 1,
 ) -> list[SweepPoint]:
-    """Measure SAINTDroid vs CID across framework sizes."""
-    points: list[SweepPoint] = []
-    for bulk in bulk_sizes:
-        spec = build_spec(bulk_classes=bulk, seed=seed)
-        framework = FrameworkRepository(spec)
-        apidb = mine_spec(spec)
-        picker = ApiPicker(apidb)
-        saintdroid = SaintDroid(framework, apidb)
-        cid = Cid(framework, apidb)
+    """Measure SAINTDroid vs CID across framework sizes.
 
-        saint_seconds = saint_memory = saint_loaded = 0.0
-        cid_seconds = cid_memory = 0.0
-        for probe_index in range(probes_per_point):
-            apk = _probe_app(apidb, picker, seed=seed + probe_index)
-            saint_report = saintdroid.analyze(apk)
-            cid_report = cid.analyze(apk)
-            saint_seconds += saint_report.metrics.modeled_seconds
-            saint_memory += saint_report.metrics.modeled_memory_mb
-            saint_loaded += saint_report.metrics.stats.classes_loaded
-            cid_seconds += cid_report.metrics.modeled_seconds
-            cid_memory += cid_report.metrics.modeled_memory_mb
+    Sweep points are independent measurements, so ``jobs > 1`` runs
+    them concurrently (one point per worker); results keep the
+    ``bulk_sizes`` order either way.
+    """
+    if jobs > 1 and len(bulk_sizes) > 1:
+        from concurrent.futures import ProcessPoolExecutor
 
-        points.append(
-            SweepPoint(
-                bulk_classes=bulk,
-                framework_classes_at_26=framework.image_class_count(26),
-                saintdroid_seconds=saint_seconds / probes_per_point,
-                saintdroid_memory_mb=saint_memory / probes_per_point,
-                saintdroid_classes_loaded=int(
-                    saint_loaded / probes_per_point
-                ),
-                cid_seconds=cid_seconds / probes_per_point,
-                cid_memory_mb=cid_memory / probes_per_point,
+        with ProcessPoolExecutor(
+            max_workers=min(jobs, len(bulk_sizes))
+        ) as pool:
+            return list(
+                pool.map(
+                    _sweep_point,
+                    bulk_sizes,
+                    (probes_per_point,) * len(bulk_sizes),
+                    (seed,) * len(bulk_sizes),
+                )
             )
-        )
-    return points
+    return [
+        _sweep_point(bulk, probes_per_point, seed) for bulk in bulk_sizes
+    ]

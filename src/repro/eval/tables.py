@@ -102,7 +102,16 @@ def table2_accuracy(run: RunResults) -> Table2:
             "APC": len(result.truth.issues_of_kind("APC")),
         }}
         for tool in tools:
-            report = result.reports[tool]
+            report = result.reports.get(tool)
+            if report is None:
+                # The app's analysis crashed or timed out (AppResult
+                # carries the error); render it like a tool failure.
+                row[tool] = {
+                    "failed": True,
+                    "API": ConfusionCounts(),
+                    "APC": ConfusionCounts(),
+                }
+                continue
             failed = report.metrics is not None and report.metrics.failed
             row[tool] = {
                 "failed": failed,

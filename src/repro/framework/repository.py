@@ -10,6 +10,8 @@ was loaded happens in each tool's metrics, not here.
 
 from __future__ import annotations
 
+from dataclasses import dataclass
+
 from ..apk.manifest import MAX_API_LEVEL, MIN_API_LEVEL
 from ..ir.clazz import Clazz
 from ..ir.types import ClassName, is_framework_class
@@ -17,7 +19,36 @@ from .catalog import default_spec
 from .generator import materialize_class, materialize_image
 from .spec import FrameworkSpec
 
-__all__ = ["FrameworkRepository"]
+__all__ = ["FrameworkCacheStats", "FrameworkRepository"]
+
+
+@dataclass
+class FrameworkCacheStats:
+    """Hit/miss accounting for the shared class/image caches.
+
+    Framework IR is immutable per level, so a class materialized for
+    one app is served from cache to every later :class:`ClassLoaderVM`
+    over the same repository — a hit here is a parse the corpus run
+    did *not* pay for again."""
+
+    class_hits: int = 0
+    class_misses: int = 0
+    image_hits: int = 0
+    image_misses: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.class_hits + self.class_misses
+        return self.class_hits / total if total else 0.0
+
+    def as_dict(self) -> dict:
+        return {
+            "class_hits": self.class_hits,
+            "class_misses": self.class_misses,
+            "image_hits": self.image_hits,
+            "image_misses": self.image_misses,
+            "hit_rate": self.hit_rate,
+        }
 
 
 class FrameworkRepository:
@@ -27,6 +58,7 @@ class FrameworkRepository:
         self._spec = spec if spec is not None else default_spec()
         self._class_cache: dict[tuple[int, ClassName], Clazz | None] = {}
         self._image_cache: dict[int, dict[ClassName, Clazz]] = {}
+        self.cache_stats = FrameworkCacheStats()
 
     @property
     def spec(self) -> FrameworkSpec:
@@ -47,13 +79,24 @@ class FrameworkRepository:
 
     def load_class(self, name: ClassName, level: int) -> Clazz | None:
         """Materialize one class at ``level`` (None when absent)."""
+        return self.load_class_cached(name, level)[0]
+
+    def load_class_cached(
+        self, name: ClassName, level: int
+    ) -> tuple[Clazz | None, bool]:
+        """Like :meth:`load_class`, plus whether the class was served
+        warm from the shared cache (True = no parse happened)."""
         self._check_level(level)
         key = (level, name)
-        if key not in self._class_cache:
-            self._class_cache[key] = materialize_class(
-                self._spec, name, level
-            )
-        return self._class_cache[key]
+        try:
+            clazz = self._class_cache[key]
+            self.cache_stats.class_hits += 1
+            return clazz, True
+        except KeyError:
+            self.cache_stats.class_misses += 1
+        clazz = materialize_class(self._spec, name, level)
+        self._class_cache[key] = clazz
+        return clazz, False
 
     def owns(self, name: ClassName) -> bool:
         """Whether ``name`` is in the framework namespace (regardless of
@@ -74,7 +117,10 @@ class FrameworkRepository:
         """The complete framework image at ``level`` (cached)."""
         self._check_level(level)
         if level not in self._image_cache:
+            self.cache_stats.image_misses += 1
             self._image_cache[level] = materialize_image(self._spec, level)
+        else:
+            self.cache_stats.image_hits += 1
         return self._image_cache[level]
 
     def image_class_count(self, level: int) -> int:

@@ -229,3 +229,27 @@ class TestCycles:
         vm = ClassLoaderVM(apk, framework, 23)
         result = vm.explore(entry_refs(apk))
         assert result.stats.methods_analyzed > 0
+
+
+class TestCrossAppReuse:
+    def test_second_exploration_is_served_warm(self, spec):
+        from repro.framework.repository import FrameworkRepository
+
+        framework = FrameworkRepository(spec)
+        apk = make_apk(
+            [activity_class(),
+             caller_class("com.test.app.T", "android.widget.Toast", "show")]
+        )
+        first = ClassLoaderVM(apk, framework, 23).explore(entry_refs(apk))
+        assert first.stats.framework_classes_reused == 0
+        # Same repository, new VM — the framework classes come out of
+        # the shared cache, and the stats say so.
+        second = ClassLoaderVM(apk, framework, 23).explore(entry_refs(apk))
+        assert (
+            second.stats.framework_classes_reused
+            == second.stats.framework_classes_loaded
+        )
+        assert second.stats.framework_reuse_rate == 1.0
+        # Reuse is observational: both runs model identical cost.
+        assert second.stats.work_units == first.stats.work_units
+        assert second.stats.memory_units == first.stats.memory_units

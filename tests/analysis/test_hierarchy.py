@@ -46,11 +46,32 @@ class TestResolution:
         apk = make_apk([activity_class()])
         loaded = []
         resolver = HierarchyResolver(
-            apk, framework, 23, loaded_hook=lambda c: loaded.append(c.name)
+            apk, framework, 23,
+            loaded_hook=lambda c, warm: loaded.append(c.name),
         )
         resolver.resolve("android.view.View")
         resolver.resolve("android.view.View")
         assert loaded.count("android.view.View") == 1
+
+    def test_loaded_hook_reports_warm_framework_loads(self, framework):
+        apk = make_apk([activity_class()])
+        warmth: dict[str, bool] = {}
+        resolver = HierarchyResolver(
+            apk, framework, 23,
+            loaded_hook=lambda c, warm: warmth.setdefault(c.name, warm),
+        )
+        resolver.resolve("android.view.View")
+        # A second resolver over the same repository gets the class
+        # from the shared cache — the hook must say so.
+        second = HierarchyResolver(
+            apk, framework, 23,
+            loaded_hook=lambda c, warm: warmth.__setitem__(c.name, warm),
+        )
+        second.resolve("android.view.View")
+        assert warmth["android.view.View"] is True
+        # App classes are never "warm": they come from the APK itself.
+        second.resolve("com.test.app.MainActivity")
+        assert warmth["com.test.app.MainActivity"] is False
 
 
 class TestHierarchyWalks:

@@ -1,6 +1,9 @@
 """Tests for the API database."""
 
+import pytest
+
 from repro.analysis.intervals import ApiInterval
+from repro.core.arm import mine_spec
 from repro.ir.types import MethodRef
 
 
@@ -127,3 +130,102 @@ class TestIntrospection:
         assert "android.app.Activity" in apidb
         assert len(apidb) > 1000
         assert apidb.method_count > 10_000
+
+
+@pytest.fixture(scope="module")
+def fresh_db(spec):
+    """A private database instance whose cache counters start at zero
+    (the session-scoped ``apidb`` is shared and already warm)."""
+    return mine_spec(spec)
+
+
+class TestMemoization:
+    def test_resolve_counts_miss_then_hit(self, fresh_db):
+        before = fresh_db.cache_counters.resolve_misses
+        first = fresh_db.resolve("android.app.Activity", GCSL)
+        second = fresh_db.resolve("android.app.Activity", GCSL)
+        assert first is second and first is not None
+        assert fresh_db.cache_counters.resolve_misses == before + 1
+        assert fresh_db.cache_counters.resolve_hits >= 1
+
+    def test_exists_and_missing_levels_share_one_walk(self, fresh_db):
+        counters = fresh_db.cache_counters
+        misses = counters.levels_misses
+        assert fresh_db.exists("android.app.Activity", GCSL, 23)
+        # Same (class, signature): every later query is a cache hit,
+        # whichever entry point asks.
+        hits = counters.levels_hits
+        assert not fresh_db.exists("android.app.Activity", GCSL, 22)
+        span = fresh_db.missing_levels(
+            "android.app.Activity", GCSL, ApiInterval.of(21, 29)
+        )
+        assert (span.lo, span.hi) == (21, 22)
+        assert counters.levels_misses == misses + 1
+        assert counters.levels_hits >= hits + 2
+
+    def test_memoized_answers_match_fresh_database(self, apidb, spec):
+        # The warm session database and a cold one must agree
+        # everywhere we probe — memoization is invisible.
+        cold = mine_spec(spec)
+        probes = [
+            ("android.app.Activity", GCSL),
+            ("android.content.Context", GCSL),
+            ("no.such.Class", "m()void"),
+        ]
+        for name, signature in probes:
+            for level in range(21, 30):
+                assert apidb.exists(name, signature, level) == cold.exists(
+                    name, signature, level
+                )
+
+    def test_permissions_for_memoized(self, fresh_db):
+        ref = MethodRef(
+            "android.app.Activity", "getColorStateList",
+            "(int)android.content.res.ColorStateList",
+        )
+        counters = fresh_db.cache_counters
+        misses = counters.permission_misses
+        first = fresh_db.permissions_for(ref, deep=True)
+        second = fresh_db.permissions_for(ref, deep=True)
+        assert first is second
+        assert counters.permission_misses == misses + 1
+        # deep=False is a distinct cache entry, not a stale answer.
+        fresh_db.permissions_for(ref, deep=False)
+        assert counters.permission_misses == misses + 2
+
+    def test_reset_cache_counters(self, fresh_db):
+        fresh_db.resolve("android.app.Activity", GCSL)
+        assert fresh_db.cache_counters.hits + fresh_db.cache_counters.misses
+        fresh_db.reset_cache_counters()
+        assert fresh_db.cache_counters.hits == 0
+        assert fresh_db.cache_counters.misses == 0
+        # The memo tables themselves survive a counter reset.
+        before = fresh_db.cache_counters.resolve_hits
+        fresh_db.resolve("android.app.Activity", GCSL)
+        assert fresh_db.cache_counters.resolve_hits == before + 1
+
+    def test_hit_rate_bounds(self, fresh_db):
+        fresh_db.reset_cache_counters()
+        assert fresh_db.cache_counters.hit_rate == 0.0
+        # A signature no earlier test touched: one miss, one hit.
+        fresh_db.resolve("android.view.View", GCSL)
+        fresh_db.resolve("android.view.View", GCSL)
+        assert 0.0 < fresh_db.cache_counters.hit_rate < 1.0
+
+
+class TestLevelCounts:
+    def test_api_count_at_matches_manual_scan(self, apidb):
+        for level in (5, 23, 29):
+            manual = sum(
+                1
+                for entry in apidb._classes.values()
+                for method in entry.methods.values()
+                if level in method.levels
+            )
+            assert apidb.api_count_at(level) == manual
+
+    def test_out_of_range_level_rejected(self, apidb):
+        with pytest.raises(ValueError):
+            apidb.api_count_at(1)
+        with pytest.raises(ValueError):
+            apidb.api_count_at(99)

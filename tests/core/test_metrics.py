@@ -79,3 +79,46 @@ class TestAnalysisMetrics:
         metrics.failed = True
         metrics.failure_reason = "timeout"
         assert metrics.failure_reason == "timeout"
+
+
+class TestWarmLoadAccounting:
+    def test_record_load_counts_warm_framework_reuse(self, framework):
+        stats = LoadStats()
+        clazz = framework.load_class("android.widget.Toast", 23)
+        stats.record_load(clazz)
+        stats.record_load(clazz, warm=True)
+        assert stats.framework_classes_reused == 1
+        assert (
+            stats.framework_instructions_reused == clazz.instruction_count
+        )
+        assert stats.framework_reuse_rate == 0.5
+
+    def test_app_classes_are_never_reused(self, framework):
+        from tests.conftest import activity_class
+
+        stats = LoadStats()
+        app_clazz = activity_class()
+        stats.record_load(app_clazz, warm=True)
+        assert stats.framework_classes_reused == 0
+        assert stats.framework_reuse_rate == 0.0
+
+    def test_warm_loads_do_not_change_the_cost_model(self, framework):
+        clazz = framework.load_class("android.widget.Toast", 23)
+        cold = LoadStats()
+        cold.record_load(clazz)
+        warm = LoadStats()
+        warm.record_load(clazz, warm=True)
+        # Warm accounting is observational only: identical work and
+        # memory whatever the cache did, so a corpus run's modeled
+        # costs never depend on analysis order or worker placement.
+        assert cold.work_units == warm.work_units
+        assert cold.memory_units == warm.memory_units
+        cold_metrics = AnalysisMetrics(tool="T", app="A", stats=cold)
+        warm_metrics = AnalysisMetrics(tool="T", app="A", stats=warm)
+        assert cold_metrics.modeled_seconds == warm_metrics.modeled_seconds
+        assert (
+            cold_metrics.modeled_memory_mb == warm_metrics.modeled_memory_mb
+        )
+        assert warm_metrics.framework_classes_reused == 1
+        assert warm_metrics.warm_load_fraction == 1.0
+        assert cold_metrics.warm_load_fraction == 0.0
