@@ -1,0 +1,125 @@
+"""E12 — fault-tolerance overhead on the no-fault happy path.
+
+The robustness layer (structured errors, retry scheduling, fault-plan
+lookups, per-app deadline plumbing) sits on every corpus run, faults
+or not — so its happy-path cost must be negligible.  This benchmark
+times the same corpus twice:
+
+* **plain**   — ``run_tools`` with every robustness knob at its
+  default (no retries, no fault plan, no timeout);
+* **armed**   — retries budgeted (``max_retries=2``), an *empty*
+  fault plan attached, and a generous per-app deadline — the full
+  tolerance machinery engaged with nothing to tolerate.
+
+The two configurations are interleaved and each timed as a
+min-of-N-repetitions (the minimum is the least noisy location
+statistic for a fixed workload); the armed run must stay within 5% of
+plain.  Numbers land in ``results/BENCH_faults.json``.
+
+Environment knobs: ``REPRO_FAULT_CORPUS`` (apps, default 12),
+``REPRO_FAULT_REPS`` (repetitions, default 6 — the per-rep noise on a
+shared box easily exceeds the machinery's true cost, so the min needs
+several samples to converge).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+
+import pytest
+
+from repro.eval.faults import FaultPlan
+from repro.eval.runner import ToolSet, run_tools
+from repro.workload.corpus import CorpusConfig, generate_corpus
+
+from .conftest import RESULTS_DIR
+
+CORPUS_SIZE = int(os.environ.get("REPRO_FAULT_CORPUS", "12"))
+REPS = int(os.environ.get("REPRO_FAULT_REPS", "6"))
+
+BENCH_CORPUS = CorpusConfig(
+    count=CORPUS_SIZE, kloc_median=3.0, kloc_max=12.0, seed=13579
+)
+
+#: The happy-path budget: the tolerance machinery may cost at most
+#: this fraction of a plain run.
+MAX_OVERHEAD = 0.05
+
+
+@pytest.fixture(scope="module")
+def overhead() -> dict:
+    toolset = ToolSet.default(include=("SAINTDroid",))
+    apps = [
+        member.forged
+        for member in generate_corpus(BENCH_CORPUS, toolset.apidb)
+    ]
+    empty_plan = FaultPlan()
+    armed_kwargs = dict(
+        timeout_s=300.0, max_retries=2, fault_plan=empty_plan
+    )
+
+    # Warm both code paths (and the framework/database caches) before
+    # timing anything.
+    run_tools(apps, toolset)
+    run_tools(apps, toolset, **armed_kwargs)
+
+    plain_times: list[float] = []
+    armed_times: list[float] = []
+    plain_run = armed_run = None
+    # Interleave so drift (thermal, scheduler) hits both arms alike.
+    for _ in range(REPS):
+        start = time.perf_counter()
+        plain_run = run_tools(apps, toolset)
+        plain_times.append(time.perf_counter() - start)
+
+        start = time.perf_counter()
+        armed_run = run_tools(apps, toolset, **armed_kwargs)
+        armed_times.append(time.perf_counter() - start)
+
+    return {
+        "plain_run": plain_run,
+        "armed_run": armed_run,
+        "plain_s": min(plain_times),
+        "armed_s": min(armed_times),
+        "plain_times": plain_times,
+        "armed_times": armed_times,
+    }
+
+
+def test_armed_run_is_result_identical(overhead):
+    assert (
+        overhead["plain_run"].fingerprint()
+        == overhead["armed_run"].fingerprint()
+    )
+    assert overhead["armed_run"].failed_apps == ()
+
+
+def test_overhead_and_report(overhead):
+    plain_s = overhead["plain_s"]
+    armed_s = overhead["armed_s"]
+    ratio = armed_s / plain_s
+
+    payload = {
+        "corpus_apps": CORPUS_SIZE,
+        "repetitions": REPS,
+        "plain_min_s": round(plain_s, 4),
+        "armed_min_s": round(armed_s, 4),
+        "plain_times_s": [round(t, 4) for t in overhead["plain_times"]],
+        "armed_times_s": [round(t, 4) for t in overhead["armed_times"]],
+        "overhead_ratio": round(ratio, 4),
+        "overhead_pct": round(100.0 * (ratio - 1.0), 2),
+        "budget_pct": 100.0 * MAX_OVERHEAD,
+    }
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / "BENCH_faults.json").write_text(
+        json.dumps(payload, indent=2) + "\n"
+    )
+    print()
+    print(json.dumps(payload, indent=2))
+
+    assert ratio <= 1.0 + MAX_OVERHEAD, (
+        f"fault-tolerance machinery costs {100 * (ratio - 1):.1f}% on "
+        f"the no-fault path (budget {100 * MAX_OVERHEAD:.0f}%)"
+    )

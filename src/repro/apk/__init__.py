@@ -9,6 +9,7 @@ from .manifest import (
     RUNTIME_PERMISSIONS_LEVEL,
 )
 from .dexfile import DexFile
+from .diagnostics import DiagnosticCode, IngestDiagnostic
 from .package import Apk
 from .serialization import (
     SerializationError,
@@ -25,6 +26,8 @@ __all__ = [
     "Component",
     "ComponentKind",
     "DexFile",
+    "DiagnosticCode",
+    "IngestDiagnostic",
     "MAX_API_LEVEL",
     "MIN_API_LEVEL",
     "Manifest",

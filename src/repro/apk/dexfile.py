@@ -13,7 +13,8 @@ from dataclasses import dataclass, field
 
 from ..ir.clazz import Clazz
 from ..ir.types import ClassName
-from ..ir.validate import validate_class
+from ..ir.validate import ValidationError, validate_class
+from .diagnostics import DiagnosticCode, IngestDiagnostic
 
 __all__ = ["DexFile"]
 
@@ -26,22 +27,61 @@ class DexFile:
     classes: tuple[Clazz, ...] = ()
     #: True for dex files loaded only through DexClassLoader at runtime.
     secondary: bool = False
+    #: ``strict=False`` drops malformed/duplicate classes instead of
+    #: raising, recording each drop in :attr:`diagnostics`.
+    strict: bool = field(default=True, compare=False, repr=False)
+    diagnostics: tuple[IngestDiagnostic, ...] = field(
+        default=(), init=False, compare=False, repr=False
+    )
 
     _by_name: dict[ClassName, Clazz] = field(
         default_factory=dict, init=False, repr=False, compare=False
     )
 
     def __post_init__(self) -> None:
+        found: list[IngestDiagnostic] = []
         if not self.name:
-            raise ValueError("dex file requires a name")
+            if self.strict:
+                raise ValueError("dex file requires a name")
+            found.append(
+                IngestDiagnostic(
+                    DiagnosticCode.UNNAMED_DEX, "dex file had no name"
+                )
+            )
+            object.__setattr__(self, "name", "classes.dex")
         table: dict[ClassName, Clazz] = {}
+        kept: list[Clazz] = []
         for clazz in self.classes:
             if clazz.name in table:
-                raise ValueError(
-                    f"{self.name}: duplicate class {clazz.name}"
+                if self.strict:
+                    raise ValueError(
+                        f"{self.name}: duplicate class {clazz.name}"
+                    )
+                found.append(
+                    IngestDiagnostic(
+                        DiagnosticCode.DUPLICATE_CLASS,
+                        f"{self.name}: duplicate class {clazz.name} "
+                        f"(kept first definition)",
+                    )
                 )
-            validate_class(clazz)
+                continue
+            try:
+                validate_class(clazz)
+            except ValidationError as exc:
+                if self.strict:
+                    raise
+                found.append(
+                    IngestDiagnostic(
+                        DiagnosticCode.INVALID_CLASS,
+                        f"{self.name}: dropped {clazz.name}: {exc}",
+                    )
+                )
+                continue
             table[clazz.name] = clazz
+            kept.append(clazz)
+        if found:
+            object.__setattr__(self, "classes", tuple(kept))
+            object.__setattr__(self, "diagnostics", tuple(found))
         object.__setattr__(self, "_by_name", table)
 
     def __len__(self) -> int:

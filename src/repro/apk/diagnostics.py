@@ -1,0 +1,60 @@
+"""Ingestion diagnostics: what was wrong with a package we accepted.
+
+Real corpus vetting meets malformed APKs constantly — duplicate
+classes across dex files, absent manifest attributes, inverted SDK
+ranges.  The strict ingestion path (the default) rejects them with a
+``ValueError``; the lenient path (``strict=False`` on
+:class:`~repro.apk.package.Apk` and friends) repairs what it can,
+records *what* it repaired as :class:`IngestDiagnostic` values, and
+hands the analysis a partial-but-valid model.  The eval layer folds
+these diagnostics into the structured error taxonomy
+(:mod:`repro.core.errors`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["DiagnosticCode", "IngestDiagnostic"]
+
+
+class DiagnosticCode:
+    """Stable codes for every lenient-mode repair."""
+
+    # -- manifest ----------------------------------------------------
+    MISSING_PACKAGE = "manifest-missing-package"
+    BAD_MIN_SDK = "manifest-bad-min-sdk"
+    TARGET_BELOW_MIN = "manifest-target-below-min"
+    MAX_BELOW_TARGET = "manifest-max-below-target"
+    # -- dex ---------------------------------------------------------
+    UNNAMED_DEX = "dex-unnamed"
+    DUPLICATE_CLASS = "dex-duplicate-class"
+    INVALID_CLASS = "dex-invalid-class"
+    # -- package -----------------------------------------------------
+    NO_DEX_FILES = "apk-no-dex-files"
+    PRIMARY_MARKED_SECONDARY = "apk-primary-marked-secondary"
+    CROSS_DEX_DUPLICATE = "apk-cross-dex-duplicate"
+
+    ALL = (
+        MISSING_PACKAGE,
+        BAD_MIN_SDK,
+        TARGET_BELOW_MIN,
+        MAX_BELOW_TARGET,
+        UNNAMED_DEX,
+        DUPLICATE_CLASS,
+        INVALID_CLASS,
+        NO_DEX_FILES,
+        PRIMARY_MARKED_SECONDARY,
+        CROSS_DEX_DUPLICATE,
+    )
+
+
+@dataclass(frozen=True)
+class IngestDiagnostic:
+    """One repaired defect: a stable code plus human detail."""
+
+    code: str
+    detail: str = ""
+
+    def __str__(self) -> str:
+        return f"{self.code}: {self.detail}" if self.detail else self.code

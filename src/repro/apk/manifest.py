@@ -12,8 +12,13 @@ import enum
 from dataclasses import dataclass, field
 
 from ..ir.types import ClassName
+from .diagnostics import DiagnosticCode, IngestDiagnostic
 
 __all__ = ["ComponentKind", "Component", "Manifest"]
+
+#: Package name substituted when a lenient ingest meets a manifest
+#: with no package attribute.
+FALLBACK_PACKAGE = "unknown.package"
 
 #: Lowest API level modeled by the framework repository (paper: "API
 #: levels 2 through 28/29").
@@ -66,25 +71,54 @@ class Manifest:
     #: Lint requires a successful build (paper section IV-A excludes 8
     #: of 27 benchmark apps on this ground).
     buildable: bool = True
+    #: ``strict=False`` repairs malformed attributes instead of
+    #: raising, recording each repair in :attr:`diagnostics`.
+    strict: bool = field(default=True, compare=False, repr=False)
+    diagnostics: tuple[IngestDiagnostic, ...] = field(
+        default=(), init=False, compare=False, repr=False
+    )
 
     def __post_init__(self) -> None:
+        found: list[IngestDiagnostic] = []
+
+        def _reject(code: str, detail: str) -> None:
+            if self.strict:
+                raise ValueError(detail)
+            found.append(IngestDiagnostic(code, detail))
+
         if not self.package:
-            raise ValueError("manifest requires a package name")
+            _reject(
+                DiagnosticCode.MISSING_PACKAGE,
+                "manifest requires a package name",
+            )
+            object.__setattr__(self, "package", FALLBACK_PACKAGE)
         if not MIN_API_LEVEL <= self.min_sdk <= MAX_API_LEVEL:
-            raise ValueError(
+            _reject(
+                DiagnosticCode.BAD_MIN_SDK,
                 f"minSdkVersion {self.min_sdk} outside "
-                f"[{MIN_API_LEVEL}, {MAX_API_LEVEL}]"
+                f"[{MIN_API_LEVEL}, {MAX_API_LEVEL}]",
+            )
+            object.__setattr__(
+                self,
+                "min_sdk",
+                min(max(self.min_sdk, MIN_API_LEVEL), MAX_API_LEVEL),
             )
         if self.target_sdk < self.min_sdk:
-            raise ValueError(
+            _reject(
+                DiagnosticCode.TARGET_BELOW_MIN,
                 f"targetSdkVersion {self.target_sdk} below "
-                f"minSdkVersion {self.min_sdk}"
+                f"minSdkVersion {self.min_sdk}",
             )
+            object.__setattr__(self, "target_sdk", self.min_sdk)
         if self.max_sdk is not None and self.max_sdk < self.target_sdk:
-            raise ValueError(
+            _reject(
+                DiagnosticCode.MAX_BELOW_TARGET,
                 f"maxSdkVersion {self.max_sdk} below "
-                f"targetSdkVersion {self.target_sdk}"
+                f"targetSdkVersion {self.target_sdk}",
             )
+            object.__setattr__(self, "max_sdk", None)
+        if found:
+            object.__setattr__(self, "diagnostics", tuple(found))
 
     @property
     def effective_max_sdk(self) -> int:

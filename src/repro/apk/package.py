@@ -7,11 +7,13 @@ lookup spans all dex files, mirroring a multidex application.
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass, field
 
 from ..ir.clazz import Clazz
 from ..ir.types import ClassName
 from .dexfile import DexFile
+from .diagnostics import DiagnosticCode, IngestDiagnostic
 from .manifest import Manifest
 
 __all__ = ["Apk"]
@@ -29,25 +31,87 @@ class Apk:
     dex_files: tuple[DexFile, ...]
     #: Display name (benchmark apps carry the paper's app names).
     label: str = ""
+    #: ``strict=False`` repairs structural defects (no dex files, a
+    #: secondary dex in primary position, cross-dex duplicate classes)
+    #: instead of raising; every repair lands in :attr:`diagnostics`
+    #: along with the child dex files' and manifest's own diagnostics.
+    strict: bool = field(default=True, compare=False, repr=False)
+    diagnostics: tuple[IngestDiagnostic, ...] = field(
+        default=(), init=False, compare=False, repr=False
+    )
 
     _by_name: dict[ClassName, Clazz] = field(
         default_factory=dict, init=False, repr=False, compare=False
     )
 
     def __post_init__(self) -> None:
-        if not self.dex_files:
-            raise ValueError("an APK requires at least one dex file")
-        if self.dex_files[0].secondary:
-            raise ValueError("the first dex file must be the primary dex")
-        table: dict[ClassName, Clazz] = {}
+        found: list[IngestDiagnostic] = list(self.manifest.diagnostics)
         for dex in self.dex_files:
+            found.extend(dex.diagnostics)
+        if not self.dex_files:
+            if self.strict:
+                raise ValueError("an APK requires at least one dex file")
+            found.append(
+                IngestDiagnostic(
+                    DiagnosticCode.NO_DEX_FILES,
+                    "package carried no dex files; synthesized an "
+                    "empty primary dex",
+                )
+            )
+            object.__setattr__(
+                self, "dex_files", (DexFile("classes.dex"),)
+            )
+        if self.dex_files[0].secondary:
+            if self.strict:
+                raise ValueError(
+                    "the first dex file must be the primary dex"
+                )
+            found.append(
+                IngestDiagnostic(
+                    DiagnosticCode.PRIMARY_MARKED_SECONDARY,
+                    f"{self.dex_files[0].name} was marked secondary; "
+                    f"promoted to primary",
+                )
+            )
+            promoted = dataclasses.replace(
+                self.dex_files[0], secondary=False
+            )
+            object.__setattr__(
+                self, "dex_files", (promoted,) + self.dex_files[1:]
+            )
+        table: dict[ClassName, Clazz] = {}
+        rebuilt: list[DexFile] = []
+        rebuild_needed = False
+        for dex in self.dex_files:
+            kept: list[Clazz] = []
             for clazz in dex.classes:
                 if clazz.name in table:
-                    raise ValueError(
-                        f"{self.name}: class {clazz.name} defined in "
-                        f"multiple dex files"
+                    if self.strict:
+                        raise ValueError(
+                            f"{self.name}: class {clazz.name} defined "
+                            f"in multiple dex files"
+                        )
+                    found.append(
+                        IngestDiagnostic(
+                            DiagnosticCode.CROSS_DEX_DUPLICATE,
+                            f"{dex.name}: class {clazz.name} already "
+                            f"defined in an earlier dex file "
+                            f"(kept first definition)",
+                        )
                     )
+                    rebuild_needed = True
+                    continue
                 table[clazz.name] = clazz
+                kept.append(clazz)
+            rebuilt.append(
+                dataclasses.replace(dex, classes=tuple(kept))
+                if len(kept) != len(dex.classes)
+                else dex
+            )
+        if rebuild_needed:
+            object.__setattr__(self, "dex_files", tuple(rebuilt))
+        if found:
+            object.__setattr__(self, "diagnostics", tuple(found))
         object.__setattr__(self, "_by_name", table)
 
     # -- identity ----------------------------------------------------

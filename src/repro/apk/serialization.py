@@ -259,9 +259,11 @@ def _manifest_to_dict(manifest: Manifest) -> dict[str, Any]:
     return doc
 
 
-def _manifest_from_dict(doc: dict[str, Any]) -> Manifest:
+def _manifest_from_dict(
+    doc: dict[str, Any], *, strict: bool = True
+) -> Manifest:
     return Manifest(
-        package=doc["package"],
+        package=doc.get("package", "") if not strict else doc["package"],
         min_sdk=doc["minSdkVersion"],
         target_sdk=doc["targetSdkVersion"],
         max_sdk=doc.get("maxSdkVersion"),
@@ -277,6 +279,7 @@ def _manifest_from_dict(doc: dict[str, Any]) -> Manifest:
         ),
         version_code=doc.get("versionCode", 1),
         buildable=bool(doc.get("buildable", True)),
+        strict=strict,
     )
 
 
@@ -297,27 +300,39 @@ def apk_to_dict(apk: Apk) -> dict[str, Any]:
     }
 
 
-def apk_from_dict(doc: dict[str, Any]) -> Apk:
-    """Decode a dictionary produced by :func:`apk_to_dict`."""
+def apk_from_dict(doc: dict[str, Any], *, strict: bool = True) -> Apk:
+    """Decode a dictionary produced by :func:`apk_to_dict`.
+
+    ``strict=False`` routes every model constructor through the
+    lenient ingestion path: malformed attributes, duplicate classes,
+    and structural defects are repaired and recorded on the returned
+    package's ``diagnostics`` instead of raising.
+    """
     version = doc.get("format")
     if version != FORMAT_VERSION:
         raise SerializationError(
             f"unsupported .sapk format version {version!r}"
         )
     try:
-        manifest = _manifest_from_dict(doc["manifest"])
+        manifest = _manifest_from_dict(doc["manifest"], strict=strict)
         dex_files = tuple(
             DexFile(
-                name=d["name"],
+                name=d.get("name", "") if not strict else d["name"],
                 classes=tuple(_class_from_dict(c) for c in d["classes"]),
                 secondary=bool(d.get("secondary", False)),
+                strict=strict,
             )
             for d in doc["dexFiles"]
         )
     except (KeyError, TypeError) as exc:
         raise SerializationError(f"malformed .sapk document: {exc}") from exc
+    except ValueError as exc:
+        raise SerializationError(f"invalid package content: {exc}") from exc
     return Apk(
-        manifest=manifest, dex_files=dex_files, label=doc.get("label", "")
+        manifest=manifest,
+        dex_files=dex_files,
+        label=doc.get("label", ""),
+        strict=strict,
     )
 
 
@@ -329,17 +344,17 @@ def dumps(apk: Apk, *, indent: int | None = None) -> str:
     return json.dumps(apk_to_dict(apk), indent=indent, sort_keys=False)
 
 
-def loads(text: str) -> Apk:
+def loads(text: str, *, strict: bool = True) -> Apk:
     try:
         doc = json.loads(text)
     except json.JSONDecodeError as exc:
         raise SerializationError(f"invalid JSON: {exc}") from exc
-    return apk_from_dict(doc)
+    return apk_from_dict(doc, strict=strict)
 
 
 def save_apk(apk: Apk, path: str | Path, *, indent: int | None = None) -> None:
     Path(path).write_text(dumps(apk, indent=indent))
 
 
-def load_apk(path: str | Path) -> Apk:
-    return loads(Path(path).read_text())
+def load_apk(path: str | Path, *, strict: bool = True) -> Apk:
+    return loads(Path(path).read_text(), strict=strict)

@@ -13,7 +13,10 @@ Subcommands
 
 Corpus-scale commands (``table``, ``rq2``, ``figure``, ``sweep``)
 accept ``--jobs N`` to fan analysis out over a process pool; results
-are identical to a serial run.
+are identical to a serial run.  ``table``, ``rq2``, and ``figure``
+also take the fault-tolerance flags ``--timeout``, ``--max-retries``,
+``--retry-backoff``, and ``--checkpoint`` (kill/resume journal); runs
+that lose apps end with a per-kind failure breakdown.
 ``verify``     dynamically verify static findings (paper §VI)
 ``repair``     synthesize a repaired package (paper §VIII)
 ``update-impact``  what breaks when the device framework is updated
@@ -32,9 +35,11 @@ from .core import SaintDroid, build_api_database, render_report
 from .eval import (
     ToolSet,
     ascii_scatter,
+    failure_breakdown,
     figure1_regions,
     figure3_series,
     figure4_series,
+    render_failures,
     render_rq2,
     render_table1,
     render_table2,
@@ -90,6 +95,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--json", action="store_true", help="emit JSON instead of text"
     )
     analyze.add_argument(
+        "--lenient",
+        action="store_true",
+        help="ingest malformed packages with best-effort repairs "
+             "instead of rejecting them (diagnostics are reported)",
+    )
+    analyze.add_argument(
         "--devices",
         nargs=2,
         type=int,
@@ -110,15 +121,40 @@ def build_parser() -> argparse.ArgumentParser:
         "worker builds the shared framework + API database once)"
     )
 
+    def _add_corpus_flags(command: argparse.ArgumentParser) -> None:
+        command.add_argument(
+            "--jobs", type=int, default=1, help=jobs_help
+        )
+        command.add_argument(
+            "--timeout", type=float, default=None, metavar="S",
+            help="per-app wall-clock budget in seconds",
+        )
+        command.add_argument(
+            "--max-retries", type=int, default=0, metavar="N",
+            help="re-attempts for retryable failures (timeout, lost "
+                 "worker) before an app is quarantined",
+        )
+        command.add_argument(
+            "--retry-backoff", type=float, default=0.0, metavar="S",
+            help="base of the bounded exponential backoff between "
+                 "retries",
+        )
+        command.add_argument(
+            "--checkpoint", type=Path, default=None, metavar="PATH",
+            help="JSONL journal of completed results; a re-run "
+                 "pointed at the same file resumes where it was "
+                 "killed",
+        )
+
     table = sub.add_parser("table", help="regenerate a paper table")
     table.add_argument("number", type=int, choices=(1, 2, 3, 4))
     table.add_argument("--scale", type=float, default=1.0)
-    table.add_argument("--jobs", type=int, default=1, help=jobs_help)
+    _add_corpus_flags(table)
 
     rq2 = sub.add_parser("rq2", help="regenerate the RQ2 summary")
     rq2.add_argument("--count", type=int, default=300)
     rq2.add_argument("--seed", type=int, default=1234567)
-    rq2.add_argument("--jobs", type=int, default=1, help=jobs_help)
+    _add_corpus_flags(rq2)
 
     figure = sub.add_parser("figure", help="regenerate a paper figure")
     figure.add_argument("number", type=int, choices=(1, 3, 4))
@@ -127,7 +163,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--app-level", type=int, default=23,
         help="app target level for figure 1",
     )
-    figure.add_argument("--jobs", type=int, default=1, help=jobs_help)
+    _add_corpus_flags(figure)
 
     sweep = sub.add_parser(
         "sweep",
@@ -193,8 +229,35 @@ def _make_tool(args: argparse.Namespace):
     return Lint(framework, apidb)
 
 
+def _run_kwargs(args: argparse.Namespace) -> dict:
+    """run_tools() fault-tolerance kwargs from corpus-command flags."""
+    return {
+        "jobs": args.jobs,
+        "timeout_s": args.timeout,
+        "max_retries": args.max_retries,
+        "retry_backoff_s": args.retry_backoff,
+        "checkpoint": args.checkpoint,
+    }
+
+
+def _print_failures(run) -> None:
+    """After a corpus run: per-kind breakdown of quarantined apps."""
+    if run.failed_apps:
+        print()
+        print(render_failures(failure_breakdown(run)))
+    if run.resumed_indices:
+        print(
+            f"(resumed: {len(run.resumed_indices)} apps restored "
+            f"from checkpoint)"
+        )
+
+
 def _cmd_analyze(args: argparse.Namespace) -> int:
-    apk = load_apk(args.apk)
+    apk = load_apk(args.apk, strict=not args.lenient)
+    if args.lenient and apk.diagnostics:
+        print(f"lenient ingestion: {len(apk.diagnostics)} repair(s)")
+        for diagnostic in apk.diagnostics:
+            print(f"  {diagnostic}")
     tool = _make_tool(args)
     if args.devices and args.tool == "SAINTDroid":
         from .analysis.intervals import ApiInterval
@@ -250,12 +313,13 @@ def _cmd_table(args: argparse.Namespace) -> int:
         print(render_table4(table4_capabilities(toolset.tools)))
         return 0
     apps = build_benchmark_suite(toolset.apidb, scale=args.scale)
-    run = run_tools(apps, toolset, jobs=args.jobs)
+    run = run_tools(apps, toolset, **_run_kwargs(args))
     if args.number == 2:
         print(render_table2(table2_accuracy(run)))
     else:
         labels = tuple(spec.label for spec in CIDER_BENCH)
         print(render_table3(table3_times(run, apps=labels)))
+    _print_failures(run)
     return 0
 
 
@@ -264,7 +328,7 @@ def _cmd_rq2(args: argparse.Namespace) -> int:
     config = CorpusConfig(count=args.count, seed=args.seed)
     corpus = list(generate_corpus(config, toolset.apidb))
     run = run_tools(
-        [entry.forged for entry in corpus], toolset, jobs=args.jobs
+        [entry.forged for entry in corpus], toolset, **_run_kwargs(args)
     )
     modern = {entry.forged.apk.name: entry.modern_target for entry in corpus}
     results = [
@@ -273,6 +337,7 @@ def _cmd_rq2(args: argparse.Namespace) -> int:
         if "SAINTDroid" in result.reports
     ]
     print(render_rq2(rq2_summary(results)))
+    _print_failures(run)
     return 0
 
 
@@ -286,7 +351,7 @@ def _cmd_figure(args: argparse.Namespace) -> int:
     toolset = ToolSet.default(include=("SAINTDroid", "CID", "Lint"))
     config = CorpusConfig(count=args.count)
     corpus = [e.forged for e in generate_corpus(config, toolset.apidb)]
-    run = run_tools(corpus, toolset, jobs=args.jobs)
+    run = run_tools(corpus, toolset, **_run_kwargs(args))
     if args.number == 3:
         data = figure3_series(run)
         print("Figure 3: SAINTDroid analysis time vs app size")
@@ -305,6 +370,7 @@ def _cmd_figure(args: argparse.Namespace) -> int:
                 f"  {tool}: avg {summary['average_mb']:.0f} MB "
                 f"range {summary['min_mb']:.0f}-{summary['max_mb']:.0f}"
             )
+    _print_failures(run)
     return 0
 
 

@@ -1,6 +1,13 @@
 """SAINTDroid core: AUM, ARM, AMD, and the detector facade."""
 
 from .mismatch import Mismatch, MismatchKind
+from .errors import (
+    AnalysisError,
+    AnalysisPhase,
+    ErrorKind,
+    WorkerLostError,
+    classify_exception,
+)
 from .apidb import ApiClassEntry, ApiDatabase, ApiEntry
 from .arm import build_api_database, close_permissions, mine_images, mine_spec
 from .aum import (
@@ -27,8 +34,13 @@ from .detector import AnalysisReport, SaintDroid
 from .report import render_report, render_summary_line
 
 __all__ = [
+    "AnalysisError",
     "AnalysisMetrics",
+    "AnalysisPhase",
     "AnalysisReport",
+    "ErrorKind",
+    "WorkerLostError",
+    "classify_exception",
     "AndroidMismatchDetector",
     "ApiClassEntry",
     "ApiDatabase",

@@ -25,6 +25,7 @@ from .amd import AndroidMismatchDetector
 from .apidb import ApiDatabase
 from .arm import build_api_database
 from .aum import ApiUsageModeler, AumModel
+from .errors import AnalysisPhase, tag_phase
 from .metrics import AnalysisMetrics
 from .mismatch import Mismatch
 
@@ -111,7 +112,8 @@ class SaintDroid:
         checks the app's whole declared range.
         """
         started = time.perf_counter()
-        model = self._aum.build(apk)
+        with tag_phase(AnalysisPhase.AUM):
+            model = self._aum.build(apk)
         if not self._lazy:
             # Eager ablation: account for loading the entire world the
             # way closed-world tools do before any analysis.
@@ -125,7 +127,8 @@ class SaintDroid:
                 vm.stats.framework_classes_loaded
             )
             model.stats.instructions_loaded = vm.stats.instructions_loaded
-        mismatches = self._amd.detect(model, device_levels)
+        with tag_phase(AnalysisPhase.AMD):
+            mismatches = self._amd.detect(model, device_levels)
         elapsed = time.perf_counter() - started
 
         metrics = AnalysisMetrics(

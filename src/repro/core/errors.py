@@ -1,0 +1,240 @@
+"""Structured error taxonomy for corpus-scale analysis runs.
+
+Large-scale vetting pipelines live and die by how they account for
+failure: a run over thousands of apps *will* meet malformed packages,
+analyzer crashes, per-app hangs, and dying workers, and "an error
+string" is not enough to decide what to do next.  Every failed app in
+this repository therefore carries an :class:`AnalysisError` record:
+
+* ``kind`` — *what* went wrong (:class:`ErrorKind`): ``parse``,
+  ``timeout``, ``crash``, ``worker-lost``, or ``resource``;
+* ``phase`` — *where* it went wrong (:class:`AnalysisPhase`): APK
+  ingestion, AUM construction, ARM database work, AMD detection, or an
+  unattributed tool phase;
+* ``retryable`` — whether a fresh attempt could plausibly succeed
+  (timeouts and lost workers: yes; deterministic crashes and parse
+  failures: no);
+* ``traceback_tail`` — the last few stack frames, enough to file a
+  bug without shipping whole tracebacks between processes;
+* ``attempts`` — how many attempts the scheduler spent before giving
+  the app up (quarantine).
+
+:func:`classify_exception` maps any raised exception to a record; the
+mapping is the single place the retry policy consults.
+"""
+
+from __future__ import annotations
+
+import enum
+import traceback
+from contextlib import contextmanager
+from dataclasses import dataclass, replace
+
+__all__ = [
+    "ErrorKind",
+    "AnalysisPhase",
+    "AnalysisError",
+    "WorkerLostError",
+    "classify_exception",
+    "diagnostics_error",
+    "tag_phase",
+]
+
+#: Maximum characters kept from an exception message.
+MESSAGE_LIMIT = 300
+#: Stack frames preserved in ``traceback_tail``.
+TRACEBACK_FRAMES = 3
+
+#: Attribute set on exceptions by :func:`tag_phase` so the classifier
+#: can attribute a failure to the pipeline phase that raised it.
+_PHASE_ATTR = "_analysis_phase"
+
+
+class ErrorKind(enum.Enum):
+    """What went wrong — the operational failure taxonomy."""
+
+    #: The package was malformed (strict ingestion rejected it, or the
+    #: lenient path could not produce even a partial model).
+    PARSE = "parse"
+    #: The app exceeded its wall-clock budget.
+    TIMEOUT = "timeout"
+    #: The analyzer raised (a bug, or a hostile input it mishandles).
+    CRASH = "crash"
+    #: The worker process died under the app (OOM-killed, segfault in
+    #: a native dependency, operator kill).
+    WORKER_LOST = "worker-lost"
+    #: The host ran out of a resource (memory, file handles).
+    RESOURCE = "resource"
+
+
+class AnalysisPhase(enum.Enum):
+    """Where it went wrong — the pipeline stage that failed."""
+
+    APK = "apk"      # package ingestion / deserialization
+    AUM = "aum"      # API usage modeling
+    ARM = "arm"      # API database construction / queries
+    AMD = "amd"      # mismatch detection
+    TOOL = "tool"    # unattributed (baselines, harness glue)
+
+
+#: Kinds a scheduler may re-attempt on a fresh worker.
+RETRYABLE_KINDS = frozenset(
+    {ErrorKind.TIMEOUT, ErrorKind.WORKER_LOST, ErrorKind.RESOURCE}
+)
+
+
+class WorkerLostError(Exception):
+    """The process analyzing an app disappeared mid-flight.
+
+    Raised directly only when worker death is *simulated* in-process
+    (serial runs under fault injection); real pool-worker deaths are
+    observed by the parent as a broken pool and synthesized into the
+    same error record.
+    """
+
+
+@dataclass(frozen=True)
+class AnalysisError:
+    """One app's failure, structured for triage and retry decisions."""
+
+    kind: ErrorKind
+    phase: AnalysisPhase = AnalysisPhase.TOOL
+    message: str = ""
+    retryable: bool = False
+    #: Last ``TRACEBACK_FRAMES`` frames, innermost last, rendered as
+    #: ``file:line in func``.
+    traceback_tail: tuple[str, ...] = ()
+    #: Attempts spent on the app (1 = failed first try, no retries).
+    attempts: int = 1
+
+    def __str__(self) -> str:
+        return f"{self.kind.value}/{self.phase.value}: {self.message}"
+
+    def with_attempts(self, attempts: int) -> "AnalysisError":
+        return replace(self, attempts=attempts)
+
+    def fingerprint(self) -> dict:
+        """Deterministic content: excludes ``attempts`` (schedules may
+        legitimately spend different retry counts on the same outcome)
+        and ``traceback_tail`` (kept out so a resumed run restored
+        from a journal is bit-identical to an uninterrupted one even
+        if source line numbers move between deployments)."""
+        return {
+            "kind": self.kind.value,
+            "phase": self.phase.value,
+            "message": self.message,
+        }
+
+    # -- JSON round-trip (checkpoint journal) -------------------------
+
+    def to_dict(self) -> dict:
+        return {
+            "kind": self.kind.value,
+            "phase": self.phase.value,
+            "message": self.message,
+            "retryable": self.retryable,
+            "tracebackTail": list(self.traceback_tail),
+            "attempts": self.attempts,
+        }
+
+    @staticmethod
+    def from_dict(doc: dict) -> "AnalysisError":
+        return AnalysisError(
+            kind=ErrorKind(doc["kind"]),
+            phase=AnalysisPhase(doc["phase"]),
+            message=doc.get("message", ""),
+            retryable=bool(doc.get("retryable", False)),
+            traceback_tail=tuple(doc.get("tracebackTail", ())),
+            attempts=int(doc.get("attempts", 1)),
+        )
+
+
+@contextmanager
+def tag_phase(phase: AnalysisPhase):
+    """Attribute any exception escaping the block to ``phase``.
+
+    The innermost tag wins; an exception already tagged by a nested
+    stage keeps its more precise attribution.
+    """
+    try:
+        yield
+    except BaseException as exc:
+        if getattr(exc, _PHASE_ATTR, None) is None:
+            setattr(exc, _PHASE_ATTR, phase)
+        raise
+
+
+def _truncate(text: str) -> str:
+    if len(text) <= MESSAGE_LIMIT:
+        return text
+    return text[: MESSAGE_LIMIT - 1] + "…"
+
+
+def _traceback_tail(exc: BaseException) -> tuple[str, ...]:
+    frames = traceback.extract_tb(exc.__traceback__)
+    return tuple(
+        f"{frame.filename.rsplit('/', 1)[-1]}:{frame.lineno} "
+        f"in {frame.name}"
+        for frame in frames[-TRACEBACK_FRAMES:]
+    )
+
+
+def _kind_of(exc: BaseException) -> ErrorKind:
+    # Imported lazily: runner imports this module.
+    from ..eval.runner import AppTimeoutError
+
+    if isinstance(exc, AppTimeoutError):
+        return ErrorKind.TIMEOUT
+    if isinstance(exc, WorkerLostError):
+        return ErrorKind.WORKER_LOST
+    if isinstance(exc, (MemoryError, OSError)):
+        return ErrorKind.RESOURCE
+    if getattr(exc, _PHASE_ATTR, None) is AnalysisPhase.APK or (
+        type(exc).__name__ in ("SerializationError", "CorruptApkError")
+    ):
+        return ErrorKind.PARSE
+    return ErrorKind.CRASH
+
+
+def classify_exception(
+    exc: BaseException,
+    *,
+    phase: AnalysisPhase | None = None,
+    attempts: int = 1,
+) -> AnalysisError:
+    """Map a raised exception to its taxonomy record.
+
+    ``phase`` overrides attribution; otherwise the tag planted by
+    :func:`tag_phase` is used, defaulting to the unattributed tool
+    phase.
+    """
+    kind = _kind_of(exc)
+    resolved_phase = (
+        phase
+        or getattr(exc, _PHASE_ATTR, None)
+        or (AnalysisPhase.APK if kind is ErrorKind.PARSE
+            else AnalysisPhase.TOOL)
+    )
+    return AnalysisError(
+        kind=kind,
+        phase=resolved_phase,
+        message=_truncate(f"{type(exc).__name__}: {exc}"),
+        retryable=kind in RETRYABLE_KINDS,
+        traceback_tail=_traceback_tail(exc),
+        attempts=attempts,
+    )
+
+
+def diagnostics_error(diagnostics, *, attempts: int = 1) -> AnalysisError:
+    """Fold lenient-ingestion diagnostics into a parse-kind record
+    (used when even the lenient path cannot produce a usable model)."""
+    message = _truncate(
+        "; ".join(str(diag) for diag in diagnostics) or "malformed package"
+    )
+    return AnalysisError(
+        kind=ErrorKind.PARSE,
+        phase=AnalysisPhase.APK,
+        message=message,
+        retryable=False,
+        attempts=attempts,
+    )

@@ -3,9 +3,10 @@
 from __future__ import annotations
 
 from .detector import AnalysisReport
+from .errors import AnalysisError
 from .mismatch import MismatchKind
 
-__all__ = ["render_report", "render_summary_line"]
+__all__ = ["render_report", "render_summary_line", "render_error_line"]
 
 _KIND_ORDER = (
     MismatchKind.API_INVOCATION,
@@ -28,6 +29,15 @@ def render_summary_line(report: AnalysisReport) -> str:
             f"{report.metrics.modeled_seconds:.1f}s modeled)"
         )
     return f"{report.app}: {'  '.join(parts)}{timing}"
+
+
+def render_error_line(app: str, error: AnalysisError) -> str:
+    """One line for a failed app: kind/phase, attempts, message."""
+    attempts = (
+        f" after {error.attempts} attempts" if error.attempts > 1 else ""
+    )
+    return f"{app}: FAILED [{error.kind.value}/{error.phase.value}]" \
+           f"{attempts}: {error.message}"
 
 
 def render_report(report: AnalysisReport, *, verbose: bool = False) -> str:

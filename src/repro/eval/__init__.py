@@ -17,7 +17,17 @@ from .runner import (
     run_tools,
 )
 from .parallel import ParallelConfig, run_tools_parallel
+from .checkpoint import CheckpointError, CheckpointJournal
+from .faults import (
+    CorruptApkError,
+    FaultKind,
+    FaultPlan,
+    InjectedCrashError,
+    InjectedFault,
+)
 from .tables import (
+    failure_breakdown,
+    render_failures,
     render_rq2,
     render_table1,
     render_table2,
@@ -47,9 +57,18 @@ from .figures import (
 __all__ = [
     "AppResult",
     "AppTimeoutError",
+    "CheckpointError",
+    "CheckpointJournal",
     "ConfusionCounts",
+    "CorruptApkError",
+    "FaultKind",
+    "FaultPlan",
+    "InjectedCrashError",
+    "InjectedFault",
     "ParallelConfig",
     "analyze_app",
+    "failure_breakdown",
+    "render_failures",
     "run_tools_parallel",
     "KIND_GROUPS",
     "RunResults",

@@ -94,6 +94,8 @@ def export_run_json(run: RunResults, path: str | Path) -> None:
             "app": result.app,
             "kloc": result.kloc,
             "truthIssues": len(result.truth.issues),
+            "error": result.error.to_dict() if result.error else None,
+            "ingestDiagnostics": list(result.ingest_diagnostics),
             "tools": {},
         }
         for tool, report in result.reports.items():

@@ -1,0 +1,185 @@
+"""Deterministic fault injection for chaos-testing corpus runs.
+
+You cannot trust a fault-tolerance layer you have never watched
+survive a fault.  This module breaks corpus runs *on purpose*: a
+seed-driven :class:`FaultPlan` maps chosen corpus indices to
+:class:`InjectedFault` values, and the runner/parallel engines trigger
+them at analysis time — in the exact code paths real failures take.
+
+Fault kinds mirror the operational taxonomy
+(:mod:`repro.core.errors`):
+
+* ``crash``   — the analyzer raises (→ ``ErrorKind.CRASH``,
+  non-retryable, quarantined on first failure);
+* ``corrupt`` — the package is rejected as malformed
+  (→ ``ErrorKind.PARSE``, non-retryable);
+* ``hang``    — the analysis sleeps past its deadline
+  (→ ``ErrorKind.TIMEOUT``, retryable);
+* ``worker-death`` — the worker process exits abruptly
+  (→ ``ErrorKind.WORKER_LOST``, retryable).  In pool workers this is
+  a real ``os._exit`` (the parent observes a broken pool); in serial
+  runs it is simulated with a raised
+  :class:`~repro.core.errors.WorkerLostError`.
+
+``fail_attempts`` makes a fault *transient*: it fires only while the
+0-based attempt number is below the threshold, so a retrying engine
+recovers the app.  ``fail_attempts=None`` is permanent — the app must
+end up quarantined.  Everything is derived from the seed, so a chaos
+run is exactly reproducible.
+"""
+
+from __future__ import annotations
+
+import enum
+import os
+import random
+import time
+from dataclasses import dataclass, field
+
+from ..core.errors import WorkerLostError
+
+__all__ = [
+    "FaultKind",
+    "InjectedFault",
+    "FaultPlan",
+    "CorruptApkError",
+    "InjectedCrashError",
+]
+
+
+class CorruptApkError(Exception):
+    """Injected stand-in for a package too malformed to ingest
+    (classified as ``ErrorKind.PARSE``)."""
+
+
+class InjectedCrashError(RuntimeError):
+    """Injected stand-in for an analyzer bug
+    (classified as ``ErrorKind.CRASH``)."""
+
+
+class FaultKind(enum.Enum):
+    CRASH = "crash"
+    HANG = "hang"
+    CORRUPT = "corrupt"
+    WORKER_DEATH = "worker-death"
+
+
+@dataclass(frozen=True)
+class InjectedFault:
+    """One planned fault on one corpus index."""
+
+    kind: FaultKind
+    #: Fires while ``attempt < fail_attempts``; ``None`` = always
+    #: (permanent).  ``fail_attempts=1`` fails the first attempt only
+    #: — a retrying engine recovers the app.
+    fail_attempts: int | None = 1
+    #: How long an injected hang sleeps.  Pair with a per-app
+    #: ``timeout_s`` below this to turn the hang into a timeout; a
+    #: hang is deliberately bounded so a run without deadlines is
+    #: delayed, never wedged.
+    hang_s: float = 30.0
+
+    def fires(self, attempt: int) -> bool:
+        return self.fail_attempts is None or attempt < self.fail_attempts
+
+    def trigger(
+        self, attempt: int, *, allow_process_death: bool = False
+    ) -> None:
+        """Inject the fault for this attempt (no-op once transient
+        faults are spent)."""
+        if not self.fires(attempt):
+            return
+        if self.kind is FaultKind.CRASH:
+            raise InjectedCrashError(
+                f"injected analyzer crash (attempt {attempt})"
+            )
+        if self.kind is FaultKind.CORRUPT:
+            raise CorruptApkError(
+                f"injected APK corruption (attempt {attempt})"
+            )
+        if self.kind is FaultKind.HANG:
+            time.sleep(self.hang_s)
+            return
+        # FaultKind.WORKER_DEATH
+        if allow_process_death:
+            os._exit(1)
+        raise WorkerLostError(
+            f"injected worker death (attempt {attempt})"
+        )
+
+
+@dataclass
+class FaultPlan:
+    """Seed-derived mapping of corpus indices to injected faults."""
+
+    faults: dict[int, InjectedFault] = field(default_factory=dict)
+    seed: int = 0
+
+    def fault_for(self, index: int) -> InjectedFault | None:
+        return self.faults.get(index)
+
+    def __len__(self) -> int:
+        return len(self.faults)
+
+    @property
+    def indices(self) -> tuple[int, ...]:
+        return tuple(sorted(self.faults))
+
+    def expected_quarantine(self, max_retries: int) -> frozenset[int]:
+        """Indices that must end the run quarantined under a
+        ``max_retries`` budget (assuming hangs are turned into
+        timeouts by a per-app deadline): every non-retryable fault,
+        plus retryable faults still firing on the final attempt."""
+        out = set()
+        for index, fault in self.faults.items():
+            if fault.kind in (FaultKind.CRASH, FaultKind.CORRUPT):
+                if fault.fires(0):
+                    out.add(index)
+            elif fault.fires(max_retries):
+                out.add(index)
+        return frozenset(out)
+
+    @staticmethod
+    def generate(
+        corpus_size: int,
+        *,
+        fraction: float = 0.2,
+        seed: int = 0,
+        kinds: tuple[FaultKind, ...] = (
+            FaultKind.CRASH,
+            FaultKind.HANG,
+            FaultKind.CORRUPT,
+            FaultKind.WORKER_DEATH,
+        ),
+        permanent_hang_fraction: float = 0.25,
+        hang_s: float = 30.0,
+    ) -> "FaultPlan":
+        """Plan faults over ``fraction`` of a ``corpus_size`` corpus.
+
+        Crash and corrupt faults are permanent (they are non-retryable
+        anyway); worker-death faults are always transient
+        (``fail_attempts=1`` — one retry recovers the app, and a
+        *permanent* worker killer would also take collateral chunk
+        neighbours with it on every round); hangs are transient except
+        for a ``permanent_hang_fraction`` share, which must exhaust
+        the retry budget and be quarantined as timeouts.
+        """
+        rng = random.Random(seed)
+        count = min(corpus_size, round(corpus_size * fraction))
+        chosen = sorted(rng.sample(range(corpus_size), count))
+        faults: dict[int, InjectedFault] = {}
+        for index in chosen:
+            kind = rng.choice(kinds)
+            if kind in (FaultKind.CRASH, FaultKind.CORRUPT):
+                fault = InjectedFault(kind, fail_attempts=None)
+            elif kind is FaultKind.WORKER_DEATH:
+                fault = InjectedFault(kind, fail_attempts=1)
+            else:
+                permanent = rng.random() < permanent_hang_fraction
+                fault = InjectedFault(
+                    kind,
+                    fail_attempts=None if permanent else 1,
+                    hang_s=hang_s,
+                )
+            faults[index] = fault
+        return FaultPlan(faults=faults, seed=seed)

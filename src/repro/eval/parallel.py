@@ -12,8 +12,18 @@ API database).  This module schedules a corpus over a process pool:
 * **chunked scheduling** — apps ship to workers in contiguous chunks
   to amortize pickling overhead while keeping the pool busy;
 * **failure isolation** — a crashing or timed-out app yields an
-  :class:`~repro.eval.runner.AppResult` with ``error`` set, never a
-  dead run; a broken worker poisons only its own chunk;
+  :class:`~repro.eval.runner.AppResult` with a structured
+  :class:`~repro.core.errors.AnalysisError`, never a dead run; a
+  dying worker process poisons only the chunks it held, and the
+  engine rebuilds the pool and carries on;
+* **retry + quarantine** — retryable failures (timeout, worker-lost,
+  resource) are re-dispatched individually, each on a fresh round's
+  pool, up to ``max_retries`` times with bounded backoff; apps that
+  exhaust the budget are quarantined with their final error record;
+* **checkpoint/resume** — with a journal attached, every finalized
+  result is appended to JSONL as it completes; a killed run resumes
+  by skipping journaled indices and reproduces the uninterrupted
+  run's fingerprint;
 * **deterministic ordering** — results are reassembled in corpus
   order, and per-app computation is the exact
   :func:`~repro.eval.runner.analyze_app` the serial loop uses, so a
@@ -23,17 +33,31 @@ API database).  This module schedules a corpus over a process pool:
 The engine is reached through ``run_tools(apps, jobs=N)`` or the
 ``--jobs`` CLI flag; it has no public surface beyond
 :class:`ParallelConfig` and :func:`run_tools_parallel`.
+
+Scheduling works in *rounds*.  Round 0 fans the whole corpus out in
+contiguous chunks over one pool.  If anything retryable failed, round
+``r`` re-dispatches those apps as single-app tasks on a **fresh**
+pool — a new pool per round is what makes worker death survivable at
+all: a dead process breaks its ``ProcessPoolExecutor`` beyond reuse,
+so every future still in flight is drained (synthesized as
+``worker-lost``, retryable), the broken pool is discarded, and the
+next round starts clean.  A fault-free run takes exactly one round
+and one pool — the tolerance machinery costs nothing until something
+actually breaks.
 """
 
 from __future__ import annotations
 
 import multiprocessing
 import os
+import time
 from concurrent.futures import ProcessPoolExecutor, as_completed
 from dataclasses import dataclass
-from typing import Callable, Iterable
+from pathlib import Path
+from typing import TYPE_CHECKING, Callable, Iterable
 
 from ..core.arm import build_api_database
+from ..core.errors import AnalysisError, AnalysisPhase, ErrorKind
 from ..framework.repository import FrameworkCacheStats, FrameworkRepository
 from ..framework.spec import FrameworkSpec
 from ..workload.appgen import ForgedApp
@@ -42,10 +66,17 @@ from .runner import (
     DEFAULT_TOOLS,
     RunResults,
     ToolSet,
+    _bounded_backoff,
     analyze_app,
 )
 
+if TYPE_CHECKING:  # pragma: no cover — import cycle guard
+    from .faults import FaultPlan
+
 __all__ = ["ParallelConfig", "run_tools_parallel"]
+
+#: One work item: corpus index, the app, and its 0-based attempt.
+_Entry = tuple[int, ForgedApp, int]
 
 
 @dataclass(frozen=True)
@@ -62,6 +93,15 @@ class ParallelConfig:
     timeout_s: float | None = None
     #: Tool names each worker instantiates.
     include: tuple[str, ...] = DEFAULT_TOOLS
+    #: Re-attempts for retryable failures (timeout, worker-lost,
+    #: resource) before an app is quarantined.  Each retry is a
+    #: single-app task on a fresh round's pool.
+    max_retries: int = 0
+    #: Base of the bounded exponential backoff slept between retry
+    #: rounds (0 = retry immediately).
+    retry_backoff_s: float = 0.0
+    #: Injected faults for chaos testing (None in production runs).
+    fault_plan: "FaultPlan | None" = None
 
     def resolved_chunk_size(self, corpus_size: int) -> int:
         if self.chunk_size is not None:
@@ -76,10 +116,16 @@ class ParallelConfig:
 #: reused for every chunk the worker receives — this is where the
 #: cross-app framework/database caches live.
 _WORKER_TOOLSET: ToolSet | None = None
+#: The run's fault plan, shipped once via the initializer.
+_WORKER_FAULTS: "FaultPlan | None" = None
 
 
-def _init_worker(spec: FrameworkSpec, include: tuple[str, ...]) -> None:
-    global _WORKER_TOOLSET
+def _init_worker(
+    spec: FrameworkSpec,
+    include: tuple[str, ...],
+    fault_plan: "FaultPlan | None" = None,
+) -> None:
+    global _WORKER_TOOLSET, _WORKER_FAULTS
     framework = FrameworkRepository(spec)
     apidb = build_api_database(framework)
     # Under the fork start method the worker inherits the parent's
@@ -90,10 +136,11 @@ def _init_worker(spec: FrameworkSpec, include: tuple[str, ...]) -> None:
     apidb.reset_cache_counters()
     framework.cache_stats = FrameworkCacheStats()
     _WORKER_TOOLSET = ToolSet.default(framework, apidb, include=include)
+    _WORKER_FAULTS = fault_plan
 
 
 def _analyze_chunk(
-    chunk: list[tuple[int, ForgedApp]],
+    chunk: list[_Entry],
     timeout_s: float | None,
 ) -> tuple[int, list[tuple[int, AppResult]], dict]:
     """Analyze one chunk in this worker; returns results tagged with
@@ -101,10 +148,26 @@ def _analyze_chunk(
     toolset = _WORKER_TOOLSET
     if toolset is None:  # pragma: no cover — initializer always ran
         raise RuntimeError("worker initialized without a tool set")
-    out = [
-        (index, analyze_app(toolset, forged, timeout_s=timeout_s))
-        for index, forged in chunk
-    ]
+    out = []
+    for index, forged, attempt in chunk:
+        fault = (
+            _WORKER_FAULTS.fault_for(index)
+            if _WORKER_FAULTS is not None
+            else None
+        )
+        out.append(
+            (
+                index,
+                analyze_app(
+                    toolset,
+                    forged,
+                    timeout_s=timeout_s,
+                    fault=fault,
+                    attempt=attempt,
+                    allow_process_death=True,
+                ),
+            )
+        )
     return os.getpid(), out, toolset.cache_stats()
 
 
@@ -119,25 +182,34 @@ def _pool_context():
         return multiprocessing.get_context()
 
 
-def _failure_results(
-    chunk: list[tuple[int, ForgedApp]], exc: BaseException
+def _worker_lost_results(
+    chunk: list[_Entry], exc: BaseException
 ) -> list[tuple[int, AppResult]]:
-    """Synthesize failure records when a whole worker task died (e.g.
-    the worker process was killed): the run continues, the chunk's
-    apps are recorded as failed."""
-    error = f"worker failed: {type(exc).__name__}: {exc}"
-    return [
-        (
-            index,
-            AppResult(
-                app=forged.apk.name,
-                truth=forged.truth,
-                kloc=forged.apk.dex_kloc,
-                error=error,
-            ),
+    """Synthesize failure records when a whole worker task died (the
+    worker process was killed, or the task could not complete): the
+    run continues, the chunk's apps are recorded as ``worker-lost``
+    and — being retryable — re-dispatched if budget remains."""
+    out = []
+    for index, forged, attempt in chunk:
+        error = AnalysisError(
+            kind=ErrorKind.WORKER_LOST,
+            phase=AnalysisPhase.TOOL,
+            message=f"worker process lost: {type(exc).__name__}: {exc}",
+            retryable=True,
+            attempts=attempt + 1,
         )
-        for index, forged in chunk
-    ]
+        out.append(
+            (
+                index,
+                AppResult(
+                    app=forged.apk.name,
+                    truth=forged.truth,
+                    kloc=forged.apk.dex_kloc,
+                    error=error,
+                ),
+            )
+        )
+    return out
 
 
 def _merge_cache_stats(snapshots: dict[int, dict]) -> dict:
@@ -175,35 +247,23 @@ def _merge_cache_stats(snapshots: dict[int, dict]) -> dict:
     return merged
 
 
-def run_tools_parallel(
-    apps: Iterable[ForgedApp],
+def _run_round(
+    chunks: list[list[_Entry]],
     spec: FrameworkSpec,
     config: ParallelConfig,
-    *,
-    progress: Callable[[str], None] | None = None,
-) -> RunResults:
-    """Analyze ``apps`` over a pool of ``config.jobs`` workers.
-
-    Results are returned in corpus order whatever order workers finish
-    in; every app yields exactly one :class:`AppResult`, failed or not.
-    """
-    indexed = list(enumerate(apps))
-    out = RunResults()
-    if not indexed:
-        return out
-    chunk_size = config.resolved_chunk_size(len(indexed))
-    chunks = [
-        indexed[start:start + chunk_size]
-        for start in range(0, len(indexed), chunk_size)
-    ]
-
-    by_index: dict[int, AppResult] = {}
-    worker_stats: dict[int, dict] = {}
+    worker_stats: dict[int, dict],
+) -> list[tuple[_Entry, AppResult]]:
+    """Dispatch one round's chunks over a fresh pool and drain every
+    future — including the ones a dying worker broke."""
+    entry_by_index = {
+        entry[0]: entry for chunk in chunks for entry in chunk
+    }
+    out: list[tuple[_Entry, AppResult]] = []
     with ProcessPoolExecutor(
         max_workers=config.jobs,
         mp_context=_pool_context(),
         initializer=_init_worker,
-        initargs=(spec, config.include),
+        initargs=(spec, config.include, config.fault_plan),
     ) as pool:
         futures = {
             pool.submit(_analyze_chunk, chunk, config.timeout_s): chunk
@@ -214,14 +274,94 @@ def run_tools_parallel(
             try:
                 pid, results, snapshot = future.result()
             except Exception as exc:  # noqa: BLE001 — isolate the chunk
-                results = _failure_results(chunk, exc)
+                # BrokenProcessPool lands here for the chunk whose
+                # worker died *and* for every chunk still queued on
+                # the now-broken pool; all of them come back as
+                # retryable worker-lost records.
+                results = _worker_lost_results(chunk, exc)
             else:
                 worker_stats[pid] = snapshot
             for index, result in results:
-                by_index[index] = result
-                if progress is not None:
-                    progress(result.app)
+                out.append((entry_by_index[index], result))
+    return out
 
-    out.results = [by_index[index] for index, _ in indexed]
+
+def run_tools_parallel(
+    apps: Iterable[ForgedApp],
+    spec: FrameworkSpec,
+    config: ParallelConfig,
+    *,
+    progress: Callable[[str], None] | None = None,
+    checkpoint: str | Path | None = None,
+) -> RunResults:
+    """Analyze ``apps`` over a pool of ``config.jobs`` workers.
+
+    Results are returned in corpus order whatever order workers finish
+    in; every app yields exactly one :class:`AppResult`, failed or
+    not.  Retryable failures are re-dispatched (fresh round, fresh
+    pool, single-app tasks) until they succeed or exhaust
+    ``config.max_retries``; a journal passed via ``checkpoint``
+    records finalized results and lets a killed run resume.
+    """
+    indexed = list(enumerate(apps))
+    out = RunResults()
+    if not indexed:
+        return out
+
+    journal = None
+    restored: dict[int, AppResult] = {}
+    if checkpoint is not None:
+        from .checkpoint import CheckpointJournal
+
+        journal = CheckpointJournal(checkpoint, tools=config.include)
+        restored = journal.load()
+
+    done: dict[int, AppResult] = dict(restored)
+    pending: list[_Entry] = [
+        (index, forged, 0)
+        for index, forged in indexed
+        if index not in restored
+    ]
+    worker_stats: dict[int, dict] = {}
+    round_no = 0
+    while pending:
+        if round_no == 0:
+            chunk_size = config.resolved_chunk_size(len(pending))
+        else:
+            # Retry rounds: single-app re-dispatch on a fresh pool,
+            # after a bounded backoff.
+            chunk_size = 1
+            if config.retry_backoff_s > 0.0:
+                time.sleep(
+                    _bounded_backoff(config.retry_backoff_s, round_no)
+                )
+        chunks = [
+            pending[start:start + chunk_size]
+            for start in range(0, len(pending), chunk_size)
+        ]
+        next_pending: list[_Entry] = []
+        for entry, result in _run_round(
+            chunks, spec, config, worker_stats
+        ):
+            index, forged, attempt = entry
+            error = result.error
+            if (
+                error is not None
+                and error.retryable
+                and attempt < config.max_retries
+            ):
+                next_pending.append((index, forged, attempt + 1))
+                continue
+            done[index] = result
+            if journal is not None:
+                journal.append(index, result)
+            if progress is not None:
+                progress(result.app)
+        next_pending.sort(key=lambda entry: entry[0])
+        pending = next_pending
+        round_no += 1
+
+    out.results = [done[index] for index, _ in indexed]
     out.cache_stats = _merge_cache_stats(worker_stats)
+    out.resumed_indices = tuple(sorted(restored))
     return out

@@ -12,14 +12,31 @@ scheduling, worker bootstrap, and result-ordering machinery lives in
 :func:`analyze_app`, so a parallel run produces results identical to a
 serial one (verified by :meth:`RunResults.fingerprint` equality in the
 test suite).
+
+Fault tolerance (both paths):
+
+* a crashing, hanging, or malformed app yields an
+  :class:`~repro.core.errors.AnalysisError` record on its
+  :class:`AppResult` — never a dead run;
+* *retryable* failures (timeouts, lost workers, resource exhaustion)
+  are re-attempted up to ``max_retries`` times with bounded backoff
+  before the app is quarantined;
+* ``checkpoint=`` journals completed results to a JSONL file
+  (:mod:`repro.eval.checkpoint`); a killed run resumes by skipping
+  journaled indices, reproducing the uninterrupted fingerprint;
+* ``fault_plan=`` injects deterministic faults for chaos testing
+  (:mod:`repro.eval.faults`).
 """
 
 from __future__ import annotations
 
 import signal
+import threading
+import time
 from contextlib import contextmanager
 from dataclasses import dataclass, field
-from typing import Callable, Iterable
+from pathlib import Path
+from typing import TYPE_CHECKING, Callable, Iterable
 
 from ..baselines.cid import Cid
 from ..baselines.cider import Cider
@@ -27,10 +44,14 @@ from ..baselines.lint import Lint
 from ..core.apidb import ApiDatabase
 from ..core.arm import build_api_database
 from ..core.detector import AnalysisReport, SaintDroid
+from ..core.errors import AnalysisError, classify_exception
 from ..framework.repository import FrameworkRepository
 from ..workload.appgen import ForgedApp
 from ..workload.groundtruth import GroundTruth
 from .accuracy import KIND_GROUPS, ToolAccuracy, score_apps
+
+if TYPE_CHECKING:  # pragma: no cover — import cycle guard
+    from .faults import FaultPlan
 
 __all__ = [
     "ToolSet",
@@ -42,6 +63,10 @@ __all__ = [
 ]
 
 DEFAULT_TOOLS = ("SAINTDroid", "CID", "CIDER", "Lint")
+
+#: Retry backoff is bounded: no attempt ever waits longer than
+#: ``retry_backoff_s * BACKOFF_CAP_FACTOR``.
+BACKOFF_CAP_FACTOR = 8
 
 
 class AppTimeoutError(Exception):
@@ -94,22 +119,28 @@ class AppResult:
     truth: GroundTruth
     reports: dict[str, AnalysisReport] = field(default_factory=dict)
     kloc: float = 0.0
-    #: Non-empty when the app's analysis crashed or timed out; the
-    #: reports dict is empty in that case and downstream consumers
-    #: (tables, figures, accuracy) skip the app for the failed tools.
-    error: str = ""
+    #: Set when the app's analysis failed (crash, timeout, lost
+    #: worker, malformed package); the reports dict is empty in that
+    #: case and downstream consumers (tables, figures, accuracy) skip
+    #: the app for the failed tools.  The record carries the failure
+    #: kind, pipeline phase, retryability, and a traceback tail.
+    error: AnalysisError | None = None
+    #: Lenient-ingestion diagnostic codes carried by the app's package
+    #: (empty for well-formed packages and strict ingests).
+    ingest_diagnostics: tuple[str, ...] = ()
 
     @property
     def ok(self) -> bool:
-        return not self.error
+        return self.error is None
 
     def report(self, tool: str) -> AnalysisReport:
         return self.reports[tool]
 
     def fingerprint(self) -> dict:
         """Deterministic content of this result: everything except
-        wall-clock noise and warm-cache accounting (both legitimately
-        vary between runs and between serial/parallel schedules)."""
+        wall-clock noise, warm-cache accounting, and retry counts (all
+        legitimately vary between runs and between serial/parallel
+        schedules)."""
         reports = {}
         for tool in sorted(self.reports):
             report = self.reports[tool]
@@ -123,7 +154,8 @@ class AppResult:
         return {
             "app": self.app,
             "kloc": self.kloc,
-            "error": self.error,
+            "error": self.error.fingerprint() if self.error else None,
+            "ingest": list(self.ingest_diagnostics),
             "truth": sorted(str(issue.key) for issue in self.truth.issues),
             "reports": reports,
         }
@@ -137,6 +169,9 @@ class RunResults:
     #: Cache accounting gathered at the end of the run (aggregated
     #: over workers for parallel runs).  Excluded from fingerprints.
     cache_stats: dict = field(default_factory=dict)
+    #: Corpus indices restored from a checkpoint journal instead of
+    #: analyzed in this run.  Excluded from fingerprints.
+    resumed_indices: tuple[int, ...] = ()
 
     def __len__(self) -> int:
         return len(self.results)
@@ -151,6 +186,22 @@ class RunResults:
     @property
     def failed_apps(self) -> tuple[str, ...]:
         return tuple(r.app for r in self.results if not r.ok)
+
+    @property
+    def quarantined(self) -> tuple[AppResult, ...]:
+        """Apps that exhausted their retry budget (or failed
+        non-retryably) — each with its full error record."""
+        return tuple(r for r in self.results if r.error is not None)
+
+    def error_summary(self) -> dict[str, int]:
+        """Failure counts keyed by error kind (``timeout``, ``crash``,
+        …) — the per-kind breakdown a corpus run ends with."""
+        counts: dict[str, int] = {}
+        for result in self.results:
+            if result.error is not None:
+                kind = result.error.kind.value
+                counts[kind] = counts.get(kind, 0) + 1
+        return dict(sorted(counts.items()))
 
     def fingerprint(self) -> dict:
         """Deterministic run content; identical for serial and
@@ -173,15 +224,27 @@ class RunResults:
         return {tool: self.accuracy(tool) for tool in self.tools}
 
 
+# ---------------------------------------------------------------------------
+# per-app deadlines
+# ---------------------------------------------------------------------------
+
+#: Module flag (not a local ``hasattr`` check) so tests can force the
+#: thread-based fallback on platforms that do have ``SIGALRM``.
+_SIGALRM_AVAILABLE = hasattr(signal, "SIGALRM")
+
+
 @contextmanager
 def _app_deadline(timeout_s: float | None):
     """Raise :class:`AppTimeoutError` after ``timeout_s`` wall seconds.
 
-    Uses ``SIGALRM`` where available (one app per process at a time, in
-    both the serial loop and pool workers, so the timer is never
-    shared); elsewhere the deadline is not enforced.
+    Uses ``SIGALRM`` (one app per process at a time, in both the
+    serial loop and pool workers, so the timer is never shared).  On
+    exit any pre-existing handler *and* itimer are restored — a nested
+    use (an outer coarser deadline around an inner per-app one) keeps
+    the outer timer running with its remaining budget instead of
+    having it silently cancelled.
     """
-    if timeout_s is None or not hasattr(signal, "SIGALRM"):
+    if timeout_s is None:
         yield
         return
 
@@ -190,45 +253,172 @@ def _app_deadline(timeout_s: float | None):
             f"app analysis exceeded {timeout_s:.0f}s wall-clock budget"
         )
 
-    previous = signal.signal(signal.SIGALRM, _expired)
+    previous_handler = signal.getsignal(signal.SIGALRM)
+    prev_delay, prev_interval = signal.getitimer(signal.ITIMER_REAL)
+    started = time.monotonic()
+    signal.signal(signal.SIGALRM, _expired)
     signal.setitimer(signal.ITIMER_REAL, timeout_s)
     try:
         yield
     finally:
         signal.setitimer(signal.ITIMER_REAL, 0.0)
-        signal.signal(signal.SIGALRM, previous)
+        signal.signal(signal.SIGALRM, previous_handler)
+        if prev_delay > 0.0:
+            # Re-arm the outer timer with whatever budget it has left
+            # (a minimum epsilon: an already-expired outer deadline
+            # must still fire, just immediately-ish).
+            elapsed = time.monotonic() - started
+            remaining = max(prev_delay - elapsed, 1e-6)
+            signal.setitimer(
+                signal.ITIMER_REAL, remaining, prev_interval
+            )
 
+
+def _call_with_thread_deadline(fn: Callable[[], None], timeout_s: float):
+    """Deadline fallback for platforms without ``SIGALRM`` (and for
+    non-main threads, where signals cannot be delivered).
+
+    The analysis runs in a daemon thread that is *abandoned* on
+    timeout — Python offers no safe preemption — so the caller's run
+    proceeds while the stuck computation is left to the process's
+    lifetime.  Pool workers are recycled between rounds, which bounds
+    the leak in long corpus runs.
+    """
+    outcome: dict[str, BaseException] = {}
+    done = threading.Event()
+
+    def _target() -> None:
+        try:
+            fn()
+        except BaseException as exc:  # noqa: BLE001 — re-raised below
+            outcome["error"] = exc
+        finally:
+            done.set()
+
+    worker = threading.Thread(
+        target=_target, name="app-deadline", daemon=True
+    )
+    worker.start()
+    if not done.wait(timeout_s):
+        raise AppTimeoutError(
+            f"app analysis exceeded {timeout_s:.0f}s wall-clock budget"
+        )
+    if "error" in outcome:
+        raise outcome["error"]
+
+
+def _run_under_deadline(fn: Callable[[], None], timeout_s: float | None):
+    """Run ``fn`` under the best available deadline mechanism."""
+    if timeout_s is None:
+        fn()
+        return
+    if _SIGALRM_AVAILABLE and (
+        threading.current_thread() is threading.main_thread()
+    ):
+        with _app_deadline(timeout_s):
+            fn()
+        return
+    _call_with_thread_deadline(fn, timeout_s)
+
+
+# ---------------------------------------------------------------------------
+# per-app analysis
+# ---------------------------------------------------------------------------
 
 def analyze_app(
     toolset: ToolSet,
     forged: ForgedApp,
     *,
     timeout_s: float | None = None,
+    fault=None,
+    attempt: int = 0,
+    allow_process_death: bool = False,
 ) -> AppResult:
     """Analyze one app with every tool; never raises.
 
     A crash or timeout yields an :class:`AppResult` with ``error`` set
-    and no reports — one bad app cannot take down a corpus run.  Used
-    verbatim by the serial loop and by pool workers so both schedules
-    compute identical results.  Per-app AUM models are dropped from
-    the reports: the eval layer never reads them and they dominate
+    (a structured :class:`~repro.core.errors.AnalysisError` carrying
+    kind, phase, retryability, and the traceback tail) and no reports
+    — one bad app cannot take down a corpus run.  Used verbatim by the
+    serial loop and by pool workers so both schedules compute
+    identical results.  Per-app AUM models are dropped from the
+    reports: the eval layer never reads them and they dominate
     inter-process transfer cost.
+
+    ``fault`` is an injected :class:`~repro.eval.faults.InjectedFault`
+    for chaos testing; ``attempt`` is the 0-based retry attempt (used
+    both by transient faults and the error record's attempt count);
+    ``allow_process_death`` lets a worker-death fault actually kill
+    the process (pool workers only — a serial run simulates it with a
+    raised :class:`~repro.core.errors.WorkerLostError` instead).
     """
     result = AppResult(
         app=forged.apk.name,
         truth=forged.truth,
         kloc=forged.apk.dex_kloc,
     )
+
+    def _run_all_tools() -> None:
+        # Faults fire inside the deadline scope so an injected hang
+        # surfaces exactly like a real one: as a timeout.
+        if fault is not None:
+            fault.trigger(
+                attempt, allow_process_death=allow_process_death
+            )
+        for tool in toolset.tools:
+            report = tool.analyze(forged.apk)
+            report.model = None
+            result.reports[tool.name] = report
+
     try:
-        with _app_deadline(timeout_s):
-            for tool in toolset.tools:
-                report = tool.analyze(forged.apk)
-                report.model = None
-                result.reports[tool.name] = report
+        # Inside the guard: a hostile package object may raise from
+        # any attribute access, including the diagnostics probe.
+        result.ingest_diagnostics = tuple(
+            diag.code
+            for diag in getattr(forged.apk, "diagnostics", ())
+        )
+        _run_under_deadline(_run_all_tools, timeout_s)
     except Exception as exc:  # noqa: BLE001 — recorded, not swallowed
         result.reports.clear()
-        result.error = f"{type(exc).__name__}: {exc}"
+        result.error = classify_exception(exc, attempts=attempt + 1)
     return result
+
+
+def _bounded_backoff(base_s: float, attempt: int) -> float:
+    """Exponential backoff, capped so a retry never stalls the run."""
+    return min(base_s * 2 ** (attempt - 1), base_s * BACKOFF_CAP_FACTOR)
+
+
+def _analyze_with_retries(
+    toolset: ToolSet,
+    forged: ForgedApp,
+    *,
+    index: int,
+    timeout_s: float | None,
+    fault_plan: "FaultPlan | None",
+    max_retries: int,
+    retry_backoff_s: float,
+) -> AppResult:
+    """Serial-path retry loop: re-attempt retryable failures up to
+    ``max_retries`` times, then quarantine with the final record."""
+    fault = (
+        fault_plan.fault_for(index) if fault_plan is not None else None
+    )
+    attempt = 0
+    while True:
+        result = analyze_app(
+            toolset,
+            forged,
+            timeout_s=timeout_s,
+            fault=fault,
+            attempt=attempt,
+        )
+        error = result.error
+        if error is None or not error.retryable or attempt >= max_retries:
+            return result
+        attempt += 1
+        if retry_backoff_s > 0.0:
+            time.sleep(_bounded_backoff(retry_backoff_s, attempt))
 
 
 def run_tools(
@@ -239,6 +429,10 @@ def run_tools(
     chunk_size: int | None = None,
     timeout_s: float | None = None,
     progress: Callable[[str], None] | None = None,
+    max_retries: int = 0,
+    retry_backoff_s: float = 0.0,
+    fault_plan: "FaultPlan | None" = None,
+    checkpoint: str | Path | None = None,
 ) -> RunResults:
     """Analyze every app with every tool.
 
@@ -246,6 +440,15 @@ def run_tools(
     each construct the shared framework repository + API database once
     (see :mod:`repro.eval.parallel`); results come back in corpus
     order regardless of completion order.
+
+    ``max_retries`` re-attempts retryable failures (timeout,
+    worker-lost, resource) before quarantining the app;
+    ``retry_backoff_s`` sleeps a bounded exponential backoff between
+    attempts.  ``checkpoint`` journals completed results to a JSONL
+    file and, when the file already holds results for this corpus,
+    resumes by skipping the journaled indices — a resumed run's
+    fingerprint equals an uninterrupted one's.  ``fault_plan`` injects
+    deterministic faults (chaos testing).
     """
     toolset = toolset or ToolSet.default()
     if jobs > 1:
@@ -256,16 +459,47 @@ def run_tools(
             chunk_size=chunk_size,
             timeout_s=timeout_s,
             include=toolset.tool_names,
+            max_retries=max_retries,
+            retry_backoff_s=retry_backoff_s,
+            fault_plan=fault_plan,
         )
         return run_tools_parallel(
-            apps, toolset.framework.spec, config, progress=progress
+            apps,
+            toolset.framework.spec,
+            config,
+            progress=progress,
+            checkpoint=checkpoint,
         )
+
+    journal = None
+    restored: dict[int, AppResult] = {}
+    if checkpoint is not None:
+        from .checkpoint import CheckpointJournal
+
+        journal = CheckpointJournal(
+            checkpoint, tools=toolset.tool_names
+        )
+        restored = journal.load()
+
     out = RunResults()
-    for forged in apps:
-        out.results.append(
-            analyze_app(toolset, forged, timeout_s=timeout_s)
+    for index, forged in enumerate(apps):
+        if index in restored:
+            out.results.append(restored[index])
+            continue
+        result = _analyze_with_retries(
+            toolset,
+            forged,
+            index=index,
+            timeout_s=timeout_s,
+            fault_plan=fault_plan,
+            max_retries=max_retries,
+            retry_backoff_s=retry_backoff_s,
         )
+        out.results.append(result)
+        if journal is not None:
+            journal.append(index, result)
         if progress is not None:
             progress(forged.apk.name)
     out.cache_stats = toolset.cache_stats()
+    out.resumed_indices = tuple(sorted(restored))
     return out

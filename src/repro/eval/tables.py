@@ -26,6 +26,8 @@ __all__ = [
     "render_table4",
     "rq2_summary",
     "render_rq2",
+    "failure_breakdown",
+    "render_failures",
 ]
 
 
@@ -243,6 +245,74 @@ def render_table4(rows: list[dict]) -> str:
             f"{'yes' if row['API'] else 'no':<6}"
             f"{'yes' if row['APC'] else 'no':<6}"
             f"{'yes' if row['PRM'] else 'no':<6}"
+        )
+    return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------------
+# Failure breakdown — fault-tolerance accounting for corpus runs
+# ---------------------------------------------------------------------------
+
+def failure_breakdown(run: RunResults) -> dict:
+    """Per-kind failure accounting over one run.
+
+    Returns totals plus one row per quarantined app (kind, phase,
+    attempt count, message) — the "what did we lose and why" table a
+    corpus run ends with.
+    """
+    rows = []
+    for result in run.results:
+        error = result.error
+        if error is None:
+            continue
+        rows.append(
+            {
+                "app": result.app,
+                "kind": error.kind.value,
+                "phase": error.phase.value,
+                "retryable": error.retryable,
+                "attempts": error.attempts,
+                "message": error.message,
+            }
+        )
+    return {
+        "total_apps": len(run.results),
+        "failed_apps": len(rows),
+        "by_kind": run.error_summary(),
+        "rows": rows,
+    }
+
+
+def render_failures(breakdown: dict) -> str:
+    total = breakdown["total_apps"]
+    failed = breakdown["failed_apps"]
+    lines = [
+        f"Failures: {failed}/{total} apps quarantined"
+        + (
+            " ("
+            + ", ".join(
+                f"{kind}: {count}"
+                for kind, count in breakdown["by_kind"].items()
+            )
+            + ")"
+            if breakdown["by_kind"]
+            else ""
+        )
+    ]
+    if not breakdown["rows"]:
+        return lines[0]
+    header = (
+        f"{'App':<18}{'Kind':<14}{'Phase':<7}{'Tries':>5}  Message"
+    )
+    lines.append(header)
+    lines.append("-" * len(header))
+    for row in breakdown["rows"]:
+        message = row["message"]
+        if len(message) > 60:
+            message = message[:57] + "..."
+        lines.append(
+            f"{row['app']:<18}{row['kind']:<14}{row['phase']:<7}"
+            f"{row['attempts']:>5}  {message}"
         )
     return "\n".join(lines)
 

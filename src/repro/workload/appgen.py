@@ -634,7 +634,12 @@ class AppForge:
         )
         class_name = self._next("Custom")
         builder = ClassBuilder(class_name, super_name=api.class_name)
-        method = builder.method("refresh")
+        # The caller name must not collide with any generatable API
+        # name: a subclass method named like the picked API (e.g. a
+        # caller "refresh" when the API is refresh()void) would shadow
+        # the inherited framework method and the call would resolve to
+        # the app's own definition instead of the seeded API.
+        method = builder.method("exerciseInherited")
         # Receiver is the app subclass: first-level tools do not treat
         # this as an API call.
         method.invoke_virtual(class_name, api.name, api.descriptor)
@@ -642,7 +647,7 @@ class AppForge:
         builder.finish(method)
         self._classes.append(builder.build())
 
-        caller = MethodRef(class_name, "refresh", "()void")
+        caller = MethodRef(class_name, "exerciseInherited", "()void")
         issue = SeededIssue(
             key=(
                 "API",

@@ -1,0 +1,161 @@
+"""Tests for lenient (``strict=False``) APK ingestion.
+
+Real-world corpora contain malformed packages; strict ingestion
+rejects them, lenient ingestion repairs what it can, records one
+diagnostic per repair, and hands the analyses a usable partial model.
+Every repair path gets a test: the strict variant raises, the lenient
+variant degrades with the matching diagnostic code.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.apk import Apk, DexFile, DiagnosticCode, Manifest
+from repro.apk.manifest import FALLBACK_PACKAGE, MAX_API_LEVEL
+from repro.apk.serialization import apk_to_dict, apk_from_dict
+
+from ..conftest import activity_class, make_apk
+
+
+def codes(obj) -> tuple[str, ...]:
+    return tuple(diag.code for diag in obj.diagnostics)
+
+
+class TestManifestRepairs:
+    def test_missing_package(self):
+        with pytest.raises(ValueError):
+            Manifest(package="", min_sdk=21, target_sdk=26)
+        manifest = Manifest(
+            package="", min_sdk=21, target_sdk=26, strict=False
+        )
+        assert manifest.package == FALLBACK_PACKAGE
+        assert codes(manifest) == (DiagnosticCode.MISSING_PACKAGE,)
+
+    def test_bad_min_sdk_clamped(self):
+        with pytest.raises(ValueError):
+            Manifest(package="a.b", min_sdk=99, target_sdk=99)
+        manifest = Manifest(
+            package="a.b", min_sdk=99, target_sdk=99, strict=False
+        )
+        assert manifest.min_sdk == MAX_API_LEVEL
+        assert DiagnosticCode.BAD_MIN_SDK in codes(manifest)
+
+    def test_target_below_min_raised_to_min(self):
+        with pytest.raises(ValueError):
+            Manifest(package="a.b", min_sdk=21, target_sdk=4)
+        manifest = Manifest(
+            package="a.b", min_sdk=21, target_sdk=4, strict=False
+        )
+        assert manifest.target_sdk == manifest.min_sdk == 21
+        assert DiagnosticCode.TARGET_BELOW_MIN in codes(manifest)
+
+    def test_max_below_target_dropped(self):
+        with pytest.raises(ValueError):
+            Manifest(package="a.b", min_sdk=21, target_sdk=26, max_sdk=23)
+        manifest = Manifest(
+            package="a.b", min_sdk=21, target_sdk=26, max_sdk=23,
+            strict=False,
+        )
+        assert manifest.max_sdk is None
+        assert DiagnosticCode.MAX_BELOW_TARGET in codes(manifest)
+
+    def test_well_formed_manifest_has_no_diagnostics(self):
+        manifest = Manifest(
+            package="a.b", min_sdk=21, target_sdk=26, strict=False
+        )
+        assert manifest.diagnostics == ()
+
+
+class TestDexRepairs:
+    def test_unnamed_dex(self):
+        with pytest.raises(ValueError):
+            DexFile(name="")
+        dex = DexFile(name="", strict=False)
+        assert dex.name == "classes.dex"
+        assert codes(dex) == (DiagnosticCode.UNNAMED_DEX,)
+
+    def test_duplicate_class_keeps_first(self):
+        first = activity_class(name="MainActivity")
+        dupe = activity_class(name="MainActivity")
+        with pytest.raises(ValueError):
+            DexFile("classes.dex", (first, dupe))
+        dex = DexFile("classes.dex", (first, dupe), strict=False)
+        assert len(dex.classes) == 1
+        assert dex.classes[0] is first
+        assert DiagnosticCode.DUPLICATE_CLASS in codes(dex)
+
+
+class TestPackageRepairs:
+    def _manifest(self):
+        return Manifest(package="a.b", min_sdk=21, target_sdk=26)
+
+    def test_no_dex_files_synthesized(self):
+        with pytest.raises(ValueError):
+            Apk(manifest=self._manifest(), dex_files=())
+        apk = Apk(manifest=self._manifest(), dex_files=(), strict=False)
+        assert len(apk.dex_files) == 1
+        assert apk.dex_files[0].name == "classes.dex"
+        assert DiagnosticCode.NO_DEX_FILES in codes(apk)
+
+    def test_primary_marked_secondary_promoted(self):
+        dex = DexFile(
+            "classes.dex", (activity_class(),), secondary=True
+        )
+        with pytest.raises(ValueError):
+            Apk(manifest=self._manifest(), dex_files=(dex,))
+        apk = Apk(
+            manifest=self._manifest(), dex_files=(dex,), strict=False
+        )
+        assert not apk.dex_files[0].secondary
+        assert DiagnosticCode.PRIMARY_MARKED_SECONDARY in codes(apk)
+
+    def test_cross_dex_duplicate_dropped(self):
+        clazz = activity_class()
+        primary = DexFile("classes.dex", (clazz,))
+        shadow = DexFile(
+            "classes2.dex", (activity_class(),), secondary=True
+        )
+        with pytest.raises(ValueError):
+            Apk(manifest=self._manifest(), dex_files=(primary, shadow))
+        apk = Apk(
+            manifest=self._manifest(),
+            dex_files=(primary, shadow),
+            strict=False,
+        )
+        assert DiagnosticCode.CROSS_DEX_DUPLICATE in codes(apk)
+        assert apk.dex_files[1].classes == ()
+
+    def test_child_diagnostics_aggregated(self):
+        manifest = Manifest(
+            package="", min_sdk=21, target_sdk=26, strict=False
+        )
+        dex = DexFile(name="", strict=False)
+        apk = Apk(manifest=manifest, dex_files=(dex,), strict=False)
+        assert DiagnosticCode.MISSING_PACKAGE in codes(apk)
+        assert DiagnosticCode.UNNAMED_DEX in codes(apk)
+
+
+class TestLenientSerialization:
+    def test_lenient_round_trip_of_malformed_document(self):
+        doc = apk_to_dict(make_apk([activity_class()]))
+        del doc["manifest"]["package"]
+        with pytest.raises(Exception):
+            apk_from_dict(doc)
+        apk = apk_from_dict(doc, strict=False)
+        assert apk.manifest.package == FALLBACK_PACKAGE
+        assert DiagnosticCode.MISSING_PACKAGE in codes(apk)
+
+    def test_lenient_apk_still_analyzable(self, framework, apidb):
+        from repro.core import SaintDroid
+
+        doc = apk_to_dict(make_apk([activity_class()]))
+        doc["manifest"]["package"] = ""
+        apk = apk_from_dict(doc, strict=False)
+        report = SaintDroid(framework, apidb).analyze(apk)
+        assert report.app == apk.name
+
+    def test_strict_default_unchanged(self):
+        doc = apk_to_dict(make_apk([activity_class()]))
+        apk = apk_from_dict(doc)
+        assert apk.diagnostics == ()

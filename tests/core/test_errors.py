@@ -1,0 +1,156 @@
+"""Tests for the structured error taxonomy (repro.core.errors)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.errors import (
+    RETRYABLE_KINDS,
+    AnalysisError,
+    AnalysisPhase,
+    ErrorKind,
+    WorkerLostError,
+    classify_exception,
+    diagnostics_error,
+    tag_phase,
+)
+from repro.apk.diagnostics import DiagnosticCode, IngestDiagnostic
+from repro.eval.runner import AppTimeoutError
+
+
+class TestClassification:
+    def test_timeout(self):
+        error = classify_exception(AppTimeoutError("budget exceeded"))
+        assert error.kind is ErrorKind.TIMEOUT
+        assert error.retryable
+
+    def test_worker_lost(self):
+        error = classify_exception(WorkerLostError("gone"))
+        assert error.kind is ErrorKind.WORKER_LOST
+        assert error.retryable
+
+    def test_resource(self):
+        assert classify_exception(MemoryError()).kind is ErrorKind.RESOURCE
+        assert classify_exception(
+            OSError("too many open files")
+        ).kind is ErrorKind.RESOURCE
+
+    def test_generic_crash_not_retryable(self):
+        error = classify_exception(RuntimeError("boom"))
+        assert error.kind is ErrorKind.CRASH
+        assert not error.retryable
+        assert error.phase is AnalysisPhase.TOOL
+
+    def test_parse_by_type_name(self):
+        class CorruptApkError(Exception):
+            pass
+
+        error = classify_exception(CorruptApkError("bad dex"))
+        assert error.kind is ErrorKind.PARSE
+        assert error.phase is AnalysisPhase.APK
+        assert not error.retryable
+
+    def test_retryable_kinds_consistency(self):
+        for kind in ErrorKind:
+            error = AnalysisError(kind=kind, retryable=kind in RETRYABLE_KINDS)
+            assert error.retryable == (kind in RETRYABLE_KINDS)
+
+    def test_message_truncated(self):
+        error = classify_exception(RuntimeError("x" * 10_000))
+        assert len(error.message) <= 300
+
+    def test_traceback_tail_captured(self):
+        def inner():
+            raise ValueError("deep failure")
+
+        def outer():
+            inner()
+
+        try:
+            outer()
+        except ValueError as exc:
+            error = classify_exception(exc)
+        assert 1 <= len(error.traceback_tail) <= 3
+        assert any("inner" in frame for frame in error.traceback_tail)
+        # Innermost frame last.
+        assert "inner" in error.traceback_tail[-1]
+
+
+class TestPhaseTagging:
+    def test_tag_phase_attributes_failure(self):
+        with pytest.raises(RuntimeError) as excinfo:
+            with tag_phase(AnalysisPhase.AUM):
+                raise RuntimeError("modeling failed")
+        error = classify_exception(excinfo.value)
+        assert error.phase is AnalysisPhase.AUM
+
+    def test_innermost_tag_wins(self):
+        with pytest.raises(RuntimeError) as excinfo:
+            with tag_phase(AnalysisPhase.TOOL):
+                with tag_phase(AnalysisPhase.AMD):
+                    raise RuntimeError("detection failed")
+        assert classify_exception(excinfo.value).phase is AnalysisPhase.AMD
+
+    def test_explicit_phase_overrides_tag(self):
+        with pytest.raises(RuntimeError) as excinfo:
+            with tag_phase(AnalysisPhase.AMD):
+                raise RuntimeError("boom")
+        error = classify_exception(excinfo.value, phase=AnalysisPhase.ARM)
+        assert error.phase is AnalysisPhase.ARM
+
+
+class TestRecord:
+    def test_str(self):
+        error = AnalysisError(
+            kind=ErrorKind.TIMEOUT,
+            phase=AnalysisPhase.AUM,
+            message="budget exceeded",
+        )
+        assert str(error) == "timeout/aum: budget exceeded"
+
+    def test_with_attempts(self):
+        error = AnalysisError(kind=ErrorKind.TIMEOUT)
+        assert error.with_attempts(3).attempts == 3
+        assert error.attempts == 1  # frozen original untouched
+
+    def test_fingerprint_excludes_attempts_and_traceback(self):
+        one = AnalysisError(
+            kind=ErrorKind.CRASH,
+            message="boom",
+            attempts=1,
+            traceback_tail=("a.py:1 in f",),
+        )
+        other = AnalysisError(
+            kind=ErrorKind.CRASH,
+            message="boom",
+            attempts=3,
+            traceback_tail=("b.py:9 in g",),
+        )
+        assert one.fingerprint() == other.fingerprint()
+
+    def test_json_round_trip(self):
+        error = AnalysisError(
+            kind=ErrorKind.WORKER_LOST,
+            phase=AnalysisPhase.TOOL,
+            message="worker process lost",
+            retryable=True,
+            traceback_tail=("runner.py:42 in analyze_app",),
+            attempts=2,
+        )
+        assert AnalysisError.from_dict(error.to_dict()) == error
+
+
+class TestDiagnosticsError:
+    def test_folds_diagnostics_into_message(self):
+        diags = (
+            IngestDiagnostic(DiagnosticCode.MISSING_PACKAGE, "repaired"),
+            IngestDiagnostic(DiagnosticCode.NO_DEX_FILES),
+        )
+        error = diagnostics_error(diags)
+        assert error.kind is ErrorKind.PARSE
+        assert error.phase is AnalysisPhase.APK
+        assert DiagnosticCode.MISSING_PACKAGE in error.message
+
+    def test_empty_diagnostics(self):
+        error = diagnostics_error(())
+        assert error.message == "malformed package"

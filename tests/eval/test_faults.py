@@ -1,0 +1,291 @@
+"""Chaos suite: corpus runs under deterministic fault injection.
+
+The fault-tolerance layer is only trustworthy if it has been watched
+surviving faults.  These tests inject crashes, hangs, corrupt
+packages, and worker deaths into 10–30% of a small corpus — under the
+serial loop and under a 2-worker pool — and assert the run completes,
+quarantines exactly the apps the plan predicts (with typed error
+records), recovers every transient fault, and that a killed
+checkpointed run resumes to a bit-identical fingerprint.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.errors import ErrorKind, WorkerLostError
+from repro.eval import (
+    FaultKind,
+    FaultPlan,
+    InjectedCrashError,
+    InjectedFault,
+    ToolSet,
+    run_tools,
+)
+from repro.eval.faults import CorruptApkError
+from repro.workload.corpus import CorpusConfig, generate_corpus
+
+#: Tiny apps: the suite injects ~10 faults across several full runs.
+CHAOS_CORPUS = CorpusConfig(count=10, kloc_median=1.0, kloc_max=3.0)
+TOOLS = ("SAINTDroid",)
+#: Hangs sleep longer than the per-app budget, so every injected hang
+#: surfaces as a timeout.
+TIMEOUT_S = 0.8
+HANG_S = 2.0
+MAX_RETRIES = 2
+
+#: One fault per kind, mapped onto fixed corpus indices: a permanent
+#: crash, a transient hang (recovered by retry), a permanent corrupt
+#: package, a transient worker death, and a permanent hang (exhausts
+#: the retry budget, quarantined as a timeout).
+MIXED_PLAN = FaultPlan(
+    faults={
+        1: InjectedFault(FaultKind.CRASH, fail_attempts=None),
+        3: InjectedFault(FaultKind.HANG, fail_attempts=1, hang_s=HANG_S),
+        5: InjectedFault(FaultKind.CORRUPT, fail_attempts=None),
+        6: InjectedFault(FaultKind.WORKER_DEATH, fail_attempts=1),
+        8: InjectedFault(FaultKind.HANG, fail_attempts=None, hang_s=HANG_S),
+    }
+)
+
+EXPECTED_KINDS = {
+    1: ErrorKind.CRASH,
+    5: ErrorKind.PARSE,
+    8: ErrorKind.TIMEOUT,
+}
+
+
+@pytest.fixture(scope="module")
+def chaos_corpus(apidb):
+    return [member.forged for member in generate_corpus(CHAOS_CORPUS, apidb)]
+
+
+@pytest.fixture(scope="module")
+def toolset(framework, apidb):
+    return ToolSet.default(framework, apidb, include=TOOLS)
+
+
+@pytest.fixture(scope="module")
+def clean_run(toolset, chaos_corpus):
+    """Fault-free baseline for recovered-app comparisons."""
+    return run_tools(chaos_corpus, toolset)
+
+
+def _quarantined_indices(run) -> set[int]:
+    return {
+        index
+        for index, result in enumerate(run.results)
+        if result.error is not None
+    }
+
+
+class TestInjectedFault:
+    def test_transient_fault_spends_itself(self):
+        fault = InjectedFault(FaultKind.CRASH, fail_attempts=1)
+        assert fault.fires(0)
+        assert not fault.fires(1)
+        with pytest.raises(InjectedCrashError):
+            fault.trigger(0)
+        fault.trigger(1)  # spent: no-op
+
+    def test_permanent_fault_always_fires(self):
+        fault = InjectedFault(FaultKind.CORRUPT, fail_attempts=None)
+        for attempt in (0, 1, 5):
+            assert fault.fires(attempt)
+        with pytest.raises(CorruptApkError):
+            fault.trigger(3)
+
+    def test_worker_death_simulated_without_permission(self):
+        fault = InjectedFault(FaultKind.WORKER_DEATH)
+        with pytest.raises(WorkerLostError):
+            fault.trigger(0, allow_process_death=False)
+
+
+class TestFaultPlan:
+    def test_generate_is_deterministic(self):
+        one = FaultPlan.generate(100, fraction=0.2, seed=9)
+        two = FaultPlan.generate(100, fraction=0.2, seed=9)
+        assert one.faults == two.faults
+        assert FaultPlan.generate(100, fraction=0.2, seed=10).faults != (
+            one.faults
+        )
+
+    def test_generate_respects_fraction(self):
+        plan = FaultPlan.generate(50, fraction=0.2, seed=1)
+        assert len(plan) == 10
+        assert all(0 <= index < 50 for index in plan.indices)
+
+    def test_expected_quarantine(self):
+        expected = MIXED_PLAN.expected_quarantine(MAX_RETRIES)
+        # Permanent crash, permanent corrupt, permanent hang; the
+        # transient hang and worker death are recovered by retries.
+        assert expected == frozenset({1, 5, 8})
+        # Without retries, every firing fault quarantines its app.
+        assert MIXED_PLAN.expected_quarantine(0) == frozenset(
+            {1, 3, 5, 6, 8}
+        )
+
+
+class TestSerialChaos:
+    @pytest.fixture(scope="class")
+    def chaos_run(self, toolset, chaos_corpus):
+        return run_tools(
+            chaos_corpus,
+            toolset,
+            timeout_s=TIMEOUT_S,
+            max_retries=MAX_RETRIES,
+            fault_plan=MIXED_PLAN,
+        )
+
+    def test_run_completes_with_exact_quarantine(
+        self, chaos_run, chaos_corpus
+    ):
+        assert len(chaos_run) == len(chaos_corpus)
+        assert _quarantined_indices(chaos_run) == set(
+            MIXED_PLAN.expected_quarantine(MAX_RETRIES)
+        )
+
+    def test_quarantined_records_are_typed(self, chaos_run):
+        for index, kind in EXPECTED_KINDS.items():
+            error = chaos_run.results[index].error
+            assert error is not None
+            assert error.kind is kind
+            assert chaos_run.results[index].reports == {}
+        assert chaos_run.error_summary() == {
+            "crash": 1, "parse": 1, "timeout": 1
+        }
+
+    def test_permanent_hang_exhausted_retry_budget(self, chaos_run):
+        error = chaos_run.results[8].error
+        assert error.retryable  # quarantined on budget, not on kind
+        assert error.attempts == MAX_RETRIES + 1
+
+    def test_recovered_apps_match_clean_run(self, chaos_run, clean_run):
+        quarantined = MIXED_PLAN.expected_quarantine(MAX_RETRIES)
+        for index, result in enumerate(chaos_run.results):
+            if index in quarantined:
+                continue
+            assert (
+                result.fingerprint()
+                == clean_run.results[index].fingerprint()
+            )
+
+
+class TestParallelChaos:
+    @pytest.fixture(scope="class")
+    def generated_plan(self, chaos_corpus):
+        # The acceptance configuration: 20% of the corpus faulted.
+        plan = FaultPlan.generate(
+            len(chaos_corpus), fraction=0.2, seed=5, hang_s=HANG_S
+        )
+        assert len(plan) == 2
+        return plan
+
+    @pytest.fixture(scope="class")
+    def parallel_run(self, toolset, chaos_corpus):
+        return run_tools(
+            chaos_corpus,
+            toolset,
+            jobs=2,
+            timeout_s=TIMEOUT_S,
+            max_retries=MAX_RETRIES,
+            fault_plan=MIXED_PLAN,
+        )
+
+    def test_pool_survives_mixed_faults(self, parallel_run, chaos_corpus):
+        assert len(parallel_run) == len(chaos_corpus)
+        assert [r.app for r in parallel_run.results] == [
+            f.apk.name for f in chaos_corpus
+        ]
+        assert _quarantined_indices(parallel_run) == set(
+            MIXED_PLAN.expected_quarantine(MAX_RETRIES)
+        )
+
+    def test_parallel_matches_serial_under_faults(
+        self, parallel_run, toolset, chaos_corpus
+    ):
+        serial = run_tools(
+            chaos_corpus,
+            toolset,
+            timeout_s=TIMEOUT_S,
+            max_retries=MAX_RETRIES,
+            fault_plan=MIXED_PLAN,
+        )
+        assert serial.fingerprint() == parallel_run.fingerprint()
+
+    def test_generated_plan_acceptance(
+        self, toolset, chaos_corpus, generated_plan
+    ):
+        run = run_tools(
+            chaos_corpus,
+            toolset,
+            jobs=2,
+            timeout_s=TIMEOUT_S,
+            max_retries=MAX_RETRIES,
+            fault_plan=generated_plan,
+        )
+        assert len(run) == len(chaos_corpus)
+        assert _quarantined_indices(run) == set(
+            generated_plan.expected_quarantine(MAX_RETRIES)
+        )
+        for result in run.quarantined:
+            assert result.error.kind in set(ErrorKind)
+            assert result.error.message
+
+    def test_real_worker_death_is_recovered(self, toolset, chaos_corpus):
+        # One transient worker death: the worker really os._exits, the
+        # pool breaks, the engine rebuilds it and recovers the app.
+        plan = FaultPlan(
+            faults={2: InjectedFault(FaultKind.WORKER_DEATH)}
+        )
+        run = run_tools(
+            chaos_corpus[:5],
+            toolset,
+            jobs=2,
+            max_retries=1,
+            fault_plan=plan,
+        )
+        assert run.failed_apps == ()
+        assert len(run) == 5
+
+
+class TestChaosResume:
+    def test_kill_then_resume_reproduces_fingerprint(
+        self, tmp_path, toolset, chaos_corpus
+    ):
+        kwargs = dict(
+            timeout_s=TIMEOUT_S,
+            max_retries=MAX_RETRIES,
+            fault_plan=MIXED_PLAN,
+        )
+        uninterrupted = run_tools(chaos_corpus, toolset, **kwargs)
+
+        path = tmp_path / "chaos.jsonl"
+        run_tools(chaos_corpus, toolset, checkpoint=path, **kwargs)
+        # "Kill" the run: keep the header and the first 4 records.
+        lines = path.read_text().splitlines()
+        path.write_text("\n".join(lines[:5]) + "\n")
+
+        resumed = run_tools(chaos_corpus, toolset, checkpoint=path, **kwargs)
+        assert len(resumed.resumed_indices) == 4
+        assert resumed.fingerprint() == uninterrupted.fingerprint()
+
+    def test_parallel_resume_under_faults(
+        self, tmp_path, toolset, chaos_corpus
+    ):
+        kwargs = dict(
+            timeout_s=TIMEOUT_S,
+            max_retries=MAX_RETRIES,
+            fault_plan=MIXED_PLAN,
+        )
+        uninterrupted = run_tools(chaos_corpus, toolset, **kwargs)
+
+        path = tmp_path / "chaos.jsonl"
+        run_tools(chaos_corpus, toolset, checkpoint=path, **kwargs)
+        lines = path.read_text().splitlines()
+        path.write_text("\n".join(lines[:5]) + "\n")
+
+        resumed = run_tools(
+            chaos_corpus, toolset, jobs=2, checkpoint=path, **kwargs
+        )
+        assert resumed.fingerprint() == uninterrupted.fingerprint()

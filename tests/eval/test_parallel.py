@@ -14,6 +14,7 @@ import time
 import pytest
 
 from repro.cli import build_parser
+from repro.core.errors import ErrorKind
 from repro.eval import (
     AppTimeoutError,
     ParallelConfig,
@@ -109,9 +110,12 @@ class TestFailureIsolation:
         good_first, bad, good_last = out.results
         assert good_first.ok and good_last.ok
         assert not bad.ok
-        assert "RuntimeError" in bad.error
+        assert bad.error.kind is ErrorKind.CRASH
+        assert "RuntimeError" in bad.error.message
+        assert not bad.error.retryable
         assert bad.reports == {}
         assert out.failed_apps == ("kaboom",)
+        assert out.error_summary() == {"crash": 1}
 
     def test_serial_error_capture(self, framework, apidb):
         toolset = ToolSet.default(
@@ -119,7 +123,9 @@ class TestFailureIsolation:
         )
         result = analyze_app(toolset, _kaboom())
         assert not result.ok
-        assert "RuntimeError" in result.error
+        assert result.error.kind is ErrorKind.CRASH
+        assert "RuntimeError" in result.error.message
+        assert result.error.traceback_tail  # last frames preserved
         assert result.reports == {}
 
     def test_timeout_is_recorded_not_raised(
@@ -130,7 +136,8 @@ class TestFailureIsolation:
         )
         result = analyze_app(toolset, small_corpus[0], timeout_s=0.2)
         assert not result.ok
-        assert AppTimeoutError.__name__ in result.error
+        assert result.error.kind is ErrorKind.TIMEOUT
+        assert result.error.retryable
 
     def test_timeout_error_type(self):
         assert issubclass(AppTimeoutError, Exception)
@@ -169,3 +176,19 @@ class TestCli:
         assert parser.parse_args(
             ["sweep", "--jobs", "3", "--bulk-sizes", "200", "400"]
         ).jobs == 3
+
+    def test_robustness_flags_parse(self):
+        parser = build_parser()
+        args = parser.parse_args(
+            [
+                "rq2", "--max-retries", "2", "--retry-backoff", "0.5",
+                "--timeout", "30", "--checkpoint", "run.jsonl",
+            ]
+        )
+        assert args.max_retries == 2
+        assert args.retry_backoff == 0.5
+        assert args.timeout == 30.0
+        assert args.checkpoint.name == "run.jsonl"
+        defaults = parser.parse_args(["table", "2"])
+        assert defaults.max_retries == 0
+        assert defaults.checkpoint is None
