@@ -35,6 +35,11 @@ class HierarchyResolver:
         self._level = level
         self._include_secondary = include_secondary_dex
         self._cache: dict[ClassName, Clazz | None] = {}
+        # Ancestor walks are pure for a fixed (apk, framework, level)
+        # and re-requested for every dispatch/override query on the
+        # same receiver class, so both walk shapes are memoized.
+        self._chain_cache: dict[ClassName, tuple[Clazz, ...]] = {}
+        self._supers_cache: dict[ClassName, tuple[Clazz, ...]] = {}
         #: Optional ``hook(clazz, warm)`` fired the first time a class
         #: is resolved; the CLVM uses it to account for load costs.
         #: ``warm`` is True when a framework class came from the shared
@@ -73,6 +78,9 @@ class HierarchyResolver:
         :meth:`all_supertypes`); it stops at unresolvable names and
         guards against cycles in malformed input.
         """
+        cached = self._chain_cache.get(name)
+        if cached is not None:
+            return cached
         chain: list[Clazz] = []
         seen: set[ClassName] = {name}
         current = self.resolve(name)
@@ -85,10 +93,15 @@ class HierarchyResolver:
                 break
             chain.append(parent)
             current = parent
-        return tuple(chain)
+        result = tuple(chain)
+        self._chain_cache[name] = result
+        return result
 
     def all_supertypes(self, name: ClassName) -> tuple[Clazz, ...]:
         """Ancestors including interfaces, breadth-first, deduplicated."""
+        cached = self._supers_cache.get(name)
+        if cached is not None:
+            return cached
         out: list[Clazz] = []
         seen: set[ClassName] = {name}
         queue: list[ClassName] = []
@@ -105,7 +118,9 @@ class HierarchyResolver:
                 continue
             out.append(clazz)
             queue.extend(clazz.supertypes)
-        return tuple(out)
+        result = tuple(out)
+        self._supers_cache[name] = result
+        return result
 
     def framework_ancestors(self, name: ClassName) -> tuple[Clazz, ...]:
         """The subset of :meth:`all_supertypes` owned by the framework."""

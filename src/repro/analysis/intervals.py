@@ -32,19 +32,19 @@ class ApiInterval:
 
     @staticmethod
     def of(lo: int, hi: int) -> "ApiInterval":
-        return ApiInterval(lo, hi)
+        return _intern(lo, hi)
 
     @staticmethod
     def at_least(level: int) -> "ApiInterval":
-        return ApiInterval(level, MAX_API_LEVEL)
+        return _intern(level, MAX_API_LEVEL)
 
     @staticmethod
     def at_most(level: int) -> "ApiInterval":
-        return ApiInterval(MIN_API_LEVEL, level)
+        return _intern(MIN_API_LEVEL, level)
 
     @staticmethod
     def single(level: int) -> "ApiInterval":
-        return ApiInterval(level, level)
+        return _intern(level, level)
 
     @staticmethod
     def empty() -> "ApiInterval":
@@ -79,7 +79,7 @@ class ApiInterval:
         """Intersection."""
         lo = max(self.lo, other.lo)
         hi = min(self.hi, other.hi)
-        return EMPTY if lo > hi else ApiInterval(lo, hi)
+        return EMPTY if lo > hi else _intern(lo, hi)
 
     def join(self, other: "ApiInterval") -> "ApiInterval":
         """Convex hull (the sound over-approximation of union)."""
@@ -87,7 +87,7 @@ class ApiInterval:
             return other
         if other.is_empty:
             return self
-        return ApiInterval(min(self.lo, other.lo), max(self.hi, other.hi))
+        return _intern(min(self.lo, other.lo), max(self.hi, other.hi))
 
     # -- guard refinement -------------------------------------------------
 
@@ -114,9 +114,9 @@ class ApiInterval:
             if constant == self.lo == self.hi:
                 return EMPTY
             if constant == self.lo:
-                return ApiInterval(self.lo + 1, self.hi)
+                return _intern(self.lo + 1, self.hi)
             if constant == self.hi:
-                return ApiInterval(self.lo, self.hi - 1)
+                return _intern(self.lo, self.hi - 1)
             return self
         raise ValueError(f"unknown comparison {op!r}")
 
@@ -126,8 +126,25 @@ class ApiInterval:
         return f"[{self.lo}, {self.hi}]"
 
 
+#: Interning table: the guard analysis creates the same few dozen
+#: intervals millions of times across a corpus, and context
+#: memoization keys on ``(method, interval)`` tuples — shared instances
+#: make those hashes/comparisons cheap and cut allocation churn.
+#: Equality still holds for uninterned instances (``__eq__`` compares
+#: ``lo``/``hi``), so interning is a pure optimization.
+_INTERNED: dict[tuple[int, int], "ApiInterval"] = {}
+
+
+def _intern(lo: int, hi: int) -> "ApiInterval":
+    key = (lo, hi)
+    cached = _INTERNED.get(key)
+    if cached is None:
+        cached = _INTERNED[key] = ApiInterval(lo, hi)
+    return cached
+
+
 #: The full modeled device-level range.
-FULL_RANGE = ApiInterval(MIN_API_LEVEL, MAX_API_LEVEL)
+FULL_RANGE = _intern(MIN_API_LEVEL, MAX_API_LEVEL)
 
 #: The canonical empty interval.
-EMPTY = ApiInterval(MAX_API_LEVEL + 1, MIN_API_LEVEL - 1)
+EMPTY = _intern(MAX_API_LEVEL + 1, MIN_API_LEVEL - 1)

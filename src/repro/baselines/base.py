@@ -64,6 +64,9 @@ class CompatibilityDetector(abc.ABC):
         started = time.perf_counter()
         mismatches, metrics = body()
         metrics.wall_time_s = time.perf_counter() - started
+        # Baselines do not separate pipeline phases; their whole run is
+        # one detection pass.
+        metrics.phase_seconds.setdefault("detect", metrics.wall_time_s)
         if metrics.modeled_seconds > TIMEOUT_MODELED_SECONDS:
             metrics.failed = True
             metrics.failure_reason = (

@@ -1,0 +1,149 @@
+"""Content fingerprints for the persistent cache.
+
+Every cache key in :mod:`repro.cache` is *content-addressed*: a
+SHA-256 digest over a canonical JSON rendering of the thing being
+keyed.  Three inputs determine whether a cached analysis result is
+still valid, and each gets its own fingerprint:
+
+* the **framework spec** (:func:`fingerprint_spec`) — every class and
+  method history, including permissions and call chains, so adding a
+  method or shifting an ``introduced`` level invalidates everything
+  derived from the framework;
+* the **APK content** (:func:`fingerprint_apk`) — the full serialized
+  package, so any byte-level change to manifest or dex code is a new
+  app as far as the cache is concerned;
+* the **detector configuration** (:func:`fingerprint_config`) — which
+  tools ran and with which options, so a run with a different tool
+  set never sees another configuration's results.
+
+Fingerprints also embed :data:`CACHE_SCHEMA_VERSION`: bumping it
+orphans (never corrupts) every existing entry, which is how on-disk
+format changes roll out without migration code.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from typing import Any
+
+from ..apk.package import Apk
+from ..apk.serialization import apk_to_dict
+from ..framework.spec import FrameworkSpec
+
+__all__ = [
+    "CACHE_SCHEMA_VERSION",
+    "canonical_json",
+    "digest_json",
+    "fingerprint_spec",
+    "fingerprint_apk",
+    "fingerprint_config",
+    "result_key",
+]
+
+#: Version of every on-disk cache artifact (snapshot pickles, result
+#: entries, manifest).  Part of every key: bump to orphan old entries.
+CACHE_SCHEMA_VERSION = 1
+
+
+def canonical_json(value: Any) -> str:
+    """Deterministic JSON: sorted keys, no whitespace variance."""
+    return json.dumps(
+        value, sort_keys=True, separators=(",", ":"), ensure_ascii=True
+    )
+
+
+def digest_json(value: Any) -> str:
+    """SHA-256 hex digest of the canonical JSON rendering."""
+    return hashlib.sha256(canonical_json(value).encode()).hexdigest()
+
+
+def _method_history_doc(history) -> dict:
+    return {
+        "name": history.name,
+        "descriptor": history.descriptor,
+        "introduced": history.introduced,
+        "removed": history.removed,
+        "callback": history.callback,
+        "permissions": sorted(history.permissions),
+        "calls": sorted(
+            [ref.class_name, ref.name, ref.descriptor]
+            for ref in history.calls
+        ),
+    }
+
+
+# fingerprint_spec walks every method history of the framework, which
+# costs a substantial fraction of a warm run's wall time if repeated.
+# A FrameworkSpec is immutable after construction, so the digest is
+# memoized per instance (keyed by id, with the spec kept referenced so
+# the id cannot be recycled).
+_SPEC_FINGERPRINTS: dict[int, tuple[FrameworkSpec, str]] = {}
+
+
+def fingerprint_spec(spec: FrameworkSpec) -> str:
+    """Digest of the complete framework revision history."""
+    memo = _SPEC_FINGERPRINTS.get(id(spec))
+    if memo is not None and memo[0] is spec:
+        return memo[1]
+    classes = []
+    for name in sorted(spec.class_names):
+        history = spec.clazz(name)
+        classes.append(
+            {
+                "name": history.name,
+                "super": history.super_name,
+                "introduced": history.introduced,
+                "removed": history.removed,
+                "interfaces": list(history.interfaces),
+                "methods": [
+                    _method_history_doc(m) for m in history.methods
+                ],
+            }
+        )
+    digest = digest_json(
+        {"schema": CACHE_SCHEMA_VERSION, "classes": classes}
+    )
+    _SPEC_FINGERPRINTS[id(spec)] = (spec, digest)
+    return digest
+
+
+def fingerprint_apk(apk: Apk) -> str:
+    """Digest of the package's full serialized content.
+
+    This is the same document ``save_apk`` writes, so a `.sapk` file
+    reloaded byte-identically fingerprints identically, and any edit —
+    manifest attribute, instruction, dex layout — is a new key.
+    """
+    return digest_json(apk_to_dict(apk))
+
+
+def fingerprint_config(
+    tools: tuple[str, ...], options: dict | None = None
+) -> str:
+    """Digest of the detector configuration for one run.
+
+    ``tools`` is ordered (the tool set determines which reports an
+    :class:`~repro.eval.runner.AppResult` carries and in what
+    iteration order); ``options`` holds any detector knobs that change
+    findings (ablations, device ranges).
+    """
+    return digest_json(
+        {
+            "schema": CACHE_SCHEMA_VERSION,
+            "tools": list(tools),
+            "options": options or {},
+        }
+    )
+
+
+def result_key(
+    apk_fingerprint: str,
+    framework_fingerprint: str,
+    config_fingerprint: str,
+) -> str:
+    """The cache key of one app's analysis under one configuration."""
+    return hashlib.sha256(
+        f"{CACHE_SCHEMA_VERSION}:{framework_fingerprint}:"
+        f"{config_fingerprint}:{apk_fingerprint}".encode()
+    ).hexdigest()

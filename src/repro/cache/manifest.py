@@ -1,0 +1,136 @@
+"""Cache bookkeeping: the manifest and atomic on-disk writes.
+
+The manifest is a small JSON document at ``<cache_dir>/manifest.json``
+recording the schema version and one row per stored artifact (size,
+last-touch timestamp).  It exists for two jobs:
+
+* **invalidation by version** — a manifest written by a different
+  schema version marks the whole directory stale; entries are simply
+  ignored (re-created on demand), never migrated;
+* **size-bounded eviction** — :meth:`CacheManifest.prune` drops the
+  least-recently-touched entries until the cache fits its byte
+  budget, so a long-lived cache directory cannot grow without bound.
+
+Like the checkpoint journal, the manifest is corruption-tolerant: an
+unreadable or truncated manifest is treated as empty and rebuilt by
+scanning the directory, because losing bookkeeping must never lose a
+run.  All writes go through :func:`atomic_write_bytes` (temp file +
+``os.replace``), so a crash mid-write leaves either the old artifact
+or the new one, never a torn file.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+
+from .fingerprint import CACHE_SCHEMA_VERSION
+
+__all__ = ["atomic_write_bytes", "atomic_write_text", "CacheManifest"]
+
+#: Default byte budget for the result-entry store (framework
+#: snapshots are few and excluded from eviction).
+DEFAULT_MAX_BYTES = 512 * 1024 * 1024
+
+
+def atomic_write_bytes(path: Path, data: bytes) -> None:
+    """Write ``data`` so that ``path`` is never observed torn."""
+    path.parent.mkdir(parents=True, exist_ok=True)
+    tmp = path.with_name(path.name + f".tmp.{os.getpid()}")
+    tmp.write_bytes(data)
+    os.replace(tmp, path)
+
+
+def atomic_write_text(path: Path, text: str) -> None:
+    atomic_write_bytes(path, text.encode())
+
+
+class CacheManifest:
+    """Versioned bookkeeping over one cache directory."""
+
+    FILENAME = "manifest.json"
+
+    def __init__(
+        self, cache_dir: str | Path, *, max_bytes: int = DEFAULT_MAX_BYTES
+    ) -> None:
+        self.cache_dir = Path(cache_dir)
+        self.path = self.cache_dir / self.FILENAME
+        self.max_bytes = max_bytes
+        #: relative path -> {"size": int, "touched": float}
+        self.entries: dict[str, dict] = {}
+        self._load()
+
+    # -- persistence ---------------------------------------------------
+
+    def _load(self) -> None:
+        try:
+            doc = json.loads(self.path.read_text())
+        except (OSError, json.JSONDecodeError, UnicodeDecodeError):
+            # Missing, truncated, or corrupt: start empty.  Entries on
+            # disk are still usable (they self-validate); they re-enter
+            # the manifest as they are touched.
+            self.entries = {}
+            return
+        if not isinstance(doc, dict) or (
+            doc.get("version") != CACHE_SCHEMA_VERSION
+        ):
+            self.entries = {}
+            return
+        entries = doc.get("entries")
+        self.entries = dict(entries) if isinstance(entries, dict) else {}
+
+    def save(self) -> None:
+        atomic_write_text(
+            self.path,
+            json.dumps(
+                {
+                    "version": CACHE_SCHEMA_VERSION,
+                    "entries": self.entries,
+                },
+                sort_keys=True,
+            ),
+        )
+
+    # -- bookkeeping ---------------------------------------------------
+
+    def record(self, relative: str, size: int) -> None:
+        """Note that ``relative`` was just written (or served)."""
+        self.entries[relative] = {
+            "size": int(size), "touched": time.time()
+        }
+
+    def touch(self, relative: str) -> None:
+        entry = self.entries.get(relative)
+        if entry is not None:
+            entry["touched"] = time.time()
+
+    def forget(self, relative: str) -> None:
+        self.entries.pop(relative, None)
+
+    @property
+    def total_bytes(self) -> int:
+        return sum(entry.get("size", 0) for entry in self.entries.values())
+
+    def prune(self) -> list[str]:
+        """Evict least-recently-touched entries until the byte budget
+        holds; returns the relative paths removed."""
+        evicted: list[str] = []
+        if self.total_bytes <= self.max_bytes:
+            return evicted
+        by_age = sorted(
+            self.entries.items(),
+            key=lambda item: item[1].get("touched", 0.0),
+        )
+        for relative, entry in by_age:
+            if self.total_bytes <= self.max_bytes:
+                break
+            target = self.cache_dir / relative
+            try:
+                target.unlink(missing_ok=True)
+            except OSError:
+                pass  # eviction is best-effort; bookkeeping still drops it
+            self.entries.pop(relative, None)
+            evicted.append(relative)
+        return evicted

@@ -16,7 +16,10 @@ accept ``--jobs N`` to fan analysis out over a process pool; results
 are identical to a serial run.  ``table``, ``rq2``, and ``figure``
 also take the fault-tolerance flags ``--timeout``, ``--max-retries``,
 ``--retry-backoff``, and ``--checkpoint`` (kill/resume journal); runs
-that lose apps end with a per-kind failure breakdown.
+that lose apps end with a per-kind failure breakdown.  All corpus
+commands (and ``sweep``) accept ``--cache-dir DIR`` (default:
+``$REPRO_CACHE_DIR``) to persist framework snapshots and per-app
+results across runs, and ``--no-cache`` to force cold analysis.
 ``verify``     dynamically verify static findings (paper §VI)
 ``repair``     synthesize a repaired package (paper §VIII)
 ``update-impact``  what breaks when the device framework is updated
@@ -26,6 +29,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 from pathlib import Path
 
@@ -145,6 +149,18 @@ def build_parser() -> argparse.ArgumentParser:
                  "pointed at the same file resumes where it was "
                  "killed",
         )
+        command.add_argument(
+            "--cache-dir", type=Path, default=None, metavar="DIR",
+            help="persistent cache: framework snapshots + per-app "
+                 "results keyed by content fingerprints (defaults to "
+                 "$REPRO_CACHE_DIR when set; warm runs skip unchanged "
+                 "analyses with identical results)",
+        )
+        command.add_argument(
+            "--no-cache", action="store_true",
+            help="disable the persistent cache even when "
+                 "$REPRO_CACHE_DIR is set",
+        )
 
     table = sub.add_parser("table", help="regenerate a paper table")
     table.add_argument("number", type=int, choices=(1, 2, 3, 4))
@@ -178,6 +194,17 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument(
         "--jobs", type=int, default=1,
         help="run sweep points concurrently (they are independent)",
+    )
+    sweep.add_argument(
+        "--cache-dir", type=Path, default=None, metavar="DIR",
+        help="snapshot each point's framework substrate so a "
+             "repeated sweep re-mines nothing (defaults to "
+             "$REPRO_CACHE_DIR when set)",
+    )
+    sweep.add_argument(
+        "--no-cache", action="store_true",
+        help="disable the persistent cache even when "
+             "$REPRO_CACHE_DIR is set",
     )
 
     apidb = sub.add_parser("apidb", help="query the API database")
@@ -229,6 +256,19 @@ def _make_tool(args: argparse.Namespace):
     return Lint(framework, apidb)
 
 
+def _cache_dir(args: argparse.Namespace) -> Path | None:
+    """Resolve the cache directory: the flag wins, then the
+    ``REPRO_CACHE_DIR`` environment default; ``--no-cache`` beats
+    both."""
+    if getattr(args, "no_cache", False):
+        return None
+    explicit = getattr(args, "cache_dir", None)
+    if explicit is not None:
+        return explicit
+    env = os.environ.get("REPRO_CACHE_DIR")
+    return Path(env) if env else None
+
+
 def _run_kwargs(args: argparse.Namespace) -> dict:
     """run_tools() fault-tolerance kwargs from corpus-command flags."""
     return {
@@ -237,6 +277,7 @@ def _run_kwargs(args: argparse.Namespace) -> dict:
         "max_retries": args.max_retries,
         "retry_backoff_s": args.retry_backoff,
         "checkpoint": args.checkpoint,
+        "cache_dir": _cache_dir(args),
     }
 
 
@@ -249,6 +290,12 @@ def _print_failures(run) -> None:
         print(
             f"(resumed: {len(run.resumed_indices)} apps restored "
             f"from checkpoint)"
+        )
+    stats = run.cache_stats.get("results", {})
+    if run.cached_indices or stats.get("stores"):
+        print(
+            f"(cache: {len(run.cached_indices)} apps served from "
+            f"the persistent cache, {stats.get('stores', 0)} stored)"
         )
 
 
@@ -377,11 +424,13 @@ def _cmd_figure(args: argparse.Namespace) -> int:
 def _cmd_sweep(args: argparse.Namespace) -> int:
     from .eval.sweep import sweep_framework_scale
 
+    cache_dir = _cache_dir(args)
     points = sweep_framework_scale(
         tuple(args.bulk_sizes),
         probes_per_point=args.probes,
         seed=args.seed,
         jobs=args.jobs,
+        cache_dir=str(cache_dir) if cache_dir is not None else None,
     )
     header = (
         f"{'bulk':>6}{'classes@26':>12}{'SAINT s':>10}{'SAINT MB':>10}"

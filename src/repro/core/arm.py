@@ -33,7 +33,14 @@ from ..ir.types import MethodRef
 from ..analysis.reaching import strings_at_invocations
 from .apidb import ApiClassEntry, ApiDatabase, ApiEntry
 
-__all__ = ["mine_spec", "mine_images", "close_permissions", "build_api_database"]
+__all__ = [
+    "mine_spec",
+    "mine_images",
+    "close_permissions",
+    "build_api_database",
+    "cached_database",
+    "register_database",
+]
 
 _ALL_LEVELS = tuple(range(MIN_API_LEVEL, MAX_API_LEVEL + 1))
 
@@ -234,3 +241,21 @@ def build_api_database(
     if key not in _DEFAULT_CACHE:
         _DEFAULT_CACHE[key] = mine_spec(repository.spec)
     return _DEFAULT_CACHE[key]
+
+
+def cached_database(spec: FrameworkSpec) -> ApiDatabase | None:
+    """The already-built database for this exact spec object, if any.
+
+    Keyed by object identity like :func:`build_api_database`'s memo:
+    under the fork start method a pool worker inherits the parent's
+    built database, and a retry round's fresh pool must reuse it
+    instead of re-mining.
+    """
+    return _DEFAULT_CACHE.get(id(spec))
+
+
+def register_database(spec: FrameworkSpec, apidb: ApiDatabase) -> None:
+    """Adopt a database built elsewhere (e.g. loaded from a framework
+    snapshot) so later :func:`build_api_database` calls over the same
+    spec object are dictionary hits."""
+    _DEFAULT_CACHE[id(spec)] = apidb

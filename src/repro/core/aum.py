@@ -23,6 +23,7 @@ That asymmetry is the source of SAINTDroid's residual false alarms.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 
 from ..apk.package import Apk
@@ -92,6 +93,9 @@ class AumModel:
     version_helpers: dict[tuple, frozenset[int]] = field(
         default_factory=dict
     )
+    #: Measured wall seconds per modeling phase (``explore`` /
+    #: ``guards``); the detector adds ``load`` and ``detect``.
+    phase_seconds: dict = field(default_factory=dict)
 
     @property
     def app_interval(self) -> ApiInterval:
@@ -151,6 +155,7 @@ class ApiUsageModeler:
             follow_framework=True,
             include_secondary_dex=self._secondary,
         )
+        phase_started = time.perf_counter()
         exploration = vm.explore(self.entry_points(apk))
         model.callgraph = exploration.callgraph
         model.stats = exploration.stats
@@ -166,10 +171,19 @@ class ApiUsageModeler:
             if (method := exploration.callgraph.method(ref)) is not None
             and method.has_code
         )
+        # Under lazy loading the CLVM interleaves class loads with
+        # exploration, so ``explore`` covers both; the eager ablation's
+        # whole-world load is timed separately as ``load``.
+        now = time.perf_counter()
+        model.phase_seconds["explore"] = now - phase_started
+        phase_started = now
 
         self._propagate_guards(model)
         self._collect_overrides(model)
         self._annotate_permissions(model)
+        model.phase_seconds["guards"] = (
+            time.perf_counter() - phase_started
+        )
         return model
 
     # -- guard propagation --------------------------------------------------

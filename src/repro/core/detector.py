@@ -114,28 +114,37 @@ class SaintDroid:
         started = time.perf_counter()
         with tag_phase(AnalysisPhase.AUM):
             model = self._aum.build(apk)
+        load_seconds = 0.0
         if not self._lazy:
             # Eager ablation: account for loading the entire world the
             # way closed-world tools do before any analysis.
+            load_started = time.perf_counter()
             vm = ClassLoaderVM(
                 apk, self._framework, apk.manifest.effective_max_sdk
             )
             vm.load_everything()
+            load_seconds = time.perf_counter() - load_started
             model.stats.classes_loaded = vm.stats.classes_loaded
             model.stats.app_classes_loaded = vm.stats.app_classes_loaded
             model.stats.framework_classes_loaded = (
                 vm.stats.framework_classes_loaded
             )
             model.stats.instructions_loaded = vm.stats.instructions_loaded
+        detect_started = time.perf_counter()
         with tag_phase(AnalysisPhase.AMD):
             mismatches = self._amd.detect(model, device_levels)
-        elapsed = time.perf_counter() - started
+        now = time.perf_counter()
 
         metrics = AnalysisMetrics(
             tool=self.name,
             app=apk.name,
-            wall_time_s=elapsed,
+            wall_time_s=now - started,
             stats=model.stats,
+            phase_seconds={
+                "load": load_seconds,
+                **model.phase_seconds,
+                "detect": now - detect_started,
+            },
         )
         return AnalysisReport(
             app=apk.name,

@@ -57,6 +57,11 @@ class AnalysisMetrics:
     #: renders these as dashes).
     failed: bool = False
     failure_reason: str = ""
+    #: Measured wall seconds per pipeline phase (``load`` / ``explore``
+    #: / ``guards`` / ``detect`` for SAINTDroid, ``detect`` for the
+    #: baselines).  Observational like ``wall_time_s``: excluded from
+    #: fingerprints and from the cost model below.
+    phase_seconds: dict = field(default_factory=dict)
 
     @property
     def work_units(self) -> int:

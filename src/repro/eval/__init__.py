@@ -27,7 +27,9 @@ from .faults import (
 )
 from .tables import (
     failure_breakdown,
+    phase_breakdown,
     render_failures,
+    render_phases,
     render_rq2,
     render_table1,
     render_table2,
@@ -68,7 +70,9 @@ __all__ = [
     "ParallelConfig",
     "analyze_app",
     "failure_breakdown",
+    "phase_breakdown",
     "render_failures",
+    "render_phases",
     "run_tools_parallel",
     "KIND_GROUPS",
     "RunResults",

@@ -97,6 +97,7 @@ def _metrics_to_dict(metrics: AnalysisMetrics | None) -> dict | None:
         "workUnits": metrics.work_units,
         "memoryUnits": metrics.memory_units,
         "wallTimeS": metrics.wall_time_s,
+        "phaseSeconds": dict(metrics.phase_seconds),
     }
 
 
@@ -117,6 +118,8 @@ def _metrics_from_dict(
         extra_memory_units=doc.get("memoryUnits", 0),
         failed=bool(doc.get("failed", False)),
         failure_reason=doc.get("failureReason", ""),
+        # Optional for journals written before phase timing existed.
+        phase_seconds=dict(doc.get("phaseSeconds") or {}),
     )
 
 

@@ -118,6 +118,16 @@ def export_run_json(run: RunResults, path: str | Path) -> None:
                     None if metrics is None
                     else round(metrics.wall_time_s, 4)
                 ),
+                "phaseSeconds": (
+                    None
+                    if metrics is None
+                    else {
+                        phase: round(seconds, 4)
+                        for phase, seconds in sorted(
+                            metrics.phase_seconds.items()
+                        )
+                    }
+                ),
             }
         payload.append(entry)
     Path(path).write_text(json.dumps(payload, indent=2))

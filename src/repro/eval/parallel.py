@@ -56,7 +56,7 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import TYPE_CHECKING, Callable, Iterable
 
-from ..core.arm import build_api_database
+from ..core.arm import build_api_database, cached_database, register_database
 from ..core.errors import AnalysisError, AnalysisPhase, ErrorKind
 from ..framework.repository import FrameworkCacheStats, FrameworkRepository
 from ..framework.spec import FrameworkSpec
@@ -102,6 +102,9 @@ class ParallelConfig:
     retry_backoff_s: float = 0.0
     #: Injected faults for chaos testing (None in production runs).
     fault_plan: "FaultPlan | None" = None
+    #: Persistent cache directory (:mod:`repro.cache`); ``None``
+    #: disables both the result cache and framework snapshots.
+    cache_dir: str | None = None
 
     def resolved_chunk_size(self, corpus_size: int) -> int:
         if self.chunk_size is not None:
@@ -124,15 +127,33 @@ def _init_worker(
     spec: FrameworkSpec,
     include: tuple[str, ...],
     fault_plan: "FaultPlan | None" = None,
+    snapshot_file: str | None = None,
 ) -> None:
     global _WORKER_TOOLSET, _WORKER_FAULTS
-    framework = FrameworkRepository(spec)
-    apidb = build_api_database(framework)
-    # Under the fork start method the worker inherits the parent's
-    # database object (same spec identity, so the module-level cache
-    # hits) along with whatever cache counters the parent already
-    # accumulated — a warm start we gladly keep, but the accounting
-    # must cover only this worker's activity.
+    # Substrate resolution order, cheapest first:
+    #
+    # 1. the in-process build memo — under the fork start method every
+    #    worker (in *every* round's fresh pool) inherits the database
+    #    the parent prebuilt, so no round ever re-mines it;
+    # 2. the on-disk framework snapshot (spawn platforms, where fork
+    #    inheritance is unavailable);
+    # 3. mining from the spec (no cache at all).
+    framework: FrameworkRepository | None = None
+    apidb = cached_database(spec)
+    if apidb is None and snapshot_file is not None:
+        from ..cache.snapshot import load_snapshot
+
+        loaded = load_snapshot(snapshot_file)
+        if loaded is not None:
+            framework, apidb = loaded
+            register_database(spec, apidb)
+    if framework is None:
+        framework = FrameworkRepository(spec)
+    if apidb is None:
+        apidb = build_api_database(framework)
+    # An inherited or snapshot-loaded database carries whatever cache
+    # counters its builder accumulated — a warm start we gladly keep,
+    # but the accounting must cover only this worker's activity.
     apidb.reset_cache_counters()
     framework.cache_stats = FrameworkCacheStats()
     _WORKER_TOOLSET = ToolSet.default(framework, apidb, include=include)
@@ -252,6 +273,7 @@ def _run_round(
     spec: FrameworkSpec,
     config: ParallelConfig,
     worker_stats: dict[int, dict],
+    snapshot_file: str | None = None,
 ) -> list[tuple[_Entry, AppResult]]:
     """Dispatch one round's chunks over a fresh pool and drain every
     future — including the ones a dying worker broke."""
@@ -263,7 +285,7 @@ def _run_round(
         max_workers=config.jobs,
         mp_context=_pool_context(),
         initializer=_init_worker,
-        initargs=(spec, config.include, config.fault_plan),
+        initargs=(spec, config.include, config.fault_plan, snapshot_file),
     ) as pool:
         futures = {
             pool.submit(_analyze_chunk, chunk, config.timeout_s): chunk
@@ -322,6 +344,68 @@ def run_tools_parallel(
         for index, forged in indexed
         if index not in restored
     ]
+
+    # Persistent cache, parent side: result hits are served before any
+    # dispatch (the pool never sees them), misses are fingerprinted now
+    # and stored after finalization — a single writer, no locking.
+    rcache = None
+    snapshot_file: str | None = None
+    fp_by_index: dict[int, str] = {}
+    cached: list[int] = []
+    if config.cache_dir is not None and pending:
+        from ..cache import (
+            ResultCache,
+            fingerprint_config,
+            fingerprint_spec,
+        )
+        from .runner import _apk_fingerprint
+
+        rcache = ResultCache(
+            config.cache_dir,
+            framework_fingerprint=fingerprint_spec(spec),
+            config_fingerprint=fingerprint_config(config.include),
+        )
+        still_pending: list[_Entry] = []
+        for entry in pending:
+            index, forged, attempt = entry
+            faulted = (
+                config.fault_plan is not None
+                and config.fault_plan.fault_for(index) is not None
+            )
+            apk_fp = None if faulted else _apk_fingerprint(forged)
+            hit = rcache.get(apk_fp) if apk_fp is not None else None
+            if hit is not None:
+                done[index] = hit
+                cached.append(index)
+                if journal is not None:
+                    journal.append(index, hit)
+                if progress is not None:
+                    progress(hit.app)
+                continue
+            if apk_fp is not None:
+                fp_by_index[index] = apk_fp
+            still_pending.append(entry)
+        pending = still_pending
+
+    if pending:
+        # Prebuild the substrate in the parent (from the snapshot when
+        # one exists) so that under fork every worker of every round —
+        # including retry rounds' fresh pools — inherits the built
+        # database instead of re-mining it; spawn platforms fall back
+        # to the snapshot file threaded into the initializer.
+        from ..cache.snapshot import load_or_build_substrate
+
+        framework, apidb, _source = load_or_build_substrate(
+            config.cache_dir, spec
+        )
+        register_database(spec, apidb)
+        if config.cache_dir is not None:
+            from ..cache import ensure_snapshot
+
+            snapshot_file = str(
+                ensure_snapshot(config.cache_dir, framework, apidb)
+            )
+
     worker_stats: dict[int, dict] = {}
     round_no = 0
     while pending:
@@ -341,7 +425,7 @@ def run_tools_parallel(
         ]
         next_pending: list[_Entry] = []
         for entry, result in _run_round(
-            chunks, spec, config, worker_stats
+            chunks, spec, config, worker_stats, snapshot_file
         ):
             index, forged, attempt = entry
             error = result.error
@@ -353,6 +437,8 @@ def run_tools_parallel(
                 next_pending.append((index, forged, attempt + 1))
                 continue
             done[index] = result
+            if rcache is not None and result.ok and index in fp_by_index:
+                rcache.put(fp_by_index[index], result)
             if journal is not None:
                 journal.append(index, result)
             if progress is not None:
@@ -363,5 +449,9 @@ def run_tools_parallel(
 
     out.results = [done[index] for index, _ in indexed]
     out.cache_stats = _merge_cache_stats(worker_stats)
+    if rcache is not None:
+        rcache.flush()
+        out.cache_stats["results"] = rcache.stats.as_dict()
     out.resumed_indices = tuple(sorted(restored))
+    out.cached_indices = tuple(sorted(cached))
     return out

@@ -129,12 +129,28 @@ class AppResult:
     #: (empty for well-formed packages and strict ingests).
     ingest_diagnostics: tuple[str, ...] = ()
 
+    #: True when this result was served from the persistent result
+    #: cache instead of analyzed (excluded from fingerprints).
+    from_cache: bool = False
+
     @property
     def ok(self) -> bool:
         return self.error is None
 
     def report(self, tool: str) -> AnalysisReport:
         return self.reports[tool]
+
+    def phase_seconds(self) -> dict[str, float]:
+        """Measured wall seconds per pipeline phase, summed over this
+        app's tools (``load``/``explore``/``guards``/``detect``)."""
+        totals: dict[str, float] = {}
+        for report in self.reports.values():
+            metrics = report.metrics
+            if metrics is None:
+                continue
+            for phase, seconds in metrics.phase_seconds.items():
+                totals[phase] = totals.get(phase, 0.0) + seconds
+        return totals
 
     def fingerprint(self) -> dict:
         """Deterministic content of this result: everything except
@@ -172,6 +188,9 @@ class RunResults:
     #: Corpus indices restored from a checkpoint journal instead of
     #: analyzed in this run.  Excluded from fingerprints.
     resumed_indices: tuple[int, ...] = ()
+    #: Corpus indices served from the persistent result cache instead
+    #: of analyzed in this run.  Excluded from fingerprints.
+    cached_indices: tuple[int, ...] = ()
 
     def __len__(self) -> int:
         return len(self.results)
@@ -192,6 +211,16 @@ class RunResults:
         """Apps that exhausted their retry budget (or failed
         non-retryably) — each with its full error record."""
         return tuple(r for r in self.results if r.error is not None)
+
+    def phase_totals(self) -> dict[str, float]:
+        """Measured wall seconds per pipeline phase summed over the
+        whole run (cache hits contribute their *original* measured
+        times, so warm totals reflect the work that was skipped)."""
+        totals: dict[str, float] = {}
+        for result in self.results:
+            for phase, seconds in result.phase_seconds().items():
+                totals[phase] = totals.get(phase, 0.0) + seconds
+        return dict(sorted(totals.items()))
 
     def error_summary(self) -> dict[str, int]:
         """Failure counts keyed by error kind (``timeout``, ``crash``,
@@ -433,6 +462,7 @@ def run_tools(
     retry_backoff_s: float = 0.0,
     fault_plan: "FaultPlan | None" = None,
     checkpoint: str | Path | None = None,
+    cache_dir: str | Path | None = None,
 ) -> RunResults:
     """Analyze every app with every tool.
 
@@ -449,6 +479,15 @@ def run_tools(
     resumes by skipping the journaled indices — a resumed run's
     fingerprint equals an uninterrupted one's.  ``fault_plan`` injects
     deterministic faults (chaos testing).
+
+    ``cache_dir`` enables the persistent cache
+    (:mod:`repro.cache`): clean per-app
+    results keyed by (APK digest, tools, framework) are served from
+    disk on later runs, and the framework substrate is snapshotted for
+    fast cold-process startup.  Cached results are fingerprint-
+    identical to analyzed ones; fault-injected indices bypass the
+    cache entirely so chaos runs quarantine exactly what an uncached
+    run would.
     """
     toolset = toolset or ToolSet.default()
     if jobs > 1:
@@ -462,6 +501,7 @@ def run_tools(
             max_retries=max_retries,
             retry_backoff_s=retry_backoff_s,
             fault_plan=fault_plan,
+            cache_dir=str(cache_dir) if cache_dir is not None else None,
         )
         return run_tools_parallel(
             apps,
@@ -481,11 +521,46 @@ def run_tools(
         )
         restored = journal.load()
 
+    rcache = None
+    if cache_dir is not None:
+        from ..cache import (
+            ResultCache,
+            ensure_snapshot,
+            fingerprint_config,
+            fingerprint_spec,
+        )
+
+        rcache = ResultCache(
+            cache_dir,
+            framework_fingerprint=fingerprint_spec(
+                toolset.framework.spec
+            ),
+            config_fingerprint=fingerprint_config(toolset.tool_names),
+        )
+
     out = RunResults()
+    cached: list[int] = []
     for index, forged in enumerate(apps):
         if index in restored:
             out.results.append(restored[index])
             continue
+        faulted = (
+            fault_plan is not None
+            and fault_plan.fault_for(index) is not None
+        )
+        apk_fp = None
+        if rcache is not None and not faulted:
+            apk_fp = _apk_fingerprint(forged)
+        if apk_fp is not None:
+            hit = rcache.get(apk_fp)
+            if hit is not None:
+                out.results.append(hit)
+                cached.append(index)
+                if journal is not None:
+                    journal.append(index, hit)
+                if progress is not None:
+                    progress(forged.apk.name)
+                continue
         result = _analyze_with_retries(
             toolset,
             forged,
@@ -496,10 +571,30 @@ def run_tools(
             retry_backoff_s=retry_backoff_s,
         )
         out.results.append(result)
+        if apk_fp is not None and result.ok:
+            rcache.put(apk_fp, result)
         if journal is not None:
             journal.append(index, result)
         if progress is not None:
             progress(forged.apk.name)
     out.cache_stats = toolset.cache_stats()
+    if rcache is not None:
+        rcache.flush()
+        out.cache_stats["results"] = rcache.stats.as_dict()
+        # Snapshot the substrate (only written when missing) so the
+        # next cold process loads it instead of rebuilding.
+        ensure_snapshot(cache_dir, toolset.framework, toolset.apidb)
     out.resumed_indices = tuple(sorted(restored))
+    out.cached_indices = tuple(cached)
     return out
+
+
+def _apk_fingerprint(forged: ForgedApp) -> str | None:
+    """Content digest of one app, or ``None`` when the package is too
+    hostile to serialize (such apps are simply uncacheable)."""
+    from ..cache import fingerprint_apk
+
+    try:
+        return fingerprint_apk(forged.apk)
+    except Exception:  # noqa: BLE001 — uncacheable, not fatal
+        return None

@@ -64,13 +64,25 @@ def _probe_app(apidb, picker, seed: int):
 
 
 def _sweep_point(
-    bulk: int, probes_per_point: int, seed: int
+    bulk: int,
+    probes_per_point: int,
+    seed: int,
+    cache_dir: str | None = None,
 ) -> SweepPoint:
     """One self-contained sweep measurement (module-level so parallel
     sweeps can ship it to pool workers)."""
     spec = build_spec(bulk_classes=bulk, seed=seed)
-    framework = FrameworkRepository(spec)
-    apidb = mine_spec(spec)
+    if cache_dir is not None:
+        # Each sweep point is its own framework, so each gets its own
+        # snapshot; a repeated sweep skips every re-mine.
+        from ..cache import load_or_build_substrate
+
+        framework, apidb, _source = load_or_build_substrate(
+            cache_dir, spec
+        )
+    else:
+        framework = FrameworkRepository(spec)
+        apidb = mine_spec(spec)
     picker = ApiPicker(apidb)
     saintdroid = SaintDroid(framework, apidb)
     cid = Cid(framework, apidb)
@@ -104,12 +116,14 @@ def sweep_framework_scale(
     probes_per_point: int = 3,
     seed: int = 11,
     jobs: int = 1,
+    cache_dir: str | None = None,
 ) -> list[SweepPoint]:
     """Measure SAINTDroid vs CID across framework sizes.
 
     Sweep points are independent measurements, so ``jobs > 1`` runs
     them concurrently (one point per worker); results keep the
-    ``bulk_sizes`` order either way.
+    ``bulk_sizes`` order either way.  ``cache_dir`` snapshots each
+    point's framework substrate so a repeated sweep re-mines nothing.
     """
     if jobs > 1 and len(bulk_sizes) > 1:
         from concurrent.futures import ProcessPoolExecutor
@@ -123,8 +137,10 @@ def sweep_framework_scale(
                     bulk_sizes,
                     (probes_per_point,) * len(bulk_sizes),
                     (seed,) * len(bulk_sizes),
+                    (cache_dir,) * len(bulk_sizes),
                 )
             )
     return [
-        _sweep_point(bulk, probes_per_point, seed) for bulk in bulk_sizes
+        _sweep_point(bulk, probes_per_point, seed, cache_dir)
+        for bulk in bulk_sizes
     ]

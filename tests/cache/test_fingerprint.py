@@ -1,0 +1,109 @@
+"""Tests for content fingerprints: the cache's invalidation contract.
+
+Every key must be stable under repetition and pure content changes
+must produce new keys — invalidation is structural (different key),
+never procedural (no "check freshness" code path exists to get wrong).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.cache import (
+    canonical_json,
+    digest_json,
+    fingerprint_apk,
+    fingerprint_config,
+    fingerprint_spec,
+    result_key,
+)
+from repro.framework.catalog import build_spec
+
+from ..conftest import activity_class, make_apk
+
+
+class TestCanonicalJson:
+    def test_key_order_is_irrelevant(self):
+        assert canonical_json({"b": 1, "a": 2}) == canonical_json(
+            {"a": 2, "b": 1}
+        )
+
+    def test_digest_is_stable(self):
+        assert digest_json({"x": [1, 2]}) == digest_json({"x": [1, 2]})
+
+    def test_digest_differs_on_content(self):
+        assert digest_json({"x": 1}) != digest_json({"x": 2})
+
+
+class TestSpecFingerprint:
+    def test_same_spec_same_fingerprint(self, spec):
+        assert fingerprint_spec(spec) == fingerprint_spec(spec)
+
+    def test_equal_specs_built_separately_agree(self):
+        a = build_spec(bulk_classes=50, seed=3)
+        b = build_spec(bulk_classes=50, seed=3)
+        assert a is not b
+        assert fingerprint_spec(a) == fingerprint_spec(b)
+
+    def test_different_framework_different_fingerprint(self, spec):
+        other = build_spec(bulk_classes=40, seed=3)
+        assert fingerprint_spec(spec) != fingerprint_spec(other)
+
+    def test_seed_change_changes_fingerprint(self):
+        a = build_spec(bulk_classes=50, seed=3)
+        b = build_spec(bulk_classes=50, seed=4)
+        assert fingerprint_spec(a) != fingerprint_spec(b)
+
+
+class TestApkFingerprint:
+    def test_identical_builds_agree(self):
+        a = make_apk([activity_class()])
+        b = make_apk([activity_class()])
+        assert fingerprint_apk(a) == fingerprint_apk(b)
+
+    def test_manifest_change_changes_fingerprint(self):
+        a = make_apk([activity_class()])
+        b = make_apk([activity_class()], min_sdk=19)
+        assert fingerprint_apk(a) != fingerprint_apk(b)
+
+    def test_code_change_changes_fingerprint(self):
+        a = make_apk([activity_class()])
+        b = make_apk([activity_class(name="OtherActivity")])
+        assert fingerprint_apk(a) != fingerprint_apk(b)
+
+    def test_round_trip_through_serialization(self, tmp_path):
+        from repro.apk.serialization import load_apk, save_apk
+
+        apk = make_apk([activity_class()])
+        path = tmp_path / "app.sapk"
+        save_apk(apk, path)
+        assert fingerprint_apk(load_apk(path)) == fingerprint_apk(apk)
+
+
+class TestConfigFingerprint:
+    def test_tool_set_matters(self):
+        assert fingerprint_config(("SAINTDroid",)) != fingerprint_config(
+            ("SAINTDroid", "CID")
+        )
+
+    def test_tool_order_matters(self):
+        # Order determines report iteration order in AppResult.
+        assert fingerprint_config(("CID", "Lint")) != fingerprint_config(
+            ("Lint", "CID")
+        )
+
+    def test_options_matter(self):
+        base = fingerprint_config(("SAINTDroid",))
+        assert base == fingerprint_config(("SAINTDroid",), options={})
+        assert base != fingerprint_config(
+            ("SAINTDroid",), options={"eager": True}
+        )
+
+
+class TestResultKey:
+    def test_each_input_contributes(self):
+        base = result_key("apk", "fw", "cfg")
+        assert base == result_key("apk", "fw", "cfg")
+        assert base != result_key("apk2", "fw", "cfg")
+        assert base != result_key("apk", "fw2", "cfg")
+        assert base != result_key("apk", "fw", "cfg2")
