@@ -103,6 +103,18 @@ class LoadStats:
             self.app_classes_loaded += 1
         self.instructions_loaded += clazz.instruction_count
 
+    def adopt_load_accounting(self, other: "LoadStats") -> None:
+        """Take over another run's *load* counters (the eager
+        ablation's whole-world load replaces the lazy exploration's
+        accounting).  Analysis-effort counters and the retention flag
+        are deliberately untouched: the eager run re-loads, it does
+        not re-analyze, and the memory model keeps charging this run's
+        own retention mode."""
+        self.classes_loaded = other.classes_loaded
+        self.app_classes_loaded = other.app_classes_loaded
+        self.framework_classes_loaded = other.framework_classes_loaded
+        self.instructions_loaded = other.instructions_loaded
+
     @property
     def framework_reuse_rate(self) -> float:
         """Fraction of framework loads that were warm (cache reuse)."""

@@ -9,9 +9,12 @@ refine the interval along each out-edge — precisely the
 
 The analysis is the precision backbone of SAINTDroid: an API call
 reachable only under ``[23, 29]`` is *not* a mismatch for an app with
-``minSdkVersion 21``, whereas the same call unguarded is.  Baselines
-reuse this module with deliberately weakened configurations
-(e.g. ignoring guards entirely, as Lint does for indirect calls).
+``minSdkVersion 21``, whereas the same call unguarded is.  In the
+pass pipeline it is consumed by the ``guard-propagation`` pass (the
+inter-procedural worklist over the explored call graph) and, in
+weakened intra-method form, by the first-level baseline scan passes
+(``cid-scan``, ``lint-source-scan``) — see
+:mod:`repro.pipeline.passes` and :mod:`repro.baselines.passes`.
 """
 
 from __future__ import annotations

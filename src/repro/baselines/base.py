@@ -12,13 +12,11 @@ hard-coded outcomes.
 from __future__ import annotations
 
 import abc
-import time
 from typing import Callable
 
 from ..apk.package import Apk
 from ..core.apidb import ApiDatabase
 from ..core.detector import AnalysisReport
-from ..core.metrics import AnalysisMetrics
 from ..framework.repository import FrameworkRepository
 from ..ir.clazz import Clazz
 from ..ir.instructions import Invoke
@@ -52,33 +50,12 @@ class CompatibilityDetector(abc.ABC):
 
     @abc.abstractmethod
     def analyze(self, apk: Apk) -> AnalysisReport:
-        """Analyze one app and report mismatches + metrics."""
+        """Analyze one app and report mismatches + metrics.
 
-    # -- shared helpers ------------------------------------------------
-
-    def _timed(
-        self, apk: Apk, body: Callable[[], tuple[list, AnalysisMetrics]]
-    ) -> AnalysisReport:
-        """Run ``body``, enforce the modeled-time budget, and package
-        the report."""
-        started = time.perf_counter()
-        mismatches, metrics = body()
-        metrics.wall_time_s = time.perf_counter() - started
-        # Baselines do not separate pipeline phases; their whole run is
-        # one detection pass.
-        metrics.phase_seconds.setdefault("detect", metrics.wall_time_s)
-        if metrics.modeled_seconds > TIMEOUT_MODELED_SECONDS:
-            metrics.failed = True
-            metrics.failure_reason = (
-                f"exceeded {TIMEOUT_MODELED_SECONDS:.0f}s analysis budget"
-            )
-            mismatches = []
-        return AnalysisReport(
-            app=apk.name,
-            tool=self.name,
-            mismatches=mismatches,
-            metrics=metrics,
-        )
+        The budget enforcement and report packaging that used to live
+        here (``_timed``) are now the pass manager's finalize step —
+        see ``single_detect_phase`` and ``modeled_budget_s`` on
+        :class:`repro.pipeline.configs.PipelineConfig`."""
 
 
 class FirstLevelUsage:

@@ -20,39 +20,29 @@ Modeled faithfully to the paper's description of its restrictions:
   and time cost SAINTDroid's CLVM avoids (Figures 3 and 4).
 * **No multidex support** — apps shipping secondary dex files crash
   its Soot-based loader (the dashes in Table III).
+
+The restrictions themselves are the ``cid-*`` passes in
+:mod:`repro.baselines.passes`; this module binds the configuration.
 """
 
 from __future__ import annotations
 
-from ..apk.package import Apk
 from ..core.apidb import ApiDatabase
-from ..core.arm import build_api_database
-from ..core.detector import AnalysisReport
-from ..core.metrics import AnalysisMetrics
-from ..core.mismatch import Mismatch, MismatchKind
 from ..framework.repository import FrameworkRepository
-from ..analysis.clvm import LoadStats
-from .base import (
-    CompatibilityDetector,
-    eager_app_units,
-    first_level_usages,
-    framework_image_units,
+from ..pipeline.manager import PipelineDetector
+from .base import CompatibilityDetector
+from .passes import (
+    CID_APP_ANALYSIS_PASSES as APP_ANALYSIS_PASSES,
+    CID_FRAMEWORK_SCAN_PASSES as FRAMEWORK_SCAN_PASSES,
+    SOOT_IR_EXPANSION,
+    cid_pipeline,
 )
 
-__all__ = ["Cid"]
-
-#: Analysis passes CID makes over loaded app code (CFG construction,
-#: backward guard slicing per API call site, conditional-call-graph
-#: assembly, and per-level API resolution).
-APP_ANALYSIS_PASSES = 10
-#: Fraction of the framework image CID effectively re-scans per app to
-#: refresh its API lifecycle model view.
-FRAMEWORK_SCAN_PASSES = 0.5
-#: Soot's Jimple IR inflates loaded framework bytecode in memory.
-SOOT_IR_EXPANSION = 1.15
+__all__ = ["Cid", "APP_ANALYSIS_PASSES", "FRAMEWORK_SCAN_PASSES",
+           "SOOT_IR_EXPANSION"]
 
 
-class Cid(CompatibilityDetector):
+class Cid(PipelineDetector, CompatibilityDetector):
     """The CID reimplementation."""
 
     name = "CID"
@@ -64,68 +54,4 @@ class Cid(CompatibilityDetector):
         framework: FrameworkRepository | None = None,
         apidb: ApiDatabase | None = None,
     ) -> None:
-        self._framework = framework or FrameworkRepository()
-        self._apidb = apidb or build_api_database(self._framework)
-
-    def analyze(self, apk: Apk) -> AnalysisReport:
-        return self._timed(apk, lambda: self._run(apk))
-
-    def _run(self, apk: Apk) -> tuple[list[Mismatch], AnalysisMetrics]:
-        level = min(apk.manifest.target_sdk, 29)
-        metrics = AnalysisMetrics(tool=self.name, app=apk.name)
-
-        # Whole-world loading cost: the entire (primary) app plus the
-        # complete framework model.
-        app_units = eager_app_units(apk, include_secondary=False)
-        framework_units = framework_image_units(self._framework, level)
-        metrics.extra_memory_units = int(
-            app_units + framework_units * SOOT_IR_EXPANSION
-        )
-        metrics.extra_work_units = int(
-            app_units * APP_ANALYSIS_PASSES
-            + framework_units * FRAMEWORK_SCAN_PASSES
-        )
-        metrics.stats = LoadStats()  # all cost is in the extras
-
-        if apk.secondary_dex_files:
-            metrics.failed = True
-            metrics.failure_reason = (
-                "crashed: multidex/late-bound dex files are not supported"
-            )
-            return [], metrics
-
-        usages = first_level_usages(
-            apk,
-            self._apidb,
-            respect_intra_method_guards=True,
-            resolve_inherited=False,
-            include_secondary_dex=False,
-        )
-
-        mismatches: list[Mismatch] = []
-        app_interval_keys: set[tuple] = set()
-        for usage in usages:
-            missing = self._apidb.missing_levels(
-                usage.api.class_name, usage.api.signature, usage.interval
-            )
-            if missing.is_empty:
-                continue
-            resolved = self._apidb.resolve(
-                usage.api.class_name, usage.api.signature
-            )
-            subject = resolved.ref if resolved is not None else usage.api
-            mismatch = Mismatch(
-                kind=MismatchKind.API_INVOCATION,
-                app=apk.name,
-                location=usage.caller,
-                subject=subject,
-                missing_levels=missing,
-                message=(
-                    f"{subject} missing on {missing} "
-                    f"(conditional call graph, first-level)"
-                ),
-            )
-            if mismatch.key not in app_interval_keys:
-                app_interval_keys.add(mismatch.key)
-                mismatches.append(mismatch)
-        return mismatches, metrics
+        super().__init__(cid_pipeline(), framework, apidb)

@@ -14,44 +14,27 @@ Modeled faithfully to the paper's description of its restrictions:
 * **Documentation-driven callback lists** — CIDER's models come from
   the Android docs rather than framework code; it never loads the
   framework, so its per-app footprint is the app plus small models.
+
+The restrictions themselves are the ``cider-*`` passes in
+:mod:`repro.baselines.passes`; this module binds the configuration.
 """
 
 from __future__ import annotations
 
-from ..apk.package import Apk
 from ..core.apidb import ApiDatabase
-from ..core.arm import build_api_database
-from ..core.detector import AnalysisReport
-from ..core.metrics import AnalysisMetrics
-from ..core.mismatch import Mismatch, MismatchKind
 from ..framework.repository import FrameworkRepository
-from ..ir.types import ClassName, MethodRef, is_anonymous_class
-from ..analysis.clvm import LoadStats
-from ..analysis.intervals import ApiInterval
-from .base import CompatibilityDetector, eager_app_units
-
-__all__ = ["Cider", "MODELED_CLASSES"]
-
-#: The four framework classes CIDER's hand-built PI-graphs cover.
-MODELED_CLASSES: frozenset[ClassName] = frozenset(
-    {
-        "android.app.Activity",
-        "android.app.Fragment",
-        "android.app.Service",
-        "android.webkit.WebView",
-    }
+from ..pipeline.manager import PipelineDetector
+from .base import CompatibilityDetector
+from .passes import (
+    CIDER_APP_ANALYSIS_PASSES as APP_ANALYSIS_PASSES,
+    MODELED_CLASSES,
+    cider_pipeline,
 )
 
-#: Passes over loaded app code (ICFG + PI-graph matching).
-APP_ANALYSIS_PASSES = 2
-
-#: See repro.core.amd.RUNTIME_PERMISSION_CALLBACK_SIGNATURE.
-_PERMISSION_HOOK_SIGNATURE = (
-    "onRequestPermissionsResult(int,java.lang.String[],int[])void"
-)
+__all__ = ["Cider", "MODELED_CLASSES", "APP_ANALYSIS_PASSES"]
 
 
-class Cider(CompatibilityDetector):
+class Cider(PipelineDetector, CompatibilityDetector):
     """The CIDER reimplementation."""
 
     name = "CIDER"
@@ -63,86 +46,4 @@ class Cider(CompatibilityDetector):
         framework: FrameworkRepository | None = None,
         apidb: ApiDatabase | None = None,
     ) -> None:
-        self._framework = framework or FrameworkRepository()
-        self._apidb = apidb or build_api_database(self._framework)
-
-    def analyze(self, apk: Apk) -> AnalysisReport:
-        return self._timed(apk, lambda: self._run(apk))
-
-    def _run(self, apk: Apk) -> tuple[list[Mismatch], AnalysisMetrics]:
-        metrics = AnalysisMetrics(tool=self.name, app=apk.name)
-        app_units = eager_app_units(apk, include_secondary=False)
-        metrics.extra_memory_units = app_units
-        metrics.extra_work_units = app_units * APP_ANALYSIS_PASSES
-        metrics.stats = LoadStats()
-
-        lo, hi = apk.manifest.supported_range
-        app_interval = ApiInterval.of(lo, hi)
-
-        mismatches: list[Mismatch] = []
-        seen: set[tuple] = set()
-        for dex in apk.dex_files:
-            if dex.secondary:
-                continue  # install-time code only
-            for clazz in dex.classes:
-                if is_anonymous_class(clazz.name):
-                    continue
-                modeled_root = self._modeled_ancestor(apk, clazz.name)
-                if modeled_root is None:
-                    continue
-                for method in clazz.methods:
-                    if method.name == "<init>":
-                        continue
-                    if method.signature == _PERMISSION_HOOK_SIGNATURE:
-                        # Standard runtime-permission protocol; excluded
-                        # from CIDER's documentation-derived PI-graphs.
-                        continue
-                    entry = self._apidb.callback_entry(
-                        modeled_root, method.signature
-                    )
-                    if entry is None:
-                        continue
-                    if entry.class_name not in MODELED_CLASSES:
-                        # The callback resolves to an unmodeled ancestor
-                        # (e.g. a View hook inherited by WebView): not
-                        # in the PI-graphs.
-                        continue
-                    missing = self._apidb.missing_levels(
-                        modeled_root, method.signature, app_interval
-                    )
-                    if missing.is_empty:
-                        continue
-                    mismatch = Mismatch(
-                        kind=MismatchKind.API_CALLBACK,
-                        app=apk.name,
-                        location=method.ref,
-                        subject=entry.ref,
-                        missing_levels=missing,
-                        message=(
-                            f"PI-graph mismatch for {entry.signature} "
-                            f"on {modeled_root}"
-                        ),
-                    )
-                    if mismatch.key not in seen:
-                        seen.add(mismatch.key)
-                        mismatches.append(mismatch)
-        return mismatches, metrics
-
-    def _modeled_ancestor(
-        self, apk: Apk, name: ClassName
-    ) -> ClassName | None:
-        """First ancestor that is one of the four modeled classes,
-        following app super links then database hierarchy."""
-        seen: set[ClassName] = set()
-        current: ClassName | None = name
-        while current is not None and current not in seen:
-            seen.add(current)
-            if current in MODELED_CLASSES:
-                return current
-            app_class = apk.lookup(current)
-            if app_class is not None:
-                current = app_class.super_name
-                continue
-            entry = self._apidb.clazz(current)
-            current = entry.super_name if entry is not None else None
-        return None
+        super().__init__(cider_pipeline(), framework, apidb)

@@ -16,32 +16,29 @@ Modeled faithfully to the paper's description of its restrictions:
 * **Build cost** — every analysis pays the app build before the cheap
   lint scan, which is why Lint is competitive on tiny apps and slow on
   large ones (Table III).
+
+The restrictions themselves are the ``lint-*`` passes in
+:mod:`repro.baselines.passes`; this module binds the configuration.
 """
 
 from __future__ import annotations
 
-from ..apk.package import Apk
 from ..core.apidb import ApiDatabase
-from ..core.arm import build_api_database
-from ..core.detector import AnalysisReport
-from ..core.metrics import AnalysisMetrics
-from ..core.mismatch import Mismatch, MismatchKind
 from ..framework.repository import FrameworkRepository
-from ..ir.clazz import Clazz
-from ..analysis.clvm import LoadStats
-from .base import CompatibilityDetector, eager_app_units, first_level_usages
+from ..pipeline.manager import PipelineDetector
+from .base import CompatibilityDetector
+from .passes import (
+    BUILD_BASE_UNITS,
+    BUILD_UNITS_PER_INSTRUCTION,
+    SCAN_PASSES,
+    lint_pipeline,
+)
 
-__all__ = ["Lint"]
-
-#: Cost-model units for the Gradle build step: a fixed toolchain
-#: startup plus per-instruction compilation effort.
-BUILD_BASE_UNITS = 120_000
-BUILD_UNITS_PER_INSTRUCTION = 5
-#: The lint scan itself is a single cheap pass over the sources.
-SCAN_PASSES = 1
+__all__ = ["Lint", "BUILD_BASE_UNITS", "BUILD_UNITS_PER_INSTRUCTION",
+           "SCAN_PASSES"]
 
 
-class Lint(CompatibilityDetector):
+class Lint(PipelineDetector, CompatibilityDetector):
     """The Lint (NewApi) reimplementation."""
 
     name = "Lint"
@@ -53,74 +50,4 @@ class Lint(CompatibilityDetector):
         framework: FrameworkRepository | None = None,
         apidb: ApiDatabase | None = None,
     ) -> None:
-        self._framework = framework or FrameworkRepository()
-        self._apidb = apidb or build_api_database(self._framework)
-
-    def analyze(self, apk: Apk) -> AnalysisReport:
-        return self._timed(apk, lambda: self._run(apk))
-
-    def _run(self, apk: Apk) -> tuple[list[Mismatch], AnalysisMetrics]:
-        metrics = AnalysisMetrics(tool=self.name, app=apk.name)
-        metrics.stats = LoadStats()
-
-        if not apk.manifest.buildable:
-            metrics.failed = True
-            metrics.failure_reason = "app does not build (Gradle failure)"
-            return [], metrics
-
-        package_prefix = apk.manifest.package + "."
-
-        def in_source_scope(clazz: Clazz) -> bool:
-            return clazz.name.startswith(package_prefix) or (
-                clazz.name == apk.manifest.package
-            )
-
-        # Build cost covers the whole app; the scan only the source set.
-        app_units = eager_app_units(apk, include_secondary=False)
-        source_units = sum(
-            clazz.instruction_count
-            for dex in apk.dex_files
-            if not dex.secondary
-            for clazz in dex.classes
-            if in_source_scope(clazz)
-        )
-        metrics.extra_work_units = (
-            BUILD_BASE_UNITS
-            + app_units * BUILD_UNITS_PER_INSTRUCTION
-            + source_units * SCAN_PASSES
-        )
-        metrics.extra_memory_units = app_units
-
-        usages = first_level_usages(
-            apk,
-            self._apidb,
-            respect_intra_method_guards=True,
-            resolve_inherited=False,
-            include_secondary_dex=False,
-            class_filter=in_source_scope,
-        )
-
-        mismatches: list[Mismatch] = []
-        seen: set[tuple] = set()
-        for usage in usages:
-            missing = self._apidb.missing_levels(
-                usage.api.class_name, usage.api.signature, usage.interval
-            )
-            if missing.is_empty:
-                continue
-            resolved = self._apidb.resolve(
-                usage.api.class_name, usage.api.signature
-            )
-            subject = resolved.ref if resolved is not None else usage.api
-            mismatch = Mismatch(
-                kind=MismatchKind.API_INVOCATION,
-                app=apk.name,
-                location=usage.caller,
-                subject=subject,
-                missing_levels=missing,
-                message=f"NewApi: {subject} requires API {missing}",
-            )
-            if mismatch.key not in seen:
-                seen.add(mismatch.key)
-                mismatches.append(mismatch)
-        return mismatches, metrics
+        super().__init__(lint_pipeline(), framework, apidb)

@@ -1,0 +1,423 @@
+"""Baseline detectors as pass configurations.
+
+CID, CIDER, and Lint run on the same :class:`~repro.pipeline` engine
+as SAINTDroid — each modeled restriction (whole-world loading, the
+multidex crash, the buildable-source gate, the four-class PI-graph) is
+one pass, and each tool is a :func:`PipelineConfig
+<repro.pipeline.configs.PipelineConfig>` with ``single_detect_phase``
+(the baselines are monolithic: their whole run is one ``detect``
+phase) and the paper's 600 s modeled analysis budget.
+
+These passes live here rather than in :mod:`repro.pipeline` because
+they import baseline scaffolding (:mod:`repro.baselines.base`), which
+itself imports the pipeline package.
+"""
+
+from __future__ import annotations
+
+from ..analysis.intervals import ApiInterval
+from ..core.mismatch import Mismatch, MismatchKind
+from ..ir.types import ClassName, is_anonymous_class
+from ..pipeline.configs import PipelineConfig
+from ..pipeline.context import AnalysisContext
+from ..pipeline.passes import Pass, register_pass
+from .base import (
+    TIMEOUT_MODELED_SECONDS,
+    eager_app_units,
+    first_level_usages,
+    framework_image_units,
+)
+
+__all__ = [
+    "CidLoadPass",
+    "CidScanPass",
+    "CidDetectApiPass",
+    "CiderLoadPass",
+    "CiderDetectApcPass",
+    "LintBuildPass",
+    "LintSourceScanPass",
+    "LintDetectApiPass",
+    "cid_pipeline",
+    "cider_pipeline",
+    "lint_pipeline",
+]
+
+
+# ---------------------------------------------------------------------------
+# CID
+# ---------------------------------------------------------------------------
+
+#: Analysis passes CID makes over loaded app code (CFG construction,
+#: backward guard slicing per API call site, conditional-call-graph
+#: assembly, and per-level API resolution).
+CID_APP_ANALYSIS_PASSES = 10
+#: Fraction of the framework image CID effectively re-scans per app to
+#: refresh its API lifecycle model view.
+CID_FRAMEWORK_SCAN_PASSES = 0.5
+#: Soot's Jimple IR inflates loaded framework bytecode in memory.
+SOOT_IR_EXPANSION = 1.15
+
+
+@register_pass
+class CidLoadPass(Pass):
+    """Whole-world load: charge app + framework, crash on multidex.
+
+    The cost units land *before* the multidex gate on purpose — CID
+    pays for Soot's whole-world load even on the apps that then crash
+    it, and those units are part of the report fingerprint.
+    """
+
+    name = "cid-load"
+    provides = ("resolution_level",)
+
+    def run(self, ctx: AnalysisContext) -> None:
+        apk = ctx.apk
+        metrics = ctx.metrics
+        level = min(apk.manifest.target_sdk, 29)
+        ctx.provide("resolution_level", level)
+
+        app_units = eager_app_units(apk, include_secondary=False)
+        framework_units = framework_image_units(ctx.framework, level)
+        metrics.extra_memory_units = int(
+            app_units + framework_units * SOOT_IR_EXPANSION
+        )
+        metrics.extra_work_units = int(
+            app_units * CID_APP_ANALYSIS_PASSES
+            + framework_units * CID_FRAMEWORK_SCAN_PASSES
+        )
+
+        if apk.secondary_dex_files:
+            metrics.failed = True
+            metrics.failure_reason = (
+                "crashed: multidex/late-bound dex files are not supported"
+            )
+
+
+@register_pass
+class CidScanPass(Pass):
+    """First-level API call extraction with same-method guards."""
+
+    name = "cid-scan"
+    provides = ("first_level_usages",)
+
+    def run(self, ctx: AnalysisContext) -> None:
+        ctx.provide(
+            "first_level_usages",
+            first_level_usages(
+                ctx.apk,
+                ctx.apidb,
+                respect_intra_method_guards=True,
+                resolve_inherited=False,
+                include_secondary_dex=False,
+            ),
+        )
+
+
+@register_pass
+class CidDetectApiPass(Pass):
+    """Judge first-level usages against the conditional call graph."""
+
+    name = "cid-detect-api"
+    requires = ("first_level_usages",)
+    provides = ("api_mismatches",)
+
+    def run(self, ctx: AnalysisContext) -> None:
+        apidb = ctx.apidb
+        found: list[Mismatch] = []
+        seen: set[tuple] = set()
+        for usage in ctx.get("first_level_usages"):
+            missing = apidb.missing_levels(
+                usage.api.class_name, usage.api.signature, usage.interval
+            )
+            if missing.is_empty:
+                continue
+            resolved = apidb.resolve(
+                usage.api.class_name, usage.api.signature
+            )
+            subject = resolved.ref if resolved is not None else usage.api
+            mismatch = Mismatch(
+                kind=MismatchKind.API_INVOCATION,
+                app=ctx.apk.name,
+                location=usage.caller,
+                subject=subject,
+                missing_levels=missing,
+                message=(
+                    f"{subject} missing on {missing} "
+                    f"(conditional call graph, first-level)"
+                ),
+            )
+            if mismatch.key not in seen:
+                seen.add(mismatch.key)
+                found.append(mismatch)
+        ctx.provide("api_mismatches", tuple(found))
+        ctx.mismatches.extend(found)
+
+
+def cid_pipeline() -> PipelineConfig:
+    """CID as a pass configuration."""
+    return PipelineConfig(
+        tool="CID",
+        passes=(CidLoadPass(), CidScanPass(), CidDetectApiPass()),
+        single_detect_phase=True,
+        modeled_budget_s=TIMEOUT_MODELED_SECONDS,
+    )
+
+
+# ---------------------------------------------------------------------------
+# CIDER
+# ---------------------------------------------------------------------------
+
+#: The four framework classes CIDER's hand-built PI-graphs cover.
+MODELED_CLASSES: frozenset[ClassName] = frozenset(
+    {
+        "android.app.Activity",
+        "android.app.Fragment",
+        "android.app.Service",
+        "android.webkit.WebView",
+    }
+)
+
+#: Passes over loaded app code (ICFG + PI-graph matching).
+CIDER_APP_ANALYSIS_PASSES = 2
+
+#: See repro.core.amd.RUNTIME_PERMISSION_CALLBACK_SIGNATURE.
+_PERMISSION_HOOK_SIGNATURE = (
+    "onRequestPermissionsResult(int,java.lang.String[],int[])void"
+)
+
+
+def modeled_ancestor(apk, apidb, name: ClassName) -> ClassName | None:
+    """First ancestor that is one of the four modeled classes,
+    following app super links then database hierarchy."""
+    seen: set[ClassName] = set()
+    current: ClassName | None = name
+    while current is not None and current not in seen:
+        seen.add(current)
+        if current in MODELED_CLASSES:
+            return current
+        app_class = apk.lookup(current)
+        if app_class is not None:
+            current = app_class.super_name
+            continue
+        entry = apidb.clazz(current)
+        current = entry.super_name if entry is not None else None
+    return None
+
+
+@register_pass
+class CiderLoadPass(Pass):
+    """Charge the app load; CIDER never loads the framework."""
+
+    name = "cider-load"
+
+    def run(self, ctx: AnalysisContext) -> None:
+        app_units = eager_app_units(ctx.apk, include_secondary=False)
+        ctx.metrics.extra_memory_units = app_units
+        ctx.metrics.extra_work_units = (
+            app_units * CIDER_APP_ANALYSIS_PASSES
+        )
+
+
+@register_pass
+class CiderDetectApcPass(Pass):
+    """Match app overrides against the four-class PI-graph models."""
+
+    name = "cider-detect-apc"
+    provides = ("apc_mismatches",)
+
+    def run(self, ctx: AnalysisContext) -> None:
+        apk = ctx.apk
+        apidb = ctx.apidb
+        lo, hi = apk.manifest.supported_range
+        app_interval = ApiInterval.of(lo, hi)
+
+        found: list[Mismatch] = []
+        seen: set[tuple] = set()
+        for dex in apk.dex_files:
+            if dex.secondary:
+                continue  # install-time code only
+            for clazz in dex.classes:
+                if is_anonymous_class(clazz.name):
+                    continue
+                modeled_root = modeled_ancestor(apk, apidb, clazz.name)
+                if modeled_root is None:
+                    continue
+                for method in clazz.methods:
+                    if method.name == "<init>":
+                        continue
+                    if method.signature == _PERMISSION_HOOK_SIGNATURE:
+                        # Standard runtime-permission protocol; excluded
+                        # from CIDER's documentation-derived PI-graphs.
+                        continue
+                    entry = apidb.callback_entry(
+                        modeled_root, method.signature
+                    )
+                    if entry is None:
+                        continue
+                    if entry.class_name not in MODELED_CLASSES:
+                        # The callback resolves to an unmodeled ancestor
+                        # (e.g. a View hook inherited by WebView): not
+                        # in the PI-graphs.
+                        continue
+                    missing = apidb.missing_levels(
+                        modeled_root, method.signature, app_interval
+                    )
+                    if missing.is_empty:
+                        continue
+                    mismatch = Mismatch(
+                        kind=MismatchKind.API_CALLBACK,
+                        app=apk.name,
+                        location=method.ref,
+                        subject=entry.ref,
+                        missing_levels=missing,
+                        message=(
+                            f"PI-graph mismatch for {entry.signature} "
+                            f"on {modeled_root}"
+                        ),
+                    )
+                    if mismatch.key not in seen:
+                        seen.add(mismatch.key)
+                        found.append(mismatch)
+        ctx.provide("apc_mismatches", tuple(found))
+        ctx.mismatches.extend(found)
+
+
+def cider_pipeline() -> PipelineConfig:
+    """CIDER as a pass configuration."""
+    return PipelineConfig(
+        tool="CIDER",
+        passes=(CiderLoadPass(), CiderDetectApcPass()),
+        single_detect_phase=True,
+        modeled_budget_s=TIMEOUT_MODELED_SECONDS,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Lint
+# ---------------------------------------------------------------------------
+
+#: Cost-model units for the Gradle build step: a fixed toolchain
+#: startup plus per-instruction compilation effort.
+BUILD_BASE_UNITS = 120_000
+BUILD_UNITS_PER_INSTRUCTION = 5
+#: The lint scan itself is a single cheap pass over the sources.
+SCAN_PASSES = 1
+
+
+@register_pass
+class LintBuildPass(Pass):
+    """Gradle build gate + build cost; defines the source scope.
+
+    Unbuildable apps fail *before* any cost accrues (their fingerprint
+    carries zero work units), matching a build that dies at startup.
+    """
+
+    name = "lint-build"
+    provides = ("source_scope",)
+
+    def run(self, ctx: AnalysisContext) -> None:
+        apk = ctx.apk
+        metrics = ctx.metrics
+
+        if not apk.manifest.buildable:
+            metrics.failed = True
+            metrics.failure_reason = "app does not build (Gradle failure)"
+            return
+
+        package_prefix = apk.manifest.package + "."
+
+        def in_source_scope(clazz) -> bool:
+            return clazz.name.startswith(package_prefix) or (
+                clazz.name == apk.manifest.package
+            )
+
+        ctx.provide("source_scope", in_source_scope)
+
+        # Build cost covers the whole app; the scan only the source set.
+        app_units = eager_app_units(apk, include_secondary=False)
+        source_units = sum(
+            clazz.instruction_count
+            for dex in apk.dex_files
+            if not dex.secondary
+            for clazz in dex.classes
+            if in_source_scope(clazz)
+        )
+        metrics.extra_work_units = (
+            BUILD_BASE_UNITS
+            + app_units * BUILD_UNITS_PER_INSTRUCTION
+            + source_units * SCAN_PASSES
+        )
+        metrics.extra_memory_units = app_units
+
+
+@register_pass
+class LintSourceScanPass(Pass):
+    """First-level scan restricted to the app's own source packages."""
+
+    name = "lint-source-scan"
+    requires = ("source_scope",)
+    provides = ("first_level_usages",)
+
+    def run(self, ctx: AnalysisContext) -> None:
+        ctx.provide(
+            "first_level_usages",
+            first_level_usages(
+                ctx.apk,
+                ctx.apidb,
+                respect_intra_method_guards=True,
+                resolve_inherited=False,
+                include_secondary_dex=False,
+                class_filter=ctx.get("source_scope"),
+            ),
+        )
+
+
+@register_pass
+class LintDetectApiPass(Pass):
+    """The NewApi check over the scanned source set."""
+
+    name = "lint-detect-api"
+    requires = ("first_level_usages",)
+    provides = ("api_mismatches",)
+
+    def run(self, ctx: AnalysisContext) -> None:
+        apidb = ctx.apidb
+        found: list[Mismatch] = []
+        seen: set[tuple] = set()
+        for usage in ctx.get("first_level_usages"):
+            missing = apidb.missing_levels(
+                usage.api.class_name, usage.api.signature, usage.interval
+            )
+            if missing.is_empty:
+                continue
+            resolved = apidb.resolve(
+                usage.api.class_name, usage.api.signature
+            )
+            subject = resolved.ref if resolved is not None else usage.api
+            mismatch = Mismatch(
+                kind=MismatchKind.API_INVOCATION,
+                app=ctx.apk.name,
+                location=usage.caller,
+                subject=subject,
+                missing_levels=missing,
+                message=f"NewApi: {subject} requires API {missing}",
+            )
+            if mismatch.key not in seen:
+                seen.add(mismatch.key)
+                found.append(mismatch)
+        ctx.provide("api_mismatches", tuple(found))
+        ctx.mismatches.extend(found)
+
+
+def lint_pipeline() -> PipelineConfig:
+    """Lint (NewApi) as a pass configuration."""
+    return PipelineConfig(
+        tool="Lint",
+        passes=(
+            LintBuildPass(),
+            LintSourceScanPass(),
+            LintDetectApiPass(),
+        ),
+        single_detect_phase=True,
+        modeled_budget_s=TIMEOUT_MODELED_SECONDS,
+    )

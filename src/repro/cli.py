@@ -4,6 +4,7 @@ Subcommands
 ===========
 
 ``analyze``    run a detector on a ``.sapk`` package
+``passes``     list the analysis passes each tool configuration runs
 ``gen-bench``  materialize the benchmark replicas as ``.sapk`` files
 ``table``      regenerate a paper table (1, 2, 3, or 4)
 ``rq2``        regenerate the RQ2 real-world summary
@@ -23,6 +24,11 @@ results across runs, and ``--no-cache`` to force cold analysis.
 ``verify``     dynamically verify static findings (paper §VI)
 ``repair``     synthesize a repaired package (paper §VIII)
 ``update-impact``  what breaks when the device framework is updated
+
+``analyze`` exit codes: 0 = clean analysis, 1 = unreadable input,
+2 = the tool gave up on the app (budget, unbuildable source, bad
+``--skip-pass``/``--only-pass`` selection), 3 = the analysis itself
+crashed (the classified error record goes to stderr).
 """
 
 from __future__ import annotations
@@ -56,6 +62,7 @@ from .eval import (
     table4_capabilities,
 )
 from .framework.repository import FrameworkRepository
+from .pipeline import PipelineError
 from .workload import (
     CIDER_BENCH,
     CorpusConfig,
@@ -111,6 +118,40 @@ def build_parser() -> argparse.ArgumentParser:
         metavar=("FROM", "TO"),
         help="restrict detection to this device API-level range "
              "(SAINTDroid only; the paper's framework-version-set input)",
+    )
+    analyze.add_argument(
+        "--skip-pass",
+        action="append",
+        default=None,
+        metavar="NAME",
+        help="drop one pipeline pass from the run (repeatable; see "
+             "'saintdroid passes' for names)",
+    )
+    analyze.add_argument(
+        "--only-pass",
+        action="append",
+        default=None,
+        metavar="NAME",
+        help="run only the named pipeline passes (repeatable)",
+    )
+
+    passes = sub.add_parser(
+        "passes",
+        help="list the analysis passes each tool configuration runs",
+    )
+    passes.add_argument(
+        "--tool", choices=_TOOL_NAMES, default=None,
+        help="limit the listing to one tool (default: all)",
+    )
+    passes.add_argument(
+        "--eager",
+        action="store_true",
+        help="show the eager-loading SAINTDroid configuration",
+    )
+    passes.add_argument(
+        "--fix-anonymous",
+        action="store_true",
+        help="show the anonymous-class-guard SAINTDroid configuration",
     )
 
     gen = sub.add_parser(
@@ -306,18 +347,35 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
         for diagnostic in apk.diagnostics:
             print(f"  {diagnostic}")
     tool = _make_tool(args)
+    device_levels = None
     if args.devices and args.tool == "SAINTDroid":
         from .analysis.intervals import ApiInterval
-        report = tool.analyze(
-            apk, ApiInterval.of(args.devices[0], args.devices[1])
-        )
-    else:
-        report = tool.analyze(apk)
+        device_levels = ApiInterval.of(args.devices[0], args.devices[1])
+    select = {
+        "skip_passes": tuple(args.skip_pass or ()),
+        "only_passes": tuple(args.only_pass or ()),
+    }
+    try:
+        report = tool.analyze(apk, device_levels, **select)
+    except PipelineError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except Exception as exc:  # noqa: BLE001 — report, don't crash
+        from .core.errors import classify_exception
+
+        error = classify_exception(exc)
+        print(f"error: analysis crashed — {error}", file=sys.stderr)
+        for frame in error.traceback_tail:
+            print(f"  {frame}", file=sys.stderr)
+        return 3
     if args.json:
         payload = {
             "app": report.app,
             "tool": report.tool,
             "failed": bool(report.metrics and report.metrics.failed),
+            "failureReason": (
+                report.metrics.failure_reason if report.metrics else ""
+            ),
             "mismatches": [
                 {
                     "kind": m.kind.value,
@@ -335,6 +393,47 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
         print(json.dumps(payload, indent=2))
     else:
         print(render_report(report, verbose=args.verbose))
+    if report.metrics is not None and report.metrics.failed:
+        # The tool gave up on the app (budget exhausted, unbuildable
+        # source, multidex restriction …): nonzero so scripts notice.
+        return 2
+    return 0
+
+
+def _cmd_passes(args: argparse.Namespace) -> int:
+    from .baselines.passes import (
+        cid_pipeline,
+        cider_pipeline,
+        lint_pipeline,
+    )
+    from .pipeline import saintdroid_pipeline
+
+    configs = {
+        "SAINTDroid": lambda: saintdroid_pipeline(
+            lazy_loading=not args.eager,
+            propagate_guards_into_anonymous=args.fix_anonymous,
+        ),
+        "CID": cid_pipeline,
+        "CIDER": cider_pipeline,
+        "Lint": lint_pipeline,
+    }
+    selected = (
+        [args.tool] if args.tool is not None else list(configs)
+    )
+    for position, tool in enumerate(selected):
+        config = configs[tool]()
+        if position:
+            print()
+        buckets = ", ".join(config.phase_keys) or "single detect bucket"
+        print(f"{tool} — {len(config.passes)} passes "
+              f"(timing buckets: {buckets})")
+        for number, pass_ in enumerate(config.passes, 1):
+            phase = pass_.phase or "-"
+            print(f"  {number:>2}. {pass_.name:<22} [{phase:<7}] "
+                  f"{pass_.describe()}")
+            needs = ", ".join(pass_.requires) or "-"
+            gives = ", ".join(pass_.provides) or "-"
+            print(f"      needs: {needs}  |  provides: {gives}")
     return 0
 
 
@@ -545,6 +644,7 @@ def _cmd_update_impact(args: argparse.Namespace) -> int:
 
 _COMMANDS = {
     "analyze": _cmd_analyze,
+    "passes": _cmd_passes,
     "gen-bench": _cmd_gen_bench,
     "table": _cmd_table,
     "rq2": _cmd_rq2,

@@ -44,7 +44,14 @@ _RUNTIME_PERMISSION_RANGE = ApiInterval.of(
 
 
 class AndroidMismatchDetector:
-    """Turns an :class:`AumModel` into a list of mismatches."""
+    """Turns an :class:`AumModel` into a list of mismatches.
+
+    Each algorithm is a public stage method (``invocation_mismatches``
+    / ``callback_mismatches`` / ``permission_mismatches``) so the
+    pipeline's ``detect-api`` / ``detect-apc`` / ``detect-prm`` passes
+    can run — and be skipped — independently; :meth:`detect` composes
+    all three for direct use.
+    """
 
     def __init__(self, apidb: ApiDatabase) -> None:
         self._apidb = apidb
@@ -64,17 +71,17 @@ class AndroidMismatchDetector:
         passes ``ApiInterval.of(24, 29)`` and stops seeing findings
         that can only bite on older devices.
         """
-        scope = self._scope(model, device_levels)
+        scope = self.scope(model, device_levels)
         if scope.is_empty:
             return []
         mismatches: list[Mismatch] = []
-        mismatches.extend(self._invocation_mismatches(model, scope))
-        mismatches.extend(self._callback_mismatches(model, scope))
-        mismatches.extend(self._permission_mismatches(model, scope))
+        mismatches.extend(self.invocation_mismatches(model, scope))
+        mismatches.extend(self.callback_mismatches(model, scope))
+        mismatches.extend(self.permission_mismatches(model, scope))
         return mismatches
 
     @staticmethod
-    def _scope(
+    def scope(
         model: AumModel, device_levels: ApiInterval | None
     ) -> ApiInterval:
         if device_levels is None:
@@ -83,7 +90,7 @@ class AndroidMismatchDetector:
 
     # -- Algorithm 2: invocation mismatches --------------------------------
 
-    def _invocation_mismatches(
+    def invocation_mismatches(
         self, model: AumModel, scope: ApiInterval
     ) -> list[Mismatch]:
         app = model.apk.name
@@ -123,7 +130,7 @@ class AndroidMismatchDetector:
 
     # -- Algorithm 3: callback mismatches ------------------------------------
 
-    def _callback_mismatches(
+    def callback_mismatches(
         self, model: AumModel, scope: ApiInterval
     ) -> list[Mismatch]:
         app = model.apk.name
@@ -169,7 +176,7 @@ class AndroidMismatchDetector:
             for record in model.overrides
         )
 
-    def _permission_mismatches(
+    def permission_mismatches(
         self, model: AumModel, scope: ApiInterval
     ) -> list[Mismatch]:
         manifest = model.apk.manifest

@@ -1,0 +1,41 @@
+"""The per-app analysis report every detector produces.
+
+Lives in its own module (rather than ``core.detector``) so the
+pipeline layer and the baselines can build reports without importing
+the SAINTDroid facade; ``repro.core.detector`` re-exports it for
+backward compatibility.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .aum import AumModel
+from .metrics import AnalysisMetrics
+from .mismatch import Mismatch
+
+__all__ = ["AnalysisReport"]
+
+
+@dataclass
+class AnalysisReport:
+    """Result of analyzing one app."""
+
+    app: str
+    tool: str
+    mismatches: list[Mismatch] = field(default_factory=list)
+    metrics: AnalysisMetrics | None = None
+    model: AumModel | None = None
+
+    def by_kind(self):
+        """Mismatch counts keyed by kind value (``API``/``APC``/…)."""
+        counts: dict[str, int] = {}
+        for mismatch in self.mismatches:
+            counts[mismatch.kind.value] = (
+                counts.get(mismatch.kind.value, 0) + 1
+            )
+        return counts
+
+    @property
+    def keys(self) -> frozenset:
+        return frozenset(m.key for m in self.mismatches)

@@ -14,6 +14,12 @@ artifacts the mismatch detector consumes:
 * **Permission uses** — API usages annotated with the dangerous
   permissions the transitive permission map assigns them.
 
+Each stage is a module-level function (:func:`explore`,
+:func:`propagate_guards`, :func:`collect_overrides`,
+:func:`annotate_permissions`) over one :class:`AumModel`; the pipeline
+passes in :mod:`repro.pipeline.passes` wrap them one-to-one, and
+:class:`ApiUsageModeler` composes them for direct (non-pipeline) use.
+
 Documented blind spot (paper section VI): methods of anonymous inner
 classes (``Foo$1``) are analyzed, but guard context does not propagate
 into them — a guard wrapping the *registration* of an anonymous
@@ -38,7 +44,9 @@ from ..analysis.intervals import ApiInterval
 from .apidb import ApiDatabase
 
 __all__ = ["ApiUsage", "OverrideRecord", "PermissionUse", "AumModel",
-           "ApiUsageModeler"]
+           "ApiUsageModeler", "entry_points", "explore",
+           "propagate_guards", "collect_overrides",
+           "annotate_permissions", "nearest_framework_ancestor"]
 
 #: Cap on distinct guard contexts analyzed per method before widening
 #: to the app's full interval (prevents pathological blow-up).
@@ -103,8 +111,252 @@ class AumModel:
         return ApiInterval.of(lo, hi)
 
 
+# -- entry points -----------------------------------------------------------
+
+def entry_points(apk: Apk) -> tuple[MethodRef, ...]:
+    """Analysis roots: every concrete method of every primary-dex
+    class.  Secondary (late-bound) dex classes join the exploration
+    only through resolved ``loadClass`` sites or virtual dispatch,
+    mirroring how the runtime reaches them."""
+    roots: list[MethodRef] = []
+    for dex in apk.dex_files:
+        if dex.secondary:
+            continue
+        for clazz in dex.classes:
+            for method in clazz.methods:
+                if method.has_code:
+                    roots.append(method.ref)
+    return tuple(roots)
+
+
+# -- exploration ------------------------------------------------------------
+
+def explore(model: AumModel, vm: ClassLoaderVM) -> None:
+    """Drive the CLVM worklist from the app's entry points and record
+    the call graph, load accounting, and version-helper summaries."""
+    exploration = vm.explore(entry_points(model.apk))
+    model.callgraph = exploration.callgraph
+    model.stats = exploration.stats
+    model.unresolved_dynamic_classes = (
+        exploration.unresolved_dynamic_classes
+    )
+    # Summarize the app's version-check helpers once; branches on
+    # their results then refine intervals like inline SDK checks.
+    model.version_helpers = collect_version_helpers(
+        method
+        for ref in exploration.callgraph.app_methods()
+        if (method := exploration.callgraph.method(ref)) is not None
+        and method.has_code
+    )
+
+
+# -- guard propagation ------------------------------------------------------
+
+def _guard_roots(model: AumModel) -> tuple[MethodRef, ...]:
+    """Methods analyzed under the *unrefined* app interval: those
+    with no resolved app-internal caller (components, callbacks,
+    reflective targets, dead code)."""
+    callgraph = model.callgraph
+    called: set[MethodRef] = set()
+    for caller, sites in callgraph.edges.items():
+        if caller.is_framework:
+            continue
+        for site in sites:
+            target = site.resolved or site.callee
+            if not target.is_framework:
+                called.add(target)
+    return tuple(
+        ref
+        for ref in callgraph.app_methods()
+        if ref not in called
+    )
+
+
+def _anonymous_entry_intervals(
+    model: AumModel,
+) -> dict[ClassName, ApiInterval]:
+    """Guard interval at the allocation sites of each anonymous
+    class, joined over all sites.  Only consulted in the ablation
+    mode that removes the anonymous-class blind spot."""
+    intervals: dict[ClassName, ApiInterval] = {}
+    app_interval = model.app_interval
+    for ref in model.callgraph.app_methods():
+        method = model.callgraph.method(ref)
+        if method is None or method.body is None:
+            continue
+        for allocation, interval in guard_at_allocations(
+            method, app_interval, model.version_helpers
+        ):
+            if not is_anonymous_class(allocation.class_name):
+                continue
+            joined = interval
+            if allocation.class_name in intervals:
+                joined = intervals[allocation.class_name].join(interval)
+            intervals[allocation.class_name] = joined
+    return intervals
+
+
+def propagate_guards(
+    model: AumModel, *, into_anonymous: bool = False
+) -> None:
+    """Inter-procedural guard propagation over the explored call
+    graph, appending the guard-refined :class:`ApiUsage` records."""
+    callgraph = model.callgraph
+    app_interval = model.app_interval
+    anonymous_intervals: dict[ClassName, ApiInterval] = (
+        _anonymous_entry_intervals(model) if into_anonymous else {}
+    )
+    contexts_seen: set[tuple[MethodRef, ApiInterval]] = set()
+    context_counts: dict[MethodRef, int] = {}
+    usage_keys: set[tuple[MethodRef, MethodRef]] = set()
+    usage_intervals: dict[tuple[MethodRef, MethodRef], ApiInterval] = {}
+
+    # Pre-index resolved targets per (caller, static callee ref).
+    resolution: dict[tuple[MethodRef, MethodRef], list[MethodRef]] = {}
+    for caller, sites in callgraph.edges.items():
+        for site in sites:
+            key = (caller, site.callee)
+            target = site.resolved or site.callee
+            resolution.setdefault(key, [])
+            if target not in resolution[key]:
+                resolution[key].append(target)
+
+    def root_interval(root: MethodRef) -> ApiInterval:
+        if is_anonymous_class(root.class_name):
+            return anonymous_intervals.get(
+                root.class_name, app_interval
+            )
+        return app_interval
+
+    stack: list[tuple[MethodRef, ApiInterval]] = [
+        (root, root_interval(root))
+        for root in _guard_roots(model)
+    ]
+    while stack:
+        ref, interval = stack.pop()
+        if ref.is_framework:
+            continue
+        count = context_counts.get(ref, 0)
+        if count >= MAX_CONTEXTS_PER_METHOD:
+            interval = app_interval
+        if (ref, interval) in contexts_seen:
+            continue
+        contexts_seen.add((ref, interval))
+        context_counts[ref] = count + 1
+
+        method = callgraph.method(ref)
+        if method is None or method.body is None:
+            continue
+
+        for invoke, refined in guard_at_invocations(
+            method, interval, model.version_helpers
+        ):
+            targets = resolution.get(
+                (ref, invoke.method), [invoke.method]
+            )
+            for target in targets:
+                if target.is_framework:
+                    key = (ref, target)
+                    merged = refined
+                    if key in usage_intervals:
+                        merged = usage_intervals[key].join(refined)
+                    usage_intervals[key] = merged
+                    usage_keys.add(key)
+                else:
+                    callee_interval = refined
+                    if (
+                        not into_anonymous
+                        and is_anonymous_class(target.class_name)
+                    ):
+                        # Blind spot: guard context is dropped at
+                        # the boundary of anonymous inner classes.
+                        callee_interval = app_interval
+                    stack.append((target, callee_interval))
+
+    for (caller, api), interval in sorted(
+        usage_intervals.items(),
+        key=lambda item: (str(item[0][0]), str(item[0][1])),
+    ):
+        model.usages.append(
+            ApiUsage(caller=caller, api=api, interval=interval)
+        )
+
+
+# -- overrides --------------------------------------------------------------
+
+def nearest_framework_ancestor(
+    apk: Apk, apidb: ApiDatabase, name: ClassName
+) -> ClassName | None:
+    """First framework class on the super chain, crossing app-level
+    intermediate classes, level-agnostic (uses database hierarchy)."""
+    seen: set[ClassName] = set()
+    current: ClassName | None = name
+    while current is not None and current not in seen:
+        seen.add(current)
+        app_class = apk.lookup(current)
+        if app_class is not None:
+            current = app_class.super_name
+            continue
+        if current in apidb:
+            return current
+        return None
+    return None
+
+
+def collect_overrides(model: AumModel, apidb: ApiDatabase) -> None:
+    """Record app methods overriding framework-declared signatures."""
+    apk = model.apk
+    for clazz in apk.all_classes:
+        if is_anonymous_class(clazz.name):
+            # Documented limitation: dynamically-generated classes
+            # for anonymous declarations are invisible.
+            continue
+        framework_root = nearest_framework_ancestor(
+            apk, apidb, clazz.name
+        )
+        if framework_root is None:
+            continue
+        for method in clazz.methods:
+            if method.name == "<init>":
+                continue
+            if method.flags & MethodFlags.STATIC:
+                continue
+            declared = apidb.resolve(framework_root, method.signature)
+            if declared is not None:
+                model.overrides.append(
+                    OverrideRecord(
+                        app_class=clazz.name,
+                        method=method.ref,
+                        framework_class=declared.class_name,
+                    )
+                )
+
+
+# -- permissions ------------------------------------------------------------
+
+def annotate_permissions(model: AumModel, apidb: ApiDatabase) -> None:
+    """Attach transitive dangerous permissions to the API usages."""
+    from ..framework.permissions import is_dangerous
+
+    for usage in model.usages:
+        permissions = apidb.permissions_for(usage.api, deep=True)
+        dangerous = frozenset(
+            p for p in permissions if is_dangerous(p)
+        )
+        if dangerous:
+            model.permission_uses.append(
+                PermissionUse(
+                    caller=usage.caller,
+                    api=usage.api,
+                    permissions=dangerous,
+                    interval=usage.interval,
+                )
+            )
+
+
 class ApiUsageModeler:
-    """Builds the :class:`AumModel` for one app."""
+    """Composes the stage functions above for direct (non-pipeline)
+    use; the pipeline runs the same stages as individual passes."""
 
     def __init__(
         self,
@@ -122,24 +374,8 @@ class ApiUsageModeler:
         self._into_anonymous = propagate_guards_into_anonymous
         self._secondary = analyze_secondary_dex
 
-    # -- entry points ---------------------------------------------------
-
     def entry_points(self, apk: Apk) -> tuple[MethodRef, ...]:
-        """Analysis roots: every concrete method of every primary-dex
-        class.  Secondary (late-bound) dex classes join the exploration
-        only through resolved ``loadClass`` sites or virtual dispatch,
-        mirroring how the runtime reaches them."""
-        roots: list[MethodRef] = []
-        for dex in apk.dex_files:
-            if dex.secondary:
-                continue
-            for clazz in dex.classes:
-                for method in clazz.methods:
-                    if method.has_code:
-                        roots.append(method.ref)
-        return tuple(roots)
-
-    # -- main ------------------------------------------------------------
+        return entry_points(apk)
 
     def build(self, apk: Apk) -> AumModel:
         model = AumModel(apk=apk)
@@ -155,227 +391,19 @@ class ApiUsageModeler:
             follow_framework=True,
             include_secondary_dex=self._secondary,
         )
-        phase_started = time.perf_counter()
-        exploration = vm.explore(self.entry_points(apk))
-        model.callgraph = exploration.callgraph
-        model.stats = exploration.stats
-        model.unresolved_dynamic_classes = (
-            exploration.unresolved_dynamic_classes
-        )
-
-        # Summarize the app's version-check helpers once; branches on
-        # their results then refine intervals like inline SDK checks.
-        model.version_helpers = collect_version_helpers(
-            method
-            for ref in exploration.callgraph.app_methods()
-            if (method := exploration.callgraph.method(ref)) is not None
-            and method.has_code
-        )
         # Under lazy loading the CLVM interleaves class loads with
         # exploration, so ``explore`` covers both; the eager ablation's
         # whole-world load is timed separately as ``load``.
+        phase_started = time.perf_counter()
+        explore(model, vm)
         now = time.perf_counter()
         model.phase_seconds["explore"] = now - phase_started
         phase_started = now
 
-        self._propagate_guards(model)
-        self._collect_overrides(model)
-        self._annotate_permissions(model)
+        propagate_guards(model, into_anonymous=self._into_anonymous)
+        collect_overrides(model, self._apidb)
+        annotate_permissions(model, self._apidb)
         model.phase_seconds["guards"] = (
             time.perf_counter() - phase_started
         )
         return model
-
-    # -- guard propagation --------------------------------------------------
-
-    def _guard_roots(self, model: AumModel) -> tuple[MethodRef, ...]:
-        """Methods analyzed under the *unrefined* app interval: those
-        with no resolved app-internal caller (components, callbacks,
-        reflective targets, dead code)."""
-        callgraph = model.callgraph
-        called: set[MethodRef] = set()
-        for caller, sites in callgraph.edges.items():
-            if caller.is_framework:
-                continue
-            for site in sites:
-                target = site.resolved or site.callee
-                if not target.is_framework:
-                    called.add(target)
-        return tuple(
-            ref
-            for ref in callgraph.app_methods()
-            if ref not in called
-        )
-
-    def _anonymous_entry_intervals(
-        self, model: AumModel
-    ) -> dict[ClassName, ApiInterval]:
-        """Guard interval at the allocation sites of each anonymous
-        class, joined over all sites.  Only consulted in the ablation
-        mode that removes the anonymous-class blind spot."""
-        intervals: dict[ClassName, ApiInterval] = {}
-        app_interval = model.app_interval
-        for ref in model.callgraph.app_methods():
-            method = model.callgraph.method(ref)
-            if method is None or method.body is None:
-                continue
-            for allocation, interval in guard_at_allocations(
-                method, app_interval, model.version_helpers
-            ):
-                if not is_anonymous_class(allocation.class_name):
-                    continue
-                joined = interval
-                if allocation.class_name in intervals:
-                    joined = intervals[allocation.class_name].join(interval)
-                intervals[allocation.class_name] = joined
-        return intervals
-
-    def _propagate_guards(self, model: AumModel) -> None:
-        callgraph = model.callgraph
-        app_interval = model.app_interval
-        anonymous_intervals: dict[ClassName, ApiInterval] = (
-            self._anonymous_entry_intervals(model)
-            if self._into_anonymous
-            else {}
-        )
-        contexts_seen: set[tuple[MethodRef, ApiInterval]] = set()
-        context_counts: dict[MethodRef, int] = {}
-        usage_keys: set[tuple[MethodRef, MethodRef]] = set()
-        usage_intervals: dict[tuple[MethodRef, MethodRef], ApiInterval] = {}
-
-        # Pre-index resolved targets per (caller, static callee ref).
-        resolution: dict[tuple[MethodRef, MethodRef], list[MethodRef]] = {}
-        for caller, sites in callgraph.edges.items():
-            for site in sites:
-                key = (caller, site.callee)
-                target = site.resolved or site.callee
-                resolution.setdefault(key, [])
-                if target not in resolution[key]:
-                    resolution[key].append(target)
-
-        def root_interval(root: MethodRef) -> ApiInterval:
-            if is_anonymous_class(root.class_name):
-                return anonymous_intervals.get(
-                    root.class_name, app_interval
-                )
-            return app_interval
-
-        stack: list[tuple[MethodRef, ApiInterval]] = [
-            (root, root_interval(root))
-            for root in self._guard_roots(model)
-        ]
-        while stack:
-            ref, interval = stack.pop()
-            if ref.is_framework:
-                continue
-            count = context_counts.get(ref, 0)
-            if count >= MAX_CONTEXTS_PER_METHOD:
-                interval = app_interval
-            if (ref, interval) in contexts_seen:
-                continue
-            contexts_seen.add((ref, interval))
-            context_counts[ref] = count + 1
-
-            method = callgraph.method(ref)
-            if method is None or method.body is None:
-                continue
-
-            for invoke, refined in guard_at_invocations(
-                method, interval, model.version_helpers
-            ):
-                targets = resolution.get(
-                    (ref, invoke.method), [invoke.method]
-                )
-                for target in targets:
-                    if target.is_framework:
-                        key = (ref, target)
-                        merged = refined
-                        if key in usage_intervals:
-                            merged = usage_intervals[key].join(refined)
-                        usage_intervals[key] = merged
-                        usage_keys.add(key)
-                    else:
-                        callee_interval = refined
-                        if (
-                            not self._into_anonymous
-                            and is_anonymous_class(target.class_name)
-                        ):
-                            # Blind spot: guard context is dropped at
-                            # the boundary of anonymous inner classes.
-                            callee_interval = app_interval
-                        stack.append((target, callee_interval))
-
-        for (caller, api), interval in sorted(
-            usage_intervals.items(),
-            key=lambda item: (str(item[0][0]), str(item[0][1])),
-        ):
-            model.usages.append(
-                ApiUsage(caller=caller, api=api, interval=interval)
-            )
-
-    # -- overrides -----------------------------------------------------------
-
-    def _collect_overrides(self, model: AumModel) -> None:
-        apk = model.apk
-        for clazz in apk.all_classes:
-            if is_anonymous_class(clazz.name):
-                # Documented limitation: dynamically-generated classes
-                # for anonymous declarations are invisible.
-                continue
-            framework_root = self._nearest_framework_ancestor(apk, clazz.name)
-            if framework_root is None:
-                continue
-            for method in clazz.methods:
-                if method.name == "<init>":
-                    continue
-                if method.flags & MethodFlags.STATIC:
-                    continue
-                declared = self._apidb.resolve(
-                    framework_root, method.signature
-                )
-                if declared is not None:
-                    model.overrides.append(
-                        OverrideRecord(
-                            app_class=clazz.name,
-                            method=method.ref,
-                            framework_class=declared.class_name,
-                        )
-                    )
-
-    def _nearest_framework_ancestor(
-        self, apk: Apk, name: ClassName
-    ) -> ClassName | None:
-        """First framework class on the super chain, crossing app-level
-        intermediate classes, level-agnostic (uses database hierarchy)."""
-        seen: set[ClassName] = set()
-        current: ClassName | None = name
-        while current is not None and current not in seen:
-            seen.add(current)
-            app_class = apk.lookup(current)
-            if app_class is not None:
-                current = app_class.super_name
-                continue
-            if current in self._apidb:
-                return current
-            return None
-        return None
-
-    # -- permissions ------------------------------------------------------------
-
-    def _annotate_permissions(self, model: AumModel) -> None:
-        from ..framework.permissions import is_dangerous
-
-        for usage in model.usages:
-            permissions = self._apidb.permissions_for(usage.api, deep=True)
-            dangerous = frozenset(
-                p for p in permissions if is_dangerous(p)
-            )
-            if dangerous:
-                model.permission_uses.append(
-                    PermissionUse(
-                        caller=usage.caller,
-                        api=usage.api,
-                        permissions=dangerous,
-                        interval=usage.interval,
-                    )
-                )

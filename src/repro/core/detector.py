@@ -8,55 +8,27 @@ This is the class downstream users instantiate::
     for mismatch in report.mismatches:
         print(mismatch.describe())
 
-The facade also exposes the two ablation knobs the evaluation section
-studies: eager (whole-world) loading instead of the CLVM, and guard
-propagation into anonymous inner classes.
+Since the pipeline refactor the facade is a thin binding of the
+SAINTDroid pass configuration (:func:`repro.pipeline.saintdroid_pipeline`)
+to the shared :class:`~repro.pipeline.manager.PipelineDetector`
+machinery; the two ablation knobs the evaluation section studies —
+eager (whole-world) loading instead of the CLVM, and guard propagation
+into anonymous inner classes — select different pass configurations
+rather than different code paths.
 """
 
 from __future__ import annotations
 
-import time
-from dataclasses import dataclass, field
-
-from ..apk.package import Apk
 from ..framework.repository import FrameworkRepository
-from ..analysis.clvm import ClassLoaderVM
-from .amd import AndroidMismatchDetector
+from ..pipeline.configs import saintdroid_pipeline
+from ..pipeline.manager import PipelineDetector
+from .analysis_report import AnalysisReport
 from .apidb import ApiDatabase
-from .arm import build_api_database
-from .aum import ApiUsageModeler, AumModel
-from .errors import AnalysisPhase, tag_phase
-from .metrics import AnalysisMetrics
-from .mismatch import Mismatch
 
 __all__ = ["AnalysisReport", "SaintDroid"]
 
 
-@dataclass
-class AnalysisReport:
-    """Result of analyzing one app."""
-
-    app: str
-    tool: str
-    mismatches: list[Mismatch] = field(default_factory=list)
-    metrics: AnalysisMetrics | None = None
-    model: AumModel | None = None
-
-    def by_kind(self):
-        """Mismatch counts keyed by kind value (``API``/``APC``/…)."""
-        counts: dict[str, int] = {}
-        for mismatch in self.mismatches:
-            counts[mismatch.kind.value] = (
-                counts.get(mismatch.kind.value, 0) + 1
-            )
-        return counts
-
-    @property
-    def keys(self) -> frozenset:
-        return frozenset(m.key for m in self.mismatches)
-
-
-class SaintDroid:
+class SaintDroid(PipelineDetector):
     """The full detector (paper Figure 2).
 
     Satisfies the same duck-typed interface as the baselines in
@@ -81,75 +53,14 @@ class SaintDroid:
         loading (the eager ablation: same findings, whole-framework
         cost).  ``propagate_guards_into_anonymous=True`` removes the
         documented anonymous-class blind spot."""
-        self._framework = framework or FrameworkRepository()
-        # ARM: the database is built once and reused for every app.
-        self._apidb = apidb or build_api_database(self._framework)
-        self._lazy = lazy_loading
-        self._aum = ApiUsageModeler(
-            self._framework,
-            self._apidb,
-            propagate_guards_into_anonymous=propagate_guards_into_anonymous,
-            analyze_secondary_dex=analyze_secondary_dex,
-        )
-        self._amd = AndroidMismatchDetector(self._apidb)
-
-    @property
-    def apidb(self) -> ApiDatabase:
-        return self._apidb
-
-    @property
-    def framework(self) -> FrameworkRepository:
-        return self._framework
-
-    def analyze(
-        self, apk: Apk, device_levels=None
-    ) -> AnalysisReport:
-        """Run the full pipeline on one app.
-
-        ``device_levels`` (an :class:`~repro.analysis.intervals.ApiInterval`)
-        restricts detection to the given framework versions — the
-        paper's "set of Android framework versions" input.  ``None``
-        checks the app's whole declared range.
-        """
-        started = time.perf_counter()
-        with tag_phase(AnalysisPhase.AUM):
-            model = self._aum.build(apk)
-        load_seconds = 0.0
-        if not self._lazy:
-            # Eager ablation: account for loading the entire world the
-            # way closed-world tools do before any analysis.
-            load_started = time.perf_counter()
-            vm = ClassLoaderVM(
-                apk, self._framework, apk.manifest.effective_max_sdk
-            )
-            vm.load_everything()
-            load_seconds = time.perf_counter() - load_started
-            model.stats.classes_loaded = vm.stats.classes_loaded
-            model.stats.app_classes_loaded = vm.stats.app_classes_loaded
-            model.stats.framework_classes_loaded = (
-                vm.stats.framework_classes_loaded
-            )
-            model.stats.instructions_loaded = vm.stats.instructions_loaded
-        detect_started = time.perf_counter()
-        with tag_phase(AnalysisPhase.AMD):
-            mismatches = self._amd.detect(model, device_levels)
-        now = time.perf_counter()
-
-        metrics = AnalysisMetrics(
-            tool=self.name,
-            app=apk.name,
-            wall_time_s=now - started,
-            stats=model.stats,
-            phase_seconds={
-                "load": load_seconds,
-                **model.phase_seconds,
-                "detect": now - detect_started,
-            },
-        )
-        return AnalysisReport(
-            app=apk.name,
-            tool=self.name,
-            mismatches=mismatches,
-            metrics=metrics,
-            model=model,
+        super().__init__(
+            saintdroid_pipeline(
+                lazy_loading=lazy_loading,
+                propagate_guards_into_anonymous=(
+                    propagate_guards_into_anonymous
+                ),
+                analyze_secondary_dex=analyze_secondary_dex,
+            ),
+            framework,
+            apidb,
         )

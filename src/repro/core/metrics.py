@@ -62,6 +62,10 @@ class AnalysisMetrics:
     #: baselines).  Observational like ``wall_time_s``: excluded from
     #: fingerprints and from the cost model below.
     phase_seconds: dict = field(default_factory=dict)
+    #: Measured wall seconds per individual pipeline pass, keyed by
+    #: pass name (finer-grained than ``phase_seconds``; several passes
+    #: share one phase bucket).  Observational, fingerprint-excluded.
+    pass_seconds: dict = field(default_factory=dict)
 
     @property
     def work_units(self) -> int:

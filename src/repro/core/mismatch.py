@@ -100,6 +100,16 @@ class Mismatch:
             (subject.class_name, subject.name, subject.descriptor),
         )
 
+    @property
+    def sort_key(self) -> tuple[str, ...]:
+        """Total order over mismatches for deterministic report
+        ordering.  ``key`` mixes types across kinds (``None``,
+        ``MethodRef``, nested tuples), so compare its parts
+        stringified: element 0 (the kind value) already separates the
+        differently-shaped keys, and within one kind the shapes agree.
+        """
+        return tuple(str(part) for part in self.key)
+
     def describe(self) -> str:
         """Human-readable one-liner."""
         levels = self.missing_levels

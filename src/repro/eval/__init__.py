@@ -16,7 +16,8 @@ from .runner import (
     analyze_app,
     run_tools,
 )
-from .parallel import ParallelConfig, run_tools_parallel
+from .orchestration import CorpusBackend, SerialBackend, run_corpus
+from .parallel import ParallelConfig, PoolBackend, run_tools_parallel
 from .checkpoint import CheckpointError, CheckpointJournal
 from .faults import (
     CorruptApkError,
@@ -62,6 +63,10 @@ __all__ = [
     "CheckpointError",
     "CheckpointJournal",
     "ConfusionCounts",
+    "CorpusBackend",
+    "PoolBackend",
+    "SerialBackend",
+    "run_corpus",
     "CorruptApkError",
     "FaultKind",
     "FaultPlan",

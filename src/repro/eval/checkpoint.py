@@ -98,6 +98,7 @@ def _metrics_to_dict(metrics: AnalysisMetrics | None) -> dict | None:
         "memoryUnits": metrics.memory_units,
         "wallTimeS": metrics.wall_time_s,
         "phaseSeconds": dict(metrics.phase_seconds),
+        "passSeconds": dict(metrics.pass_seconds),
     }
 
 
@@ -118,8 +119,10 @@ def _metrics_from_dict(
         extra_memory_units=doc.get("memoryUnits", 0),
         failed=bool(doc.get("failed", False)),
         failure_reason=doc.get("failureReason", ""),
-        # Optional for journals written before phase timing existed.
+        # Optional for journals written before phase/pass timing
+        # existed.
         phase_seconds=dict(doc.get("phaseSeconds") or {}),
+        pass_seconds=dict(doc.get("passSeconds") or {}),
     )
 
 

@@ -128,6 +128,16 @@ def export_run_json(run: RunResults, path: str | Path) -> None:
                         )
                     }
                 ),
+                "passSeconds": (
+                    None
+                    if metrics is None
+                    else {
+                        name: round(seconds, 4)
+                        for name, seconds in sorted(
+                            metrics.pass_seconds.items()
+                        )
+                    }
+                ),
             }
         payload.append(entry)
     Path(path).write_text(json.dumps(payload, indent=2))

@@ -1,0 +1,271 @@
+"""Corpus orchestration: the single retry/quarantine/checkpoint/cache
+engine behind both schedulers.
+
+:func:`run_corpus` owns everything that used to be duplicated between
+the serial loop and the parallel rounds engine — checkpoint restore,
+persistent-cache lookup and write-back, retry rounds with bounded
+backoff, quarantine, journaling, progress, and corpus-order assembly.
+A scheduler is reduced to a :class:`CorpusBackend` that answers one
+question: *how does one round of pending apps get analyzed?*  The
+serial backend walks them in order in-process; the pool backend
+(:class:`repro.eval.parallel.PoolBackend`) fans them out over worker
+processes.  Everything else — and therefore every fingerprint-relevant
+decision — is this module, once.
+
+Scheduling works in *rounds*.  Round 0 covers the whole pending
+corpus.  If anything failed retryably (timeout, worker-lost,
+resource), round ``r`` re-dispatches those apps — after a bounded
+backoff — until they succeed or exhaust ``max_retries``, at which
+point they are quarantined with their final error record.  A fault-
+free run takes exactly one round; the tolerance machinery costs
+nothing until something actually breaks.
+"""
+
+from __future__ import annotations
+
+import time
+from pathlib import Path
+from typing import Callable, Iterable
+
+from ..workload.appgen import ForgedApp
+from .runner import (
+    AppResult,
+    RunResults,
+    ToolSet,
+    _bounded_backoff,
+    analyze_app,
+)
+
+__all__ = [
+    "CorpusBackend",
+    "SerialBackend",
+    "run_corpus",
+    "apk_fingerprint",
+]
+
+#: One work item: corpus index, the app, and its 0-based attempt.
+Entry = tuple[int, ForgedApp, int]
+
+
+def apk_fingerprint(forged: ForgedApp) -> str | None:
+    """Content digest of one app, or ``None`` when the package is too
+    hostile to serialize (such apps are simply uncacheable)."""
+    from ..cache import fingerprint_apk
+
+    try:
+        return fingerprint_apk(forged.apk)
+    except Exception:  # noqa: BLE001 — uncacheable, not fatal
+        return None
+
+
+class CorpusBackend:
+    """What a scheduler must provide to :func:`run_corpus`.
+
+    One backend instance serves one run; it may keep round-spanning
+    state (worker cache accounting, a prebuilt substrate).
+    """
+
+    @property
+    def spec(self):
+        """The framework spec keying the persistent cache."""
+        raise NotImplementedError
+
+    @property
+    def tool_names(self) -> tuple[str, ...]:
+        """Tool names, in report order (keys checkpoint + cache)."""
+        raise NotImplementedError
+
+    def prepare(self, cache_dir: str | Path | None) -> None:
+        """One-time setup before round 0, called only when at least
+        one app actually needs analysis."""
+
+    def run_round(
+        self, pending: list[Entry], round_no: int
+    ) -> Iterable[tuple[Entry, AppResult]]:
+        """Analyze one round's entries, yielding each with its result
+        (in any order; :func:`run_corpus` restores corpus order)."""
+        raise NotImplementedError
+
+    def finish(self, cache_dir: str | Path | None) -> dict:
+        """Tear down and return the run's cache accounting."""
+        raise NotImplementedError
+
+
+class SerialBackend(CorpusBackend):
+    """In-process scheduler: one app at a time, corpus order."""
+
+    def __init__(
+        self,
+        toolset: ToolSet,
+        *,
+        timeout_s: float | None = None,
+        fault_plan=None,
+    ) -> None:
+        self._toolset = toolset
+        self._timeout_s = timeout_s
+        self._fault_plan = fault_plan
+
+    @property
+    def spec(self):
+        return self._toolset.framework.spec
+
+    @property
+    def tool_names(self) -> tuple[str, ...]:
+        return self._toolset.tool_names
+
+    def run_round(
+        self, pending: list[Entry], round_no: int
+    ) -> Iterable[tuple[Entry, AppResult]]:
+        for entry in pending:
+            index, forged, attempt = entry
+            fault = (
+                self._fault_plan.fault_for(index)
+                if self._fault_plan is not None
+                else None
+            )
+            yield entry, analyze_app(
+                self._toolset,
+                forged,
+                timeout_s=self._timeout_s,
+                fault=fault,
+                attempt=attempt,
+            )
+
+    def finish(self, cache_dir: str | Path | None) -> dict:
+        if cache_dir is not None:
+            from ..cache import ensure_snapshot
+
+            # Snapshot the substrate (only written when missing) so the
+            # next cold process loads it instead of rebuilding.
+            ensure_snapshot(
+                cache_dir, self._toolset.framework, self._toolset.apidb
+            )
+        return self._toolset.cache_stats()
+
+
+def run_corpus(
+    apps: Iterable[ForgedApp],
+    backend: CorpusBackend,
+    *,
+    max_retries: int = 0,
+    retry_backoff_s: float = 0.0,
+    fault_plan=None,
+    checkpoint: str | Path | None = None,
+    cache_dir: str | Path | None = None,
+    progress: Callable[[str], None] | None = None,
+) -> RunResults:
+    """Run every app through ``backend``, with the full fault-tolerance
+    and caching envelope.
+
+    The stages, identical for every scheduler:
+
+    1. **checkpoint restore** — journaled indices are adopted verbatim
+       and never re-analyzed;
+    2. **persistent cache** — clean results keyed by (APK digest,
+       tools, framework) are served from disk; fault-injected indices
+       bypass the cache so chaos runs quarantine exactly what an
+       uncached run would;
+    3. **retry rounds** — ``backend.run_round`` analyzes what remains;
+       retryable failures re-enter the next round (bounded backoff)
+       until ``max_retries`` is spent, then quarantine;
+    4. **finalization** — clean fresh results are written back to the
+       cache, every finalized result is journaled, and results are
+       assembled in corpus order.
+    """
+    indexed = list(enumerate(apps))
+    out = RunResults()
+    if not indexed:
+        return out
+
+    journal = None
+    restored: dict[int, AppResult] = {}
+    if checkpoint is not None:
+        from .checkpoint import CheckpointJournal
+
+        journal = CheckpointJournal(checkpoint, tools=backend.tool_names)
+        restored = journal.load()
+
+    done: dict[int, AppResult] = dict(restored)
+    pending: list[Entry] = [
+        (index, forged, 0)
+        for index, forged in indexed
+        if index not in restored
+    ]
+
+    # Persistent cache: result hits are served before any dispatch
+    # (the backend never sees them), misses are fingerprinted now and
+    # stored after finalization — a single writer, no locking.
+    rcache = None
+    fp_by_index: dict[int, str] = {}
+    cached: list[int] = []
+    if cache_dir is not None:
+        from ..cache import (
+            ResultCache,
+            fingerprint_config,
+            fingerprint_spec,
+        )
+
+        rcache = ResultCache(
+            cache_dir,
+            framework_fingerprint=fingerprint_spec(backend.spec),
+            config_fingerprint=fingerprint_config(backend.tool_names),
+        )
+        still_pending: list[Entry] = []
+        for entry in pending:
+            index, forged, attempt = entry
+            faulted = (
+                fault_plan is not None
+                and fault_plan.fault_for(index) is not None
+            )
+            apk_fp = None if faulted else apk_fingerprint(forged)
+            hit = rcache.get(apk_fp) if apk_fp is not None else None
+            if hit is not None:
+                done[index] = hit
+                cached.append(index)
+                if journal is not None:
+                    journal.append(index, hit)
+                if progress is not None:
+                    progress(hit.app)
+                continue
+            if apk_fp is not None:
+                fp_by_index[index] = apk_fp
+            still_pending.append(entry)
+        pending = still_pending
+
+    if pending:
+        backend.prepare(cache_dir)
+
+    round_no = 0
+    while pending:
+        if round_no > 0 and retry_backoff_s > 0.0:
+            time.sleep(_bounded_backoff(retry_backoff_s, round_no))
+        next_pending: list[Entry] = []
+        for entry, result in backend.run_round(pending, round_no):
+            index, forged, attempt = entry
+            error = result.error
+            if (
+                error is not None
+                and error.retryable
+                and attempt < max_retries
+            ):
+                next_pending.append((index, forged, attempt + 1))
+                continue
+            done[index] = result
+            if rcache is not None and result.ok and index in fp_by_index:
+                rcache.put(fp_by_index[index], result)
+            if journal is not None:
+                journal.append(index, result)
+            if progress is not None:
+                progress(result.app)
+        next_pending.sort(key=lambda entry: entry[0])
+        pending = next_pending
+        round_no += 1
+
+    out.results = [done[index] for index, _ in indexed]
+    out.cache_stats = backend.finish(cache_dir)
+    if rcache is not None:
+        rcache.flush()
+        out.cache_stats["results"] = rcache.stats.as_dict()
+    out.resumed_indices = tuple(sorted(restored))
+    out.cached_indices = tuple(sorted(cached))
+    return out

@@ -32,7 +32,12 @@ API database).  This module schedules a corpus over a process pool:
 
 The engine is reached through ``run_tools(apps, jobs=N)`` or the
 ``--jobs`` CLI flag; it has no public surface beyond
-:class:`ParallelConfig` and :func:`run_tools_parallel`.
+:class:`ParallelConfig`, :class:`PoolBackend`, and
+:func:`run_tools_parallel`.  The retry/quarantine/checkpoint/cache
+envelope is NOT implemented here: it lives — once, shared verbatim
+with the serial scheduler — in :mod:`repro.eval.orchestration`.  This
+module contributes only the scheduling backend: worker bootstrap,
+chunked dispatch, and broken-pool recovery.
 
 Scheduling works in *rounds*.  Round 0 fans the whole corpus out in
 contiguous chunks over one pool.  If anything retryable failed, round
@@ -50,7 +55,6 @@ from __future__ import annotations
 
 import multiprocessing
 import os
-import time
 from concurrent.futures import ProcessPoolExecutor, as_completed
 from dataclasses import dataclass
 from pathlib import Path
@@ -61,19 +65,19 @@ from ..core.errors import AnalysisError, AnalysisPhase, ErrorKind
 from ..framework.repository import FrameworkCacheStats, FrameworkRepository
 from ..framework.spec import FrameworkSpec
 from ..workload.appgen import ForgedApp
+from .orchestration import CorpusBackend, run_corpus
 from .runner import (
     AppResult,
     DEFAULT_TOOLS,
     RunResults,
     ToolSet,
-    _bounded_backoff,
     analyze_app,
 )
 
 if TYPE_CHECKING:  # pragma: no cover — import cycle guard
     from .faults import FaultPlan
 
-__all__ = ["ParallelConfig", "run_tools_parallel"]
+__all__ = ["ParallelConfig", "PoolBackend", "run_tools_parallel"]
 
 #: One work item: corpus index, the app, and its 0-based attempt.
 _Entry = tuple[int, ForgedApp, int]
@@ -308,6 +312,65 @@ def _run_round(
     return out
 
 
+class PoolBackend(CorpusBackend):
+    """Process-pool scheduler: fresh pool per round, chunked round 0,
+    single-app retry rounds."""
+
+    def __init__(self, spec: FrameworkSpec, config: ParallelConfig) -> None:
+        self._spec = spec
+        self._config = config
+        self._worker_stats: dict[int, dict] = {}
+        self._snapshot_file: str | None = None
+
+    @property
+    def spec(self) -> FrameworkSpec:
+        return self._spec
+
+    @property
+    def tool_names(self) -> tuple[str, ...]:
+        return self._config.include
+
+    def prepare(self, cache_dir) -> None:
+        # Prebuild the substrate in the parent (from the snapshot when
+        # one exists) so that under fork every worker of every round —
+        # including retry rounds' fresh pools — inherits the built
+        # database instead of re-mining it; spawn platforms fall back
+        # to the snapshot file threaded into the initializer.
+        from ..cache.snapshot import load_or_build_substrate
+
+        framework, apidb, _source = load_or_build_substrate(
+            self._config.cache_dir, self._spec
+        )
+        register_database(self._spec, apidb)
+        if self._config.cache_dir is not None:
+            from ..cache import ensure_snapshot
+
+            self._snapshot_file = str(
+                ensure_snapshot(self._config.cache_dir, framework, apidb)
+            )
+
+    def run_round(
+        self, pending: list[_Entry], round_no: int
+    ) -> list[tuple[_Entry, AppResult]]:
+        config = self._config
+        if round_no == 0:
+            chunk_size = config.resolved_chunk_size(len(pending))
+        else:
+            # Retry rounds: single-app re-dispatch on a fresh pool.
+            chunk_size = 1
+        chunks = [
+            pending[start:start + chunk_size]
+            for start in range(0, len(pending), chunk_size)
+        ]
+        return _run_round(
+            chunks, self._spec, config, self._worker_stats,
+            self._snapshot_file,
+        )
+
+    def finish(self, cache_dir) -> dict:
+        return _merge_cache_stats(self._worker_stats)
+
+
 def run_tools_parallel(
     apps: Iterable[ForgedApp],
     spec: FrameworkSpec,
@@ -320,138 +383,19 @@ def run_tools_parallel(
 
     Results are returned in corpus order whatever order workers finish
     in; every app yields exactly one :class:`AppResult`, failed or
-    not.  Retryable failures are re-dispatched (fresh round, fresh
-    pool, single-app tasks) until they succeed or exhaust
-    ``config.max_retries``; a journal passed via ``checkpoint``
-    records finalized results and lets a killed run resume.
+    not.  The retry/quarantine/checkpoint/cache envelope is
+    :func:`repro.eval.orchestration.run_corpus` — shared verbatim with
+    the serial scheduler; this function only supplies the pool
+    backend.
     """
-    indexed = list(enumerate(apps))
-    out = RunResults()
-    if not indexed:
-        return out
-
-    journal = None
-    restored: dict[int, AppResult] = {}
-    if checkpoint is not None:
-        from .checkpoint import CheckpointJournal
-
-        journal = CheckpointJournal(checkpoint, tools=config.include)
-        restored = journal.load()
-
-    done: dict[int, AppResult] = dict(restored)
-    pending: list[_Entry] = [
-        (index, forged, 0)
-        for index, forged in indexed
-        if index not in restored
-    ]
-
-    # Persistent cache, parent side: result hits are served before any
-    # dispatch (the pool never sees them), misses are fingerprinted now
-    # and stored after finalization — a single writer, no locking.
-    rcache = None
-    snapshot_file: str | None = None
-    fp_by_index: dict[int, str] = {}
-    cached: list[int] = []
-    if config.cache_dir is not None and pending:
-        from ..cache import (
-            ResultCache,
-            fingerprint_config,
-            fingerprint_spec,
-        )
-        from .runner import _apk_fingerprint
-
-        rcache = ResultCache(
-            config.cache_dir,
-            framework_fingerprint=fingerprint_spec(spec),
-            config_fingerprint=fingerprint_config(config.include),
-        )
-        still_pending: list[_Entry] = []
-        for entry in pending:
-            index, forged, attempt = entry
-            faulted = (
-                config.fault_plan is not None
-                and config.fault_plan.fault_for(index) is not None
-            )
-            apk_fp = None if faulted else _apk_fingerprint(forged)
-            hit = rcache.get(apk_fp) if apk_fp is not None else None
-            if hit is not None:
-                done[index] = hit
-                cached.append(index)
-                if journal is not None:
-                    journal.append(index, hit)
-                if progress is not None:
-                    progress(hit.app)
-                continue
-            if apk_fp is not None:
-                fp_by_index[index] = apk_fp
-            still_pending.append(entry)
-        pending = still_pending
-
-    if pending:
-        # Prebuild the substrate in the parent (from the snapshot when
-        # one exists) so that under fork every worker of every round —
-        # including retry rounds' fresh pools — inherits the built
-        # database instead of re-mining it; spawn platforms fall back
-        # to the snapshot file threaded into the initializer.
-        from ..cache.snapshot import load_or_build_substrate
-
-        framework, apidb, _source = load_or_build_substrate(
-            config.cache_dir, spec
-        )
-        register_database(spec, apidb)
-        if config.cache_dir is not None:
-            from ..cache import ensure_snapshot
-
-            snapshot_file = str(
-                ensure_snapshot(config.cache_dir, framework, apidb)
-            )
-
-    worker_stats: dict[int, dict] = {}
-    round_no = 0
-    while pending:
-        if round_no == 0:
-            chunk_size = config.resolved_chunk_size(len(pending))
-        else:
-            # Retry rounds: single-app re-dispatch on a fresh pool,
-            # after a bounded backoff.
-            chunk_size = 1
-            if config.retry_backoff_s > 0.0:
-                time.sleep(
-                    _bounded_backoff(config.retry_backoff_s, round_no)
-                )
-        chunks = [
-            pending[start:start + chunk_size]
-            for start in range(0, len(pending), chunk_size)
-        ]
-        next_pending: list[_Entry] = []
-        for entry, result in _run_round(
-            chunks, spec, config, worker_stats, snapshot_file
-        ):
-            index, forged, attempt = entry
-            error = result.error
-            if (
-                error is not None
-                and error.retryable
-                and attempt < config.max_retries
-            ):
-                next_pending.append((index, forged, attempt + 1))
-                continue
-            done[index] = result
-            if rcache is not None and result.ok and index in fp_by_index:
-                rcache.put(fp_by_index[index], result)
-            if journal is not None:
-                journal.append(index, result)
-            if progress is not None:
-                progress(result.app)
-        next_pending.sort(key=lambda entry: entry[0])
-        pending = next_pending
-        round_no += 1
-
-    out.results = [done[index] for index, _ in indexed]
-    out.cache_stats = _merge_cache_stats(worker_stats)
-    if rcache is not None:
-        rcache.flush()
-        out.cache_stats["results"] = rcache.stats.as_dict()
-    out.resumed_indices = tuple(sorted(restored))
-    out.cached_indices = tuple(sorted(cached))
-    return out
+    backend = PoolBackend(spec, config)
+    return run_corpus(
+        apps,
+        backend,
+        max_retries=config.max_retries,
+        retry_backoff_s=config.retry_backoff_s,
+        fault_plan=config.fault_plan,
+        checkpoint=checkpoint,
+        cache_dir=config.cache_dir,
+        progress=progress,
+    )

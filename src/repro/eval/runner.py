@@ -46,6 +46,7 @@ from ..core.arm import build_api_database
 from ..core.detector import AnalysisReport, SaintDroid
 from ..core.errors import AnalysisError, classify_exception
 from ..framework.repository import FrameworkRepository
+from ..pipeline.hooks import FaultInjectionHook
 from ..workload.appgen import ForgedApp
 from ..workload.groundtruth import GroundTruth
 from .accuracy import KIND_GROUPS, ToolAccuracy, score_apps
@@ -387,17 +388,35 @@ def analyze_app(
         kloc=forged.apk.dex_kloc,
     )
 
+    fault_hook = None
+    if fault is not None:
+        fault_hook = FaultInjectionHook(
+            fault, attempt, allow_process_death=allow_process_death
+        )
+
     def _run_all_tools() -> None:
-        # Faults fire inside the deadline scope so an injected hang
-        # surfaces exactly like a real one: as a timeout.
-        if fault is not None:
-            fault.trigger(
-                attempt, allow_process_death=allow_process_death
-            )
+        # Faults attach as a pass-manager hook and fire before the
+        # first pass of the first tool — inside the deadline scope, so
+        # an injected hang surfaces exactly like a real one: as a
+        # timeout.
         for tool in toolset.tools:
-            report = tool.analyze(forged.apk)
+            if fault_hook is not None and not getattr(
+                tool, "supports_pipeline_hooks", False
+            ):
+                # Third-party detectors without a pass pipeline still
+                # get the fault, fired directly before their analyze.
+                fault_hook.trigger_now()
+            hooks = (fault_hook,) if fault_hook is not None else ()
+            if getattr(tool, "supports_pipeline_hooks", False):
+                report = tool.analyze(forged.apk, hooks=hooks)
+            else:
+                report = tool.analyze(forged.apk)
             report.model = None
             result.reports[tool.name] = report
+        if fault_hook is not None:
+            # An empty tool list must still surface the injected
+            # fault (it models the app being touched at all).
+            fault_hook.trigger_now()
 
     try:
         # Inside the guard: a hostile package object may raise from
@@ -416,38 +435,6 @@ def analyze_app(
 def _bounded_backoff(base_s: float, attempt: int) -> float:
     """Exponential backoff, capped so a retry never stalls the run."""
     return min(base_s * 2 ** (attempt - 1), base_s * BACKOFF_CAP_FACTOR)
-
-
-def _analyze_with_retries(
-    toolset: ToolSet,
-    forged: ForgedApp,
-    *,
-    index: int,
-    timeout_s: float | None,
-    fault_plan: "FaultPlan | None",
-    max_retries: int,
-    retry_backoff_s: float,
-) -> AppResult:
-    """Serial-path retry loop: re-attempt retryable failures up to
-    ``max_retries`` times, then quarantine with the final record."""
-    fault = (
-        fault_plan.fault_for(index) if fault_plan is not None else None
-    )
-    attempt = 0
-    while True:
-        result = analyze_app(
-            toolset,
-            forged,
-            timeout_s=timeout_s,
-            fault=fault,
-            attempt=attempt,
-        )
-        error = result.error
-        if error is None or not error.retryable or attempt >= max_retries:
-            return result
-        attempt += 1
-        if retry_backoff_s > 0.0:
-            time.sleep(_bounded_backoff(retry_backoff_s, attempt))
 
 
 def run_tools(
@@ -511,90 +498,22 @@ def run_tools(
             checkpoint=checkpoint,
         )
 
-    journal = None
-    restored: dict[int, AppResult] = {}
-    if checkpoint is not None:
-        from .checkpoint import CheckpointJournal
+    # The serial scheduler is the orchestration engine plus an
+    # in-process backend; every retry/quarantine/checkpoint/cache
+    # decision lives in repro.eval.orchestration, shared verbatim with
+    # the parallel engine.
+    from .orchestration import SerialBackend, run_corpus
 
-        journal = CheckpointJournal(
-            checkpoint, tools=toolset.tool_names
-        )
-        restored = journal.load()
-
-    rcache = None
-    if cache_dir is not None:
-        from ..cache import (
-            ResultCache,
-            ensure_snapshot,
-            fingerprint_config,
-            fingerprint_spec,
-        )
-
-        rcache = ResultCache(
-            cache_dir,
-            framework_fingerprint=fingerprint_spec(
-                toolset.framework.spec
-            ),
-            config_fingerprint=fingerprint_config(toolset.tool_names),
-        )
-
-    out = RunResults()
-    cached: list[int] = []
-    for index, forged in enumerate(apps):
-        if index in restored:
-            out.results.append(restored[index])
-            continue
-        faulted = (
-            fault_plan is not None
-            and fault_plan.fault_for(index) is not None
-        )
-        apk_fp = None
-        if rcache is not None and not faulted:
-            apk_fp = _apk_fingerprint(forged)
-        if apk_fp is not None:
-            hit = rcache.get(apk_fp)
-            if hit is not None:
-                out.results.append(hit)
-                cached.append(index)
-                if journal is not None:
-                    journal.append(index, hit)
-                if progress is not None:
-                    progress(forged.apk.name)
-                continue
-        result = _analyze_with_retries(
-            toolset,
-            forged,
-            index=index,
-            timeout_s=timeout_s,
-            fault_plan=fault_plan,
-            max_retries=max_retries,
-            retry_backoff_s=retry_backoff_s,
-        )
-        out.results.append(result)
-        if apk_fp is not None and result.ok:
-            rcache.put(apk_fp, result)
-        if journal is not None:
-            journal.append(index, result)
-        if progress is not None:
-            progress(forged.apk.name)
-    out.cache_stats = toolset.cache_stats()
-    if rcache is not None:
-        rcache.flush()
-        out.cache_stats["results"] = rcache.stats.as_dict()
-        # Snapshot the substrate (only written when missing) so the
-        # next cold process loads it instead of rebuilding.
-        ensure_snapshot(cache_dir, toolset.framework, toolset.apidb)
-    out.resumed_indices = tuple(sorted(restored))
-    out.cached_indices = tuple(cached)
-    return out
-
-
-def _apk_fingerprint(forged: ForgedApp) -> str | None:
-    """Content digest of one app, or ``None`` when the package is too
-    hostile to serialize (such apps are simply uncacheable)."""
-    from ..cache import fingerprint_apk
-
-    try:
-        return fingerprint_apk(forged.apk)
-    except Exception:  # noqa: BLE001 — uncacheable, not fatal
-        return None
+    backend = SerialBackend(
+        toolset, timeout_s=timeout_s, fault_plan=fault_plan
+    )
+    return run_corpus(
+        apps,
+        backend,
+        max_retries=max_retries,
+        retry_backoff_s=retry_backoff_s,
+        fault_plan=fault_plan,
+        checkpoint=checkpoint,
+        cache_dir=cache_dir,
+        progress=progress,
+    )

@@ -336,6 +336,7 @@ def phase_breakdown(run: RunResults) -> dict:
     *original* timings).
     """
     per_tool: dict[str, dict[str, float]] = {}
+    per_pass: dict[str, dict[str, float]] = {}
     for result in run.results:
         for tool, report in result.reports.items():
             metrics = report.metrics
@@ -344,11 +345,20 @@ def phase_breakdown(run: RunResults) -> dict:
             totals = per_tool.setdefault(tool, {})
             for phase, seconds in metrics.phase_seconds.items():
                 totals[phase] = totals.get(phase, 0.0) + seconds
+            # Per-pass terms keep pipeline execution order (the order
+            # pass managers recorded them in), not alphabetical.
+            passes = per_pass.setdefault(tool, {})
+            for name, seconds in metrics.pass_seconds.items():
+                passes[name] = passes.get(name, 0.0) + seconds
     return {
         "totals": run.phase_totals(),
         "per_tool": {
             tool: dict(sorted(phases.items()))
             for tool, phases in sorted(per_tool.items())
+        },
+        "per_pass": {
+            tool: dict(passes)
+            for tool, passes in sorted(per_pass.items())
         },
         "apps": len(run.results),
         "cached_apps": len(run.cached_indices),
@@ -396,6 +406,18 @@ def render_phases(breakdown: dict) -> str:
     lines.append(
         f"{'all tools':<14}{cells}{sum(totals.values()):>10.3f}"
     )
+    # Per-pass terms (pipeline execution order), for runs produced by
+    # pass-manager detectors; absent for old journals.
+    per_pass = breakdown.get("per_pass") or {}
+    if any(passes for passes in per_pass.values()):
+        lines.append("")
+        lines.append("Per-pass terms:")
+        for tool, passes in per_pass.items():
+            if not passes:
+                continue
+            lines.append(f"  {tool}:")
+            for name, seconds in passes.items():
+                lines.append(f"    {name:<24}{seconds:>10.3f}")
     return "\n".join(lines)
 
 

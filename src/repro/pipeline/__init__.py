@@ -1,0 +1,61 @@
+"""Declarative pass pipeline shared by every scheduler.
+
+The paper's AUM → ARM → AMD decomposition (Figure 2), made
+first-class: each analysis stage is a registered :class:`Pass` with
+declared inputs/outputs over a shared :class:`AnalysisContext`; a tool
+is a :class:`PipelineConfig` (an ordered tuple of configured passes);
+one :class:`PassManager` executes any configuration identically under
+the serial runner and the process-pool engine.  Cross-cutting concerns
+— phase timing, fault injection — attach as :class:`PipelineHook`
+observers instead of being threaded through call sites.
+
+See ``docs/architecture.md`` for the pass graph and a walkthrough of
+writing a custom detector pass.
+"""
+
+from .configs import SAINTDROID_PHASES, PipelineConfig, saintdroid_pipeline
+from .context import AnalysisContext, SlotError
+from .hooks import FaultInjectionHook, PassTimingHook, PipelineHook
+from .manager import PassManager, PipelineDetector, PipelineError
+from .passes import (
+    ClvmLoadPass,
+    DetectApcPass,
+    DetectApiPass,
+    DetectPrmPass,
+    EagerLoadPass,
+    GuardPropagationPass,
+    IcfgExplorePass,
+    ManifestIngestPass,
+    OverrideCollectionPass,
+    Pass,
+    PermissionAnnotationPass,
+    register_pass,
+    registered_passes,
+)
+
+__all__ = [
+    "AnalysisContext",
+    "SlotError",
+    "Pass",
+    "register_pass",
+    "registered_passes",
+    "PipelineConfig",
+    "SAINTDROID_PHASES",
+    "saintdroid_pipeline",
+    "PipelineHook",
+    "PassTimingHook",
+    "FaultInjectionHook",
+    "PassManager",
+    "PipelineDetector",
+    "PipelineError",
+    "ManifestIngestPass",
+    "ClvmLoadPass",
+    "IcfgExplorePass",
+    "EagerLoadPass",
+    "GuardPropagationPass",
+    "OverrideCollectionPass",
+    "PermissionAnnotationPass",
+    "DetectApiPass",
+    "DetectApcPass",
+    "DetectPrmPass",
+]

@@ -1,0 +1,73 @@
+"""The shared state a pass pipeline threads through its passes.
+
+Every pass reads and writes one :class:`AnalysisContext`.  Inputs and
+outputs flow through named *slots* (``ctx.provide`` / ``ctx.get``);
+the pass manager checks each pass's declared ``requires`` against the
+slots actually provided before running it, so a misconfigured pipeline
+fails with "slot X missing, produced by pass Y" instead of an
+``AttributeError`` three passes later.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+from ..apk.package import Apk
+from ..core.apidb import ApiDatabase
+from ..core.metrics import AnalysisMetrics
+from ..core.mismatch import Mismatch
+from ..framework.repository import FrameworkRepository
+
+if TYPE_CHECKING:  # pragma: no cover — import cycle guard
+    from ..analysis.intervals import ApiInterval
+    from ..core.aum import AumModel
+
+__all__ = ["AnalysisContext", "SlotError"]
+
+
+class SlotError(KeyError):
+    """A pass asked for a slot no earlier pass provided."""
+
+
+@dataclass
+class AnalysisContext:
+    """Everything one pipeline run knows about one app.
+
+    The immutable substrate (``apk``, ``framework``, ``apidb``,
+    ``device_levels``) is set by the manager before the first pass;
+    passes communicate through ``slots`` and accumulate findings in
+    ``mismatches``.  ``metrics`` is the report-bound record the
+    manager finalizes after the last pass.
+    """
+
+    apk: Apk
+    framework: FrameworkRepository
+    apidb: ApiDatabase
+    tool: str
+    device_levels: "ApiInterval | None" = None
+    metrics: AnalysisMetrics | None = None
+    mismatches: list[Mismatch] = field(default_factory=list)
+    slots: dict[str, object] = field(default_factory=dict)
+
+    def provide(self, name: str, value) -> None:
+        """Publish one declared output of the running pass."""
+        self.slots[name] = value
+
+    def get(self, name: str):
+        """Read a slot a pass declared in its ``requires``."""
+        try:
+            return self.slots[name]
+        except KeyError:
+            raise SlotError(
+                f"slot {name!r} has not been provided by any pass"
+            ) from None
+
+    def has(self, name: str) -> bool:
+        return name in self.slots
+
+    @property
+    def model(self) -> "AumModel | None":
+        """The AUM model, when a modeling pass has provided it
+        (baseline pipelines never do)."""
+        return self.slots.get("model")

@@ -1,0 +1,97 @@
+"""Pass-manager hooks: cross-cutting concerns as pipeline observers.
+
+PRs 1–3 threaded timing, caching, and fault injection through every
+call site; the pipeline instead exposes three interception points —
+``on_pass_start`` / ``on_pass_end`` / ``on_pass_error`` — and each
+concern becomes one :class:`PipelineHook`.  The manager installs
+:class:`PassTimingHook` itself (phase metrics are part of the report
+contract); schedulers attach :class:`FaultInjectionHook` per attempt.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover — typing only
+    from ..eval.faults import InjectedFault
+    from .context import AnalysisContext
+    from .passes import Pass
+
+__all__ = ["PipelineHook", "PassTimingHook", "FaultInjectionHook"]
+
+
+class PipelineHook:
+    """Observer over a single pipeline run.  All methods optional."""
+
+    def on_pass_start(self, ctx: "AnalysisContext", pass_: "Pass") -> None:
+        """Called before ``pass_.run`` (and before its error-phase tag
+        is pushed, so exceptions raised here keep their own phase)."""
+
+    def on_pass_end(
+        self, ctx: "AnalysisContext", pass_: "Pass", seconds: float
+    ) -> None:
+        """Called after ``pass_.run`` returns normally."""
+
+    def on_pass_error(
+        self, ctx: "AnalysisContext", pass_: "Pass", error: BaseException
+    ) -> None:
+        """Called when ``pass_.run`` raises; the error still
+        propagates to the scheduler afterwards."""
+
+
+class PassTimingHook(PipelineHook):
+    """Charge each pass's wall time to per-pass and per-phase buckets.
+
+    ``pass_seconds`` records every pass by name; ``phase_seconds``
+    aggregates only passes that declare a paper phase, preserving the
+    PR 3 load/explore/guards/detect breakdown.
+    """
+
+    def on_pass_end(
+        self, ctx: "AnalysisContext", pass_: "Pass", seconds: float
+    ) -> None:
+        metrics = ctx.metrics
+        if metrics is None:  # pragma: no cover — manager always sets it
+            return
+        metrics.pass_seconds[pass_.name] = (
+            metrics.pass_seconds.get(pass_.name, 0.0) + seconds
+        )
+        if pass_.phase is not None:
+            metrics.phase_seconds[pass_.phase] = (
+                metrics.phase_seconds.get(pass_.phase, 0.0) + seconds
+            )
+
+
+class FaultInjectionHook(PipelineHook):
+    """Fire a scheduled :class:`InjectedFault` before the first pass.
+
+    The trigger runs in ``on_pass_start`` — outside any pass's
+    error-phase tag — so injected failures classify by the fault's own
+    declared phase, exactly as the pre-pipeline harness behaved.
+    ``trigger_now`` lets schedulers fire the same fault for detectors
+    that bypass the pipeline (third-party tools without passes).
+    """
+
+    def __init__(
+        self,
+        fault: "InjectedFault",
+        attempt: int,
+        *,
+        allow_process_death: bool = False,
+    ) -> None:
+        self._fault = fault
+        self._attempt = attempt
+        self._allow_process_death = allow_process_death
+        self._fired = False
+
+    def trigger_now(self) -> None:
+        """Fire the fault once; later calls are no-ops."""
+        if self._fired:
+            return
+        self._fired = True
+        self._fault.trigger(
+            self._attempt, allow_process_death=self._allow_process_death
+        )
+
+    def on_pass_start(self, ctx: "AnalysisContext", pass_: "Pass") -> None:
+        self.trigger_now()

@@ -1,0 +1,249 @@
+"""The pass manager: one execution engine for every tool.
+
+:class:`PassManager` runs a :class:`~repro.pipeline.configs.PipelineConfig`
+over one APK — validating slot dataflow, tagging error phases, firing
+hooks, timing passes, and finalizing the
+:class:`~repro.core.analysis_report.AnalysisReport`.
+:class:`PipelineDetector` wraps a manager behind the duck-typed
+detector interface (``analyze`` / ``name`` / ``capabilities`` /
+``requires_source``) that the evaluation layer consumes; ``SaintDroid``
+and the baselines are thin subclasses binding a configuration.
+"""
+
+from __future__ import annotations
+
+import time
+
+from ..apk.package import Apk
+from ..core.analysis_report import AnalysisReport
+from ..core.apidb import ApiDatabase
+from ..core.arm import build_api_database
+from ..core.errors import tag_phase
+from ..core.metrics import AnalysisMetrics
+from ..framework.repository import FrameworkRepository
+from .configs import PipelineConfig
+from .context import AnalysisContext
+from .hooks import PassTimingHook, PipelineHook
+from .passes import Pass
+
+__all__ = ["PipelineError", "PassManager", "PipelineDetector"]
+
+
+class PipelineError(RuntimeError):
+    """A pipeline was misconfigured (unknown pass name, or a selection
+    that breaks the declared dataflow)."""
+
+
+class PassManager:
+    """Executes one pipeline configuration; shared by every scheduler.
+
+    The serial runner and the process-pool engine both call
+    :meth:`run` — they differ only in *where* the call happens, never
+    in what a run does.
+    """
+
+    def __init__(
+        self,
+        config: PipelineConfig,
+        framework: FrameworkRepository,
+        apidb: ApiDatabase,
+        *,
+        hooks: tuple[PipelineHook, ...] = (),
+    ) -> None:
+        self._config = config
+        self._framework = framework
+        self._apidb = apidb
+        self._hooks = tuple(hooks)
+
+    @property
+    def config(self) -> PipelineConfig:
+        return self._config
+
+    @property
+    def passes(self) -> tuple[Pass, ...]:
+        return self._config.passes
+
+    def select(
+        self,
+        skip_passes: tuple[str, ...] = (),
+        only_passes: tuple[str, ...] = (),
+    ) -> tuple[Pass, ...]:
+        """Resolve ``--skip-pass`` / ``--only-pass`` selections against
+        this configuration, rejecting names it does not contain."""
+        known = set(self._config.pass_names)
+        for name in (*skip_passes, *only_passes):
+            if name not in known:
+                raise PipelineError(
+                    f"pipeline {self._config.tool!r} has no pass "
+                    f"{name!r}; available: "
+                    + ", ".join(self._config.pass_names)
+                )
+        selected = self._config.passes
+        if only_passes:
+            keep = set(only_passes)
+            selected = tuple(p for p in selected if p.name in keep)
+        if skip_passes:
+            drop = set(skip_passes)
+            selected = tuple(p for p in selected if p.name not in drop)
+        return selected
+
+    def run(
+        self,
+        apk: Apk,
+        device_levels=None,
+        *,
+        hooks: tuple[PipelineHook, ...] = (),
+        skip_passes: tuple[str, ...] = (),
+        only_passes: tuple[str, ...] = (),
+    ) -> AnalysisReport:
+        """Run the configured passes over one app.
+
+        ``hooks`` are per-run observers appended after the manager's
+        own; ``skip_passes`` / ``only_passes`` narrow the pass
+        selection for debugging (a selection that starves a later pass
+        of a required slot fails with a :class:`PipelineError` naming
+        the missing provider).
+        """
+        selected = self.select(skip_passes, only_passes)
+        config = self._config
+        metrics = AnalysisMetrics(tool=config.tool, app=apk.name)
+        for phase_key in config.phase_keys:
+            metrics.phase_seconds.setdefault(phase_key, 0.0)
+        ctx = AnalysisContext(
+            apk=apk,
+            framework=self._framework,
+            apidb=self._apidb,
+            tool=config.tool,
+            device_levels=device_levels,
+            metrics=metrics,
+        )
+        all_hooks: tuple[PipelineHook, ...] = (
+            PassTimingHook(), *self._hooks, *hooks
+        )
+
+        started = time.perf_counter()
+        for pass_ in selected:
+            missing = [s for s in pass_.requires if not ctx.has(s)]
+            if missing:
+                providers = sorted(
+                    {
+                        config.provider_of(slot) or "<unprovided>"
+                        for slot in missing
+                    }
+                )
+                raise PipelineError(
+                    f"pass {pass_.name!r} requires "
+                    f"{', '.join(repr(s) for s in missing)} but the "
+                    f"providing pass(es) did not run: "
+                    + ", ".join(providers)
+                )
+            for hook in all_hooks:
+                hook.on_pass_start(ctx, pass_)
+            pass_started = time.perf_counter()
+            try:
+                with tag_phase(pass_.error_phase):
+                    pass_.run(ctx)
+            except BaseException as exc:
+                for hook in all_hooks:
+                    hook.on_pass_error(ctx, pass_, exc)
+                raise
+            seconds = time.perf_counter() - pass_started
+            for hook in all_hooks:
+                hook.on_pass_end(ctx, pass_, seconds)
+            if metrics.failed:
+                # A pass declared the app unanalyzable for this tool
+                # (e.g. CID's multidex gate); later passes are moot.
+                break
+
+        metrics.wall_time_s = time.perf_counter() - started
+        if ctx.model is not None:
+            metrics.stats = ctx.model.stats
+        if config.single_detect_phase:
+            # Baselines model monolithic tools: the whole run is one
+            # ``detect`` phase, equal to the wall time by definition.
+            metrics.phase_seconds.setdefault(
+                "detect", metrics.wall_time_s
+            )
+        if (
+            config.modeled_budget_s is not None
+            and not metrics.failed
+            and metrics.modeled_seconds > config.modeled_budget_s
+        ):
+            metrics.failed = True
+            metrics.failure_reason = (
+                f"exceeded {config.modeled_budget_s:.0f}s analysis "
+                f"budget"
+            )
+        mismatches = (
+            []
+            if metrics.failed
+            else sorted(ctx.mismatches, key=lambda m: m.sort_key)
+        )
+        return AnalysisReport(
+            app=apk.name,
+            tool=config.tool,
+            mismatches=mismatches,
+            metrics=metrics,
+            model=ctx.model,
+        )
+
+
+class PipelineDetector:
+    """A detector that is nothing but a pipeline configuration.
+
+    Subclasses (``SaintDroid``, ``Cid``, ``Cider``, ``Lint``) choose
+    the configuration; everything else — execution, timing, hooks,
+    report finalization — is the shared :class:`PassManager`.
+    """
+
+    #: Schedulers check this to route per-attempt hooks (e.g. fault
+    #: injection) through ``analyze(hooks=...)``.
+    supports_pipeline_hooks = True
+
+    def __init__(
+        self,
+        config: PipelineConfig,
+        framework: FrameworkRepository | None = None,
+        apidb: ApiDatabase | None = None,
+        *,
+        hooks: tuple[PipelineHook, ...] = (),
+    ) -> None:
+        self._framework = framework or FrameworkRepository()
+        # ARM: the database is built once and reused for every app.
+        self._apidb = apidb or build_api_database(self._framework)
+        self._manager = PassManager(
+            config, self._framework, self._apidb, hooks=hooks
+        )
+
+    @property
+    def framework(self) -> FrameworkRepository:
+        return self._framework
+
+    @property
+    def apidb(self) -> ApiDatabase:
+        return self._apidb
+
+    @property
+    def pipeline(self) -> PipelineConfig:
+        return self._manager.config
+
+    @property
+    def passes(self) -> tuple[str, ...]:
+        return self._manager.config.pass_names
+
+    def analyze(
+        self,
+        apk: Apk,
+        device_levels=None,
+        *,
+        hooks: tuple[PipelineHook, ...] = (),
+        skip_passes: tuple[str, ...] = (),
+        only_passes: tuple[str, ...] = (),
+    ) -> AnalysisReport:
+        return self._manager.run(
+            apk,
+            device_levels,
+            hooks=hooks,
+            skip_passes=skip_passes,
+            only_passes=only_passes,
+        )

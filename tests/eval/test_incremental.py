@@ -373,3 +373,75 @@ class TestRetryRoundSubstrateReuse:
         assert run.fingerprint() == baseline.fingerprint()
         # The parent registered its substrate for worker inheritance.
         assert cached_database(framework.spec) is not None
+
+
+class TestPassTiming:
+    """Per-pass timing terms: populated, journaled, exported."""
+
+    def test_saintdroid_pass_terms(self, baseline):
+        report = baseline.results[0].reports["SAINTDroid"]
+        passes = report.metrics.pass_seconds
+        assert tuple(passes) == (
+            "manifest-ingest", "clvm-load", "icfg-explore",
+            "guard-propagation", "override-collection",
+            "permission-annotation", "detect-api", "detect-apc",
+            "detect-prm",
+        )
+
+    def test_pass_seconds_survive_the_cache(
+        self, tmp_path, framework, apidb, small_corpus
+    ):
+        run_tools(
+            small_corpus,
+            fresh_toolset(framework, apidb),
+            cache_dir=tmp_path,
+        )
+        warm = run_tools(
+            small_corpus,
+            fresh_toolset(framework, apidb),
+            cache_dir=tmp_path,
+        )
+        report = warm.results[0].reports["SAINTDroid"]
+        assert report.metrics.pass_seconds
+        assert all(result.from_cache for result in warm.results)
+
+    def test_pass_seconds_survive_the_journal(
+        self, tmp_path, framework, apidb, small_corpus, baseline
+    ):
+        journal = tmp_path / "run.jsonl"
+        run_tools(
+            small_corpus,
+            fresh_toolset(framework, apidb),
+            checkpoint=journal,
+        )
+        resumed = run_tools(
+            small_corpus,
+            fresh_toolset(framework, apidb),
+            checkpoint=journal,
+        )
+        assert resumed.resumed_indices == tuple(
+            range(len(small_corpus))
+        )
+        restored = resumed.results[0].reports["SAINTDroid"].metrics
+        fresh = baseline.results[0].reports["SAINTDroid"].metrics
+        assert set(restored.pass_seconds) == set(fresh.pass_seconds)
+
+    def test_export_includes_pass_seconds(self, tmp_path, baseline):
+        import json
+
+        from repro.eval import export_run_json
+
+        path = tmp_path / "run.json"
+        export_run_json(baseline, path)
+        payload = json.loads(path.read_text())
+        passes = payload[0]["tools"]["SAINTDroid"]["passSeconds"]
+        assert "icfg-explore" in passes
+        assert "cid-detect-api" in payload[0]["tools"]["CID"]["passSeconds"]
+
+    def test_breakdown_renders_per_pass_terms(self, baseline):
+        breakdown = phase_breakdown(baseline)
+        assert set(breakdown["per_pass"]) == set(TOOLS)
+        assert "guard-propagation" in breakdown["per_pass"]["SAINTDroid"]
+        text = render_phases(breakdown)
+        assert "Per-pass terms:" in text
+        assert "guard-propagation" in text

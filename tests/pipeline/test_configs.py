@@ -1,0 +1,121 @@
+"""Tests for pipeline configurations: tools as pass tuples."""
+
+import pytest
+
+from repro.baselines.passes import (
+    cid_pipeline,
+    cider_pipeline,
+    lint_pipeline,
+)
+from repro.pipeline import (
+    Pass,
+    PipelineConfig,
+    SAINTDROID_PHASES,
+    saintdroid_pipeline,
+)
+
+
+class _Produces(Pass):
+    name = "produces"
+    provides = ("thing",)
+
+    def run(self, ctx):
+        ctx.provide("thing", 1)
+
+
+class _Consumes(Pass):
+    name = "consumes"
+    requires = ("thing",)
+
+    def run(self, ctx):
+        ctx.get("thing")
+
+
+class TestValidation:
+    def test_duplicate_pass_name_rejected(self):
+        with pytest.raises(ValueError, match="twice"):
+            PipelineConfig(
+                tool="broken", passes=(_Produces(), _Produces())
+            )
+
+    def test_require_without_provider_rejected(self):
+        with pytest.raises(ValueError, match="no earlier pass"):
+            PipelineConfig(tool="broken", passes=(_Consumes(),))
+
+    def test_provider_must_come_first(self):
+        # Dataflow is positional: a later provider does not satisfy an
+        # earlier consumer.
+        with pytest.raises(ValueError, match="no earlier pass"):
+            PipelineConfig(
+                tool="broken", passes=(_Consumes(), _Produces())
+            )
+
+    def test_provider_of_names_the_first_provider(self):
+        config = PipelineConfig(
+            tool="ok", passes=(_Produces(), _Consumes())
+        )
+        assert config.provider_of("thing") == "produces"
+        assert config.provider_of("missing") is None
+
+
+class TestSaintDroidConfig:
+    def test_lazy_pass_order(self):
+        config = saintdroid_pipeline()
+        assert config.pass_names == (
+            "manifest-ingest",
+            "clvm-load",
+            "icfg-explore",
+            "guard-propagation",
+            "override-collection",
+            "permission-annotation",
+            "detect-api",
+            "detect-apc",
+            "detect-prm",
+        )
+        assert config.phase_keys == SAINTDROID_PHASES
+        assert not config.single_detect_phase
+        assert config.modeled_budget_s is None
+
+    def test_eager_ablation_inserts_one_pass(self):
+        lazy = saintdroid_pipeline(lazy_loading=True)
+        eager = saintdroid_pipeline(lazy_loading=False)
+        assert set(eager.pass_names) - set(lazy.pass_names) == {
+            "eager-load"
+        }
+        # The eager load runs after modeling, before detection.
+        names = eager.pass_names
+        assert names.index("eager-load") < names.index("detect-api")
+        assert names.index("eager-load") > names.index(
+            "permission-annotation"
+        )
+
+    def test_anonymous_ablation_is_a_constructor_knob(self):
+        config = saintdroid_pipeline(
+            propagate_guards_into_anonymous=True
+        )
+        guard = config.passes[config.pass_names.index(
+            "guard-propagation"
+        )]
+        assert guard._into_anonymous is True
+
+
+class TestBaselineConfigs:
+    @pytest.mark.parametrize(
+        "factory,tool,names",
+        [
+            (cid_pipeline, "CID",
+             ("cid-load", "cid-scan", "cid-detect-api")),
+            (cider_pipeline, "CIDER",
+             ("cider-load", "cider-detect-apc")),
+            (lint_pipeline, "Lint",
+             ("lint-build", "lint-source-scan", "lint-detect-api")),
+        ],
+    )
+    def test_baseline_shape(self, factory, tool, names):
+        config = factory()
+        assert config.tool == tool
+        assert config.pass_names == names
+        # Baselines model monolithic tools: one detect bucket covering
+        # the whole wall time, under the paper's analysis budget.
+        assert config.single_detect_phase
+        assert config.modeled_budget_s == 600.0

@@ -1,0 +1,89 @@
+"""Pipeline-equivalence guarantees.
+
+Two invariants the refactor must preserve forever:
+
+* the two CLVM loading strategies are *accuracy-equivalent* — eager
+  and lazy configurations find exactly the same mismatch keys (they
+  differ only in cost accounting);
+* the scheduler is *fingerprint-irrelevant* — serial, process-pool,
+  and cache-warm executions of the same corpus produce bit-identical
+  run fingerprints, because all three drive the same pipeline object
+  through the same orchestration engine.
+"""
+
+import pytest
+
+from repro.core import SaintDroid
+from repro.eval import ToolSet, run_tools
+from repro.workload.corpus import CorpusConfig, generate_corpus
+
+CORPUS = CorpusConfig(count=8, kloc_median=1.0, kloc_max=3.0)
+
+
+@pytest.fixture(scope="module")
+def corpus(apidb):
+    return [m.forged for m in generate_corpus(CORPUS, apidb)]
+
+
+class TestLoadingParity:
+    """Satellite: eager and lazy loading agree on every finding."""
+
+    def test_same_mismatch_keys_on_every_app(
+        self, framework, apidb, corpus
+    ):
+        lazy = SaintDroid(framework, apidb, lazy_loading=True)
+        eager = SaintDroid(framework, apidb, lazy_loading=False)
+        compared = 0
+        for forged in corpus:
+            lazy_report = lazy.analyze(forged.apk)
+            eager_report = eager.analyze(forged.apk)
+            assert lazy_report.keys == eager_report.keys
+            compared += len(lazy_report.keys)
+        assert compared > 0  # the corpus actually exercised findings
+
+    def test_configs_differ_only_in_load_accounting(
+        self, framework, apidb, corpus
+    ):
+        lazy = SaintDroid(framework, apidb, lazy_loading=True)
+        eager = SaintDroid(framework, apidb, lazy_loading=False)
+        apk = corpus[0].apk
+        lazy_metrics = lazy.analyze(apk).metrics
+        eager_metrics = eager.analyze(apk).metrics
+        assert lazy_metrics.phase_seconds["load"] == 0.0
+        assert eager_metrics.phase_seconds["load"] > 0.0
+        assert "eager-load" not in lazy_metrics.pass_seconds
+        assert "eager-load" in eager_metrics.pass_seconds
+
+
+class TestSchedulerEquivalence:
+    """Serial, parallel, and cache-warm runs share one fingerprint."""
+
+    def test_three_ways_one_fingerprint(
+        self, framework, apidb, corpus, tmp_path
+    ):
+        cache_dir = tmp_path / "cache"
+        toolset = ToolSet.default(
+            framework, apidb, include=("SAINTDroid", "CID")
+        )
+        serial = run_tools(
+            corpus, toolset, cache_dir=cache_dir
+        )
+        parallel = run_tools(
+            corpus, toolset, jobs=2, cache_dir=cache_dir
+        )
+        warm = run_tools(corpus, toolset, cache_dir=cache_dir)
+        assert serial.fingerprint() == parallel.fingerprint()
+        assert serial.fingerprint() == warm.fingerprint()
+        # The warm run did no analysis: every app came from the cache
+        # the serial run populated.
+        assert len(warm.cached_indices) == len(corpus)
+
+    def test_skipping_cache_still_matches(
+        self, framework, apidb, corpus
+    ):
+        toolset = ToolSet.default(
+            framework, apidb, include=("SAINTDroid",)
+        )
+        cold = run_tools(corpus, toolset)
+        pooled = run_tools(corpus, toolset, jobs=2)
+        assert cold.fingerprint() == pooled.fingerprint()

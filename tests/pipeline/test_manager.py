@@ -1,0 +1,164 @@
+"""Tests for the pass manager: hooks, selection, finalize contract."""
+
+import pytest
+
+from repro.baselines import Cid
+from repro.core import SaintDroid
+from repro.ir.builder import ClassBuilder
+from repro.pipeline import (
+    Pass,
+    PassManager,
+    PipelineConfig,
+    PipelineError,
+    PipelineHook,
+)
+
+from tests.conftest import activity_class, make_apk
+
+
+def busy_apk():
+    """Three mismatch kinds in one app: an unguarded API invocation,
+    an unhandled callback, and a permission request."""
+    invoker = ClassBuilder(
+        "com.test.app.Screen", super_name="android.app.Activity"
+    )
+    method = invoker.method("render")
+    method.invoke_virtual(
+        "android.content.Context", "getColorStateList",
+        "(int)android.content.res.ColorStateList",
+    )
+    method.invoke_virtual(
+        "android.hardware.Camera", "open", "()android.hardware.Camera"
+    )
+    method.return_void()
+    invoker.finish(method)
+    fragment = ClassBuilder(
+        "com.test.app.GameFragment", super_name="android.app.Fragment"
+    )
+    fragment.empty_method("onAttach", "(android.content.Context)void")
+    return make_apk(
+        [activity_class(), invoker.build(), fragment.build()],
+        min_sdk=14, target_sdk=28,
+    )
+
+
+class _Recorder(PipelineHook):
+    def __init__(self):
+        self.events = []
+
+    def on_pass_start(self, ctx, pass_):
+        self.events.append(("start", pass_.name))
+
+    def on_pass_end(self, ctx, pass_, seconds):
+        assert seconds >= 0.0
+        self.events.append(("end", pass_.name))
+
+    def on_pass_error(self, ctx, pass_, exc):
+        self.events.append(("error", pass_.name, type(exc).__name__))
+
+
+@pytest.fixture(scope="module")
+def detector(framework, apidb):
+    return SaintDroid(framework, apidb)
+
+
+class TestHooks:
+    def test_start_end_pairs_in_pipeline_order(
+        self, detector, simple_apk
+    ):
+        recorder = _Recorder()
+        detector.analyze(simple_apk, hooks=(recorder,))
+        starts = [name for kind, name in recorder.events
+                  if kind == "start"]
+        assert tuple(starts) == detector.passes
+        # Every start is immediately followed by its own end.
+        for position in range(0, len(recorder.events), 2):
+            kind, name = recorder.events[position]
+            assert (kind, recorder.events[position + 1]) == (
+                "start", ("end", name)
+            )
+
+    def test_error_hook_fires_and_exception_propagates(
+        self, framework, apidb, simple_apk
+    ):
+        class Boom(Pass):
+            name = "boom"
+
+            def run(self, ctx):
+                raise RuntimeError("kaboom")
+
+        manager = PassManager(
+            PipelineConfig(tool="test", passes=(Boom(),)),
+            framework, apidb,
+        )
+        recorder = _Recorder()
+        with pytest.raises(RuntimeError, match="kaboom"):
+            manager.run(simple_apk, hooks=(recorder,))
+        assert recorder.events == [
+            ("start", "boom"), ("error", "boom", "RuntimeError")
+        ]
+
+
+class TestSelection:
+    def test_skip_pass_drops_its_findings(self, detector):
+        full = detector.analyze(busy_apk())
+        trimmed = detector.analyze(
+            busy_apk(), skip_passes=("detect-apc",)
+        )
+        assert full.by_kind().get("APC", 0) == 1
+        assert trimmed.by_kind().get("APC", 0) == 0
+        assert trimmed.by_kind()["API"] == full.by_kind()["API"]
+
+    def test_only_pass_runs_a_prefix(self, detector):
+        report = detector.analyze(
+            busy_apk(),
+            only_passes=(
+                "manifest-ingest", "clvm-load", "icfg-explore",
+                "guard-propagation", "permission-annotation",
+                "detect-api",
+            ),
+        )
+        assert report.by_kind().get("API", 0) >= 1
+        assert report.by_kind().get("APC", 0) == 0
+
+    def test_unknown_pass_name_is_a_pipeline_error(self, detector):
+        with pytest.raises(PipelineError, match="available:"):
+            detector.analyze(busy_apk(), skip_passes=("bogus",))
+
+    def test_starved_selection_names_the_providers(self, detector):
+        with pytest.raises(PipelineError) as excinfo:
+            detector.analyze(busy_apk(), only_passes=("detect-api",))
+        message = str(excinfo.value)
+        assert "requires" in message
+        assert "manifest-ingest" in message
+
+
+class TestFinalize:
+    def test_mismatches_sorted_by_key(self, detector):
+        report = detector.analyze(busy_apk())
+        assert len(report.mismatches) >= 3
+        keys = [m.sort_key for m in report.mismatches]
+        assert keys == sorted(keys)
+
+    def test_pass_seconds_covers_every_pass(self, detector, simple_apk):
+        report = detector.analyze(simple_apk)
+        assert tuple(report.metrics.pass_seconds) == detector.passes
+        assert all(
+            seconds >= 0.0
+            for seconds in report.metrics.pass_seconds.values()
+        )
+
+    def test_saintdroid_phase_vocabulary(self, detector, simple_apk):
+        report = detector.analyze(simple_apk)
+        assert set(report.metrics.phase_seconds) == {
+            "load", "explore", "guards", "detect"
+        }
+        assert report.metrics.phase_seconds["load"] == 0.0
+
+    def test_baseline_single_detect_phase(
+        self, framework, apidb, simple_apk
+    ):
+        report = Cid(framework, apidb).analyze(simple_apk)
+        metrics = report.metrics
+        assert set(metrics.phase_seconds) == {"detect"}
+        assert metrics.phase_seconds["detect"] == metrics.wall_time_s

@@ -1,0 +1,86 @@
+"""Tests for the pass registry and the Pass base class."""
+
+import pytest
+
+import repro.baselines.passes  # noqa: F401 — registers baseline passes
+from repro.pipeline import Pass, register_pass, registered_passes
+
+SAINTDROID_PASSES = {
+    "manifest-ingest",
+    "clvm-load",
+    "icfg-explore",
+    "eager-load",
+    "guard-propagation",
+    "override-collection",
+    "permission-annotation",
+    "detect-api",
+    "detect-apc",
+    "detect-prm",
+}
+
+BASELINE_PASSES = {
+    "cid-load",
+    "cid-scan",
+    "cid-detect-api",
+    "cider-load",
+    "cider-detect-apc",
+    "lint-build",
+    "lint-source-scan",
+    "lint-detect-api",
+}
+
+
+class TestRegistry:
+    def test_every_stage_is_registered(self):
+        names = set(registered_passes())
+        assert SAINTDROID_PASSES <= names
+        assert BASELINE_PASSES <= names
+
+    def test_registry_is_sorted_by_name(self):
+        names = list(registered_passes())
+        assert names == sorted(names)
+
+    def test_duplicate_name_rejected(self):
+        with pytest.raises(ValueError, match="already registered"):
+            @register_pass
+            class Impostor(Pass):
+                name = "manifest-ingest"
+
+    def test_nameless_pass_rejected(self):
+        with pytest.raises(ValueError, match="no pass name"):
+            @register_pass
+            class Nameless(Pass):
+                pass
+
+    def test_reregistering_same_class_is_idempotent(self):
+        cls = registered_passes()["manifest-ingest"]
+        assert register_pass(cls) is cls
+
+
+class TestPassBase:
+    def test_describe_is_first_docstring_line(self):
+        class Documented(Pass):
+            """Summary line.
+
+            Body paragraph the listing must not show.
+            """
+            name = "documented"
+
+        assert Documented().describe() == "Summary line."
+
+    def test_describe_falls_back_to_name(self):
+        class Undocumented(Pass):
+            name = "undocumented"
+
+        Undocumented.__doc__ = None
+        assert Undocumented().describe() == "undocumented"
+
+    def test_run_is_abstract(self):
+        with pytest.raises(NotImplementedError):
+            Pass().run(None)
+
+    def test_declared_dataflow_matches_registry(self):
+        # Every registered pass declares tuples, never mutable lists.
+        for cls in registered_passes().values():
+            assert isinstance(cls.requires, tuple)
+            assert isinstance(cls.provides, tuple)

@@ -179,3 +179,70 @@ class TestCliErrorHandling:
         bad.write_text("{not json")
         assert main(["analyze", str(bad)]) == 1
         assert "not a valid .sapk" in capsys.readouterr().err
+
+
+class TestPassesCommand:
+    def test_lists_every_tool(self, capsys):
+        assert main(["passes"]) == 0
+        out = capsys.readouterr().out
+        for tool in ("SAINTDroid", "CID", "CIDER", "Lint"):
+            assert tool in out
+        assert "manifest-ingest" in out
+        assert "lint-build" in out
+
+    def test_tool_filter(self, capsys):
+        assert main(["passes", "--tool", "CIDER"]) == 0
+        out = capsys.readouterr().out
+        assert "cider-load" in out
+        assert "manifest-ingest" not in out
+
+    def test_eager_configuration_shows_the_extra_pass(self, capsys):
+        assert main(["passes", "--tool", "SAINTDroid"]) == 0
+        lazy_out = capsys.readouterr().out
+        assert main(["passes", "--tool", "SAINTDroid", "--eager"]) == 0
+        eager_out = capsys.readouterr().out
+        assert "eager-load" not in lazy_out
+        assert "eager-load" in eager_out
+
+
+class TestPassSelectionFlags:
+    def test_skip_pass_removes_findings(self, listing1_path, capsys):
+        assert main([
+            "analyze", str(listing1_path), "--skip-pass", "detect-api",
+        ]) == 0
+        assert "API=0" in capsys.readouterr().out
+
+    def test_unknown_pass_exits_2(self, listing1_path, capsys):
+        assert main([
+            "analyze", str(listing1_path), "--skip-pass", "bogus",
+        ]) == 2
+        err = capsys.readouterr().err
+        assert "available:" in err
+
+    def test_starved_only_selection_exits_2(self, listing1_path, capsys):
+        assert main([
+            "analyze", str(listing1_path), "--only-pass", "detect-api",
+        ]) == 2
+        assert "requires" in capsys.readouterr().err
+
+
+class TestAnalyzeExitCodes:
+    def test_failed_analysis_exits_2(self, tmp_path, capsys):
+        # Lint on an unbuildable app: the report is produced (failed,
+        # no findings) and the exit code is nonzero for scripts.
+        apk = make_apk([activity_class()], buildable=False)
+        path = tmp_path / "unbuildable.sapk"
+        save_apk(apk, path)
+        assert main(["analyze", str(path), "--tool", "Lint"]) == 2
+        assert "Lint" in capsys.readouterr().out
+
+    def test_failed_analysis_json_carries_reason(self, tmp_path, capsys):
+        apk = make_apk([activity_class()], buildable=False)
+        path = tmp_path / "unbuildable.sapk"
+        save_apk(apk, path)
+        assert main([
+            "analyze", str(path), "--tool", "Lint", "--json",
+        ]) == 2
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["failed"] is True
+        assert payload["failureReason"]
