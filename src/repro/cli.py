@@ -24,6 +24,10 @@ results across runs, and ``--no-cache`` to force cold analysis.
 ``verify``     dynamically verify static findings (paper §VI)
 ``repair``     synthesize a repaired package (paper §VIII)
 ``update-impact``  what breaks when the device framework is updated
+``difftest``   property-based differential fuzzing of the detector
+               against the dynamic-interpreter oracle, with shrinking
+               and detector mutation testing (exit 1 on any
+               disagreement or surviving mutant)
 
 ``analyze`` exit codes: 0 = clean analysis, 1 = unreadable input,
 2 = the tool gave up on the app (budget, unbuildable source, bad
@@ -247,6 +251,51 @@ def build_parser() -> argparse.ArgumentParser:
         help="disable the persistent cache even when "
              "$REPRO_CACHE_DIR is set",
     )
+
+    difftest = sub.add_parser(
+        "difftest",
+        help="fuzz the detector against the dynamic-interpreter "
+             "oracle (shrinking + mutation testing)",
+    )
+    difftest.add_argument(
+        "--seed", type=int, default=2026,
+        help="campaign seed; a fixed seed reproduces the report "
+             "byte for byte",
+    )
+    difftest.add_argument(
+        "--n-apps", type=int, default=50,
+        help="apps to generate (a coverage prefix exercises every "
+             "scenario kind once)",
+    )
+    difftest.add_argument(
+        "--budget-s", type=float, default=None, metavar="S",
+        help="wall-clock budget for the oracle phase; truncation is "
+             "recorded in the report",
+    )
+    difftest.add_argument(
+        "--no-shrink", action="store_true",
+        help="keep disagreements at full size instead of shrinking "
+             "them to minimal repros",
+    )
+    difftest.add_argument(
+        "--no-mutation", action="store_true",
+        help="skip the detector mutation-testing pass",
+    )
+    difftest.add_argument(
+        "--report", type=Path, default=None, metavar="PATH",
+        help="write the JSON disagreement report here (default: "
+             "stdout)",
+    )
+    difftest.add_argument(
+        "--mutation-report", type=Path, default=None, metavar="PATH",
+        help="write the mutation kill-score JSON here",
+    )
+    difftest.add_argument(
+        "--corpus-dir", type=Path, default=None, metavar="DIR",
+        help="write shrunk repros as pytest regression files here "
+             "(e.g. tests/difftest/corpus)",
+    )
+    _add_corpus_flags(difftest)
 
     apidb = sub.add_parser("apidb", help="query the API database")
     apidb.add_argument("class_name")
@@ -549,6 +598,54 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_difftest(args: argparse.Namespace) -> int:
+    from .difftest import CampaignConfig, run_campaign
+    from .difftest.campaign import write_mutation_report, write_report
+
+    cache_dir = _cache_dir(args)
+    config = CampaignConfig(
+        seed=args.seed,
+        n_apps=args.n_apps,
+        budget_s=args.budget_s,
+        shrink=not args.no_shrink,
+        mutation=not args.no_mutation,
+        corpus_dir=(
+            str(args.corpus_dir) if args.corpus_dir is not None else None
+        ),
+        jobs=args.jobs,
+        timeout_s=args.timeout,
+        max_retries=args.max_retries,
+        retry_backoff_s=args.retry_backoff,
+        checkpoint=args.checkpoint,
+        cache_dir=str(cache_dir) if cache_dir is not None else None,
+    )
+    result = run_campaign(config)
+    if args.report is not None:
+        write_report(result, args.report)
+        print(f"wrote {args.report}")
+    else:
+        print(result.render_report(), end="")
+    if args.mutation_report is not None:
+        written = write_mutation_report(result, args.mutation_report)
+        if written is not None:
+            print(f"wrote {written}")
+    survivors = result.mutation.survivors if result.mutation else ()
+    print(
+        f"difftest: {result.apps_examined} app(s) examined, "
+        f"{len(result.disagreements)} disagreement(s)"
+        + (" [truncated]" if result.truncated else ""),
+        file=sys.stderr,
+    )
+    if result.mutation is not None:
+        print(
+            f"mutation: {result.mutation.score} mutants killed",
+            file=sys.stderr,
+        )
+        for name in survivors:
+            print(f"  SURVIVED {name}", file=sys.stderr)
+    return 0 if result.ok else 1
+
+
 def _cmd_apidb(args: argparse.Namespace) -> int:
     apidb = build_api_database()
     entry = apidb.clazz(args.class_name)
@@ -650,6 +747,7 @@ _COMMANDS = {
     "rq2": _cmd_rq2,
     "figure": _cmd_figure,
     "sweep": _cmd_sweep,
+    "difftest": _cmd_difftest,
     "apidb": _cmd_apidb,
     "verify": _cmd_verify,
     "repair": _cmd_repair,

@@ -1,0 +1,41 @@
+"""Differential testing: property-based fuzzing of the detectors.
+
+The subsystem confronts the static detectors with the concrete IR
+interpreter (the paper's §VI dynamic complement), following the
+crash-oracle methodology of CiD and CIDER:
+
+* :mod:`.strategy` plans random well-formed apps out of
+  :class:`~repro.workload.appgen.AppForge` scenarios, deterministically
+  from a seed;
+* :mod:`.oracle` analyzes each app statically and replays it across a
+  device-level sweep, classifying every finding and every crash;
+* :mod:`.shrink` reduces a disagreeing app to a minimal scenario list
+  and emits a pytest-ready regression file;
+* :mod:`.mutation` scores the harness itself by checking that it kills
+  a catalog of seeded detector bugs;
+* :mod:`.campaign` ties it all together behind
+  ``saintdroid difftest``.
+"""
+
+from .strategy import AppPlan, ScenarioSpec, materialize, plan_apps
+from .oracle import Classification, DifferentialOracle, OracleRecord
+from .shrink import shrink_plan, write_regression_file
+from .mutation import MUTANT_CATALOG, MutationOutcome, run_mutation_pass
+from .campaign import CampaignConfig, run_campaign
+
+__all__ = [
+    "AppPlan",
+    "ScenarioSpec",
+    "materialize",
+    "plan_apps",
+    "Classification",
+    "DifferentialOracle",
+    "OracleRecord",
+    "shrink_plan",
+    "write_regression_file",
+    "MUTANT_CATALOG",
+    "MutationOutcome",
+    "run_mutation_pass",
+    "CampaignConfig",
+    "run_campaign",
+]

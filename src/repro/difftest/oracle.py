@@ -1,0 +1,330 @@
+"""The differential oracle: static verdicts vs concrete execution.
+
+For one app the oracle runs both directions of the CiD/CIDER
+crash-oracle methodology:
+
+* **finding direction** — every static mismatch is replayed through
+  the :class:`~repro.dynamic.verifier.DynamicVerifier`; a confirmed
+  crash is agreement, a refuted finding is a static false positive
+  unless the app's ground truth marks the pattern as a false positive
+  *by design* (the anonymous-guard blind spot, dead data branches);
+* **crash direction** — the interpreter sweeps every supported device
+  level (all permissions granted for the missing-method sweep, none
+  granted for the permission sweep) and every crash must be explained
+  by a static finding covering that level, otherwise it is a static
+  false negative.
+
+Both directions drive only *root* entry points — methods no other app
+method invokes — because driving a guarded call's callee directly
+would manufacture crashes the app can never reach, and the oracle must
+not report those as detector misses.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from ..apk.package import Apk
+from ..core.analysis_report import AnalysisReport
+from ..core.mismatch import Mismatch, MismatchKind
+from ..dynamic.device import DeviceProfile
+from ..dynamic.interpreter import Crash, CrashKind
+from ..dynamic.verifier import DynamicVerifier, Verdict
+from ..ir.instructions import Invoke
+from ..ir.types import MethodRef, is_anonymous_class
+from ..workload.appgen import ForgedApp
+from ..workload.groundtruth import Trait
+
+__all__ = [
+    "Classification",
+    "OracleRecord",
+    "DifferentialOracle",
+    "DISAGREEMENTS",
+]
+
+#: The runtime-permission result hook; an app implementing it handles
+#: denial by protocol, so a zero-grant ``SecurityException`` is user
+#: choice, not an incompatibility the static detector missed.
+_PERMISSION_HOOK_SIGNATURE = (
+    "onRequestPermissionsResult(int,java.lang.String[],int[])void"
+)
+
+#: Trap traits whose static findings are expected to be refuted
+#: dynamically — disagreement by design, not a detector bug.
+_EXPECTED_FP_TRAITS = frozenset(
+    {Trait.TRAP_ANONYMOUS_GUARD, Trait.TRAP_DEAD_CODE}
+)
+
+
+class Classification(enum.Enum):
+    """Verdict for one static finding or one observed crash."""
+
+    #: Static finding, dynamically confirmed by the predicted crash.
+    AGREE_CONFIRMED = "agree-confirmed"
+    #: Static finding with no observable crash by nature (APC: the
+    #: failure mode is a hook that silently never runs).
+    AGREE_STATIC_ONLY = "agree-static-only"
+    #: Refuted finding on a pattern ground truth marks as a designed
+    #: blind spot (anonymous guards, dead data branches).
+    EXPECTED_STATIC_FP = "expected-static-fp"
+    #: Finding whose location is not in the APK (externally loaded
+    #: code) — neither side can observe it.
+    UNOBSERVABLE = "unobservable"
+    #: Refuted static finding: the detector over-reported.
+    STATIC_FP = "static-fp"
+    #: Observed crash no static finding explains: the detector
+    #: under-reported.
+    STATIC_FN = "static-fn"
+    #: The static analysis itself failed on this app.
+    ANALYSIS_FAILURE = "analysis-failure"
+
+
+#: Classifications that constitute a detector bug.
+DISAGREEMENTS = frozenset(
+    {
+        Classification.STATIC_FP,
+        Classification.STATIC_FN,
+        Classification.ANALYSIS_FAILURE,
+    }
+)
+
+
+@dataclass(frozen=True)
+class OracleRecord:
+    """One classified finding or crash, with provenance."""
+
+    app: str
+    classification: Classification
+    kind: str
+    subject: str
+    detail: str = ""
+    level: int | None = None
+
+    @property
+    def signature(self) -> tuple[str, str, str]:
+        """Stable identity of the *disagreement* — deliberately free
+        of device levels and of generated class names (counter-derived
+        names shift when the shrinker deletes scenarios)."""
+        return (self.classification.value, self.kind, self.subject)
+
+    def to_dict(self) -> dict:
+        return {
+            "app": self.app,
+            "classification": self.classification.value,
+            "kind": self.kind,
+            "subject": self.subject,
+            "level": self.level,
+            "detail": self.detail,
+        }
+
+
+def _subject_of(mismatch: Mismatch) -> str:
+    if mismatch.kind.is_permission:
+        return mismatch.permission or ""
+    subject = mismatch.subject
+    return f"{subject.class_name}.{subject.name}{subject.descriptor}"
+
+
+def _crash_subject(crash: Crash) -> str:
+    if crash.kind is CrashKind.PERMISSION_DENIED:
+        return crash.permission or ""
+    api = crash.api
+    return f"{api.class_name}.{api.name}{api.descriptor}" if api else ""
+
+
+class _RootedVerifier(DynamicVerifier):
+    """A verifier that drives only root entry points.
+
+    The stock verifier drives *every* concrete method, which is right
+    for triaging a single report but wrong for an oracle: directly
+    invoking a callee whose guard lives in its caller manufactures a
+    crash no execution of the app produces, and the oracle would then
+    blame the detector for not predicting it.
+    """
+
+    def entry_points(self) -> tuple[MethodRef, ...]:
+        invoked: set[tuple[str, str]] = set()
+        for clazz in self._apk.all_classes:
+            for method in clazz.methods:
+                if method.body is None:
+                    continue
+                for instruction in method.body.instructions:
+                    if isinstance(instruction, Invoke):
+                        callee = instruction.method
+                        invoked.add((callee.class_name, callee.signature))
+        out = []
+        for clazz in self._apk.all_classes:
+            if is_anonymous_class(clazz.name):
+                continue
+            for method in clazz.methods:
+                if not method.has_code or method.name == "<init>":
+                    continue
+                if (clazz.name, method.signature) in invoked:
+                    continue
+                out.append(method.ref)
+        return tuple(out)
+
+
+class DifferentialOracle:
+    """Classifies one app's static report against concrete execution."""
+
+    def __init__(self, apidb) -> None:
+        self._apidb = apidb
+
+    # -- public ----------------------------------------------------------
+
+    def examine(
+        self, forged: ForgedApp, report: AnalysisReport
+    ) -> list[OracleRecord]:
+        """All classified records for ``forged``, sorted."""
+        apk = forged.apk
+        verifier = _RootedVerifier(apk, self._apidb)
+        records: list[OracleRecord] = []
+        records.extend(self._classify_findings(forged, report, verifier))
+        records.extend(self._classify_crashes(apk, report, verifier))
+        records.sort(
+            key=lambda r: (
+                r.classification.value,
+                r.kind,
+                r.subject,
+                -1 if r.level is None else r.level,
+                r.detail,
+            )
+        )
+        return records
+
+    # -- finding direction ---------------------------------------------------
+
+    def _expected_fp_keys(self, forged: ForgedApp) -> frozenset:
+        keys = set()
+        for trap in forged.truth.traps:
+            if trap.trait in _EXPECTED_FP_TRAITS:
+                keys.update(trap.fp_keys)
+        return frozenset(keys)
+
+    def _classify_findings(
+        self,
+        forged: ForgedApp,
+        report: AnalysisReport,
+        verifier: DynamicVerifier,
+    ) -> list[OracleRecord]:
+        expected = self._expected_fp_keys(forged)
+        records = []
+        for verified in verifier.verify_all(report).verified:
+            mismatch = verified.mismatch
+            if verified.verdict is Verdict.CONFIRMED:
+                classification = Classification.AGREE_CONFIRMED
+            elif verified.verdict is Verdict.STATIC_ONLY:
+                classification = Classification.AGREE_STATIC_ONLY
+            elif (
+                mismatch.location is not None
+                and forged.apk.lookup(mismatch.location.class_name) is None
+            ):
+                classification = Classification.UNOBSERVABLE
+            elif mismatch.key in expected:
+                classification = Classification.EXPECTED_STATIC_FP
+            else:
+                classification = Classification.STATIC_FP
+            evidence = verified.evidence
+            records.append(
+                OracleRecord(
+                    app=forged.apk.name,
+                    classification=classification,
+                    kind=mismatch.kind.value,
+                    subject=_subject_of(mismatch),
+                    detail=mismatch.describe(),
+                    level=evidence.api_level if evidence else None,
+                )
+            )
+        return records
+
+    # -- crash direction -----------------------------------------------------
+
+    @staticmethod
+    def _implements_permission_hook(apk: Apk) -> bool:
+        return any(
+            method.signature == _PERMISSION_HOOK_SIGNATURE
+            for clazz in apk.all_classes
+            for method in clazz.methods
+        )
+
+    @staticmethod
+    def _explains_missing_method(
+        report: AnalysisReport, crash: Crash
+    ) -> bool:
+        """A missing-method crash at level L is explained by a static
+        API finding on the same subject whose missing range covers L —
+        the *level* condition is what catches detectors that report
+        the right API over a shaved range."""
+        return any(
+            mismatch.kind is MismatchKind.API_INVOCATION
+            and mismatch.subject == crash.api
+            and crash.api_level in mismatch.missing_levels
+            for mismatch in report.mismatches
+        )
+
+    @staticmethod
+    def _explains_permission(report: AnalysisReport, crash: Crash) -> bool:
+        return any(
+            mismatch.kind.is_permission
+            and mismatch.permission == crash.permission
+            for mismatch in report.mismatches
+        )
+
+    def _classify_crashes(
+        self,
+        apk: Apk,
+        report: AnalysisReport,
+        verifier: DynamicVerifier,
+    ) -> list[OracleRecord]:
+        lo, hi = apk.manifest.supported_range
+        all_grants = DynamicVerifier._all_dangerous_permissions()
+        has_hook = self._implements_permission_hook(apk)
+        records = []
+        seen: set[tuple] = set()
+
+        for level in range(lo, hi + 1):
+            device = DeviceProfile(
+                api_level=level, granted_permissions=all_grants
+            )
+            for crash in verifier.observed_crashes(device):
+                if crash.kind is not CrashKind.MISSING_METHOD:
+                    continue
+                if self._explains_missing_method(report, crash):
+                    continue
+                if crash in seen:
+                    continue
+                seen.add(crash)
+                records.append(
+                    OracleRecord(
+                        app=apk.name,
+                        classification=Classification.STATIC_FN,
+                        kind=MismatchKind.API_INVOCATION.value,
+                        subject=_crash_subject(crash),
+                        detail=str(crash),
+                        level=level,
+                    )
+                )
+
+        for level in range(max(lo, 23), hi + 1):
+            device = DeviceProfile(api_level=level)
+            for crash in verifier.observed_crashes(device):
+                if crash.kind is not CrashKind.PERMISSION_DENIED:
+                    continue
+                if has_hook or self._explains_permission(report, crash):
+                    continue
+                if crash in seen:
+                    continue
+                seen.add(crash)
+                records.append(
+                    OracleRecord(
+                        app=apk.name,
+                        classification=Classification.STATIC_FN,
+                        kind="PRM",
+                        subject=_crash_subject(crash),
+                        detail=str(crash),
+                        level=level,
+                    )
+                )
+        return records

@@ -208,7 +208,14 @@ class Interpreter:
     # -- trampolining -------------------------------------------------------
 
     def _callback_overrides(self, clazz: Clazz) -> list[Method]:
-        """Methods of ``clazz`` overriding framework callbacks."""
+        """Methods of ``clazz`` overriding framework callbacks.
+
+        A callback only runs while it exists on the device: the
+        framework cannot invoke ``onFoo`` before the level that
+        introduced it, nor after the level that removed it, so
+        selection is gated on the callback's lifetime at the current
+        device level — not mere membership in the callback set.
+        """
         out = []
         for method in clazz.methods:
             if not method.has_code:
@@ -222,7 +229,9 @@ class Interpreter:
                     entry = self._apidb.callback_entry(
                         root, method.signature
                     )
-                    if entry is not None:
+                    if entry is not None and self._apidb.exists(
+                        root, method.signature, self._device.api_level
+                    ):
                         out.append(method)
                         break
         return out

@@ -173,12 +173,20 @@ class DynamicVerifier:
                         )
             return VerifiedMismatch(mismatch, Verdict.REFUTED)
 
-        # Permission mismatches: runtime-permission device where the
-        # permission is not granted (never requested, or revoked).
+        # Permission mismatches: runtime-permission device where only
+        # this permission is withheld.  Granting the rest keeps a
+        # denial of an unrelated permission earlier in the same method
+        # from masking the probe (the mirror of the grant-everything
+        # rule for missing-method probes above).
+        granted = self._all_dangerous_permissions() - {
+            mismatch.permission
+        }
         for level in self._probe_levels(mismatch):
             if level < 23:
                 continue
-            device = DeviceProfile(api_level=level)
+            device = DeviceProfile(
+                api_level=level, granted_permissions=granted
+            )
             for crash in self.observed_crashes(device):
                 if (
                     crash.kind is CrashKind.PERMISSION_DENIED

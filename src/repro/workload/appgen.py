@@ -413,6 +413,44 @@ class AppForge:
         method.invoke_virtual(entry.class_name, entry.name, entry.descriptor)
 
     # ------------------------------------------------------------------
+    # Extension hooks (external strategy layers, e.g. difftest)
+    # ------------------------------------------------------------------
+
+    @property
+    def rng(self) -> random.Random:
+        """The forge's RNG — reseedable by deterministic planners."""
+        return self._rng
+
+    @property
+    def picker(self) -> ApiPicker:
+        return self._picker
+
+    @property
+    def apidb(self) -> ApiDatabase:
+        return self._apidb
+
+    def next_name(self, stem: str) -> str:
+        """A fresh app-package class name (public `_next`)."""
+        return self._next(stem)
+
+    def add_class(self, clazz: Clazz, *, secondary: bool = False) -> None:
+        """Register an externally built class with the app."""
+        (self._secondary if secondary else self._classes).append(clazz)
+
+    def preseed_pools(self) -> None:
+        """Materialize the safe and issue API pools immediately.
+
+        The pools are normally built lazily by the first scenario that
+        needs them, so later scenarios' API picks depend on which
+        scenario ran first.  Deterministic strategy layers (the
+        differential-testing planner) call this right after
+        construction so deleting one scenario never shifts another
+        scenario's API choices.
+        """
+        self._pooled_safe_api()
+        self._pooled_new_api()
+
+    # ------------------------------------------------------------------
     # API invocation scenarios
     # ------------------------------------------------------------------
 

@@ -65,6 +65,11 @@ class Trait(enum.Enum):
     TRAP_ANONYMOUS_GUARD = "trap-anonymous-guard"
     #: Correctly guarded direct call (baseline sanity pattern).
     TRAP_GUARDED_DIRECT = "trap-guarded-direct"
+    #: API call behind a constant-false data branch: statically
+    #: reachable (the interval analysis does not constant-fold data
+    #: guards), dynamically dead.  A static false alarm *by design* —
+    #: the differential oracle treats it as an expected disagreement.
+    TRAP_DEAD_CODE = "trap-dead-code"
 
 
 @dataclass(frozen=True)

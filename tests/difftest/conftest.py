@@ -1,0 +1,18 @@
+"""Difftest fixtures: one detector instance for the whole session."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.detector import SaintDroid
+from repro.difftest.oracle import DifferentialOracle
+
+
+@pytest.fixture(scope="session")
+def tool(framework, apidb):
+    return SaintDroid(framework, apidb)
+
+
+@pytest.fixture(scope="session")
+def oracle(apidb):
+    return DifferentialOracle(apidb)

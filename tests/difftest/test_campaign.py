@@ -1,0 +1,96 @@
+"""Campaign driver: deterministic reports, end-to-end detection of a
+seeded detector bug, and orchestration passthrough."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.difftest.campaign import (
+    CampaignConfig,
+    run_campaign,
+    write_mutation_report,
+    write_report,
+)
+from repro.difftest.mutation import MUTANT_CATALOG, apply_mutant
+from repro.difftest.strategy import ALL_KINDS
+
+
+def _config(**overrides) -> CampaignConfig:
+    defaults = dict(
+        seed=123, n_apps=6, coverage=False, mutation=False, shrink=True
+    )
+    defaults.update(overrides)
+    return CampaignConfig(**defaults)
+
+
+def test_fixed_seed_report_is_byte_identical(framework, apidb):
+    first = run_campaign(_config(), framework=framework, apidb=apidb)
+    second = run_campaign(_config(), framework=framework, apidb=apidb)
+    assert first.render_report() == second.render_report()
+    assert first.apps_examined == 6
+    assert first.ok
+
+
+def test_parallel_run_matches_serial(framework, apidb):
+    serial = run_campaign(_config(), framework=framework, apidb=apidb)
+    pooled = run_campaign(
+        _config(jobs=2), framework=framework, apidb=apidb
+    )
+    assert serial.render_report() == pooled.render_report()
+
+
+def test_report_shape(framework, apidb, tmp_path):
+    result = run_campaign(_config(), framework=framework, apidb=apidb)
+    doc = json.loads(result.render_report())
+    assert doc["campaign"]["seed"] == 123
+    assert doc["campaign"]["scenarioKinds"] == list(ALL_KINDS)
+    assert doc["truncated"] is False
+    assert len(doc["apps"]) == 6
+    path = write_report(result, tmp_path / "report.json")
+    assert path.read_text() == result.render_report()
+    assert write_mutation_report(result, tmp_path / "mut.json") is None
+
+
+def test_budget_truncation_is_recorded(framework, apidb):
+    result = run_campaign(
+        _config(budget_s=0.0), framework=framework, apidb=apidb
+    )
+    assert result.truncated
+    assert result.apps_examined < 6
+
+
+@pytest.mark.slow
+def test_campaign_catches_and_shrinks_seeded_bug(
+    framework, apidb, tmp_path
+):
+    """End-to-end acceptance: an interval-logic mutant in the detector
+    is caught by the coverage apps, shrunk to <= 3 scenarios, and
+    written out as a pytest regression file."""
+    mutant = next(
+        m for m in MUTANT_CATALOG if m.name == "refine-lt-off-by-one"
+    )
+    corpus = tmp_path / "corpus"
+    config = CampaignConfig(
+        seed=2026,
+        n_apps=len(ALL_KINDS),
+        coverage=True,
+        mutation=False,
+        shrink=True,
+        corpus_dir=str(corpus),
+    )
+    with apply_mutant(mutant):
+        result = run_campaign(config, framework=framework, apidb=apidb)
+
+    assert not result.ok
+    assert result.disagreements
+    assert result.shrink_results
+    for shrunk in result.shrink_results:
+        assert len(shrunk.plan.scenarios) <= 3
+    written = sorted(corpus.glob("test_regression_*.py"))
+    assert written
+    names = {
+        entry.get("regressionFile") for entry in result.disagreements
+    }
+    assert {path.name for path in written} <= names

@@ -2,6 +2,7 @@
 
 import pytest
 
+from repro.core.apidb import ApiClassEntry, ApiDatabase, ApiEntry
 from repro.dynamic.device import DeviceProfile
 from repro.dynamic.interpreter import (
     Crash,
@@ -9,7 +10,7 @@ from repro.dynamic.interpreter import (
     ExecutionBudgetExceeded,
     Interpreter,
 )
-from repro.framework.permissions import DANGEROUS_PERMISSIONS
+from repro.framework.permissions import DANGEROUS_PERMISSIONS, PermissionMap
 from repro.ir.builder import ClassBuilder
 from repro.ir.instructions import CmpOp
 from repro.ir.types import MethodRef
@@ -216,6 +217,132 @@ class TestTrampolining:
         )
         assert crash is not None
         assert crash.location.class_name == "com.test.app.Bad$1"
+
+
+class TestTrampolineLifetime:
+    """Regression: callback trampolining must honor the callback's
+    lifetime.  The database's callback set is level-agnostic, so
+    selecting overrides by membership alone runs hooks on devices
+    where the framework does not (yet, or any longer) invoke them."""
+
+    def removed_callback_db(self):
+        # Hand-built framework: a callback whose last level is 22 and
+        # a sink method alive only at level 2, so any trampolined run
+        # of the callback body crashes with MISSING_METHOD.
+        widget = ApiClassEntry(
+            name="android.fake.Widget",
+            super_name=None,
+            levels=frozenset(range(2, 30)),
+        )
+        widget.methods["onLegacyEvent()void"] = ApiEntry(
+            "android.fake.Widget", "onLegacyEvent", "()void",
+            levels=frozenset(range(2, 23)), callback=True,
+        )
+        widget.methods["gone()void"] = ApiEntry(
+            "android.fake.Widget", "gone", "()void",
+            levels=frozenset({2}),
+        )
+        bus = ApiClassEntry(
+            name="android.fake.Bus",
+            super_name=None,
+            levels=frozenset(range(2, 30)),
+        )
+        bus.methods["post(java.lang.Object)void"] = ApiEntry(
+            "android.fake.Bus", "post", "(java.lang.Object)void",
+            levels=frozenset(range(2, 30)),
+        )
+        return ApiDatabase(
+            {"android.fake.Widget": widget, "android.fake.Bus": bus},
+            PermissionMap(),
+        )
+
+    def removed_callback_apk(self):
+        listener = ClassBuilder(
+            "com.test.app.Legacy", super_name="android.fake.Widget"
+        )
+        hook = listener.method("onLegacyEvent")
+        hook.invoke_virtual("android.fake.Widget", "gone")
+        hook.return_void()
+        listener.finish(hook)
+        registrar = ClassBuilder("com.test.app.Registrar")
+        setup = registrar.method("setup")
+        setup.new_instance(0, "com.test.app.Legacy")
+        setup.invoke_virtual(
+            "android.fake.Bus", "post", "(java.lang.Object)void",
+            args=(0,),
+        )
+        setup.return_void()
+        registrar.finish(setup)
+        return make_apk(
+            [activity_class(), listener.build(), registrar.build()],
+            min_sdk=19,
+        )
+
+    def test_live_callback_still_trampolines(self):
+        apk = self.removed_callback_apk()
+        crash = run_entry(
+            apk, self.removed_callback_db(), 22,
+            MethodRef("com.test.app.Registrar", "setup", "()void"),
+        )
+        assert crash is not None
+        assert crash.kind is CrashKind.MISSING_METHOD
+        assert crash.api.name == "gone"
+        assert crash.location.class_name == "com.test.app.Legacy"
+
+    def test_removed_callback_does_not_run_past_last_level(self):
+        # Boundary regression: at 23 the hook no longer exists on the
+        # device, so the framework never dispatches it — its body must
+        # not execute (it used to, crashing on the dead sink call).
+        apk = self.removed_callback_apk()
+        assert run_entry(
+            apk, self.removed_callback_db(), 23,
+            MethodRef("com.test.app.Registrar", "setup", "()void"),
+        ) is None
+
+    def multiwindow_apk(self):
+        # Real framework: onMultiWindowModeChanged arrived at 24; its
+        # body calls an Apache HTTP API that was removed at 23.
+        split = ClassBuilder(
+            "com.test.app.Split", super_name="android.app.Activity"
+        )
+        hook = split.method("onMultiWindowModeChanged", "(boolean)void")
+        hook.invoke_virtual(
+            "org.apache.http.client.HttpClient", "execute",
+            "(org.apache.http.HttpRequest)org.apache.http.HttpResponse",
+        )
+        hook.return_void()
+        split.finish(hook)
+        registrar = ClassBuilder("com.test.app.Reg")
+        setup = registrar.method("setup")
+        setup.new_instance(0, "com.test.app.Split")
+        setup.invoke_virtual(
+            "android.os.Handler", "post", "(java.lang.Runnable)boolean",
+            args=(0,),
+        )
+        setup.return_void()
+        registrar.finish(setup)
+        return make_apk(
+            [activity_class(), split.build(), registrar.build()],
+            min_sdk=19,
+        )
+
+    def test_hook_not_dispatched_before_introduction(self, apidb):
+        # At 22 and 23 the device has no onMultiWindowModeChanged, so
+        # the stale Apache call inside it is unreachable.  23 is the
+        # boundary that used to crash (Apache gone, hook trampolined).
+        apk = self.multiwindow_apk()
+        entry = MethodRef("com.test.app.Reg", "setup", "()void")
+        for level in (22, 23):
+            assert run_entry(apk, apidb, level, entry) is None, level
+
+    def test_hook_dispatched_from_introduction(self, apidb):
+        apk = self.multiwindow_apk()
+        entry = MethodRef("com.test.app.Reg", "setup", "()void")
+        crash = run_entry(apk, apidb, 24, entry)
+        assert crash is not None
+        assert crash.kind is CrashKind.MISSING_METHOD
+        assert crash.api.name == "execute"
+        assert crash.location.class_name == "com.test.app.Split"
 
 
 class TestBudgets:

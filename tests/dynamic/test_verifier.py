@@ -67,6 +67,34 @@ class TestVerdicts:
         verified, _ = verify_single(detector, apidb, f.build(), issue.key)
         assert verified.verdict is Verdict.STATIC_ONLY
 
+    def test_multi_permission_call_confirms_every_permission(
+        self, detector, apidb, picker
+    ):
+        """One call needing several dangerous permissions: each
+        finding is probed with only its own permission withheld, so
+        the first denial cannot mask the later ones (regression for a
+        bug the difftest fuzzer found)."""
+        issues = ()
+        for seed in range(60):
+            f = forge(apidb, picker, seed=seed)
+            issues = f.add_permission_request_issue(deep=True)
+            if len(issues) >= 2:
+                break
+        assert len(issues) >= 2, "picker never produced a 2-permission API"
+        forged = f.build()
+        report = detector.analyze(forged.apk)
+        verifier = DynamicVerifier(forged.apk, apidb)
+        wanted = {issue.key for issue in issues}
+        verdicts = {
+            v.mismatch.key[2]: v
+            for v in verifier.verify_all(report).verified
+            if v.mismatch.key in wanted
+        }
+        assert set(verdicts) == {issue.key[2] for issue in issues}
+        for permission, verified in verdicts.items():
+            assert verified.verdict is Verdict.CONFIRMED, permission
+            assert verified.evidence.permission == permission
+
     def test_inherited_issue_confirmed(self, detector, apidb, picker):
         f = forge(apidb, picker)
         issue = f.add_inherited_issue()

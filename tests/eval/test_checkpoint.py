@@ -11,6 +11,11 @@ from repro.eval import CheckpointError, CheckpointJournal, ToolSet, run_tools
 from repro.eval.checkpoint import result_from_dict, result_to_dict
 from repro.workload.corpus import CorpusConfig, generate_corpus
 
+#: Chaos tier: opt in locally with -m slow; CI runs these in
+#: the dedicated chaos job.
+pytestmark = pytest.mark.slow
+
+
 SMALL_CORPUS = CorpusConfig(count=5, kloc_median=1.5, kloc_max=4.0)
 TOOLS = ("SAINTDroid", "CID")
 

@@ -25,6 +25,11 @@ from repro.eval import (
 from repro.eval.faults import CorruptApkError
 from repro.workload.corpus import CorpusConfig, generate_corpus
 
+#: Chaos tier: opt in locally with -m slow; CI runs these in
+#: the dedicated chaos job.
+pytestmark = pytest.mark.slow
+
+
 #: Tiny apps: the suite injects ~10 faults across several full runs.
 CHAOS_CORPUS = CorpusConfig(count=10, kloc_median=1.0, kloc_max=3.0)
 TOOLS = ("SAINTDroid",)

@@ -1,0 +1,185 @@
+"""Retry-round edge cases of the orchestration engine.
+
+Three boundaries the chaos suite's randomized plans do not pin down
+exactly:
+
+* a retryable fault that spends itself on the *final* allowed attempt
+  is recovered, one that outlives the budget is quarantined after the
+  final round — off-by-one here silently doubles or halves the retry
+  budget;
+* the checkpoint journal is appended *as results finalize inside a
+  round*, not flushed at the end — a kill mid-round must lose at most
+  the in-flight app;
+* a ``--only-pass`` selection that starves a later pass of a
+  ``provides`` dependency is a user error (exit 2), not a crash.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.apk.serialization import save_apk
+from repro.cli import main
+from repro.eval import ToolSet, run_tools
+from repro.eval.faults import FaultKind, FaultPlan, InjectedFault
+from repro.workload.corpus import CorpusConfig, generate_corpus
+
+from tests.conftest import activity_class, make_apk
+
+MAX_RETRIES = 2
+
+
+@pytest.fixture(scope="module")
+def corpus(apidb):
+    config = CorpusConfig(count=4, kloc_median=1.5, kloc_max=4.0)
+    return [m.forged for m in generate_corpus(config, apidb)]
+
+
+@pytest.fixture(scope="module")
+def toolset(framework, apidb):
+    return ToolSet.default(framework, apidb, include=("SAINTDroid",))
+
+
+class TestFinalRoundBoundary:
+    def test_fault_spent_on_final_attempt_is_recovered(
+        self, corpus, toolset
+    ):
+        """fail_attempts == max_retries: the last allowed retry
+        succeeds, so nothing may be quarantined."""
+        plan = FaultPlan(
+            faults={
+                1: InjectedFault(
+                    FaultKind.WORKER_DEATH, fail_attempts=MAX_RETRIES
+                )
+            }
+        )
+        run = run_tools(
+            corpus,
+            toolset,
+            max_retries=MAX_RETRIES,
+            fault_plan=plan,
+        )
+        assert run.quarantined == ()
+        assert run.results[1].ok
+        assert run.results[1].error is None
+
+    def test_fault_outliving_budget_quarantines_after_final_round(
+        self, corpus, toolset
+    ):
+        """fail_attempts == max_retries + 1: still failing on the
+        final attempt, so the app ends quarantined with the whole
+        budget spent."""
+        plan = FaultPlan(
+            faults={
+                1: InjectedFault(
+                    FaultKind.WORKER_DEATH,
+                    fail_attempts=MAX_RETRIES + 1,
+                )
+            }
+        )
+        run = run_tools(
+            corpus,
+            toolset,
+            max_retries=MAX_RETRIES,
+            fault_plan=plan,
+        )
+        assert [r.app for r in run.quarantined] == [corpus[1].apk.name]
+        error = run.results[1].error
+        assert error is not None
+        assert error.retryable
+        assert error.attempts == MAX_RETRIES + 1
+        # The other apps are untouched by the neighbour's retries.
+        for index in (0, 2, 3):
+            assert run.results[index].ok
+
+
+class TestCheckpointMidRound:
+    def test_journal_grows_inside_the_round(
+        self, corpus, toolset, tmp_path
+    ):
+        """Every finalized app is journaled before the next one is
+        dispatched: the line count observed from the progress callback
+        (which fires after the append) climbs one app at a time."""
+        path = tmp_path / "run.jsonl"
+        observed: list[int] = []
+
+        def watch(app: str) -> None:
+            observed.append(
+                len(path.read_text().splitlines())
+                if path.exists()
+                else 0
+            )
+
+        run = run_tools(
+            corpus, toolset, checkpoint=path, progress=watch
+        )
+        assert all(r.ok for r in run.results)
+        # One new journal line per finalized app (the absolute count
+        # is offset by the journal header).
+        final = len(path.read_text().splitlines())
+        assert observed == list(
+            range(final - len(corpus) + 1, final + 1)
+        )
+
+    def test_quarantined_apps_are_journaled_and_resumed(
+        self, corpus, toolset, tmp_path
+    ):
+        """A permanently failing app lands in the journal too; the
+        resumed run adopts the failure instead of re-analyzing."""
+        path = tmp_path / "run.jsonl"
+        plan = FaultPlan(
+            faults={2: InjectedFault(FaultKind.CRASH, fail_attempts=None)}
+        )
+        first = run_tools(
+            corpus, toolset, checkpoint=path, fault_plan=plan
+        )
+        assert [r.app for r in first.quarantined] == [corpus[2].apk.name]
+
+        resumed = run_tools(corpus, toolset, checkpoint=path)
+        assert resumed.resumed_indices == (0, 1, 2, 3)
+        assert resumed.results[2].error is not None
+        assert (
+            resumed.results[2].error.kind
+            == first.results[2].error.kind
+        )
+
+
+class TestOnlyPassStarvation:
+    @pytest.fixture()
+    def apk_path(self, tmp_path):
+        apk = make_apk([activity_class()], min_sdk=21, target_sdk=28)
+        path = tmp_path / "app.sapk"
+        save_apk(apk, path)
+        return path
+
+    def test_starved_provides_exits_2(self, apk_path, capsys):
+        """detect-api requires the scope slot that only
+        manifest-ingest provides; selecting it alone is reported as a
+        usage error, never a traceback."""
+        code = main(
+            ["analyze", str(apk_path), "--only-pass", "detect-api"]
+        )
+        assert code == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+
+    def test_self_sufficient_selection_still_runs(
+        self, apk_path, capsys
+    ):
+        code = main(
+            [
+                "analyze",
+                str(apk_path),
+                "--only-pass",
+                "manifest-ingest",
+            ]
+        )
+        assert code == 0
+        capsys.readouterr()
+
+    def test_unknown_pass_name_exits_2(self, apk_path, capsys):
+        code = main(
+            ["analyze", str(apk_path), "--only-pass", "no-such-pass"]
+        )
+        assert code == 2
+        assert "no-such-pass" in capsys.readouterr().err

@@ -21,6 +21,10 @@ from repro.eval.runner import (
 from repro.eval.tables import failure_breakdown, render_failures
 from repro.workload.corpus import CorpusConfig, generate_corpus
 
+#: Chaos tier: opt in locally with -m slow; CI runs these in
+#: the dedicated chaos job.
+pytestmark = pytest.mark.slow
+
 SMALL_CORPUS = CorpusConfig(count=3, kloc_median=1.0, kloc_max=3.0)
 
 
