@@ -1,0 +1,155 @@
+"""E8 — framework pre-summaries: lazy vs summarized exploration.
+
+The lazy CLVM walks framework method bodies instruction by
+instruction to learn which classes get pulled in next; the summarized
+mode replays the same effects from a whole-framework pre-summary
+table, so per-app exploration stops at the framework boundary with a
+dictionary lookup.  This benchmark runs SAINTDroid both ways over one
+corpus and reports:
+
+* the findings are identical (the parity guarantee — also enforced by
+  ``tests/eval/test_summaries_parity.py`` and the CI parity job);
+* the summarized explore phase is faster than the lazy one, and the
+  modeled work/memory units are lower;
+* the one-time summary-table build cost (charged to the ``load``
+  phase of the first app) and how many apps it takes to amortize.
+
+Numbers land in ``results/BENCH_summaries.json``; the per-pass
+phase breakdown of both runs is rendered to
+``results/phase_flame.txt``.
+
+Environment knob: ``REPRO_SUMMARIES_CORPUS`` (apps, default 12).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+
+import pytest
+
+from repro.eval.flame import render_phase_flame
+from repro.eval.runner import ToolSet, run_tools
+from repro.workload.corpus import CorpusConfig, generate_corpus
+
+from .conftest import RESULTS_DIR
+
+CORPUS_SIZE = int(os.environ.get("REPRO_SUMMARIES_CORPUS", "12"))
+
+BENCH_CORPUS = CorpusConfig(
+    count=CORPUS_SIZE, kloc_median=4.0, kloc_max=20.0, seed=97531
+)
+
+
+def _phase_total(run, phase: str) -> float:
+    return sum(
+        r.reports["SAINTDroid"].metrics.phase_seconds.get(phase, 0.0)
+        for r in run.results
+        if "SAINTDroid" in r.reports
+    )
+
+
+def _unit_totals(run) -> tuple[int, int]:
+    work = memory = 0
+    for r in run.results:
+        report = r.reports.get("SAINTDroid")
+        if report is not None and report.metrics is not None:
+            work += report.metrics.stats.work_units
+            memory += report.metrics.stats.memory_units
+    return work, memory
+
+
+@pytest.fixture(scope="module")
+def ablation() -> dict:
+    apps = [m.forged for m in generate_corpus(BENCH_CORPUS)]
+
+    start = time.perf_counter()
+    lazy = run_tools(apps, ToolSet.default(include=("SAINTDroid",)))
+    lazy_s = time.perf_counter() - start
+
+    start = time.perf_counter()
+    summarized = run_tools(
+        apps, ToolSet.default(include=("SAINTDroid",), summaries=True)
+    )
+    summarized_s = time.perf_counter() - start
+
+    return {
+        "apps": apps,
+        "lazy": lazy,
+        "summarized": summarized,
+        "lazy_s": lazy_s,
+        "summarized_s": summarized_s,
+    }
+
+
+def test_findings_parity(ablation):
+    assert (
+        ablation["lazy"].findings_fingerprint()
+        == ablation["summarized"].findings_fingerprint()
+    )
+
+
+def test_summarized_explore_is_cheaper(ablation):
+    lazy_explore = _phase_total(ablation["lazy"], "explore")
+    summarized_explore = _phase_total(ablation["summarized"], "explore")
+    assert summarized_explore < lazy_explore
+    lazy_units = _unit_totals(ablation["lazy"])
+    summarized_units = _unit_totals(ablation["summarized"])
+    assert summarized_units[0] < lazy_units[0]  # work units
+    assert summarized_units[1] < lazy_units[1]  # memory units
+
+
+def test_report(ablation):
+    lazy, summarized = ablation["lazy"], ablation["summarized"]
+    lazy_explore = _phase_total(lazy, "explore")
+    summarized_explore = _phase_total(summarized, "explore")
+    table_build_s = _phase_total(summarized, "load")
+    lazy_work, lazy_memory = _unit_totals(lazy)
+    summarized_work, summarized_memory = _unit_totals(summarized)
+
+    per_app_saving = (
+        (lazy_explore - summarized_explore) / len(ablation["apps"])
+    )
+    payload = {
+        "corpus_apps": CORPUS_SIZE,
+        "lazy_wall_s": round(ablation["lazy_s"], 3),
+        "summarized_wall_s": round(ablation["summarized_s"], 3),
+        "lazy_explore_s": round(lazy_explore, 3),
+        "summarized_explore_s": round(summarized_explore, 3),
+        "explore_speedup": round(
+            lazy_explore / summarized_explore, 2
+        ) if summarized_explore else None,
+        "summary_table_build_s": round(table_build_s, 3),
+        "table_amortized_after_apps": (
+            round(table_build_s / per_app_saving, 1)
+            if per_app_saving > 0
+            else None
+        ),
+        "lazy_work_units": lazy_work,
+        "summarized_work_units": summarized_work,
+        "lazy_memory_units": lazy_memory,
+        "summarized_memory_units": summarized_memory,
+        "findings_parity": (
+            lazy.findings_fingerprint()
+            == summarized.findings_fingerprint()
+        ),
+    }
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / "BENCH_summaries.json").write_text(
+        json.dumps(payload, indent=2) + "\n"
+    )
+    flame = (
+        render_phase_flame(
+            lazy.results, title="lazy exploration"
+        )
+        + "\n"
+        + render_phase_flame(
+            summarized.results, title="summarized exploration"
+        )
+    )
+    (RESULTS_DIR / "phase_flame.txt").write_text(flame)
+    print()
+    print(json.dumps(payload, indent=2))
+    print(flame)
+    assert payload["findings_parity"]

@@ -65,6 +65,14 @@ DEFAULT_FRAMEWORK_DEPTH = 2
 #: Whole-world tools keep full IR for everything (retention 1.0).
 FRAMEWORK_RETENTION = 0.3
 
+#: Cost of consulting a precomputed framework class summary instead of
+#: loading the class (work) and of keeping the summary record resident
+#: (memory).  Both are small constants — the whole point of the
+#: pre-summary table is that the per-app cost of a framework class
+#: drops from O(its code size) to O(1) (docs/cost-model.md).
+SUMMARY_WORK_UNITS = 3
+SUMMARY_RESIDENT_UNITS = 6
+
 
 @dataclass
 class LoadStats:
@@ -88,6 +96,13 @@ class LoadStats:
     #: True when loaded code is never released (eager / closed-world
     #: mode); the lazy CLVM keeps only framework summaries resident.
     retain_framework_bodies: bool = False
+    #: Pre-summary mode accounting: table consultations, framework
+    #: classes whose analysis was replaced by a summary application,
+    #: and the framework instructions those summaries stand in for
+    #: (code the lazy mode would have loaded and scanned).
+    summary_lookups: int = 0
+    classes_summarized: int = 0
+    instructions_summarized: int = 0
 
     def record_load(self, clazz: Clazz, warm: bool = False) -> None:
         self.classes_loaded += 1
@@ -140,6 +155,7 @@ class LoadStats:
         return (
             self.classes_loaded * CLASS_OVERHEAD_UNITS
             + resident * INSTRUCTION_UNITS
+            + self.classes_summarized * SUMMARY_RESIDENT_UNITS
         )
 
     @property
@@ -148,6 +164,7 @@ class LoadStats:
         return (
             self.instructions_analyzed
             + self.classes_loaded * CLASS_OVERHEAD_UNITS // 4
+            + self.classes_summarized * SUMMARY_WORK_UNITS
         )
 
 
@@ -175,17 +192,27 @@ class ClassLoaderVM:
         follow_framework: bool = True,
         include_secondary_dex: bool = True,
         max_framework_depth: int | None = DEFAULT_FRAMEWORK_DEPTH,
+        summaries=None,
     ) -> None:
         """``follow_framework=False`` restricts exploration to app code
         (framework callees stay terminal nodes) — how first-level tools
         such as CID behave.  ``max_framework_depth`` bounds how many
         framework-to-framework call levels are followed (None = all).
+
+        ``summaries`` is an optional
+        :class:`~repro.analysis.fwsummaries.FrameworkSummaryTable`:
+        when set (and ``follow_framework`` is on), a framework method
+        popped from the worklist is answered by replaying the class's
+        precomputed worklist effects instead of materializing its body
+        — same app-method reachability, no framework loading.
         """
         self._apk = apk
         self._framework = framework
         self._level = level
         self._follow_framework = follow_framework
         self._max_framework_depth = max_framework_depth
+        self._summaries = summaries if follow_framework else None
+        self._include_secondary = include_secondary_dex
         self.stats = LoadStats()
         self._loaded: dict[ClassName, Clazz] = {}
         self.resolver = HierarchyResolver(
@@ -242,6 +269,11 @@ class ClassLoaderVM:
 
         while worklist:
             method_ref, depth = worklist.pop()
+            if self._summaries is not None and self._try_summarize(
+                method_ref, depth, analyzed_classes, callgraph,
+                worklist, queued, unresolved_dynamic,
+            ):
+                continue
             clazz = self.resolver.resolve(method_ref.class_name)
             if clazz is None:
                 continue
@@ -360,6 +392,97 @@ class ClassLoaderVM:
                             )
                         )
                         self._enqueue(override, depth, worklist, queued)
+
+    # -- summarized mode (framework pre-summaries) ---------------------
+
+    def _try_summarize(
+        self,
+        ref: MethodRef,
+        depth: int,
+        analyzed_classes: set[ClassName],
+        callgraph: CallGraph,
+        worklist: list[tuple[MethodRef, int]],
+        queued: set[MethodRef],
+        unresolved_dynamic: list[ClassName],
+    ) -> bool:
+        """Answer a framework worklist entry from the pre-summary
+        table.  Replays the class's recorded worklist effects with the
+        exact depth/dedup rules of the lazy analysis, so the app
+        methods reached (and therefore the findings) are identical;
+        only the load/analysis accounting differs.  Returns False when
+        the entry is not summarizable (app code, a name the app
+        shadows, or a class absent from the table) — the caller falls
+        through to the lazy path.
+        """
+        if not ref.is_framework:
+            return False
+        lookup = (
+            self._apk.lookup
+            if self._include_secondary
+            else self._apk.lookup_primary
+        )
+        if lookup(ref.class_name) is not None:
+            # The app shadows the framework name; lazy resolution
+            # would analyze the app class, so must we.
+            return False
+        summary = self._summaries.class_summary(
+            ref.class_name, self._level
+        )
+        self.stats.summary_lookups += 1
+        if summary is None:
+            return False
+        if ref.class_name in analyzed_classes:
+            return True
+        analyzed_classes.add(ref.class_name)
+        self.stats.classes_summarized += 1
+        self.stats.instructions_summarized += summary.instruction_count
+
+        next_depth = depth + 1
+        for kind, target, container in summary.effects:
+            if kind == "loadclass":
+                if target:
+                    for class_name in target:
+                        self._enqueue_class(
+                            class_name, depth, worklist, queued,
+                            unresolved_dynamic,
+                        )
+                    self.stats.dynamic_classes_resolved += len(target)
+                else:
+                    self.stats.dynamic_sites_unresolved += 1
+            elif kind == "new":
+                init = MethodRef(target, "<init>", "()void")
+                self._enqueue(init, depth, worklist, queued)
+            elif kind == "call":
+                if target.is_framework:
+                    if (
+                        self._max_framework_depth is not None
+                        and next_depth > self._max_framework_depth
+                    ):
+                        continue
+                    self._enqueue(target, next_depth, worklist, queued)
+                else:
+                    self._enqueue(target, depth, worklist, queued)
+            else:  # dispatch into app overrides
+                for subtype in self._app_subtypes.get(
+                    target.class_name, ()
+                ):
+                    override = MethodRef(
+                        subtype, target.name, target.descriptor
+                    )
+                    subtype_class = self._apk.lookup(subtype)
+                    if (
+                        subtype_class is not None
+                        and subtype_class.declares(override.signature)
+                    ):
+                        callgraph.add_edge(
+                            CallSite(
+                                caller=container,
+                                callee=target,
+                                resolved=override,
+                            )
+                        )
+                        self._enqueue(override, depth, worklist, queued)
+        return True
 
     def _resolve_dispatch(self, instruction: Invoke) -> MethodRef | None:
         callee = instruction.method

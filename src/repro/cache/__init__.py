@@ -30,11 +30,14 @@ from .fingerprint import (
 )
 from .manifest import CacheManifest, atomic_write_bytes, atomic_write_text
 from .results import ResultCache, ResultCacheStats
+from .shared import SharedSubstrate, SharedSubstrateHandle
 from .snapshot import (
     ensure_snapshot,
     load_or_build_substrate,
     load_snapshot,
+    restore_substrate,
     snapshot_path,
+    substrate_payload,
     write_snapshot,
 )
 
@@ -43,6 +46,8 @@ __all__ = [
     "CacheManifest",
     "ResultCache",
     "ResultCacheStats",
+    "SharedSubstrate",
+    "SharedSubstrateHandle",
     "atomic_write_bytes",
     "atomic_write_text",
     "canonical_json",
@@ -53,7 +58,9 @@ __all__ = [
     "fingerprint_spec",
     "load_or_build_substrate",
     "load_snapshot",
+    "restore_substrate",
     "result_key",
     "snapshot_path",
+    "substrate_payload",
     "write_snapshot",
 ]

@@ -42,6 +42,8 @@ from .manifest import atomic_write_bytes
 
 __all__ = [
     "snapshot_path",
+    "substrate_payload",
+    "restore_substrate",
     "write_snapshot",
     "ensure_snapshot",
     "load_snapshot",
@@ -55,6 +57,50 @@ def snapshot_path(cache_dir: str | Path, key: str) -> Path:
     return Path(cache_dir) / "framework" / f"{key}.snapshot"
 
 
+def substrate_payload(
+    framework: FrameworkRepository, apidb: ApiDatabase, key: str
+) -> dict:
+    """The substrate as one picklable document — the shared
+    materialized form used by both disk snapshots and
+    :class:`~repro.cache.shared.SharedSubstrate` segments."""
+    return {
+        "version": CACHE_SCHEMA_VERSION,
+        "key": key,
+        "spec": framework.spec,
+        # Keys only: materialization is a pure function of the
+        # spec, and re-running it on load is several times cheaper
+        # than unpickling the full class graphs.
+        "warm_classes": sorted(framework.export_class_cache()),
+        "apidb": apidb,
+    }
+
+
+def restore_substrate(
+    doc: object, *, key: str | None = None
+) -> tuple[FrameworkRepository, ApiDatabase] | None:
+    """Rebuild ``(framework, apidb)`` from a :func:`substrate_payload`
+    document; ``None`` on any structural defect or key mismatch."""
+    if (
+        not isinstance(doc, dict)
+        or doc.get("version") != CACHE_SCHEMA_VERSION
+        or (key is not None and doc.get("key") != key)
+        or not isinstance(doc.get("spec"), FrameworkSpec)
+        or not isinstance(doc.get("apidb"), ApiDatabase)
+    ):
+        return None
+    framework = FrameworkRepository(doc["spec"])
+    framework.preload_class_cache(
+        {
+            (level, name): materialize_class(doc["spec"], name, level)
+            for level, name in doc.get("warm_classes") or ()
+        }
+    )
+    apidb = doc["apidb"]
+    apidb.reset_cache_counters()
+    register_database(framework.spec, apidb)
+    return framework, apidb
+
+
 def write_snapshot(
     cache_dir: str | Path,
     key: str,
@@ -63,16 +109,7 @@ def write_snapshot(
 ) -> Path:
     """Serialize the substrate under ``key``; returns the file path."""
     payload = pickle.dumps(
-        {
-            "version": CACHE_SCHEMA_VERSION,
-            "key": key,
-            "spec": framework.spec,
-            # Keys only: materialization is a pure function of the
-            # spec, and re-running it on load is several times cheaper
-            # than unpickling the full class graphs.
-            "warm_classes": sorted(framework.export_class_cache()),
-            "apidb": apidb,
-        },
+        substrate_payload(framework, apidb, key),
         protocol=pickle.HIGHEST_PROTOCOL,
     )
     path = snapshot_path(cache_dir, key)
@@ -118,25 +155,7 @@ def load_snapshot(
         doc = pickle.loads(payload)
     except Exception:  # pragma: no cover — checksum already gates this
         return None
-    if (
-        not isinstance(doc, dict)
-        or doc.get("version") != CACHE_SCHEMA_VERSION
-        or (key is not None and doc.get("key") != key)
-        or not isinstance(doc.get("spec"), FrameworkSpec)
-        or not isinstance(doc.get("apidb"), ApiDatabase)
-    ):
-        return None
-    framework = FrameworkRepository(doc["spec"])
-    framework.preload_class_cache(
-        {
-            (level, name): materialize_class(doc["spec"], name, level)
-            for level, name in doc.get("warm_classes") or ()
-        }
-    )
-    apidb = doc["apidb"]
-    apidb.reset_cache_counters()
-    register_database(framework.spec, apidb)
-    return framework, apidb
+    return restore_substrate(doc, key=key)
 
 
 def load_or_build_substrate(

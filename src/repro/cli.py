@@ -206,6 +206,16 @@ def build_parser() -> argparse.ArgumentParser:
             help="disable the persistent cache even when "
                  "$REPRO_CACHE_DIR is set",
         )
+        command.add_argument(
+            "--summaries", action=argparse.BooleanOptionalAction,
+            default=False,
+            help="bound SAINTDroid's class-loader VM at the framework "
+                 "boundary with whole-framework pre-summaries (same "
+                 "findings as lazy exploration — parity-tested — at a "
+                 "fraction of the explore cost; the summary table is "
+                 "built once per framework and cached under "
+                 "--cache-dir when set)",
+        )
 
     table = sub.add_parser("table", help="regenerate a paper table")
     table.add_argument("number", type=int, choices=(1, 2, 3, 4))
@@ -250,6 +260,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-cache", action="store_true",
         help="disable the persistent cache even when "
              "$REPRO_CACHE_DIR is set",
+    )
+    sweep.add_argument(
+        "--summaries", action=argparse.BooleanOptionalAction,
+        default=False,
+        help="run SAINTDroid's probes with framework pre-summaries "
+             "(same findings, summarized explore phase)",
     )
 
     difftest = sub.add_parser(
@@ -368,6 +384,16 @@ def _run_kwargs(args: argparse.Namespace) -> dict:
         "retry_backoff_s": args.retry_backoff,
         "checkpoint": args.checkpoint,
         "cache_dir": _cache_dir(args),
+    }
+
+
+def _toolset_kwargs(args: argparse.Namespace) -> dict:
+    """ToolSet.default() kwargs from the --summaries flag (the summary
+    table persists under the cache directory when one is configured)."""
+    cache_dir = _cache_dir(args)
+    return {
+        "summaries": getattr(args, "summaries", False),
+        "summaries_dir": str(cache_dir) if cache_dir is not None else None,
     }
 
 
@@ -503,7 +529,7 @@ def _cmd_table(args: argparse.Namespace) -> int:
     if args.number == 1:
         print(render_table1())
         return 0
-    toolset = ToolSet.default()
+    toolset = ToolSet.default(**_toolset_kwargs(args))
     if args.number == 4:
         print(render_table4(table4_capabilities(toolset.tools)))
         return 0
@@ -519,7 +545,9 @@ def _cmd_table(args: argparse.Namespace) -> int:
 
 
 def _cmd_rq2(args: argparse.Namespace) -> int:
-    toolset = ToolSet.default(include=("SAINTDroid",))
+    toolset = ToolSet.default(
+        include=("SAINTDroid",), **_toolset_kwargs(args)
+    )
     config = CorpusConfig(count=args.count, seed=args.seed)
     corpus = list(generate_corpus(config, toolset.apidb))
     run = run_tools(
@@ -543,7 +571,9 @@ def _cmd_figure(args: argparse.Namespace) -> int:
         for device, region in regions.items():
             print(f"  device API {device:>2}: {region}")
         return 0
-    toolset = ToolSet.default(include=("SAINTDroid", "CID", "Lint"))
+    toolset = ToolSet.default(
+        include=("SAINTDroid", "CID", "Lint"), **_toolset_kwargs(args)
+    )
     config = CorpusConfig(count=args.count)
     corpus = [e.forged for e in generate_corpus(config, toolset.apidb)]
     run = run_tools(corpus, toolset, **_run_kwargs(args))
@@ -579,6 +609,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         seed=args.seed,
         jobs=args.jobs,
         cache_dir=str(cache_dir) if cache_dir is not None else None,
+        summaries=args.summaries,
     )
     header = (
         f"{'bulk':>6}{'classes@26':>12}{'SAINT s':>10}{'SAINT MB':>10}"
@@ -618,6 +649,7 @@ def _cmd_difftest(args: argparse.Namespace) -> int:
         retry_backoff_s=args.retry_backoff,
         checkpoint=args.checkpoint,
         cache_dir=str(cache_dir) if cache_dir is not None else None,
+        summaries=args.summaries,
     )
     result = run_campaign(config)
     if args.report is not None:

@@ -48,11 +48,17 @@ class SaintDroid(PipelineDetector):
         lazy_loading: bool = True,
         propagate_guards_into_anonymous: bool = False,
         analyze_secondary_dex: bool = True,
+        framework_summaries: bool = False,
+        summaries_dir: str | None = None,
     ) -> None:
         """``lazy_loading=False`` switches the AUM to closed-world
         loading (the eager ablation: same findings, whole-framework
         cost).  ``propagate_guards_into_anonymous=True`` removes the
-        documented anonymous-class blind spot."""
+        documented anonymous-class blind spot.
+        ``framework_summaries=True`` bounds the CLVM at the framework
+        boundary with whole-framework pre-summaries (same findings as
+        lazy; ``summaries_dir`` persists the table across processes).
+        """
         super().__init__(
             saintdroid_pipeline(
                 lazy_loading=lazy_loading,
@@ -60,6 +66,8 @@ class SaintDroid(PipelineDetector):
                     propagate_guards_into_anonymous
                 ),
                 analyze_secondary_dex=analyze_secondary_dex,
+                framework_summaries=framework_summaries,
+                summaries_dir=summaries_dir,
             ),
             framework,
             apidb,

@@ -61,6 +61,10 @@ class CampaignConfig:
     retry_backoff_s: float = 0.0
     checkpoint: str | None = None
     cache_dir: str | None = None
+    #: Run the tool with framework pre-summaries (same findings as
+    #: lazy exploration; a campaign under --summaries exercises the
+    #: summarized CLVM against the oracle).
+    summaries: bool = False
 
 
 @dataclass
@@ -140,7 +144,13 @@ def run_campaign(
     apps = [materialize(plan, apidb, picker) for plan in plans]
 
     # Phase 2: static analysis through the orchestration engine.
-    toolset = ToolSet.default(framework, apidb, include=(config.tool,))
+    toolset = ToolSet.default(
+        framework,
+        apidb,
+        include=(config.tool,),
+        summaries=config.summaries,
+        summaries_dir=config.cache_dir,
+    )
     run: RunResults = run_tools(
         apps,
         toolset,

@@ -42,6 +42,7 @@ from .tables import (
     table3_times,
     table4_capabilities,
 )
+from .flame import render_phase_flame
 from .sweep import SweepPoint, sweep_framework_scale
 from .export import (
     export_accuracy_csv,
@@ -92,6 +93,7 @@ __all__ = [
     "figure1_regions",
     "figure3_series",
     "figure4_series",
+    "render_phase_flame",
     "render_rq2",
     "render_table1",
     "render_table2",

@@ -1,0 +1,100 @@
+"""Text flamegraph of where corpus analysis time goes.
+
+Per-pass wall times (``pass_seconds``, recorded by the pipeline's
+timing hook) and the coarser paper phases (``phase_seconds``) are
+aggregated across a whole run and rendered as an indented
+tool → phase → pass breakdown with proportional bars — a flamegraph
+flattened to monospace text, suitable for checking into
+``benchmarks/results/`` next to the JSON artifacts::
+
+    SAINTDroid                                  total 12.345s
+      explore   ██████████████░░░░░░░░░░░  55.3%   6.826s
+        icfg-explore                       55.3%   6.826s
+      guards    ████░░░░░░░░░░░░░░░░░░░░░  16.0%   1.975s
+        guard-propagation                  10.1%   1.247s
+        ...
+
+Passes are attributed to phases through the pass registry; a pass
+name with no registered phase (or timing recorded outside any pass)
+lands under ``(unattributed)`` so the sections always reconcile.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Iterable
+
+__all__ = ["render_phase_flame"]
+
+_BAR_WIDTH = 25
+_UNATTRIBUTED = "(unattributed)"
+
+
+def _bar(fraction: float) -> str:
+    filled = round(max(0.0, min(1.0, fraction)) * _BAR_WIDTH)
+    return "█" * filled + "░" * (_BAR_WIDTH - filled)
+
+
+def _pass_phase(pass_name: str) -> str:
+    from ..pipeline.passes import registered_passes
+
+    cls = registered_passes().get(pass_name)
+    phase = getattr(cls, "phase", None)
+    return phase or _UNATTRIBUTED
+
+
+def render_phase_flame(results: Iterable, *, title: str | None = None) -> str:
+    """Render the aggregated breakdown for ``results`` (an iterable of
+    :class:`~repro.eval.runner.AppResult`)."""
+    # tool -> phase -> seconds; tool -> phase -> pass -> seconds
+    phase_totals: dict[str, dict[str, float]] = defaultdict(
+        lambda: defaultdict(float)
+    )
+    pass_totals: dict[str, dict[str, dict[str, float]]] = defaultdict(
+        lambda: defaultdict(lambda: defaultdict(float))
+    )
+    apps = 0
+    for result in results:
+        apps += 1
+        for tool, report in sorted(result.reports.items()):
+            metrics = report.metrics
+            if metrics is None:
+                continue
+            for phase, seconds in metrics.phase_seconds.items():
+                phase_totals[tool][phase] += seconds
+            for pass_name, seconds in metrics.pass_seconds.items():
+                phase = _pass_phase(pass_name)
+                pass_totals[tool][phase][pass_name] += seconds
+
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(f"apps aggregated: {apps}")
+    for tool in sorted(phase_totals):
+        phases = phase_totals[tool]
+        # Phase-less pass time (bookkeeping passes) still deserves a
+        # row, so fold any pass-only buckets into the phase table.
+        for phase, passes in pass_totals[tool].items():
+            if phase not in phases:
+                phases[phase] = sum(passes.values())
+        total = sum(phases.values())
+        lines.append("")
+        lines.append(f"{tool:<42} total {total:.3f}s")
+        for phase, seconds in sorted(
+            phases.items(), key=lambda item: -item[1]
+        ):
+            share = seconds / total if total else 0.0
+            lines.append(
+                f"  {phase:<9} {_bar(share)} {share * 100:5.1f}% "
+                f"{seconds:9.3f}s"
+            )
+            for pass_name, pass_s in sorted(
+                pass_totals[tool].get(phase, {}).items(),
+                key=lambda item: -item[1],
+            ):
+                pass_share = pass_s / total if total else 0.0
+                lines.append(
+                    f"    {pass_name:<33} {pass_share * 100:5.1f}% "
+                    f"{pass_s:9.3f}s"
+                )
+    return "\n".join(lines) + "\n"

@@ -75,9 +75,22 @@ class CorpusBackend:
         """Tool names, in report order (keys checkpoint + cache)."""
         raise NotImplementedError
 
-    def prepare(self, cache_dir: str | Path | None) -> None:
+    def config_options(self) -> dict:
+        """Findings-relevant configuration beyond the tool names
+        (e.g. ``{"summaries": True}``).  Keys the persistent result
+        cache together with :attr:`tool_names`; must stay empty for
+        the default configuration so existing caches remain valid."""
+        return {}
+
+    def prepare(
+        self,
+        cache_dir: str | Path | None,
+        pending: Iterable[Entry] = (),
+    ) -> None:
         """One-time setup before round 0, called only when at least
-        one app actually needs analysis."""
+        one app actually needs analysis.  ``pending`` is the post-cache
+        work list, so a backend can pre-warm exactly the framework
+        levels the round will touch."""
 
     def run_round(
         self, pending: list[Entry], round_no: int
@@ -89,6 +102,11 @@ class CorpusBackend:
     def finish(self, cache_dir: str | Path | None) -> dict:
         """Tear down and return the run's cache accounting."""
         raise NotImplementedError
+
+    def close(self) -> None:
+        """Release machine-wide resources (shared-memory segments).
+        Called from a ``finally`` — it must be idempotent and safe
+        even when :meth:`prepare` never ran or a round raised."""
 
 
 class SerialBackend(CorpusBackend):
@@ -112,6 +130,9 @@ class SerialBackend(CorpusBackend):
     @property
     def tool_names(self) -> tuple[str, ...]:
         return self._toolset.tool_names
+
+    def config_options(self) -> dict:
+        return {"summaries": True} if self._toolset.summaries else {}
 
     def run_round(
         self, pending: list[Entry], round_no: int
@@ -208,7 +229,12 @@ def run_corpus(
         rcache = ResultCache(
             cache_dir,
             framework_fingerprint=fingerprint_spec(backend.spec),
-            config_fingerprint=fingerprint_config(backend.tool_names),
+            # ``or None`` keeps the default configuration's key
+            # byte-identical to the pre-options era, so existing
+            # caches stay warm.
+            config_fingerprint=fingerprint_config(
+                backend.tool_names, backend.config_options() or None
+            ),
         )
         still_pending: list[Entry] = []
         for entry in pending:
@@ -232,37 +258,43 @@ def run_corpus(
             still_pending.append(entry)
         pending = still_pending
 
-    if pending:
-        backend.prepare(cache_dir)
+    # The close() in the finally is the backstop that keeps shared
+    # substrate segments from outliving the run when a round raises or
+    # SIGINT unwinds the loop.
+    try:
+        if pending:
+            backend.prepare(cache_dir, pending)
 
-    round_no = 0
-    while pending:
-        if round_no > 0 and retry_backoff_s > 0.0:
-            time.sleep(_bounded_backoff(retry_backoff_s, round_no))
-        next_pending: list[Entry] = []
-        for entry, result in backend.run_round(pending, round_no):
-            index, forged, attempt = entry
-            error = result.error
-            if (
-                error is not None
-                and error.retryable
-                and attempt < max_retries
-            ):
-                next_pending.append((index, forged, attempt + 1))
-                continue
-            done[index] = result
-            if rcache is not None and result.ok and index in fp_by_index:
-                rcache.put(fp_by_index[index], result)
-            if journal is not None:
-                journal.append(index, result)
-            if progress is not None:
-                progress(result.app)
-        next_pending.sort(key=lambda entry: entry[0])
-        pending = next_pending
-        round_no += 1
+        round_no = 0
+        while pending:
+            if round_no > 0 and retry_backoff_s > 0.0:
+                time.sleep(_bounded_backoff(retry_backoff_s, round_no))
+            next_pending: list[Entry] = []
+            for entry, result in backend.run_round(pending, round_no):
+                index, forged, attempt = entry
+                error = result.error
+                if (
+                    error is not None
+                    and error.retryable
+                    and attempt < max_retries
+                ):
+                    next_pending.append((index, forged, attempt + 1))
+                    continue
+                done[index] = result
+                if rcache is not None and result.ok and index in fp_by_index:
+                    rcache.put(fp_by_index[index], result)
+                if journal is not None:
+                    journal.append(index, result)
+                if progress is not None:
+                    progress(result.app)
+            next_pending.sort(key=lambda entry: entry[0])
+            pending = next_pending
+            round_no += 1
 
-    out.results = [done[index] for index, _ in indexed]
-    out.cache_stats = backend.finish(cache_dir)
+        out.results = [done[index] for index, _ in indexed]
+        out.cache_stats = backend.finish(cache_dir)
+    finally:
+        backend.close()
     if rcache is not None:
         rcache.flush()
         out.cache_stats["results"] = rcache.stats.as_dict()

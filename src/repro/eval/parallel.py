@@ -5,10 +5,19 @@ serially throws away both hardware parallelism and the fact that every
 per-app analysis shares the same immutable substrate (framework spec,
 API database).  This module schedules a corpus over a process pool:
 
-* **worker bootstrap** — each worker constructs the framework
-  repository + API database *once* (from the pickled spec) in its
-  initializer; every app the worker analyzes afterwards hits the
-  worker-local framework class cache and database memo tables;
+* **shared substrate** — the parent prepares the substrate exactly
+  once per run (framework repository with the corpus's levels
+  pre-warmed, mined API database, optional framework summary table)
+  and every worker *attaches* instead of rebuilding: under fork the
+  prepared objects are inherited as copy-on-write pages; elsewhere a
+  protocol-5 :class:`~repro.cache.shared.SharedSubstrate` segment is
+  published once and mapped by each worker — including the fresh
+  pools of later retry rounds;
+* **worker bootstrap** — each worker resolves the substrate through a
+  cheapest-first ladder (inherited parent substrate → in-process
+  build memo → shared segment → snapshot file → mine from the spec)
+  in its initializer; every app the worker analyzes afterwards hits
+  the worker-local framework class cache and database memo tables;
 * **chunked scheduling** — apps ship to workers in contiguous chunks
   to amortize pickling overhead while keeping the pool busy;
 * **failure isolation** — a crashing or timed-out app yields an
@@ -109,6 +118,9 @@ class ParallelConfig:
     #: Persistent cache directory (:mod:`repro.cache`); ``None``
     #: disables both the result cache and framework snapshots.
     cache_dir: str | None = None
+    #: Bound the CLVM at the framework boundary with whole-framework
+    #: pre-summaries (same findings as lazy; parity-tested).
+    summaries: bool = False
 
     def resolved_chunk_size(self, corpus_size: int) -> int:
         if self.chunk_size is not None:
@@ -125,6 +137,12 @@ class ParallelConfig:
 _WORKER_TOOLSET: ToolSet | None = None
 #: The run's fault plan, shipped once via the initializer.
 _WORKER_FAULTS: "FaultPlan | None" = None
+#: The substrate the parent prepared before forking the pool; workers
+#: inherit it as copy-on-write pages and skip every rebuild path.
+_PARENT_SUBSTRATE: "tuple[FrameworkRepository, object] | None" = None
+#: The shared segment this worker attached (kept open for the process
+#: lifetime: the decoded payload may reference the mapped pages).
+_WORKER_SEGMENT = None
 
 
 def _init_worker(
@@ -132,18 +150,48 @@ def _init_worker(
     include: tuple[str, ...],
     fault_plan: "FaultPlan | None" = None,
     snapshot_file: str | None = None,
+    shared_handle=None,
+    summaries: bool = False,
+    cache_dir: str | None = None,
 ) -> None:
-    global _WORKER_TOOLSET, _WORKER_FAULTS
+    global _WORKER_TOOLSET, _WORKER_FAULTS, _WORKER_SEGMENT
     # Substrate resolution order, cheapest first:
     #
-    # 1. the in-process build memo — under the fork start method every
-    #    worker (in *every* round's fresh pool) inherits the database
-    #    the parent prebuilt, so no round ever re-mines it;
-    # 2. the on-disk framework snapshot (spawn platforms, where fork
-    #    inheritance is unavailable);
-    # 3. mining from the spec (no cache at all).
+    # 1. the parent-prepared substrate — under the fork start method
+    #    every worker (in *every* round's fresh pool) inherits the
+    #    parent's pre-warmed repository and mined database as
+    #    copy-on-write pages: zero per-worker rebuild cost;
+    # 2. the in-process build memo (fork, parent built but did not
+    #    call prepare — e.g. a retry pool after close());
+    # 3. the shared-memory substrate segment (spawn platforms, one
+    #    deserialization instead of a re-mine + disk read per worker);
+    # 4. the on-disk framework snapshot;
+    # 5. mining from the spec (no cache at all).
     framework: FrameworkRepository | None = None
-    apidb = cached_database(spec)
+    apidb = None
+    if (
+        _PARENT_SUBSTRATE is not None
+        and _PARENT_SUBSTRATE[0].spec is spec
+    ):
+        framework, apidb = _PARENT_SUBSTRATE
+    if apidb is None:
+        apidb = cached_database(spec)
+    if apidb is None and shared_handle is not None:
+        from ..cache.shared import SharedSubstrate
+        from ..cache.snapshot import restore_substrate
+
+        segment = SharedSubstrate.attach(shared_handle)
+        if segment is not None:
+            restored = restore_substrate(
+                segment.payload(), key=shared_handle.key
+            )
+            if restored is not None:
+                framework, apidb = restored
+                # Keep the mapping for the process lifetime — the
+                # restored objects may reference the shared pages.
+                _WORKER_SEGMENT = segment
+            else:
+                segment.close()
     if apidb is None and snapshot_file is not None:
         from ..cache.snapshot import load_snapshot
 
@@ -160,7 +208,13 @@ def _init_worker(
     # but the accounting must cover only this worker's activity.
     apidb.reset_cache_counters()
     framework.cache_stats = FrameworkCacheStats()
-    _WORKER_TOOLSET = ToolSet.default(framework, apidb, include=include)
+    _WORKER_TOOLSET = ToolSet.default(
+        framework,
+        apidb,
+        include=include,
+        summaries=summaries,
+        summaries_dir=cache_dir,
+    )
     _WORKER_FAULTS = fault_plan
 
 
@@ -256,13 +310,29 @@ def _merge_cache_stats(snapshots: dict[int, dict]) -> dict:
             "permission_misses": 0,
         },
     }
+    per_worker_rates = []
     for snapshot in snapshots.values():
         for section in ("framework", "apidb"):
             for key in merged[section]:
                 merged[section][key] += snapshot[section].get(key, 0)
+        worker_fw = snapshot["framework"]
+        worker_total = (
+            worker_fw.get("class_hits", 0)
+            + worker_fw.get("class_misses", 0)
+        )
+        per_worker_rates.append(
+            worker_fw.get("class_hits", 0) / worker_total
+            if worker_total
+            else 0.0
+        )
     fw = merged["framework"]
     class_total = fw["class_hits"] + fw["class_misses"]
     fw["hit_rate"] = fw["class_hits"] / class_total if class_total else 0.0
+    # Each worker's own rate, not just the blended one: the blend can
+    # hide a single cold worker re-materializing the world.
+    fw["per_worker_hit_rates"] = sorted(
+        round(rate, 4) for rate in per_worker_rates
+    )
     db = merged["apidb"]
     hits = db["resolve_hits"] + db["levels_hits"] + db["permission_hits"]
     misses = (
@@ -278,6 +348,7 @@ def _run_round(
     config: ParallelConfig,
     worker_stats: dict[int, dict],
     snapshot_file: str | None = None,
+    shared_handle=None,
 ) -> list[tuple[_Entry, AppResult]]:
     """Dispatch one round's chunks over a fresh pool and drain every
     future — including the ones a dying worker broke."""
@@ -289,7 +360,15 @@ def _run_round(
         max_workers=config.jobs,
         mp_context=_pool_context(),
         initializer=_init_worker,
-        initargs=(spec, config.include, config.fault_plan, snapshot_file),
+        initargs=(
+            spec,
+            config.include,
+            config.fault_plan,
+            snapshot_file,
+            shared_handle,
+            config.summaries,
+            config.cache_dir,
+        ),
     ) as pool:
         futures = {
             pool.submit(_analyze_chunk, chunk, config.timeout_s): chunk
@@ -321,6 +400,7 @@ class PoolBackend(CorpusBackend):
         self._config = config
         self._worker_stats: dict[int, dict] = {}
         self._snapshot_file: str | None = None
+        self._segment = None
 
     @property
     def spec(self) -> FrameworkSpec:
@@ -330,14 +410,22 @@ class PoolBackend(CorpusBackend):
     def tool_names(self) -> tuple[str, ...]:
         return self._config.include
 
-    def prepare(self, cache_dir) -> None:
-        # Prebuild the substrate in the parent (from the snapshot when
-        # one exists) so that under fork every worker of every round —
-        # including retry rounds' fresh pools — inherits the built
-        # database instead of re-mining it; spawn platforms fall back
-        # to the snapshot file threaded into the initializer.
+    def config_options(self) -> dict:
+        return {"summaries": True} if self._config.summaries else {}
+
+    def prepare(self, cache_dir, pending=()) -> None:
+        # Prepare the substrate ONCE in the parent — repository with
+        # every pending framework level pre-warmed, mined database,
+        # and (when enabled) the framework summary table — so that
+        # under fork every worker of every round — including retry
+        # rounds' fresh pools — inherits the finished substrate as
+        # copy-on-write pages instead of rebuilding its own.  Non-fork
+        # start methods get the same substrate through a shared-memory
+        # segment published here and attached by each initializer,
+        # with the snapshot file as the final fallback.
         from ..cache.snapshot import load_or_build_substrate
 
+        global _PARENT_SUBSTRATE
         framework, apidb, _source = load_or_build_substrate(
             self._config.cache_dir, self._spec
         )
@@ -347,6 +435,42 @@ class PoolBackend(CorpusBackend):
 
             self._snapshot_file = str(
                 ensure_snapshot(self._config.cache_dir, framework, apidb)
+            )
+        levels: set[int] = set()
+        for _index, forged, _attempt in pending:
+            try:
+                levels.add(forged.apk.manifest.effective_max_sdk)
+            except Exception:  # noqa: BLE001 — hostile app: its own
+                continue  # analysis will record the failure, not prep
+        levels = sorted(levels)
+        for level in levels:
+            try:
+                framework.warm_level(level)
+            except ValueError:  # level outside the modeled range
+                continue
+        if self._config.summaries:
+            from ..analysis.fwsummaries import summary_table
+
+            table = summary_table(
+                framework, apidb, store_dir=self._config.cache_dir
+            )
+            for level in levels:
+                try:
+                    table.level_summaries(level)
+                except ValueError:  # pragma: no cover — range-checked
+                    continue
+        _PARENT_SUBSTRATE = (framework, apidb)
+        if (
+            _pool_context().get_start_method() != "fork"
+            or os.environ.get("REPRO_FORCE_SHARED_SUBSTRATE")
+        ):
+            from ..cache import fingerprint_spec
+            from ..cache.shared import SharedSubstrate
+            from ..cache.snapshot import substrate_payload
+
+            key = fingerprint_spec(self._spec)
+            self._segment = SharedSubstrate.publish(
+                substrate_payload(framework, apidb, key), key
             )
 
     def run_round(
@@ -365,10 +489,27 @@ class PoolBackend(CorpusBackend):
         return _run_round(
             chunks, self._spec, config, self._worker_stats,
             self._snapshot_file,
+            self._segment.handle if self._segment is not None else None,
         )
 
     def finish(self, cache_dir) -> dict:
         return _merge_cache_stats(self._worker_stats)
+
+    def close(self) -> None:
+        # Guaranteed teardown (run_corpus calls this from a finally,
+        # and SharedSubstrate has its own atexit guard on top): the
+        # published segment is unlinked exactly once, and the parent
+        # substrate reference is dropped so a later run with a
+        # different spec cannot see a stale one.
+        global _PARENT_SUBSTRATE
+        if self._segment is not None:
+            self._segment.close(unlink=True)
+            self._segment = None
+        if (
+            _PARENT_SUBSTRATE is not None
+            and _PARENT_SUBSTRATE[0].spec is self._spec
+        ):
+            _PARENT_SUBSTRATE = None
 
 
 def run_tools_parallel(

@@ -81,6 +81,11 @@ class ToolSet:
     framework: FrameworkRepository
     apidb: ApiDatabase
     tools: list
+    #: True when SAINTDroid runs with framework pre-summaries (the
+    #: summarized ablation).  Carried here so both schedulers key the
+    #: persistent result cache on the mode and so the parallel engine
+    #: rebuilds workers in the same mode.
+    summaries: bool = False
 
     @staticmethod
     def default(
@@ -88,17 +93,29 @@ class ToolSet:
         apidb: ApiDatabase | None = None,
         *,
         include: tuple[str, ...] = DEFAULT_TOOLS,
+        summaries: bool = False,
+        summaries_dir: str | None = None,
     ) -> "ToolSet":
         framework = framework or FrameworkRepository()
         apidb = apidb or build_api_database(framework)
         catalog: dict[str, Callable[[], object]] = {
-            "SAINTDroid": lambda: SaintDroid(framework, apidb),
+            "SAINTDroid": lambda: SaintDroid(
+                framework,
+                apidb,
+                framework_summaries=summaries,
+                summaries_dir=summaries_dir,
+            ),
             "CID": lambda: Cid(framework, apidb),
             "CIDER": lambda: Cider(framework, apidb),
             "Lint": lambda: Lint(framework, apidb),
         }
         tools = [catalog[name]() for name in include]
-        return ToolSet(framework=framework, apidb=apidb, tools=tools)
+        return ToolSet(
+            framework=framework,
+            apidb=apidb,
+            tools=tools,
+            summaries=summaries,
+        )
 
     @property
     def tool_names(self) -> tuple[str, ...]:
@@ -177,6 +194,26 @@ class AppResult:
             "reports": reports,
         }
 
+    def findings_fingerprint(self) -> dict:
+        """Findings-only content: mismatches, failure flags, and the
+        error record — no cost-model accounting.  Invariant across the
+        lazy/summarized ablation (which changes work/memory units but
+        must never change findings), so the parity test and CI job
+        compare this, not :meth:`fingerprint`."""
+        reports = {}
+        for tool in sorted(self.reports):
+            report = self.reports[tool]
+            metrics = report.metrics
+            reports[tool] = {
+                "mismatches": [m.describe() for m in report.mismatches],
+                "failed": bool(metrics and metrics.failed),
+            }
+        return {
+            "app": self.app,
+            "error": self.error.fingerprint() if self.error else None,
+            "reports": reports,
+        }
+
 
 @dataclass
 class RunResults:
@@ -237,6 +274,14 @@ class RunResults:
         """Deterministic run content; identical for serial and
         parallel runs over the same apps and tools."""
         return {"results": [r.fingerprint() for r in self.results]}
+
+    def findings_fingerprint(self) -> dict:
+        """Findings-only run content (see
+        :meth:`AppResult.findings_fingerprint`): identical across the
+        lazy/summarized ablation as well as across schedulers."""
+        return {
+            "results": [r.findings_fingerprint() for r in self.results]
+        }
 
     def accuracy(
         self,
@@ -489,6 +534,7 @@ def run_tools(
             retry_backoff_s=retry_backoff_s,
             fault_plan=fault_plan,
             cache_dir=str(cache_dir) if cache_dir is not None else None,
+            summaries=toolset.summaries,
         )
         return run_tools_parallel(
             apps,

@@ -68,6 +68,7 @@ def _sweep_point(
     probes_per_point: int,
     seed: int,
     cache_dir: str | None = None,
+    summaries: bool = False,
 ) -> SweepPoint:
     """One self-contained sweep measurement (module-level so parallel
     sweeps can ship it to pool workers)."""
@@ -84,7 +85,12 @@ def _sweep_point(
         framework = FrameworkRepository(spec)
         apidb = mine_spec(spec)
     picker = ApiPicker(apidb)
-    saintdroid = SaintDroid(framework, apidb)
+    saintdroid = SaintDroid(
+        framework,
+        apidb,
+        framework_summaries=summaries,
+        summaries_dir=cache_dir,
+    )
     cid = Cid(framework, apidb)
 
     saint_seconds = saint_memory = saint_loaded = 0.0
@@ -117,6 +123,7 @@ def sweep_framework_scale(
     seed: int = 11,
     jobs: int = 1,
     cache_dir: str | None = None,
+    summaries: bool = False,
 ) -> list[SweepPoint]:
     """Measure SAINTDroid vs CID across framework sizes.
 
@@ -124,6 +131,8 @@ def sweep_framework_scale(
     them concurrently (one point per worker); results keep the
     ``bulk_sizes`` order either way.  ``cache_dir`` snapshots each
     point's framework substrate so a repeated sweep re-mines nothing.
+    ``summaries`` runs SAINTDroid's probes with framework
+    pre-summaries (same findings, summarized explore phase).
     """
     if jobs > 1 and len(bulk_sizes) > 1:
         from concurrent.futures import ProcessPoolExecutor
@@ -138,9 +147,10 @@ def sweep_framework_scale(
                     (probes_per_point,) * len(bulk_sizes),
                     (seed,) * len(bulk_sizes),
                     (cache_dir,) * len(bulk_sizes),
+                    (summaries,) * len(bulk_sizes),
                 )
             )
     return [
-        _sweep_point(bulk, probes_per_point, seed, cache_dir)
+        _sweep_point(bulk, probes_per_point, seed, cache_dir, summaries)
         for bulk in bulk_sizes
     ]

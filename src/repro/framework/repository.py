@@ -116,6 +116,22 @@ class FrameworkRepository:
         warm hits with no parse."""
         self._class_cache.update(entries)
 
+    def warm_level(self, level: int) -> int:
+        """Pre-warm the class cache with the complete image at
+        ``level`` so every later lazy lookup is a hit; returns how many
+        classes were newly installed.  This is the parent-side prep for
+        pool runs: warm once here, and every forked worker (or shared-
+        segment attacher) starts with the whole level warm instead of
+        each re-materializing its own working set."""
+        self._check_level(level)
+        installed = 0
+        for name, clazz in self.load_image(level).items():
+            key = (level, name)
+            if key not in self._class_cache:
+                self._class_cache[key] = clazz
+                installed += 1
+        return installed
+
     def owns(self, name: ClassName) -> bool:
         """Whether ``name`` is in the framework namespace (regardless of
         whether any level defines it)."""

@@ -17,6 +17,7 @@ from .passes import (
     DetectApiPass,
     DetectPrmPass,
     EagerLoadPass,
+    FrameworkSummariesPass,
     GuardPropagationPass,
     IcfgExplorePass,
     ManifestIngestPass,
@@ -91,17 +92,30 @@ def saintdroid_pipeline(
     lazy_loading: bool = True,
     propagate_guards_into_anonymous: bool = False,
     analyze_secondary_dex: bool = True,
+    framework_summaries: bool = False,
+    summaries_dir: str | None = None,
 ) -> PipelineConfig:
     """SAINTDroid as a pass configuration.
 
-    The two ablation knobs of the evaluation are expressed
-    structurally: eager loading inserts ``eager-load`` (the only pass
-    charged to the ``load`` phase), and the anonymous-class blind spot
-    is a constructor argument of ``guard-propagation``.
+    The ablation knobs of the evaluation are expressed structurally:
+    eager loading inserts ``eager-load`` (the only pass charged to the
+    ``load`` phase), the anonymous-class blind spot is a constructor
+    argument of ``guard-propagation``, and ``framework_summaries``
+    inserts the whole-framework pre-analysis pass so the CLVM stops at
+    the framework boundary with a table lookup (same findings as lazy,
+    enforced by the parity test; ``summaries_dir`` persists the table
+    on disk).
     """
     passes: list[Pass] = [
         ManifestIngestPass(),
-        ClvmLoadPass(include_secondary_dex=analyze_secondary_dex),
+    ]
+    if framework_summaries:
+        passes.append(FrameworkSummariesPass(store_dir=summaries_dir))
+    passes += [
+        ClvmLoadPass(
+            include_secondary_dex=analyze_secondary_dex,
+            use_summaries=framework_summaries,
+        ),
         IcfgExplorePass(),
         GuardPropagationPass(
             into_anonymous=propagate_guards_into_anonymous

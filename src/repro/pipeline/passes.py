@@ -50,6 +50,7 @@ __all__ = [
     "register_pass",
     "registered_passes",
     "ManifestIngestPass",
+    "FrameworkSummariesPass",
     "ClvmLoadPass",
     "IcfgExplorePass",
     "EagerLoadPass",
@@ -146,18 +147,61 @@ class ManifestIngestPass(Pass):
 
 
 @register_pass
+class FrameworkSummariesPass(Pass):
+    """Whole-framework pre-summaries for the app's resolution level.
+
+    The table is a pure function of the framework spec, built once per
+    process (and shared with forked pool workers), so for every app
+    after the first this pass is a dictionary lookup.  The first
+    build is charged to the ``load`` phase — it is load work the
+    summarized CLVM will not repay per app.
+    """
+
+    name = "framework-summaries"
+    phase = "load"
+    error_phase = AnalysisPhase.ARM
+    requires = ("resolution_level",)
+    provides = ("fw_summaries",)
+
+    def __init__(self, *, store_dir: str | None = None) -> None:
+        self._store_dir = store_dir
+
+    def run(self, ctx: AnalysisContext) -> None:
+        from ..analysis.fwsummaries import summary_table
+
+        table = summary_table(
+            ctx.framework, ctx.apidb, store_dir=self._store_dir
+        )
+        # Force the level's summaries now so the build lands in this
+        # pass's ``load`` timing, not inside ``explore``.
+        table.level_summaries(ctx.get("resolution_level"))
+        ctx.provide("fw_summaries", table)
+
+
+@register_pass
 class ClvmLoadPass(Pass):
-    """Construct the lazy class-loader VM."""
+    """Construct the class-loader VM (lazy, or summary-bounded)."""
 
     name = "clvm-load"
     error_phase = AnalysisPhase.AUM
     requires = ("model", "resolution_level")
     provides = ("vm",)
 
-    def __init__(self, *, include_secondary_dex: bool = True) -> None:
+    def __init__(
+        self,
+        *,
+        include_secondary_dex: bool = True,
+        use_summaries: bool = False,
+    ) -> None:
         self._secondary = include_secondary_dex
+        self._use_summaries = use_summaries
+        if use_summaries:
+            self.requires = (*type(self).requires, "fw_summaries")
 
     def run(self, ctx: AnalysisContext) -> None:
+        summaries = (
+            ctx.get("fw_summaries") if self._use_summaries else None
+        )
         ctx.provide(
             "vm",
             ClassLoaderVM(
@@ -166,6 +210,7 @@ class ClvmLoadPass(Pass):
                 ctx.get("resolution_level"),
                 follow_framework=True,
                 include_secondary_dex=self._secondary,
+                summaries=summaries,
             ),
         )
 

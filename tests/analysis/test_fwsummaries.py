@@ -1,0 +1,202 @@
+"""Tests for whole-framework pre-summaries (the CLVM boundary table)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.fwsummaries import (
+    FrameworkSummaryTable,
+    cached_table,
+    summary_table,
+)
+from repro.core.apidb import ApiDatabase
+from repro.framework.repository import FrameworkRepository
+from repro.ir.types import MethodRef
+
+LEVEL = 25
+
+
+@pytest.fixture(scope="module")
+def table(framework, apidb) -> FrameworkSummaryTable:
+    return FrameworkSummaryTable(framework, apidb)
+
+
+class TestBuild:
+    def test_every_image_class_is_summarized(self, framework, table):
+        summaries = table.level_summaries(LEVEL)
+        assert set(summaries) == set(framework.class_names(LEVEL))
+        assert table.stats.levels_built == 1
+        assert table.stats.build_seconds > 0.0
+
+    def test_levels_are_memoized(self, table):
+        first = table.level_summaries(LEVEL)
+        again = table.level_summaries(LEVEL)
+        assert first is again
+        assert table.stats.levels_built == 1
+
+    def test_effects_are_well_formed(self, table):
+        kinds = {"loadclass", "new", "call", "dispatch"}
+        seen_kinds = set()
+        for summary in table.level_summaries(LEVEL).values():
+            for kind, target, container in summary.effects:
+                assert kind in kinds
+                assert isinstance(container, MethodRef)
+                seen_kinds.add(kind)
+        # The generated framework always contains plain calls and
+        # virtual dispatch sites (enforcement + callback dispatchers).
+        assert "call" in seen_kinds
+        assert "dispatch" in seen_kinds
+
+    def test_class_summary_counts_match_the_image(
+        self, framework, table
+    ):
+        image = framework.load_image(LEVEL)
+        for name, clazz in image.items():
+            summary = table.level_summaries(LEVEL)[name]
+            assert summary.instruction_count == clazz.instruction_count
+            assert summary.method_count == len(clazz.methods)
+
+    def test_lookup_stats_count_class_queries(self, framework, table):
+        before = table.stats.lookups
+        name = framework.class_names(LEVEL)[0]
+        assert table.class_summary(name, LEVEL) is not None
+        assert table.class_summary("android.not.AClass", LEVEL) is None
+        assert table.stats.lookups == before + 2
+
+
+class TestMethodSummaries:
+    def test_interval_covers_the_method_itself(self, apidb, table):
+        """The reachable-interval hull must contain every summarized
+        method's own lifetime (it is depth-0 of its region)."""
+        checked = 0
+        for summary in table.level_summaries(LEVEL).values():
+            for method in summary.methods.values():
+                entry = apidb.resolve(
+                    method.ref.class_name,
+                    method.ref.name + method.ref.descriptor,
+                )
+                if entry is None:
+                    continue
+                lo, hi = entry.lifetime
+                assert method.interval[0] <= lo
+                assert method.interval[1] >= hi
+                checked += 1
+        assert checked > 0
+
+    def test_permissions_cover_direct_enforcement(self, apidb, table):
+        """Any permission the database attributes directly to a method
+        must appear in its summary (the region includes depth 0)."""
+        with_permissions = 0
+        for summary in table.level_summaries(LEVEL).values():
+            for method in summary.methods.values():
+                direct = apidb.permissions_for(method.ref, deep=False)
+                assert set(direct) <= set(method.permissions)
+                if method.permissions:
+                    with_permissions += 1
+        # The generated framework plants permission enforcement, so
+        # the table must have found some.
+        assert with_permissions > 0
+
+    def test_method_summary_lookup(self, framework, table):
+        summaries = table.level_summaries(LEVEL)
+        for name, summary in summaries.items():
+            for signature, method in summary.methods.items():
+                assert table.method_summary(method.ref, LEVEL) is method
+                break
+            else:
+                continue
+            break
+        assert (
+            table.method_summary(
+                MethodRef("android.not.AClass", "nope", "()void"), LEVEL
+            )
+            is None
+        )
+
+
+class TestPersistence:
+    def test_store_and_load_roundtrip(self, framework, apidb, tmp_path):
+        writer = FrameworkSummaryTable(
+            framework, apidb, store_dir=tmp_path
+        )
+        built = writer.level_summaries(LEVEL)
+        assert writer.stats.levels_built == 1
+        stored = list((tmp_path / "summaries").glob("*.summ"))
+        assert len(stored) == 1
+
+        reader = FrameworkSummaryTable(
+            framework, apidb, store_dir=tmp_path
+        )
+        loaded = reader.level_summaries(LEVEL)
+        assert reader.stats.levels_built == 0
+        assert reader.stats.levels_loaded == 1
+        assert set(loaded) == set(built)
+        probe = next(iter(built))
+        assert loaded[probe].effects == built[probe].effects
+        assert loaded[probe].methods == built[probe].methods
+
+    def test_corrupt_store_is_a_miss_not_an_error(
+        self, framework, apidb, tmp_path
+    ):
+        writer = FrameworkSummaryTable(
+            framework, apidb, store_dir=tmp_path
+        )
+        writer.level_summaries(LEVEL)
+        stored = next((tmp_path / "summaries").glob("*.summ"))
+        blob = bytearray(stored.read_bytes())
+        blob[40] ^= 0xFF
+        stored.write_bytes(bytes(blob))
+
+        reader = FrameworkSummaryTable(
+            framework, apidb, store_dir=tmp_path
+        )
+        table = reader.level_summaries(LEVEL)
+        assert reader.stats.levels_loaded == 0
+        assert reader.stats.levels_built == 1
+        assert table
+
+    def test_truncated_store_is_a_miss(self, framework, apidb, tmp_path):
+        writer = FrameworkSummaryTable(
+            framework, apidb, store_dir=tmp_path
+        )
+        writer.level_summaries(LEVEL)
+        stored = next((tmp_path / "summaries").glob("*.summ"))
+        stored.write_bytes(stored.read_bytes()[:16])
+        reader = FrameworkSummaryTable(
+            framework, apidb, store_dir=tmp_path
+        )
+        assert reader.level_summaries(LEVEL)
+        assert reader.stats.levels_built == 1
+
+    def test_depth_keys_the_store(self, framework, apidb, tmp_path):
+        """A table with a different depth budget must not serve
+        another budget's file."""
+        FrameworkSummaryTable(
+            framework, apidb, store_dir=tmp_path
+        ).level_summaries(LEVEL)
+        other = FrameworkSummaryTable(
+            framework, apidb, max_depth=1, store_dir=tmp_path
+        )
+        other.level_summaries(LEVEL)
+        assert other.stats.levels_built == 1
+        assert other.stats.levels_loaded == 0
+
+
+class TestRegistry:
+    def test_summary_table_is_shared_per_spec(self, framework, apidb):
+        first = summary_table(framework, apidb)
+        again = summary_table(framework, apidb)
+        assert first is again
+        assert cached_table(framework.spec) is first
+
+    def test_distinct_spec_distinct_table(self, apidb):
+        other = FrameworkRepository()
+        table = summary_table(other, apidb)
+        assert cached_table(other.spec) is table
+
+    def test_store_dir_late_binding(self, framework, apidb, tmp_path):
+        table = summary_table(framework, apidb)
+        assert isinstance(apidb, ApiDatabase)
+        if table.store_dir is None:
+            summary_table(framework, apidb, store_dir=tmp_path)
+            assert table.store_dir == tmp_path

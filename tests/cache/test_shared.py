@@ -1,0 +1,142 @@
+"""Tests for shared substrate segments (publish/attach/cleanup)."""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.cache import (
+    SharedSubstrate,
+    SharedSubstrateHandle,
+    fingerprint_spec,
+    restore_substrate,
+    substrate_payload,
+)
+
+PAYLOAD = {"version": 3, "key": "k1", "numbers": list(range(64))}
+
+
+class TestRoundtrip:
+    @pytest.mark.parametrize("prefer_shm", [True, False])
+    def test_publish_attach_payload(self, prefer_shm):
+        with SharedSubstrate.publish(
+            PAYLOAD, "k1", prefer_shm=prefer_shm
+        ) as segment:
+            attached = SharedSubstrate.attach(segment.handle)
+            assert attached is not None
+            assert attached.payload() == PAYLOAD
+            attached.close()
+
+    def test_handle_is_picklable(self):
+        import pickle
+
+        with SharedSubstrate.publish(PAYLOAD, "k1") as segment:
+            clone = pickle.loads(pickle.dumps(segment.handle))
+            assert clone == segment.handle
+            attached = SharedSubstrate.attach(clone)
+            assert attached is not None
+            assert attached.payload() == PAYLOAD
+            attached.close()
+
+    def test_full_substrate_roundtrip(self, framework, apidb):
+        key = fingerprint_spec(framework.spec)
+        payload = substrate_payload(framework, apidb, key)
+        with SharedSubstrate.publish(payload, key) as segment:
+            attached = SharedSubstrate.attach(segment.handle)
+            restored = restore_substrate(attached.payload(), key=key)
+            assert restored is not None
+            restored_framework, restored_db = restored
+            assert (
+                fingerprint_spec(restored_framework.spec) == key
+            )
+            assert restored_db.resolve is not None
+            attached.close()
+
+
+class TestGuards:
+    def test_key_mismatch_is_a_miss(self):
+        with SharedSubstrate.publish(PAYLOAD, "k1") as segment:
+            wrong = SharedSubstrateHandle(
+                kind=segment.handle.kind,
+                name=segment.handle.name,
+                key="other-key",
+            )
+            attached = SharedSubstrate.attach(wrong)
+            assert attached is not None
+            assert attached.payload() is None
+            attached.close()
+
+    def test_missing_segment_is_a_miss(self):
+        gone = SharedSubstrateHandle(
+            kind="shm", name="repro_no_such_segment", key="k1"
+        )
+        assert SharedSubstrate.attach(gone) is None
+        gone_file = SharedSubstrateHandle(
+            kind="file", name="/nonexistent/substrate.seg", key="k1"
+        )
+        assert SharedSubstrate.attach(gone_file) is None
+
+    def test_corrupt_file_segment_is_a_miss(self, tmp_path):
+        segment = SharedSubstrate.publish(
+            PAYLOAD, "k1", prefer_shm=False
+        )
+        try:
+            blob = bytearray(open(segment.handle.name, "rb").read())
+            blob[4] ^= 0xFF
+            with open(segment.handle.name, "wb") as fh:
+                fh.write(bytes(blob))
+            attached = SharedSubstrate.attach(segment.handle)
+            assert attached is not None
+            assert attached.payload() is None
+            attached.close()
+        finally:
+            segment.close(unlink=True)
+
+
+class TestLifecycle:
+    def test_attach_after_unlink_is_a_miss(self):
+        segment = SharedSubstrate.publish(PAYLOAD, "k1")
+        handle = segment.handle
+        segment.close(unlink=True)
+        assert SharedSubstrate.attach(handle) is None
+
+    def test_close_is_idempotent(self):
+        segment = SharedSubstrate.publish(PAYLOAD, "k1")
+        segment.close(unlink=True)
+        segment.close(unlink=True)
+        segment.close()
+        assert segment.closed
+        assert segment.payload() is None
+
+    def test_context_manager_unlinks_for_the_owner(self):
+        with SharedSubstrate.publish(PAYLOAD, "k1") as segment:
+            handle = segment.handle
+        assert segment.closed
+        assert SharedSubstrate.attach(handle) is None
+
+    def test_exception_path_still_unlinks(self):
+        handle = None
+        with pytest.raises(RuntimeError):
+            with SharedSubstrate.publish(PAYLOAD, "k1") as segment:
+                handle = segment.handle
+                raise RuntimeError("mid-run failure")
+        assert SharedSubstrate.attach(handle) is None
+
+    def test_attacher_close_does_not_unlink(self):
+        with SharedSubstrate.publish(PAYLOAD, "k1") as segment:
+            first = SharedSubstrate.attach(segment.handle)
+            first.close()
+            second = SharedSubstrate.attach(segment.handle)
+            assert second is not None
+            assert second.payload() == PAYLOAD
+            second.close()
+
+    def test_file_segment_unlinked_on_close(self):
+        segment = SharedSubstrate.publish(
+            PAYLOAD, "k1", prefer_shm=False
+        )
+        path = segment.handle.name
+        assert os.path.exists(path)
+        segment.close(unlink=True)
+        assert not os.path.exists(path)
