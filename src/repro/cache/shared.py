@@ -37,8 +37,11 @@ import atexit
 import mmap
 import os
 import pickle
+import signal
 import struct
 import tempfile
+import threading
+import weakref
 from dataclasses import dataclass
 
 __all__ = ["SharedSubstrateHandle", "SharedSubstrate"]
@@ -50,6 +53,60 @@ try:  # pragma: no cover — present on every supported platform
     from multiprocessing import shared_memory as _shm
 except ImportError:  # pragma: no cover
     _shm = None
+
+
+# -- signal-driven cleanup --------------------------------------------------
+#
+# atexit covers normal interpreter exit and KeyboardInterrupt, but a
+# plain SIGTERM (the way schedulers and `kill` stop a run) terminates
+# the process WITHOUT unwinding Python at all — no finally blocks, no
+# atexit, and therefore a leaked /dev/shm segment.  The first owned
+# segment installs a SIGTERM guard (only when nobody else claimed the
+# signal) that unlinks every live owned segment and then re-raises the
+# default SIGTERM so exit semantics stay unchanged.
+
+_OWNED_SEGMENTS: "weakref.WeakSet[SharedSubstrate]" = weakref.WeakSet()
+_SIGTERM_GUARD_INSTALLED = False
+
+
+def _close_owned_segments() -> None:
+    """Unlink every live segment *this process* owns.  Fork children
+    inherit the registry but must never unlink the parent's segments —
+    the owner pid check is what keeps a SIGTERM'd worker from taking
+    the substrate away from its siblings."""
+    for segment in list(_OWNED_SEGMENTS):
+        if segment._owner_pid != os.getpid():
+            continue
+        try:
+            segment.close(unlink=True)
+        except Exception:  # noqa: BLE001 — best-effort from a handler
+            pass
+
+
+def _sigterm_guard(signum, frame):  # pragma: no cover — signal path
+    _close_owned_segments()
+    signal.signal(signal.SIGTERM, signal.SIG_DFL)
+    os.kill(os.getpid(), signal.SIGTERM)
+
+
+def _install_sigterm_guard() -> None:
+    global _SIGTERM_GUARD_INSTALLED
+    if _SIGTERM_GUARD_INSTALLED:
+        return
+    if threading.current_thread() is not threading.main_thread():
+        # signal.signal is main-thread-only; a daemon publishing from
+        # a worker thread installs its own drain handler instead.
+        return
+    try:
+        existing = signal.getsignal(signal.SIGTERM)
+        if existing not in (signal.SIG_DFL, None):
+            # Someone (the serve daemon, a test harness) already owns
+            # shutdown; their handler is responsible for cleanup.
+            return
+        signal.signal(signal.SIGTERM, _sigterm_guard)
+        _SIGTERM_GUARD_INSTALLED = True
+    except (ValueError, OSError):  # pragma: no cover — exotic hosts
+        pass
 
 
 @dataclass(frozen=True)
@@ -134,12 +191,15 @@ class SharedSubstrate:
     ) -> None:
         self.handle = handle
         self._owner = owner
+        self._owner_pid = os.getpid() if owner else -1
         self._segment = segment
         self._mapping = mapping
         self._fileobj = fileobj
         self._closed = False
         if owner:
             atexit.register(self._atexit_close)
+            _OWNED_SEGMENTS.add(self)
+            _install_sigterm_guard()
 
     # -- publishing ----------------------------------------------------
 
@@ -253,7 +313,12 @@ class SharedSubstrate:
     def _atexit_close(self) -> None:
         # SIGINT raises KeyboardInterrupt, which still unwinds through
         # interpreter exit — this guard is what keeps an interrupted
-        # corpus run from leaking /dev/shm segments.
+        # corpus run from leaking /dev/shm segments.  (SIGTERM never
+        # reaches atexit; that path is the module-level signal guard.)
+        if self._owner_pid != os.getpid():
+            # A fork child inherited the registration; the segment
+            # belongs to the parent.
+            return
         self.close(unlink=True)
 
     def __enter__(self) -> "SharedSubstrate":

@@ -21,6 +21,10 @@ that lose apps end with a per-kind failure breakdown.  All corpus
 commands (and ``sweep``) accept ``--cache-dir DIR`` (default:
 ``$REPRO_CACHE_DIR``) to persist framework snapshots and per-app
 results across runs, and ``--no-cache`` to force cold analysis.
+``serve``      run the resident analysis daemon: substrate loaded
+               once, jobs over HTTP, write-ahead journal, supervised
+               worker pool, graceful SIGTERM drain
+``submit``     send ``.sapk`` packages to a running daemon and wait
 ``verify``     dynamically verify static findings (paper §VI)
 ``repair``     synthesize a repaired package (paper §VIII)
 ``update-impact``  what breaks when the device framework is updated
@@ -331,6 +335,87 @@ def build_parser() -> argparse.ArgumentParser:
     repair.add_argument(
         "--check", action="store_true",
         help="re-analyze the repaired package and report residuals",
+    )
+
+    serve = sub.add_parser(
+        "serve",
+        help="run the resident analysis daemon (HTTP job API; "
+             "substrate loaded once, crash-safe journal, supervised "
+             "worker pool, SIGTERM-graceful drain)",
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument(
+        "--port", type=int, default=8321,
+        help="listen port (0 picks a free one; the bound address is "
+             "printed on the readiness line)",
+    )
+    serve.add_argument(
+        "--workers", type=int, default=2,
+        help="supervised worker processes",
+    )
+    serve.add_argument(
+        "--tools", nargs="+", choices=_TOOL_NAMES,
+        default=["SAINTDroid"], metavar="TOOL",
+        help="tool names each worker runs (default: SAINTDroid)",
+    )
+    serve.add_argument(
+        "--queue-limit", type=int, default=64,
+        help="admission-queue capacity; full ⇒ HTTP 429 + Retry-After",
+    )
+    serve.add_argument(
+        "--max-apk-kb", type=int, default=None, metavar="KB",
+        help="load-shed serialized packages above this size (413)",
+    )
+    serve.add_argument(
+        "--timeout", type=float, default=20.0, metavar="S",
+        help="per-app wall-clock budget inside workers",
+    )
+    serve.add_argument(
+        "--max-retries", type=int, default=2, metavar="N",
+        help="retry budget before a failing job is quarantined",
+    )
+    serve.add_argument(
+        "--retry-backoff", type=float, default=0.05, metavar="S",
+        help="full-jitter backoff base between retries",
+    )
+    serve.add_argument(
+        "--journal", type=Path, default=None, metavar="PATH",
+        help="write-ahead job journal; a killed daemon restarted on "
+             "the same path replays acknowledged unfinished jobs",
+    )
+    serve.add_argument(
+        "--cache-dir", type=Path, default=None, metavar="DIR",
+        help="persistent cache (framework snapshot + cross-restart "
+             "result dedup); defaults to $REPRO_CACHE_DIR when set",
+    )
+    serve.add_argument(
+        "--no-cache", action="store_true",
+        help="disable the persistent cache even when "
+             "$REPRO_CACHE_DIR is set",
+    )
+    serve.add_argument(
+        "--summaries", action=argparse.BooleanOptionalAction,
+        default=False,
+        help="run workers with whole-framework pre-summaries",
+    )
+
+    submit = sub.add_parser(
+        "submit",
+        help="submit .sapk packages to a running serve daemon and "
+             "wait for the results",
+    )
+    submit.add_argument("apks", type=Path, nargs="+")
+    submit.add_argument(
+        "--url", default="http://127.0.0.1:8321",
+        help="daemon endpoint",
+    )
+    submit.add_argument(
+        "--wait", type=float, default=120.0, metavar="S",
+        help="per-job wait budget (0 = submit without waiting)",
+    )
+    submit.add_argument(
+        "--json", action="store_true",
+        help="emit the terminal job documents as JSON lines",
     )
 
     impact = sub.add_parser(
@@ -757,6 +842,105 @@ def _cmd_repair(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from .framework import default_spec
+    from .serve import (
+        AnalysisService,
+        ServeConfig,
+        install_signal_handlers,
+        start_server,
+    )
+
+    cache_dir = _cache_dir(args)
+    config = ServeConfig(
+        workers=args.workers,
+        include=tuple(args.tools),
+        summaries=args.summaries,
+        cache_dir=str(cache_dir) if cache_dir is not None else None,
+        journal=str(args.journal) if args.journal is not None else None,
+        queue_limit=args.queue_limit,
+        max_apk_bytes=(
+            args.max_apk_kb * 1024 if args.max_apk_kb is not None else None
+        ),
+        timeout_s=args.timeout,
+        max_retries=args.max_retries,
+        retry_backoff_s=args.retry_backoff,
+    )
+    service = AnalysisService(config, default_spec()).start()
+    server = start_server(service, args.host, args.port)
+    install_signal_handlers(service, server)
+    host, port = server.server_address
+    recovery = service.health()["recovery"]
+    if recovery.get("terminal") or recovery.get("pending"):
+        print(
+            f"journal replay: {recovery.get('terminal', 0)} terminal "
+            f"adopted, {recovery.get('pending', 0)} jobs re-enqueued, "
+            f"{recovery.get('corrupt', 0)} torn record(s) skipped",
+            flush=True,
+        )
+    # The readiness line scripts wait for before submitting.
+    print(f"serving on http://{host}:{port}", flush=True)
+    service.drained.wait()
+    server.shutdown()
+    print("drained; bye", flush=True)
+    return 0
+
+
+def _cmd_submit(args: argparse.Namespace) -> int:
+    from .serve import ServeClient, ServeClientError
+
+    client = ServeClient(args.url)
+    failures = 0
+    for path in args.apks:
+        apk = load_apk(path)
+        try:
+            doc = client.submit_retry(apk)
+        except ServeClientError as exc:
+            print(f"{path}: rejected — {exc}", file=sys.stderr)
+            failures += 1
+            continue
+        if args.wait > 0 and doc["state"] not in (
+            "completed", "quarantined",
+        ):
+            try:
+                doc = client.wait(doc["id"], timeout_s=args.wait)
+            except TimeoutError as exc:
+                print(f"{path}: {exc}", file=sys.stderr)
+                failures += 1
+                continue
+        if args.json:
+            print(json.dumps(doc))
+        else:
+            dedup = " (dedup)" if doc.get("dedup") else ""
+            if doc["state"] == "completed":
+                result = ServeClient.result_of(doc)
+                findings = (
+                    sum(
+                        len(r.mismatches)
+                        for r in result.reports.values()
+                    )
+                    if result is not None
+                    else "?"
+                )
+                print(
+                    f"{doc['app']}: completed{dedup}, "
+                    f"{findings} finding(s) "
+                    f"[{doc['id']}]"
+                )
+            elif doc["state"] == "quarantined":
+                error = doc.get("error") or {}
+                print(
+                    f"{doc['app']}: QUARANTINED after "
+                    f"{doc.get('attempts', '?')} attempt(s) — "
+                    f"{error.get('kind', '?')}: "
+                    f"{error.get('message', '')} [{doc['id']}]"
+                )
+                failures += 1
+            else:
+                print(f"{doc['app']}: {doc['state']} [{doc['id']}]")
+    return 1 if failures else 0
+
+
 def _cmd_update_impact(args: argparse.Namespace) -> int:
     from .core import update_impact
     from .core.aum import ApiUsageModeler
@@ -783,6 +967,8 @@ _COMMANDS = {
     "apidb": _cmd_apidb,
     "verify": _cmd_verify,
     "repair": _cmd_repair,
+    "serve": _cmd_serve,
+    "submit": _cmd_submit,
     "update-impact": _cmd_update_impact,
 }
 

@@ -16,7 +16,13 @@ from .runner import (
     analyze_app,
     run_tools,
 )
-from .orchestration import CorpusBackend, SerialBackend, run_corpus
+from .orchestration import (
+    CorpusBackend,
+    JobSource,
+    SerialBackend,
+    run_corpus,
+    run_stream,
+)
 from .parallel import ParallelConfig, PoolBackend, run_tools_parallel
 from .checkpoint import CheckpointError, CheckpointJournal
 from .faults import (
@@ -65,9 +71,11 @@ __all__ = [
     "CheckpointJournal",
     "ConfusionCounts",
     "CorpusBackend",
+    "JobSource",
     "PoolBackend",
     "SerialBackend",
     "run_corpus",
+    "run_stream",
     "CorruptApkError",
     "FaultKind",
     "FaultPlan",

@@ -40,6 +40,8 @@ from ..core.errors import WorkerLostError
 
 __all__ = [
     "FaultKind",
+    "ANALYSIS_FAULT_KINDS",
+    "STREAM_FAULT_KINDS",
     "InjectedFault",
     "FaultPlan",
     "CorruptApkError",
@@ -62,6 +64,34 @@ class FaultKind(enum.Enum):
     HANG = "hang"
     CORRUPT = "corrupt"
     WORKER_DEATH = "worker-death"
+    # Daemon-relevant kinds (serve mode).  These fire in the *job
+    # stream* — the queue/journal/drain machinery — not inside an
+    # app's analysis, so the analysis-path trigger() treats them as
+    # no-ops and ``expected_quarantine`` never counts them (a healthy
+    # daemon absorbs them without losing the job).
+    SLOW_CONSUMER = "slow-consumer"
+    PARTIAL_WRITE = "partial-write"
+    DRAIN_SIGTERM = "drain-sigterm"
+
+
+#: Kinds that fire inside an app's analysis (worker side).
+ANALYSIS_FAULT_KINDS = (
+    FaultKind.CRASH,
+    FaultKind.HANG,
+    FaultKind.CORRUPT,
+    FaultKind.WORKER_DEATH,
+)
+
+#: Kinds that fire in the daemon's job stream instead: the dispatcher
+#: stalls before consuming the job (``slow-consumer``), or the job's
+#: write-ahead journal record is torn mid-write (``partial-write``).
+#: ``drain-sigterm`` is a whole-run fault: a second SIGTERM arrives
+#: while the daemon is already draining.
+STREAM_FAULT_KINDS = (
+    FaultKind.SLOW_CONSUMER,
+    FaultKind.PARTIAL_WRITE,
+    FaultKind.DRAIN_SIGTERM,
+)
 
 
 @dataclass(frozen=True)
@@ -88,6 +118,10 @@ class InjectedFault:
         """Inject the fault for this attempt (no-op once transient
         faults are spent)."""
         if not self.fires(attempt):
+            return
+        if self.kind in STREAM_FAULT_KINDS:
+            # Stream faults are injected by the daemon's queue and
+            # journal, never by the analysis path.
             return
         if self.kind is FaultKind.CRASH:
             raise InjectedCrashError(
@@ -132,12 +166,35 @@ class FaultPlan:
         plus retryable faults still firing on the final attempt."""
         out = set()
         for index, fault in self.faults.items():
+            if fault.kind in STREAM_FAULT_KINDS:
+                # Stream faults degrade the daemon, never the job: a
+                # healthy serve loop still completes the app.
+                continue
             if fault.kind in (FaultKind.CRASH, FaultKind.CORRUPT):
                 if fault.fires(0):
                     out.add(index)
             elif fault.fires(max_retries):
                 out.add(index)
         return frozenset(out)
+
+    def stream_fault_for(self, index: int) -> InjectedFault | None:
+        """The stream-layer fault planned for this job sequence number
+        (``None`` for analysis-path faults — those ship to workers)."""
+        fault = self.faults.get(index)
+        if fault is not None and fault.kind in STREAM_FAULT_KINDS:
+            return fault
+        return None
+
+    def analysis_fault_for(self, index: int) -> InjectedFault | None:
+        """The analysis-path fault planned for this job sequence
+        number (``None`` for stream-layer faults)."""
+        fault = self.faults.get(index)
+        if fault is not None and fault.kind in ANALYSIS_FAULT_KINDS:
+            return fault
+        return None
+
+    def has_kind(self, kind: FaultKind) -> bool:
+        return any(fault.kind is kind for fault in self.faults.values())
 
     @staticmethod
     def generate(
@@ -182,4 +239,49 @@ class FaultPlan:
                     hang_s=hang_s,
                 )
             faults[index] = fault
+        return FaultPlan(faults=faults, seed=seed)
+
+    @staticmethod
+    def generate_serve(
+        corpus_size: int,
+        *,
+        fraction: float = 0.2,
+        seed: int = 0,
+        hang_s: float = 30.0,
+        drain_sigterm: bool = False,
+    ) -> "FaultPlan":
+        """Plan a daemon chaos run: the classic analysis faults mixed
+        with stream-layer ones.
+
+        Stream faults (slow consumer stalls, torn journal writes) are
+        always transient single-shot degradations — the job itself
+        must still end terminal.  ``drain_sigterm=True`` additionally
+        plants one whole-run fault: a second SIGTERM mid-drain, which
+        the drain path must absorb idempotently.
+        """
+        rng = random.Random(seed)
+        kinds = ANALYSIS_FAULT_KINDS + (
+            FaultKind.SLOW_CONSUMER,
+            FaultKind.PARTIAL_WRITE,
+        )
+        count = min(corpus_size, round(corpus_size * fraction))
+        chosen = sorted(rng.sample(range(corpus_size), count))
+        faults: dict[int, InjectedFault] = {}
+        for index in chosen:
+            kind = rng.choice(kinds)
+            if kind in (FaultKind.CRASH, FaultKind.CORRUPT):
+                faults[index] = InjectedFault(kind, fail_attempts=None)
+            elif kind in (FaultKind.SLOW_CONSUMER, FaultKind.PARTIAL_WRITE):
+                faults[index] = InjectedFault(
+                    kind, fail_attempts=1, hang_s=min(hang_s, 0.2)
+                )
+            else:
+                faults[index] = InjectedFault(
+                    kind, fail_attempts=1, hang_s=hang_s
+                )
+        if drain_sigterm:
+            # Keyed past the corpus: a whole-run fault, not a job's.
+            faults[corpus_size] = InjectedFault(
+                FaultKind.DRAIN_SIGTERM, fail_attempts=None
+            )
         return FaultPlan(faults=faults, seed=seed)

@@ -23,6 +23,8 @@ nothing until something actually breaks.
 
 from __future__ import annotations
 
+import heapq
+import random
 import time
 from pathlib import Path
 from typing import Callable, Iterable
@@ -32,14 +34,16 @@ from .runner import (
     AppResult,
     RunResults,
     ToolSet,
-    _bounded_backoff,
+    _full_jitter_backoff,
     analyze_app,
 )
 
 __all__ = [
     "CorpusBackend",
     "SerialBackend",
+    "JobSource",
     "run_corpus",
+    "run_stream",
     "apk_fingerprint",
 ]
 
@@ -268,7 +272,9 @@ def run_corpus(
         round_no = 0
         while pending:
             if round_no > 0 and retry_backoff_s > 0.0:
-                time.sleep(_bounded_backoff(retry_backoff_s, round_no))
+                # Full jitter: a deterministic backoff would wake every
+                # retried app at once and re-stampede the pool.
+                time.sleep(_full_jitter_backoff(retry_backoff_s, round_no))
             next_pending: list[Entry] = []
             for entry, result in backend.run_round(pending, round_no):
                 index, forged, attempt = entry
@@ -301,3 +307,136 @@ def run_corpus(
     out.resumed_indices = tuple(sorted(restored))
     out.cached_indices = tuple(sorted(cached))
     return out
+
+
+# ---------------------------------------------------------------------------
+# streaming job source (the daemon's entry into this engine)
+# ---------------------------------------------------------------------------
+
+class JobSource:
+    """Where a *streaming* run's work comes from.
+
+    The fixed-corpus engine (:func:`run_corpus`) knows its whole work
+    list up front; a resident daemon does not — jobs arrive over the
+    wire for as long as the service lives.  A :class:`JobSource` is
+    the streaming counterpart of the corpus list: :func:`run_stream`
+    pulls entries from it as capacity frees up and pushes every
+    *terminal* result back through :meth:`deliver`.
+
+    Entries use the same ``(index, forged, attempt)`` shape as the
+    corpus engine, with ``index`` a monotonically increasing job
+    sequence number (it keys fault plans and journals exactly like a
+    corpus index does).
+    """
+
+    def take(
+        self, limit: int, timeout_s: float
+    ) -> "list[Entry] | None":
+        """Up to ``limit`` fresh entries; ``[]`` when nothing arrived
+        within ``timeout_s``; ``None`` when the source is closed *and*
+        fully drained (the stream's end)."""
+        raise NotImplementedError
+
+    def deliver(self, entry: Entry, result: AppResult) -> None:
+        """Accept one finalized (terminal) result: the job completed
+        cleanly or was quarantined.  Retryable failures never reach
+        this — they re-enter the stream's retry window instead."""
+        raise NotImplementedError
+
+
+def run_stream(
+    source: JobSource,
+    backend: CorpusBackend,
+    *,
+    max_retries: int = 0,
+    retry_backoff_s: float = 0.0,
+    batch_limit: int = 8,
+    poll_s: float = 0.05,
+    cache_dir: str | Path | None = None,
+    rng: random.Random | None = None,
+) -> dict:
+    """Drain a streaming job source through a scheduler backend.
+
+    The streaming analogue of :func:`run_corpus`, sharing its
+    retry/quarantine policy but not its batch assumptions:
+
+    * work is pulled in *micro-batches* of at most ``batch_limit``
+      entries, so admission latency stays bounded by one batch rather
+      than one corpus;
+    * retryable failures re-enter a time-ordered retry window with
+      **full-jitter** backoff (per entry, not per round — a stream has
+      no global rounds to synchronize on) until ``max_retries`` is
+      spent, at which point the entry is delivered quarantined;
+    * the loop ends when the source reports closed-and-drained *and*
+      the retry window is empty — every taken entry is guaranteed a
+      terminal :meth:`JobSource.deliver` call.
+
+    Returns counters: ``analyzed``, ``retried``, ``quarantined``,
+    ``rounds``.  Crash-safety (journaling, replay) is the *source's*
+    job — this engine only guarantees exactly-one-terminal-delivery
+    per entry it took.
+    """
+    stats = {"analyzed": 0, "retried": 0, "quarantined": 0, "rounds": 0}
+    #: (ready_at, seq, entry) — a heap so the soonest retry leads.
+    retries: list[tuple[float, int, Entry]] = []
+    prepared = False
+    closed = False
+
+    while True:
+        now = time.monotonic()
+        batch: list[Entry] = []
+        while (
+            retries
+            and retries[0][0] <= now
+            and len(batch) < batch_limit
+        ):
+            batch.append(heapq.heappop(retries)[2])
+        if not closed and len(batch) < batch_limit:
+            # Block briefly only when there is nothing else to do.
+            timeout = poll_s if not batch else 0.0
+            fresh = source.take(batch_limit - len(batch), timeout)
+            if fresh is None:
+                closed = True
+            else:
+                batch.extend(fresh)
+        if not batch:
+            if closed and not retries:
+                break
+            if retries:
+                # Sleep toward the next retry's ready time (bounded
+                # by the poll interval so a close stays responsive).
+                time.sleep(
+                    min(poll_s, max(0.0, retries[0][0] - time.monotonic()))
+                )
+            continue
+
+        if not prepared:
+            backend.prepare(cache_dir, batch)
+            prepared = True
+        for entry, result in backend.run_round(batch, stats["rounds"]):
+            index, forged, attempt = entry
+            error = result.error
+            if (
+                error is not None
+                and error.retryable
+                and attempt < max_retries
+            ):
+                delay = _full_jitter_backoff(
+                    retry_backoff_s, attempt + 1, rng
+                )
+                heapq.heappush(
+                    retries,
+                    (
+                        time.monotonic() + delay,
+                        index,
+                        (index, forged, attempt + 1),
+                    ),
+                )
+                stats["retried"] += 1
+                continue
+            if error is not None:
+                stats["quarantined"] += 1
+            source.deliver(entry, result)
+            stats["analyzed"] += 1
+        stats["rounds"] += 1
+    return stats

@@ -30,6 +30,7 @@ Fault tolerance (both paths):
 
 from __future__ import annotations
 
+import random
 import signal
 import threading
 import time
@@ -478,8 +479,28 @@ def analyze_app(
 
 
 def _bounded_backoff(base_s: float, attempt: int) -> float:
-    """Exponential backoff, capped so a retry never stalls the run."""
+    """Exponential backoff ceiling, capped so a retry never stalls the
+    run.  This is the *upper bound* of the sleep; the actual sleep is
+    drawn by :func:`_full_jitter_backoff`."""
     return min(base_s * 2 ** (attempt - 1), base_s * BACKOFF_CAP_FACTOR)
+
+
+def _full_jitter_backoff(
+    base_s: float, attempt: int, rng: random.Random | None = None
+) -> float:
+    """Full-jitter backoff: uniform over ``[0, bounded ceiling]``.
+
+    A deterministic exponential backoff re-stampedes the pool — every
+    retried app sleeps the same duration and the whole retry round
+    lands on the workers at the same instant.  Full jitter (the AWS
+    "exponential backoff and jitter" result) spreads the retries over
+    the entire window, which both de-synchronizes the stampede and
+    keeps the *expected* wait at half the deterministic one.
+    """
+    if base_s <= 0.0:
+        return 0.0
+    ceiling = _bounded_backoff(base_s, attempt)
+    return (rng if rng is not None else random).uniform(0.0, ceiling)
 
 
 def run_tools(

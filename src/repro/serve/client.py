@@ -1,0 +1,182 @@
+"""A tiny stdlib client for the serve daemon.
+
+Used by the ``saintdroid submit`` CLI, the CI smoke script, the
+throughput benchmark, and the end-to-end tests — one implementation of
+the wire protocol instead of four ad-hoc ``urllib`` loops.  The client
+understands the daemon's backpressure: :meth:`submit_retry` honours
+429 ``Retry-After`` hints, and :meth:`result_of` decodes a terminal
+job document back into a fingerprint-identical
+:class:`~repro.eval.runner.AppResult`.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import urllib.error
+import urllib.request
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover — import cycle guard
+    from ..apk.package import Apk
+    from ..eval.runner import AppResult
+
+__all__ = ["ServeClient", "ServeClientError"]
+
+
+class ServeClientError(Exception):
+    """A non-2xx daemon answer, with its status and decoded body."""
+
+    def __init__(self, status: int, doc: dict) -> None:
+        detail = doc.get("detail", doc.get("error", ""))
+        super().__init__(f"HTTP {status}: {detail}")
+        self.status = status
+        self.doc = doc
+
+    @property
+    def retry_after_s(self) -> float | None:
+        value = self.doc.get("retryAfterS")
+        return float(value) if value is not None else None
+
+
+class ServeClient:
+    """One daemon endpoint (``http://host:port``)."""
+
+    def __init__(self, base_url: str, *, timeout_s: float = 30.0) -> None:
+        self.base_url = base_url.rstrip("/")
+        self.timeout_s = timeout_s
+
+    # -- transport -----------------------------------------------------
+
+    def _request(
+        self, method: str, path: str, body: dict | None = None
+    ) -> tuple[int, dict]:
+        data = json.dumps(body).encode() if body is not None else None
+        request = urllib.request.Request(
+            self.base_url + path,
+            data=data,
+            method=method,
+            headers={"Content-Type": "application/json"},
+        )
+        try:
+            with urllib.request.urlopen(
+                request, timeout=self.timeout_s
+            ) as response:
+                doc = json.loads(response.read() or b"{}")
+                status = response.status
+        except urllib.error.HTTPError as exc:
+            # The daemon's error answers are JSON too.
+            try:
+                doc = json.loads(exc.read() or b"{}")
+            except (json.JSONDecodeError, UnicodeDecodeError):
+                doc = {"error": "HTTPError", "detail": str(exc)}
+            retry_after = exc.headers.get("Retry-After")
+            if retry_after is not None and "retryAfterS" not in doc:
+                try:
+                    doc["retryAfterS"] = float(retry_after)
+                except ValueError:
+                    pass
+            status = exc.code
+        return status, doc
+
+    def _checked(
+        self, method: str, path: str, body: dict | None = None
+    ) -> dict:
+        status, doc = self._request(method, path, body)
+        if status >= 400:
+            raise ServeClientError(status, doc)
+        return doc
+
+    # -- the protocol --------------------------------------------------
+
+    def submit(
+        self,
+        apk: "Apk | dict",
+        truth: dict | None = None,
+        *,
+        job_id: str | None = None,
+    ) -> dict:
+        """Submit one package; returns the job document (state
+        ``queued``, or terminal immediately on a dedup hit).  Raises
+        :class:`ServeClientError` on any rejection, 429 included."""
+        body: dict = {"apk": self._apk_doc(apk)}
+        if truth is not None:
+            body["truth"] = truth
+        if job_id is not None:
+            body["id"] = job_id
+        return self._checked("POST", "/jobs", body)
+
+    def submit_retry(
+        self,
+        apk: "Apk | dict",
+        truth: dict | None = None,
+        *,
+        job_id: str | None = None,
+        attempts: int = 50,
+        default_backoff_s: float = 0.2,
+    ) -> dict:
+        """Submit, honouring 429 backpressure: sleep the daemon's
+        ``Retry-After`` hint and try again, up to ``attempts``."""
+        last: ServeClientError | None = None
+        for _attempt in range(max(1, attempts)):
+            try:
+                return self.submit(apk, truth, job_id=job_id)
+            except ServeClientError as exc:
+                if exc.status != 429:
+                    raise
+                last = exc
+                time.sleep(exc.retry_after_s or default_backoff_s)
+        raise last  # type: ignore[misc]  — loop ran at least once
+
+    def job(self, job_id: str) -> dict:
+        return self._checked("GET", f"/jobs/{job_id}")
+
+    def wait(
+        self,
+        job_id: str,
+        *,
+        timeout_s: float = 60.0,
+        poll_s: float = 0.2,
+    ) -> dict:
+        """Block until the job is terminal (long-polling the daemon);
+        raises :class:`TimeoutError` past the deadline."""
+        deadline = time.monotonic() + timeout_s
+        while True:
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                raise TimeoutError(f"{job_id} not terminal in {timeout_s}s")
+            wait_s = max(0.05, min(remaining, 5.0))
+            doc = self._checked(
+                "GET", f"/jobs/{job_id}?wait={wait_s:.2f}"
+            )
+            if doc.get("state") in ("completed", "quarantined"):
+                return doc
+            time.sleep(min(poll_s, max(0.0, deadline - time.monotonic())))
+
+    def healthz(self) -> dict:
+        return self._checked("GET", "/healthz")
+
+    def readyz(self) -> tuple[bool, dict]:
+        status, doc = self._request("GET", "/readyz")
+        return status == 200, doc
+
+    # -- decoding ------------------------------------------------------
+
+    @staticmethod
+    def _apk_doc(apk: "Apk | dict") -> dict:
+        if isinstance(apk, dict):
+            return apk
+        from ..apk.serialization import apk_to_dict
+
+        return apk_to_dict(apk)
+
+    @staticmethod
+    def result_of(job_doc: dict) -> "AppResult | None":
+        """Reconstruct the terminal job's :class:`AppResult`
+        (fingerprint-identical to the daemon's in-memory record)."""
+        result_doc = job_doc.get("result")
+        if result_doc is None:
+            return None
+        from ..eval.checkpoint import result_from_dict
+
+        return result_from_dict(result_doc)[1]

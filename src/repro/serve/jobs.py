@@ -1,0 +1,100 @@
+"""The daemon's job model: one submitted APK, from admission to a
+terminal state.
+
+A job is *terminal* when it is ``COMPLETED`` (clean analysis, possibly
+served in O(1) from the dedup cache) or ``QUARANTINED`` (its final
+error record attached after the retry budget was spent).  The daemon's
+core invariant — what the journal, the queue, and the chaos suite all
+enforce — is that every acknowledged job reaches exactly one terminal
+state, across worker deaths, daemon restarts, and overload.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+import os
+import time
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover — import cycle guard
+    from ..eval.runner import AppResult
+
+__all__ = ["JobState", "Job", "new_job_id"]
+
+_JOB_COUNTER = itertools.count()
+
+
+def new_job_id(seq: int) -> str:
+    """A unique, humanly sortable job id.  The pid + counter suffix
+    keeps ids unique across daemon restarts sharing one journal."""
+    return f"job-{seq:06d}-{os.getpid():x}-{next(_JOB_COUNTER):x}"
+
+
+class JobState(enum.Enum):
+    QUEUED = "queued"
+    RUNNING = "running"
+    COMPLETED = "completed"
+    QUARANTINED = "quarantined"
+
+    @property
+    def terminal(self) -> bool:
+        return self in (JobState.COMPLETED, JobState.QUARANTINED)
+
+
+@dataclass
+class Job:
+    """One submitted APK's lifecycle record."""
+
+    id: str
+    #: Monotone admission sequence number — the streaming engine's
+    #: entry index; keys fault plans exactly like a corpus index.
+    seq: int
+    app: str
+    #: Content fingerprint of the APK (``None`` when the package is
+    #: too hostile to serialize — such jobs are simply undedupable).
+    fingerprint: str | None
+    state: JobState = JobState.QUEUED
+    #: 1-based analysis attempts consumed (0 until first dispatch).
+    attempts: int = 0
+    #: Served in O(1) from the content-addressed result cache.
+    dedup: bool = False
+    #: Re-enqueued from the journal after a daemon restart.
+    replayed: bool = False
+    submitted_at: float = field(default_factory=time.time)
+    started_at: float | None = None
+    finished_at: float | None = None
+    result: "AppResult | None" = None
+
+    @property
+    def terminal(self) -> bool:
+        return self.state.terminal
+
+    def to_doc(self, *, include_result: bool = True) -> dict:
+        """The job's wire representation (HTTP and journal-free
+        introspection).  The result rides in the checkpoint journal's
+        codec so a client can reconstruct a fingerprint-identical
+        :class:`~repro.eval.runner.AppResult`."""
+        doc = {
+            "id": self.id,
+            "seq": self.seq,
+            "app": self.app,
+            "fingerprint": self.fingerprint,
+            "state": self.state.value,
+            "attempts": self.attempts,
+            "dedup": self.dedup,
+            "replayed": self.replayed,
+            "submittedAt": self.submitted_at,
+            "startedAt": self.started_at,
+            "finishedAt": self.finished_at,
+            "error": None,
+            "result": None,
+        }
+        if self.result is not None and self.result.error is not None:
+            doc["error"] = self.result.error.to_dict()
+        if include_result and self.result is not None:
+            from ..eval.checkpoint import result_to_dict
+
+            doc["result"] = result_to_dict(self.seq, self.result)
+        return doc

@@ -1,0 +1,291 @@
+"""The daemon's write-ahead job journal.
+
+The batch engine's :class:`~repro.eval.checkpoint.CheckpointJournal`
+records *completions*; a daemon must also survive losing the work it
+has merely *accepted*.  This journal is therefore a WAL: a ``job``
+record is durably appended **before** the submission is acknowledged,
+and a ``result`` record when the job reaches a terminal state.  A
+daemon killed at any instant — including ``kill -9``, which flushes
+nothing — replays on restart exactly the acknowledged-but-unfinished
+jobs, and adopts every journaled terminal result verbatim (the result
+payload rides the checkpoint codec, so replayed results are
+fingerprint-identical to the originals).
+
+Format — JSONL, one record per line::
+
+    {"type": "header", "version": 1, "kind": "serve", "tools": [...]}
+    {"type": "job", "id": ..., "seq": 0, "app": ..., "fingerprint":
+     ..., "apk": {...}, "truth": {...}}
+    {"type": "result", "id": ..., "state": "completed", "dedup":
+     false, "attempts": 1, "result": {...}}
+
+Durability and recovery discipline:
+
+* every append is flushed **and fsynced** (configurable off for
+  tests/benchmarks) — the ack the client saw is on disk;
+* appends are self-healing: if the previous write was torn (a crash —
+  or an injected ``partial-write`` fault — left no trailing newline),
+  the next append starts with a newline so one torn record never
+  corrupts its successor;
+* ``load()`` is *lenient*, unlike the checkpoint journal's strict
+  reader: a corrupt line anywhere is counted and skipped, because in
+  a WAL a torn record is an expected crash artifact, not an integrity
+  failure.  A torn ``job`` record simply means that submission was
+  never acknowledged; a ``result`` without a surviving ``job`` record
+  is still adopted as terminal (the result embeds everything needed).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import TYPE_CHECKING
+
+from ..eval.checkpoint import result_from_dict, result_to_dict
+from .jobs import Job, JobState
+
+if TYPE_CHECKING:  # pragma: no cover — import cycle guard
+    from ..apk.package import Apk
+    from ..eval.runner import AppResult
+
+__all__ = ["ServeJournal", "ServeRecovery", "RecoveredJob", "FORMAT_VERSION"]
+
+FORMAT_VERSION = 1
+
+
+@dataclass
+class RecoveredJob:
+    """One journaled job after replaying the WAL."""
+
+    job: Job
+    #: The serialized package, kept as a document so replay can defer
+    #: (and survive) deserialization.
+    apk_doc: dict | None
+    truth_doc: dict | None
+
+    @property
+    def terminal(self) -> bool:
+        return self.job.terminal
+
+
+@dataclass
+class ServeRecovery:
+    """Everything ``load()`` reconstructed from the journal."""
+
+    jobs: dict[str, RecoveredJob] = field(default_factory=dict)
+    #: Corrupt (torn) lines skipped — observability, never an error.
+    corrupt: int = 0
+    max_seq: int = -1
+
+    def pending(self) -> list[RecoveredJob]:
+        """Acknowledged jobs with no terminal result, in admission
+        order — exactly the work a restarted daemon must redo."""
+        return sorted(
+            (r for r in self.jobs.values() if not r.terminal),
+            key=lambda r: r.job.seq,
+        )
+
+    def terminal(self) -> list[RecoveredJob]:
+        return sorted(
+            (r for r in self.jobs.values() if r.terminal),
+            key=lambda r: r.job.seq,
+        )
+
+
+class ServeJournal:
+    """Append-only WAL for one daemon (crosses restarts)."""
+
+    def __init__(
+        self,
+        path: str | Path,
+        *,
+        tools: tuple[str, ...],
+        fsync: bool = True,
+    ) -> None:
+        self.path = Path(path)
+        self.tools = tuple(tools)
+        self.fsync = fsync
+        self._handle = None
+        #: The previous append was deliberately torn (fault injection)
+        #: or the tail byte on open was not a newline.
+        self._dirty_tail = False
+
+    # -- writing -------------------------------------------------------
+
+    def _open(self):
+        if self._handle is None:
+            fresh = (
+                not self.path.exists()
+                or self.path.stat().st_size == 0
+            )
+            self._handle = open(self.path, "ab")
+            if fresh:
+                self._write_line(
+                    json.dumps(
+                        {
+                            "type": "header",
+                            "version": FORMAT_VERSION,
+                            "kind": "serve",
+                            "tools": list(self.tools),
+                        }
+                    )
+                )
+            else:
+                # Crash-recovery tail check: a previous torn write
+                # must not glue itself onto our first record.
+                with open(self.path, "rb") as probe:
+                    probe.seek(-1, os.SEEK_END)
+                    self._dirty_tail = probe.read(1) != b"\n"
+        return self._handle
+
+    def _write_line(self, text: str) -> None:
+        handle = self._open()
+        prefix = "\n" if self._dirty_tail else ""
+        handle.write((prefix + text + "\n").encode())
+        self._dirty_tail = False
+        handle.flush()
+        if self.fsync:
+            os.fsync(handle.fileno())
+
+    def append_job(
+        self,
+        job: Job,
+        apk: "Apk",
+        truth_doc: dict | None = None,
+        *,
+        tear: bool = False,
+    ) -> bool:
+        """Write-ahead record one admitted job (call BEFORE acking).
+
+        ``tear=True`` injects a partial write — half the record, no
+        newline, flushed — modelling a crash mid-append; the journal
+        stays usable (the next append self-heals, ``load()`` skips the
+        torn line) and the caller should re-append.  Returns whether a
+        complete record landed.
+        """
+        from ..apk.serialization import apk_to_dict
+
+        record = json.dumps(
+            {
+                "type": "job",
+                "id": job.id,
+                "seq": job.seq,
+                "app": job.app,
+                "fingerprint": job.fingerprint,
+                "submittedAt": job.submitted_at,
+                "apk": apk_to_dict(apk),
+                "truth": truth_doc,
+            }
+        )
+        if tear:
+            handle = self._open()
+            prefix = "\n" if self._dirty_tail else ""
+            handle.write((prefix + record[: len(record) // 2]).encode())
+            handle.flush()
+            if self.fsync:
+                os.fsync(handle.fileno())
+            self._dirty_tail = True
+            return False
+        self._write_line(record)
+        return True
+
+    def append_result(self, job: Job) -> None:
+        """Durably record one terminal state (completed/quarantined)."""
+        if job.result is None:  # pragma: no cover — caller invariant
+            raise ValueError(f"{job.id}: terminal record without result")
+        self._write_line(
+            json.dumps(
+                {
+                    "type": "result",
+                    "id": job.id,
+                    "seq": job.seq,
+                    "state": job.state.value,
+                    "dedup": job.dedup,
+                    "attempts": job.attempts,
+                    "finishedAt": job.finished_at,
+                    "result": result_to_dict(job.seq, job.result),
+                }
+            )
+        )
+
+    def flush(self) -> None:
+        if self._handle is not None:
+            self._handle.flush()
+            if self.fsync:
+                os.fsync(self._handle.fileno())
+
+    def close(self) -> None:
+        if self._handle is not None:
+            self.flush()
+            self._handle.close()
+            self._handle = None
+
+    # -- recovery ------------------------------------------------------
+
+    def load(self) -> ServeRecovery:
+        """Replay the WAL (lenient: torn lines are counted, skipped)."""
+        recovery = ServeRecovery()
+        if not self.path.exists():
+            return recovery
+        for line in self.path.read_text().splitlines():
+            if not line.strip():
+                continue
+            try:
+                doc = json.loads(line)
+            except json.JSONDecodeError:
+                recovery.corrupt += 1
+                continue
+            kind = doc.get("type")
+            try:
+                if kind == "job":
+                    self._replay_job(recovery, doc)
+                elif kind == "result":
+                    self._replay_result(recovery, doc)
+                # headers (and unknown future kinds) are skipped.
+            except Exception:  # noqa: BLE001 — damaged record == torn
+                recovery.corrupt += 1
+        return recovery
+
+    def _replay_job(self, recovery: ServeRecovery, doc: dict) -> None:
+        job = Job(
+            id=doc["id"],
+            seq=int(doc["seq"]),
+            app=doc["app"],
+            fingerprint=doc.get("fingerprint"),
+            submitted_at=doc.get("submittedAt", 0.0),
+            replayed=True,
+        )
+        recovery.jobs[job.id] = RecoveredJob(
+            job=job,
+            apk_doc=doc.get("apk"),
+            truth_doc=doc.get("truth"),
+        )
+        recovery.max_seq = max(recovery.max_seq, job.seq)
+
+    def _replay_result(self, recovery: ServeRecovery, doc: dict) -> None:
+        _, result = result_from_dict(doc["result"])
+        recovered = recovery.jobs.get(doc["id"])
+        if recovered is None:
+            # The job record was torn but the result survived: adopt
+            # it anyway — the result embeds app + truth.
+            recovered = RecoveredJob(
+                job=Job(
+                    id=doc["id"],
+                    seq=int(doc.get("seq", -1)),
+                    app=result.app,
+                    fingerprint=None,
+                    replayed=True,
+                ),
+                apk_doc=None,
+                truth_doc=None,
+            )
+            recovery.jobs[doc["id"]] = recovered
+        job = recovered.job
+        job.state = JobState(doc["state"])
+        job.dedup = bool(doc.get("dedup", False))
+        job.attempts = int(doc.get("attempts", 0))
+        job.finished_at = doc.get("finishedAt")
+        job.result = result
+        recovery.max_seq = max(recovery.max_seq, job.seq)

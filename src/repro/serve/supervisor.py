@@ -1,0 +1,471 @@
+"""The worker-pool supervisor: long-lived workers, continuously
+replaced.
+
+The batch pool (:class:`~repro.eval.parallel.PoolBackend`) builds a
+fresh ``ProcessPoolExecutor`` per round and lets a broken pool end the
+round — acceptable when a round is the unit of work, fatal for a
+daemon that must keep answering for days.  The supervisor manages its
+workers *individually*:
+
+* each worker is one forked process with a private duplex pipe and a
+  slot in a shared heartbeat array; it bootstraps through the exact
+  substrate ladder of the batch engine
+  (:func:`repro.eval.parallel._init_worker`: inherited parent
+  substrate → build memo → shared segment → snapshot → mine) and then
+  loops ``recv task → analyze_app → send result``;
+* the dispatch loop detects a **dead** worker (its process exited —
+  injected ``worker-death``, an OOM kill, an operator's ``kill -9``)
+  and a **hung** one (busy past the hang deadline despite
+  ``analyze_app``'s own in-worker timeouts — a wedged interpreter),
+  synthesizes retryable ``worker-lost`` records for whatever it held,
+  and **respawns the slot in place**: the pool never shrinks, and no
+  other worker's in-flight job is disturbed;
+* results are matched on ``(seq, attempt)`` with a done-set, so a
+  synthesized loss and a late real result can never double-deliver.
+
+It implements :class:`~repro.eval.orchestration.CorpusBackend`, so the
+streaming engine (:func:`~repro.eval.orchestration.run_stream`) drives
+it exactly like any batch scheduler — retry/quarantine policy stays in
+one place.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from collections import deque
+from dataclasses import dataclass
+from multiprocessing import connection
+from typing import TYPE_CHECKING
+
+from ..core.arm import register_database
+from ..eval import parallel as _parallel
+from ..eval.orchestration import CorpusBackend, Entry
+from ..eval.parallel import (
+    _init_worker,
+    _merge_cache_stats,
+    _pool_context,
+    _worker_lost_results,
+)
+from ..eval.runner import DEFAULT_TOOLS, AppResult, analyze_app
+from ..framework.spec import FrameworkSpec
+
+if TYPE_CHECKING:  # pragma: no cover — import cycle guard
+    from ..eval.faults import FaultPlan
+    from ..framework.repository import FrameworkRepository
+
+__all__ = ["PoolSupervisor"]
+
+
+def _worker_main(
+    conn,
+    heartbeat,
+    slot: int,
+    spec: FrameworkSpec,
+    include: tuple[str, ...],
+    snapshot_file: str | None,
+    shared_handle,
+    summaries: bool,
+    cache_dir: str | None,
+) -> None:
+    """One supervised worker: bootstrap the substrate, then serve
+    tasks off the pipe until the ``None`` sentinel (or pipe loss)."""
+    import signal as _signal
+
+    # The daemon's drain handler belongs to the parent; a worker that
+    # inherited it must die plainly when terminated.
+    try:
+        _signal.signal(_signal.SIGTERM, _signal.SIG_DFL)
+    except (ValueError, OSError):  # pragma: no cover
+        pass
+    _init_worker(
+        spec,
+        include,
+        None,  # faults ship per task, not per process
+        snapshot_file,
+        shared_handle,
+        summaries,
+        cache_dir,
+    )
+    toolset = _parallel._WORKER_TOOLSET
+    heartbeat[slot] = time.time()
+    parent = os.getppid()
+    while True:
+        try:
+            # A plain blocking recv() would wedge forever if the
+            # parent is SIGKILLed: forked siblings inherit each
+            # other's parent-end pipe fds, so EOF never arrives.
+            # Poll with a deadline and watch for reparenting instead.
+            while not conn.poll(1.0):
+                if os.getppid() != parent:  # orphaned by kill -9
+                    return
+            task = conn.recv()
+        except (EOFError, OSError):  # parent died or closed the pipe
+            return
+        if task is None:
+            return
+        seq, forged, attempt, timeout_s, fault = task
+        heartbeat[slot] = time.time()
+        result = analyze_app(
+            toolset,
+            forged,
+            timeout_s=timeout_s,
+            fault=fault,
+            attempt=attempt,
+            allow_process_death=True,
+        )
+        heartbeat[slot] = time.time()
+        try:
+            conn.send(
+                (os.getpid(), seq, attempt, result, toolset.cache_stats())
+            )
+        except (BrokenPipeError, OSError):  # pragma: no cover
+            return
+
+
+@dataclass
+class _Worker:
+    slot: int
+    process: object
+    conn: object
+    spawned_at: float
+
+
+class PoolSupervisor(CorpusBackend):
+    """Supervised resident worker pool behind the streaming engine."""
+
+    def __init__(
+        self,
+        spec: FrameworkSpec,
+        *,
+        workers: int = 2,
+        include: tuple[str, ...] = DEFAULT_TOOLS,
+        timeout_s: float | None = 20.0,
+        hang_timeout_s: float = 30.0,
+        summaries: bool = False,
+        cache_dir: str | None = None,
+        fault_plan: "FaultPlan | None" = None,
+        drain_poll_s: float = 0.05,
+    ) -> None:
+        self._spec = spec
+        self.workers = max(1, workers)
+        self.include = tuple(include)
+        self.timeout_s = timeout_s
+        self.hang_timeout_s = hang_timeout_s
+        self.summaries = summaries
+        self.cache_dir = cache_dir
+        self.fault_plan = fault_plan
+        self.drain_poll_s = drain_poll_s
+        self._ctx = _pool_context()
+        self._heartbeat = self._ctx.Array("d", self.workers)
+        self._pool: list[_Worker | None] = [None] * self.workers
+        self._inflight: dict[int, tuple[Entry, float]] = {}
+        self._worker_stats: dict[int, dict] = {}
+        self._snapshot_file: str | None = None
+        self._segment = None
+        self._started = False
+        self._closed = False
+        self.restarts = 0
+        self.substrate_source: str | None = None
+
+    # -- CorpusBackend surface -----------------------------------------
+
+    @property
+    def spec(self) -> FrameworkSpec:
+        return self._spec
+
+    @property
+    def tool_names(self) -> tuple[str, ...]:
+        return self.include
+
+    def config_options(self) -> dict:
+        return {"summaries": True} if self.summaries else {}
+
+    def prepare(self, cache_dir, pending=()) -> None:
+        # The service starts the pool before the dispatcher runs; this
+        # makes the backend self-sufficient for direct run_stream use.
+        self.start()
+
+    # -- lifecycle -----------------------------------------------------
+
+    def start(
+        self,
+        substrate: "tuple[FrameworkRepository, object] | None" = None,
+    ) -> None:
+        """Load (or adopt) the substrate once, publish it to workers,
+        and spawn the pool.  Idempotent."""
+        if self._started:
+            return
+        if substrate is None:
+            from ..cache.snapshot import load_or_build_substrate
+
+            framework, apidb, source = load_or_build_substrate(
+                self.cache_dir, self._spec
+            )
+        else:
+            framework, apidb = substrate
+            source = "provided"
+        self.substrate_source = source
+        register_database(self._spec, apidb)
+        if self.cache_dir is not None:
+            from ..cache import ensure_snapshot
+
+            self._snapshot_file = str(
+                ensure_snapshot(self.cache_dir, framework, apidb)
+            )
+        if self.summaries:
+            from ..analysis.fwsummaries import summary_table
+
+            # Materialize the table parent-side so forked workers
+            # inherit it as copy-on-write pages.
+            summary_table(framework, apidb, store_dir=self.cache_dir)
+        # Fork workers inherit the substrate; non-fork platforms (and
+        # chaos runs forcing the segment path) attach a shared segment.
+        _parallel._PARENT_SUBSTRATE = (framework, apidb)
+        if (
+            self._ctx.get_start_method() != "fork"
+            or os.environ.get("REPRO_FORCE_SHARED_SUBSTRATE")
+        ):
+            from ..cache import fingerprint_spec
+            from ..cache.shared import SharedSubstrate
+            from ..cache.snapshot import substrate_payload
+
+            key = fingerprint_spec(self._spec)
+            self._segment = SharedSubstrate.publish(
+                substrate_payload(framework, apidb, key), key
+            )
+        for slot in range(self.workers):
+            self._spawn(slot)
+        self._started = True
+
+    def _spawn(self, slot: int) -> None:
+        parent_conn, child_conn = self._ctx.Pipe(duplex=True)
+        process = self._ctx.Process(
+            target=_worker_main,
+            args=(
+                child_conn,
+                self._heartbeat,
+                slot,
+                self._spec,
+                self.include,
+                self._snapshot_file,
+                self._segment.handle if self._segment is not None else None,
+                self.summaries,
+                self.cache_dir,
+            ),
+            daemon=True,
+        )
+        process.start()
+        child_conn.close()
+        self._pool[slot] = _Worker(
+            slot=slot,
+            process=process,
+            conn=parent_conn,
+            spawned_at=time.time(),
+        )
+
+    def _respawn(self, slot: int) -> None:
+        worker = self._pool[slot]
+        if worker is not None:
+            try:
+                worker.conn.close()
+            except OSError:  # pragma: no cover
+                pass
+            if worker.process.is_alive():
+                worker.process.kill()
+            worker.process.join(timeout=5.0)
+        self.restarts += 1
+        self._spawn(slot)
+
+    def close(self) -> None:
+        """Stop every worker and unlink shared resources.  Idempotent
+        and safe mid-round (run_stream calls it from the service's
+        drain path, the chaos suite from ``finally`` blocks)."""
+        if self._closed:
+            return
+        self._closed = True
+        for worker in self._pool:
+            if worker is None:
+                continue
+            try:
+                worker.conn.send(None)
+            except (BrokenPipeError, OSError):
+                pass
+        for worker in self._pool:
+            if worker is None:
+                continue
+            worker.process.join(timeout=1.0)
+            if worker.process.is_alive():
+                worker.process.terminate()
+                worker.process.join(timeout=1.0)
+            if worker.process.is_alive():  # pragma: no cover — stuck
+                worker.process.kill()
+                worker.process.join(timeout=1.0)
+            try:
+                worker.conn.close()
+            except OSError:  # pragma: no cover
+                pass
+        self._pool = [None] * self.workers
+        self._inflight.clear()
+        if self._segment is not None:
+            self._segment.close(unlink=True)
+            self._segment = None
+        if (
+            _parallel._PARENT_SUBSTRATE is not None
+            and _parallel._PARENT_SUBSTRATE[0].spec is self._spec
+        ):
+            _parallel._PARENT_SUBSTRATE = None
+
+    def finish(self, cache_dir) -> dict:
+        return _merge_cache_stats(self._worker_stats)
+
+    # -- dispatch ------------------------------------------------------
+
+    def _hang_deadline(self) -> float:
+        # analyze_app enforces timeout_s inside the worker, so a
+        # healthy worker answers within roughly one timeout; the hang
+        # deadline is the backstop for a truly wedged process.
+        return (self.timeout_s or 0.0) + self.hang_timeout_s
+
+    def run_round(
+        self, pending: list[Entry], round_no: int
+    ) -> list[tuple[Entry, AppResult]]:
+        """Dispatch one micro-batch over the resident pool, surviving
+        worker death and hangs without losing a single entry."""
+        if not self._started:
+            self.start()
+        out: list[tuple[Entry, AppResult]] = []
+        todo: deque[Entry] = deque(pending)
+        done: set[tuple[int, int]] = set()
+
+        def _settle(entry: Entry, result: AppResult) -> None:
+            key = (entry[0], entry[2])
+            if key in done:
+                return
+            done.add(key)
+            out.append((entry, result))
+
+        while len(out) < len(pending):
+            # 1. Feed idle live workers.
+            for slot, worker in enumerate(self._pool):
+                if not todo:
+                    break
+                if worker is None or slot in self._inflight:
+                    continue
+                if not worker.process.is_alive():
+                    self._respawn(slot)
+                    worker = self._pool[slot]
+                entry = todo.popleft()
+                fault = (
+                    self.fault_plan.analysis_fault_for(entry[0])
+                    if self.fault_plan is not None
+                    else None
+                )
+                try:
+                    worker.conn.send(
+                        (entry[0], entry[1], entry[2], self.timeout_s, fault)
+                    )
+                except (BrokenPipeError, OSError):
+                    todo.appendleft(entry)
+                    self._respawn(slot)
+                    continue
+                self._inflight[slot] = (entry, time.monotonic())
+
+            # 2. Drain whatever is ready.
+            busy = [
+                (slot, worker)
+                for slot, worker in enumerate(self._pool)
+                if worker is not None and slot in self._inflight
+            ]
+            conns = [worker.conn for _slot, worker in busy]
+            by_conn = {worker.conn: slot for slot, worker in busy}
+            ready = (
+                connection.wait(conns, timeout=self.drain_poll_s)
+                if conns
+                else []
+            )
+            for ready_conn in ready:
+                slot = by_conn[ready_conn]
+                entry, _t0 = self._inflight[slot]
+                try:
+                    pid, seq, attempt, result, stats = ready_conn.recv()
+                except (EOFError, OSError):
+                    # Worker died between wait() and recv(): the
+                    # death path below synthesizes the loss.
+                    continue
+                self._inflight.pop(slot, None)
+                self._worker_stats[pid] = stats
+                if (seq, attempt) != (entry[0], entry[2]):
+                    # A stale answer on a recycled slot (should be
+                    # unreachable with per-respawn fresh pipes): drop
+                    # the message, re-dispatch the held entry.
+                    todo.append(entry)
+                    continue
+                _settle(entry, result)
+
+            # 3. Liveness: replace dead workers, kill hung ones.
+            now = time.monotonic()
+            for slot, worker in enumerate(self._pool):
+                if worker is None:
+                    continue
+                held = self._inflight.get(slot)
+                if not worker.process.is_alive():
+                    if held is not None:
+                        self._inflight.pop(slot, None)
+                        entry, _t0 = held
+                        exc = RuntimeError(
+                            f"worker pid {worker.process.pid} died"
+                        )
+                        for _idx, result in _worker_lost_results(
+                            [entry], exc
+                        ):
+                            _settle(entry, result)
+                    self._respawn(slot)
+                elif (
+                    held is not None
+                    and now - held[1] > self._hang_deadline()
+                ):
+                    entry, _t0 = held
+                    self._inflight.pop(slot, None)
+                    exc = TimeoutError(
+                        f"worker pid {worker.process.pid} hung past "
+                        f"{self._hang_deadline():.1f}s"
+                    )
+                    for _idx, result in _worker_lost_results(
+                        [entry], exc
+                    ):
+                        _settle(entry, result)
+                    self._respawn(slot)
+        return out
+
+    # -- observability -------------------------------------------------
+
+    def liveness(self) -> dict:
+        """Pool health for ``/healthz``: per-slot liveness, busyness,
+        heartbeats, and the respawn count.  PIDs are exposed so chaos
+        tests (and the CI smoke) can kill a real worker."""
+        now = time.time()
+        alive = busy = 0
+        pids: list[int | None] = []
+        heartbeat_age: list[float | None] = []
+        for slot, worker in enumerate(self._pool):
+            if worker is None:
+                pids.append(None)
+                heartbeat_age.append(None)
+                continue
+            if worker.process.is_alive():
+                alive += 1
+            if slot in self._inflight:
+                busy += 1
+            pids.append(worker.process.pid)
+            beat = self._heartbeat[slot]
+            heartbeat_age.append(round(now - beat, 3) if beat else None)
+        return {
+            "workers": self.workers,
+            "alive": alive,
+            "busy": busy,
+            "restarts": self.restarts,
+            "pids": pids,
+            "heartbeat_age_s": heartbeat_age,
+            "substrate_source": self.substrate_source,
+        }

@@ -140,3 +140,69 @@ class TestLifecycle:
         assert os.path.exists(path)
         segment.close(unlink=True)
         assert not os.path.exists(path)
+
+
+class TestSigtermGuard:
+    """A plain SIGTERM skips atexit entirely — the module-level signal
+    guard is the only thing standing between `kill` and a leaked
+    segment.  Exercised in a subprocess: handlers are process-global.
+    """
+
+    CHILD = """
+import os, signal, sys, time
+sys.path.insert(0, {src!r})
+from repro.cache import SharedSubstrate
+
+segment = SharedSubstrate.publish({{"x": 1}}, "sigterm-key")
+print(segment.handle.kind, segment.handle.name, flush=True)
+signal.pause()
+"""
+
+    def _run_child(self, sig):
+        import subprocess
+        import sys
+        import time
+        from pathlib import Path
+
+        src = str(Path(__file__).resolve().parents[2] / "src")
+        proc = subprocess.Popen(
+            [sys.executable, "-c", self.CHILD.format(src=src)],
+            stdout=subprocess.PIPE,
+            text=True,
+        )
+        kind, name = proc.stdout.readline().split(None, 1)
+        name = name.strip()
+        proc.send_signal(sig)
+        proc.wait(timeout=30)
+        return kind, name, proc.returncode
+
+    def _segment_path(self, kind, name):
+        import pathlib
+
+        if kind == "shm":
+            return pathlib.Path("/dev/shm") / name.lstrip("/")
+        return pathlib.Path(name)
+
+    def test_sigterm_unlinks_published_segment(self):
+        import signal
+
+        kind, name, rc = self._run_child(signal.SIGTERM)
+        path = self._segment_path(kind, name)
+        assert path.exists() is False
+        # The guard re-raises the default SIGTERM: the exit status
+        # must still say "terminated by signal", not "clean exit".
+        assert rc == -signal.SIGTERM
+
+    def test_sigkill_leaks_but_shows_the_baseline(self):
+        # Control: SIGKILL cannot be guarded, so the segment survives
+        # — proving the SIGTERM test above passes because of the
+        # guard, not because the OS cleans up for us.
+        import signal
+
+        kind, name, rc = self._run_child(signal.SIGKILL)
+        path = self._segment_path(kind, name)
+        try:
+            assert path.exists()
+            assert rc == -signal.SIGKILL
+        finally:
+            path.unlink(missing_ok=True)
