@@ -1,0 +1,153 @@
+"""E9a — interval micro-benchmark: interning + bitset refinement.
+
+The guard phase's innermost operations are (a) keying context memos
+by ``(method, interval)`` and (b) refining a path interval through a
+version-helper predicate.  Two representation choices back them:
+
+* ``ApiInterval.of`` interns instances, so hashes are computed once
+  per distinct value per process and equality short-circuits on
+  identity;
+* predicate refinement packs level sets into int bitmasks
+  (:func:`repro.analysis.intervals.levels_mask` and friends), so the
+  per-level membership loop collapses to three C-speed integer ops.
+
+This benchmark checks the bitset path agrees with the per-level
+fallback on every sampled input (the fallback stays live for
+out-of-range ``--devices`` windows, so divergence would be a real
+bug), then times both under the workload shape the guard phase
+produces.  Deltas land in ``results/BENCH_intervals.json``.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+import time
+
+from repro.analysis.intervals import (
+    ApiInterval,
+    interval_mask,
+    levels_mask,
+    mask_to_interval,
+)
+from repro.apk.manifest import MAX_API_LEVEL, MIN_API_LEVEL
+
+from .conftest import RESULTS_DIR
+
+ROUNDS = 5_000
+
+#: The workload shape: a handful of helper level-sets (real corpora
+#: carry a few distinct helpers) against many distinct path windows.
+_rng = random.Random(424244)
+LEVEL_SETS = [
+    frozenset(
+        level
+        for level in range(MIN_API_LEVEL, MAX_API_LEVEL + 1)
+        if _rng.random() < p
+    )
+    for p in (0.2, 0.5, 0.8)
+]
+WINDOWS = [
+    (lo, _rng.randint(lo, MAX_API_LEVEL))
+    for lo in (
+        _rng.randint(MIN_API_LEVEL, MAX_API_LEVEL) for _ in range(40)
+    )
+]
+CASES = [
+    (ApiInterval.of(lo, hi), levels, true_ok, false_ok)
+    for (lo, hi) in WINDOWS
+    for levels in LEVEL_SETS
+    for true_ok, false_ok in ((True, False), (False, True))
+]
+
+
+def _refine_mask(interval, levels, true_ok, false_ok):
+    window = interval_mask(interval)
+    inside = levels_mask(levels)
+    mask = (window & inside if true_ok else 0) | (
+        window & ~inside if false_ok else 0
+    )
+    return mask_to_interval(mask) if mask else None
+
+
+def _refine_per_level(interval, levels, true_ok, false_ok):
+    satisfying = [
+        level
+        for level in interval
+        if (true_ok if level in levels else false_ok)
+    ]
+    if not satisfying:
+        return None
+    return interval.meet(
+        ApiInterval.of(min(satisfying), max(satisfying))
+    )
+
+
+def _time(fn) -> float:
+    best = float("inf")
+    for _ in range(3):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def test_bitset_refinement_matches_per_level_fallback():
+    for interval, levels, true_ok, false_ok in CASES:
+        assert _refine_mask(
+            interval, levels, true_ok, false_ok
+        ) == _refine_per_level(interval, levels, true_ok, false_ok)
+
+
+def test_interning_returns_shared_instances():
+    assert ApiInterval.of(21, 28) is ApiInterval.of(21, 28)
+    # Equality (and hashing) still hold for uninterned instances.
+    assert ApiInterval.of(21, 28) == ApiInterval(21, 28)
+    assert hash(ApiInterval.of(21, 28)) == hash(ApiInterval(21, 28))
+
+
+def test_report_micro_deltas():
+    def run_mask():
+        for case in CASES:
+            _refine_mask(*case)
+
+    def run_fallback():
+        for case in CASES:
+            _refine_per_level(*case)
+
+    mask_s = _time(lambda: [run_mask() for _ in range(ROUNDS // 100)])
+    fallback_s = _time(
+        lambda: [run_fallback() for _ in range(ROUNDS // 100)]
+    )
+
+    # Context-memo keying: interned instances vs fresh allocations.
+    memo: dict = {}
+
+    def keyed(make):
+        memo.clear()
+        for _ in range(ROUNDS):
+            for lo, hi in WINDOWS:
+                memo[make(lo, hi)] = True
+
+    interned_s = _time(lambda: keyed(ApiInterval.of))
+    fresh_s = _time(lambda: keyed(ApiInterval))
+
+    assert mask_s < fallback_s
+    assert interned_s < fresh_s
+
+    payload = {
+        "refinement_cases": len(CASES),
+        "bitset_refine_s": round(mask_s, 4),
+        "per_level_refine_s": round(fallback_s, 4),
+        "bitset_speedup": round(fallback_s / mask_s, 2),
+        "memo_keyings": ROUNDS * len(WINDOWS),
+        "interned_keying_s": round(interned_s, 4),
+        "fresh_keying_s": round(fresh_s, 4),
+        "interning_speedup": round(fresh_s / interned_s, 2),
+    }
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / "BENCH_intervals.json").write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n"
+    )
+    print()
+    print(json.dumps(payload, indent=2, sort_keys=True))

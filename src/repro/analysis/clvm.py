@@ -22,14 +22,16 @@ counted in instructions analyzed and memory in instructions loaded.
 
 from __future__ import annotations
 
+import weakref
 from dataclasses import dataclass, field
+from functools import lru_cache
 
 from ..apk.package import Apk
 from ..framework.repository import FrameworkRepository
 from ..ir.clazz import Clazz
 from ..ir.instructions import Invoke, InvokeKind, NewInstance
 from ..ir.method import Method
-from ..ir.types import ClassName, MethodRef
+from ..ir.types import ClassName, MethodRef, is_framework_class
 from .callgraph import CallGraph, CallSite
 from .hierarchy import HierarchyResolver
 from .reaching import strings_at_invocations
@@ -56,6 +58,70 @@ INSTRUCTION_UNITS = 1
 #: several frames in (CID stops at depth 0), bounded so exploration
 #: does not percolate across the entire platform image.
 DEFAULT_FRAMEWORK_DEPTH = 2
+
+_INVOKE_KINDS = {kind.value: kind for kind in InvokeKind}
+
+
+@lru_cache(maxsize=1 << 20)
+def _intern_ref(
+    class_name: ClassName, name: str, descriptor: str
+) -> MethodRef:
+    """Process-wide ref intern table for effect replay.
+
+    Effect streams carry refs as plain string triples (they must be
+    JSON-serializable); replaying a corpus re-materializes the same
+    triples once per app, so interning both skips re-validation and
+    hands back refs whose hash is already cached."""
+    return MethodRef(class_name, name, descriptor)
+
+
+@lru_cache(maxsize=1 << 20)
+def _intern_site(
+    caller: MethodRef, callee: MethodRef, resolved: MethodRef | None
+) -> CallSite:
+    """Process-wide call-site intern table.
+
+    The same (caller, callee, resolved) edge recurs in every app that
+    bundles the class declaring it; ``CallSite`` is frozen, so one
+    object can appear in every app's callgraph."""
+    return CallSite(caller=caller, callee=callee, resolved=resolved)
+
+
+_VIRTUAL_KINDS = frozenset((InvokeKind.VIRTUAL, InvokeKind.INTERFACE))
+
+#: artifact -> per-method *prepared* effect streams.  Raw streams hold
+#: JSON-ish tuples (string invoke kinds, refs as string triples); the
+#: prepared form pre-converts them — interned refs, ``InvokeKind``
+#: members, the virtual-dispatch flag — once per artifact per process
+#: instead of once per effect per app.  Weakly keyed so evicted
+#: artifacts drop their preparations.
+_PREPARED_STREAMS: weakref.WeakKeyDictionary = weakref.WeakKeyDictionary()
+
+
+def _prepare_stream(raw: tuple[tuple, ...]) -> tuple[tuple, ...]:
+    """Convert one raw effect stream into its prepared (apply-ready)
+    form; order is preserved exactly."""
+    prepared: list[tuple] = []
+    for effect in raw:
+        kind = effect[0]
+        if kind == "invoke":
+            invoke_kind = _INVOKE_KINDS[effect[1]]
+            cls, name, descriptor = effect[2]
+            prepared.append(
+                (
+                    "invoke",
+                    invoke_kind,
+                    _intern_ref(cls, name, descriptor),
+                    invoke_kind in _VIRTUAL_KINDS,
+                )
+            )
+        elif kind == "new":
+            prepared.append(
+                ("new", _intern_ref(effect[1], "<init>", "()void"))
+            )
+        else:  # "loadclass"
+            prepared.append(effect)
+    return tuple(prepared)
 
 
 #: Fraction of a framework class's code that stays resident after the
@@ -103,6 +169,18 @@ class LoadStats:
     summary_lookups: int = 0
     classes_summarized: int = 0
     instructions_summarized: int = 0
+    #: Dedup-mode accounting (``--dedup``): app classes whose explore
+    #: effects were replayed from the corpus-wide class-artifact store
+    #: instead of re-derived, and the instructions those artifacts
+    #: stand in for.  Observational, like the warm-reuse counters —
+    #: replay applies the identical effects, so the cost model and the
+    #: findings are unchanged; only wall time drops.
+    app_classes_deduped: int = 0
+    instructions_deduped: int = 0
+    #: Guard-propagation contexts answered from cached guard rows vs
+    #: computed by running the dataflow (observational).
+    guard_contexts_deduped: int = 0
+    guard_contexts_computed: int = 0
 
     def record_load(self, clazz: Clazz, warm: bool = False) -> None:
         self.classes_loaded += 1
@@ -193,6 +271,7 @@ class ClassLoaderVM:
         include_secondary_dex: bool = True,
         max_framework_depth: int | None = DEFAULT_FRAMEWORK_DEPTH,
         summaries=None,
+        class_store=None,
     ) -> None:
         """``follow_framework=False`` restricts exploration to app code
         (framework callees stay terminal nodes) — how first-level tools
@@ -205,6 +284,17 @@ class ClassLoaderVM:
         popped from the worklist is answered by replaying the class's
         precomputed worklist effects instead of materializing its body
         — same app-method reachability, no framework loading.
+
+        ``class_store`` is an optional
+        :class:`~repro.cache.classes.ClassStore`: when set, the
+        explore effects of every *app* class are answered from (or
+        recorded into) the corpus-wide content-addressed artifact
+        store — the same-boundary trick as the framework summaries,
+        applied at the class boundary, so two apps bundling one
+        byte-identical library class derive its effects once.
+        Artifacts store only static facts (static call targets,
+        constant-resolved loadclass names); virtual dispatch is
+        re-resolved live per app, keeping replay exact.
         """
         self._apk = apk
         self._framework = framework
@@ -213,8 +303,38 @@ class ClassLoaderVM:
         self._max_framework_depth = max_framework_depth
         self._summaries = summaries if follow_framework else None
         self._include_secondary = include_secondary_dex
+        self.class_store = class_store
+        #: Class name -> artifact consulted or recorded during this
+        #: app's exploration; the helper-collection and guard phases
+        #: read from here so every phase shares one artifact view.
+        self.dedup_artifacts: dict[ClassName, object] = {}
+        #: Class name -> store key, so later phases (guard rows) can
+        #: address the artifact without re-digesting the class.
+        self.dedup_keys: dict[ClassName, str] = {}
         self.stats = LoadStats()
         self._loaded: dict[ClassName, Clazz] = {}
+        #: Dispatch resolution is pure for a fixed (apk, framework,
+        #: level) — the resolvable world never changes mid-exploration
+        #: — and the same callee recurs at thousands of sites, so the
+        #: walk is memoized.  First resolution per callee still does
+        #: the full (load-accounted) hierarchy walk.
+        self._dispatch_memo: dict[
+            tuple[InvokeKind, MethodRef], MethodRef | None
+        ] = {}
+        #: True when the app bundles a class in a framework namespace;
+        #: shadowing makes framework resolution app-dependent, which
+        #: disables every cross-app framework shortcut below.
+        self._framework_shadows = any(
+            is_framework_class(clazz.name) for clazz in apk.all_classes
+        )
+        #: Cross-app dispatch resolutions for framework callees,
+        #: shared through the framework repository (dedup mode only:
+        #: lazy accounting must not depend on sibling apps).
+        self._shared_dispatch = (
+            framework.dispatch_memo(level)
+            if class_store is not None and not self._framework_shadows
+            else None
+        )
         self.resolver = HierarchyResolver(
             apk,
             framework,
@@ -288,10 +408,21 @@ class ClassLoaderVM:
             # dispatch and override checks need the ancestors present.
             self.resolver.supertype_chain(clazz.name)
 
-            for method in clazz.methods:
+            effects_by_method = None
+            if (
+                self.class_store is not None
+                and clazz.origin != "framework"
+            ):
+                effects_by_method = self._dedup_effects(clazz)
+            for index, method in enumerate(clazz.methods):
                 self._analyze_method(
                     method, depth, callgraph, worklist, queued,
                     unresolved_dynamic,
+                    effects=(
+                        effects_by_method[index]
+                        if effects_by_method is not None
+                        else None
+                    ),
                 )
 
         return ExplorationResult(
@@ -309,6 +440,7 @@ class ClassLoaderVM:
         worklist: list[tuple[MethodRef, int]],
         queued: set[MethodRef],
         unresolved_dynamic: list[ClassName],
+        effects: tuple[tuple, ...] | None = None,
     ) -> None:
         callgraph.add_method(method)
         self.stats.methods_analyzed += 1
@@ -318,9 +450,56 @@ class ClassLoaderVM:
         if method.body is None:
             return
 
-        in_framework = method.ref.is_framework
-        next_depth = depth + 1 if in_framework else depth
+        # The effect stream is a pure function of the method body; in
+        # dedup mode a cached one is replayed instead of re-derived.
+        # Framework methods additionally replay a pre-resolved apply
+        # plan (dedup mode, unshadowed apps): framework-internal
+        # dispatch never varies between such apps.
+        if (
+            effects is None
+            and self._shared_dispatch is not None
+            and method.ref.is_framework
+        ):
+            self._replay_framework_plan(
+                method, depth, callgraph, worklist, queued,
+                unresolved_dynamic,
+            )
+            return
+        if effects is None:
+            effects = self._prepared_method_effects(method)
+        self._apply_effects(
+            method.ref, effects, depth, callgraph, worklist, queued,
+            unresolved_dynamic,
+        )
 
+    def _prepared_method_effects(self, method: Method) -> tuple[tuple, ...]:
+        """The prepared (apply-ready) effect stream of one method,
+        memoized on the method object alongside the raw stream."""
+        cached = method.__dict__.get("_prepared_effects")
+        if cached is None:
+            cached = _prepare_stream(self._method_effects(method))
+            object.__setattr__(method, "_prepared_effects", cached)
+        return cached
+
+    def _method_effects(self, method: Method) -> tuple[tuple, ...]:
+        """Derive the ordered worklist-effect stream of one method.
+
+        Pure per method (no app or hierarchy state): constant-string
+        resolution at loadClass sites, allocations, and invocation
+        sites with their *static* callee refs.  This is exactly the
+        per-class computation the ``--dedup`` store caches.
+
+        Memoized on the method object: framework ``Method`` instances
+        are shared process-wide by the framework repository, so a
+        corpus run derives each framework body's stream once rather
+        than once per app.
+        """
+        if method.body is None:
+            return ()
+        cached = method.__dict__.get("_effects")
+        if cached is not None:
+            return cached
+        effects: list[tuple] = []
         # Dynamic-load resolution needs the reaching-strings analysis;
         # only pay for it when the method contains a loadClass site.
         has_dynamic_site = any(
@@ -328,70 +507,262 @@ class ClassLoaderVM:
             in LOADCLASS_SIGNATURES
             for invoke in method.invocations
         )
-        dynamic_targets: dict[int, frozenset[str]] = {}
         if has_dynamic_site:
             for invoke, resolved in strings_at_invocations(method):
                 key = (invoke.method.class_name, invoke.method.name)
                 if key in LOADCLASS_SIGNATURES:
                     names = resolved.get(0, frozenset())
-                    if names:
-                        for class_name in names:
-                            self._enqueue_class(
-                                class_name, depth, worklist, queued,
-                                unresolved_dynamic,
-                            )
-                        self.stats.dynamic_classes_resolved += len(names)
-                    else:
-                        self.stats.dynamic_sites_unresolved += 1
-
+                    effects.append(("loadclass", tuple(names)))
         for instruction in method.body.instructions:
             if isinstance(instruction, NewInstance):
+                effects.append(("new", instruction.class_name))
+            elif isinstance(instruction, Invoke):
+                callee = instruction.method
+                effects.append(
+                    (
+                        "invoke",
+                        instruction.kind.value,
+                        (callee.class_name, callee.name, callee.descriptor),
+                    )
+                )
+        stream = tuple(effects)
+        object.__setattr__(method, "_effects", stream)
+        return stream
+
+    def _apply_effects(
+        self,
+        caller: MethodRef,
+        effects: tuple[tuple, ...],
+        depth: int,
+        callgraph: CallGraph,
+        worklist: list[tuple[MethodRef, int]],
+        queued: set[MethodRef],
+        unresolved_dynamic: list[ClassName],
+    ) -> None:
+        """Process one method's *prepared* effect stream with the live
+        app state: dispatch resolution, subtype overrides, and
+        dynamic-class lookups happen here (never in the cached
+        stream), so a replay is exact for whichever app bundles the
+        class."""
+        in_framework = caller.is_framework
+        next_depth = depth + 1 if in_framework else depth
+        # All edges of this stream share one caller; grab its bucket
+        # once instead of paying a dict setdefault per call site.
+        bucket: list | None = None
+
+        for effect in effects:
+            kind = effect[0]
+            if kind == "invoke":
+                _, invoke_kind, callee, virtual = effect
+                resolved = self._resolve_dispatch_ref(invoke_kind, callee)
+                if bucket is None:
+                    bucket = callgraph.edges.setdefault(caller, [])
+                bucket.append(_intern_site(caller, callee, resolved))
+                target = resolved or callee
+                if target.is_framework:
+                    if not self._follow_framework:
+                        continue
+                    if (
+                        self._max_framework_depth is not None
+                        and next_depth > self._max_framework_depth
+                    ):
+                        continue
+                    self._enqueue(target, next_depth, worklist, queued)
+                else:
+                    self._enqueue(target, depth, worklist, queued)
+                # Virtual calls may dispatch into app overrides of the
+                # static receiver type (how framework dispatchers reach
+                # app callbacks).
+                if virtual:
+                    for subtype in self._app_subtypes.get(
+                        callee.class_name, ()
+                    ):
+                        override = _intern_ref(
+                            subtype, callee.name, callee.descriptor
+                        )
+                        subtype_class = self._apk.lookup(subtype)
+                        if (
+                            subtype_class is not None
+                            and subtype_class.declares(override.signature)
+                        ):
+                            bucket.append(
+                                _intern_site(caller, callee, override)
+                            )
+                            self._enqueue(override, depth, worklist, queued)
+            elif kind == "new":
                 # Allocation loads the class; enqueue its constructor
                 # so its code participates in the exploration.
-                init = MethodRef(instruction.class_name, "<init>", "()void")
-                self._enqueue(init, depth, worklist, queued)
-            if not isinstance(instruction, Invoke):
-                continue
-            callee = instruction.method
-            resolved = self._resolve_dispatch(instruction)
-            callgraph.add_edge(
-                CallSite(
-                    caller=method.ref, callee=callee, resolved=resolved
-                )
-            )
-            target = resolved or callee
-            if target.is_framework:
-                if not self._follow_framework:
-                    continue
-                if (
-                    self._max_framework_depth is not None
-                    and next_depth > self._max_framework_depth
-                ):
-                    continue
-                self._enqueue(target, next_depth, worklist, queued)
-            else:
-                self._enqueue(target, depth, worklist, queued)
-            # Virtual calls may dispatch into app overrides of the
-            # static receiver type (how framework dispatchers reach
-            # app callbacks).
-            if instruction.kind in (InvokeKind.VIRTUAL, InvokeKind.INTERFACE):
-                for subtype in self._app_subtypes.get(callee.class_name, ()):
-                    override = MethodRef(
-                        subtype, callee.name, callee.descriptor
-                    )
-                    subtype_class = self._apk.lookup(subtype)
-                    if (
-                        subtype_class is not None
-                        and subtype_class.declares(override.signature)
-                    ):
-                        callgraph.add_edge(
-                            CallSite(
-                                caller=method.ref,
-                                callee=callee,
-                                resolved=override,
-                            )
+                self._enqueue(effect[1], depth, worklist, queued)
+            else:  # "loadclass"
+                names = effect[1]
+                if names:
+                    for class_name in names:
+                        self._enqueue_class(
+                            class_name, depth, worklist, queued,
+                            unresolved_dynamic,
                         )
-                        self._enqueue(override, depth, worklist, queued)
+                    self.stats.dynamic_classes_resolved += len(names)
+                else:
+                    self.stats.dynamic_sites_unresolved += 1
+
+    # -- framework apply plans (dedup mode) -----------------------------
+
+    def _framework_plan(self, method: Method) -> tuple:
+        """The pre-resolved apply plan of one framework method.
+
+        Cached on the ``Method`` object, which the framework
+        repository shares process-wide per (class, level) — so the
+        dispatch walks and ``CallSite`` construction happen once per
+        corpus, not once per app.  Only valid (and only consulted)
+        when the app shadows no framework class name; callees outside
+        the framework namespace stay ``live`` entries replayed through
+        the ordinary path.
+        """
+        plan = method.__dict__.get("_fw_plan")
+        if plan is not None:
+            return plan
+        caller = method.ref
+        entries: list[tuple] = []
+        for effect in self._prepared_method_effects(method):
+            kind = effect[0]
+            if kind == "invoke":
+                _, invoke_kind, callee, virtual = effect
+                if not callee.is_framework:
+                    # App-world callee from framework code: resolution
+                    # is app-dependent, keep it live.
+                    entries.append(("live", effect))
+                    continue
+                resolved = self._resolve_dispatch_ref(invoke_kind, callee)
+                target = resolved or callee
+                entries.append(
+                    (
+                        "call",
+                        _intern_site(caller, callee, resolved),
+                        target,
+                        target.is_framework,
+                        virtual,
+                    )
+                )
+            else:  # "loadclass" / "new" — already app-independent
+                entries.append(effect)
+        plan = tuple(entries)
+        object.__setattr__(method, "_fw_plan", plan)
+        return plan
+
+    def _replay_framework_plan(
+        self,
+        method: Method,
+        depth: int,
+        callgraph: CallGraph,
+        worklist: list[tuple[MethodRef, int]],
+        queued: set[MethodRef],
+        unresolved_dynamic: list[ClassName],
+    ) -> None:
+        """Apply a framework method's cached plan — same edges, same
+        enqueues, same order as :meth:`_apply_effects`, with the
+        depth policy and app-override expansion evaluated live."""
+        caller = method.ref
+        next_depth = depth + 1
+        bucket: list | None = None
+        for entry in self._framework_plan(method):
+            op = entry[0]
+            if op == "call":
+                _, site, target, target_is_framework, virtual = entry
+                if bucket is None:
+                    bucket = callgraph.edges.setdefault(caller, [])
+                bucket.append(site)
+                if target_is_framework:
+                    if self._follow_framework and (
+                        self._max_framework_depth is None
+                        or next_depth <= self._max_framework_depth
+                    ):
+                        if target not in queued:
+                            queued.add(target)
+                            worklist.append((target, next_depth))
+                elif target not in queued:
+                    queued.add(target)
+                    worklist.append((target, depth))
+                if virtual:
+                    callee = site.callee
+                    for subtype in self._app_subtypes.get(
+                        callee.class_name, ()
+                    ):
+                        override = _intern_ref(
+                            subtype, callee.name, callee.descriptor
+                        )
+                        subtype_class = self._apk.lookup(subtype)
+                        if (
+                            subtype_class is not None
+                            and subtype_class.declares(override.signature)
+                        ):
+                            bucket.append(
+                                _intern_site(caller, callee, override)
+                            )
+                            self._enqueue(override, depth, worklist, queued)
+            elif op == "loadclass":
+                names = entry[1]
+                if names:
+                    for class_name in names:
+                        self._enqueue_class(
+                            class_name, depth, worklist, queued,
+                            unresolved_dynamic,
+                        )
+                    self.stats.dynamic_classes_resolved += len(names)
+                else:
+                    self.stats.dynamic_sites_unresolved += 1
+            elif op == "new":
+                self._enqueue(entry[1], depth, worklist, queued)
+            else:  # "live"
+                self._apply_effects(
+                    caller, (entry[1],), depth, callgraph, worklist,
+                    queued, unresolved_dynamic,
+                )
+
+    # -- dedup mode (corpus-wide class artifacts) -----------------------
+
+    def _dedup_effects(self, clazz: Clazz) -> tuple[tuple, ...]:
+        """The per-method effect streams of one app class, answered
+        from the corpus-wide store when a byte-identical class was
+        analyzed before (by any app, any run, any worker over the same
+        cache directory) and recorded otherwise."""
+        artifact = self.dedup_artifacts.get(clazz.name)
+        if artifact is None:
+            self.dedup_keys[clazz.name] = self.class_store.key_for(clazz)
+            artifact = self.class_store.get(clazz)
+            if artifact is not None:
+                self.stats.app_classes_deduped += 1
+                self.stats.instructions_deduped += clazz.instruction_count
+            else:
+                artifact = self._record_artifact(clazz)
+            self.dedup_artifacts[clazz.name] = artifact
+        prepared = _PREPARED_STREAMS.get(artifact)
+        if prepared is None:
+            prepared = _PREPARED_STREAMS[artifact] = tuple(
+                _prepare_stream(stream) for stream in artifact.effects
+            )
+        return prepared
+
+    def _record_artifact(self, clazz: Clazz):
+        """Derive and stage the full artifact of one app class: effect
+        streams plus version-helper summaries (the expensive pure
+        per-class computations).  Guard rows accumulate later, as the
+        guard phase observes contexts."""
+        from ..cache.classes import ClassArtifact
+        from .summaries import summarize_version_helper
+
+        effects = tuple(
+            self._method_effects(method) for method in clazz.methods
+        )
+        helpers: dict[tuple[str, str], frozenset[int]] = {}
+        for method in clazz.methods:
+            if method.ref.return_type not in ("boolean", "int"):
+                continue
+            levels = summarize_version_helper(method)
+            if levels is not None:
+                helpers[(method.ref.name, method.ref.descriptor)] = levels
+        artifact = ClassArtifact(effects=effects, helpers=helpers)
+        self.class_store.stage(self.class_store.key_for(clazz), artifact)
+        return artifact
 
     # -- summarized mode (framework pre-summaries) ---------------------
 
@@ -485,16 +856,41 @@ class ClassLoaderVM:
         return True
 
     def _resolve_dispatch(self, instruction: Invoke) -> MethodRef | None:
-        callee = instruction.method
-        if instruction.kind in (InvokeKind.STATIC, InvokeKind.DIRECT):
+        return self._resolve_dispatch_ref(instruction.kind, instruction.method)
+
+    def _resolve_dispatch_ref(
+        self, kind: InvokeKind, callee: MethodRef
+    ) -> MethodRef | None:
+        memo_key = (kind, callee)
+        if memo_key in self._dispatch_memo:
+            return self._dispatch_memo[memo_key]
+        shared = (
+            self._shared_dispatch
+            if self._shared_dispatch is not None and callee.is_framework
+            else None
+        )
+        if shared is not None and memo_key in shared:
+            resolved = shared[memo_key]
+            self._dispatch_memo[memo_key] = resolved
+            return resolved
+        if kind in (InvokeKind.STATIC, InvokeKind.DIRECT):
             clazz = self.resolver.resolve(callee.class_name)
-            if clazz is not None and clazz.declares(callee.signature):
-                return callee
-            return None
-        declaring = self.resolver.dispatch(callee)
-        if declaring is None:
-            return None
-        return MethodRef(declaring.name, callee.name, callee.descriptor)
+            resolved = (
+                callee
+                if clazz is not None and clazz.declares(callee.signature)
+                else None
+            )
+        else:
+            declaring = self.resolver.dispatch(callee)
+            resolved = (
+                None
+                if declaring is None
+                else MethodRef(declaring.name, callee.name, callee.descriptor)
+            )
+        self._dispatch_memo[memo_key] = resolved
+        if shared is not None:
+            shared[memo_key] = resolved
+        return resolved
 
     def _enqueue(
         self,

@@ -433,9 +433,19 @@ class FrameworkSummaryTable:
             },
             protocol=pickle.HIGHEST_PROTOCOL,
         )
-        atomic_write_bytes(
-            path, hashlib.sha256(payload).digest() + payload
+        blob = hashlib.sha256(payload).digest() + payload
+        atomic_write_bytes(path, blob)
+        # Size the entry into the directory's shared manifest so the
+        # summary store participates in the LRU byte budget alongside
+        # result and class-artifact entries.
+        from ..cache.manifest import shared_manifest
+
+        manifest = shared_manifest(self._store_dir)
+        manifest.record(
+            str(path.relative_to(self._store_dir)), len(blob)
         )
+        manifest.prune()
+        manifest.save()
 
     def _load(self, level: int) -> dict[ClassName, ClassSummary] | None:
         """Load one level from the store; ``None`` on any defect
@@ -466,6 +476,17 @@ class FrameworkSummaryTable:
         ):
             return None
         self.stats.levels_loaded += 1
+        from ..cache.manifest import shared_manifest
+
+        manifest = shared_manifest(self._store_dir)
+        relative = str(path.relative_to(self._store_dir))
+        if relative in manifest.entries:
+            manifest.touch(relative)
+        else:
+            # A table written before manifest sizing existed (or by a
+            # concurrent worker whose manifest save lost the race):
+            # adopt it so eviction accounting stays complete.
+            manifest.record(relative, len(blob))
         return doc["classes"]
 
 

@@ -40,9 +40,15 @@ from ..ir.instructions import (
 )
 from ..ir.method import Method
 from ..ir.types import SDK_INT_FIELD
+from ..apk.manifest import MIN_API_LEVEL
 from .cfg import build_cfg
 from .dataflow import Analysis, BlockStates, solve_forward
-from .intervals import ApiInterval
+from .intervals import (
+    ApiInterval,
+    interval_mask,
+    levels_mask,
+    mask_to_interval,
+)
 
 __all__ = ["ValueKind", "RegValue", "GuardState", "GuardAnalysis",
            "analyze_guards", "guard_at_invocations",
@@ -245,14 +251,30 @@ class GuardAnalysis(Analysis[GuardState | None]):
         # The register holds 1 exactly on ``levels``; keep the device
         # levels whose concrete value satisfies the comparison, over-
         # approximated to the convex hull (intervals cannot hold gaps).
+        # The comparison only sees 0 or 1, so two evaluations decide
+        # every level; the per-level work collapses to bitmask ops.
+        interval = state.interval
+        true_ok = effective.evaluate(1, constant)
+        false_ok = effective.evaluate(0, constant)
+        if interval.lo >= MIN_API_LEVEL:
+            window = interval_mask(interval)
+            inside = levels_mask(levels)
+            satisfying_mask = (window & inside if true_ok else 0) | (
+                window & ~inside if false_ok else 0
+            )
+            if not satisfying_mask:
+                return None
+            return state.with_interval(mask_to_interval(satisfying_mask))
+        # Out-of-range entry interval (custom --devices): per-level
+        # fallback with identical semantics.
         satisfying = [
             level
-            for level in state.interval
-            if effective.evaluate(1 if level in levels else 0, constant)
+            for level in interval
+            if (true_ok if level in levels else false_ok)
         ]
         if not satisfying:
             return None
-        refined = state.interval.meet(
+        refined = interval.meet(
             ApiInterval.of(min(satisfying), max(satisfying))
         )
         if refined.is_empty:

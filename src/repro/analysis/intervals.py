@@ -9,12 +9,19 @@ operation at the heart of Algorithm 2's ``GET_GUARD``.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from ..apk.manifest import MAX_API_LEVEL, MIN_API_LEVEL
 from ..ir.instructions import CmpOp
 
-__all__ = ["ApiInterval", "FULL_RANGE", "EMPTY"]
+__all__ = [
+    "ApiInterval",
+    "FULL_RANGE",
+    "EMPTY",
+    "levels_mask",
+    "interval_mask",
+    "mask_to_interval",
+]
 
 
 @dataclass(frozen=True, slots=True)
@@ -23,6 +30,19 @@ class ApiInterval:
 
     lo: int
     hi: int
+    #: Cached hash — intervals key guard contexts and usage merges by
+    #: the million; intervals are interned, so each distinct value
+    #: hashes its ``(lo, hi)`` pair once per process.
+    _hash: int | None = field(
+        default=None, init=False, repr=False, compare=False
+    )
+
+    def __hash__(self) -> int:
+        value = self._hash
+        if value is None:
+            value = hash((self.lo, self.hi))
+            object.__setattr__(self, "_hash", value)
+        return value
 
     # -- constructors -------------------------------------------------
 
@@ -148,3 +168,59 @@ FULL_RANGE = _intern(MIN_API_LEVEL, MAX_API_LEVEL)
 
 #: The canonical empty interval.
 EMPTY = _intern(MAX_API_LEVEL + 1, MIN_API_LEVEL - 1)
+
+
+# -- bitset level sets ---------------------------------------------------
+#
+# The guard analysis's hottest set operation is predicate refinement:
+# "which levels in this path interval satisfy `helper_result <op> c`?"
+# Materializing the interval as a Python list and testing each level
+# against a frozenset allocates per branch edge, millions of times over
+# a corpus.  A level set is instead packed into an int bitmask (bit 0 =
+# ``MIN_API_LEVEL``), where intersection/union/complement are single
+# C-speed integer ops and the convex hull falls out of ``bit_length``.
+# Masks only represent levels at or above ``MIN_API_LEVEL``; callers
+# with out-of-range intervals (possible via ``--devices``) must keep to
+# the per-level fallback.
+
+_LEVEL_MASKS: dict[frozenset, int] = {}
+_INTERVAL_MASKS: dict[tuple[int, int], int] = {}
+
+
+def levels_mask(levels: frozenset) -> int:
+    """Bitmask of a version-helper level set, memoized per frozenset —
+    the same few helper summaries recur across every branch edge of a
+    corpus.  Levels below ``MIN_API_LEVEL`` are dropped (they cannot
+    appear in any in-range path interval)."""
+    cached = _LEVEL_MASKS.get(levels)
+    if cached is None:
+        cached = 0
+        for level in levels:
+            if level >= MIN_API_LEVEL:
+                cached |= 1 << (level - MIN_API_LEVEL)
+        _LEVEL_MASKS[levels] = cached
+    return cached
+
+
+def interval_mask(interval: ApiInterval) -> int:
+    """Bitmask of every level in ``interval`` (which must start at or
+    above ``MIN_API_LEVEL``)."""
+    key = (interval.lo, interval.hi)
+    cached = _INTERVAL_MASKS.get(key)
+    if cached is None:
+        if interval.is_empty:
+            cached = 0
+        else:
+            width = interval.hi - interval.lo + 1
+            cached = ((1 << width) - 1) << (interval.lo - MIN_API_LEVEL)
+        _INTERVAL_MASKS[key] = cached
+    return cached
+
+
+def mask_to_interval(mask: int) -> ApiInterval:
+    """Convex hull of a level bitmask (lowest to highest set bit)."""
+    if not mask:
+        return EMPTY
+    lo = MIN_API_LEVEL + ((mask & -mask).bit_length() - 1)
+    hi = MIN_API_LEVEL + (mask.bit_length() - 1)
+    return _intern(lo, hi)

@@ -19,16 +19,29 @@ Everything is keyed through :mod:`.fingerprint`; nothing in here
 affects *what* a run computes, only whether it recomputes it.
 """
 
+from .classes import (
+    ClassArtifact,
+    ClassStore,
+    ClassStoreStats,
+    class_store,
+)
 from .fingerprint import (
     CACHE_SCHEMA_VERSION,
     canonical_json,
+    class_key,
     digest_json,
     fingerprint_apk,
+    fingerprint_clazz,
     fingerprint_config,
     fingerprint_spec,
     result_key,
 )
-from .manifest import CacheManifest, atomic_write_bytes, atomic_write_text
+from .manifest import (
+    CacheManifest,
+    atomic_write_bytes,
+    atomic_write_text,
+    shared_manifest,
+)
 from .results import ResultCache, ResultCacheStats
 from .shared import SharedSubstrate, SharedSubstrateHandle
 from .snapshot import (
@@ -44,6 +57,9 @@ from .snapshot import (
 __all__ = [
     "CACHE_SCHEMA_VERSION",
     "CacheManifest",
+    "ClassArtifact",
+    "ClassStore",
+    "ClassStoreStats",
     "ResultCache",
     "ResultCacheStats",
     "SharedSubstrate",
@@ -51,15 +67,19 @@ __all__ = [
     "atomic_write_bytes",
     "atomic_write_text",
     "canonical_json",
+    "class_key",
+    "class_store",
     "digest_json",
     "ensure_snapshot",
     "fingerprint_apk",
+    "fingerprint_clazz",
     "fingerprint_config",
     "fingerprint_spec",
     "load_or_build_substrate",
     "load_snapshot",
     "restore_substrate",
     "result_key",
+    "shared_manifest",
     "snapshot_path",
     "substrate_payload",
     "write_snapshot",

@@ -37,8 +37,10 @@ __all__ = [
     "digest_json",
     "fingerprint_spec",
     "fingerprint_apk",
+    "fingerprint_clazz",
     "fingerprint_config",
     "result_key",
+    "class_key",
 ]
 
 #: Version of every on-disk cache artifact (snapshot pickles, result
@@ -118,6 +120,29 @@ def fingerprint_apk(apk: Apk) -> str:
     return digest_json(apk_to_dict(apk))
 
 
+def fingerprint_clazz(clazz) -> str:
+    """Digest of one class's full serialized content.
+
+    This is the per-class analogue of :func:`fingerprint_apk`: the
+    same document the ``.sapk`` codec writes for the class, so two
+    byte-identical classes bundled by different apps share one digest
+    (the corpus-dedup property), while any change to a method body,
+    flag, or supertype is a new key.
+
+    A :class:`~repro.ir.clazz.Clazz` is immutable after construction,
+    and the overlapping-corpus generators share ``Clazz`` instances
+    across apps, so the digest is memoized on the instance.
+    """
+    memo = getattr(clazz, "_content_fingerprint", None)
+    if memo is not None:
+        return memo
+    from ..apk.serialization import _class_to_dict
+
+    digest = digest_json(_class_to_dict(clazz))
+    object.__setattr__(clazz, "_content_fingerprint", digest)
+    return digest
+
+
 def fingerprint_config(
     tools: tuple[str, ...], options: dict | None = None
 ) -> str:
@@ -146,4 +171,23 @@ def result_key(
     return hashlib.sha256(
         f"{CACHE_SCHEMA_VERSION}:{framework_fingerprint}:"
         f"{config_fingerprint}:{apk_fingerprint}".encode()
+    ).hexdigest()
+
+
+def class_key(
+    clazz_fingerprint: str,
+    framework_fingerprint: str,
+    config_fingerprint: str,
+) -> str:
+    """The cache key of one class's analysis artifacts.
+
+    Keyed exactly like :func:`result_key` but on the *class* content
+    digest: the artifacts record only class-local facts (static call
+    targets, constant-resolved loadclass names, SDK-guard rows), so
+    they are valid for every app that bundles a byte-identical class
+    under the same framework revision and tool configuration.
+    """
+    return hashlib.sha256(
+        f"{CACHE_SCHEMA_VERSION}:{framework_fingerprint}:"
+        f"{config_fingerprint}:class:{clazz_fingerprint}".encode()
     ).hexdigest()

@@ -28,7 +28,12 @@ from pathlib import Path
 
 from .fingerprint import CACHE_SCHEMA_VERSION
 
-__all__ = ["atomic_write_bytes", "atomic_write_text", "CacheManifest"]
+__all__ = [
+    "atomic_write_bytes",
+    "atomic_write_text",
+    "CacheManifest",
+    "shared_manifest",
+]
 
 #: Default byte budget for the result-entry store (framework
 #: snapshots are few and excluded from eviction).
@@ -134,3 +139,53 @@ class CacheManifest:
             self.entries.pop(relative, None)
             evicted.append(relative)
         return evicted
+
+    def sizes_by_store(self) -> dict[str, dict]:
+        """Entry counts and byte totals grouped by top-level store
+        directory (``results``, ``classes``, ``summaries``, …) — the
+        observability view behind the daemon's ``/statsz``."""
+        stores: dict[str, dict] = {}
+        for relative, entry in self.entries.items():
+            prefix = relative.split("/", 1)[0]
+            bucket = stores.setdefault(prefix, {"entries": 0, "bytes": 0})
+            bucket["entries"] += 1
+            bucket["bytes"] += entry.get("size", 0)
+        return stores
+
+
+# One cache directory holds several artifact stores (per-app results,
+# per-class artifacts, framework summary tables) that must share one
+# byte budget: two CacheManifest instances over the same directory
+# would clobber each other's rows on save, and an unshared store's
+# bytes would escape the LRU bound entirely.  The registry hands every
+# store over one directory the same manifest object.
+_SHARED_MANIFESTS: dict[str, CacheManifest] = {}
+
+
+def shared_manifest(
+    cache_dir: str | Path, *, max_bytes: int | None = None
+) -> CacheManifest:
+    """The process-wide :class:`CacheManifest` for ``cache_dir``.
+
+    ``max_bytes`` tightens (or relaxes) the budget of an existing
+    instance when given explicitly; ``None`` keeps whatever the first
+    opener configured (the default 512MB bound).
+    """
+    key = os.path.abspath(os.fspath(cache_dir))
+    manifest = _SHARED_MANIFESTS.get(key)
+    if manifest is None:
+        manifest = CacheManifest(
+            cache_dir,
+            max_bytes=(
+                max_bytes if max_bytes is not None else DEFAULT_MAX_BYTES
+            ),
+        )
+        _SHARED_MANIFESTS[key] = manifest
+    elif max_bytes is not None:
+        manifest.max_bytes = max_bytes
+    return manifest
+
+
+def _reset_shared_manifests() -> None:
+    """Drop the registry (tests re-opening directories cold)."""
+    _SHARED_MANIFESTS.clear()

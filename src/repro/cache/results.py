@@ -30,7 +30,7 @@ from pathlib import Path
 from typing import TYPE_CHECKING
 
 from .fingerprint import CACHE_SCHEMA_VERSION, result_key
-from .manifest import DEFAULT_MAX_BYTES, CacheManifest, atomic_write_text
+from .manifest import DEFAULT_MAX_BYTES, atomic_write_text, shared_manifest
 
 if TYPE_CHECKING:  # pragma: no cover — import cycle guard
     from ..eval.runner import AppResult
@@ -85,8 +85,12 @@ class ResultCache:
         self.framework_fingerprint = framework_fingerprint
         self.config_fingerprint = config_fingerprint
         self.stats = ResultCacheStats()
-        self._manifest = CacheManifest(
-            self.cache_dir, max_bytes=max_bytes
+        # The manifest is shared with every other store over this
+        # directory (class artifacts, framework summaries), so the
+        # byte budget bounds their *combined* footprint.
+        self._manifest = shared_manifest(
+            self.cache_dir,
+            max_bytes=max_bytes if max_bytes != DEFAULT_MAX_BYTES else None,
         )
 
     def _entry_path(self, apk_fingerprint: str) -> Path:

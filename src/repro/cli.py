@@ -220,6 +220,17 @@ def build_parser() -> argparse.ArgumentParser:
                  "built once per framework and cached under "
                  "--cache-dir when set)",
         )
+        command.add_argument(
+            "--dedup", action=argparse.BooleanOptionalAction,
+            default=False,
+            help="delta analysis against the corpus-wide class-"
+                 "artifact store: classes shared across apps are "
+                 "fingerprinted once and their explore effects, "
+                 "version-helper summaries, and guard rows replayed "
+                 "on every later encounter (same findings as lazy "
+                 "analysis — parity-tested; the store persists under "
+                 "--cache-dir when set)",
+        )
 
     table = sub.add_parser("table", help="regenerate a paper table")
     table.add_argument("number", type=int, choices=(1, 2, 3, 4))
@@ -398,6 +409,13 @@ def build_parser() -> argparse.ArgumentParser:
         default=False,
         help="run workers with whole-framework pre-summaries",
     )
+    serve.add_argument(
+        "--dedup", action=argparse.BooleanOptionalAction,
+        default=False,
+        help="delta analysis against the corpus-wide class-artifact "
+             "store; a resident daemon's hit rate climbs as its "
+             "corpus streams in (cumulative counters on /statsz)",
+    )
 
     submit = sub.add_parser(
         "submit",
@@ -473,12 +491,16 @@ def _run_kwargs(args: argparse.Namespace) -> dict:
 
 
 def _toolset_kwargs(args: argparse.Namespace) -> dict:
-    """ToolSet.default() kwargs from the --summaries flag (the summary
-    table persists under the cache directory when one is configured)."""
+    """ToolSet.default() kwargs from the --summaries/--dedup flags
+    (the summary table and the class-artifact store persist under the
+    cache directory when one is configured)."""
     cache_dir = _cache_dir(args)
+    cache_str = str(cache_dir) if cache_dir is not None else None
     return {
         "summaries": getattr(args, "summaries", False),
-        "summaries_dir": str(cache_dir) if cache_dir is not None else None,
+        "summaries_dir": cache_str,
+        "dedup": getattr(args, "dedup", False),
+        "dedup_dir": cache_str,
     }
 
 
@@ -735,6 +757,7 @@ def _cmd_difftest(args: argparse.Namespace) -> int:
         checkpoint=args.checkpoint,
         cache_dir=str(cache_dir) if cache_dir is not None else None,
         summaries=args.summaries,
+        dedup=args.dedup,
     )
     result = run_campaign(config)
     if args.report is not None:
@@ -856,6 +879,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         workers=args.workers,
         include=tuple(args.tools),
         summaries=args.summaries,
+        dedup=args.dedup,
         cache_dir=str(cache_dir) if cache_dir is not None else None,
         journal=str(args.journal) if args.journal is not None else None,
         queue_limit=args.queue_limit,

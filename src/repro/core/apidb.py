@@ -149,6 +149,9 @@ class ApiDatabase:
         self._permission_cache: dict[
             tuple[MethodRef, bool], frozenset[str]
         ] = {}
+        self._missing_cache: dict[
+            tuple[ClassName, str, int, int], "ApiInterval"
+        ] = {}
         self.cache_counters = DbCacheCounters()
         # Per-level API counts, computed once: api_count_at used to
         # rescan every method of every class on every call.
@@ -274,14 +277,27 @@ class ApiDatabase:
         self, name: ClassName, signature: str, interval: ApiInterval
     ) -> ApiInterval:
         """Hull of levels within ``interval`` at which the method is
-        not callable (empty = fully supported)."""
+        not callable (empty = fully supported).  Memoized: detection
+        asks the same (api, window) question for every usage site."""
+        key = (name, signature, interval.lo, interval.hi)
+        cached = self._missing_cache.get(key)
+        if cached is not None:
+            # A warm (api, window) answer is a hit on the underlying
+            # callable-level set — keep the observability contract
+            # (hit counters climb as memo tables warm) intact.
+            self.cache_counters.levels_hits += 1
+            return cached
         callable_levels = self._callable_levels(name, signature)
         missing = [
             level for level in interval if level not in callable_levels
         ]
-        if not missing:
-            return ApiInterval.empty()
-        return ApiInterval.of(min(missing), max(missing))
+        result = (
+            ApiInterval.empty()
+            if not missing
+            else ApiInterval.of(min(missing), max(missing))
+        )
+        self._missing_cache[key] = result
+        return result
 
     # -- callbacks -----------------------------------------------------------
 

@@ -30,6 +30,7 @@ That asymmetry is the source of SAINTDroid's residual false alarms.
 from __future__ import annotations
 
 import time
+import weakref
 from dataclasses import dataclass, field
 
 from ..apk.package import Apk
@@ -37,14 +38,17 @@ from ..framework.repository import FrameworkRepository
 from ..ir.method import Method, MethodFlags
 from ..ir.types import ClassName, MethodRef, is_anonymous_class
 from ..analysis.callgraph import CallGraph
-from ..analysis.clvm import ClassLoaderVM, LoadStats
+from ..analysis.clvm import ClassLoaderVM, LoadStats, _intern_ref
 from ..analysis.guards import guard_at_allocations, guard_at_invocations
-from ..analysis.summaries import collect_version_helpers
+from ..analysis.summaries import (
+    collect_version_helpers,
+    summarize_version_helper,
+)
 from ..analysis.intervals import ApiInterval
 from .apidb import ApiDatabase
 
 __all__ = ["ApiUsage", "OverrideRecord", "PermissionUse", "AumModel",
-           "ApiUsageModeler", "entry_points", "explore",
+           "ApiUsageModeler", "GuardRowCache", "entry_points", "explore",
            "propagate_guards", "collect_overrides",
            "annotate_permissions", "nearest_framework_ancestor"]
 
@@ -101,6 +105,9 @@ class AumModel:
     version_helpers: dict[tuple, frozenset[int]] = field(
         default_factory=dict
     )
+    #: Set in ``--dedup`` mode: answers guard-propagation contexts
+    #: from (and records them into) the corpus-wide class store.
+    guard_cache: "GuardRowCache | None" = None
     #: Measured wall seconds per modeling phase (``explore`` /
     #: ``guards``); the detector adds ``load`` and ``detect``.
     phase_seconds: dict = field(default_factory=dict)
@@ -142,15 +149,179 @@ def explore(model: AumModel, vm: ClassLoaderVM) -> None:
     )
     # Summarize the app's version-check helpers once; branches on
     # their results then refine intervals like inline SDK checks.
-    model.version_helpers = collect_version_helpers(
-        method
-        for ref in exploration.callgraph.app_methods()
-        if (method := exploration.callgraph.method(ref)) is not None
-        and method.has_code
-    )
+    if vm.class_store is None:
+        model.version_helpers = collect_version_helpers(
+            method
+            for ref in exploration.callgraph.app_methods()
+            if (method := exploration.callgraph.method(ref)) is not None
+            and method.has_code
+        )
+    else:
+        model.version_helpers = _dedup_version_helpers(
+            vm, exploration.callgraph
+        )
+        model.guard_cache = GuardRowCache(
+            vm.class_store, vm.dedup_artifacts, vm.dedup_keys
+        )
+
+
+def _dedup_version_helpers(
+    vm: ClassLoaderVM, callgraph: CallGraph
+) -> dict[tuple, frozenset[int]]:
+    """The same helper table :func:`collect_version_helpers` builds,
+    answered from class artifacts where one was consulted or recorded
+    (artifacts carry the per-level helper evaluation — the most
+    expensive pure-per-class computation)."""
+    summaries: dict[tuple, frozenset[int]] = {}
+    for ref in callgraph.app_methods():
+        method = callgraph.method(ref)
+        if method is None or not method.has_code:
+            continue
+        if method.ref.return_type not in ("boolean", "int"):
+            continue
+        artifact = vm.dedup_artifacts.get(method.ref.class_name)
+        if artifact is not None:
+            levels = artifact.helpers.get(
+                (method.ref.name, method.ref.descriptor)
+            )
+        else:
+            levels = summarize_version_helper(method)
+        if levels is not None:
+            summaries[
+                (method.ref.class_name, method.ref.name,
+                 method.ref.descriptor)
+            ] = levels
+    return summaries
 
 
 # -- guard propagation ------------------------------------------------------
+
+#: ``helpers_digest([])`` — filled in lazily on first GuardRowCache
+#: construction (module-level import would cycle through the cache
+#: package) and shared by every method with no version-helper calls.
+_EMPTY_HELPER_DIGEST: str | None = None
+
+#: artifact -> {row_key -> tuple[(MethodRef, ApiInterval), ...]}.
+#: Raw guard rows are JSON-ish triples (they live in pickled store
+#: entries); materializing them into interned refs/intervals once per
+#: artifact — not once per app — is what keeps warm replay cheap.
+#: Weakly keyed so evicted artifacts drop their materializations.
+_MATERIALIZED_ROWS: weakref.WeakKeyDictionary = weakref.WeakKeyDictionary()
+
+
+class GuardRowCache:
+    """Dedup adapter between guard propagation and the class store.
+
+    A guard context — one ``(method, entry interval)`` pair — is a pure
+    function of the method body, the entry interval, and the helper
+    summaries of the methods it invokes, so its refined call-site rows
+    are valid for *any* app bundling the identical class under an
+    equivalent helper environment.  The helper environment is pinned by
+    digesting the helper summaries restricted to the method's invoked
+    refs (the only ones the guard analysis can consult).
+    """
+
+    def __init__(self, store, artifacts: dict, keys: dict) -> None:
+        self._store = store
+        self._artifacts = artifacts
+        self._keys = keys
+        #: The helper-environment digest — and the method's rendered
+        #: signature — depend only on the method (its invoked refs) and
+        #: the app's fixed helper table, not on the entry interval, so
+        #: the per-method prefix of every context key is built once
+        #: even though a method is looked up once per context.
+        self._digest_memo: dict[MethodRef, str] = {}
+        self._prefix_memo: dict[MethodRef, tuple[str, str]] = {}
+        global _EMPTY_HELPER_DIGEST
+        if _EMPTY_HELPER_DIGEST is None:
+            from ..cache.classes import helpers_digest
+
+            _EMPTY_HELPER_DIGEST = helpers_digest([])
+
+    def _helper_digest(
+        self,
+        method: Method,
+        version_helpers: dict[tuple, frozenset[int]],
+    ) -> str:
+        cached = self._digest_memo.get(method.ref)
+        if cached is not None:
+            return cached
+        relevant = None
+        if version_helpers:
+            for invoke in method.invocations:
+                ref = invoke.method
+                triple = (ref.class_name, ref.name, ref.descriptor)
+                levels = version_helpers.get(triple)
+                if levels is not None:
+                    if relevant is None:
+                        relevant = {}
+                    relevant[triple] = levels
+        if relevant is None:
+            # The overwhelmingly common case — no version-helper calls
+            # — shares one precomputed digest instead of hashing.
+            digest = _EMPTY_HELPER_DIGEST
+        else:
+            from ..cache.classes import helpers_digest
+
+            digest = helpers_digest(relevant.items())
+        self._digest_memo[method.ref] = digest
+        return digest
+
+    def _context_key(
+        self,
+        method: Method,
+        interval: ApiInterval,
+        version_helpers: dict[tuple, frozenset[int]],
+    ) -> tuple:
+        prefix = self._prefix_memo.get(method.ref)
+        if prefix is None:
+            prefix = self._prefix_memo[method.ref] = (
+                method.signature,
+                self._helper_digest(method, version_helpers),
+            )
+        return (prefix[0], interval.lo, interval.hi, prefix[1])
+
+    def lookup(
+        self,
+        method: Method,
+        interval: ApiInterval,
+        version_helpers: dict[tuple, frozenset[int]],
+    ) -> tuple:
+        """``(site_rows, row_key)`` — site_rows is ``None`` on a miss,
+        else a tuple of ``(callee_ref, refined_interval)`` pairs
+        materialized once per artifact and shared across apps; the
+        row_key is reused by :meth:`record` so the context is digested
+        once."""
+        artifact = self._artifacts.get(method.ref.class_name)
+        if artifact is None:
+            self._store.stats.guard_misses += 1
+            return None, None
+        row_key = self._context_key(method, interval, version_helpers)
+        rows = artifact.guard_rows.get(row_key)
+        if rows is None:
+            self._store.stats.guard_misses += 1
+            return None, row_key
+        self._store.stats.guard_hits += 1
+        memo = _MATERIALIZED_ROWS.get(artifact)
+        if memo is None:
+            memo = _MATERIALIZED_ROWS[artifact] = {}
+        site_rows = memo.get(row_key)
+        if site_rows is None:
+            site_rows = tuple(
+                (
+                    _intern_ref(cls, name, descriptor),
+                    ApiInterval.of(lo, hi),
+                )
+                for (cls, name, descriptor), lo, hi in rows
+            )
+            memo[row_key] = site_rows
+        return site_rows, row_key
+
+    def record(self, method: Method, row_key: tuple, rows: tuple) -> None:
+        key = self._keys.get(method.ref.class_name)
+        if key is not None:
+            self._store.record_guard_rows(key, row_key, rows)
+
 
 def _guard_roots(model: AumModel) -> tuple[MethodRef, ...]:
     """Methods analyzed under the *unrefined* app interval: those
@@ -211,15 +382,27 @@ def propagate_guards(
     usage_keys: set[tuple[MethodRef, MethodRef]] = set()
     usage_intervals: dict[tuple[MethodRef, MethodRef], ApiInterval] = {}
 
-    # Pre-index resolved targets per (caller, static callee ref).
-    resolution: dict[tuple[MethodRef, MethodRef], list[MethodRef]] = {}
-    for caller, sites in callgraph.edges.items():
-        for site in sites:
-            key = (caller, site.callee)
-            target = site.resolved or site.callee
-            resolution.setdefault(key, [])
-            if target not in resolution[key]:
-                resolution[key].append(target)
+    # Resolved targets per static callee ref, indexed lazily per
+    # caller on first context visit: framework callers (never visited
+    # below) cost nothing, and the per-row probe keys on the callee
+    # alone instead of hashing a (caller, callee) tuple.
+    edges = callgraph.edges
+    resolution_memo: dict[MethodRef, dict[MethodRef, list[MethodRef]]] = {}
+
+    def caller_resolution(
+        caller: MethodRef,
+    ) -> dict[MethodRef, list[MethodRef]]:
+        per_callee = resolution_memo.get(caller)
+        if per_callee is None:
+            per_callee = resolution_memo[caller] = {}
+            for site in edges.get(caller, ()):
+                target = site.resolved or site.callee
+                targets = per_callee.get(site.callee)
+                if targets is None:
+                    per_callee[site.callee] = [target]
+                elif target not in targets:
+                    targets.append(target)
+        return per_callee
 
     def root_interval(root: MethodRef) -> ApiInterval:
         if is_anonymous_class(root.class_name):
@@ -248,12 +431,44 @@ def propagate_guards(
         if method is None or method.body is None:
             continue
 
-        for invoke, refined in guard_at_invocations(
-            method, interval, model.version_helpers
-        ):
-            targets = resolution.get(
-                (ref, invoke.method), [invoke.method]
+        if model.guard_cache is None:
+            site_rows = [
+                (invoke.method, refined)
+                for invoke, refined in guard_at_invocations(
+                    method, interval, model.version_helpers
+                )
+            ]
+        else:
+            site_rows, row_key = model.guard_cache.lookup(
+                method, interval, model.version_helpers
             )
+            if site_rows is None:
+                site_rows = [
+                    (invoke.method, refined)
+                    for invoke, refined in guard_at_invocations(
+                        method, interval, model.version_helpers
+                    )
+                ]
+                if row_key is not None:
+                    model.guard_cache.record(
+                        method,
+                        row_key,
+                        tuple(
+                            (
+                                (ref.class_name, ref.name, ref.descriptor),
+                                refined.lo,
+                                refined.hi,
+                            )
+                            for ref, refined in site_rows
+                        ),
+                    )
+                model.stats.guard_contexts_computed += 1
+            else:
+                model.stats.guard_contexts_deduped += 1
+
+        row_resolution = caller_resolution(ref)
+        for callee, refined in site_rows:
+            targets = row_resolution.get(callee) or (callee,)
             for target in targets:
                 if target.is_framework:
                     key = (ref, target)

@@ -50,6 +50,8 @@ class SaintDroid(PipelineDetector):
         analyze_secondary_dex: bool = True,
         framework_summaries: bool = False,
         summaries_dir: str | None = None,
+        dedup: bool = False,
+        dedup_dir: str | None = None,
     ) -> None:
         """``lazy_loading=False`` switches the AUM to closed-world
         loading (the eager ablation: same findings, whole-framework
@@ -58,6 +60,9 @@ class SaintDroid(PipelineDetector):
         ``framework_summaries=True`` bounds the CLVM at the framework
         boundary with whole-framework pre-summaries (same findings as
         lazy; ``summaries_dir`` persists the table across processes).
+        ``dedup=True`` answers per-class analysis from the corpus-wide
+        content-addressed artifact store (same findings as lazy;
+        ``dedup_dir`` persists artifacts across processes).
         """
         super().__init__(
             saintdroid_pipeline(
@@ -68,6 +73,8 @@ class SaintDroid(PipelineDetector):
                 analyze_secondary_dex=analyze_secondary_dex,
                 framework_summaries=framework_summaries,
                 summaries_dir=summaries_dir,
+                dedup=dedup,
+                dedup_dir=dedup_dir,
             ),
             framework,
             apidb,

@@ -108,3 +108,37 @@ class AnalysisMetrics:
         """Fraction of framework class loads that were warm; 0.0 on a
         cold (first-app) run, approaching 1.0 deep into a corpus."""
         return self.stats.framework_reuse_rate
+
+    # -- dedup accounting (``--dedup`` class-artifact replay) ----------
+    #
+    # Same observational contract as the warm counters: these say how
+    # much per-class derivation this run skipped because the corpus
+    # store already held the class's artifact.  Findings and cost-model
+    # quantities are replay-invariant (enforced by the parity suite).
+
+    @property
+    def app_classes_deduped(self) -> int:
+        """App classes whose explore effects were replayed from the
+        corpus-wide class-artifact store."""
+        return self.stats.app_classes_deduped
+
+    @property
+    def instructions_deduped(self) -> int:
+        return self.stats.instructions_deduped
+
+    @property
+    def class_dedup_fraction(self) -> float:
+        """Fraction of analyzed app classes answered by the store."""
+        loaded = self.stats.app_classes_loaded
+        if not loaded:
+            return 0.0
+        return self.stats.app_classes_deduped / loaded
+
+    @property
+    def guard_contexts_deduped(self) -> int:
+        """Guard-propagation contexts answered from cached rows."""
+        return self.stats.guard_contexts_deduped
+
+    @property
+    def guard_contexts_computed(self) -> int:
+        return self.stats.guard_contexts_computed

@@ -65,6 +65,9 @@ class CampaignConfig:
     #: lazy exploration; a campaign under --summaries exercises the
     #: summarized CLVM against the oracle).
     summaries: bool = False
+    #: Run the tool with class-artifact delta analysis (a campaign
+    #: under --dedup fuzzes the replay path against the oracle).
+    dedup: bool = False
 
 
 @dataclass
@@ -150,6 +153,8 @@ def run_campaign(
         include=(config.tool,),
         summaries=config.summaries,
         summaries_dir=config.cache_dir,
+        dedup=config.dedup,
+        dedup_dir=config.cache_dir,
     )
     run: RunResults = run_tools(
         apps,

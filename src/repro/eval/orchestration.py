@@ -136,7 +136,12 @@ class SerialBackend(CorpusBackend):
         return self._toolset.tool_names
 
     def config_options(self) -> dict:
-        return {"summaries": True} if self._toolset.summaries else {}
+        options: dict = {}
+        if self._toolset.summaries:
+            options["summaries"] = True
+        if self._toolset.dedup:
+            options["dedup"] = True
+        return options
 
     def run_round(
         self, pending: list[Entry], round_no: int
@@ -159,12 +164,17 @@ class SerialBackend(CorpusBackend):
     def finish(self, cache_dir: str | Path | None) -> dict:
         if cache_dir is not None:
             from ..cache import ensure_snapshot
+            from ..cache.classes import registered_stores
 
             # Snapshot the substrate (only written when missing) so the
             # next cold process loads it instead of rebuilding.
             ensure_snapshot(
                 cache_dir, self._toolset.framework, self._toolset.apidb
             )
+            # Settle the class-artifact stores: adopt stray entries,
+            # enforce the byte budget, persist the manifest.
+            for store in registered_stores():
+                store.flush()
         return self._toolset.cache_stats()
 
 

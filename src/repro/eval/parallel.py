@@ -121,6 +121,10 @@ class ParallelConfig:
     #: Bound the CLVM at the framework boundary with whole-framework
     #: pre-summaries (same findings as lazy; parity-tested).
     summaries: bool = False
+    #: Delta analysis against the corpus-wide class-artifact store
+    #: (same findings as lazy; parity-tested).  The store lives under
+    #: ``cache_dir`` so workers share it across rounds and runs.
+    dedup: bool = False
 
     def resolved_chunk_size(self, corpus_size: int) -> int:
         if self.chunk_size is not None:
@@ -153,6 +157,7 @@ def _init_worker(
     shared_handle=None,
     summaries: bool = False,
     cache_dir: str | None = None,
+    dedup: bool = False,
 ) -> None:
     global _WORKER_TOOLSET, _WORKER_FAULTS, _WORKER_SEGMENT
     # Substrate resolution order, cheapest first:
@@ -214,6 +219,8 @@ def _init_worker(
         include=include,
         summaries=summaries,
         summaries_dir=cache_dir,
+        dedup=dedup,
+        dedup_dir=cache_dir,
     )
     _WORKER_FAULTS = fault_plan
 
@@ -339,6 +346,33 @@ def _merge_cache_stats(snapshots: dict[int, dict]) -> dict:
         db["resolve_misses"] + db["levels_misses"] + db["permission_misses"]
     )
     db["hit_rate"] = hits / (hits + misses) if hits + misses else 0.0
+    # Class-artifact store traffic (only present in --dedup workers;
+    # older snapshots without the section merge cleanly).
+    classes: dict[str, float] = {}
+    seen_classes = False
+    for snapshot in snapshots.values():
+        section = snapshot.get("classes")
+        if not section:
+            continue
+        seen_classes = True
+        for key, value in section.items():
+            if key.endswith("_rate"):
+                continue
+            classes[key] = classes.get(key, 0) + value
+    if seen_classes:
+        hits = classes.get("hits", 0)
+        misses = classes.get("misses", 0)
+        classes["hit_rate"] = (
+            hits / (hits + misses) if hits + misses else 0.0
+        )
+        guard_hits = classes.get("guard_hits", 0)
+        guard_misses = classes.get("guard_misses", 0)
+        classes["guard_hit_rate"] = (
+            guard_hits / (guard_hits + guard_misses)
+            if guard_hits + guard_misses
+            else 0.0
+        )
+        merged["classes"] = classes
     return merged
 
 
@@ -368,6 +402,7 @@ def _run_round(
             shared_handle,
             config.summaries,
             config.cache_dir,
+            config.dedup,
         ),
     ) as pool:
         futures = {
@@ -411,7 +446,12 @@ class PoolBackend(CorpusBackend):
         return self._config.include
 
     def config_options(self) -> dict:
-        return {"summaries": True} if self._config.summaries else {}
+        options: dict = {}
+        if self._config.summaries:
+            options["summaries"] = True
+        if self._config.dedup:
+            options["dedup"] = True
+        return options
 
     def prepare(self, cache_dir, pending=()) -> None:
         # Prepare the substrate ONCE in the parent — repository with
@@ -493,7 +533,23 @@ class PoolBackend(CorpusBackend):
         )
 
     def finish(self, cache_dir) -> dict:
-        return _merge_cache_stats(self._worker_stats)
+        merged = _merge_cache_stats(self._worker_stats)
+        if self._config.dedup and self._config.cache_dir is not None:
+            # Workers write artifacts atomically but save the shared
+            # manifest last-writer-wins; the parent adopts anything the
+            # surviving manifest missed and enforces the byte budget.
+            from ..cache import fingerprint_config, fingerprint_spec
+            from ..cache.classes import CLASS_ARTIFACT_VERSION, class_store
+
+            store = class_store(
+                self._config.cache_dir,
+                framework_fingerprint=fingerprint_spec(self._spec),
+                config_fingerprint=fingerprint_config(
+                    ("SAINTDroid",), {"classes": CLASS_ARTIFACT_VERSION}
+                ),
+            )
+            store.flush()
+        return merged
 
     def close(self) -> None:
         # Guaranteed teardown (run_corpus calls this from a finally,

@@ -87,6 +87,9 @@ class ToolSet:
     #: persistent result cache on the mode and so the parallel engine
     #: rebuilds workers in the same mode.
     summaries: bool = False
+    #: True when SAINTDroid runs delta analysis against the corpus-wide
+    #: class-artifact store (``--dedup``).  Same carrying rationale.
+    dedup: bool = False
 
     @staticmethod
     def default(
@@ -96,6 +99,8 @@ class ToolSet:
         include: tuple[str, ...] = DEFAULT_TOOLS,
         summaries: bool = False,
         summaries_dir: str | None = None,
+        dedup: bool = False,
+        dedup_dir: str | None = None,
     ) -> "ToolSet":
         framework = framework or FrameworkRepository()
         apidb = apidb or build_api_database(framework)
@@ -105,6 +110,8 @@ class ToolSet:
                 apidb,
                 framework_summaries=summaries,
                 summaries_dir=summaries_dir,
+                dedup=dedup,
+                dedup_dir=dedup_dir,
             ),
             "CID": lambda: Cid(framework, apidb),
             "CIDER": lambda: Cider(framework, apidb),
@@ -116,6 +123,7 @@ class ToolSet:
             apidb=apidb,
             tools=tools,
             summaries=summaries,
+            dedup=dedup,
         )
 
     @property
@@ -124,10 +132,31 @@ class ToolSet:
 
     def cache_stats(self) -> dict:
         """Framework + database cache accounting for this tool set."""
-        return {
+        from ..cache.classes import registered_stores
+
+        stats = {
             "framework": self.framework.cache_stats.as_dict(),
             "apidb": self.apidb.cache_counters.as_dict(),
         }
+        stores = registered_stores()
+        if stores:
+            classes: dict[str, int | float] = {}
+            for store in stores:
+                for key, value in store.stats.as_dict().items():
+                    if not key.endswith("_rate"):
+                        classes[key] = classes.get(key, 0) + value
+            hits = classes.get("hits", 0)
+            misses = classes.get("misses", 0)
+            classes["hit_rate"] = hits / (hits + misses) if hits + misses else 0.0
+            guard_hits = classes.get("guard_hits", 0)
+            guard_misses = classes.get("guard_misses", 0)
+            classes["guard_hit_rate"] = (
+                guard_hits / (guard_hits + guard_misses)
+                if guard_hits + guard_misses
+                else 0.0
+            )
+            stats["classes"] = classes
+        return stats
 
 
 @dataclass
@@ -556,6 +585,7 @@ def run_tools(
             fault_plan=fault_plan,
             cache_dir=str(cache_dir) if cache_dir is not None else None,
             summaries=toolset.summaries,
+            dedup=toolset.dedup,
         )
         return run_tools_parallel(
             apps,

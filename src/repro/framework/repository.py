@@ -58,7 +58,21 @@ class FrameworkRepository:
         self._spec = spec if spec is not None else default_spec()
         self._class_cache: dict[tuple[int, ClassName], Clazz | None] = {}
         self._image_cache: dict[int, dict[ClassName, Clazz]] = {}
+        self._dispatch_memos: dict[int, dict] = {}
         self.cache_stats = FrameworkCacheStats()
+
+    def dispatch_memo(self, level: int) -> dict:
+        """Shared per-level dispatch resolutions for framework callees.
+
+        Framework-internal dispatch is a pure function of (spec, level)
+        as long as the app does not shadow a framework class name, so
+        dedup-mode explorers resolve each framework callee once per
+        process instead of once per app.  Callers gate on the shadow
+        check; the repository just owns the table's lifetime."""
+        memo = self._dispatch_memos.get(level)
+        if memo is None:
+            memo = self._dispatch_memos[level] = {}
+        return memo
 
     @property
     def spec(self) -> FrameworkSpec:

@@ -79,10 +79,15 @@ class Clazz:
     @property
     def instruction_count(self) -> int:
         """Total instructions across method bodies (the memory-model
-        unit: a loaded class costs its code size)."""
-        return sum(
-            len(m.body) for m in self.methods if m.body is not None
-        )
+        unit: a loaded class costs its code size).  Computed once —
+        load accounting asks per app, per class."""
+        cached = self.__dict__.get("_instruction_count")
+        if cached is None:
+            cached = sum(
+                len(m.body) for m in self.methods if m.body is not None
+            )
+            object.__setattr__(self, "_instruction_count", cached)
+        return cached
 
     @property
     def supertypes(self) -> tuple[ClassName, ...]:

@@ -72,8 +72,15 @@ class MethodBody:
 
     @property
     def invocations(self) -> tuple[Invoke, ...]:
-        """All invoke instructions in program order."""
-        return tuple(i for i in self.instructions if isinstance(i, Invoke))
+        """All invoke instructions in program order (computed once —
+        the scan is hot in exploration and guard-context hashing)."""
+        cached = self.__dict__.get("_invocations")
+        if cached is None:
+            cached = tuple(
+                i for i in self.instructions if isinstance(i, Invoke)
+            )
+            object.__setattr__(self, "_invocations", cached)
+        return cached
 
     @property
     def terminates(self) -> bool:

@@ -10,7 +10,7 @@ used by dex files; the serialization layer is free to render either.
 from __future__ import annotations
 
 import re
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from functools import lru_cache
 
 __all__ = [
@@ -46,6 +46,7 @@ ClassName = str
 _ANON_RE = re.compile(r"\$\d+$")
 
 
+@lru_cache(maxsize=65536)
 def is_anonymous_class(name: ClassName) -> bool:
     """Return True for names of anonymous inner classes (``Foo$1``).
 
@@ -94,6 +95,25 @@ class MethodRef:
     class_name: ClassName
     name: str
     descriptor: str = "()void"
+    #: Lazily cached hash — refs are hashed millions of times as dict
+    #: keys (worklists, callgraphs, dispatch memos), and the generated
+    #: dataclass hash re-tuples three strings on every lookup.
+    _hash: int | None = field(
+        default=None, init=False, repr=False, compare=False
+    )
+    _str: str | None = field(
+        default=None, init=False, repr=False, compare=False
+    )
+    _is_fw: bool | None = field(
+        default=None, init=False, repr=False, compare=False
+    )
+
+    def __hash__(self) -> int:
+        value = self._hash
+        if value is None:
+            value = hash((self.class_name, self.name, self.descriptor))
+            object.__setattr__(self, "_hash", value)
+        return value
 
     def __post_init__(self) -> None:
         if not self.class_name:
@@ -112,7 +132,11 @@ class MethodRef:
 
     @property
     def is_framework(self) -> bool:
-        return is_framework_class(self.class_name)
+        value = self._is_fw
+        if value is None:
+            value = is_framework_class(self.class_name)
+            object.__setattr__(self, "_is_fw", value)
+        return value
 
     @property
     def arity(self) -> int:
@@ -126,8 +150,14 @@ class MethodRef:
     def return_type(self) -> str:
         return self.descriptor[self.descriptor.rindex(")") + 1 :]
 
-    def __str__(self) -> str:  # pragma: no cover - repr convenience
-        return f"{self.class_name}.{self.name}{self.descriptor}"
+    def __str__(self) -> str:
+        # Cached: report ordering sorts usages by the rendered form,
+        # once per usage per app, over refs interned across the corpus.
+        value = self._str
+        if value is None:
+            value = f"{self.class_name}.{self.name}{self.descriptor}"
+            object.__setattr__(self, "_str", value)
+        return value
 
 
 @dataclass(frozen=True, slots=True)

@@ -12,6 +12,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from .passes import (
+    ClassDedupPass,
+    ClassStoreCommitPass,
     ClvmLoadPass,
     DetectApcPass,
     DetectApiPass,
@@ -94,6 +96,8 @@ def saintdroid_pipeline(
     analyze_secondary_dex: bool = True,
     framework_summaries: bool = False,
     summaries_dir: str | None = None,
+    dedup: bool = False,
+    dedup_dir: str | None = None,
 ) -> PipelineConfig:
     """SAINTDroid as a pass configuration.
 
@@ -104,17 +108,28 @@ def saintdroid_pipeline(
     inserts the whole-framework pre-analysis pass so the CLVM stops at
     the framework boundary with a table lookup (same findings as lazy,
     enforced by the parity test; ``summaries_dir`` persists the table
-    on disk).
+    on disk).  ``dedup`` brackets the run with the corpus-wide
+    class-artifact store passes — delta analysis at the class boundary
+    (same findings as lazy, enforced by the parity suite;
+    ``dedup_dir`` persists artifacts across processes).  Dedup mode
+    implies the pre-summary pass: delta analysis re-answers the app's
+    own classes from the artifact store, and the framework half of the
+    walk is exactly what the summary table already answers — both
+    shortcuts preserve findings, so they compose.
     """
+    use_summaries = framework_summaries or dedup
     passes: list[Pass] = [
         ManifestIngestPass(),
     ]
-    if framework_summaries:
+    if dedup:
+        passes.append(ClassDedupPass(store_dir=dedup_dir))
+    if use_summaries:
         passes.append(FrameworkSummariesPass(store_dir=summaries_dir))
     passes += [
         ClvmLoadPass(
             include_secondary_dex=analyze_secondary_dex,
-            use_summaries=framework_summaries,
+            use_summaries=use_summaries,
+            dedup=dedup,
         ),
         IcfgExplorePass(),
         GuardPropagationPass(
@@ -126,6 +141,8 @@ def saintdroid_pipeline(
     if not lazy_loading:
         passes.append(EagerLoadPass())
     passes += [DetectApiPass(), DetectApcPass(), DetectPrmPass()]
+    if dedup:
+        passes.append(ClassStoreCommitPass())
     return PipelineConfig(
         tool="SAINTDroid",
         passes=tuple(passes),

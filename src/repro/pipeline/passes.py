@@ -51,6 +51,8 @@ __all__ = [
     "registered_passes",
     "ManifestIngestPass",
     "FrameworkSummariesPass",
+    "ClassDedupPass",
+    "ClassStoreCommitPass",
     "ClvmLoadPass",
     "IcfgExplorePass",
     "EagerLoadPass",
@@ -179,6 +181,65 @@ class FrameworkSummariesPass(Pass):
 
 
 @register_pass
+class ClassDedupPass(Pass):
+    """Open the corpus-wide class-artifact store; begin app staging.
+
+    The store is process-shared (one instance per directory and
+    fingerprint pair), so every app in a run — or every job through a
+    daemon worker — amortizes against the same table.  ``begin_app``
+    discards staging left by an aborted pipeline: a faulted app never
+    publishes artifacts.
+    """
+
+    name = "class-dedup"
+    error_phase = AnalysisPhase.TOOL
+    provides = ("class_store",)
+
+    def __init__(self, *, store_dir: str | None = None) -> None:
+        self._store_dir = store_dir
+
+    def run(self, ctx: AnalysisContext) -> None:
+        from ..cache.classes import CLASS_ARTIFACT_VERSION, class_store
+        from ..cache.fingerprint import (
+            fingerprint_config,
+            fingerprint_spec,
+        )
+
+        # The config digest pins only what artifacts depend on — the
+        # artifact semantics version.  Detector knobs (ablations,
+        # summaries) deliberately do not partition the store: artifacts
+        # hold static per-class facts valid under every configuration.
+        store = class_store(
+            self._store_dir,
+            framework_fingerprint=fingerprint_spec(ctx.framework.spec),
+            config_fingerprint=fingerprint_config(
+                ("SAINTDroid",), {"classes": CLASS_ARTIFACT_VERSION}
+            ),
+        )
+        store.begin_app()
+        ctx.provide("class_store", store)
+
+
+@register_pass
+class ClassStoreCommitPass(Pass):
+    """Publish this app's staged class artifacts (final pass).
+
+    Requiring the last detect output pins this pass to the end of the
+    pipeline: any earlier failure, fault, or timeout aborts before the
+    commit, leaving the store untouched (the chaos discipline the
+    result cache enforces with ``result.ok``).
+    """
+
+    name = "class-store-commit"
+    error_phase = AnalysisPhase.TOOL
+    requires = ("class_store", "prm_mismatches")
+
+    def run(self, ctx: AnalysisContext) -> None:
+        if not ctx.metrics.failed:
+            ctx.get("class_store").commit_app()
+
+
+@register_pass
 class ClvmLoadPass(Pass):
     """Construct the class-loader VM (lazy, or summary-bounded)."""
 
@@ -192,11 +253,15 @@ class ClvmLoadPass(Pass):
         *,
         include_secondary_dex: bool = True,
         use_summaries: bool = False,
+        dedup: bool = False,
     ) -> None:
         self._secondary = include_secondary_dex
         self._use_summaries = use_summaries
+        self._dedup = dedup
         if use_summaries:
-            self.requires = (*type(self).requires, "fw_summaries")
+            self.requires = (*self.requires, "fw_summaries")
+        if dedup:
+            self.requires = (*self.requires, "class_store")
 
     def run(self, ctx: AnalysisContext) -> None:
         summaries = (
@@ -211,6 +276,9 @@ class ClvmLoadPass(Pass):
                 follow_framework=True,
                 include_secondary_dex=self._secondary,
                 summaries=summaries,
+                class_store=(
+                    ctx.get("class_store") if self._dedup else None
+                ),
             ),
         )
 

@@ -156,6 +156,9 @@ class ServeClient:
     def healthz(self) -> dict:
         return self._checked("GET", "/healthz")
 
+    def statsz(self) -> dict:
+        return self._checked("GET", "/statsz")
+
     def readyz(self) -> tuple[bool, dict]:
         status, doc = self._request("GET", "/readyz")
         return status == 200, doc

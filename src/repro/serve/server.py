@@ -17,6 +17,9 @@ GET     ``/healthz``    always **200**: queue depth, worker liveness, cache
 GET     ``/readyz``     **200** when the daemon can usefully accept work,
                         **503** otherwise (starting, draining, dead pool,
                         full queue)
+GET     ``/statsz``     always **200**: cumulative cache counters — result-
+                        cache dedup, per-worker class-artifact and guard-row
+                        hit rates, on-disk footprint per store
 ======  ==============  =====================================================
 
 :func:`install_signal_handlers` wires SIGTERM/SIGINT to the graceful
@@ -141,6 +144,9 @@ class _Handler(BaseHTTPRequestHandler):
         if path == "/readyz":
             ok, doc = self.service.ready()
             self._reply(200 if ok else 503, doc)
+            return
+        if path == "/statsz":
+            self._reply(200, self.service.statsz())
             return
         if path.startswith("/jobs/"):
             job_id = path[len("/jobs/"):]

@@ -63,6 +63,9 @@ class ServeConfig:
     include: tuple[str, ...] = DEFAULT_TOOLS
     #: Bound the CLVM with whole-framework pre-summaries.
     summaries: bool = False
+    #: Delta analysis against the corpus-wide class-artifact store —
+    #: a resident daemon's hit rate climbs as its corpus streams in.
+    dedup: bool = False
     #: Persistent cache directory (snapshots + cross-restart dedup);
     #: ``None`` disables both.
     cache_dir: str | None = None
@@ -108,6 +111,7 @@ class _ServiceState:
     stream_stats: dict = field(default_factory=dict)
     recovery: dict = field(default_factory=dict)
     drain_reentries: int = 0
+    worker_cache_stats: dict = field(default_factory=dict)
 
 
 class AnalysisService:
@@ -149,12 +153,19 @@ class AnalysisService:
         if config.cache_dir is not None:
             from ..cache.results import ResultCache
 
+            options: dict = {}
+            if config.summaries:
+                options["summaries"] = True
+            if config.dedup:
+                options["dedup"] = True
             self._result_cache = ResultCache(
                 config.cache_dir,
                 framework_fingerprint=fingerprint_spec(self.spec),
+                # ``or None`` keeps the default configuration's key
+                # byte-identical to the batch engine's (and to the
+                # pre-options era), so caches stay shared and warm.
                 config_fingerprint=fingerprint_config(
-                    config.include,
-                    {"summaries": True} if config.summaries else {},
+                    config.include, options or None
                 ),
             )
         self.queue = JobQueue(
@@ -174,6 +185,7 @@ class AnalysisService:
             hang_timeout_s=config.hang_timeout_s,
             summaries=config.summaries,
             cache_dir=config.cache_dir,
+            dedup=config.dedup,
             fault_plan=config.fault_plan,
         )
         self.supervisor.start(self._substrate)
@@ -252,6 +264,12 @@ class AnalysisService:
             if self._dispatcher is not None:
                 self._dispatcher.join(timeout=budget)
             if self.supervisor is not None:
+                # Adopt worker-written class artifacts into the shared
+                # manifest and enforce the byte budget (no-op without
+                # ``--dedup``), then stop the pool.
+                self._state.worker_cache_stats = self.supervisor.finish(
+                    self.config.cache_dir
+                )
                 self.supervisor.close()
             if self.journal is not None:
                 self.journal.close()
@@ -336,6 +354,44 @@ class AnalysisService:
             "recovery": dict(state.recovery),
             "drain_reentries": state.drain_reentries,
         }
+
+    def statsz(self) -> dict:
+        """Cumulative cache counters for capacity planning — the
+        ``/statsz`` payload.  Distinct from :meth:`health` (liveness):
+        this answers *how much re-analysis the daemon is avoiding* —
+        result-cache admission dedup, per-worker API/class-store
+        traffic (the ``classes`` section carries class-artifact and
+        guard-row hit rates that climb as a corpus streams in), and
+        the on-disk footprint per store under the shared byte budget.
+        """
+        state = self._state
+        worker_caches = (
+            self.supervisor.cache_stats()
+            if self.supervisor is not None
+            else dict(state.worker_cache_stats)
+        )
+        doc: dict = {
+            "uptime_s": (
+                round(time.time() - state.started_at, 3)
+                if state.started_at is not None
+                else 0.0
+            ),
+            "dedup": self.config.dedup,
+            "result_cache": (
+                self._result_cache.stats.as_dict()
+                if self._result_cache is not None
+                else None
+            ),
+            "worker_caches": worker_caches,
+            "stream": dict(state.stream_stats),
+        }
+        if self.config.cache_dir is not None:
+            from ..cache.manifest import shared_manifest
+
+            doc["store_sizes"] = shared_manifest(
+                self.config.cache_dir
+            ).sizes_by_store()
+        return doc
 
     def ready(self) -> tuple[bool, dict]:
         """The load-balancer gate: can this daemon usefully accept a

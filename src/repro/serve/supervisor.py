@@ -67,6 +67,7 @@ def _worker_main(
     shared_handle,
     summaries: bool,
     cache_dir: str | None,
+    dedup: bool,
 ) -> None:
     """One supervised worker: bootstrap the substrate, then serve
     tasks off the pipe until the ``None`` sentinel (or pipe loss)."""
@@ -86,6 +87,7 @@ def _worker_main(
         shared_handle,
         summaries,
         cache_dir,
+        dedup,
     )
     toolset = _parallel._WORKER_TOOLSET
     heartbeat[slot] = time.time()
@@ -144,6 +146,7 @@ class PoolSupervisor(CorpusBackend):
         hang_timeout_s: float = 30.0,
         summaries: bool = False,
         cache_dir: str | None = None,
+        dedup: bool = False,
         fault_plan: "FaultPlan | None" = None,
         drain_poll_s: float = 0.05,
     ) -> None:
@@ -154,6 +157,7 @@ class PoolSupervisor(CorpusBackend):
         self.hang_timeout_s = hang_timeout_s
         self.summaries = summaries
         self.cache_dir = cache_dir
+        self.dedup = dedup
         self.fault_plan = fault_plan
         self.drain_poll_s = drain_poll_s
         self._ctx = _pool_context()
@@ -179,7 +183,12 @@ class PoolSupervisor(CorpusBackend):
         return self.include
 
     def config_options(self) -> dict:
-        return {"summaries": True} if self.summaries else {}
+        options: dict = {}
+        if self.summaries:
+            options["summaries"] = True
+        if self.dedup:
+            options["dedup"] = True
+        return options
 
     def prepare(self, cache_dir, pending=()) -> None:
         # The service starts the pool before the dispatcher runs; this
@@ -252,6 +261,7 @@ class PoolSupervisor(CorpusBackend):
                 self._segment.handle if self._segment is not None else None,
                 self.summaries,
                 self.cache_dir,
+                self.dedup,
             ),
             daemon=True,
         )
@@ -317,6 +327,29 @@ class PoolSupervisor(CorpusBackend):
             _parallel._PARENT_SUBSTRATE = None
 
     def finish(self, cache_dir) -> dict:
+        merged = _merge_cache_stats(self._worker_stats)
+        if self.dedup and self.cache_dir is not None:
+            # Same adoption discipline as PoolBackend.finish: workers
+            # write class artifacts atomically but save the shared
+            # manifest last-writer-wins; the parent adopts anything the
+            # surviving manifest missed and enforces the byte budget.
+            from ..cache import fingerprint_config, fingerprint_spec
+            from ..cache.classes import CLASS_ARTIFACT_VERSION, class_store
+
+            store = class_store(
+                self.cache_dir,
+                framework_fingerprint=fingerprint_spec(self._spec),
+                config_fingerprint=fingerprint_config(
+                    ("SAINTDroid",), {"classes": CLASS_ARTIFACT_VERSION}
+                ),
+            )
+            store.flush()
+        return merged
+
+    def cache_stats(self) -> dict:
+        """Merged per-worker cache statistics (latest snapshot per
+        pid) without the flush side effects of :meth:`finish` — the
+        ``/statsz`` read path."""
         return _merge_cache_stats(self._worker_stats)
 
     # -- dispatch ------------------------------------------------------

@@ -14,8 +14,10 @@ from .benchsuite import (
 from .corpus import (
     CorpusApp,
     CorpusConfig,
+    OverlapConfig,
     PAPER_CORPUS_SIZE,
     generate_corpus,
+    generate_overlapping_corpus,
 )
 
 __all__ = [
@@ -29,6 +31,7 @@ __all__ = [
     "CorpusConfig",
     "ForgedApp",
     "GroundTruth",
+    "OverlapConfig",
     "PAPER_CORPUS_SIZE",
     "SeededIssue",
     "SeededTrap",
@@ -36,4 +39,5 @@ __all__ = [
     "build_benchmark_app",
     "build_benchmark_suite",
     "generate_corpus",
+    "generate_overlapping_corpus",
 ]

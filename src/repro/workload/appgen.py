@@ -1026,9 +1026,16 @@ class AppForge:
     # filler
     # ------------------------------------------------------------------
 
-    def add_filler(self, kloc: float) -> None:
+    def add_filler(self, kloc: float, *, interior: int = 4) -> None:
         """Plain, safe code: classes calling always-available APIs and
-        each other, sized to roughly ``kloc`` thousand instructions."""
+        each other, sized to roughly ``kloc`` thousand instructions.
+
+        ``interior`` sets the straight-line (non-invoke) instructions
+        per method.  The default keeps the historical call-dense shape;
+        corpus generators model realistic dex — where most instructions
+        are arithmetic and moves between sparse call sites — by raising
+        it (real apps average well over ten interior instructions per
+        call site)."""
         target = int(kloc * 1000)
         emitted = 0
         previous_class: str | None = None
@@ -1039,7 +1046,7 @@ class AppForge:
             for index in range(methods):
                 method = builder.method(f"op{index}")
                 body_calls = self._rng.randint(1, 3)
-                for position in range(4):
+                for position in range(interior):
                     method.const_int(position % 4, position)
                     emitted += 1
                 for _ in range(body_calls):

@@ -34,6 +34,7 @@ from ..core.arm import build_api_database
 from .appgen import ApiPicker, AppForge, ForgedApp
 
 __all__ = ["CorpusConfig", "CorpusApp", "generate_corpus",
+           "OverlapConfig", "generate_overlapping_corpus",
            "PAPER_CORPUS_SIZE"]
 
 #: The paper's corpus size after exclusions (section IV-A).
@@ -230,4 +231,125 @@ def generate_corpus(
             index=index,
             modern_target=modern,
             outlier=outlier,
+        )
+
+
+# -- overlapping corpora (class-level dedup workloads) -------------------
+#
+# Real corpora overwhelmingly share code: common libraries and SDK
+# scaffolding dominate each APK, so two apps usually differ by a thin
+# app-specific layer over an identical bundled-library bulk.  The
+# calibrated corpus above deliberately makes every app unique (its
+# filler lives under the app's own package); this generator instead
+# models the library-dominated shape so the ``--dedup`` class-artifact
+# store has something real to deduplicate: one shared library embedded
+# in every member plus a small per-app unique layer.  Crucially the
+# library is *re-forged per member* from the same seed — byte-identical
+# content, hence identical class digests, but distinct
+# :class:`~repro.ir.clazz.Clazz` objects per app, exactly as parsing
+# the same bundled dex out of N different APKs would produce.  Sharing
+# the objects instead would let object-keyed memos inside a single
+# process smuggle work across apps and flatter the non-dedup baseline.
+
+
+@dataclass(frozen=True)
+class OverlapConfig:
+    """Shape knobs for a library-dominated corpus."""
+
+    count: int = 8
+    seed: int = 424243
+    #: Shared-library size (thousand instructions) — the deduplicated
+    #: bulk every member embeds verbatim.
+    library_kloc: float = 12.0
+    #: Per-app unique code size (thousand instructions).
+    unique_kloc: float = 2.0
+    #: Straight-line instructions per filler method — realistic dex is
+    #: call-sparse, and the ratio matters here: delta analysis replays
+    #: recorded call effects without rescanning method bodies, so the
+    #: interior instruction count is exactly the work a warm hit skips.
+    filler_interior: int = 24
+    #: Version-guarded library scenarios, so the store's guard-row
+    #: cache is exercised, not just explore-effect replay.
+    library_guards: int = 3
+    #: Per-app seeded API issues (unique-layer findings).
+    app_issues: int = 2
+    #: One SDK window for every member: identical entry intervals keep
+    #: guard-row contexts shareable across the corpus.
+    min_sdk: int = 16
+    target_sdk: int = 26
+
+
+def _build_shared_library(
+    config: OverlapConfig, apidb: ApiDatabase, picker: ApiPicker
+) -> tuple:
+    """The bundled library: re-forged per member from a fixed seed, so
+    every copy is content-identical but object-distinct."""
+    forge = AppForge(
+        "lib.shared",
+        "shared-library",
+        min_sdk=config.min_sdk,
+        target_sdk=config.target_sdk,
+        seed=config.seed,
+        apidb=apidb,
+        picker=picker,
+    )
+    for _ in range(config.library_guards):
+        try:
+            forge.add_guarded_direct()
+        except LookupError:  # pragma: no cover — exhausted window
+            break
+        try:
+            forge.add_helper_guard_trap()
+        except LookupError:  # pragma: no cover
+            pass
+    forge.add_filler(
+        kloc=config.library_kloc, interior=config.filler_interior
+    )
+    return tuple(forge._classes)
+
+
+def generate_overlapping_corpus(
+    config: OverlapConfig | None = None,
+    apidb: ApiDatabase | None = None,
+) -> Iterator[CorpusApp]:
+    """Yield ``config.count`` apps sharing one bundled library.
+
+    Every member embeds a content-identical copy of the library (same
+    names, same bytecode, hence the same class digests) alongside its
+    own manifest and unique code layer; corpus-wide, the unique-class
+    ratio is roughly ``unique / (unique + library)`` per app after the
+    first.  Copies are distinct objects per member — the realistic
+    shape: each APK parses its bundled dex independently."""
+    config = config or OverlapConfig()
+    apidb = apidb or build_api_database()
+    picker = ApiPicker(apidb)
+
+    for index in range(config.count):
+        library = _build_shared_library(config, apidb, picker)
+        forge = AppForge(
+            f"app.overlap.a{index}",
+            f"overlap-{index:03d}",
+            min_sdk=config.min_sdk,
+            target_sdk=config.target_sdk,
+            seed=config.seed * 7_368_787 + index,
+            apidb=apidb,
+            picker=picker,
+        )
+        for _ in range(config.app_issues):
+            try:
+                forge.add_direct_issue()
+            except LookupError:  # pragma: no cover — narrow window
+                break
+        forge.add_filler(
+            kloc=config.unique_kloc, interior=config.filler_interior
+        )
+        # Embedding in the primary dex is enough to analyze the
+        # library: every primary-dex method is an exploration root
+        # (see :func:`repro.core.aum.entry_points`).
+        forge._classes.extend(library)
+        yield CorpusApp(
+            forged=forge.build(),
+            index=index,
+            modern_target=config.target_sdk >= 23,
+            outlier=False,
         )

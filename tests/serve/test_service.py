@@ -181,3 +181,52 @@ class TestRecovery:
         # Fresh submissions never collide with recovered sequence ids.
         fresh = second.submit(serve_apk_doc("fresh"))
         assert fresh.seq > 99
+
+
+class TestStatsz:
+    def test_statsz_reports_cumulative_cache_counters(
+        self, make_service, tmp_path
+    ):
+        """The capacity-planning endpoint: a dedup daemon's class-store
+        hit rate is visible (and climbs) as its corpus streams in."""
+        service = make_service(
+            dedup=True, cache_dir=str(tmp_path / "statsz-cache")
+        )
+        for tag in ("s0", "s1", "s2"):
+            job = service.submit(serve_apk_doc(tag))
+            done = service.wait(job.id, timeout_s=60.0)
+            assert done is not None and done.terminal
+
+        server = start_server(service)
+        try:
+            host, port = server.server_address[:2]
+            doc = ServeClient(f"http://{host}:{port}").statsz()
+        finally:
+            server.shutdown()
+            server.server_close()
+
+        assert doc["dedup"] is True
+        assert doc["uptime_s"] >= 0.0
+        assert "hits" in doc["result_cache"]
+        caches = doc["worker_caches"]
+        assert caches["workers"] >= 1
+        assert "hit_rate" in caches["framework"]
+        assert "hit_rate" in caches["apidb"]
+        classes = caches["classes"]
+        assert classes["hits"] + classes["misses"] > 0
+        assert 0.0 <= classes["hit_rate"] <= 1.0
+        assert "store_sizes" in doc
+
+        # Drain flushes worker stores and adopts their manifest rows:
+        # the on-disk footprint per store becomes visible.
+        service.drain(timeout_s=30.0)
+        sizes = service.statsz()["store_sizes"]
+        assert sizes["classes"]["entries"] > 0
+        assert sizes["classes"]["bytes"] > 0
+
+    def test_statsz_without_cache_dir_is_still_live(self, make_service):
+        service = make_service()
+        doc = service.statsz()
+        assert doc["dedup"] is False
+        assert doc["result_cache"] is None
+        assert "store_sizes" not in doc
