@@ -44,6 +44,8 @@ class CompatibilityDetector(abc.ABC):
     #: Display name used in tables.
     name: str = "detector"
     #: Which mismatch families the tool can detect (Table IV row).
+    #: Pipeline-backed tools derive this from their detect passes'
+    #: declared ``kinds``; nothing hand-writes kind sets anymore.
     capabilities: frozenset[str] = frozenset()
     #: True when the tool needs buildable source (Lint).
     requires_source: bool = False

@@ -46,7 +46,6 @@ class Cid(PipelineDetector, CompatibilityDetector):
     """The CID reimplementation."""
 
     name = "CID"
-    capabilities = frozenset({"API"})
     requires_source = False
 
     def __init__(

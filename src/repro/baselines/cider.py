@@ -38,7 +38,6 @@ class Cider(PipelineDetector, CompatibilityDetector):
     """The CIDER reimplementation."""
 
     name = "CIDER"
-    capabilities = frozenset({"APC"})
     requires_source = False
 
     def __init__(

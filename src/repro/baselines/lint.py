@@ -42,7 +42,6 @@ class Lint(PipelineDetector, CompatibilityDetector):
     """The Lint (NewApi) reimplementation."""
 
     name = "Lint"
-    capabilities = frozenset({"API"})
     requires_source = True
 
     def __init__(

@@ -120,6 +120,7 @@ class CidDetectApiPass(Pass):
     name = "cid-detect-api"
     requires = ("first_level_usages",)
     provides = ("api_mismatches",)
+    kinds = ("API",)
 
     def run(self, ctx: AnalysisContext) -> None:
         apidb = ctx.apidb
@@ -224,6 +225,7 @@ class CiderDetectApcPass(Pass):
 
     name = "cider-detect-apc"
     provides = ("apc_mismatches",)
+    kinds = ("APC",)
 
     def run(self, ctx: AnalysisContext) -> None:
         apk = ctx.apk
@@ -379,6 +381,7 @@ class LintDetectApiPass(Pass):
     name = "lint-detect-api"
     requires = ("first_level_usages",)
     provides = ("api_mismatches",)
+    kinds = ("API",)
 
     def run(self, ctx: AnalysisContext) -> None:
         apidb = ctx.apidb

@@ -71,8 +71,10 @@ __all__ = [
 
 #: Version of the artifact payload semantics (effect encoding, helper
 #: map, guard-row keying).  Part of the checksum preamble: bumping it
-#: orphans old entries without migration code.
-CLASS_ARTIFACT_VERSION = 1
+#: orphans old entries without migration code.  v2: semantic-delta
+#: (SEM) facts joined the analysis substrate — pre-SEM artifacts must
+#: degrade to misses, never resurface as findings.
+CLASS_ARTIFACT_VERSION = 2
 
 _CHECKSUM_BYTES = 32  # sha256 digest length
 

@@ -72,6 +72,14 @@ def _method_history_doc(history) -> dict:
             [ref.class_name, ref.name, ref.descriptor]
             for ref in history.calls
         ),
+        # Unconditional (not elided when empty): adding the field
+        # deliberately rotated every pre-SEM spec digest, so caches
+        # written before semantic deltas existed can never be read as
+        # current.
+        "semantics": [
+            [delta.level, delta.change, delta.detail]
+            for delta in history.semantics
+        ],
     }
 
 

@@ -161,6 +161,21 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="show the anonymous-class-guard SAINTDroid configuration",
     )
+    passes.add_argument(
+        "--skip-pass",
+        action="append",
+        default=None,
+        metavar="NAME",
+        help="preview the configurations without the named pass "
+             "(repeatable; the name must be a registered pass)",
+    )
+    passes.add_argument(
+        "--only-pass",
+        action="append",
+        default=None,
+        metavar="NAME",
+        help="preview only the named passes (repeatable)",
+    )
 
     gen = sub.add_parser(
         "gen-bench",
@@ -588,7 +603,23 @@ def _cmd_passes(args: argparse.Namespace) -> int:
         cider_pipeline,
         lint_pipeline,
     )
+    from .core.kinds import family_of, kind_families
     from .pipeline import saintdroid_pipeline
+    from .pipeline.passes import registered_passes
+
+    skip = tuple(args.skip_pass or ())
+    only = tuple(args.only_pass or ())
+    known = registered_passes()
+    unknown = [name for name in (*skip, *only) if name not in known]
+    if unknown:
+        print(
+            "error: no registered pass named "
+            + ", ".join(repr(name) for name in unknown)
+            + "; available: "
+            + ", ".join(known),
+            file=sys.stderr,
+        )
+        return 2
 
     configs = {
         "SAINTDroid": lambda: saintdroid_pipeline(
@@ -602,20 +633,42 @@ def _cmd_passes(args: argparse.Namespace) -> int:
     selected = (
         [args.tool] if args.tool is not None else list(configs)
     )
+    matrix_rows = []
     for position, tool in enumerate(selected):
         config = configs[tool]()
+        shown = tuple(
+            p
+            for p in config.passes
+            if p.name not in skip and (not only or p.name in only)
+        )
         if position:
             print()
         buckets = ", ".join(config.phase_keys) or "single detect bucket"
-        print(f"{tool} — {len(config.passes)} passes "
+        print(f"{tool} — {len(shown)} passes "
               f"(timing buckets: {buckets})")
-        for number, pass_ in enumerate(config.passes, 1):
+        for number, pass_ in enumerate(shown, 1):
             phase = pass_.phase or "-"
+            detects = ", ".join(pass_.kinds) or "-"
             print(f"  {number:>2}. {pass_.name:<22} [{phase:<7}] "
                   f"{pass_.describe()}")
             needs = ", ".join(pass_.requires) or "-"
             gives = ", ".join(pass_.provides) or "-"
-            print(f"      needs: {needs}  |  provides: {gives}")
+            print(f"      needs: {needs}  |  provides: {gives}"
+                  f"  |  detects: {detects}")
+        capabilities = frozenset(
+            family_of(value) for p in shown for value in p.kinds
+        )
+        matrix_rows.append(
+            {
+                "tool": tool,
+                **{
+                    family: family in capabilities
+                    for family in kind_families()
+                },
+            }
+        )
+    print()
+    print(render_table4(matrix_rows))
     return 0
 
 

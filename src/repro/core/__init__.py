@@ -32,6 +32,10 @@ from .evolution import (
 from .metrics import AnalysisMetrics
 from .detector import AnalysisReport, SaintDroid
 from .report import render_report, render_summary_line
+# Registers the SEM kind (plus its verify policy, oracle sweep and
+# difftest scenarios) as a side effect; package init runs before any
+# repro.core.* import, so SEM is registered before any codec decodes.
+from .sem import semantic_mismatches
 
 __all__ = [
     "AnalysisError",
@@ -64,6 +68,7 @@ __all__ = [
     "diff_reports",
     "mine_spec",
     "render_report",
+    "semantic_mismatches",
     "update_impact",
     "render_summary_line",
 ]

@@ -19,6 +19,7 @@ from dataclasses import dataclass, field
 
 from ..apk.manifest import MAX_API_LEVEL, MIN_API_LEVEL
 from ..framework.permissions import PermissionMap
+from ..framework.spec import SemanticDelta
 from ..ir.types import ClassName, MethodRef
 from ..analysis.intervals import ApiInterval
 
@@ -27,13 +28,18 @@ __all__ = ["ApiEntry", "ApiClassEntry", "ApiDatabase", "DbCacheCounters"]
 
 @dataclass(frozen=True)
 class ApiEntry:
-    """One framework method's database record."""
+    """One framework method's database record.
+
+    ``semantic_deltas`` are the method's behavior-only changes, sorted
+    by (level, change, detail) — the facts the SEM detector consumes.
+    """
 
     class_name: ClassName
     name: str
     descriptor: str
     levels: frozenset[int]
     callback: bool = False
+    semantic_deltas: tuple[SemanticDelta, ...] = ()
 
     @property
     def signature(self) -> str:
@@ -323,6 +329,18 @@ class ApiDatabase:
                 if method.callback
             )
         return tuple(out)
+
+    # -- semantics ----------------------------------------------------------
+
+    def semantic_deltas_for(
+        self, name: ClassName, signature: str
+    ) -> tuple[SemanticDelta, ...]:
+        """Behavior-only changes of the method ``signature`` resolves
+        to on ``name``/ancestors (empty for unknown methods)."""
+        found = self.resolve(name, signature)
+        if found is None:
+            return ()
+        return found.semantic_deltas
 
     # -- permissions ------------------------------------------------------------
 

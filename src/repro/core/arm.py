@@ -24,11 +24,16 @@ from __future__ import annotations
 from collections import defaultdict
 
 from ..apk.manifest import MAX_API_LEVEL, MIN_API_LEVEL
-from ..framework.generator import DISPATCH_PREFIX, ENFORCEMENT_METHOD
+from ..framework.generator import (
+    DISPATCH_PREFIX,
+    ENFORCEMENT_METHOD,
+    SEMANTICS_PREFIX,
+    parse_semantic_tag,
+)
 from ..framework.permissions import PermissionMap
 from ..framework.repository import FrameworkRepository
-from ..framework.spec import FrameworkSpec
-from ..ir.instructions import Invoke
+from ..framework.spec import FrameworkSpec, SemanticDelta
+from ..ir.instructions import ConstString, Invoke
 from ..ir.types import MethodRef
 from ..analysis.reaching import strings_at_invocations
 from .apidb import ApiClassEntry, ApiDatabase, ApiEntry
@@ -88,8 +93,10 @@ def _assemble(
     callbacks: set[MethodRef],
     direct_permissions: dict[MethodRef, frozenset[str]],
     call_edges: dict[MethodRef, frozenset[MethodRef]],
+    semantics: dict[MethodRef, set[SemanticDelta]] | None = None,
 ) -> ApiDatabase:
     """Shared final assembly for both mining paths."""
+    semantics = semantics or {}
     classes: dict[str, ApiClassEntry] = {}
     for name, levels in class_levels.items():
         classes[name] = ApiClassEntry(
@@ -98,12 +105,17 @@ def _assemble(
             levels=frozenset(levels),
         )
     for ref, levels in method_levels.items():
+        deltas = tuple(sorted(
+            semantics.get(ref, ()),
+            key=lambda d: (d.level, d.change, d.detail),
+        ))
         entry = ApiEntry(
             class_name=ref.class_name,
             name=ref.name,
             descriptor=ref.descriptor,
             levels=frozenset(levels),
             callback=ref in callbacks,
+            semantic_deltas=deltas,
         )
         classes[ref.class_name].methods[entry.signature] = entry
 
@@ -126,6 +138,7 @@ def mine_spec(spec: FrameworkSpec) -> ApiDatabase:
     callbacks: set[MethodRef] = set()
     direct_permissions: dict[MethodRef, frozenset[str]] = {}
     call_edges: dict[MethodRef, frozenset[MethodRef]] = {}
+    semantics: dict[MethodRef, set[SemanticDelta]] = {}
 
     for name in spec.class_names:
         history = spec.clazz(name)
@@ -144,10 +157,12 @@ def mine_spec(spec: FrameworkSpec) -> ApiDatabase:
                 direct_permissions[ref] = frozenset(method.permissions)
             if method.calls:
                 call_edges[ref] = frozenset(method.calls)
+            if method.semantics:
+                semantics[ref] = set(method.semantics)
 
     return _assemble(
         class_levels, class_supers, method_levels, callbacks,
-        direct_permissions, call_edges,
+        direct_permissions, call_edges, semantics,
     )
 
 
@@ -166,6 +181,7 @@ def mine_images(
     callbacks: set[MethodRef] = set()
     direct_permissions: dict[MethodRef, set[str]] = defaultdict(set)
     call_edges: dict[MethodRef, set[MethodRef]] = defaultdict(set)
+    semantics: dict[MethodRef, set[SemanticDelta]] = defaultdict(set)
 
     for level in levels:
         image = repository.load_image(level)
@@ -174,9 +190,27 @@ def mine_images(
             class_supers[name] = clazz.super_name
             for method in clazz.methods:
                 is_dispatcher = method.name.startswith(DISPATCH_PREFIX)
-                if not is_dispatcher:
+                is_manifest = method.name.startswith(SEMANTICS_PREFIX)
+                if not (is_dispatcher or is_manifest):
                     method_levels[method.ref].add(level)
                 if method.body is None:
+                    continue
+
+                # Semantic-delta discovery: decode the class's inert
+                # manifest method (const-string tags only).
+                if is_manifest:
+                    for instruction in method.body.instructions:
+                        if not isinstance(instruction, ConstString):
+                            continue
+                        parsed = parse_semantic_tag(instruction.value)
+                        if parsed is None:
+                            continue
+                        signature, delta_level, change, detail = parsed
+                        method_name, _, rest = signature.partition("(")
+                        ref = MethodRef(name, method_name, f"({rest}")
+                        semantics[ref].add(
+                            SemanticDelta(delta_level, change, detail)
+                        )
                     continue
 
                 # Callback discovery: targets the framework dispatches
@@ -213,6 +247,7 @@ def mine_images(
         callbacks,
         {k: frozenset(v) for k, v in direct_permissions.items()},
         {k: frozenset(v) for k, v in call_edges.items()},
+        {k: set(v) for k, v in semantics.items()},
     )
 
 

@@ -37,7 +37,6 @@ class SaintDroid(PipelineDetector):
     """
 
     name = "SAINTDroid"
-    capabilities = frozenset({"API", "APC", "PRM"})
     requires_source = False
 
     def __init__(

@@ -4,39 +4,22 @@ Every detector (SAINTDroid and the baselines) reports findings as
 :class:`Mismatch` values.  A mismatch has a stable :attr:`key` used by
 the evaluation layer to match findings against seeded ground truth and
 across tools.
+
+All kind-specific behavior — validation shape, key construction,
+rendering — is delegated to the mismatch-kind registry
+(:mod:`repro.core.kinds`); this module contains no per-kind branches,
+so registering a new kind never requires editing it.
 """
 
 from __future__ import annotations
 
-import enum
 from dataclasses import dataclass
 
 from ..analysis.intervals import ApiInterval
-from ..ir.types import ClassName, MethodRef
+from ..ir.types import MethodRef
+from .kinds import MismatchKind, MismatchKindSpec
 
 __all__ = ["MismatchKind", "Mismatch"]
-
-
-class MismatchKind(enum.Enum):
-    """The four concrete mismatch types (Table I rows; PRM splits in
-    two per section II-C)."""
-
-    #: App → API: app invokes a method missing at some supported level.
-    API_INVOCATION = "API"
-    #: API → App: app overrides a callback missing at some level.
-    API_CALLBACK = "APC"
-    #: App targets ≥23, uses a dangerous permission, never implements
-    #: the runtime request protocol.
-    PERMISSION_REQUEST = "PRM-request"
-    #: App targets ≤22, uses a dangerous permission revocable on ≥23.
-    PERMISSION_REVOCATION = "PRM-revocation"
-
-    @property
-    def is_permission(self) -> bool:
-        return self in (
-            MismatchKind.PERMISSION_REQUEST,
-            MismatchKind.PERMISSION_REVOCATION,
-        )
 
 
 @dataclass(frozen=True)
@@ -48,15 +31,15 @@ class Mismatch:
     callback mismatches, the using method for permission mismatches).
 
     ``subject`` identifies what is mismatched: the API method for
-    API/APC kinds, and for permission kinds the ``location`` method is
-    the subject's user while ``permission`` carries the permission
-    name.
+    subject-shaped kinds, and for permission kinds the ``location``
+    method is the subject's user while ``permission`` carries the
+    permission name.
 
     ``missing_levels`` is the sub-range of the app's supported device
     levels on which the issue bites.
     """
 
-    kind: MismatchKind
+    kind: MismatchKindSpec
     app: str
     location: MethodRef | None
     subject: MethodRef | None
@@ -68,7 +51,7 @@ class Mismatch:
         if self.kind.is_permission and not self.permission:
             raise ValueError(f"{self.kind}: permission mismatches require "
                              f"a permission name")
-        if not self.kind.is_permission and self.subject is None:
+        if self.kind.requires_subject and self.subject is None:
             raise ValueError(f"{self.kind}: API mismatches require a "
                              f"subject method")
 
@@ -77,28 +60,9 @@ class Mismatch:
         """Stable identity for ground-truth matching and cross-tool
         comparison.  Deliberately excludes ``missing_levels`` and
         ``message`` so tools agreeing on the issue but reporting
-        slightly different ranges still match."""
-        if self.kind.is_permission:
-            return (self.kind.value, self.app, self.permission)
-        subject = self.subject
-        location_class: ClassName | None = (
-            self.location.class_name if self.location else None
-        )
-        if self.kind is MismatchKind.API_CALLBACK:
-            # Callback identity: which app class overrides which
-            # framework signature.
-            return (
-                self.kind.value,
-                self.app,
-                location_class,
-                f"{subject.name}{subject.descriptor}",
-            )
-        return (
-            self.kind.value,
-            self.app,
-            self.location,
-            (subject.class_name, subject.name, subject.descriptor),
-        )
+        slightly different ranges still match.  The shape is the
+        kind's registered key rule."""
+        return self.kind.key_fn(self)
 
     @property
     def sort_key(self) -> tuple[str, ...]:
@@ -111,26 +75,5 @@ class Mismatch:
         return tuple(str(part) for part in self.key)
 
     def describe(self) -> str:
-        """Human-readable one-liner."""
-        levels = self.missing_levels
-        if self.kind is MismatchKind.API_INVOCATION:
-            return (
-                f"[API] {self.location} invokes {self.subject}, "
-                f"missing on device levels {levels}"
-            )
-        if self.kind is MismatchKind.API_CALLBACK:
-            return (
-                f"[APC] {self.location} overrides {self.subject}, "
-                f"never invoked on device levels {levels}"
-            )
-        if self.kind is MismatchKind.PERMISSION_REQUEST:
-            return (
-                f"[PRM] {self.app} uses dangerous permission "
-                f"{self.permission} (via {self.location}) without the "
-                f"runtime request protocol (devices {levels})"
-            )
-        return (
-            f"[PRM] {self.app} uses dangerous permission "
-            f"{self.permission} (via {self.location}) revocable on "
-            f"devices {levels}"
-        )
+        """Human-readable one-liner (the kind's registered renderer)."""
+        return self.kind.describe_fn(self)

@@ -8,19 +8,18 @@ from .mismatch import MismatchKind
 
 __all__ = ["render_report", "render_summary_line", "render_error_line"]
 
-_KIND_ORDER = (
-    MismatchKind.API_INVOCATION,
-    MismatchKind.API_CALLBACK,
-    MismatchKind.PERMISSION_REQUEST,
-    MismatchKind.PERMISSION_REVOCATION,
-)
+def _kind_order() -> tuple:
+    """Registration order, read at render time so kinds registered
+    after this module imported (e.g. SEM) still get their column."""
+    return tuple(MismatchKind)
 
 
 def render_summary_line(report: AnalysisReport) -> str:
     """One line: app, per-kind counts, and timing."""
     counts = report.by_kind()
     parts = [
-        f"{kind.value}={counts.get(kind.value, 0)}" for kind in _KIND_ORDER
+        f"{kind.value}={counts.get(kind.value, 0)}"
+        for kind in _kind_order()
     ]
     timing = ""
     if report.metrics is not None:
@@ -46,7 +45,7 @@ def render_report(report: AnalysisReport, *, verbose: bool = False) -> str:
         f"== {report.tool} analysis of {report.app} ==",
         render_summary_line(report),
     ]
-    for kind in _KIND_ORDER:
+    for kind in _kind_order():
         group = [m for m in report.mismatches if m.kind is kind]
         if not group:
             continue

@@ -1,0 +1,151 @@
+"""SEM — semantic (behavior-only) incompatibility detection.
+
+Pan et al. (PAPERS.md) show many real-world compatibility crashes come
+from APIs whose *signature* never changes while their observable
+behavior does: a return contract tightens, a new exception appears, a
+default flips.  Signature-based detectors (API/APC/PRM) are blind to
+these by construction.
+
+This module is also the registry's proof of seam: the SEM kind, its
+dynamic-verification policy, its oracle crash sweep, and its difftest
+scenario builders are all *registered* here — ``core/mismatch.py``,
+``dynamic/verifier.py``, ``difftest/oracle.py`` and
+``eval/accuracy.py`` contain no SEM-specific code.
+
+Detection rule: an API usage is semantically mismatched when the app's
+target SDK sits on one side of a delta level and some supported device
+level sits on the other — the developer tested (and the framework
+compatibility shims honor) the *target-side* behavior, so devices on
+the wrong side exhibit behavior the app never anticipated.
+"""
+
+from __future__ import annotations
+
+from ..analysis.intervals import ApiInterval
+from .apidb import ApiDatabase
+from .aum import AumModel
+from .kinds import (
+    CrashSweep,
+    MismatchKindSpec,
+    VerifyPolicy,
+    api_shaped_key,
+    register_crash_sweep,
+    register_kind,
+)
+from .mismatch import Mismatch
+
+__all__ = ["SEMANTIC", "semantic_mismatches"]
+
+
+def _describe_sem(m) -> str:
+    return (
+        f"[SEM] {m.location} invokes {m.subject}, whose behavior "
+        f"differs from the targeted one on device levels "
+        f"{m.missing_levels}"
+    )
+
+
+#: App → API, behavior only: the signature resolves everywhere, but
+#: some supported device exhibits behavior from the other side of a
+#: semantic delta than the app's target SDK.
+SEMANTIC = register_kind(
+    MismatchKindSpec(
+        value="SEM",
+        family="SEM",
+        is_permission=False,
+        key_fn=api_shaped_key,
+        describe_fn=_describe_sem,
+        verify=VerifyPolicy(
+            crash_kind="behavior-change",
+            matches=lambda m, crash: (
+                crash.api == m.subject and crash.location == m.location
+            ),
+        ),
+        scenario_builders=(
+            ("semantic", lambda forge: forge.add_semantic_issue()),
+            (
+                "semantic-guarded",
+                lambda forge: forge.add_guarded_semantic(),
+            ),
+        ),
+    ),
+    attr="SEMANTIC",
+)
+
+register_crash_sweep(
+    CrashSweep(
+        crash_kind="behavior-change",
+        explains=lambda m, crash: (
+            m.kind.value == "SEM"
+            and m.subject == crash.api
+            and crash.api_level in m.missing_levels
+        ),
+        record_kind="SEM",
+        grant_all=True,
+    )
+)
+
+
+def _wrong_side(
+    check: ApiInterval, delta_level: int, target: int
+) -> list[int]:
+    """Device levels in ``check`` on the other side of ``delta_level``
+    than the app's target SDK (always a contiguous prefix or suffix)."""
+    return [
+        level
+        for level in check
+        if (level >= delta_level) != (target >= delta_level)
+    ]
+
+
+def semantic_mismatches(
+    apidb: ApiDatabase, model: AumModel, scope: ApiInterval
+) -> list[Mismatch]:
+    """Semantic mismatches of every API usage in ``model``.
+
+    Mirrors Algorithm 2's structure: each usage is judged on its
+    guard-refined interval met with the device scope, so a call
+    correctly wrapped in an SDK_INT guard keeping it on the target's
+    side of the delta produces no report.  One finding per usage,
+    joining the wrong-side hulls of all the API's deltas.
+    """
+    app = model.apk.name
+    target = model.apk.manifest.target_sdk
+    out: list[Mismatch] = []
+    seen: set[tuple] = set()
+    for usage in model.usages:
+        resolved = apidb.resolve(
+            usage.api.class_name, usage.api.signature
+        )
+        if resolved is None or not resolved.semantic_deltas:
+            continue
+        check = usage.interval.meet(scope)
+        if check.is_empty:
+            continue
+        hull = ApiInterval.empty()
+        details: list[str] = []
+        for delta in resolved.semantic_deltas:
+            wrong = _wrong_side(check, delta.level, target)
+            if not wrong:
+                continue
+            hull = hull.join(ApiInterval.of(min(wrong), max(wrong)))
+            details.append(f"{delta.change}@{delta.level}")
+        if hull.is_empty:
+            continue
+        mismatch = Mismatch(
+            kind=SEMANTIC,
+            app=app,
+            location=usage.caller,
+            subject=resolved.ref,
+            missing_levels=hull,
+            message=(
+                f"{usage.api.class_name}.{usage.api.name} changes "
+                f"behavior ({', '.join(details)}); the app targets "
+                f"{target} but the call executes under {check}"
+            ),
+        )
+        if mismatch.key in seen:
+            continue
+        seen.add(mismatch.key)
+        out.append(mismatch)
+    return out

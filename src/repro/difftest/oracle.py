@@ -27,7 +27,8 @@ from dataclasses import dataclass
 
 from ..apk.package import Apk
 from ..core.analysis_report import AnalysisReport
-from ..core.mismatch import Mismatch, MismatchKind
+from ..core.kinds import registered_sweeps
+from ..core.mismatch import Mismatch
 from ..dynamic.device import DeviceProfile
 from ..dynamic.interpreter import Crash, CrashKind
 from ..dynamic.verifier import DynamicVerifier, Verdict
@@ -249,82 +250,55 @@ class DifferentialOracle:
             for method in clazz.methods
         )
 
-    @staticmethod
-    def _explains_missing_method(
-        report: AnalysisReport, crash: Crash
-    ) -> bool:
-        """A missing-method crash at level L is explained by a static
-        API finding on the same subject whose missing range covers L —
-        the *level* condition is what catches detectors that report
-        the right API over a shaved range."""
-        return any(
-            mismatch.kind is MismatchKind.API_INVOCATION
-            and mismatch.subject == crash.api
-            and crash.api_level in mismatch.missing_levels
-            for mismatch in report.mismatches
-        )
-
-    @staticmethod
-    def _explains_permission(report: AnalysisReport, crash: Crash) -> bool:
-        return any(
-            mismatch.kind.is_permission
-            and mismatch.permission == crash.permission
-            for mismatch in report.mismatches
-        )
-
     def _classify_crashes(
         self,
         apk: Apk,
         report: AnalysisReport,
         verifier: DynamicVerifier,
     ) -> list[OracleRecord]:
+        """Run every registered crash sweep.
+
+        Each mismatch kind contributes a :class:`CrashSweep` (which
+        crash direction to drive, how a static finding explains such a
+        crash) to the registry; the oracle itself knows nothing about
+        individual kinds.  The explain predicates demand the finding
+        cover the crash *level* where applicable — that is what
+        catches detectors reporting the right subject over a shaved
+        range.
+        """
         lo, hi = apk.manifest.supported_range
         all_grants = DynamicVerifier._all_dangerous_permissions()
         has_hook = self._implements_permission_hook(apk)
         records = []
         seen: set[tuple] = set()
 
-        for level in range(lo, hi + 1):
-            device = DeviceProfile(
-                api_level=level, granted_permissions=all_grants
-            )
-            for crash in verifier.observed_crashes(device):
-                if crash.kind is not CrashKind.MISSING_METHOD:
-                    continue
-                if self._explains_missing_method(report, crash):
-                    continue
-                if crash in seen:
-                    continue
-                seen.add(crash)
-                records.append(
-                    OracleRecord(
-                        app=apk.name,
-                        classification=Classification.STATIC_FN,
-                        kind=MismatchKind.API_INVOCATION.value,
-                        subject=_crash_subject(crash),
-                        detail=str(crash),
-                        level=level,
-                    )
+        for sweep in registered_sweeps():
+            grants = all_grants if sweep.grant_all else frozenset()
+            for level in range(max(lo, sweep.min_level), hi + 1):
+                device = DeviceProfile(
+                    api_level=level, granted_permissions=grants
                 )
-
-        for level in range(max(lo, 23), hi + 1):
-            device = DeviceProfile(api_level=level)
-            for crash in verifier.observed_crashes(device):
-                if crash.kind is not CrashKind.PERMISSION_DENIED:
-                    continue
-                if has_hook or self._explains_permission(report, crash):
-                    continue
-                if crash in seen:
-                    continue
-                seen.add(crash)
-                records.append(
-                    OracleRecord(
-                        app=apk.name,
-                        classification=Classification.STATIC_FN,
-                        kind="PRM",
-                        subject=_crash_subject(crash),
-                        detail=str(crash),
-                        level=level,
+                for crash in verifier.observed_crashes(device):
+                    if crash.kind.value != sweep.crash_kind:
+                        continue
+                    if sweep.honor_permission_hook and has_hook:
+                        continue
+                    if any(
+                        sweep.explains(mismatch, crash)
+                        for mismatch in report.mismatches
+                    ):
+                        continue
+                    if crash in seen:
+                        continue
+                    seen.add(crash)
+                    records.append(
+                        OracleRecord(
+                            app=apk.name,
+                            classification=Classification.STATIC_FN,
+                            kind=sweep.record_kind,
+                            subject=_crash_subject(crash),
+                            detail=str(crash),
+                            level=level,
+                        )
                     )
-                )
         return records

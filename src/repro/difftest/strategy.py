@@ -24,6 +24,7 @@ from dataclasses import dataclass, replace
 
 from ..apk.manifest import MAX_API_LEVEL
 from ..core.apidb import ApiDatabase, ApiEntry
+from ..core.kinds import scenario_contributions
 from ..ir.builder import ClassBuilder
 from ..ir.instructions import CmpOp
 from ..ir.types import MethodRef
@@ -419,6 +420,13 @@ _BUILDERS = {
     "inverted-guard": _inverted_guard,
     "dead-code": _dead_code,
 }
+
+# Registry-contributed scenarios: each registered mismatch kind may
+# ship builders of its own (SEM does).  Appended after the static
+# table in kind-registration order, which — like the table order — is
+# part of the planning determinism contract.
+for _scenario_name, _scenario_builder in scenario_contributions():
+    _BUILDERS.setdefault(_scenario_name, _scenario_builder)
 
 #: Stable kind order — planning iterates this, so the order is part of
 #: the determinism contract.

@@ -8,7 +8,12 @@ and records the crashes the static mismatches predict:
   ``NoSuchMethodError``);
 * invoking an API whose (transitive) dangerous permissions the device
   has not granted, on a runtime-permission device →
-  :data:`CrashKind.PERMISSION_DENIED` (``SecurityException``).
+  :data:`CrashKind.PERMISSION_DENIED` (``SecurityException``);
+* invoking an API with a semantic delta when the device sits on the
+  other side of the delta level than the app's target SDK →
+  :data:`CrashKind.BEHAVIOR_CHANGE` (the behavior-only failures of
+  Pan et al., surfaced as an observable fault so the oracle can
+  confirm SEM findings).
 
 Unlike the static analysis, execution evaluates ``SDK_INT`` guards
 *concretely* — a properly guarded call simply never runs on the
@@ -61,6 +66,7 @@ __all__ = ["CrashKind", "Crash", "ExecutionBudgetExceeded", "Interpreter"]
 class CrashKind(enum.Enum):
     MISSING_METHOD = "missing-method"
     PERMISSION_DENIED = "permission-denied"
+    BEHAVIOR_CHANGE = "behavior-change"
     APP_THROW = "app-throw"
 
 
@@ -202,6 +208,23 @@ class Interpreter:
                         location=location,
                         api_level=self._device.api_level,
                         permission=permission,
+                    )
+                )
+        # Behavior-only change: the device sits on the other side of a
+        # semantic delta than the app's target SDK, so the call runs
+        # behavior the app never anticipated.  Checked after the
+        # permission loop so it can never mask a permission replay.
+        target = self._apk.manifest.target_sdk
+        for delta in entry.semantic_deltas:
+            if (self._device.api_level >= delta.level) != (
+                target >= delta.level
+            ):
+                raise _SimulatedCrash(
+                    Crash(
+                        kind=CrashKind.BEHAVIOR_CHANGE,
+                        api=entry.ref,
+                        location=location,
+                        api_level=self._device.api_level,
                     )
                 )
 

@@ -10,17 +10,16 @@ non-anonymous concrete method, the way a test harness or UI monkey
 drives an app — on device profiles drawn from the mismatch's missing
 levels, and checks whether the predicted crash is actually observable.
 
-* **API mismatches** are confirmed by a ``MISSING_METHOD`` crash on
-  the same API at a missing level.  Static false alarms whose guards
-  live outside the analyzed scope (the anonymous-inner-class blind
-  spot) are *refuted* here: concrete execution respects the guard, so
-  the listener never runs on the vulnerable levels.
-* **Permission mismatches** are confirmed by a ``PERMISSION_DENIED``
-  crash on a runtime-permission device that has not granted (request
-  mismatch) or has revoked (revocation mismatch) the permission.
-* **Callback mismatches** have no crash to observe — the failure mode
-  is a hook that is silently never invoked — so they are classified
-  ``STATIC_ONLY`` rather than confirmed or refuted.
+How each kind is probed is not written here: every registered mismatch
+kind carries a :class:`~repro.core.kinds.VerifyPolicy` (which crash to
+look for, which permissions to grant or withhold, the minimum probe
+level) and the verifier just executes it.  Kinds without a policy —
+e.g. callback mismatches, whose failure mode is a hook silently never
+invoked — are classified ``STATIC_ONLY`` rather than confirmed or
+refuted.  Static false alarms whose guards live outside the analyzed
+scope (the anonymous-inner-class blind spot) are *refuted* here:
+concrete execution respects the guard, so the vulnerable code never
+runs on the vulnerable levels.
 """
 
 from __future__ import annotations
@@ -31,11 +30,10 @@ from dataclasses import dataclass, field
 from ..apk.package import Apk
 from ..core.apidb import ApiDatabase
 from ..core.detector import AnalysisReport
-from ..core.mismatch import Mismatch, MismatchKind
+from ..core.mismatch import Mismatch
 from ..ir.types import MethodRef, is_anonymous_class
 from .device import DeviceProfile
-from .interpreter import Crash, CrashKind, ExecutionBudgetExceeded, \
-    Interpreter
+from .interpreter import Crash, ExecutionBudgetExceeded, Interpreter
 
 __all__ = ["Verdict", "VerifiedMismatch", "VerificationResult",
            "DynamicVerifier"]
@@ -149,48 +147,34 @@ class DynamicVerifier:
         return sorted({levels[0], levels[len(levels) // 2], levels[-1]})
 
     def verify(self, mismatch: Mismatch) -> VerifiedMismatch:
-        if mismatch.kind is MismatchKind.API_CALLBACK:
+        """Probe one finding per its kind's registered policy.
+
+        Kinds without a policy have no observable crash (the failure
+        mode is e.g. a hook silently never invoked) and stay
+        ``STATIC_ONLY``.  Otherwise the device either grants every
+        dangerous permission (so unrelated denials cannot mask the
+        probe) or — for the permission kinds — withholds exactly the
+        mismatch's own permission, the mirror of that rule.
+        """
+        policy = mismatch.kind.verify
+        if policy is None:
             return VerifiedMismatch(mismatch, Verdict.STATIC_ONLY)
 
-        if mismatch.kind is MismatchKind.API_INVOCATION:
-            for level in self._probe_levels(mismatch):
-                # Grant everything: permission crashes must not mask
-                # the missing-method probe.
-                device = DeviceProfile(
-                    api_level=level,
-                    granted_permissions=frozenset(
-                        self._all_dangerous_permissions()
-                    ),
-                )
-                for crash in self.observed_crashes(device):
-                    if (
-                        crash.kind is CrashKind.MISSING_METHOD
-                        and crash.api == mismatch.subject
-                        and crash.location == mismatch.location
-                    ):
-                        return VerifiedMismatch(
-                            mismatch, Verdict.CONFIRMED, crash
-                        )
-            return VerifiedMismatch(mismatch, Verdict.REFUTED)
-
-        # Permission mismatches: runtime-permission device where only
-        # this permission is withheld.  Granting the rest keeps a
-        # denial of an unrelated permission earlier in the same method
-        # from masking the probe (the mirror of the grant-everything
-        # rule for missing-method probes above).
-        granted = self._all_dangerous_permissions() - {
-            mismatch.permission
-        }
+        if policy.withhold_permission:
+            granted = self._all_dangerous_permissions() - {
+                mismatch.permission
+            }
+        else:
+            granted = frozenset(self._all_dangerous_permissions())
         for level in self._probe_levels(mismatch):
-            if level < 23:
+            if level < policy.min_level:
                 continue
             device = DeviceProfile(
                 api_level=level, granted_permissions=granted
             )
             for crash in self.observed_crashes(device):
-                if (
-                    crash.kind is CrashKind.PERMISSION_DENIED
-                    and crash.permission == mismatch.permission
+                if crash.kind.value == policy.crash_kind and (
+                    policy.matches(mismatch, crash)
                 ):
                     return VerifiedMismatch(
                         mismatch, Verdict.CONFIRMED, crash

@@ -13,20 +13,17 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from ..core.detector import AnalysisReport
+from ..core.kinds import kind_groups
 from ..workload.groundtruth import GroundTruth
 
 __all__ = ["ConfusionCounts", "ToolAccuracy", "score_app", "score_apps",
            "KIND_GROUPS"]
 
-#: Kind groupings used in reports: per-kind plus the paper's pooled
-#: API+APC headline and an everything pool.
-KIND_GROUPS: dict[str, tuple[str, ...]] = {
-    "API": ("API",),
-    "APC": ("APC",),
-    "PRM": ("PRM-request", "PRM-revocation"),
-    "API+APC": ("API", "APC"),
-    "ALL": ("API", "APC", "PRM-request", "PRM-revocation"),
-}
+#: Kind groupings used in reports, derived from the kind registry: one
+#: group per family, the paper's pooled API+APC headline, and an
+#: everything pool.  Snapshotted at import time — every kind registers
+#: during ``repro.core`` package init, which this module imports.
+KIND_GROUPS: dict[str, tuple[str, ...]] = kind_groups()
 
 
 @dataclass

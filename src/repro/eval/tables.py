@@ -9,6 +9,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from ..core.kinds import kind_families
 from ..core.mismatch import MismatchKind
 from ..framework.permissions import DANGEROUS_PERMISSIONS
 from ..workload.groundtruth import GroundTruth
@@ -222,32 +223,36 @@ def render_table3(rows: list[dict], tools=("SAINTDroid", "CID", "Lint")) -> str:
 # ---------------------------------------------------------------------------
 
 def table4_capabilities(tools) -> list[dict]:
-    """Capability matrix from live tool objects (paper Table IV)."""
+    """Capability matrix from live tool objects (paper Table IV).
+
+    The columns are the registered kind families, and each tool's row
+    is its derived ``capabilities`` set — so a family added to the
+    registry (e.g. SEM) grows the table without editing this module,
+    and a tool's row can never disagree with the passes it runs.
+    """
     rows = []
     for tool in tools:
-        rows.append(
-            {
-                "tool": tool.name,
-                "API": "API" in tool.capabilities,
-                "APC": "APC" in tool.capabilities,
-                "PRM": "PRM" in tool.capabilities,
-            }
-        )
+        row: dict = {"tool": tool.name}
+        for family in kind_families():
+            row[family] = family in tool.capabilities
+        rows.append(row)
     return rows
 
 
 def render_table4(rows: list[dict]) -> str:
     lines = ["Table IV: detection capabilities"]
-    header = f"{'Tool':<14}{'API':<6}{'APC':<6}{'PRM':<6}"
+    families = kind_families()
+    header = f"{'Tool':<14}" + "".join(
+        f"{family:<6}" for family in families
+    )
     lines.append(header)
     lines.append("-" * len(header))
     for row in rows:
-        lines.append(
-            f"{row['tool']:<14}"
-            f"{'yes' if row['API'] else 'no':<6}"
-            f"{'yes' if row['APC'] else 'no':<6}"
-            f"{'yes' if row['PRM'] else 'no':<6}"
+        cells = "".join(
+            f"{'yes' if row.get(family) else 'no':<6}"
+            for family in families
         )
+        lines.append(f"{row['tool']:<14}{cells}")
     return "\n".join(lines)
 
 

@@ -20,7 +20,7 @@ from functools import lru_cache
 
 from ..ir.types import MethodRef
 from .permissions import DANGEROUS_PERMISSIONS
-from .spec import ClassHistory, FrameworkSpec, MethodHistory
+from .spec import ClassHistory, FrameworkSpec, MethodHistory, SemanticDelta
 
 __all__ = [
     "curated_histories",
@@ -43,8 +43,10 @@ def _m(
     callback: bool = False,
     permissions: tuple[str, ...] = (),
     calls: tuple[tuple[str, str, str], ...] = (),
+    semantics: tuple[tuple[int, str, str], ...] = (),
 ) -> MethodHistory:
-    """Shorthand history constructor; ``calls`` as (class, name, desc)."""
+    """Shorthand history constructor; ``calls`` as (class, name, desc),
+    ``semantics`` as (level, change, detail)."""
     return MethodHistory(
         name=name,
         descriptor=descriptor,
@@ -53,6 +55,10 @@ def _m(
         callback=callback,
         permissions=permissions,
         calls=tuple(MethodRef(c, n, d) for c, n, d in calls),
+        semantics=tuple(
+            SemanticDelta(level, change, detail)
+            for level, change, detail in semantics
+        ),
     )
 
 
@@ -469,6 +475,68 @@ def curated_histories() -> tuple[ClassHistory, ...]:
             ),
         ),
         ClassHistory("java.io.File", methods=(_m("exists", "()boolean"), _m("mkdirs", "()boolean"))),
+        # -- behavior-only (semantic) deltas ---------------------------
+        # Methods whose signature and availability never change, but
+        # whose *behavior* differs across levels — the SEM mismatch
+        # family.  All documented Android facts: formatFileSize
+        # switched from powers of 1024 to powers of 1000 in O,
+        # clipboard access started returning null without focus in Q,
+        # background vibration throws from O, cookies default-changed
+        # for insecure schemes, network info went per-default-network.
+        ClassHistory(
+            "android.text.format.Formatter",
+            methods=(
+                _m("formatFileSize",
+                   "(android.content.Context,long)java.lang.String",
+                   semantics=((26, "return-contract",
+                               "sizes use powers of 1000, not 1024"),)),
+                _m("formatIpAddress", "(int)java.lang.String"),
+            ),
+        ),
+        ClassHistory(
+            "android.content.ClipboardManager",
+            methods=(
+                _m("getText", "()java.lang.CharSequence",
+                   semantics=((29, "return-contract",
+                               "returns null when the app lacks input "
+                               "focus"),)),
+                _m("setText", "(java.lang.CharSequence)void"),
+            ),
+        ),
+        ClassHistory(
+            "android.os.Vibrator",
+            methods=(
+                _m("vibrate", "(long)void",
+                   semantics=((26, "new-exception",
+                               "throws IllegalStateException from "
+                               "background processes"),)),
+                _m("cancel"),
+            ),
+        ),
+        ClassHistory(
+            "android.webkit.CookieManager",
+            methods=(
+                _m("setAcceptCookie", "(boolean)void",
+                   semantics=((24, "default-change",
+                               "cookies rejected for insecure schemes "
+                               "by default"),)),
+                _m("flush"),
+            ),
+        ),
+        ClassHistory(
+            "android.net.ConnectivityManager",
+            methods=(
+                _m("getNetworkInfo", "(int)android.net.NetworkInfo",
+                   semantics=(
+                       (23, "return-contract",
+                        "may return null for untracked transports"),
+                       (28, "default-change",
+                        "always reflects the default network"),
+                   )),
+                _m("isActiveNetworkMetered", "()boolean", introduced=16),
+            ),
+        ),
+        ClassHistory("android.net.NetworkInfo"),
         # -- removed API family (real: Apache HTTP removed at 23) ------
         ClassHistory(
             "org.apache.http.client.HttpClient",

@@ -30,6 +30,9 @@ from .spec import ClassHistory, FrameworkSpec, MethodHistory
 __all__ = [
     "ENFORCEMENT_METHOD",
     "DISPATCH_PREFIX",
+    "SEMANTICS_PREFIX",
+    "semantic_tag",
+    "parse_semantic_tag",
     "materialize_class",
     "materialize_image",
 ]
@@ -43,6 +46,34 @@ ENFORCEMENT_METHOD = MethodRef(
 
 #: Prefix of synthetic framework dispatcher methods (not public API).
 DISPATCH_PREFIX = "_dispatch$"
+
+#: Prefix of synthetic per-class semantic manifest methods.  Like the
+#: dispatchers, these exist so ARM's image miner can rediscover
+#: declarative facts — here the behavior-only deltas — purely from
+#: framework code: the manifest body is a sequence of ``const-string``
+#: tags, one per delta of the class's methods alive at the level.
+SEMANTICS_PREFIX = "_semantics$"
+
+
+def semantic_tag(method: MethodHistory, delta) -> str:
+    """The manifest encoding of one delta of one method."""
+    return (
+        f"{method.name}{method.descriptor}"
+        f"|{delta.level}|{delta.change}|{delta.detail}"
+    )
+
+
+def parse_semantic_tag(tag: str) -> tuple[str, int, str, str] | None:
+    """Decode a manifest tag into ``(signature, level, change,
+    detail)``; ``None`` for strings that are not manifest tags."""
+    parts = tag.split("|", 3)
+    if len(parts) != 4 or "(" not in parts[0]:
+        return None
+    try:
+        level = int(parts[1])
+    except ValueError:
+        return None
+    return (parts[0], level, parts[2], parts[3])
 
 
 def _padding_amount(ref: MethodRef) -> int:
@@ -90,6 +121,23 @@ def _dispatch_method(
     return builder.build()
 
 
+def _semantics_method(
+    class_name: ClassName, carriers: list[MethodHistory], index: int
+) -> Method:
+    """Synthetic manifest listing the class's semantic deltas.
+
+    The body is inert — const-string tags and a bare return, no
+    invokes — so it cannot perturb call-edge mining, summaries, or
+    exploration of framework bodies."""
+    ref = MethodRef(class_name, f"{SEMANTICS_PREFIX}{index}", "()void")
+    builder = MethodBuilder(ref, flags=MethodFlags.SYNTHETIC)
+    for method in carriers:
+        for delta in method.semantics:
+            builder.const_string(0, semantic_tag(method, delta))
+    builder.return_void()
+    return builder.build()
+
+
 def materialize_class(
     spec: FrameworkSpec, name: ClassName, level: int
 ):
@@ -113,6 +161,7 @@ def _materialize(
         origin="framework",
     )
     callbacks: list[MethodHistory] = []
+    carriers: list[MethodHistory] = []
     for method_history in history.methods_at(level):
         ref = MethodRef(
             history.name, method_history.name, method_history.descriptor
@@ -123,9 +172,13 @@ def _materialize(
             method_builder.return_void()
         else:
             _emit_regular_body(method_builder, method_history, spec, level)
+        if method_history.semantics:
+            carriers.append(method_history)
         builder.add(method_builder.build())
     if callbacks:
         builder.add(_dispatch_method(history.name, callbacks, 0))
+    if carriers:
+        builder.add(_semantics_method(history.name, carriers, 0))
     return builder.build()
 
 

@@ -19,7 +19,43 @@ from dataclasses import dataclass, field
 from ..apk.manifest import MAX_API_LEVEL, MIN_API_LEVEL
 from ..ir.types import ClassName, MethodRef
 
-__all__ = ["MethodHistory", "ClassHistory", "FrameworkSpec"]
+__all__ = [
+    "SEMANTIC_CHANGES",
+    "SemanticDelta",
+    "MethodHistory",
+    "ClassHistory",
+    "FrameworkSpec",
+]
+
+#: The modeled classes of behavior-only API change (Pan et al.):
+#: the method's return contract changes, it starts throwing a new
+#: exception, or a default it relies on changes.
+SEMANTIC_CHANGES = ("return-contract", "new-exception", "default-change")
+
+
+@dataclass(frozen=True)
+class SemanticDelta:
+    """One behavior-only change in a method's history.
+
+    ``level`` is the first API level exhibiting the *new* behavior;
+    every earlier level of the method's lifetime exhibits the old one.
+    The signature is unchanged — exactly the class of incompatibility
+    signature-based detectors cannot see.
+    """
+
+    level: int
+    change: str
+    detail: str = ""
+
+    def __post_init__(self) -> None:
+        if self.change not in SEMANTIC_CHANGES:
+            raise ValueError(
+                f"unknown semantic change kind {self.change!r}"
+            )
+        if not MIN_API_LEVEL <= self.level <= MAX_API_LEVEL:
+            raise ValueError(
+                f"semantic delta level {self.level} out of range"
+            )
 
 
 @dataclass(frozen=True)
@@ -39,6 +75,10 @@ class MethodHistory:
     deeper framework methods its body invokes — these chains are what
     let SAINTDroid find facts "deeper into the ADF code" that
     first-level-only tools miss.
+
+    ``semantics`` are the method's behavior-only changes
+    (:class:`SemanticDelta`): the signature stays put while the
+    observable behavior splits at the delta level.
     """
 
     name: str
@@ -48,6 +88,7 @@ class MethodHistory:
     callback: bool = False
     permissions: tuple[str, ...] = ()
     calls: tuple[MethodRef, ...] = ()
+    semantics: tuple[SemanticDelta, ...] = ()
 
     def __post_init__(self) -> None:
         if not MIN_API_LEVEL <= self.introduced <= MAX_API_LEVEL + 1:
@@ -59,6 +100,17 @@ class MethodHistory:
                 f"{self.name}: removed level {self.removed} must follow "
                 f"introduced level {self.introduced}"
             )
+        for delta in self.semantics:
+            if delta.level <= self.introduced:
+                raise ValueError(
+                    f"{self.name}: semantic delta at level {delta.level} "
+                    f"is not after the introduction ({self.introduced})"
+                )
+            if self.removed is not None and delta.level >= self.removed:
+                raise ValueError(
+                    f"{self.name}: semantic delta at level {delta.level} "
+                    f"is past the removal ({self.removed})"
+                )
 
     @property
     def signature(self) -> str:

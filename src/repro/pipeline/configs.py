@@ -11,6 +11,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from ..core.kinds import family_of
 from .passes import (
     ClassDedupPass,
     ClassStoreCommitPass,
@@ -18,6 +19,7 @@ from .passes import (
     DetectApcPass,
     DetectApiPass,
     DetectPrmPass,
+    DetectSemPass,
     EagerLoadPass,
     FrameworkSummariesPass,
     GuardPropagationPass,
@@ -63,6 +65,14 @@ class PipelineConfig:
     @property
     def pass_names(self) -> tuple[str, ...]:
         return tuple(p.name for p in self.passes)
+
+    @property
+    def capabilities(self) -> frozenset[str]:
+        """Kind families this configuration detects — derived from the
+        registered detector passes, never hand-written."""
+        return frozenset(
+            family_of(value) for p in self.passes for value in p.kinds
+        )
 
     def provider_of(self, slot: str) -> str | None:
         """Name of the pass that provides ``slot``, if any."""
@@ -140,7 +150,12 @@ def saintdroid_pipeline(
     ]
     if not lazy_loading:
         passes.append(EagerLoadPass())
-    passes += [DetectApiPass(), DetectApcPass(), DetectPrmPass()]
+    passes += [
+        DetectApiPass(),
+        DetectApcPass(),
+        DetectPrmPass(),
+        DetectSemPass(),
+    ]
     if dedup:
         passes.append(ClassStoreCommitPass())
     return PipelineConfig(

@@ -231,6 +231,11 @@ class PipelineDetector:
     def passes(self) -> tuple[str, ...]:
         return self._manager.config.pass_names
 
+    @property
+    def capabilities(self) -> frozenset[str]:
+        """Kind families this tool detects, derived from its passes."""
+        return self._manager.config.capabilities
+
     def analyze(
         self,
         apk: Apk,

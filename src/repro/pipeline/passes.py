@@ -43,6 +43,7 @@ from ..core.aum import (
     propagate_guards,
 )
 from ..core.errors import AnalysisPhase
+from ..core.sem import semantic_mismatches
 from .context import AnalysisContext
 
 __all__ = [
@@ -62,6 +63,7 @@ __all__ = [
     "DetectApiPass",
     "DetectApcPass",
     "DetectPrmPass",
+    "DetectSemPass",
 ]
 
 
@@ -86,6 +88,10 @@ class Pass:
     requires: tuple[str, ...] = ()
     #: Slots this pass publishes.
     provides: tuple[str, ...] = ()
+    #: Mismatch-kind *values* this pass detects.  Tool capability
+    #: tables are derived from these (union of families over a
+    #: configuration's passes), never hand-written.
+    kinds: tuple[str, ...] = ()
 
     def run(self, ctx: AnalysisContext) -> None:
         raise NotImplementedError
@@ -232,7 +238,7 @@ class ClassStoreCommitPass(Pass):
 
     name = "class-store-commit"
     error_phase = AnalysisPhase.TOOL
-    requires = ("class_store", "prm_mismatches")
+    requires = ("class_store", "sem_mismatches")
 
     def run(self, ctx: AnalysisContext) -> None:
         if not ctx.metrics.failed:
@@ -386,6 +392,7 @@ class DetectApiPass(Pass):
     error_phase = AnalysisPhase.AMD
     requires = ("model", "usages", "scope")
     provides = ("api_mismatches",)
+    kinds = ("API",)
 
     def run(self, ctx: AnalysisContext) -> None:
         scope = ctx.get("scope")
@@ -407,6 +414,7 @@ class DetectApcPass(Pass):
     error_phase = AnalysisPhase.AMD
     requires = ("model", "overrides", "scope")
     provides = ("apc_mismatches",)
+    kinds = ("APC",)
 
     def run(self, ctx: AnalysisContext) -> None:
         scope = ctx.get("scope")
@@ -428,6 +436,7 @@ class DetectPrmPass(Pass):
     error_phase = AnalysisPhase.AMD
     requires = ("model", "permission_uses", "overrides", "scope")
     provides = ("prm_mismatches",)
+    kinds = ("PRM-request", "PRM-revocation")
 
     def run(self, ctx: AnalysisContext) -> None:
         scope = ctx.get("scope")
@@ -437,4 +446,26 @@ class DetectPrmPass(Pass):
                 ctx.apidb
             ).permission_mismatches(ctx.get("model"), scope)
         ctx.provide("prm_mismatches", tuple(found))
+        ctx.mismatches.extend(found)
+
+
+@register_pass
+class DetectSemPass(Pass):
+    """Semantic (behavior-only) API mismatches."""
+
+    name = "detect-sem"
+    phase = "detect"
+    error_phase = AnalysisPhase.AMD
+    requires = ("model", "usages", "prm_mismatches", "scope")
+    provides = ("sem_mismatches",)
+    kinds = ("SEM",)
+
+    def run(self, ctx: AnalysisContext) -> None:
+        scope = ctx.get("scope")
+        found = []
+        if not scope.is_empty:
+            found = semantic_mismatches(
+                ctx.apidb, ctx.get("model"), scope
+            )
+        ctx.provide("sem_mismatches", tuple(found))
         ctx.mismatches.extend(found)

@@ -31,6 +31,10 @@ scenario                              who is expected to handle it
                                       anonymous variants)
 ``add_permission_request_issue``      true PRM issue (target ≥23)
 ``add_permission_revocation_issue``   true PRM issue (target ≤22)
+``add_semantic_issue``                true SEM issue (behavior-only
+                                      delta); only SAINTDroid detects
+``add_guarded_semantic``              non-issue; delta correctly
+                                      SDK-guarded onto the target's side
 ``implement_permission_protocol``     makes the app permission-safe
 ``add_filler``                        plain safe code to reach a size
 ====================================  =====================================
@@ -148,6 +152,7 @@ class ApiPicker:
             and f.last == MAX_API_LEVEL
             and not f.entry.callback
             and not f.dangerous_permissions
+            and not f.entry.semantic_deltas
             and not f.entry.name.startswith("<")
         ]
         return self._choose(rng, candidates).entry
@@ -169,6 +174,7 @@ class ApiPicker:
             and f.contiguous
             and not f.entry.callback
             and not f.dangerous_permissions
+            and not f.entry.semantic_deltas
             and not f.entry.name.startswith("<")
         ]
         return self._choose(rng, candidates).entry
@@ -186,6 +192,7 @@ class ApiPicker:
             and f.contiguous
             and not f.entry.callback
             and not f.dangerous_permissions
+            and not f.entry.semantic_deltas
             and not f.entry.name.startswith("<")
         ]
         return self._choose(rng, candidates).entry
@@ -209,6 +216,7 @@ class ApiPicker:
             and f.contiguous
             and not f.entry.callback
             and not f.dangerous_permissions
+            and not f.entry.semantic_deltas
             and not f.entry.name.startswith("<")
         ]
         return self._choose(rng, candidates).entry
@@ -234,6 +242,8 @@ class ApiPicker:
             if f.class_introduced > 2:
                 continue  # the subclass must be legal at every level
             if (f.entry.name, f.entry.descriptor) == _PERMISSION_HOOK:
+                continue
+            if f.entry.semantic_deltas:
                 continue
             in_modeled = f.entry.class_name in _MODELED_CLASSES
             if modeled is True and not in_modeled:
@@ -261,6 +271,8 @@ class ApiPicker:
                 continue
             if f.entry.callback or f.entry.name.startswith("<"):
                 continue
+            if f.entry.semantic_deltas:
+                continue
             direct = frozenset(
                 p
                 for p in self._apidb.permission_map.permissions_for(
@@ -275,6 +287,41 @@ class ApiPicker:
             candidates.append(f)
         fact = self._choose(rng, candidates)
         return fact.entry, fact.dangerous_permissions
+
+    def semantic_api(
+        self,
+        rng: random.Random,
+        *,
+        min_sdk: int,
+        target_sdk: int,
+        max_level: int,
+        single_delta: bool = False,
+    ) -> ApiEntry:
+        """A permission-free, always-callable API carrying at least one
+        behavior delta that *matters* for an app with the given SDK
+        triple: some supported device level sits on the other side of
+        the delta from ``target_sdk``.  ``single_delta=True`` restricts
+        to one-delta APIs, so a single SDK guard can neutralize the
+        whole method (the guarded-trap scenario needs that)."""
+        def active(level: int) -> bool:
+            if level <= target_sdk:
+                return level > min_sdk
+            return level <= max_level
+
+        candidates = [
+            f
+            for f in self._facts
+            if f.entry.semantic_deltas
+            and f.introduced <= min_sdk
+            and f.last == MAX_API_LEVEL
+            and f.contiguous
+            and not f.entry.callback
+            and not f.dangerous_permissions
+            and not f.entry.name.startswith("<")
+            and any(active(d.level) for d in f.entry.semantic_deltas)
+            and (not single_delta or len(f.entry.semantic_deltas) == 1)
+        ]
+        return self._choose(rng, candidates).entry
 
 
 @dataclass
@@ -1021,6 +1068,96 @@ class AppForge:
     def request_permission(self, permission: str) -> None:
         """Add a manifest ``uses-permission`` entry directly."""
         self._permissions.add(permission)
+
+    # ------------------------------------------------------------------
+    # Semantic (behavior-only) scenarios
+    # ------------------------------------------------------------------
+
+    def add_semantic_issue(self) -> SeededIssue:
+        """Unguarded call to an API whose *behavior* (not availability)
+        changes at a level on the other side of the target SDK."""
+        api = self._picker.semantic_api(
+            self._rng,
+            min_sdk=self.min_sdk,
+            target_sdk=self.target_sdk,
+            max_level=self._effective_max,
+        )
+        class_name = self._next("Tuner")
+        builder = ClassBuilder(class_name)
+        method = builder.method("adjust")
+        self._emit_call(method, api)
+        method.return_void()
+        builder.finish(method)
+        self._classes.append(builder.build())
+
+        caller = MethodRef(class_name, "adjust", "()void")
+        deltas = ", ".join(
+            f"{d.change}@{d.level}" for d in api.semantic_deltas
+        )
+        issue = SeededIssue(
+            key=(
+                "SEM",
+                self.label,
+                caller,
+                (api.class_name, api.name, api.descriptor),
+            ),
+            kind="SEM",
+            trait=Trait.SEMANTIC,
+            description=(
+                f"{class_name}.adjust calls {api.ref}, whose behavior "
+                f"changes ({deltas}) inside the supported range with "
+                f"targetSdk {self.target_sdk}"
+            ),
+        )
+        self.truth.issues.append(issue)
+        return issue
+
+    def add_guarded_semantic(self) -> SeededTrap:
+        """Delta-carrying call correctly SDK-guarded onto the target's
+        side of the delta — no finding, no behavior difference."""
+        api = self._picker.semantic_api(
+            self._rng,
+            min_sdk=self.min_sdk,
+            target_sdk=self.target_sdk,
+            max_level=self._effective_max,
+            single_delta=True,
+        )
+        delta = api.semantic_deltas[0]
+        class_name = self._next("SafeTuner")
+        builder = ClassBuilder(class_name)
+        method = builder.method("adjust")
+        if self.target_sdk >= delta.level:
+            # Target sees the new behavior: run only where it holds.
+            method.guarded_call(
+                delta.level, api.class_name, api.name, api.descriptor
+            )
+        else:
+            # Target sees the old behavior: stay below the delta.
+            method.guarded_call_max(
+                delta.level - 1, api.class_name, api.name, api.descriptor
+            )
+        method.return_void()
+        builder.finish(method)
+        self._classes.append(builder.build())
+
+        caller = MethodRef(class_name, "adjust", "()void")
+        trap = SeededTrap(
+            fp_keys=(
+                (
+                    "SEM",
+                    self.label,
+                    caller,
+                    (api.class_name, api.name, api.descriptor),
+                ),
+            ),
+            trait=Trait.TRAP_GUARDED_SEMANTIC,
+            description=(
+                f"{class_name}.adjust keeps {api.ref} on the target's "
+                f"side of its {delta.change}@{delta.level} delta"
+            ),
+        )
+        self.truth.traps.append(trap)
+        return trap
 
     # ------------------------------------------------------------------
     # filler

@@ -53,6 +53,8 @@ class Trait(enum.Enum):
     PERMISSION_REVOCATION = "permission-revocation"
     #: Permission requirement only visible transitively (deep in ADF).
     PERMISSION_DEEP = "permission-deep"
+    #: Unguarded call to an API with a behavior-only (semantic) delta.
+    SEMANTIC = "semantic"
     # -- trap mechanisms ------------------------------------------------
     #: Guard in the caller protects an API call in a callee.
     TRAP_CALLER_GUARD = "trap-caller-guard"
@@ -70,6 +72,9 @@ class Trait(enum.Enum):
     #: guards), dynamically dead.  A static false alarm *by design* —
     #: the differential oracle treats it as an expected disagreement.
     TRAP_DEAD_CODE = "trap-dead-code"
+    #: Call to a delta-carrying API correctly SDK-guarded onto the
+    #: target's side of the delta (no finding, no crash).
+    TRAP_GUARDED_SEMANTIC = "trap-guarded-semantic"
 
 
 @dataclass(frozen=True)

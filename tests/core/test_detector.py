@@ -91,7 +91,7 @@ class TestReportContents:
         assert len(report.keys) == len(report.mismatches)
 
     def test_capabilities_cover_all_kinds(self, detector):
-        assert detector.capabilities == {"API", "APC", "PRM"}
+        assert detector.capabilities == {"API", "APC", "PRM", "SEM"}
         assert not detector.requires_source
 
 

@@ -1,0 +1,233 @@
+"""Registry invariants for the mismatch-kind registry.
+
+These tests are the PR's acceptance gate for the refactor: the core
+layers must consume kinds only through the registry, keys must not
+depend on registration order, and the facade must keep the calling
+conventions of the enum it replaced.
+"""
+
+from __future__ import annotations
+
+import pickle
+import re
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.intervals import ApiInterval
+from repro.core.kinds import (
+    MismatchKind,
+    MismatchKindSpec,
+    api_shaped_key,
+    family_of,
+    kind_families,
+    kind_groups,
+    register_kind,
+    registered_kinds,
+    registered_sweeps,
+    scenario_contributions,
+    unregister_kind,
+)
+from repro.core.mismatch import Mismatch
+from repro.ir.types import MethodRef
+
+SRC = Path(__file__).resolve().parents[2] / "src" / "repro"
+
+
+def _sample_mismatches() -> list[Mismatch]:
+    caller = MethodRef("com.app.Screen", "render", "()void")
+    api = MethodRef("android.view.View", "setElevation", "(float)void")
+    return [
+        Mismatch(
+            kind=MismatchKind.API_INVOCATION,
+            app="App",
+            location=caller,
+            subject=api,
+            missing_levels=ApiInterval.of(16, 20),
+        ),
+        Mismatch(
+            kind=MismatchKind.API_CALLBACK,
+            app="App",
+            location=MethodRef("com.app.Hook", "onStop", "()void"),
+            subject=MethodRef("android.app.Activity", "onStop", "()void"),
+            missing_levels=ApiInterval.of(16, 20),
+        ),
+        Mismatch(
+            kind=MismatchKind.PERMISSION_REQUEST,
+            app="App",
+            location=caller,
+            subject=None,
+            missing_levels=ApiInterval.of(23, 29),
+            permission="android.permission.CAMERA",
+        ),
+        Mismatch(
+            kind=MismatchKind.SEMANTIC,
+            app="App",
+            location=caller,
+            subject=api,
+            missing_levels=ApiInterval.of(16, 20),
+        ),
+    ]
+
+
+class TestFacade:
+    def test_call_returns_registered_singleton(self):
+        assert MismatchKind("API") is MismatchKind.API_INVOCATION
+        assert MismatchKind("SEM") is MismatchKind.SEMANTIC
+
+    def test_call_unknown_value_raises(self):
+        with pytest.raises(ValueError, match="not a valid MismatchKind"):
+            MismatchKind("XYZ")
+
+    def test_unknown_attribute_raises(self):
+        with pytest.raises(AttributeError):
+            MismatchKind.NO_SUCH_KIND
+
+    def test_iteration_in_registration_order(self):
+        values = [kind.value for kind in MismatchKind]
+        assert values == [
+            "API", "APC", "PRM-request", "PRM-revocation", "SEM"
+        ]
+        assert len(MismatchKind) == 5
+
+    def test_isinstance_against_facade(self):
+        assert isinstance(MismatchKind.API_INVOCATION, MismatchKind)
+        assert not isinstance("API", MismatchKind)
+
+    def test_enum_compatible_surface(self):
+        kind = MismatchKind.API_INVOCATION
+        assert kind.name == "API_INVOCATION"
+        assert kind.value == "API"
+        assert not kind.is_permission
+        assert MismatchKind.PERMISSION_REQUEST.is_permission
+
+    def test_pickle_resolves_to_singleton(self):
+        for kind in MismatchKind:
+            clone = pickle.loads(pickle.dumps(kind))
+            assert clone is kind
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(ValueError, match="already registered"):
+            register_kind(
+                MismatchKindSpec(
+                    value="API",
+                    family="API",
+                    is_permission=False,
+                    key_fn=api_shaped_key,
+                    describe_fn=str,
+                ),
+                attr="API_AGAIN",
+            )
+
+
+class TestRegistrationOrderStability:
+    """``Mismatch.key``/``sort_key`` must not observe the registry's
+    shape: registering (and unregistering) an unrelated kind leaves
+    every existing finding's identity bit-identical."""
+
+    def test_keys_stable_across_registration(self):
+        samples = _sample_mismatches()
+        before = [(m.key, m.sort_key, m.describe()) for m in samples]
+        register_kind(
+            MismatchKindSpec(
+                value="TST",
+                family="TST",
+                is_permission=False,
+                key_fn=api_shaped_key,
+                describe_fn=lambda m: "[TST]",
+            ),
+            attr="TEST_ONLY",
+        )
+        try:
+            after = [(m.key, m.sort_key, m.describe()) for m in samples]
+            assert after == before
+        finally:
+            unregister_kind("TST")
+        assert [(m.key, m.sort_key, m.describe()) for m in samples] == before
+        assert "TST" not in [k.value for k in MismatchKind]
+
+    def test_key_leads_with_kind_value(self):
+        for mismatch in _sample_mismatches():
+            assert mismatch.key[0] == mismatch.kind.value
+            assert mismatch.sort_key[0] == mismatch.kind.value
+
+
+class TestDerivedViews:
+    def test_families_in_registration_order(self):
+        assert kind_families() == ("API", "APC", "PRM", "SEM")
+
+    def test_family_of(self):
+        assert family_of("PRM-request") == "PRM"
+        assert family_of("SEM") == "SEM"
+        with pytest.raises(ValueError):
+            family_of("nope")
+
+    def test_kind_groups_cover_everything(self):
+        groups = kind_groups()
+        assert groups["API"] == ("API",)
+        assert groups["PRM"] == ("PRM-request", "PRM-revocation")
+        assert groups["SEM"] == ("SEM",)
+        assert groups["API+APC"] == ("API", "APC")
+        assert set(groups["ALL"]) == {
+            kind.value for kind in registered_kinds()
+        }
+
+    def test_scenario_contributions_from_sem(self):
+        names = [name for name, _ in scenario_contributions()]
+        assert names == ["semantic", "semantic-guarded"]
+
+    def test_sweeps_cover_three_crash_kinds(self):
+        crash_kinds = [sweep.crash_kind for sweep in registered_sweeps()]
+        assert crash_kinds == [
+            "missing-method", "permission-denied", "behavior-change"
+        ]
+
+
+class TestNoHardCodedCapabilities:
+    """Satellite: every tool's capability row is derived from its
+    registered detector passes — no frozen kind-literal sets remain in
+    the baselines or the core detector."""
+
+    FORBIDDEN = re.compile(
+        r"""frozenset\(\s*\{\s*['"](API|APC|PRM|SEM)['"]"""
+    )
+
+    def test_no_capability_literals(self):
+        offenders = []
+        files = list((SRC / "baselines").glob("*.py"))
+        files.append(SRC / "core" / "detector.py")
+        for path in files:
+            if self.FORBIDDEN.search(path.read_text()):
+                offenders.append(str(path))
+        assert not offenders, (
+            "hard-coded capability sets found in: " + ", ".join(offenders)
+        )
+
+    def test_capabilities_derive_from_passes(self):
+        from repro.baselines.passes import (
+            cid_pipeline,
+            cider_pipeline,
+            lint_pipeline,
+        )
+        from repro.pipeline import saintdroid_pipeline
+
+        expected = {
+            "SAINTDroid": {"API", "APC", "PRM", "SEM"},
+            "CID": {"API"},
+            "CIDER": {"APC"},
+            "Lint": {"API"},
+        }
+        configs = {
+            "SAINTDroid": saintdroid_pipeline(),
+            "CID": cid_pipeline(),
+            "CIDER": cider_pipeline(),
+            "Lint": lint_pipeline(),
+        }
+        for tool, config in configs.items():
+            assert config.capabilities == expected[tool], tool
+            derived = {
+                family_of(value)
+                for p in config.passes
+                for value in p.kinds
+            }
+            assert config.capabilities == derived

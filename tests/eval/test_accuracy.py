@@ -118,5 +118,5 @@ class TestScoreApps:
             kind for kinds in KIND_GROUPS.values() for kind in kinds
         }
         assert flattened == {
-            "API", "APC", "PRM-request", "PRM-revocation"
+            "API", "APC", "PRM-request", "PRM-revocation", "SEM"
         }

@@ -75,7 +75,7 @@ def test_scoring_closes_the_books(scored_pairs):
         assert counts.actual == len(truth.issue_keys)
         per_kind = sum(
             score_app(report, truth, KIND_GROUPS[name]).actual
-            for name in ("API", "APC", "PRM")
+            for name in ("API", "APC", "PRM", "SEM")
         )
         assert per_kind == len(truth.issue_keys)
 

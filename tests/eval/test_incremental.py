@@ -385,7 +385,7 @@ class TestPassTiming:
             "manifest-ingest", "clvm-load", "icfg-explore",
             "guard-propagation", "override-collection",
             "permission-annotation", "detect-api", "detect-apc",
-            "detect-prm",
+            "detect-prm", "detect-sem",
         )
 
     def test_pass_seconds_survive_the_cache(

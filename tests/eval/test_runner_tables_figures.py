@@ -120,8 +120,10 @@ class TestTables:
         rows = table4_capabilities(toolset.tools)
         by_tool = {r["tool"]: r for r in rows}
         assert by_tool["SAINTDroid"] == {
-            "tool": "SAINTDroid", "API": True, "APC": True, "PRM": True
+            "tool": "SAINTDroid",
+            "API": True, "APC": True, "PRM": True, "SEM": True,
         }
+        assert not by_tool["CID"]["SEM"]
         assert not by_tool["CID"]["APC"]
         assert not by_tool["CIDER"]["API"]
         text = render_table4(rows)

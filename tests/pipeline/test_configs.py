@@ -71,6 +71,7 @@ class TestSaintDroidConfig:
             "detect-api",
             "detect-apc",
             "detect-prm",
+            "detect-sem",
         )
         assert config.phase_keys == SAINTDROID_PHASES
         assert not config.single_detect_phase
