@@ -32,6 +32,12 @@ results across runs, and ``--no-cache`` to force cold analysis.
                against the dynamic-interpreter oracle, with shrinking
                and detector mutation testing (exit 1 on any
                disagreement or surviving mutant)
+``compare``    corpus-scale cross-detector agreement study: every
+               tool/ablation configuration over one seeded corpus —
+               per-kind accuracy, pairwise agreement/confusion, a
+               capability cross-check against the declared table
+               (mismatch ⇒ exit 1), and a machine-readable
+               blind-spot report that seeds new generator scenarios
 
 ``analyze`` exit codes: 0 = clean analysis, 1 = unreadable input,
 2 = the tool gave up on the app (budget, unbuildable source, bad
@@ -51,6 +57,7 @@ from .apk.serialization import SerializationError, load_apk, save_apk
 from .baselines import Cid, Cider, Lint
 from .core import SaintDroid, build_api_database, render_report
 from .eval import (
+    ALL_TOOL_CONFIGS,
     ToolSet,
     ascii_scatter,
     failure_breakdown,
@@ -343,6 +350,56 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_corpus_flags(difftest)
 
+    compare = sub.add_parser(
+        "compare",
+        help="cross-detector agreement study: all tool/ablation "
+             "configurations over one seeded corpus, with a "
+             "capability cross-check and a blind-spot report "
+             "(exit 1 when derived capabilities disagree with the "
+             "declared table)",
+    )
+    compare.add_argument(
+        "--seed", type=int, default=2026,
+        help="campaign seed; a fixed seed reproduces every matrix "
+             "byte for byte across --jobs and --via-serve",
+    )
+    compare.add_argument(
+        "--apps", type=int, default=200,
+        help="apps to generate (a coverage prefix exercises every "
+             "scenario kind once)",
+    )
+    compare.add_argument(
+        "--configs", nargs="+", choices=ALL_TOOL_CONFIGS,
+        default=list(ALL_TOOL_CONFIGS), metavar="NAME",
+        help="configurations to run (default: all "
+             f"{len(ALL_TOOL_CONFIGS)}: "
+             + ", ".join(ALL_TOOL_CONFIGS) + ")",
+    )
+    compare.add_argument(
+        "--via-serve", action="store_true",
+        help="route every analysis through an in-process serve "
+             "daemon (batch submission path) instead of the corpus "
+             "schedulers — results are byte-identical",
+    )
+    compare.add_argument(
+        "--report", type=Path, default=None, metavar="PATH",
+        help="write the canonical campaign JSON here (default: "
+             "print the human-readable summary only)",
+    )
+    compare.add_argument(
+        "--blind-spots", type=Path, default=None, metavar="PATH",
+        help="write the machine-readable blind-spot artifact here "
+             "(the flywheel input for new workload/appgen.py "
+             "scenarios)",
+    )
+    compare.add_argument(
+        "--checkpoint-dir", type=Path, default=None, metavar="DIR",
+        help="directory of per-configuration JSONL journals "
+             "(compare-<name>.jsonl); a killed campaign pointed at "
+             "the same directory resumes mid-configuration",
+    )
+    _add_corpus_flags(compare)
+
     apidb = sub.add_parser("apidb", help="query the API database")
     apidb.add_argument("class_name")
     apidb.add_argument("signature", nargs="?")
@@ -380,9 +437,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="supervised worker processes",
     )
     serve.add_argument(
-        "--tools", nargs="+", choices=_TOOL_NAMES,
+        "--tools", nargs="+", choices=ALL_TOOL_CONFIGS,
         default=["SAINTDroid"], metavar="TOOL",
-        help="tool names each worker runs (default: SAINTDroid)",
+        help="tool configurations each worker runs — any catalog "
+             "name, including the SAINTDroid ablations "
+             "(default: SAINTDroid)",
     )
     serve.add_argument(
         "--queue-limit", type=int, default=64,
@@ -839,6 +898,70 @@ def _cmd_difftest(args: argparse.Namespace) -> int:
     return 0 if result.ok else 1
 
 
+def _cmd_compare(args: argparse.Namespace) -> int:
+    from .eval.compare import (
+        CompareConfig,
+        CompareError,
+        run_compare,
+        write_blind_spot_report,
+    )
+
+    if args.checkpoint is not None:
+        print(
+            "error: compare journals per configuration — use "
+            "--checkpoint-dir DIR instead of --checkpoint",
+            file=sys.stderr,
+        )
+        return 2
+    cache_dir = _cache_dir(args)
+    config = CompareConfig(
+        seed=args.seed,
+        n_apps=args.apps,
+        configs=tuple(args.configs),
+        jobs=args.jobs,
+        via_serve=args.via_serve,
+        timeout_s=args.timeout,
+        max_retries=args.max_retries,
+        retry_backoff_s=args.retry_backoff,
+        checkpoint_dir=(
+            str(args.checkpoint_dir)
+            if args.checkpoint_dir is not None
+            else None
+        ),
+        cache_dir=str(cache_dir) if cache_dir is not None else None,
+        summaries=args.summaries,
+        dedup=args.dedup,
+    )
+    try:
+        result = run_compare(config)
+    except CompareError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(result.render())
+    if args.report is not None:
+        args.report.parent.mkdir(parents=True, exist_ok=True)
+        args.report.write_text(result.report_json())
+        print(f"wrote {args.report}")
+    if args.blind_spots is not None:
+        write_blind_spot_report(result.report, args.blind_spots)
+        print(f"wrote {args.blind_spots}")
+    for name, run in result.runs.items():
+        if run.failed_apps:
+            print(
+                f"[{name}] {len(run.failed_apps)} app(s) failed",
+                file=sys.stderr,
+            )
+    if not result.ok:
+        print(
+            "compare: capability cross-check FAILED — observed "
+            "behaviour disagrees with the Pass.kinds-declared table "
+            "(see mismatches above)",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
 def _cmd_apidb(args: argparse.Namespace) -> int:
     apidb = build_api_database()
     entry = apidb.clazz(args.class_name)
@@ -1041,6 +1164,7 @@ _COMMANDS = {
     "figure": _cmd_figure,
     "sweep": _cmd_sweep,
     "difftest": _cmd_difftest,
+    "compare": _cmd_compare,
     "apidb": _cmd_apidb,
     "verify": _cmd_verify,
     "repair": _cmd_repair,

@@ -160,6 +160,15 @@ _REGISTRY: dict[str, MismatchKindSpec] = {}
 _ATTRS: dict[str, MismatchKindSpec] = {}
 _SWEEPS: list[CrashSweep] = []
 
+#: First-registration sequence numbers, never forgotten.  A family's
+#: column position is assigned the first time any kind of that family
+#: registers and survives unregister/re-register cycles (the plugin
+#: and test-seam dance), so capability-table and agreement-matrix
+#: column order is a function of *registration history*, not of the
+#: registry dict's current insertion order.
+_FAMILY_ORDER: dict[str, int] = {}
+_KIND_ORDER: dict[str, int] = {}
+
 
 def register_kind(spec: MismatchKindSpec, *, attr: str) -> MismatchKindSpec:
     """Register ``spec`` under facade attribute ``attr``.
@@ -174,6 +183,8 @@ def register_kind(spec: MismatchKindSpec, *, attr: str) -> MismatchKindSpec:
     object.__setattr__(spec, "attr_name", attr)
     _REGISTRY[spec.value] = spec
     _ATTRS[attr] = spec
+    _KIND_ORDER.setdefault(spec.value, len(_KIND_ORDER))
+    _FAMILY_ORDER.setdefault(spec.family, len(_FAMILY_ORDER))
     return spec
 
 
@@ -203,13 +214,17 @@ def registered_sweeps() -> tuple[CrashSweep, ...]:
 
 
 def kind_families() -> tuple[str, ...]:
-    """Distinct kind families in registration order — the capability
-    matrix's columns."""
-    families: list[str] = []
-    for spec in _REGISTRY.values():
-        if spec.family not in families:
-            families.append(spec.family)
-    return tuple(families)
+    """Distinct kind families in *first-registration* order — the
+    capability matrix's columns.
+
+    Ordered by the sequence number a family was assigned when its
+    first kind registered, not by the registry dict's insertion order:
+    a kind unregistered and re-registered (the plugin reload / test
+    seam dance) would otherwise migrate its family column to the end,
+    reshuffling every downstream capability table and agreement
+    matrix between runs."""
+    families = {spec.family for spec in _REGISTRY.values()}
+    return tuple(sorted(families, key=_FAMILY_ORDER.__getitem__))
 
 
 def family_of(value: str) -> str:

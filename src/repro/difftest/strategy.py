@@ -34,6 +34,7 @@ from ..workload.groundtruth import SeededIssue, SeededTrap, Trait
 __all__ = [
     "ScenarioSpec",
     "AppPlan",
+    "ScenarioTrace",
     "ALL_KINDS",
     "PERMISSION_KINDS",
     "plan_apps",
@@ -104,6 +105,22 @@ class AppPlan:
                 ScenarioSpec.from_dict(s) for s in doc["scenarios"]
             ),
         )
+
+
+@dataclass(frozen=True)
+class ScenarioTrace:
+    """What one planned scenario actually seeded during materialize.
+
+    The agreement-study harness (``eval.compare``) joins per-tool
+    findings back to the *scenario* that seeded them; this record is
+    the join key: the ground-truth issue keys and trap FP keys the
+    builder appended, or ``skipped=True`` when the builder refused the
+    configuration (no fitting API, permission-posture conflict)."""
+
+    kind: str
+    issue_keys: tuple[tuple, ...]
+    trap_keys: tuple[tuple, ...]
+    skipped: bool = False
 
 
 # ---------------------------------------------------------------------------
@@ -530,6 +547,8 @@ def materialize(
     plan: AppPlan,
     apidb: ApiDatabase | None = None,
     picker: ApiPicker | None = None,
+    *,
+    trace: list[ScenarioTrace] | None = None,
 ) -> ForgedApp:
     """Build the app a plan describes.
 
@@ -540,6 +559,12 @@ def materialize(
     runs under its own RNG stream derived from ``(plan.seed,
     spec.nonce)`` so materializing ``plan.without(i)`` reproduces the
     surviving scenarios byte-for-byte.
+
+    ``trace``, when given, receives one :class:`ScenarioTrace` per
+    planned scenario recording exactly which ground-truth issue keys
+    and trap FP keys that scenario seeded — the attribution the
+    agreement study uses to score tools *per scenario kind* without
+    re-deriving builder semantics.
     """
     forge = AppForge(
         plan.package,
@@ -555,10 +580,36 @@ def materialize(
         forge.rng.seed(
             plan.seed * _SCENARIO_PRIME + spec.nonce * _NONCE_PRIME
         )
+        issues_before = len(forge.truth.issues)
+        traps_before = len(forge.truth.traps)
         try:
             _BUILDERS[spec.kind](forge)
         except (LookupError, ValueError):
+            if trace is not None:
+                trace.append(
+                    ScenarioTrace(
+                        kind=spec.kind,
+                        issue_keys=(),
+                        trap_keys=(),
+                        skipped=True,
+                    )
+                )
             continue
+        if trace is not None:
+            trace.append(
+                ScenarioTrace(
+                    kind=spec.kind,
+                    issue_keys=tuple(
+                        issue.key
+                        for issue in forge.truth.issues[issues_before:]
+                    ),
+                    trap_keys=tuple(
+                        key
+                        for trap in forge.truth.traps[traps_before:]
+                        for key in trap.fp_keys
+                    ),
+                )
+            )
     if plan.filler_kloc > 0:
         forge.rng.seed(
             plan.seed * _SCENARIO_PRIME + _FILLER_NONCE * _NONCE_PRIME

@@ -60,11 +60,36 @@ __all__ = [
     "AppResult",
     "RunResults",
     "AppTimeoutError",
+    "ALL_TOOL_CONFIGS",
     "analyze_app",
     "run_tools",
 ]
 
 DEFAULT_TOOLS = ("SAINTDroid", "CID", "CIDER", "Lint")
+
+#: Every registered tool/ablation configuration, in the canonical
+#: order campaigns iterate them.  The two SAINTDroid ablations are
+#: name-addressable (not constructor-flag-only) so the process pool
+#: and the serve daemon — whose workers rebuild tools from *names*
+#: via :meth:`ToolSet.default` — reconstruct them faithfully.  An
+#: ablation's reports, checkpoint headers, and cache keys all carry
+#: its configuration name, never plain ``SAINTDroid``.
+ALL_TOOL_CONFIGS = (
+    "SAINTDroid",
+    "SAINTDroid-eager",
+    "SAINTDroid-anon",
+    "CID",
+    "CIDER",
+    "Lint",
+)
+
+
+def _named(tool, name: str):
+    """Stamp a catalog configuration name onto a tool instance (the
+    class attribute stays ``SAINTDroid``; results are keyed by the
+    instance name)."""
+    tool.name = name
+    return tool
 
 #: Retry backoff is bounded: no attempt ever waits longer than
 #: ``retry_backoff_s * BACKOFF_CAP_FACTOR``.
@@ -112,6 +137,23 @@ class ToolSet:
                 summaries_dir=summaries_dir,
                 dedup=dedup,
                 dedup_dir=dedup_dir,
+            ),
+            # The ablations deliberately ignore --summaries/--dedup:
+            # each ablates exactly one knob against the plain lazy
+            # configuration, and the class-artifact store records
+            # plain-configuration facts (replaying them under altered
+            # guard propagation would not be parity-safe).
+            "SAINTDroid-eager": lambda: _named(
+                SaintDroid(framework, apidb, lazy_loading=False),
+                "SAINTDroid-eager",
+            ),
+            "SAINTDroid-anon": lambda: _named(
+                SaintDroid(
+                    framework,
+                    apidb,
+                    propagate_guards_into_anonymous=True,
+                ),
+                "SAINTDroid-anon",
             ),
             "CID": lambda: Cid(framework, apidb),
             "CIDER": lambda: Cider(framework, apidb),

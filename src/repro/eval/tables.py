@@ -242,7 +242,9 @@ def table4_capabilities(tools) -> list[dict]:
 def render_table4(rows: list[dict]) -> str:
     lines = ["Table IV: detection capabilities"]
     families = kind_families()
-    header = f"{'Tool':<14}" + "".join(
+    # Ablation rows ("SAINTDroid-eager") outgrow the paper's column.
+    width = max([14] + [len(row["tool"]) + 2 for row in rows])
+    header = f"{'Tool':<{width}}" + "".join(
         f"{family:<6}" for family in families
     )
     lines.append(header)
@@ -252,7 +254,7 @@ def render_table4(rows: list[dict]) -> str:
             f"{'yes' if row.get(family) else 'no':<6}"
             for family in families
         )
-        lines.append(f"{row['tool']:<14}{cells}")
+        lines.append(f"{row['tool']:<{width}}{cells}")
     return "\n".join(lines)
 
 

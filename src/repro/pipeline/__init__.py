@@ -13,7 +13,12 @@ See ``docs/architecture.md`` for the pass graph and a walkthrough of
 writing a custom detector pass.
 """
 
-from .configs import SAINTDROID_PHASES, PipelineConfig, saintdroid_pipeline
+from .configs import (
+    SAINTDROID_PHASES,
+    PipelineConfig,
+    saintdroid_pipeline,
+    saintdroid_variants,
+)
 from .context import AnalysisContext, SlotError
 from .hooks import FaultInjectionHook, PassTimingHook, PipelineHook
 from .manager import PassManager, PipelineDetector, PipelineError
@@ -42,6 +47,7 @@ __all__ = [
     "PipelineConfig",
     "SAINTDROID_PHASES",
     "saintdroid_pipeline",
+    "saintdroid_variants",
     "PipelineHook",
     "PassTimingHook",
     "FaultInjectionHook",

@@ -30,7 +30,12 @@ from .passes import (
     PermissionAnnotationPass,
 )
 
-__all__ = ["PipelineConfig", "SAINTDROID_PHASES", "saintdroid_pipeline"]
+__all__ = [
+    "PipelineConfig",
+    "SAINTDROID_PHASES",
+    "saintdroid_pipeline",
+    "saintdroid_variants",
+]
 
 #: The paper's phase breakdown, seeded to 0.0 on every SAINTDroid
 #: report so a lazy run still exports ``load: 0.0``.
@@ -163,3 +168,24 @@ def saintdroid_pipeline(
         passes=tuple(passes),
         phase_keys=SAINTDROID_PHASES,
     )
+
+
+def saintdroid_variants() -> dict:
+    """The SAINTDroid configurations by *catalog name* — the plain
+    tool plus its two named ablations, each a zero-argument pipeline
+    factory.
+
+    This is the declared side of the capability cross-check: an
+    agreement campaign derives each configuration's families from
+    these pipelines' ``Pass.kinds`` (exactly what ``saintdroid
+    passes`` prints) and fails when the observed behaviour disagrees.
+    """
+    return {
+        "SAINTDroid": lambda: saintdroid_pipeline(),
+        "SAINTDroid-eager": lambda: saintdroid_pipeline(
+            lazy_loading=False
+        ),
+        "SAINTDroid-anon": lambda: saintdroid_pipeline(
+            propagate_guards_into_anonymous=True
+        ),
+    }

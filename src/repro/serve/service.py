@@ -308,6 +308,45 @@ class AnalysisService:
             raise QueueClosedError("service not started")
         return self.queue.submit(apk_doc, truth_doc, job_id=job_id)
 
+    def submit_batch(
+        self,
+        submissions,
+        *,
+        wait_timeout_s: float = 60.0,
+    ) -> list[Job]:
+        """Submit many ``(apk_doc, truth_doc)`` pairs and wait for
+        every job to reach a terminal state.
+
+        The corpus-campaign ingestion path (``saintdroid compare
+        --via-serve``): admission backpressure is honored in-process —
+        a full queue sleeps the advertised ``Retry-After`` and
+        resubmits instead of surfacing 429 to the caller — and the
+        returned jobs are in submission order regardless of completion
+        order, so batch results join against the corpus by index.
+        Raises :class:`TimeoutError` when a job fails to settle inside
+        ``wait_timeout_s``.
+        """
+        from .queue import QueueFullError
+
+        jobs: list[Job] = []
+        for apk_doc, truth_doc in submissions:
+            while True:
+                try:
+                    jobs.append(self.submit(apk_doc, truth_doc))
+                    break
+                except QueueFullError as exc:
+                    time.sleep(max(exc.retry_after_s, 0.01))
+        settled: list[Job] = []
+        for job in jobs:
+            done = self.wait(job.id, timeout_s=wait_timeout_s)
+            if done is None or not done.terminal:
+                raise TimeoutError(
+                    f"job {job.id} did not settle within "
+                    f"{wait_timeout_s:.0f}s"
+                )
+            settled.append(done)
+        return settled
+
     def job(self, job_id: str) -> Job | None:
         return self.queue.job(job_id) if self.queue is not None else None
 

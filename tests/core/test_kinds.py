@@ -156,6 +156,27 @@ class TestDerivedViews:
     def test_families_in_registration_order(self):
         assert kind_families() == ("API", "APC", "PRM", "SEM")
 
+    def test_family_order_survives_reregistration(self):
+        """Regression: ``kind_families()`` must follow first-
+        registration order, not dict insertion order — a plugin that
+        unregisters and re-registers a kind (the TST dance above, or a
+        reloaded extension) must not shuffle every consumer's column
+        order."""
+        before = kind_families()
+        spec = next(
+            s for s in registered_kinds() if s.value == "APC"
+        )
+        unregister_kind("APC")
+        try:
+            register_kind(spec, attr="API_CALLBACK")
+            # Re-registered last, yet the family keeps its original
+            # column position.
+            assert kind_families() == before
+        finally:
+            if "APC" not in [s.value for s in registered_kinds()]:
+                register_kind(spec, attr="API_CALLBACK")
+        assert kind_families() == before
+
     def test_family_of(self):
         assert family_of("PRM-request") == "PRM"
         assert family_of("SEM") == "SEM"
